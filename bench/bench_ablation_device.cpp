@@ -1,0 +1,40 @@
+// Device-sweep ablation: the same partitioned DP on three simulated GPUs
+// (Tesla K20, Tesla K40, and a generic modern HBM part). Not a paper
+// experiment — it shows how the cost model responds to hardware knobs: the
+// modern part's cheap device-side launches collapse the launch-bound small
+// sizes and its bandwidth lifts the large ones, moving the paper's
+// OpenMP crossover far to the left.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace pcmax;
+  using bench::fmt_ms;
+
+  std::printf("== bench_ablation_device: GPU generations "
+              "(model sensitivity; simulated) ==\n\n");
+  const std::vector<gpusim::DeviceSpec> specs{
+      gpusim::DeviceSpec::k20(), gpusim::DeviceSpec::k40(),
+      gpusim::DeviceSpec::modern()};
+
+  util::TextTable table({"table size", "OMP16", "tesla-k20", "tesla-k40",
+                         "modern-hbm"});
+  for (const auto size : {std::uint64_t{3456}, std::uint64_t{20736},
+                          std::uint64_t{403200}}) {
+    const auto shape = workload::paper_shapes_for_size(size).front();
+    const auto problem = workload::dp_problem_for_extents(shape.extents);
+    const auto t = bench::time_shape(shape, {});
+    std::vector<std::string> row{std::to_string(size), fmt_ms(t.omp16_ms)};
+    for (const auto& spec : specs) {
+      gpusim::Device device(spec);
+      const gpu::GpuDpSolver solver(device, 6);
+      (void)solver.solve(problem);
+      row.push_back(fmt_ms(solver.last_solve_time().ms()));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

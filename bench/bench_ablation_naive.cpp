@@ -1,0 +1,66 @@
+// Ablation for Section III's claim that "a direct GPU translation of the
+// OpenMP implementation is about a hundred times slower than the OpenMP
+// implementation". For a range of table sizes we compare:
+//
+//   OMP16        modeled OpenMP runtime (the paper's baseline)
+//   GPU-naive    the direct port: one-level parallelism, whole-table
+//                sub-configuration search, table-scope scratch memory
+//   GPU-DIM6     the paper's data-partitioning implementation
+//
+// The naive port also demonstrates the memory claim: its table-scope
+// candidate scratch exhausts the simulated 12 GB device on larger tables
+// (reported as OOM).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace pcmax;
+  using bench::fmt_ms;
+
+  std::printf("== bench_ablation_naive: direct GPU port vs partitioned "
+              "(Section III claim; simulated) ==\n\n");
+  util::TextTable table({"table size", "OMP16", "GPU-naive", "GPU-DIM6",
+                         "naive/OMP16", "naive peak mem"});
+
+  std::vector<workload::TableShape> shapes;
+  for (const auto& s : workload::fig3_group('a')) {
+    if (s.table_size == 500 || s.table_size == 3456 || s.table_size == 8640)
+      shapes.push_back(s);
+  }
+  for (const auto& s : workload::fig3_group('b'))
+    if (s.table_size == 20736 || s.table_size == 100000) shapes.push_back(s);
+  for (const auto& s : workload::fig3_group('c'))
+    if (s.table_size == 403200) shapes.push_back(s);
+
+  for (const auto& shape : shapes) {
+    const auto problem = workload::dp_problem_for_extents(shape.extents);
+    const auto t = bench::time_shape(shape, {6});
+
+    std::string naive_ms = "OOM";
+    std::string naive_ratio = "-";
+    std::string naive_mem = "> 12 GB";
+    gpusim::Device device(gpusim::DeviceSpec::k40());
+    try {
+      const gpu::NaiveGpuDpSolver naive(device);
+      (void)naive.solve(problem);
+      naive_ms = fmt_ms(naive.last_solve_time().ms());
+      char ratio[32];
+      std::snprintf(ratio, sizeof ratio, "%.1fx",
+                    naive.last_solve_time().ms() / t.omp16_ms);
+      naive_ratio = ratio;
+      char mem[32];
+      std::snprintf(mem, sizeof mem, "%.1f MB",
+                    static_cast<double>(device.peak_memory()) / (1 << 20));
+      naive_mem = mem;
+    } catch (const gpusim::OutOfMemory&) {
+      // The table-scope scratch exceeded the 12 GB device.
+    }
+
+    table.add_row({std::to_string(shape.table_size), fmt_ms(t.omp16_ms),
+                   naive_ms, fmt_ms(t.gpu_ms.at(6)), naive_ratio, naive_mem});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

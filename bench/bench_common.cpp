@@ -1,0 +1,50 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace pcmax::bench {
+
+ShapeTiming time_shape(const workload::TableShape& shape,
+                       const std::vector<std::size_t>& gpu_dims) {
+  ShapeTiming timing;
+  timing.shape = shape;
+
+  const dp::DpProblem problem =
+      workload::dp_problem_for_extents(shape.extents);
+
+  dp::SolveOptions options;
+  options.collect_deps = true;
+  const dp::DpResult reference =
+      dp::LevelBucketSolver().solve(problem, options);
+
+  CpuModelParams m16;
+  m16.threads = 16;
+  CpuModelParams m28;
+  m28.threads = 28;
+  timing.omp16_ms = estimate_openmp_dp_time(problem, reference, m16).ms();
+  timing.omp28_ms = estimate_openmp_dp_time(problem, reference, m28).ms();
+
+  for (const auto dims : gpu_dims) {
+    gpusim::Device device(gpusim::DeviceSpec::k40());
+    const gpu::GpuDpSolver solver(device, dims);
+    const dp::DpResult result = solver.solve(problem);
+    if (result.table != reference.table)
+      throw std::runtime_error("GPU engine diverged on " + shape.label);
+    timing.gpu_ms[dims] = solver.last_solve_time().ms();
+  }
+  return timing;
+}
+
+std::string fmt_ms(double ms) {
+  char buf[32];
+  if (ms >= 1000.0)
+    std::snprintf(buf, sizeof buf, "%.0f", ms);
+  else if (ms >= 10.0)
+    std::snprintf(buf, sizeof buf, "%.1f", ms);
+  else
+    std::snprintf(buf, sizeof buf, "%.3f", ms);
+  return buf;
+}
+
+}  // namespace pcmax::bench

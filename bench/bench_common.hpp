@@ -1,0 +1,37 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// All reported times are *simulated*: OMP16/OMP28 from the calibrated CPU
+// model of the paper's OpenMP implementation, GPU-DIMx from the simulated
+// K40 device (see DESIGN.md, "Substitutions"). The computations behind them
+// are real — every DP table is actually solved and verified.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/cpu_time_model.hpp"
+#include "gpu/gpu_dp_solver.hpp"
+#include "workload/shapes.hpp"
+
+namespace pcmax::bench {
+
+struct ShapeTiming {
+  workload::TableShape shape;
+  double omp16_ms = 0.0;
+  double omp28_ms = 0.0;
+  /// Simulated GPU time per partition-dimension setting.
+  std::map<std::size_t, double> gpu_ms;
+};
+
+/// Solves the shape's DP problem once per engine and returns modeled times.
+/// Every engine's table is checked against the bucketed solver; mismatches
+/// throw.
+[[nodiscard]] ShapeTiming time_shape(const workload::TableShape& shape,
+                                     const std::vector<std::size_t>& gpu_dims);
+
+/// Formats milliseconds with adaptive precision for table cells.
+[[nodiscard]] std::string fmt_ms(double ms);
+
+}  // namespace pcmax::bench

@@ -1,0 +1,73 @@
+// Reproduces Fig. 3 of the paper: average DP running time vs DP-table size
+// for the OpenMP implementation (16 and 28 threads, modeled) and the GPU
+// implementation partitioned along 3..9 dimensions (simulated K40).
+//
+//   fig 3(a): table sizes    100 ..  10'000  — OpenMP wins, GPU launch-bound
+//   fig 3(b): table sizes 20'000 .. 100'000  — crossover near ~30'000
+//   fig 3(c): table sizes 110'000.. 500'000  — GPU wins by an order or more
+//
+// Usage: bench_fig3 [--group a|b|c] [--csv FILE]
+//        (default: all three groups; --csv appends machine-readable rows
+//         "group,size,dims,engine,ms" for scripts/plot_fig3.py)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "util/text_table.hpp"
+
+namespace {
+
+void run_group(char group, std::ofstream* csv) {
+  using pcmax::bench::fmt_ms;
+  const std::vector<std::size_t> gpu_dims{3, 4, 5, 6, 7, 8, 9};
+
+  std::printf("Fig. 3(%c): average running time (ms, simulated) vs "
+              "DP-table size\n",
+              group);
+  pcmax::util::TextTable table(
+      {"table size", "dims", "OMP16", "OMP28", "GPU-DIM3", "GPU-DIM4",
+       "GPU-DIM5", "GPU-DIM6", "GPU-DIM7", "GPU-DIM8", "GPU-DIM9"});
+  for (const auto& shape : pcmax::workload::fig3_group(group)) {
+    const auto t = pcmax::bench::time_shape(shape, gpu_dims);
+    std::vector<std::string> row{
+        std::to_string(shape.table_size),
+        std::to_string(shape.extents.size()),
+        fmt_ms(t.omp16_ms),
+        fmt_ms(t.omp28_ms)};
+    for (const auto dims : gpu_dims) row.push_back(fmt_ms(t.gpu_ms.at(dims)));
+    table.add_row(std::move(row));
+    if (csv != nullptr) {
+      *csv << group << ',' << shape.table_size << ','
+           << shape.extents.size() << ",OMP16," << t.omp16_ms << '\n'
+           << group << ',' << shape.table_size << ','
+           << shape.extents.size() << ",OMP28," << t.omp28_ms << '\n';
+      for (const auto dims : gpu_dims)
+        *csv << group << ',' << shape.table_size << ','
+             << shape.extents.size() << ",GPU-DIM" << dims << ','
+             << t.gpu_ms.at(dims) << '\n';
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string groups = "abc";
+  std::ofstream csv;
+  for (int i = 1; i < argc; ++i) {
+    if (i + 1 < argc && std::strcmp(argv[i], "--group") == 0)
+      groups = argv[++i];
+    else if (i + 1 < argc && std::strcmp(argv[i], "--csv") == 0) {
+      csv.open(argv[++i]);
+      csv << "group,size,dims,engine,ms\n";
+    }
+  }
+  std::printf("== bench_fig3: DP runtime vs table size "
+              "(paper Fig. 3; simulated times, real computations) ==\n\n");
+  for (const char g : groups)
+    if (g == 'a' || g == 'b' || g == 'c')
+      run_group(g, csv.is_open() ? &csv : nullptr);
+  return 0;
+}

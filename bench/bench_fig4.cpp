@@ -1,0 +1,45 @@
+// Reproduces Fig. 4 of the paper: GPU running time vs the number of
+// partitioned dimensions (3..9), for the six published DP-table sizes, with
+// one line per #non-zero-dimension variant (the dimension vectors of
+// Tables I-VI). The expected shape: the best time lands at 5..7 partitioned
+// dimensions, and variants with fewer non-zero dimensions run slower than
+// variants of the same size with more dimensions.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using pcmax::bench::fmt_ms;
+  const std::vector<std::size_t> gpu_dims{3, 4, 5, 6, 7, 8, 9};
+  const std::vector<std::uint64_t> sizes{3456,  8640,   12960,
+                                         20736, 362880, 403200};
+
+  std::printf("== bench_fig4: GPU time vs #partitioned dimensions "
+              "(paper Fig. 4; simulated) ==\n\n");
+  for (const auto size : sizes) {
+    std::printf("DP-table size = %llu\n",
+                static_cast<unsigned long long>(size));
+    pcmax::util::TextTable table(
+        {"#dim", "DIM3", "DIM4", "DIM5", "DIM6", "DIM7", "DIM8", "DIM9",
+         "best"});
+    for (const auto& shape : pcmax::workload::paper_shapes_for_size(size)) {
+      const auto t = pcmax::bench::time_shape(shape, gpu_dims);
+      std::vector<std::string> row{std::to_string(shape.extents.size())};
+      std::size_t best_dims = 3;
+      double best = t.gpu_ms.at(3);
+      for (const auto dims : gpu_dims) {
+        const double ms = t.gpu_ms.at(dims);
+        row.push_back(fmt_ms(ms));
+        if (ms < best) {
+          best = ms;
+          best_dims = dims;
+        }
+      }
+      row.push_back("DIM" + std::to_string(best_dims));
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Extension bench (the paper's Section V future work): the data-partitioning
+// scheme applied to higher-dimensional knapsack DP tables. For a range of
+// budget shapes we report the simulated GPU time per partition setting and
+// verify every engine agrees; since knapsack lookups are direct-indexed
+// (no search function), the partitioning's benefit here is stream
+// concurrency and layout locality — visibly smaller than for the PTAS DP.
+#include <cstdio>
+
+#include "knapsack/solver.hpp"
+#include "util/rng.hpp"
+#include "util/text_table.hpp"
+
+int main() {
+  using namespace pcmax;
+
+  std::printf("== bench_knapsack: data partitioning on higher-dimensional "
+              "knapsack (Section V future work; simulated) ==\n\n");
+
+  struct ShapeCase {
+    const char* label;
+    std::vector<std::int64_t> budgets;
+  };
+  const std::vector<ShapeCase> shapes{
+      {"3-D 21x21x21", {20, 20, 20}},
+      {"4-D 11^4", {10, 10, 10, 10}},
+      {"5-D 7^5", {6, 6, 6, 6, 6}},
+      {"6-D 5^6", {4, 4, 4, 4, 4, 4}},
+  };
+
+  util::TextTable table({"budgets", "cells", "items", "DIM1", "DIM3",
+                         "DIM6", "best value"});
+  for (const auto& shape : shapes) {
+    knapsack::KnapsackProblem p;
+    p.budgets = shape.budgets;
+    util::Rng rng(2026);
+    for (int i = 0; i < 12; ++i) {
+      knapsack::Item item;
+      item.value = rng.uniform(1, 40);
+      std::int64_t total = 0;
+      for (std::size_t d = 0; d < p.budgets.size(); ++d) {
+        item.weights.push_back(rng.uniform(0, 4));
+        total += item.weights.back();
+      }
+      if (total == 0) item.weights[0] = 1;
+      p.items.push_back(std::move(item));
+    }
+
+    const auto reference = knapsack::solve_reference(p);
+    std::vector<std::string> row{shape.label,
+                                 std::to_string(p.table_size()),
+                                 std::to_string(p.items.size())};
+    for (const std::size_t dims : {std::size_t{1}, std::size_t{3},
+                                   std::size_t{6}}) {
+      gpusim::Device device(gpusim::DeviceSpec::k40());
+      const auto r = knapsack::solve_gpu(p, device, dims);
+      if (r.table != reference.table)
+        throw std::runtime_error("knapsack engines diverged");
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f ms", device.now().ms());
+      row.push_back(buf);
+    }
+    row.push_back(std::to_string(reference.best));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "finding: without a search function to confine, finer partitioning\n"
+      "only multiplies kernel launches — the unpartitioned run wins. The\n"
+      "scheme's benefit is tied to the search-scope reduction it enables\n"
+      "(cf. EXPERIMENTS.md, knapsack section).\n");
+  return 0;
+}

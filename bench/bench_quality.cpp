@@ -1,0 +1,68 @@
+// Scheduling-quality comparison (not a paper figure, but the reason the
+// PTAS exists): achieved makespan of the PTAS at several epsilon values vs
+// LPT, list scheduling, MULTIFIT, and the exact optimum, on small uniform
+// instances where the exact solver finishes.
+#include <cstdio>
+
+#include "baselines/exact.hpp"
+#include "baselines/heuristics.hpp"
+#include "core/ptas.hpp"
+#include "util/text_table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace pcmax;
+
+  std::printf("== bench_quality: makespan quality vs baselines "
+              "(real computations) ==\n\n");
+
+  const dp::LevelBucketSolver solver;
+  constexpr int kTrials = 25;
+
+  util::TextTable table({"algorithm", "avg ratio", "max ratio",
+                         "optimal found"});
+  struct Row {
+    const char* name;
+    double sum_ratio = 0;
+    double max_ratio = 0;
+    int optimal = 0;
+  };
+  Row rows[] = {{"list"}, {"LPT"}, {"MULTIFIT"}, {"PTAS eps=0.5"},
+                {"PTAS eps=0.3"}, {"PTAS eps=0.1"}};
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto inst = workload::uniform_instance(
+        10, 3, 1, 60, 1000 + static_cast<std::uint64_t>(trial));
+    const auto exact = baselines::solve_exact(inst);
+    if (!exact.has_value()) continue;
+    const double opt = static_cast<double>(exact->makespan);
+
+    const auto record = [&](Row& row, std::int64_t ms) {
+      const double ratio = static_cast<double>(ms) / opt;
+      row.sum_ratio += ratio;
+      row.max_ratio = std::max(row.max_ratio, ratio);
+      if (ms == exact->makespan) ++row.optimal;
+    };
+
+    record(rows[0], makespan(inst, baselines::list_scheduling(inst)));
+    record(rows[1], makespan(inst, baselines::lpt(inst)));
+    record(rows[2], makespan(inst, baselines::multifit(inst)));
+    int i = 3;
+    for (const double eps : {0.5, 0.3, 0.1}) {
+      PtasOptions options;
+      options.epsilon = eps;
+      record(rows[i++], solve_ptas(inst, solver, options).achieved_makespan);
+    }
+  }
+
+  for (const auto& row : rows) {
+    char avg[32], mx[32];
+    std::snprintf(avg, sizeof avg, "%.4f", row.sum_ratio / kTrials);
+    std::snprintf(mx, sizeof mx, "%.4f", row.max_ratio);
+    table.add_row({row.name, avg, mx,
+                   std::to_string(row.optimal) + "/" +
+                       std::to_string(kTrials)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Scenario: nightly batch scheduling for a compute cluster.
+//
+// A cluster operator assigns a mixed batch of jobs — many short ETL tasks
+// plus a few long model-training runs — to identical worker nodes, and
+// wants the whole batch to finish as early as possible (minimize makespan).
+// This example compares the classic heuristics against the PTAS at several
+// accuracy settings and shows the cost knob epsilon controls: tighter
+// epsilon, bigger DP tables, better schedules.
+#include <cstdio>
+
+#include "baselines/heuristics.hpp"
+#include "core/bounds.hpp"
+#include "core/ptas.hpp"
+#include "util/text_table.hpp"
+#include "workload/generators.hpp"
+
+int main() {
+  using namespace pcmax;
+
+  // 120 jobs on 16 nodes: 85% short ETL tasks (1-15 min), 15% training
+  // runs (60-180 min).
+  const Instance batch =
+      workload::bimodal_instance(120, 16, 1, 15, 60, 180, 0.15, 20260704);
+  const auto lb = makespan_lower_bound(batch);
+  std::printf("nightly batch: %zu jobs on %lld nodes, lower bound %lld min\n\n",
+              batch.jobs(), static_cast<long long>(batch.machines),
+              static_cast<long long>(lb));
+
+  util::TextTable table({"scheduler", "makespan (min)", "vs lower bound",
+                         "max DP-table", "DP calls"});
+  const auto ratio = [&](std::int64_t ms) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f",
+                  static_cast<double>(ms) / static_cast<double>(lb));
+    return std::string(buf);
+  };
+
+  const auto add_heuristic = [&](const char* name, const Schedule& s) {
+    validate_schedule(batch, s);
+    const auto ms = makespan(batch, s);
+    table.add_row({name, std::to_string(ms), ratio(ms), "-", "-"});
+  };
+  add_heuristic("list scheduling", baselines::list_scheduling(batch));
+  add_heuristic("LPT", baselines::lpt(batch));
+  add_heuristic("MULTIFIT", baselines::multifit(batch));
+
+  const dp::LevelBucketSolver solver;
+  for (const double eps : {0.5, 0.3, 0.2}) {
+    PtasOptions options;
+    options.epsilon = eps;
+    const auto r = solve_ptas(batch, solver, options);
+    validate_schedule(batch, r.schedule);
+    std::uint64_t max_table = 1;
+    for (const auto& call : r.dp_calls)
+      max_table = std::max(max_table, call.table_size);
+    char name[32];
+    std::snprintf(name, sizeof name, "PTAS eps=%.1f", eps);
+    table.add_row({name, std::to_string(r.achieved_makespan),
+                   ratio(r.achieved_makespan), std::to_string(max_table),
+                   std::to_string(r.dp_calls.size())});
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("takeaway: the PTAS buys a provable (1+eps) guarantee; the\n"
+              "DP-table column shows the accuracy/work tradeoff the paper's\n"
+              "GPU engine exists to accelerate.\n");
+  return 0;
+}

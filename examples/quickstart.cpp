@@ -1,0 +1,63 @@
+// Quickstart: schedule a handful of jobs on identical machines with the
+// PTAS and inspect the result.
+//
+//   $ ./quickstart
+//
+// Walks through the whole public API surface: building an Instance,
+// choosing epsilon, picking a DP solver, and reading the PtasResult.
+#include <cstdio>
+
+#include "core/bounds.hpp"
+#include "core/ptas.hpp"
+#include "dp/solver.hpp"
+
+int main() {
+  using namespace pcmax;
+
+  // Ten jobs (integer processing times) on three identical machines.
+  Instance instance;
+  instance.machines = 3;
+  instance.times = {27, 19, 41, 8, 33, 15, 22, 11, 36, 24};
+
+  std::printf("P||Cmax instance: %zu jobs on %lld machines, total work %lld\n",
+              instance.jobs(), static_cast<long long>(instance.machines),
+              static_cast<long long>(instance.total_time()));
+  std::printf("makespan bounds: LB = %lld, UB = %lld\n",
+              static_cast<long long>(makespan_lower_bound(instance)),
+              static_cast<long long>(makespan_upper_bound(instance)));
+
+  // Solve with epsilon = 0.3 (guarantee: within 1.25x of optimal, since
+  // k = ceil(1/0.3) = 4 and the bound is 1 + 1/k).
+  PtasOptions options;
+  options.epsilon = 0.3;
+  const dp::LevelBucketSolver solver;  // OpenMP level-synchronous DP
+  const PtasResult result = solve_ptas(instance, solver, options);
+
+  std::printf("\nPTAS(epsilon=%.1f): makespan %lld (best target T* = %lld)\n",
+              options.epsilon,
+              static_cast<long long>(result.achieved_makespan),
+              static_cast<long long>(result.best_target));
+  std::printf("search: %zu bisection rounds, %zu DP evaluations\n",
+              result.search_iterations, result.dp_calls.size());
+
+  // Print the schedule machine by machine.
+  for (std::int64_t m = 0; m < instance.machines; ++m) {
+    std::printf("machine %lld:", static_cast<long long>(m));
+    std::int64_t load = 0;
+    for (std::size_t j = 0; j < instance.jobs(); ++j) {
+      if (result.schedule.assignment[j] == m) {
+        std::printf(" job%zu(%lld)", j,
+                    static_cast<long long>(instance.times[j]));
+        load += instance.times[j];
+      }
+    }
+    std::printf("  -> load %lld\n", static_cast<long long>(load));
+  }
+
+  // The schedule is independently checkable.
+  validate_schedule(instance, result.schedule);
+  std::printf("\nschedule valid; makespan within %.2fx of the lower bound\n",
+              static_cast<double>(result.achieved_makespan) /
+                  static_cast<double>(makespan_lower_bound(instance)));
+  return 0;
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Plot the Fig. 3 reproduction from bench_fig3's CSV output.
+
+Usage:
+    build/bench/bench_fig3 --csv fig3.csv
+    python3 scripts/plot_fig3.py fig3.csv [out-prefix]
+
+Produces one log-log PNG per size group (a, b, c), one line per engine —
+the same presentation the paper's Fig. 3 uses. Requires matplotlib.
+"""
+import csv
+import sys
+from collections import defaultdict
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    prefix = sys.argv[2] if len(sys.argv) > 2 else "fig3"
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; install it or plot the CSV "
+              "with your tool of choice")
+        return 1
+
+    # group -> engine -> [(size, ms)]
+    data = defaultdict(lambda: defaultdict(list))
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            data[row["group"]][row["engine"]].append(
+                (int(row["size"]), float(row["ms"])))
+
+    for group, engines in sorted(data.items()):
+        fig, ax = plt.subplots(figsize=(7, 4.5))
+        for engine, points in sorted(engines.items()):
+            points.sort()
+            ax.plot([s for s, _ in points], [ms for _, ms in points],
+                    marker="o", markersize=3, label=engine)
+        ax.set_xscale("log")
+        ax.set_yscale("log")
+        ax.set_xlabel("DP-table size")
+        ax.set_ylabel("running time (ms, simulated)")
+        ax.set_title(f"Fig. 3({group}) reproduction")
+        ax.legend(fontsize=7, ncol=3)
+        ax.grid(True, which="both", alpha=0.3)
+        out = f"{prefix}_{group}.png"
+        fig.tight_layout()
+        fig.savefig(out, dpi=150)
+        print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+#include "baselines/exact.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/heuristics.hpp"
+#include "core/bounds.hpp"
+
+namespace pcmax::baselines {
+
+namespace {
+
+struct Dfs {
+  const std::vector<std::int64_t>& times;  // sorted descending
+  const std::vector<std::size_t>& order;   // original job ids, same order
+  std::int64_t lower_bound;
+  std::uint64_t budget;
+
+  std::vector<std::int64_t> loads;
+  std::vector<std::int64_t> assignment;  // position -> machine
+  std::vector<std::int64_t> best_assignment;
+  std::int64_t best;
+  std::uint64_t nodes = 0;
+  bool aborted = false;
+
+  void run(std::size_t j, std::int64_t current) {
+    if (aborted) return;
+    if (budget != 0 && ++nodes > budget) {
+      aborted = true;
+      return;
+    }
+    if (current >= best) return;
+    if (j == times.size()) {
+      best = current;
+      best_assignment = assignment;
+      return;
+    }
+    std::int64_t prev_load = -1;
+    for (std::size_t m = 0; m < loads.size(); ++m) {
+      if (loads[m] == prev_load) continue;  // symmetric machine states
+      prev_load = loads[m];
+      loads[m] += times[j];
+      assignment[j] = static_cast<std::int64_t>(m);
+      run(j + 1, std::max(current, loads[m]));
+      loads[m] -= times[j];
+      if (best == lower_bound) return;  // provably optimal already
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<ExactResult> solve_exact(const Instance& instance,
+                                       const ExactOptions& options) {
+  instance.validate();
+
+  std::vector<std::size_t> order(instance.times.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return instance.times[a] > instance.times[b];
+                   });
+  std::vector<std::int64_t> sorted_times(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    sorted_times[i] = instance.times[order[i]];
+
+  // LPT seed: a good incumbent makes the bound prune aggressively.
+  const Schedule lpt_schedule = lpt(instance);
+  const std::int64_t lpt_makespan = makespan(instance, lpt_schedule);
+
+  Dfs dfs{sorted_times,
+          order,
+          makespan_lower_bound(instance),
+          options.node_budget,
+          std::vector<std::int64_t>(
+              static_cast<std::size_t>(instance.machines), 0),
+          std::vector<std::int64_t>(order.size(), 0),
+          {},
+          lpt_makespan,
+          0,
+          false};
+  dfs.run(0, 0);
+  if (dfs.aborted) return std::nullopt;
+
+  ExactResult result;
+  result.makespan = dfs.best;
+  result.nodes_visited = dfs.nodes;
+  result.schedule.assignment.assign(instance.times.size(), 0);
+  if (dfs.best_assignment.empty()) {
+    // LPT was already optimal; return its schedule.
+    result.schedule = lpt_schedule;
+  } else {
+    for (std::size_t i = 0; i < order.size(); ++i)
+      result.schedule.assignment[order[i]] = dfs.best_assignment[i];
+  }
+  validate_schedule(instance, result.schedule);
+  return result;
+}
+
+}  // namespace pcmax::baselines

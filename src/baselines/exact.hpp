@@ -1,0 +1,30 @@
+// Exact P||Cmax solver: depth-first branch and bound over job-to-machine
+// assignments with LPT seeding, symmetry breaking, and load-bound pruning.
+// Exponential worst case — intended for ground truth on small instances
+// (approximation-ratio measurements and tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/instance.hpp"
+
+namespace pcmax::baselines {
+
+struct ExactOptions {
+  /// Abort after this many DFS nodes (0 = unlimited). When the budget is
+  /// exhausted the solver returns std::nullopt.
+  std::uint64_t node_budget = 50'000'000;
+};
+
+struct ExactResult {
+  std::int64_t makespan = 0;
+  Schedule schedule;
+  std::uint64_t nodes_visited = 0;
+};
+
+/// Minimum-makespan schedule, or nullopt when the node budget ran out.
+[[nodiscard]] std::optional<ExactResult> solve_exact(
+    const Instance& instance, const ExactOptions& options = {});
+
+}  // namespace pcmax::baselines

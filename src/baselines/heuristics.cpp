@@ -1,0 +1,94 @@
+#include "baselines/heuristics.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/bounds.hpp"
+#include "core/ptas.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::baselines {
+
+Schedule list_scheduling(const Instance& instance) {
+  instance.validate();
+  Schedule schedule;
+  schedule.assignment.assign(instance.times.size(), 0);
+  std::vector<std::int64_t> loads(
+      static_cast<std::size_t>(instance.machines), 0);
+  std::vector<std::size_t> order(instance.times.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  place_on_least_loaded(instance, order, schedule, loads);
+  return schedule;
+}
+
+Schedule lpt(const Instance& instance) {
+  instance.validate();
+  std::vector<std::size_t> order(instance.times.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return instance.times[a] > instance.times[b];
+                   });
+  Schedule schedule;
+  schedule.assignment.assign(instance.times.size(), 0);
+  std::vector<std::int64_t> loads(
+      static_cast<std::size_t>(instance.machines), 0);
+  place_on_least_loaded(instance, order, schedule, loads);
+  return schedule;
+}
+
+bool ffd_packs(const Instance& instance, std::int64_t capacity,
+               std::vector<std::int64_t>& out_assignment) {
+  instance.validate();
+  PCMAX_EXPECTS(capacity >= 0);
+  std::vector<std::size_t> order(instance.times.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return instance.times[a] > instance.times[b];
+                   });
+  std::vector<std::int64_t> loads(
+      static_cast<std::size_t>(instance.machines), 0);
+  out_assignment.assign(instance.times.size(), -1);
+  for (const auto j : order) {
+    bool placed = false;
+    for (std::size_t b = 0; b < loads.size(); ++b) {
+      if (loads[b] + instance.times[j] <= capacity) {
+        loads[b] += instance.times[j];
+        out_assignment[j] = static_cast<std::int64_t>(b);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return false;
+  }
+  return true;
+}
+
+Schedule multifit(const Instance& instance) {
+  instance.validate();
+  std::int64_t lo = makespan_lower_bound(instance);
+  std::int64_t hi = makespan_upper_bound(instance);
+  std::vector<std::int64_t> assignment;
+  std::vector<std::int64_t> best;
+  // FFD feasibility is not monotone in theory, but bisection over the
+  // classic [LB, UB] interval is the standard MULTIFIT formulation.
+  while (lo < hi) {
+    const std::int64_t c = lo + (hi - lo) / 2;
+    if (ffd_packs(instance, c, assignment)) {
+      best = assignment;
+      hi = c;
+    } else {
+      lo = c + 1;
+    }
+  }
+  if (best.empty()) {
+    const bool ok = ffd_packs(instance, hi, best);
+    PCMAX_ENSURES(ok);  // UB always packs (list bound)
+  }
+  Schedule schedule;
+  schedule.assignment = std::move(best);
+  return schedule;
+}
+
+}  // namespace pcmax::baselines

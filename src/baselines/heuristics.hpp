@@ -1,0 +1,28 @@
+// Classic P||Cmax heuristics the PTAS is compared against.
+#pragma once
+
+#include "core/instance.hpp"
+
+namespace pcmax::baselines {
+
+/// Graham list scheduling: jobs in the given order, each to the currently
+/// least-loaded machine. Approximation ratio 2 - 1/m.
+[[nodiscard]] Schedule list_scheduling(const Instance& instance);
+
+/// Longest Processing Time first: list scheduling on jobs sorted by
+/// descending time. Approximation ratio 4/3 - 1/(3m).
+[[nodiscard]] Schedule lpt(const Instance& instance);
+
+/// MULTIFIT (Coffman-Garey-Johnson): bisection on the bin capacity with
+/// first-fit-decreasing packing into m bins. Approximation ratio 13/11.
+/// `iterations` bounds the capacity bisection (7 suffices for the classic
+/// bound; we bisect on integers until convergence by default).
+[[nodiscard]] Schedule multifit(const Instance& instance);
+
+/// First-fit-decreasing feasibility check used by MULTIFIT: true when all
+/// jobs pack into `bins` bins of capacity `capacity`, and if so fills
+/// `out_assignment` (job -> bin). Exposed for testing.
+[[nodiscard]] bool ffd_packs(const Instance& instance, std::int64_t capacity,
+                             std::vector<std::int64_t>& out_assignment);
+
+}  // namespace pcmax::baselines

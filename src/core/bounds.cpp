@@ -1,0 +1,25 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+
+#include "util/checked_math.hpp"
+
+namespace pcmax {
+
+std::int64_t makespan_lower_bound(const Instance& instance) {
+  instance.validate();
+  const auto avg = static_cast<std::int64_t>(
+      util::ceil_div(static_cast<std::uint64_t>(instance.total_time()),
+                     static_cast<std::uint64_t>(instance.machines)));
+  return std::max(avg, instance.max_time());
+}
+
+std::int64_t makespan_upper_bound(const Instance& instance) {
+  instance.validate();
+  const auto avg = static_cast<std::int64_t>(
+      util::ceil_div(static_cast<std::uint64_t>(instance.total_time()),
+                     static_cast<std::uint64_t>(instance.machines)));
+  return avg + instance.max_time();
+}
+
+}  // namespace pcmax

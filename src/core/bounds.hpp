@@ -1,0 +1,17 @@
+// Makespan bounds used to seed the bisection search (Algorithm 1, lines 2-3).
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace pcmax {
+
+/// LB = max(ceil(sum t_j / m), max t_j): no schedule can beat either the
+/// average machine load or the longest job.
+[[nodiscard]] std::int64_t makespan_lower_bound(const Instance& instance);
+
+/// UB = ceil(sum t_j / m) + max t_j: list scheduling never exceeds this.
+[[nodiscard]] std::int64_t makespan_upper_bound(const Instance& instance);
+
+}  // namespace pcmax

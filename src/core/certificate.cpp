@@ -1,0 +1,26 @@
+#include "core/certificate.hpp"
+
+#include "core/bounds.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax {
+
+Certificate certify(const Instance& instance, const Schedule& schedule) {
+  Certificate cert;
+  cert.makespan = makespan(instance, schedule);  // validates
+  cert.lower_bound = makespan_lower_bound(instance);
+  cert.ratio_vs_lower_bound = static_cast<double>(cert.makespan) /
+                              static_cast<double>(cert.lower_bound);
+  return cert;
+}
+
+bool within_ptas_guarantee(std::int64_t achieved, std::int64_t target,
+                           std::int64_t k) {
+  PCMAX_EXPECTS(achieved >= 0);
+  PCMAX_EXPECTS(target >= 1);
+  PCMAX_EXPECTS(k >= 1);
+  // achieved <= target * (k + 1) / k  <=>  achieved * k <= target * (k + 1).
+  return achieved * k <= target * (k + 1);
+}
+
+}  // namespace pcmax

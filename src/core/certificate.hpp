@@ -1,0 +1,31 @@
+// Approximation certificates: an independently checkable statement about a
+// schedule's quality. The certificate compares the schedule's makespan to
+// the instance lower bound LB = max(ceil(sum/m), max t); because
+// LB <= OPT, `ratio_vs_lower_bound` upper-bounds the true approximation
+// ratio. check_guarantee() verifies the (1 + 1/k) PTAS bound in exact
+// integer arithmetic against a target T* that the caller proved feasible.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace pcmax {
+
+struct Certificate {
+  std::int64_t makespan = 0;
+  std::int64_t lower_bound = 0;
+  /// makespan / lower_bound >= makespan / OPT.
+  double ratio_vs_lower_bound = 1.0;
+};
+
+/// Validates the schedule and builds its certificate.
+[[nodiscard]] Certificate certify(const Instance& instance,
+                                  const Schedule& schedule);
+
+/// True iff makespan <= (1 + 1/k) * target, in exact integers: the bound
+/// the PTAS guarantees when `target` is a feasible T* <= OPT.
+[[nodiscard]] bool within_ptas_guarantee(std::int64_t makespan,
+                                         std::int64_t target, std::int64_t k);
+
+}  // namespace pcmax

@@ -1,0 +1,47 @@
+#include "core/instance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace pcmax {
+
+void Instance::validate() const {
+  PCMAX_EXPECTS(machines >= 1);
+  PCMAX_EXPECTS(!times.empty());
+  for (const auto t : times) PCMAX_EXPECTS(t >= 1);
+}
+
+std::int64_t Instance::total_time() const noexcept {
+  return std::accumulate(times.begin(), times.end(), std::int64_t{0});
+}
+
+std::int64_t Instance::max_time() const noexcept {
+  return times.empty() ? 0 : *std::max_element(times.begin(), times.end());
+}
+
+std::vector<std::int64_t> machine_loads(const Instance& instance,
+                                        const Schedule& schedule) {
+  validate_schedule(instance, schedule);
+  std::vector<std::int64_t> loads(static_cast<std::size_t>(instance.machines),
+                                  0);
+  for (std::size_t j = 0; j < instance.times.size(); ++j)
+    loads[static_cast<std::size_t>(schedule.assignment[j])] +=
+        instance.times[j];
+  return loads;
+}
+
+std::int64_t makespan(const Instance& instance, const Schedule& schedule) {
+  const auto loads = machine_loads(instance, schedule);
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+void validate_schedule(const Instance& instance, const Schedule& schedule) {
+  instance.validate();
+  PCMAX_EXPECTS(schedule.assignment.size() == instance.times.size());
+  for (const auto m : schedule.assignment)
+    PCMAX_EXPECTS(m >= 0 && m < instance.machines);
+}
+
+}  // namespace pcmax

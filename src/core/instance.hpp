@@ -1,0 +1,42 @@
+// Problem and solution types for P||Cmax: n jobs with integer processing
+// times scheduled on m identical machines, minimizing the maximum machine
+// load (makespan).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcmax {
+
+struct Instance {
+  /// Number of identical machines, m >= 1.
+  std::int64_t machines = 1;
+  /// Processing times t_j >= 1 (positive integers, as the PTAS assumes).
+  std::vector<std::int64_t> times;
+
+  /// Throws util::contract_violation when the instance is malformed.
+  void validate() const;
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return times.size(); }
+  [[nodiscard]] std::int64_t total_time() const noexcept;
+  [[nodiscard]] std::int64_t max_time() const noexcept;
+};
+
+struct Schedule {
+  /// assignment[j] is the machine (in [0, m)) running job j.
+  std::vector<std::int64_t> assignment;
+};
+
+/// Per-machine total load under `schedule`.
+[[nodiscard]] std::vector<std::int64_t> machine_loads(
+    const Instance& instance, const Schedule& schedule);
+
+/// Maximum machine load.
+[[nodiscard]] std::int64_t makespan(const Instance& instance,
+                                    const Schedule& schedule);
+
+/// Throws util::contract_violation unless `schedule` assigns every job of
+/// `instance` to a valid machine.
+void validate_schedule(const Instance& instance, const Schedule& schedule);
+
+}  // namespace pcmax

@@ -1,0 +1,138 @@
+#include "core/ptas.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/bounds.hpp"
+#include "core/rounding.hpp"
+#include "core/search.hpp"
+#include "dp/reconstruct.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax {
+
+namespace {
+
+/// Runs the DP for one target and records the invocation.
+std::int32_t evaluate_target(const RoundedInstance& rounded,
+                             const dp::DpSolver& solver,
+                             const PtasOptions& options,
+                             std::vector<DpInvocation>& calls) {
+  DpInvocation call;
+  call.target = rounded.target;
+  call.nonzero_dims = rounded.nonzero_dims();
+  call.long_jobs = rounded.long_jobs();
+  call.table_size = rounded.table_size();
+  std::int32_t opt = 0;
+  if (!rounded.class_index.empty()) {
+    dp::SolveOptions solve_options;
+    solve_options.num_threads = options.num_threads;
+    opt = solver.solve(to_dp_problem(rounded), solve_options).opt;
+  }
+  call.opt = opt;
+  calls.push_back(call);
+  return opt;
+}
+
+}  // namespace
+
+void place_on_least_loaded(const Instance& instance,
+                           const std::vector<std::size_t>& job_ids,
+                           Schedule& schedule,
+                           std::vector<std::int64_t>& loads) {
+  PCMAX_EXPECTS(loads.size() == static_cast<std::size_t>(instance.machines));
+  PCMAX_EXPECTS(schedule.assignment.size() == instance.times.size());
+  // Min-heap of (load, machine); machine id breaks ties for determinism.
+  using Entry = std::pair<std::int64_t, std::int64_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (std::int64_t m = 0; m < instance.machines; ++m)
+    heap.emplace(loads[static_cast<std::size_t>(m)], m);
+  for (const auto j : job_ids) {
+    auto [load, m] = heap.top();
+    heap.pop();
+    schedule.assignment[j] = m;
+    load += instance.times[j];
+    loads[static_cast<std::size_t>(m)] = load;
+    heap.emplace(load, m);
+  }
+}
+
+PtasResult solve_ptas(const Instance& instance, const dp::DpSolver& solver,
+                      const PtasOptions& options) {
+  instance.validate();
+  const std::int64_t k = k_for_epsilon(options.epsilon);
+  const std::int64_t lb = makespan_lower_bound(instance);
+  const std::int64_t ub = makespan_upper_bound(instance);
+
+  PtasResult result;
+  const FeasibilityOracle oracle = [&](std::int64_t target) {
+    const RoundedInstance rounded = round_instance(instance, target, k);
+    if (!rounded.feasible) return false;
+    const std::int32_t opt =
+        evaluate_target(rounded, solver, options, result.dp_calls);
+    return opt <= instance.machines;
+  };
+
+  const SearchResult search =
+      options.strategy == SearchStrategy::kQuarterSplit
+          ? quarter_split_search(lb, ub, oracle, options.segments)
+          : bisection_search(lb, ub, oracle);
+  result.best_target = search.best_target;
+  result.search_iterations = search.iterations;
+
+  if (!options.build_schedule) return result;
+
+  const ScheduleBuild build = build_schedule_at_target(
+      instance, solver, k, result.best_target, options.num_threads,
+      result.dp_calls);
+  result.schedule = build.schedule;
+  result.achieved_makespan = build.achieved_makespan;
+  return result;
+}
+
+ScheduleBuild build_schedule_at_target(const Instance& instance,
+                                       const dp::DpSolver& solver,
+                                       std::int64_t k, std::int64_t target,
+                                       int num_threads,
+                                       std::vector<DpInvocation>& dp_calls) {
+  instance.validate();
+  // Reconstruction at T*: schedule the rounded long jobs via the DP
+  // backtrack (Algorithm 1 line 10), then add short jobs greedily.
+  const RoundedInstance rounded = round_instance(instance, target, k);
+  PCMAX_ENSURES(rounded.feasible);
+
+  ScheduleBuild build;
+  build.schedule.assignment.assign(instance.times.size(), 0);
+  std::vector<std::int64_t> loads(
+      static_cast<std::size_t>(instance.machines), 0);
+
+  if (!rounded.class_index.empty()) {
+    const dp::DpProblem problem = to_dp_problem(rounded);
+    dp::SolveOptions solve_options;
+    solve_options.num_threads = num_threads;
+    const dp::DpResult dp_result = solver.solve(problem, solve_options);
+    dp_calls.push_back(DpInvocation{
+        rounded.target, rounded.table_size(), rounded.nonzero_dims(),
+        rounded.long_jobs(), dp_result.opt});
+    PCMAX_ENSURES(dp_result.opt <= instance.machines);
+
+    const auto machines = dp::reconstruct_machines(problem, dp_result);
+    std::vector<std::size_t> cursor(rounded.class_index.size(), 0);
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      for (std::size_t d = 0; d < machines[m].size(); ++d) {
+        for (std::int64_t c = 0; c < machines[m][d]; ++c) {
+          const std::size_t job = rounded.jobs_per_class[d][cursor[d]++];
+          build.schedule.assignment[job] = static_cast<std::int64_t>(m);
+          loads[m] += instance.times[job];
+        }
+      }
+    }
+  }
+
+  place_on_least_loaded(instance, rounded.short_jobs, build.schedule, loads);
+  build.achieved_makespan = *std::max_element(loads.begin(), loads.end());
+  validate_schedule(instance, build.schedule);
+  return build;
+}
+
+}  // namespace pcmax

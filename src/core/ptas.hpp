@@ -1,0 +1,80 @@
+// The Hochbaum-Shmoys PTAS for P||Cmax (Algorithm 1), parameterized over the
+// higher-dimensional DP solver so the OpenMP, blocked, and simulated-GPU
+// engines are interchangeable, and over the target-search strategy
+// (bisection, or Algorithm 3's quarter split).
+//
+// Guarantee: the returned schedule has makespan <= (1 + 1/k) * OPT with
+// k = ceil(1/epsilon), i.e. <= (1 + epsilon) * OPT.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "dp/solver.hpp"
+
+namespace pcmax {
+
+enum class SearchStrategy {
+  kBisection,     ///< Algorithm 1: halve [LB, UB] each round
+  kQuarterSplit,  ///< Algorithm 3: four concurrent probes per round
+};
+
+/// One DP evaluation performed during the search (the unit Figures 3-4
+/// measure).
+struct DpInvocation {
+  std::int64_t target = 0;        ///< T probed
+  std::uint64_t table_size = 0;   ///< sigma = prod(n_i + 1)
+  std::size_t nonzero_dims = 0;   ///< non-empty job classes
+  std::int64_t long_jobs = 0;     ///< n'
+  std::int32_t opt = 0;           ///< machines needed for the rounded longs
+};
+
+struct PtasOptions {
+  double epsilon = 0.3;  ///< the paper's evaluation setting
+  SearchStrategy strategy = SearchStrategy::kBisection;
+  /// Probes per round for kQuarterSplit (Algorithm 3 uses 4).
+  int segments = 4;
+  int num_threads = 0;   ///< forwarded to the DP solver
+  bool build_schedule = true;
+};
+
+struct PtasResult {
+  /// Makespan of the returned schedule (0 when build_schedule is false).
+  std::int64_t achieved_makespan = 0;
+  /// T*: smallest feasible target found by the search.
+  std::int64_t best_target = 0;
+  Schedule schedule;
+  /// Search rounds (Table VII's "#itr").
+  std::size_t search_iterations = 0;
+  /// Every DP evaluation, in probe order (reconstruction solve included).
+  std::vector<DpInvocation> dp_calls;
+};
+
+[[nodiscard]] PtasResult solve_ptas(const Instance& instance,
+                                    const dp::DpSolver& solver,
+                                    const PtasOptions& options = {});
+
+/// Builds the final schedule for an already-found feasible target T*
+/// (Algorithm 1 lines 9-15's reconstruction half): solve the DP once more,
+/// backtrack the long-job machine configurations, and place short jobs
+/// greedily. Appends the reconstruction DP call to `dp_calls`. Exposed so
+/// alternative search drivers (e.g. the concurrent-probe GPU PTAS) can
+/// share it with solve_ptas.
+struct ScheduleBuild {
+  Schedule schedule;
+  std::int64_t achieved_makespan = 0;
+};
+[[nodiscard]] ScheduleBuild build_schedule_at_target(
+    const Instance& instance, const dp::DpSolver& solver, std::int64_t k,
+    std::int64_t target, int num_threads,
+    std::vector<DpInvocation>& dp_calls);
+
+/// Greedy placement of short jobs: each job goes to the currently
+/// least-loaded machine. Exposed for testing and reuse by baselines.
+void place_on_least_loaded(const Instance& instance,
+                           const std::vector<std::size_t>& job_ids,
+                           Schedule& schedule,
+                           std::vector<std::int64_t>& loads);
+
+}  // namespace pcmax

@@ -1,0 +1,74 @@
+#include "core/rounding.hpp"
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax {
+
+std::int64_t RoundedInstance::long_jobs() const noexcept {
+  return std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+}
+
+std::uint64_t RoundedInstance::table_size() const {
+  std::uint64_t size = 1;
+  for (const auto n : counts)
+    size = util::checked_mul(size, static_cast<std::uint64_t>(n) + 1);
+  return size;
+}
+
+RoundedInstance round_instance(const Instance& instance, std::int64_t target,
+                               std::int64_t k) {
+  instance.validate();
+  PCMAX_EXPECTS(target >= 1);
+  PCMAX_EXPECTS(k >= 1);
+
+  RoundedInstance out;
+  out.target = target;
+  out.k = k;
+
+  std::map<std::int64_t, std::vector<std::size_t>> classes;
+  for (std::size_t j = 0; j < instance.times.size(); ++j) {
+    const std::int64_t t = instance.times[j];
+    if (t > target) {
+      out.feasible = false;
+      return out;
+    }
+    if (t * k <= target) {
+      out.short_jobs.push_back(j);
+      continue;
+    }
+    // Long job: class floor(t * k^2 / T) in [k, k^2].
+    const std::int64_t c = (t * k * k) / target;
+    PCMAX_ENSURES(c >= k && c <= k * k);
+    classes[c].push_back(j);
+  }
+
+  out.class_index.reserve(classes.size());
+  for (auto& [c, jobs] : classes) {
+    out.class_index.push_back(c);
+    out.counts.push_back(static_cast<std::int64_t>(jobs.size()));
+    out.jobs_per_class.push_back(std::move(jobs));
+  }
+  return out;
+}
+
+dp::DpProblem to_dp_problem(const RoundedInstance& rounded) {
+  PCMAX_EXPECTS(rounded.feasible);
+  PCMAX_EXPECTS(!rounded.class_index.empty());
+  dp::DpProblem problem;
+  problem.counts = rounded.counts;
+  problem.weights = rounded.class_index;
+  problem.capacity = rounded.k * rounded.k;
+  return problem;
+}
+
+std::int64_t k_for_epsilon(double epsilon) {
+  PCMAX_EXPECTS(epsilon > 0.0 && epsilon <= 1.0);
+  return static_cast<std::int64_t>(std::ceil(1.0 / epsilon));
+}
+
+}  // namespace pcmax

@@ -1,0 +1,58 @@
+// Hochbaum-Shmoys job classification and rounding for a target makespan T
+// (Algorithm 1, lines 7-8), in exact integer arithmetic.
+//
+// With k = ceil(1/epsilon), a job is *long* iff t_j > T/k (tested as
+// t_j * k > T) and is rounded down to the nearest multiple of T/k^2; its
+// class index is c = floor(t_j * k^2 / T), which lies in [k, k^2] whenever
+// t_j <= T. Working in class units makes every later test exact: a machine
+// configuration s is feasible iff sum_i s_i * class_i <= k^2, with no
+// floating point and no floor(T/k^2) == 0 corner case (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "dp/problem.hpp"
+
+namespace pcmax {
+
+struct RoundedInstance {
+  std::int64_t target = 0;  ///< T
+  std::int64_t k = 0;       ///< ceil(1/epsilon)
+
+  /// False when some job exceeds T outright (T infeasible); the class data
+  /// below is empty in that case.
+  bool feasible = true;
+
+  /// Distinct non-zero long-job classes, ascending; values in [k, k^2].
+  std::vector<std::int64_t> class_index;
+  /// counts[i]: number of long jobs in class class_index[i].
+  std::vector<std::int64_t> counts;
+  /// jobs_per_class[i]: original job ids in class class_index[i].
+  std::vector<std::vector<std::size_t>> jobs_per_class;
+  /// Job ids with t_j * k <= T (placed greedily after the DP).
+  std::vector<std::size_t> short_jobs;
+
+  [[nodiscard]] std::size_t nonzero_dims() const noexcept {
+    return class_index.size();
+  }
+  [[nodiscard]] std::int64_t long_jobs() const noexcept;
+  /// DP-table size prod(counts_i + 1); 1 when there are no long jobs.
+  [[nodiscard]] std::uint64_t table_size() const;
+};
+
+/// Classifies and rounds `instance` for target `T`. Requires T >= 1, k >= 1.
+[[nodiscard]] RoundedInstance round_instance(const Instance& instance,
+                                             std::int64_t target,
+                                             std::int64_t k);
+
+/// The higher-dimensional DP problem for the rounded instance: weights are
+/// the class indices, capacity is k^2. Requires a feasible rounding with at
+/// least one long job.
+[[nodiscard]] dp::DpProblem to_dp_problem(const RoundedInstance& rounded);
+
+/// Smallest k = ceil(1/epsilon) for a relative error bound epsilon in (0,1].
+[[nodiscard]] std::int64_t k_for_epsilon(double epsilon);
+
+}  // namespace pcmax

@@ -1,0 +1,82 @@
+#include "core/search.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pcmax {
+
+SearchResult bisection_search(std::int64_t lb, std::int64_t ub,
+                              const FeasibilityOracle& oracle) {
+  PCMAX_EXPECTS(lb <= ub);
+  PCMAX_EXPECTS(static_cast<bool>(oracle));
+  SearchResult result;
+  while (lb < ub) {
+    const std::int64_t t = lb + (ub - lb) / 2;
+    result.probes.push_back(t);
+    ++result.iterations;
+    if (oracle(t))
+      ub = t;
+    else
+      lb = t + 1;
+  }
+  result.best_target = lb;
+  return result;
+}
+
+SearchResult quarter_split_search_batch(std::int64_t lb, std::int64_t ub,
+                                        const BatchFeasibilityOracle& oracle,
+                                        int segments) {
+  PCMAX_EXPECTS(lb <= ub);
+  PCMAX_EXPECTS(segments >= 2);
+  PCMAX_EXPECTS(static_cast<bool>(oracle));
+
+  SearchResult result;
+  std::vector<std::int64_t> targets;
+  while (lb < ub) {
+    // Segment boundaries b_p = lb + (ub-lb)*p/segments, probe midpoints.
+    targets.clear();
+    for (int p = 0; p < segments; ++p) {
+      const std::int64_t b0 = lb + (ub - lb) * p / segments;
+      const std::int64_t b1 = lb + (ub - lb) * (p + 1) / segments;
+      const std::int64_t t = b0 + (b1 - b0) / 2;
+      if (targets.empty() || targets.back() != t) targets.push_back(t);
+    }
+    // One round: all probes issued together (concurrent streams on the GPU).
+    ++result.iterations;
+    result.probes.insert(result.probes.end(), targets.begin(), targets.end());
+    const std::vector<bool> feasible = oracle(targets);
+    PCMAX_ENSURES(feasible.size() == targets.size());
+
+    if (feasible.front()) {
+      ub = targets.front();
+    } else if (!feasible.back()) {
+      lb = targets.back() + 1;
+    } else {
+      for (std::size_t i = 0; i + 1 < targets.size(); ++i) {
+        if (!feasible[i] && feasible[i + 1]) {
+          lb = targets[i] + 1;
+          ub = targets[i + 1];
+          break;
+        }
+      }
+    }
+  }
+  result.best_target = lb;
+  return result;
+}
+
+SearchResult quarter_split_search(std::int64_t lb, std::int64_t ub,
+                                  const FeasibilityOracle& oracle,
+                                  int segments) {
+  PCMAX_EXPECTS(static_cast<bool>(oracle));
+  return quarter_split_search_batch(
+      lb, ub,
+      [&](std::span<const std::int64_t> targets) {
+        std::vector<bool> feasible;
+        feasible.reserve(targets.size());
+        for (const auto t : targets) feasible.push_back(oracle(t));
+        return feasible;
+      },
+      segments);
+}
+
+}  // namespace pcmax

@@ -1,0 +1,56 @@
+// Target-makespan search strategies over a monotone feasibility oracle.
+//
+// The oracle maps a target T to "a schedule within T exists" (dual
+// approximation): false below some threshold T*, true at and above it.
+// BisectionSearch is Algorithm 1's halving loop; QuarterSplitSearch is
+// Algorithm 3's four-segment split, which probes four targets per round
+// (concurrently, on the GPU) and shrinks the interval by 4-8x per round.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace pcmax {
+
+/// Returns true when a schedule with makespan <= T exists (monotone in T).
+using FeasibilityOracle = std::function<bool(std::int64_t target)>;
+
+struct SearchResult {
+  /// Smallest target in [lb, ub] the oracle accepts.
+  std::int64_t best_target = 0;
+  /// Rounds executed. A quarter-split round issues several probes but counts
+  /// once, matching how Table VII counts "#itr".
+  std::size_t iterations = 0;
+  /// Every target probed, in order (duplicates possible across rounds).
+  std::vector<std::int64_t> probes;
+};
+
+/// Classic bisection: one probe per round, interval halves.
+/// Requires lb <= ub and oracle(ub) == true (guaranteed by the PTAS upper
+/// bound). Behaviour is undefined if the oracle is not monotone.
+[[nodiscard]] SearchResult bisection_search(std::int64_t lb, std::int64_t ub,
+                                            const FeasibilityOracle& oracle);
+
+/// Algorithm 3: the interval is split into `segments` equal parts; the
+/// midpoints of all parts are probed in one round (on the GPU these run
+/// concurrently in separate Hyper-Q streams). The next interval is the part
+/// bracketing the feasibility threshold.
+[[nodiscard]] SearchResult quarter_split_search(
+    std::int64_t lb, std::int64_t ub, const FeasibilityOracle& oracle,
+    int segments = 4);
+
+/// Batch oracle: receives every target of one round together, so callers
+/// that evaluate probes concurrently (Hyper-Q) can account a whole round at
+/// once. Must return one verdict per target, in order.
+using BatchFeasibilityOracle =
+    std::function<std::vector<bool>(std::span<const std::int64_t> targets)>;
+
+/// Quarter-split search over a batch oracle. Identical interval logic to
+/// the single-probe overload; rounds and probes are counted the same way.
+[[nodiscard]] SearchResult quarter_split_search_batch(
+    std::int64_t lb, std::int64_t ub, const BatchFeasibilityOracle& oracle,
+    int segments = 4);
+
+}  // namespace pcmax

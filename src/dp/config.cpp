@@ -1,0 +1,71 @@
+#include "dp/config.hpp"
+
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::dp {
+
+namespace {
+
+struct EnumState {
+  std::span<const std::int64_t> counts;
+  std::span<const std::int64_t> weights;
+  std::int64_t capacity;
+  const MixedRadix* radix;
+  std::vector<std::int64_t> current;
+  std::vector<std::int64_t>* flat;
+  std::vector<std::uint64_t>* deltas;
+  std::vector<std::int64_t>* out_weights;
+  std::vector<std::int64_t>* level_drops;
+};
+
+void enumerate(EnumState& st, std::size_t dim, std::int64_t used,
+               std::int64_t jobs) {
+  if (dim == st.counts.size()) {
+    if (jobs == 0) return;  // the all-zero vector is not a configuration
+    st.flat->insert(st.flat->end(), st.current.begin(), st.current.end());
+    st.deltas->push_back(st.radix->flatten(st.current));
+    st.out_weights->push_back(used);
+    st.level_drops->push_back(jobs);
+    return;
+  }
+  const std::int64_t w = st.weights[dim];
+  const std::int64_t max_by_capacity = (st.capacity - used) / w;
+  const std::int64_t bound = std::min(st.counts[dim], max_by_capacity);
+  for (std::int64_t s = 0; s <= bound; ++s) {
+    st.current[dim] = s;
+    enumerate(st, dim + 1, used + s * w, jobs + s);
+  }
+  st.current[dim] = 0;
+}
+
+}  // namespace
+
+ConfigSet::ConfigSet(std::span<const std::int64_t> counts,
+                     std::span<const std::int64_t> weights,
+                     std::int64_t capacity, const MixedRadix& radix)
+    : dims_(counts.size()) {
+  PCMAX_EXPECTS(!counts.empty());
+  PCMAX_EXPECTS(counts.size() == weights.size());
+  PCMAX_EXPECTS(radix.dims() == counts.size());
+  PCMAX_EXPECTS(capacity >= 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    PCMAX_EXPECTS(counts[i] >= 0);
+    PCMAX_EXPECTS(weights[i] >= 1);
+    PCMAX_EXPECTS(radix.extents()[i] == counts[i] + 1);
+  }
+
+  EnumState st{counts, weights,        capacity,  &radix,
+               std::vector<std::int64_t>(counts.size(), 0),
+               &flat_,  &deltas_,      &weights_, &level_drops_};
+  enumerate(st, 0, 0, 0);
+}
+
+std::uint64_t candidate_count(std::span<const std::int64_t> v) {
+  std::uint64_t n = 1;
+  for (const auto c : v)
+    n = util::checked_mul(n, static_cast<std::uint64_t>(c) + 1);
+  return n;
+}
+
+}  // namespace pcmax::dp

@@ -1,0 +1,79 @@
+// Machine-configuration enumeration.
+//
+// For the PTAS, a machine configuration is a vector s = (s_1, ..., s_d) of
+// per-class job counts assignable to one machine: 0 <= s_i <= n_i, s != 0, and
+// sum_i s_i * w_i <= capacity, where w_i is the class weight (for Hochbaum-
+// Shmoys rounding, w_i is the class index and the capacity is k^2 — exact
+// integer arithmetic, see DESIGN.md). The set C of all configurations is the
+// dependency stencil of the DP recurrence: OPT(v) = 1 + min_{s in C, s <= v}
+// OPT(v - s).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dp/mixed_radix.hpp"
+
+namespace pcmax::dp {
+
+/// All machine configurations for a count vector / weight vector / capacity,
+/// stored flat (dims() entries per configuration) together with the row-major
+/// flat-index delta each configuration induces on the DP table.
+class ConfigSet {
+ public:
+  /// Enumerates every configuration. `counts`, `weights` must have equal,
+  /// positive length; weights must be positive; capacity must be >= 0.
+  /// `radix` must be the table radix (extents counts[i]+1) so index deltas
+  /// can be precomputed.
+  ConfigSet(std::span<const std::int64_t> counts,
+            std::span<const std::int64_t> weights, std::int64_t capacity,
+            const MixedRadix& radix);
+
+  [[nodiscard]] std::size_t size() const noexcept { return deltas_.size(); }
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+
+  /// The i-th configuration vector.
+  [[nodiscard]] std::span<const std::int64_t> config(std::size_t i) const {
+    return {flat_.data() + i * dims_, dims_};
+  }
+
+  /// Row-major flat-index delta of the i-th configuration: flatten(v) -
+  /// flatten(v - s) for any v >= s.
+  [[nodiscard]] std::uint64_t delta(std::size_t i) const noexcept {
+    return deltas_[i];
+  }
+
+  /// Total weight sum_j s_j * w_j of the i-th configuration.
+  [[nodiscard]] std::int64_t weight(std::size_t i) const noexcept {
+    return weights_[i];
+  }
+
+  /// Total job count sum_j s_j of the i-th configuration (its level drop).
+  [[nodiscard]] std::int64_t level_drop(std::size_t i) const noexcept {
+    return level_drops_[i];
+  }
+
+  /// True when configuration i fits under cell coordinates `v` (s <= v).
+  [[nodiscard]] bool fits(std::size_t i,
+                          std::span<const std::int64_t> v) const noexcept {
+    const std::int64_t* s = flat_.data() + i * dims_;
+    for (std::size_t j = 0; j < dims_; ++j)
+      if (s[j] > v[j]) return false;
+    return true;
+  }
+
+ private:
+  std::size_t dims_;
+  std::vector<std::int64_t> flat_;        // size() * dims() entries
+  std::vector<std::uint64_t> deltas_;     // per configuration
+  std::vector<std::int64_t> weights_;     // per configuration
+  std::vector<std::int64_t> level_drops_; // per configuration
+};
+
+/// Number of sub-configuration *candidates* the paper's GPU kernel
+/// FindValidSub enumerates for a cell v: prod_i (v_i + 1) (Algorithm 5,
+/// lines 13-16) — every s <= v before validity filtering.
+[[nodiscard]] std::uint64_t candidate_count(std::span<const std::int64_t> v);
+
+}  // namespace pcmax::dp

@@ -1,0 +1,89 @@
+#include "dp/frontier_solver.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dp/config.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::dp {
+
+FrontierResult solve_frontier(const DpProblem& problem) {
+  problem.validate();
+  const MixedRadix radix = problem.radix();
+  PCMAX_EXPECTS(radix.dims() <= 64);
+  const ConfigSet configs(problem.counts, problem.weights, problem.capacity,
+                          radix);
+  const LevelBuckets buckets(radix);
+
+  FrontierResult result;
+  result.table_cells = radix.size();
+
+  // Window: the largest number of jobs any configuration removes.
+  std::int64_t window = 0;
+  for (std::size_t c = 0; c < configs.size(); ++c)
+    window = std::max(window, configs.level_drop(c));
+  result.window = window;
+  if (window == 0) {
+    // No configurations at all: OPT is 0 only for the empty count vector.
+    result.opt = problem.total_jobs() == 0 ? 0 : kInfeasible;
+    result.peak_resident_cells = 1;
+    return result;
+  }
+
+  // Ring of the last `window + 1` levels. Each slot holds the level's
+  // values aligned with its (sorted) bucket; lookups binary-search the
+  // dependency's id inside its level bucket.
+  const auto slots = static_cast<std::size_t>(window) + 1;
+  std::vector<std::vector<std::int32_t>> ring(slots);
+  std::vector<std::int64_t> ring_level(slots, -1);
+
+  const auto values_of = [&](std::int64_t level) -> std::vector<std::int32_t>& {
+    const auto slot = static_cast<std::size_t>(level % static_cast<std::int64_t>(slots));
+    PCMAX_ENSURES(ring_level[slot] == level);
+    return ring[slot];
+  };
+
+  std::int64_t coords[64];
+  std::span<std::int64_t> v(coords, radix.dims());
+
+  for (std::int64_t level = 0; level < buckets.levels(); ++level) {
+    const auto cells = buckets.cells_at(level);
+    const auto slot = static_cast<std::size_t>(level % static_cast<std::int64_t>(slots));
+    ring[slot].assign(cells.size(), kInfeasible);
+    ring_level[slot] = level;
+
+    std::uint64_t resident = 0;
+    for (const auto& r : ring) resident += r.size();
+    result.peak_resident_cells = std::max(result.peak_resident_cells,
+                                          resident);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::uint64_t id = cells[i];
+      if (id == 0) {
+        ring[slot][i] = 0;
+        continue;
+      }
+      radix.unflatten(id, v);
+      std::int32_t best = kInfeasible;
+      for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (!configs.fits(c, v)) continue;
+        const std::uint64_t sub_id = id - configs.delta(c);
+        const std::int64_t sub_level = level - configs.level_drop(c);
+        const auto sub_cells = buckets.cells_at(sub_level);
+        const auto it = std::lower_bound(sub_cells.begin(), sub_cells.end(),
+                                         sub_id);
+        PCMAX_ENSURES(it != sub_cells.end() && *it == sub_id);
+        const auto pos = static_cast<std::size_t>(it - sub_cells.begin());
+        const std::int32_t sub = values_of(sub_level)[pos];
+        if (sub < best) best = sub;
+      }
+      ring[slot][i] = best == kInfeasible ? kInfeasible : best + 1;
+    }
+  }
+
+  result.opt = values_of(buckets.levels() - 1)[0];
+  return result;
+}
+
+}  // namespace pcmax::dp

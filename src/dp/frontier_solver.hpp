@@ -1,0 +1,39 @@
+// Memory-frugal DP solver: keeps only a sliding window of anti-diagonal
+// levels instead of the full table.
+//
+// Every machine configuration removes at least one job, and at most
+// `capacity / min_weight` jobs; a cell at level l therefore depends only on
+// levels [l - window, l - 1]. Holding just those levels bounds memory by
+// the widest `window + 1` consecutive levels — for large tables a small
+// fraction of sigma. The tradeoff: no full table, so no schedule
+// reconstruction; the solver reports OPT(N) and per-level statistics. The
+// paper's Section V ("only the values of the subproblems in these blocks
+// are needed on the GPU") gestures at exactly this kind of working-set
+// reduction.
+//
+// Caveat: the level *index* (LevelBuckets) is still table-sized; the
+// sliding window bounds the *value* storage, which is what grows with the
+// payload in general DP applications (the PTAS stores one int32 per cell,
+// knapsack-style tables store values plus choice data).
+#pragma once
+
+#include <cstdint>
+
+#include "dp/solver.hpp"
+
+namespace pcmax::dp {
+
+struct FrontierResult {
+  /// OPT(N), or kInfeasible.
+  std::int32_t opt = kInfeasible;
+  /// Dependency window in levels (max jobs one machine can hold).
+  std::int64_t window = 0;
+  /// Peak cells resident at once (the memory bound), vs the full table.
+  std::uint64_t peak_resident_cells = 0;
+  std::uint64_t table_cells = 0;
+};
+
+/// Solves the DP keeping only `window + 1` levels in memory.
+[[nodiscard]] FrontierResult solve_frontier(const DpProblem& problem);
+
+}  // namespace pcmax::dp

@@ -1,0 +1,29 @@
+#include "dp/problem.hpp"
+
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::dp {
+
+void DpProblem::validate() const {
+  PCMAX_EXPECTS(!counts.empty());
+  PCMAX_EXPECTS(counts.size() == weights.size());
+  PCMAX_EXPECTS(capacity >= 0);
+  for (const auto n : counts) PCMAX_EXPECTS(n >= 0);
+  for (const auto w : weights) PCMAX_EXPECTS(w >= 1);
+}
+
+MixedRadix DpProblem::radix() const {
+  std::vector<std::int64_t> extents(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) extents[i] = counts[i] + 1;
+  return MixedRadix(std::move(extents));
+}
+
+std::int64_t DpProblem::total_jobs() const noexcept {
+  return std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+}
+
+std::uint64_t DpProblem::table_size() const { return radix().size(); }
+
+}  // namespace pcmax::dp

@@ -1,0 +1,38 @@
+// The higher-dimensional dynamic-programming problem solved inside the PTAS:
+// given per-class job counts N, per-class weights w, and a machine capacity,
+// compute OPT(N) = the minimum number of machines so that every machine's
+// configuration s satisfies sum_i s_i * w_i <= capacity (Equation 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/mixed_radix.hpp"
+
+namespace pcmax::dp {
+
+struct DpProblem {
+  /// Per-class job counts n_i >= 0 (a zero count makes that dimension
+  /// degenerate but is permitted; the PTAS compacts zero classes away).
+  std::vector<std::int64_t> counts;
+  /// Per-class weights w_i >= 1. For Hochbaum-Shmoys rounding these are the
+  /// class indices and the capacity is k^2.
+  std::vector<std::int64_t> weights;
+  /// Machine capacity in weight units.
+  std::int64_t capacity = 0;
+
+  /// Throws util::contract_violation when the fields are inconsistent.
+  void validate() const;
+
+  /// Table radix with extents (n_i + 1).
+  [[nodiscard]] MixedRadix radix() const;
+
+  /// Total number of jobs n' = sum n_i (the number of anti-diagonal levels
+  /// minus one).
+  [[nodiscard]] std::int64_t total_jobs() const noexcept;
+
+  /// DP-table size sigma = prod (n_i + 1).
+  [[nodiscard]] std::uint64_t table_size() const;
+};
+
+}  // namespace pcmax::dp

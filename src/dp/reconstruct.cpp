@@ -1,0 +1,45 @@
+#include "dp/reconstruct.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pcmax::dp {
+
+std::vector<std::vector<std::int64_t>> reconstruct_machines(
+    const DpProblem& problem, const DpResult& result) {
+  problem.validate();
+  const MixedRadix radix = problem.radix();
+  PCMAX_EXPECTS(result.table.size() == radix.size());
+  PCMAX_EXPECTS(result.opt != kInfeasible);
+
+  const ConfigSet configs(problem.counts, problem.weights, problem.capacity,
+                          radix);
+
+  std::vector<std::vector<std::int64_t>> machines;
+  machines.reserve(static_cast<std::size_t>(result.opt));
+
+  std::vector<std::int64_t> v = problem.counts;
+  std::uint64_t id = radix.flatten(v);
+  while (id != 0) {
+    const std::int32_t opt_here = result.table[id];
+    PCMAX_ENSURES(opt_here != kInfeasible && opt_here > 0);
+    bool advanced = false;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      if (!configs.fits(c, v)) continue;
+      const std::uint64_t sub_id = id - configs.delta(c);
+      if (result.table[sub_id] != opt_here - 1) continue;
+      const auto s = configs.config(c);
+      machines.emplace_back(s.begin(), s.end());
+      for (std::size_t j = 0; j < v.size(); ++j) v[j] -= s[j];
+      id = sub_id;
+      advanced = true;
+      break;
+    }
+    // A solved table always admits a predecessor on the optimal path.
+    PCMAX_ENSURES(advanced);
+  }
+
+  PCMAX_ENSURES(machines.size() == static_cast<std::size_t>(result.opt));
+  return machines;
+}
+
+}  // namespace pcmax::dp

@@ -1,0 +1,21 @@
+// Backtracks a solved DP table into one machine configuration per machine
+// (Algorithm 1, line 10: "Obtain the schedule for rounded down long job
+// sizes").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/config.hpp"
+#include "dp/problem.hpp"
+#include "dp/solver.hpp"
+
+namespace pcmax::dp {
+
+/// One configuration per used machine; concatenated they sum to the count
+/// vector N. Configurations are emitted in deterministic (first-fit over the
+/// enumeration order) backtracking order.
+[[nodiscard]] std::vector<std::vector<std::int64_t>> reconstruct_machines(
+    const DpProblem& problem, const DpResult& result);
+
+}  // namespace pcmax::dp

@@ -1,0 +1,101 @@
+// Solver interface for the higher-dimensional DP. Several interchangeable
+// implementations exist (reference oracle, Algorithm-2 level scan, bucketed
+// OpenMP, blocked/partitioned, GPU-simulated); all must produce identical
+// tables. Solvers optionally collect per-cell dependency counts, which drive
+// the deterministic CPU/GPU cost models.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "dp/config.hpp"
+#include "dp/problem.hpp"
+
+namespace pcmax::dp {
+
+/// Sentinel for a cell no machine configuration can reach (only possible
+/// when some class weight exceeds the capacity).
+inline constexpr std::int32_t kInfeasible =
+    std::numeric_limits<std::int32_t>::max();
+
+struct SolveOptions {
+  /// Record per-cell dependency counts |C_v| in DpResult::deps.
+  bool collect_deps = false;
+  /// OpenMP thread count; 0 uses the runtime default.
+  int num_threads = 0;
+};
+
+struct DpResult {
+  /// OPT(N): minimum machine count, or kInfeasible.
+  std::int32_t opt = kInfeasible;
+  /// Full DP table, row-major; table.back() == opt.
+  std::vector<std::int32_t> table;
+  /// Per-cell |C_v| (valid sub-configuration count); empty unless
+  /// SolveOptions::collect_deps was set. deps[0] corresponds to cell 0,
+  /// whose value is its |C_v| even though the origin's OPT is fixed to 0.
+  std::vector<std::uint32_t> deps;
+  /// |C|: size of the global configuration set.
+  std::uint64_t config_count = 0;
+};
+
+class DpSolver {
+ public:
+  virtual ~DpSolver() = default;
+
+  /// Fills the whole DP table for `problem`. Implementations must be
+  /// deterministic: same problem, same result, regardless of thread count.
+  [[nodiscard]] virtual DpResult solve(const DpProblem& problem,
+                                       const SolveOptions& options) const = 0;
+
+  [[nodiscard]] DpResult solve(const DpProblem& problem) const {
+    return solve(problem, SolveOptions{});
+  }
+
+  /// Human-readable solver name for logs and bench output.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Obviously-correct single-threaded oracle: iterates cells in level order
+/// via LevelBuckets and applies Equation (1) directly.
+class ReferenceSolver final : public DpSolver {
+ public:
+  using DpSolver::solve;
+  [[nodiscard]] DpResult solve(const DpProblem& problem,
+                               const SolveOptions& options) const override;
+  [[nodiscard]] std::string name() const override { return "reference"; }
+};
+
+/// Paper-faithful Algorithm 2: for every anti-diagonal level l, scan all
+/// sigma cells (in parallel) and compute those whose level equals l. The
+/// full-table scan per level is deliberate — it is the OpenMP baseline the
+/// paper compares against.
+class LevelScanSolver final : public DpSolver {
+ public:
+  using DpSolver::solve;
+  [[nodiscard]] DpResult solve(const DpProblem& problem,
+                               const SolveOptions& options) const override;
+  [[nodiscard]] std::string name() const override { return "level-scan"; }
+};
+
+/// Optimized level-synchronous solver: cells are pre-bucketed by level and
+/// each bucket is processed with an OpenMP parallel-for.
+class LevelBucketSolver final : public DpSolver {
+ public:
+  using DpSolver::solve;
+  [[nodiscard]] DpResult solve(const DpProblem& problem,
+                               const SolveOptions& options) const override;
+  [[nodiscard]] std::string name() const override { return "level-bucket"; }
+};
+
+/// Computes one cell's OPT given the already-filled prefix of the table.
+/// Shared by every solver so they cannot diverge on the recurrence itself.
+/// Returns the OPT value for the cell and (optionally) counts dependencies.
+[[nodiscard]] std::int32_t solve_cell(const ConfigSet& configs,
+                                      std::span<const std::int64_t> v,
+                                      std::uint64_t id,
+                                      std::span<const std::int32_t> table,
+                                      std::uint32_t* dep_count) noexcept;
+
+}  // namespace pcmax::dp

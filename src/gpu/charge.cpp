@@ -1,0 +1,63 @@
+#include "gpu/charge.hpp"
+
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::gpu {
+
+namespace {
+constexpr std::uint64_t kSegmentBytes = 128;
+constexpr std::uint64_t kWordBytes = 4;
+constexpr std::uint64_t kVecBytes = 8;  // per-dimension int64 loads
+}  // namespace
+
+gpusim::WorkEstimate charge_find_opt(const LevelWork& level,
+                                     const ChargeParams& params) {
+  PCMAX_EXPECTS(params.dims >= 1);
+  gpusim::WorkEstimate w;
+  w.threads = level.cells;
+  // Each thread reads its configuration vector (Algorithm 5 lines 14-16) and
+  // computes the candidate count: ~4 ops per dimension.
+  w.thread_ops = level.cells * 4 * params.dims;
+  // Configuration vectors are stored contiguously in the blocked layout, so
+  // the grid reads cells * dims words coalesced.
+  w.transactions =
+      util::ceil_div(level.cells * params.dims * kVecBytes, kSegmentBytes);
+  // Two child kernels per thread (FindValidSub, SetOPT).
+  w.child_launches = 2 * level.cells;
+  return w;
+}
+
+gpusim::WorkEstimate charge_find_valid_sub(const LevelWork& level,
+                                           const ChargeParams& params) {
+  gpusim::WorkEstimate w;
+  w.threads = level.candidates;
+  // Validity test: weight accumulation over the dimensions.
+  w.thread_ops = level.candidates * 2 * params.dims;
+  // Each thread materializes its candidate vector from thread id (compute)
+  // and reads the class weights: weights are tiny and cached; charge the
+  // writes of valid candidates only.
+  w.transactions =
+      util::ceil_div(level.deps * params.dims * kVecBytes, kSegmentBytes);
+  return w;
+}
+
+gpusim::WorkEstimate charge_set_opt(const LevelWork& level,
+                                    const ChargeParams& params) {
+  PCMAX_EXPECTS(params.search_cells >= 1);
+  PCMAX_EXPECTS(params.scan_broadcast >= 1);
+  gpusim::WorkEstimate w;
+  w.threads = level.deps;
+  // Algorithm 5 lines 25-28: each thread scans the search scope comparing
+  // dims-long vectors; on average half the scope is visited.
+  const std::uint64_t scanned = params.search_cells / 2 + 1;
+  w.thread_ops = level.deps * scanned * params.dims;
+  // The scan reads scanned * dims words per thread; warps scan overlapping
+  // regions, discounted by scan_broadcast.
+  w.transactions =
+      util::ceil_div(level.deps * scanned * params.dims * kWordBytes,
+                     kSegmentBytes * params.scan_broadcast);
+  return w;
+}
+
+}  // namespace pcmax::gpu

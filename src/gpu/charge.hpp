@@ -1,0 +1,54 @@
+// Structural cost formulas for the three kernels of Algorithm 5, expressed
+// as gpusim::WorkEstimate values. The quantities mirror the paper's own
+// analysis (Section III.E):
+//
+//   FindOPT      one thread per configuration of an (in-block) anti-diagonal
+//                level; reads the configuration vector and launches the two
+//                child kernels per thread (Dynamic Parallelism).
+//   FindValidSub one thread per sub-configuration *candidate*
+//                (prod(v_i + 1), Algorithm 5 line 16), each testing validity
+//                against the capacity.
+//   SetOPT       one thread per *valid* sub-configuration, each locating its
+//                OPT value by scanning the search scope — `search_cells`
+//                cells: the enclosing block under the data-partitioning
+//                scheme, the whole DP-table in the naive port. This scope
+//                difference is the core of the paper's claim.
+//
+// Transactions model coalescing structurally: per-cell vectors are read
+// contiguously (coalesced), table scans by the threads of one warp overlap
+// heavily (broadcast-discounted).
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/kernel.hpp"
+
+namespace pcmax::gpu {
+
+/// Aggregated work of one anti-diagonal level.
+struct LevelWork {
+  std::uint64_t cells = 0;       ///< configurations at this level
+  std::uint64_t candidates = 0;  ///< sum of prod(v_i + 1) over cells
+  std::uint64_t deps = 0;        ///< sum of |C_v| over cells
+};
+
+struct ChargeParams {
+  /// Dimensions of the DP-table (k^2 at most; non-zero classes).
+  std::uint64_t dims = 1;
+  /// Cells scanned per SetOPT thread to locate one sub-configuration:
+  /// cells-per-block when partitioned, the full table size when not.
+  std::uint64_t search_cells = 1;
+  /// Warp-overlap discount for table scans. Threads of a warp scan the same
+  /// block region but enter and exit at different points (early-exit vector
+  /// compare), so only a small overlap credit applies.
+  std::uint64_t scan_broadcast = 1;
+};
+
+[[nodiscard]] gpusim::WorkEstimate charge_find_opt(const LevelWork& level,
+                                                   const ChargeParams& params);
+[[nodiscard]] gpusim::WorkEstimate charge_find_valid_sub(
+    const LevelWork& level, const ChargeParams& params);
+[[nodiscard]] gpusim::WorkEstimate charge_set_opt(const LevelWork& level,
+                                                  const ChargeParams& params);
+
+}  // namespace pcmax::gpu

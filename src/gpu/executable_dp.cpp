@@ -1,0 +1,230 @@
+#include "gpu/executable_dp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dp/config.hpp"
+#include "gpu/charge.hpp"
+#include "partition/blocked_layout.hpp"
+#include "partition/divisor.hpp"
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::gpu {
+
+namespace {
+
+// Modeled device address space (byte addresses; regions far apart so
+// coalescing analysis never aliases them).
+constexpr std::uint64_t kTableBase = 1ull << 30;    // int32 per cell
+constexpr std::uint64_t kCoordsBase = 2ull << 30;   // int64 x dims per cell
+constexpr std::uint64_t kWeightsBase = 3ull << 30;  // int64 per class
+constexpr std::uint64_t kScratchBase = 4ull << 30;  // valid-candidate slots
+
+gpusim::LaunchConfig grid_for(std::uint64_t threads) {
+  constexpr std::uint32_t kBlock = 256;
+  const auto blocks = static_cast<std::uint32_t>(
+      util::ceil_div(threads, std::uint64_t{kBlock}));
+  return gpusim::LaunchConfig{std::max<std::uint32_t>(1, blocks),
+                              std::min<std::uint32_t>(
+                                  kBlock, static_cast<std::uint32_t>(
+                                              std::max<std::uint64_t>(
+                                                  1, threads)))};
+}
+
+}  // namespace
+
+ExecutableReport run_executable_dp(const dp::DpProblem& problem,
+                                   gpusim::Device& device,
+                                   std::size_t partition_dims,
+                                   int stream_count) {
+  problem.validate();
+  PCMAX_EXPECTS(stream_count >= 1);
+  const dp::MixedRadix radix = problem.radix();
+  PCMAX_EXPECTS(radix.size() <= 100'000);
+  PCMAX_EXPECTS(radix.dims() <= 64);
+  const std::size_t dims = radix.dims();
+
+  const partition::BlockedLayout layout(
+      radix, partition::compute_divisor(radix.extents(), partition_dims));
+  const dp::ConfigSet configs(problem.counts, problem.weights,
+                              problem.capacity, radix);
+  const dp::LevelBuckets block_buckets(layout.grid());
+  const dp::LevelBuckets in_block_buckets(layout.block());
+
+  // Host-resident "device memory": table (blocked order) and coordinates.
+  std::vector<std::int32_t> blocked(radix.size(), dp::kInfeasible);
+  blocked[0] = 0;
+  std::vector<std::int64_t> coords_of(radix.size() * dims);
+  {
+    std::vector<std::int64_t> c(dims);
+    for (std::uint64_t id = 0; id < radix.size(); ++id) {
+      radix.unflatten(id, c);
+      const std::uint64_t b = layout.blocked_offset(c);
+      std::copy(c.begin(), c.end(), coords_of.begin() +
+                                        static_cast<std::ptrdiff_t>(b * dims));
+    }
+  }
+  const dp::MixedRadix& grid = layout.grid();
+  const dp::MixedRadix& block = layout.block();
+  const auto& block_size = block.extents();
+
+  ExecutableReport report;
+  LevelWork totals;  // for the analytic comparison
+  ChargeParams params;
+  params.dims = dims;
+  params.search_cells = layout.cells_per_block();
+  const util::SimTime start = device.now();
+
+  std::vector<std::int64_t> bcoords(dims), lcoords(dims), cell(dims);
+  std::vector<std::int64_t> sub(dims);
+
+  for (std::int64_t blk_lvl = 0; blk_lvl < block_buckets.levels();
+       ++blk_lvl) {
+    if (blk_lvl > 0) device.synchronize();
+    const auto blocks = block_buckets.cells_at(blk_lvl);
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+      const std::uint64_t block_id = blocks[bi];
+      const int stream =
+          static_cast<int>(bi % static_cast<std::size_t>(stream_count));
+      grid.unflatten(block_id, bcoords);
+      const std::uint64_t base = block_id * layout.cells_per_block();
+
+      for (std::int64_t lvl = 0; lvl < in_block_buckets.levels(); ++lvl) {
+        const auto locals = in_block_buckets.cells_at(lvl);
+        if (locals.empty()) continue;
+
+        // --- FindOPT: one thread per configuration of this level. -------
+        device.launch(
+            stream, "FindOPT-x", grid_for(locals.size()),
+            [&](gpusim::ThreadCtx& ctx) {
+              if (ctx.global_id() >= locals.size()) return;
+              const std::uint64_t b = base + locals[ctx.global_id()];
+              for (std::size_t j = 0; j < dims; ++j)
+                ctx.load(kCoordsBase + (b * dims + j) * 8);
+              ctx.ops(4 * dims);
+            });
+
+        // --- Per configuration: the two child kernels. -------------------
+        for (const auto local_id : locals) {
+          const std::uint64_t b = base + local_id;
+          if (b == 0) {  // origin is pinned
+            totals.cells += 1;
+            totals.candidates += 1;
+            continue;
+          }
+          block.unflatten(local_id, lcoords);
+          for (std::size_t j = 0; j < dims; ++j)
+            cell[j] = bcoords[j] * block_size[j] + lcoords[j];
+
+          const std::uint64_t candidates = dp::candidate_count(cell);
+          const dp::MixedRadix cand_radix([&] {
+            std::vector<std::int64_t> e(dims);
+            for (std::size_t j = 0; j < dims; ++j) e[j] = cell[j] + 1;
+            return e;
+          }());
+
+          // FindValidSub: one thread per candidate s <= v; validity test
+          // against the capacity; valid candidates written to scratch.
+          std::vector<std::uint64_t> valid;  // candidate indices
+          device.launch(
+              stream, "FindValidSub-x", grid_for(candidates),
+              [&](gpusim::ThreadCtx& ctx) {
+                const std::uint64_t tid = ctx.global_id();
+                if (tid >= candidates) return;
+                std::int64_t s[64];
+                cand_radix.unflatten(tid, std::span<std::int64_t>(s, dims));
+                ctx.ops(2 * dims);
+                std::int64_t weight = 0, jobs = 0;
+                for (std::size_t j = 0; j < dims; ++j) {
+                  ctx.load(kWeightsBase + j * 8);
+                  weight += s[j] * problem.weights[j];
+                  jobs += s[j];
+                }
+                if (jobs > 0 && weight <= problem.capacity) {
+                  ctx.store(kScratchBase + tid * 8);
+                  valid.push_back(tid);
+                }
+              });
+
+          // SetOPT: one thread per valid sub-configuration; locates the
+          // sub-configuration's cell by scanning its block's coordinate
+          // vectors (Algorithm 5 lines 25-28), then min-reduces.
+          std::int32_t best = dp::kInfeasible;
+          if (!valid.empty()) {
+            device.launch(
+                stream, "SetOPT-x", grid_for(valid.size()),
+                [&](gpusim::ThreadCtx& ctx) {
+                  const std::uint64_t tid = ctx.global_id();
+                  if (tid >= valid.size()) return;
+                  std::int64_t s[64];
+                  cand_radix.unflatten(valid[tid],
+                                       std::span<std::int64_t>(s, dims));
+                  std::int64_t u[64];
+                  for (std::size_t j = 0; j < dims; ++j)
+                    u[j] = cell[j] - s[j];
+                  const std::uint64_t target = layout.blocked_offset(
+                      std::span<const std::int64_t>(u, dims));
+                  // Scan the target's block up to the match.
+                  const std::uint64_t scan_base =
+                      (target / layout.cells_per_block()) *
+                      layout.cells_per_block();
+                  for (std::uint64_t probe = scan_base;; ++probe) {
+                    bool match = true;
+                    for (std::size_t j = 0; j < dims; ++j) {
+                      ctx.load(kCoordsBase + (probe * dims + j) * 8);
+                      ctx.ops(1);
+                      if (coords_of[probe * dims + j] != u[j]) {
+                        match = false;
+                        break;
+                      }
+                    }
+                    if (match) break;
+                  }
+                  ctx.load(kTableBase + target * 4);
+                  const std::int32_t val = blocked[target];
+                  ctx.ops(1);
+                  ctx.store(kTableBase + b * 4);  // atomicMin
+                  if (val < best) best = val;
+                });
+          }
+          blocked[b] = best == dp::kInfeasible ? dp::kInfeasible : best + 1;
+
+          totals.cells += 1;
+          totals.candidates += candidates;
+          totals.deps += valid.size();
+        }
+      }
+    }
+  }
+  device.synchronize();
+  report.device_time = device.now() - start;
+
+  // Collect measured work from the device log by kernel name.
+  gpusim::WorkEstimate measured_fo, measured_fvs, measured_so;
+  for (const auto& rec : device.log()) {
+    if (rec.name == "FindOPT-x") measured_fo += rec.work;
+    if (rec.name == "FindValidSub-x") measured_fvs += rec.work;
+    if (rec.name == "SetOPT-x") measured_so += rec.work;
+  }
+  measured_fo.child_launches = 2 * totals.cells;
+  report.measured_find_opt = measured_fo;
+  report.measured_find_valid_sub = measured_fvs;
+  report.measured_set_opt = measured_so;
+  report.analytic_find_opt = charge_find_opt(totals, params);
+  report.analytic_find_valid_sub = charge_find_valid_sub(totals, params);
+  report.analytic_set_opt = charge_set_opt(totals, params);
+
+  // Convert the blocked table to row-major.
+  report.result.table.assign(radix.size(), dp::kInfeasible);
+  std::vector<std::int64_t> c(dims);
+  for (std::uint64_t id = 0; id < radix.size(); ++id) {
+    radix.unflatten(id, c);
+    report.result.table[id] = blocked[layout.blocked_offset(c)];
+  }
+  report.result.opt = report.result.table.back();
+  report.result.config_count = configs.size();
+  return report;
+}
+
+}  // namespace pcmax::gpu

@@ -1,0 +1,91 @@
+// The GPU implementation of the higher-dimensional DP (Algorithms 4 and 5),
+// executed on the simulated device.
+//
+// The real table values are computed by the partition::BlockedSolver (bit
+// identical to every CPU solver); a BlockObserver hooks its block-wavefront
+// traversal and drives the gpusim::Device: per in-block anti-diagonal level
+// of each block it launches the FindOPT parent kernel plus the FindValidSub /
+// SetOPT child kernels, each charged per the structural formulas of
+// gpu/charge.hpp. Blocks of one block-level are distributed cyclically over
+// `stream_count` Hyper-Q streams (Algorithm 4 line 31); a device
+// synchronization separates block-levels (the wavefront barrier).
+//
+// Device memory is accounted for the lifetime of a solve: the blocked
+// DP-table plus per-block candidate scratch sized by the deepest in-flight
+// blocks — the memory saving the data-partitioning scheme exists for.
+#pragma once
+
+#include "dp/solver.hpp"
+#include "gpusim/device.hpp"
+
+namespace pcmax::gpu {
+
+/// How blocks of one block-level are assigned to streams.
+enum class StreamPolicy {
+  /// Algorithm 4 line 31: block i of the level goes to stream i mod S.
+  kCyclic,
+  /// Contiguous chunks of the level's blocks per stream. Included as an
+  /// ablation: it serializes neighbouring (similarly-sized) blocks on one
+  /// stream and balances worse than the paper's cyclic distribution.
+  kChunked,
+};
+
+class GpuDpSolver final : public dp::DpSolver {
+ public:
+  /// `device` must outlive the solver. `partition_dims` selects GPU-DIMx.
+  GpuDpSolver(gpusim::Device& device, std::size_t partition_dims,
+              int stream_count = 4,
+              StreamPolicy stream_policy = StreamPolicy::kCyclic);
+
+  using DpSolver::solve;
+  [[nodiscard]] dp::DpResult solve(
+      const dp::DpProblem& problem,
+      const dp::SolveOptions& options) const override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t partition_dims() const noexcept {
+    return partition_dims_;
+  }
+  /// Simulated time the most recent solve() spent on the device.
+  [[nodiscard]] util::SimTime last_solve_time() const noexcept {
+    return last_solve_time_;
+  }
+  /// Peak device memory of the most recent solve().
+  [[nodiscard]] std::uint64_t last_peak_memory() const noexcept {
+    return last_peak_memory_;
+  }
+
+ private:
+  gpusim::Device& device_;
+  std::size_t partition_dims_;
+  int stream_count_;
+  StreamPolicy stream_policy_;
+  mutable util::SimTime last_solve_time_;
+  mutable std::uint64_t last_peak_memory_ = 0;
+};
+
+/// The strawman direct port of the OpenMP implementation (Section III): one
+/// kernel per anti-diagonal level of the *unpartitioned* table, SetOPT
+/// searching the entire DP-table, a single stream, and candidate scratch
+/// sized at table scope. Exists to reproduce the paper's "about a hundred
+/// times slower than OpenMP" observation.
+class NaiveGpuDpSolver final : public dp::DpSolver {
+ public:
+  explicit NaiveGpuDpSolver(gpusim::Device& device);
+
+  using DpSolver::solve;
+  [[nodiscard]] dp::DpResult solve(
+      const dp::DpProblem& problem,
+      const dp::SolveOptions& options) const override;
+  [[nodiscard]] std::string name() const override { return "gpu-naive"; }
+
+  [[nodiscard]] util::SimTime last_solve_time() const noexcept {
+    return last_solve_time_;
+  }
+
+ private:
+  gpusim::Device& device_;
+  mutable util::SimTime last_solve_time_;
+};
+
+}  // namespace pcmax::gpu

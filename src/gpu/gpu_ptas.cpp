@@ -1,0 +1,127 @@
+#include "gpu/gpu_ptas.hpp"
+
+#include <algorithm>
+
+#include "core/bounds.hpp"
+#include "core/rounding.hpp"
+#include "core/search.hpp"
+
+namespace pcmax::gpu {
+
+namespace {
+
+void accumulate(gpusim::Device::Stats& into,
+                const gpusim::Device::Stats& delta) {
+  into.kernels += delta.kernels;
+  into.child_kernels += delta.child_kernels;
+  into.threads += delta.threads;
+  into.thread_ops += delta.thread_ops;
+  into.transactions += delta.transactions;
+  into.synchronizations += delta.synchronizations;
+}
+
+GpuPtasResult solve_sequential(const Instance& instance,
+                               gpusim::Device& device,
+                               const GpuPtasOptions& options) {
+  const GpuDpSolver solver(device, options.partition_dims,
+                           options.streams_per_probe);
+  PtasOptions ptas_options;
+  ptas_options.epsilon = options.epsilon;
+  ptas_options.strategy = SearchStrategy::kQuarterSplit;
+  ptas_options.segments = options.segments;
+  ptas_options.build_schedule = options.build_schedule;
+
+  GpuPtasResult result;
+  const util::SimTime start = device.now();
+  const gpusim::Device::Stats before = device.stats();
+  result.ptas = solve_ptas(instance, solver, ptas_options);
+  result.device_time = device.now() - start;
+  result.stats = device.stats();
+  result.stats.kernels -= before.kernels;
+  result.stats.child_kernels -= before.child_kernels;
+  result.stats.threads -= before.threads;
+  result.stats.thread_ops -= before.thread_ops;
+  result.stats.transactions -= before.transactions;
+  result.stats.synchronizations -= before.synchronizations;
+  return result;
+}
+
+GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
+                           const GpuPtasOptions& options) {
+  instance.validate();
+  const std::int64_t k = k_for_epsilon(options.epsilon);
+  const std::int64_t lb = makespan_lower_bound(instance);
+  const std::int64_t ub = makespan_upper_bound(instance);
+
+  GpuPtasResult result;
+  const util::SimTime start = device.now();
+
+  // Each round's probes run on scratch devices (their own Hyper-Q stream
+  // groups); the round costs its slowest probe on the caller's device.
+  const BatchFeasibilityOracle oracle =
+      [&](std::span<const std::int64_t> targets) {
+        std::vector<bool> feasible;
+        util::SimTime round_time;
+        for (const auto target : targets) {
+          const RoundedInstance rounded = round_instance(instance, target, k);
+          if (!rounded.feasible) {
+            feasible.push_back(false);
+            continue;
+          }
+          std::int32_t opt = 0;
+          if (!rounded.class_index.empty()) {
+            gpusim::Device scratch(device.spec());
+            const GpuDpSolver solver(scratch, options.partition_dims,
+                                     options.streams_per_probe);
+            opt = solver.solve(to_dp_problem(rounded)).opt;
+            round_time = std::max(round_time, solver.last_solve_time());
+            accumulate(result.stats, scratch.stats());
+          }
+          result.ptas.dp_calls.push_back(DpInvocation{
+              target, rounded.table_size(), rounded.nonzero_dims(),
+              rounded.long_jobs(), opt});
+          feasible.push_back(opt <= instance.machines);
+        }
+        device.advance(round_time);
+        return feasible;
+      };
+
+  const SearchResult search =
+      quarter_split_search_batch(lb, ub, oracle, options.segments);
+  result.ptas.best_target = search.best_target;
+  result.ptas.search_iterations = search.iterations;
+
+  if (options.build_schedule) {
+    // Reconstruction runs once, on the caller's device.
+    const GpuDpSolver solver(device, options.partition_dims,
+                             options.streams_per_probe);
+    const gpusim::Device::Stats before = device.stats();
+    const ScheduleBuild build = build_schedule_at_target(
+        instance, solver, k, result.ptas.best_target, 0,
+        result.ptas.dp_calls);
+    result.ptas.schedule = build.schedule;
+    result.ptas.achieved_makespan = build.achieved_makespan;
+    gpusim::Device::Stats delta = device.stats();
+    delta.kernels -= before.kernels;
+    delta.child_kernels -= before.child_kernels;
+    delta.threads -= before.threads;
+    delta.thread_ops -= before.thread_ops;
+    delta.transactions -= before.transactions;
+    delta.synchronizations -= before.synchronizations;
+    accumulate(result.stats, delta);
+  }
+
+  result.device_time = device.now() - start;
+  return result;
+}
+
+}  // namespace
+
+GpuPtasResult solve_gpu_ptas(const Instance& instance, gpusim::Device& device,
+                             const GpuPtasOptions& options) {
+  return options.probe_overlap == ProbeOverlap::kHyperQ
+             ? solve_hyperq(instance, device, options)
+             : solve_sequential(instance, device, options);
+}
+
+}  // namespace pcmax::gpu

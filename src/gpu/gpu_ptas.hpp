@@ -1,0 +1,50 @@
+// The full GPU PTAS of Algorithm 3: quarter-split target search whose DP
+// probes run on the simulated device through GpuDpSolver. The four probes of
+// a round are issued as four independent DP solves; each solve internally
+// fans its block-levels over four Hyper-Q streams, matching the paper's
+// sixteen-stream configuration.
+#pragma once
+
+#include "core/ptas.hpp"
+#include "gpu/gpu_dp_solver.hpp"
+#include "gpusim/device.hpp"
+
+namespace pcmax::gpu {
+
+/// How the four probes of a quarter-split round share the device.
+enum class ProbeOverlap {
+  /// Probes run back to back on the device (conservative: a round costs
+  /// the sum of its probe times — full contention).
+  kSequential,
+  /// Probes run fully concurrently via Hyper-Q (optimistic: a round costs
+  /// its slowest probe — the paper's "four processes run concurrently on
+  /// the same GPU" reading). Probes are simulated on scratch devices and
+  /// the round maximum is charged to the caller's device clock.
+  kHyperQ,
+};
+
+struct GpuPtasOptions {
+  double epsilon = 0.3;
+  /// Number of dimensions the data-partitioning scheme divides (GPU-DIMx).
+  std::size_t partition_dims = 6;
+  /// Streams per DP probe (Algorithm 4 line 31 uses 4).
+  int streams_per_probe = 4;
+  /// Segments per quarter-split round (Algorithm 3 uses 4).
+  int segments = 4;
+  ProbeOverlap probe_overlap = ProbeOverlap::kSequential;
+  bool build_schedule = true;
+};
+
+struct GpuPtasResult {
+  PtasResult ptas;
+  /// Simulated device time consumed by all DP probes.
+  util::SimTime device_time;
+  /// Device counters accumulated over the run.
+  gpusim::Device::Stats stats;
+};
+
+[[nodiscard]] GpuPtasResult solve_gpu_ptas(const Instance& instance,
+                                           gpusim::Device& device,
+                                           const GpuPtasOptions& options = {});
+
+}  // namespace pcmax::gpu

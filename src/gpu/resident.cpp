@@ -1,0 +1,82 @@
+#include "gpu/resident.hpp"
+
+#include <algorithm>
+
+#include "dp/config.hpp"
+#include "partition/blocked_layout.hpp"
+#include "partition/divisor.hpp"
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::gpu {
+
+ResidentAnalysis analyze_block_residency(const dp::DpProblem& problem,
+                                         std::size_t partition_dims) {
+  problem.validate();
+  const dp::MixedRadix radix = problem.radix();
+  PCMAX_EXPECTS(radix.dims() <= 64);
+
+  const partition::BlockedLayout layout(
+      radix, partition::compute_divisor(radix.extents(), partition_dims));
+  const dp::ConfigSet configs(problem.counts, problem.weights,
+                              problem.capacity, radix);
+  const dp::LevelBuckets block_buckets(layout.grid());
+  const auto& block_size = layout.block().extents();
+  const std::size_t dims = radix.dims();
+
+  ResidentAnalysis analysis;
+  analysis.table_cells = radix.size();
+  analysis.reach.assign(dims, 0);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto s = configs.config(c);
+    for (std::size_t i = 0; i < dims; ++i)
+      analysis.reach[i] = std::max(
+          analysis.reach[i],
+          static_cast<std::int64_t>(util::ceil_div(
+              static_cast<std::uint64_t>(s[i]),
+              static_cast<std::uint64_t>(block_size[i]))));
+  }
+
+  // For each block-level: mark the level's blocks and every block within
+  // the per-dimension reach box below them.
+  std::vector<char> needed(layout.block_count());
+  std::vector<std::int64_t> g(dims), h(dims);
+  for (std::int64_t lvl = 0; lvl < block_buckets.levels(); ++lvl) {
+    std::fill(needed.begin(), needed.end(), 0);
+    for (const auto block_id : block_buckets.cells_at(lvl)) {
+      layout.grid().unflatten(block_id, g);
+      // Enumerate the reach box below g: offsets in prod [0, reach_i].
+      std::vector<std::int64_t> offset(dims, 0);
+      bool done = false;
+      while (!done) {
+        bool in_range = true;
+        for (std::size_t i = 0; i < dims; ++i) {
+          h[i] = g[i] - offset[i];
+          if (h[i] < 0) {
+            in_range = false;
+            break;
+          }
+        }
+        if (in_range) needed[layout.grid().flatten(h)] = 1;
+        done = true;
+        for (std::size_t i = dims; i-- > 0;) {
+          if (++offset[i] <= analysis.reach[i]) {
+            done = false;
+            break;
+          }
+          offset[i] = 0;
+        }
+      }
+    }
+    std::uint64_t blocks_needed = 0;
+    for (const auto n : needed) blocks_needed += static_cast<std::uint64_t>(n);
+    analysis.resident_cells_per_level.push_back(blocks_needed *
+                                                layout.cells_per_block());
+  }
+  analysis.peak_resident_cells =
+      *std::max_element(analysis.resident_cells_per_level.begin(),
+                        analysis.resident_cells_per_level.end());
+  return analysis;
+}
+
+}  // namespace pcmax::gpu

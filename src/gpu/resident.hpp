@@ -1,0 +1,43 @@
+// Block-residency analysis — the paper's Section V future-work idea: "if
+// the blocks that include the required subproblems can be located, only the
+// values of the subproblems in these blocks are needed on the GPU".
+//
+// A cell in block g depends only on cells in blocks g' with
+// g_i - reach_i <= g'_i <= g_i, where reach_i = max over configurations s
+// of ceil(s_i / block_size_i). While the wavefront processes block-level L,
+// only the blocks of level L plus their reachable predecessors must be
+// device-resident; everything older can be evicted to the host. This module
+// computes that working set exactly, per block-level, so the saving the
+// paper conjectures can be quantified (see bench_ablation_partition).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/problem.hpp"
+
+namespace pcmax::gpu {
+
+struct ResidentAnalysis {
+  /// Per-dimension dependency reach in blocks.
+  std::vector<std::int64_t> reach;
+  /// Cells that must be device-resident while each block-level executes.
+  std::vector<std::uint64_t> resident_cells_per_level;
+  /// max of resident_cells_per_level.
+  std::uint64_t peak_resident_cells = 0;
+  /// Full table size, for comparison.
+  std::uint64_t table_cells = 0;
+
+  [[nodiscard]] double saving_factor() const noexcept {
+    return peak_resident_cells == 0
+               ? 1.0
+               : static_cast<double>(table_cells) /
+                     static_cast<double>(peak_resident_cells);
+  }
+};
+
+/// Analyzes the blocked layout chosen by `partition_dims` for `problem`.
+[[nodiscard]] ResidentAnalysis analyze_block_residency(
+    const dp::DpProblem& problem, std::size_t partition_dims);
+
+}  // namespace pcmax::gpu

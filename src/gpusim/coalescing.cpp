@@ -1,0 +1,44 @@
+#include "gpusim/coalescing.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+
+std::uint64_t warp_transactions(std::span<const ThreadTrace> threads,
+                                int segment_bytes) {
+  PCMAX_EXPECTS(segment_bytes >= 1);
+  std::size_t max_len = 0;
+  for (const auto& t : threads) max_len = std::max(max_len, t.size());
+
+  const auto seg = static_cast<std::uint64_t>(segment_bytes);
+  std::uint64_t transactions = 0;
+  std::vector<std::uint64_t> segments;
+  segments.reserve(threads.size());
+  for (std::size_t step = 0; step < max_len; ++step) {
+    segments.clear();
+    for (const auto& t : threads)
+      if (step < t.size()) segments.push_back(t[step] / seg);
+    std::sort(segments.begin(), segments.end());
+    segments.erase(std::unique(segments.begin(), segments.end()),
+                   segments.end());
+    transactions += segments.size();
+  }
+  return transactions;
+}
+
+std::uint64_t grid_transactions(std::span<const ThreadTrace> threads,
+                                int warp_size, int segment_bytes) {
+  PCMAX_EXPECTS(warp_size >= 1);
+  std::uint64_t total = 0;
+  for (std::size_t base = 0; base < threads.size();
+       base += static_cast<std::size_t>(warp_size)) {
+    const std::size_t n = std::min(static_cast<std::size_t>(warp_size),
+                                   threads.size() - base);
+    total += warp_transactions(threads.subspan(base, n), segment_bytes);
+  }
+  return total;
+}
+
+}  // namespace pcmax::gpusim

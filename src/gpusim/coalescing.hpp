@@ -1,0 +1,31 @@
+// Warp-level memory-coalescing analysis.
+//
+// A warp issues loads/stores in lockstep: the i-th access of every thread in
+// the warp forms one memory instruction. The memory controller services the
+// instruction with one transaction per distinct aligned segment (128 bytes on
+// Kepler) touched by the warp. Fully coalesced unit-stride accesses cost one
+// transaction per instruction; worst-case scattered ("strided") accesses cost
+// one per thread — the effect Section III.B of the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pcmax::gpusim {
+
+/// Access trace of one thread: byte addresses in issue order.
+using ThreadTrace = std::vector<std::uint64_t>;
+
+/// Number of memory transactions a warp needs to service the step-aligned
+/// traces of its threads. Threads whose trace is shorter than a step simply
+/// sit out that instruction (divergence). `segment_bytes` must be positive.
+[[nodiscard]] std::uint64_t warp_transactions(
+    std::span<const ThreadTrace> threads, int segment_bytes);
+
+/// Convenience: total transactions of a full grid of thread traces grouped
+/// into warps of `warp_size` consecutive threads.
+[[nodiscard]] std::uint64_t grid_transactions(
+    std::span<const ThreadTrace> threads, int warp_size, int segment_bytes);
+
+}  // namespace pcmax::gpusim

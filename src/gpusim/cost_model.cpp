@@ -1,0 +1,75 @@
+#include "gpusim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+
+KernelCost estimate_cost(const DeviceSpec& spec, const WorkEstimate& work) {
+  spec.validate();
+  KernelCost cost;
+  if (work.threads == 0 && work.child_launches == 0) {
+    cost.width_sms = 1;
+    return cost;
+  }
+
+  const std::uint64_t warps = std::max<std::uint64_t>(
+      1, util::ceil_div(work.threads,
+                        static_cast<std::uint64_t>(spec.warp_size)));
+  cost.width_sms = static_cast<int>(std::min<std::uint64_t>(
+      warps, static_cast<std::uint64_t>(spec.sm_count)));
+
+  const double width = cost.width_sms;
+
+  // Compute roofline: one op per lane per cycle.
+  const double lanes =
+      std::min(static_cast<double>(std::max<std::uint64_t>(1, work.threads)),
+               width * spec.cores_per_sm);
+  const double compute_ns =
+      static_cast<double>(work.thread_ops) * spec.cycle_time().ns() / lanes;
+
+  // Latency roofline: transactions hidden across resident warps, each warp
+  // keeping warp_mlp requests outstanding.
+  const double resident_warps = std::min(
+      static_cast<double>(warps),
+      width * spec.max_warps_per_sm);
+  const double latency_ns = static_cast<double>(work.transactions) *
+                            spec.memory_latency.ns() /
+                            (resident_warps * spec.warp_mlp);
+
+  // Bandwidth roofline: each transaction moves one segment.
+  const double bytes = static_cast<double>(work.transactions) *
+                       spec.memory_segment_bytes;
+  const double bandwidth_ns = bytes / spec.mem_bandwidth_gbps;  // GB/s == B/ns
+
+  // Dynamic-parallelism launches drain through the device's pending-launch
+  // buffer at a fixed rate of dp_launch_lanes concurrent queues, regardless
+  // of how many parent warps issue them.
+  const double child_ns = static_cast<double>(work.child_launches) *
+                          spec.child_launch_overhead.ns() /
+                          spec.dp_launch_lanes;
+
+  const double exclusive_ns =
+      std::max({compute_ns, latency_ns, bandwidth_ns}) + child_ns;
+  cost.exclusive = util::SimTime::from_ns(exclusive_ns);
+  cost.work = util::SimTime::from_ns(exclusive_ns * width);
+  return cost;
+}
+
+FluidTask make_fluid_task(const DeviceSpec& spec, const WorkEstimate& work,
+                          int stream, bool is_child, std::uint64_t tag) {
+  const KernelCost cost = estimate_cost(spec, work);
+  FluidTask task;
+  task.stream = stream;
+  task.latency =
+      is_child ? spec.child_launch_overhead : spec.host_launch_overhead;
+  task.work = cost.work;
+  task.width_sms = cost.width_sms;
+  task.tag = tag;
+  return task;
+}
+
+}  // namespace pcmax::gpusim

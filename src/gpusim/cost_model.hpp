@@ -1,0 +1,42 @@
+// Maps a kernel's structural work (WorkEstimate) to fluid-scheduler task
+// parameters. The model is a roofline over three resources:
+//
+//   compute:  thread_ops spread over min(threads, width * cores_per_sm)
+//             lanes at one op per cycle;
+//   latency:  transactions divided by the memory parallelism — resident
+//             warps (capped by occupancy) times the per-warp outstanding
+//             request count;
+//   bandwidth: transactions * segment_bytes at the device's DRAM bandwidth.
+//
+// The kernel's exclusive duration is the max of the three, plus serialized
+// child-launch overhead amortized over the launch queues. Its fluid `work`
+// is that duration times its width so sharing degrades it linearly.
+#pragma once
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/fluid.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace pcmax::gpusim {
+
+struct KernelCost {
+  /// SMs the kernel can occupy (its fluid width).
+  int width_sms = 1;
+  /// Exclusive execution time at full width, excluding launch overhead.
+  util::SimTime exclusive;
+  /// Fluid work: exclusive * width.
+  util::SimTime work;
+};
+
+/// `is_child` selects the (cheaper) device-side launch overhead for
+/// dynamically launched kernels.
+[[nodiscard]] KernelCost estimate_cost(const DeviceSpec& spec,
+                                       const WorkEstimate& work);
+
+/// Packages the cost as a fluid task on `stream` with the right launch
+/// latency.
+[[nodiscard]] FluidTask make_fluid_task(const DeviceSpec& spec,
+                                        const WorkEstimate& work, int stream,
+                                        bool is_child, std::uint64_t tag);
+
+}  // namespace pcmax::gpusim

@@ -1,0 +1,110 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+
+Device::Device(DeviceSpec spec)
+    : spec_(std::move(spec)), scheduler_(spec_.sm_count) {
+  spec_.validate();
+}
+
+Device::Buffer& Device::Buffer::operator=(Buffer&& o) noexcept {
+  if (this != &o) {
+    release();
+    device_ = o.device_;
+    bytes_ = o.bytes_;
+    o.device_ = nullptr;
+    o.bytes_ = 0;
+  }
+  return *this;
+}
+
+void Device::Buffer::release() noexcept {
+  if (device_ != nullptr) {
+    device_->memory_in_use_ -= bytes_;
+    device_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+Device::Buffer Device::allocate(std::uint64_t bytes) {
+  if (memory_in_use_ + bytes > spec_.global_memory_bytes)
+    throw OutOfMemory("device allocation of " + std::to_string(bytes) +
+                      " bytes exceeds " +
+                      std::to_string(spec_.global_memory_bytes -
+                                     memory_in_use_) +
+                      " bytes free");
+  memory_in_use_ += bytes;
+  peak_memory_ = std::max(peak_memory_, memory_in_use_);
+  return Buffer(this, bytes);
+}
+
+void Device::enqueue(int stream, std::string name, const WorkEstimate& work,
+                     util::SimTime launch_latency, bool is_child) {
+  PCMAX_EXPECTS(stream >= 0 && stream < spec_.max_streams);
+  FluidTask task =
+      make_fluid_task(spec_, work, stream, is_child, pending_.size());
+  task.latency = launch_latency;
+  KernelRecord record;
+  record.name = std::move(name);
+  record.stream = stream;
+  record.work = work;
+  pending_.push_back(std::move(record));
+  scheduler_.submit(task);
+
+  ++stats_.kernels;
+  if (is_child) ++stats_.child_kernels;
+  stats_.child_kernels += work.child_launches;
+  stats_.threads += work.threads;
+  stats_.thread_ops += work.thread_ops;
+  stats_.transactions += work.transactions;
+}
+
+void Device::launch(int stream, std::string name, const LaunchConfig& config,
+                    const KernelFn& fn) {
+  const WorkEstimate work = execute_kernel(config, fn, spec_);
+  enqueue(stream, std::move(name), work, spec_.host_launch_overhead,
+          /*is_child=*/false);
+}
+
+void Device::launch_estimated(int stream, std::string name,
+                              const WorkEstimate& work, bool is_child) {
+  enqueue(stream, std::move(name), work,
+          is_child ? spec_.child_launch_overhead : spec_.host_launch_overhead,
+          is_child);
+}
+
+void Device::launch_accounted(int stream, std::string name,
+                              const WorkEstimate& work) {
+  enqueue(stream, std::move(name), work, util::SimTime{},
+          /*is_child=*/true);
+}
+
+void Device::advance(util::SimTime delta) {
+  PCMAX_EXPECTS(delta >= util::SimTime{});
+  PCMAX_EXPECTS(pending_.empty());
+  now_ += delta;
+}
+
+util::SimTime Device::synchronize() {
+  ++stats_.synchronizations;
+  if (!pending_.empty()) {
+    scheduler_.clear_history();
+    now_ = scheduler_.run(now_);
+    for (const auto& c : scheduler_.completed()) {
+      KernelRecord& record = pending_[c.task.tag];
+      record.start = c.start;
+      record.finish = c.finish;
+    }
+    log_.insert(log_.end(), std::make_move_iterator(pending_.begin()),
+                std::make_move_iterator(pending_.end()));
+    pending_.clear();
+  }
+  now_ += spec_.sync_overhead;
+  return now_;
+}
+
+}  // namespace pcmax::gpusim

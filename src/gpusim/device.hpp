@@ -1,0 +1,151 @@
+// The simulated GPU device: stream queues, kernel launches (executable or
+// analytic), Hyper-Q concurrency via the fluid scheduler, global-memory
+// accounting, and a per-kernel timing log.
+//
+// Execution semantics: kernel functors run eagerly on the host at launch()
+// so data is immediately visible (the simulator computes real results);
+// *timing* is resolved lazily at synchronize(), which replays all launches
+// through the fluid scheduler and advances the device clock. As on a real
+// GPU, callers are responsible for ordering dependent kernels onto one
+// stream or separating them by synchronize().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/execute.hpp"
+#include "gpusim/fluid.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace pcmax::gpusim {
+
+/// Thrown when an allocation would exceed the device's global memory.
+class OutOfMemory : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+
+  // --- Memory -----------------------------------------------------------
+
+  /// RAII handle to a device allocation; releasing it returns the bytes.
+  class Buffer {
+   public:
+    Buffer() noexcept = default;
+    Buffer(Buffer&& o) noexcept : device_(o.device_), bytes_(o.bytes_) {
+      o.device_ = nullptr;
+      o.bytes_ = 0;
+    }
+    Buffer& operator=(Buffer&& o) noexcept;
+    Buffer(const Buffer&) = delete;
+    Buffer& operator=(const Buffer&) = delete;
+    ~Buffer() { release(); }
+
+    [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+    void release() noexcept;
+
+   private:
+    friend class Device;
+    Buffer(Device* device, std::uint64_t bytes) noexcept
+        : device_(device), bytes_(bytes) {}
+    Device* device_ = nullptr;
+    std::uint64_t bytes_ = 0;
+  };
+
+  /// Reserves `bytes` of global memory; throws OutOfMemory when the device
+  /// capacity would be exceeded.
+  [[nodiscard]] Buffer allocate(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t memory_in_use() const noexcept {
+    return memory_in_use_;
+  }
+  [[nodiscard]] std::uint64_t peak_memory() const noexcept {
+    return peak_memory_;
+  }
+
+  // --- Kernels ----------------------------------------------------------
+
+  /// Launches an executable kernel on `stream`: runs every thread functor
+  /// now, records measured work, and schedules its timing at the next
+  /// synchronize().
+  void launch(int stream, std::string name, const LaunchConfig& config,
+              const KernelFn& fn);
+
+  /// Launches an analytic kernel whose structural work the caller computed.
+  /// `is_child` marks a Dynamic Parallelism launch.
+  void launch_estimated(int stream, std::string name,
+                        const WorkEstimate& work, bool is_child = false);
+
+  /// Launches an analytic kernel whose launch cost was already charged
+  /// elsewhere (e.g. in the parent kernel's child_launches): the fluid task
+  /// carries no launch latency of its own, only its work.
+  void launch_accounted(int stream, std::string name,
+                        const WorkEstimate& work);
+
+  /// Drains all pending launches through the fluid scheduler, advances the
+  /// device clock past the last completion plus the synchronization
+  /// overhead, and returns the new clock.
+  util::SimTime synchronize();
+
+  /// Current device clock (simulated).
+  [[nodiscard]] util::SimTime now() const noexcept { return now_; }
+
+  /// Advances the clock by externally-accounted time (e.g. work simulated
+  /// on scratch devices that represents concurrent activity on this one).
+  /// Requires no pending launches. `delta` must be non-negative.
+  void advance(util::SimTime delta);
+
+  // --- Introspection ----------------------------------------------------
+
+  struct KernelRecord {
+    std::string name;
+    int stream = 0;
+    WorkEstimate work;
+    util::SimTime start;
+    util::SimTime finish;
+  };
+
+  struct Stats {
+    std::uint64_t kernels = 0;
+    std::uint64_t child_kernels = 0;
+    std::uint64_t threads = 0;
+    std::uint64_t thread_ops = 0;
+    std::uint64_t transactions = 0;
+    std::uint64_t synchronizations = 0;
+  };
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::span<const KernelRecord> log() const noexcept {
+    return log_;
+  }
+  /// Drops the kernel log (it can grow large in long simulations).
+  void clear_log() { log_.clear(); }
+
+ private:
+  void enqueue(int stream, std::string name, const WorkEstimate& work,
+               util::SimTime launch_latency, bool is_child);
+
+  DeviceSpec spec_;
+  util::SimTime now_;
+  FluidScheduler scheduler_;
+  std::vector<KernelRecord> pending_;
+  std::vector<KernelRecord> log_;
+  Stats stats_;
+  std::uint64_t memory_in_use_ = 0;
+  std::uint64_t peak_memory_ = 0;
+};
+
+}  // namespace pcmax::gpusim

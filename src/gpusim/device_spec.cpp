@@ -1,0 +1,60 @@
+#include "gpusim/device_spec.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+
+void DeviceSpec::validate() const {
+  PCMAX_EXPECTS(sm_count >= 1);
+  PCMAX_EXPECTS(cores_per_sm >= 1);
+  PCMAX_EXPECTS(warp_size >= 1);
+  PCMAX_EXPECTS(max_warps_per_sm >= 1);
+  PCMAX_EXPECTS(clock_ghz > 0.0);
+  PCMAX_EXPECTS(max_streams >= 1);
+  PCMAX_EXPECTS(global_memory_bytes > 0);
+  PCMAX_EXPECTS(memory_segment_bytes >= 1);
+  PCMAX_EXPECTS(memory_latency >= util::SimTime{});
+  PCMAX_EXPECTS(mem_bandwidth_gbps > 0.0);
+  PCMAX_EXPECTS(warp_mlp >= 1);
+  PCMAX_EXPECTS(dp_launch_lanes >= 1);
+  PCMAX_EXPECTS(host_launch_overhead >= util::SimTime{});
+  PCMAX_EXPECTS(child_launch_overhead >= util::SimTime{});
+  PCMAX_EXPECTS(sync_overhead >= util::SimTime{});
+}
+
+DeviceSpec DeviceSpec::k40() {
+  DeviceSpec spec;
+  spec.name = "tesla-k40";
+  return spec;
+}
+
+DeviceSpec DeviceSpec::k20() {
+  DeviceSpec spec;
+  spec.name = "tesla-k20";
+  spec.sm_count = 13;
+  spec.clock_ghz = 0.706;
+  spec.global_memory_bytes = 5ull << 30;
+  spec.mem_bandwidth_gbps = 208.0;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::modern() {
+  DeviceSpec spec;
+  spec.name = "modern-hbm";
+  spec.sm_count = 80;
+  spec.cores_per_sm = 64;
+  spec.max_warps_per_sm = 48;
+  spec.clock_ghz = 1.4;
+  spec.global_memory_bytes = 40ull << 30;
+  spec.mem_bandwidth_gbps = 900.0;
+  spec.memory_latency = util::SimTime::nanoseconds(250);
+  spec.warp_mlp = 4;
+  spec.host_launch_overhead = util::SimTime::microseconds(5);
+  // Post-Kepler device-side launches are an order of magnitude cheaper.
+  spec.child_launch_overhead = util::SimTime::microseconds(40);
+  spec.dp_launch_lanes = 16;
+  spec.max_streams = 128;
+  return spec;
+}
+
+}  // namespace pcmax::gpusim

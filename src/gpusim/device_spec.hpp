@@ -1,0 +1,69 @@
+// Hardware description of the simulated GPU. The defaults model the NVIDIA
+// Tesla K40 the paper evaluates on (15 SMX units x 192 cores at 745 MHz,
+// 12 GB of global memory, Hyper-Q with up to 32 streams, Dynamic
+// Parallelism). The cost constants are coarse published figures — the
+// simulator is a structural model, not a cycle-accurate one (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/sim_time.hpp"
+
+namespace pcmax::gpusim {
+
+struct DeviceSpec {
+  std::string name = "generic-gpu";
+
+  // Compute resources.
+  int sm_count = 15;
+  int cores_per_sm = 192;
+  int warp_size = 32;
+  /// Resident warps one SM can keep in flight to hide memory latency.
+  int max_warps_per_sm = 64;
+  double clock_ghz = 0.745;
+
+  // Concurrency features.
+  int max_streams = 32;           ///< Hyper-Q hardware work queues.
+  bool dynamic_parallelism = true;
+
+  // Memory system.
+  std::uint64_t global_memory_bytes = 12ull << 30;
+  int memory_segment_bytes = 128;  ///< coalescing granularity
+  util::SimTime memory_latency = util::SimTime::nanoseconds(350);
+  double mem_bandwidth_gbps = 288.0;  ///< DRAM bandwidth (GDDR5 on K40)
+  /// Outstanding memory requests one warp keeps in flight.
+  int warp_mlp = 2;
+
+  // Fixed overheads.
+  util::SimTime host_launch_overhead = util::SimTime::microseconds(20);
+  /// Dynamic-parallelism launch latency. Device-side launches on Kepler go
+  /// through a pending-launch buffer and are expensive under load.
+  util::SimTime child_launch_overhead = util::SimTime::microseconds(500);
+  /// Concurrent device-side launch queues draining child kernels.
+  int dp_launch_lanes = 4;
+  util::SimTime sync_overhead = util::SimTime::microseconds(4);
+
+  /// Duration of one core clock cycle.
+  [[nodiscard]] util::SimTime cycle_time() const {
+    return util::SimTime::from_ns(1.0 / clock_ghz);
+  }
+
+  [[nodiscard]] int total_cores() const noexcept {
+    return sm_count * cores_per_sm;
+  }
+
+  /// Throws util::contract_violation when fields are inconsistent.
+  void validate() const;
+
+  /// The Tesla K40 configuration used throughout the benchmarks.
+  [[nodiscard]] static DeviceSpec k40();
+  /// A Tesla K20 (the K40's smaller sibling): fewer SMX, less memory.
+  [[nodiscard]] static DeviceSpec k20();
+  /// A generic modern data-center GPU: many small SMs, HBM bandwidth,
+  /// cheap device-side launches. Used by the device-sweep ablation to show
+  /// how the cost model responds to hardware generations.
+  [[nodiscard]] static DeviceSpec modern();
+};
+
+}  // namespace pcmax::gpusim

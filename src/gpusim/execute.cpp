@@ -1,0 +1,43 @@
+#include "gpusim/execute.hpp"
+
+#include <vector>
+
+#include "gpusim/coalescing.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+
+WorkEstimate execute_kernel(const LaunchConfig& config, const KernelFn& fn,
+                            const DeviceSpec& spec) {
+  PCMAX_EXPECTS(static_cast<bool>(fn));
+  PCMAX_EXPECTS(config.grid_blocks >= 1 && config.block_threads >= 1);
+  spec.validate();
+
+  WorkEstimate estimate;
+  estimate.threads = config.total_threads();
+
+  std::vector<ThreadTrace> warp_traces;
+  warp_traces.reserve(static_cast<std::size_t>(spec.warp_size));
+
+  for (std::uint32_t b = 0; b < config.grid_blocks; ++b) {
+    // Warps never span thread blocks; partial trailing warps are allowed.
+    for (std::uint32_t warp_base = 0; warp_base < config.block_threads;
+         warp_base += static_cast<std::uint32_t>(spec.warp_size)) {
+      warp_traces.clear();
+      const std::uint32_t warp_end =
+          std::min(warp_base + static_cast<std::uint32_t>(spec.warp_size),
+                   config.block_threads);
+      for (std::uint32_t t = warp_base; t < warp_end; ++t) {
+        ThreadCtx ctx(b, t, config.block_threads);
+        fn(ctx);
+        estimate.thread_ops += ctx.op_count();
+        warp_traces.push_back(ctx.accesses());
+      }
+      estimate.transactions +=
+          warp_transactions(warp_traces, spec.memory_segment_bytes);
+    }
+  }
+  return estimate;
+}
+
+}  // namespace pcmax::gpusim

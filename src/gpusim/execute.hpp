@@ -1,0 +1,20 @@
+// Host-side execution of an executable kernel: runs every thread's functor,
+// collects traces, and reduces them to a WorkEstimate with warp-coalesced
+// transaction counts. Execution is warp-by-warp so peak trace memory is one
+// warp, not one grid.
+#pragma once
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace pcmax::gpusim {
+
+/// Runs `fn` for every thread of `config` and returns the measured work.
+/// Thread functors must be pure with respect to simulator state: they may
+/// mutate user data but must not launch kernels (use the Device API for
+/// dynamic parallelism).
+[[nodiscard]] WorkEstimate execute_kernel(const LaunchConfig& config,
+                                          const KernelFn& fn,
+                                          const DeviceSpec& spec);
+
+}  // namespace pcmax::gpusim

@@ -1,0 +1,129 @@
+#include "gpusim/fluid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+
+namespace {
+
+/// Live state of the head task of one stream.
+struct ActiveTask {
+  std::size_t stream;
+  FluidTask task;
+  util::SimTime start;
+  std::int64_t latency_left_ps;
+  std::int64_t work_left_ps;  // SM-picoseconds
+  int rate_sms = 0;           // current allocation
+};
+
+}  // namespace
+
+FluidScheduler::FluidScheduler(int capacity_sms) : capacity_(capacity_sms) {
+  PCMAX_EXPECTS(capacity_sms >= 1);
+}
+
+void FluidScheduler::submit(const FluidTask& task) {
+  PCMAX_EXPECTS(task.stream >= 0);
+  PCMAX_EXPECTS(task.latency >= util::SimTime{});
+  PCMAX_EXPECTS(task.work >= util::SimTime{});
+  PCMAX_EXPECTS(task.work == util::SimTime{} || task.width_sms >= 1);
+  const auto s = static_cast<std::size_t>(task.stream);
+  if (s >= queues_.size()) queues_.resize(s + 1);
+  queues_[s].push_back(task);
+}
+
+util::SimTime FluidScheduler::run(util::SimTime start_at) {
+  // Per-stream cursor into the FIFO.
+  std::vector<std::size_t> next(queues_.size(), 0);
+  std::vector<ActiveTask> active;  // at most one per stream, sorted by stream
+
+  auto activate_heads = [&](util::SimTime now) {
+    for (std::size_t s = 0; s < queues_.size(); ++s) {
+      const bool has_active =
+          std::any_of(active.begin(), active.end(),
+                      [&](const ActiveTask& a) { return a.stream == s; });
+      if (has_active || next[s] >= queues_[s].size()) continue;
+      const FluidTask& t = queues_[s][next[s]++];
+      active.push_back(ActiveTask{s, t, now, t.latency.ps(), t.work.ps(), 0});
+    }
+    std::sort(active.begin(), active.end(),
+              [](const ActiveTask& a, const ActiveTask& b) {
+                return a.stream < b.stream;
+              });
+  };
+
+  util::SimTime now = start_at;
+  util::SimTime last_finish = start_at;
+  activate_heads(now);
+
+  while (!active.empty()) {
+    // Water-fill SMs one at a time, in stream order, over tasks whose
+    // latency has elapsed and that still want more.
+    for (auto& a : active) a.rate_sms = 0;
+    int remaining = capacity_;
+    bool progress = true;
+    while (remaining > 0 && progress) {
+      progress = false;
+      for (auto& a : active) {
+        if (remaining == 0) break;
+        if (a.latency_left_ps > 0 || a.work_left_ps == 0) continue;
+        if (a.rate_sms >= a.task.width_sms) continue;
+        ++a.rate_sms;
+        --remaining;
+        progress = true;
+      }
+    }
+
+    // Next event: a latency phase ends or an allocated task drains.
+    std::int64_t dt = std::numeric_limits<std::int64_t>::max();
+    for (const auto& a : active) {
+      if (a.latency_left_ps > 0) {
+        dt = std::min(dt, a.latency_left_ps);
+      } else if (a.work_left_ps > 0 && a.rate_sms > 0) {
+        dt = std::min<std::int64_t>(
+            dt, static_cast<std::int64_t>(util::ceil_div(
+                    static_cast<std::uint64_t>(a.work_left_ps),
+                    static_cast<std::uint64_t>(a.rate_sms))));
+      } else if (a.work_left_ps == 0 && a.latency_left_ps == 0) {
+        dt = 0;  // completes immediately (zero-work task)
+      }
+    }
+    PCMAX_ENSURES(dt != std::numeric_limits<std::int64_t>::max());
+
+    now += util::SimTime::picoseconds(dt);
+    bool completed_any = false;
+    for (auto& a : active) {
+      if (a.latency_left_ps > 0) {
+        a.latency_left_ps = std::max<std::int64_t>(0, a.latency_left_ps - dt);
+      } else if (a.rate_sms > 0) {
+        a.work_left_ps =
+            std::max<std::int64_t>(0, a.work_left_ps - a.rate_sms * dt);
+      }
+      if (a.latency_left_ps == 0 && a.work_left_ps == 0) completed_any = true;
+    }
+
+    if (completed_any) {
+      std::vector<ActiveTask> still_active;
+      still_active.reserve(active.size());
+      for (auto& a : active) {
+        if (a.latency_left_ps == 0 && a.work_left_ps == 0) {
+          completions_.push_back(FluidCompletion{a.task, a.start, now});
+          last_finish = std::max(last_finish, now);
+        } else {
+          still_active.push_back(a);
+        }
+      }
+      active = std::move(still_active);
+      activate_heads(now);
+    }
+  }
+
+  queues_.clear();
+  return last_finish;
+}
+
+}  // namespace pcmax::gpusim

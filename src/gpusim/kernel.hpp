@@ -1,0 +1,52 @@
+// Kernel descriptions accepted by the simulated device.
+//
+// A kernel is either *executable* — a per-thread functor the simulator runs
+// on the host while tracking its memory accesses — or *analytic* — a
+// WorkEstimate whose structural quantities (threads, per-thread ops,
+// coalesced transactions, child launches) the caller computed itself. Both
+// forms feed the same cost model; the executable form exists so the model's
+// inputs can be validated against real access patterns, the analytic form so
+// large DP tables can be simulated without materializing billions of
+// per-thread traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "gpusim/thread_ctx.hpp"
+
+namespace pcmax::gpusim {
+
+struct LaunchConfig {
+  std::uint32_t grid_blocks = 1;
+  std::uint32_t block_threads = 1;
+
+  [[nodiscard]] std::uint64_t total_threads() const noexcept {
+    return static_cast<std::uint64_t>(grid_blocks) * block_threads;
+  }
+};
+
+/// Structural cost of one kernel execution.
+struct WorkEstimate {
+  /// Total threads that perform work.
+  std::uint64_t threads = 0;
+  /// Arithmetic/flow operations summed over all threads.
+  std::uint64_t thread_ops = 0;
+  /// Global-memory transactions after warp coalescing, summed over warps.
+  std::uint64_t transactions = 0;
+  /// Kernels launched from device threads (Dynamic Parallelism).
+  std::uint64_t child_launches = 0;
+
+  WorkEstimate& operator+=(const WorkEstimate& o) noexcept {
+    threads += o.threads;
+    thread_ops += o.thread_ops;
+    transactions += o.transactions;
+    child_launches += o.child_launches;
+    return *this;
+  }
+};
+
+using KernelFn = std::function<void(ThreadCtx&)>;
+
+}  // namespace pcmax::gpusim

@@ -1,0 +1,53 @@
+#include "gpusim/stream_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace pcmax::gpusim {
+
+double DeviceTimeline::concurrency() const noexcept {
+  if (total_span <= util::SimTime{}) return 0.0;
+  double busy_ns = 0.0;
+  for (const auto& s : streams) busy_ns += s.busy.ns();
+  return busy_ns / total_span.ns();
+}
+
+DeviceTimeline summarize_streams(const Device& device) {
+  struct Acc {
+    std::uint64_t kernels = 0;
+    util::SimTime busy;
+    util::SimTime first = util::SimTime::picoseconds(
+        std::numeric_limits<std::int64_t>::max());
+    util::SimTime last;
+  };
+  std::map<int, Acc> by_stream;
+  util::SimTime global_first = util::SimTime::picoseconds(
+      std::numeric_limits<std::int64_t>::max());
+  util::SimTime global_last;
+
+  for (const auto& rec : device.log()) {
+    Acc& acc = by_stream[rec.stream];
+    ++acc.kernels;
+    acc.busy += rec.finish - rec.start;
+    acc.first = std::min(acc.first, rec.start);
+    acc.last = std::max(acc.last, rec.finish);
+    global_first = std::min(global_first, rec.start);
+    global_last = std::max(global_last, rec.finish);
+  }
+
+  DeviceTimeline timeline;
+  for (const auto& [stream, acc] : by_stream) {
+    StreamSummary summary;
+    summary.stream = stream;
+    summary.kernels = acc.kernels;
+    summary.busy = acc.busy;
+    summary.span = acc.last - acc.first;
+    timeline.streams.push_back(summary);
+  }
+  timeline.total_span =
+      timeline.streams.empty() ? util::SimTime{} : global_last - global_first;
+  return timeline;
+}
+
+}  // namespace pcmax::gpusim

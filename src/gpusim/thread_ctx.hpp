@@ -1,0 +1,47 @@
+// Per-thread execution context handed to executable kernels. Records the
+// thread's global-memory access trace and operation count; the simulator
+// groups traces into warps and derives coalesced transaction counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcmax::gpusim {
+
+class ThreadCtx {
+ public:
+  ThreadCtx(std::uint32_t block_idx, std::uint32_t thread_idx,
+            std::uint32_t block_dim) noexcept
+      : block_idx_(block_idx), thread_idx_(thread_idx), block_dim_(block_dim) {}
+
+  /// blockIdx.x, threadIdx.x, blockDim.x and the flattened global id.
+  [[nodiscard]] std::uint32_t block_idx() const noexcept { return block_idx_; }
+  [[nodiscard]] std::uint32_t thread_idx() const noexcept {
+    return thread_idx_;
+  }
+  [[nodiscard]] std::uint32_t block_dim() const noexcept { return block_dim_; }
+  [[nodiscard]] std::uint64_t global_id() const noexcept {
+    return static_cast<std::uint64_t>(block_idx_) * block_dim_ + thread_idx_;
+  }
+
+  /// Records a global-memory read of the word at byte address `addr`.
+  void load(std::uint64_t addr) { accesses_.push_back(addr); }
+  /// Records a global-memory write of the word at byte address `addr`.
+  void store(std::uint64_t addr) { accesses_.push_back(addr); }
+  /// Records `n` arithmetic/flow operations.
+  void ops(std::uint64_t n) noexcept { ops_ += n; }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& accesses() const noexcept {
+    return accesses_;
+  }
+  [[nodiscard]] std::uint64_t op_count() const noexcept { return ops_; }
+
+ private:
+  std::uint32_t block_idx_;
+  std::uint32_t thread_idx_;
+  std::uint32_t block_dim_;
+  std::vector<std::uint64_t> accesses_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace pcmax::gpusim

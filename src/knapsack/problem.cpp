@@ -1,0 +1,32 @@
+#include "knapsack/problem.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pcmax::knapsack {
+
+void KnapsackProblem::validate() const {
+  PCMAX_EXPECTS(!budgets.empty());
+  for (const auto b : budgets) PCMAX_EXPECTS(b >= 0);
+  PCMAX_EXPECTS(!items.empty());
+  for (const auto& item : items) {
+    PCMAX_EXPECTS(item.value > 0);
+    PCMAX_EXPECTS(item.weights.size() == budgets.size());
+    std::int64_t total = 0;
+    for (const auto w : item.weights) {
+      PCMAX_EXPECTS(w >= 0);
+      total += w;
+    }
+    // A free item would create a dependency cycle (same-level self edge).
+    PCMAX_EXPECTS(total >= 1);
+  }
+}
+
+dp::MixedRadix KnapsackProblem::radix() const {
+  std::vector<std::int64_t> extents(budgets.size());
+  for (std::size_t i = 0; i < budgets.size(); ++i) extents[i] = budgets[i] + 1;
+  return dp::MixedRadix(std::move(extents));
+}
+
+std::uint64_t KnapsackProblem::table_size() const { return radix().size(); }
+
+}  // namespace pcmax::knapsack

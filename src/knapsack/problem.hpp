@@ -1,0 +1,39 @@
+// Higher-dimensional (multi-constraint) unbounded knapsack — the problem
+// family the paper's Section V names as the next target for the
+// data-partitioning scheme (following Berger & Galea's GPU knapsack [15]).
+//
+// The DP table spans one dimension per resource: K(c_1, ..., c_d) is the
+// best value achievable within the budget vector c, with
+//   K(c) = max over items i with w_i <= c of K(c - w_i) + v_i,  K(0) = 0.
+// Every item consumes at least one unit of some resource, so dependencies
+// sit on strictly lower anti-diagonal levels and the same block-wavefront
+// machinery that drives the scheduling DP applies unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/mixed_radix.hpp"
+
+namespace pcmax::knapsack {
+
+struct Item {
+  std::int64_t value = 0;                ///< > 0
+  std::vector<std::int64_t> weights;     ///< per resource, >= 0, not all 0
+};
+
+struct KnapsackProblem {
+  /// Per-resource budgets, each >= 0. The DP table has extents budget+1.
+  std::vector<std::int64_t> budgets;
+  /// Item catalogue (unbounded copies of each item may be taken).
+  std::vector<Item> items;
+
+  /// Throws util::contract_violation when the fields are inconsistent.
+  void validate() const;
+
+  [[nodiscard]] std::size_t dims() const noexcept { return budgets.size(); }
+  [[nodiscard]] dp::MixedRadix radix() const;
+  [[nodiscard]] std::uint64_t table_size() const;
+};
+
+}  // namespace pcmax::knapsack

@@ -1,0 +1,49 @@
+// Solvers for the higher-dimensional knapsack DP, mirroring the scheduling
+// DP's solver family: a level-ordered reference, a blocked wavefront built
+// on the partition substrate, and a simulated-GPU engine charging the same
+// structural quantities. All produce bit-identical tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "knapsack/problem.hpp"
+
+namespace pcmax::knapsack {
+
+struct KnapsackResult {
+  /// Best value at the full budget vector.
+  std::int64_t best = 0;
+  /// Full DP table, row-major over the budget radix.
+  std::vector<std::int64_t> table;
+};
+
+/// Level-ordered single-threaded oracle.
+[[nodiscard]] KnapsackResult solve_reference(const KnapsackProblem& problem);
+
+/// Block-wavefront solver on the data-partitioning scheme: the table is
+/// stored blocked, block-levels run as a wavefront, blocks of one level in
+/// parallel (OpenMP). `partition_dims` selects how many dimensions the
+/// divisor keeps, exactly as for the scheduling DP.
+[[nodiscard]] KnapsackResult solve_blocked(const KnapsackProblem& problem,
+                                           std::size_t partition_dims,
+                                           int num_threads = 0);
+
+/// Simulated-GPU engine: the blocked traversal drives kernel charges on
+/// `device` (one level kernel per in-block anti-diagonal level, blocks of a
+/// block-level cyclic over 4 streams). Returns the same table; the device
+/// clock advances by the simulated execution time.
+[[nodiscard]] KnapsackResult solve_gpu(const KnapsackProblem& problem,
+                                       gpusim::Device& device,
+                                       std::size_t partition_dims,
+                                       int stream_count = 4);
+
+/// Greedy backtrack of a solved table into item counts (one entry per item
+/// type). The reconstruction is deterministic: first item in catalogue
+/// order that explains the cell value.
+[[nodiscard]] std::vector<std::int64_t> reconstruct_items(
+    const KnapsackProblem& problem, const KnapsackResult& result);
+
+}  // namespace pcmax::knapsack

@@ -1,0 +1,68 @@
+// Block-wavefront DP solver: the CPU realization of the paper's
+// data-partitioning scheme (Algorithms 4 and 5).
+//
+// The table is stored in blocked layout. Block-levels (sum of block
+// coordinates) are processed sequentially; blocks within a block-level are
+// independent and run in parallel; inside a block, in-block anti-diagonal
+// levels run sequentially with all cells of a level independent. Dependencies
+// of a cell live either in the same block at a strictly lower in-block level
+// or in a block of a strictly lower block-level, so this order is safe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dp/solver.hpp"
+#include "partition/blocked_layout.hpp"
+
+namespace pcmax::partition {
+
+/// Observation hooks used by the GPU engine to charge simulated kernel costs
+/// while the real computation proceeds. Default implementations do nothing.
+class BlockObserver {
+ public:
+  struct CellStat {
+    /// prod(v_i + 1): sub-configuration candidates FindValidSub enumerates.
+    std::uint64_t candidates = 0;
+    /// |C_v|: valid dependencies SetOPT reduces over.
+    std::uint32_t deps = 0;
+  };
+
+  virtual ~BlockObserver() = default;
+  virtual void on_solve_begin(const BlockedLayout& /*layout*/,
+                              std::uint64_t /*config_count*/) {}
+  virtual void on_block_level(std::int64_t /*level*/,
+                              std::span<const std::uint64_t> /*blocks*/) {}
+  virtual void on_in_block_level(std::uint64_t /*block_id*/,
+                                 std::int64_t /*in_level*/,
+                                 std::span<const CellStat> /*cells*/) {}
+  virtual void on_solve_end() {}
+};
+
+class BlockedSolver final : public dp::DpSolver {
+ public:
+  /// `partition_dims` is the number of dimensions the divisor keeps
+  /// (GPU-DIM3 ... GPU-DIM9 in the paper). `observer` may be null; when set
+  /// it receives per-level work statistics during solve().
+  explicit BlockedSolver(std::size_t partition_dims,
+                         BlockObserver* observer = nullptr)
+      : partition_dims_(partition_dims), observer_(observer) {}
+
+  using DpSolver::solve;
+  [[nodiscard]] dp::DpResult solve(
+      const dp::DpProblem& problem,
+      const dp::SolveOptions& options) const override;
+  [[nodiscard]] std::string name() const override {
+    return "blocked-dim" + std::to_string(partition_dims_);
+  }
+
+  [[nodiscard]] std::size_t partition_dims() const noexcept {
+    return partition_dims_;
+  }
+
+ private:
+  std::size_t partition_dims_;
+  BlockObserver* observer_;
+};
+
+}  // namespace pcmax::partition

@@ -1,0 +1,92 @@
+#include "partition/blocked_layout.hpp"
+
+#include "partition/divisor.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::partition {
+
+namespace {
+
+dp::MixedRadix make_grid(const dp::MixedRadix& radix,
+                         const std::vector<std::int64_t>& divisor) {
+  PCMAX_EXPECTS(divisor.size() == radix.dims());
+  return dp::MixedRadix(std::vector<std::int64_t>(divisor));
+}
+
+dp::MixedRadix make_block(const dp::MixedRadix& radix,
+                          const std::vector<std::int64_t>& divisor) {
+  return dp::MixedRadix(block_sizes(radix.extents(), divisor));
+}
+
+}  // namespace
+
+BlockedLayout::BlockedLayout(const dp::MixedRadix& radix,
+                             std::vector<std::int64_t> divisor)
+    : radix_(radix),
+      divisor_(std::move(divisor)),
+      grid_(make_grid(radix, divisor_)),
+      grid_block_(make_block(radix, divisor_)) {}
+
+std::uint64_t BlockedLayout::block_of(
+    std::span<const std::int64_t> cell) const {
+  PCMAX_EXPECTS(cell.size() == radix_.dims());
+  std::uint64_t id = 0;
+  const auto& bs = grid_block_.extents();
+  const auto& strides = grid_.strides();
+  for (std::size_t i = 0; i < cell.size(); ++i)
+    id += static_cast<std::uint64_t>(cell[i] / bs[i]) * strides[i];
+  return id;
+}
+
+std::uint64_t BlockedLayout::blocked_offset(
+    std::span<const std::int64_t> cell) const {
+  PCMAX_EXPECTS(cell.size() == radix_.dims());
+  const auto& bs = grid_block_.extents();
+  std::uint64_t block_id = 0, local = 0;
+  for (std::size_t i = 0; i < cell.size(); ++i) {
+    block_id += static_cast<std::uint64_t>(cell[i] / bs[i]) *
+                grid_.strides()[i];
+    local += static_cast<std::uint64_t>(cell[i] % bs[i]) *
+             grid_block_.strides()[i];
+  }
+  return block_id * cells_per_block() + local;
+}
+
+std::uint64_t BlockedLayout::to_blocked(std::uint64_t row_major) const {
+  std::int64_t coords[64];
+  PCMAX_EXPECTS(radix_.dims() <= 64);
+  std::span<std::int64_t> c(coords, radix_.dims());
+  radix_.unflatten(row_major, c);
+  return blocked_offset(c);
+}
+
+std::uint64_t BlockedLayout::from_blocked(std::uint64_t blocked) const {
+  PCMAX_EXPECTS(blocked < radix_.size());
+  const std::uint64_t block_id = blocked / cells_per_block();
+  const std::uint64_t local = blocked % cells_per_block();
+  std::int64_t bcoords[64], lcoords[64], cell[64];
+  PCMAX_EXPECTS(radix_.dims() <= 64);
+  grid_.unflatten(block_id, std::span<std::int64_t>(bcoords, radix_.dims()));
+  grid_block_.unflatten(local, std::span<std::int64_t>(lcoords, radix_.dims()));
+  const auto& bs = grid_block_.extents();
+  for (std::size_t i = 0; i < radix_.dims(); ++i)
+    cell[i] = bcoords[i] * bs[i] + lcoords[i];
+  return radix_.flatten(std::span<const std::int64_t>(cell, radix_.dims()));
+}
+
+void BlockedLayout::cell_at(std::uint64_t block_id,
+                            std::span<const std::int64_t> local,
+                            std::span<std::int64_t> out) const {
+  PCMAX_EXPECTS(local.size() == radix_.dims());
+  PCMAX_EXPECTS(out.size() == radix_.dims());
+  std::int64_t bcoords[64];
+  PCMAX_EXPECTS(radix_.dims() <= 64);
+  grid_.unflatten(block_id, std::span<std::int64_t>(bcoords, radix_.dims()));
+  const auto& bs = grid_block_.extents();
+  for (std::size_t i = 0; i < radix_.dims(); ++i) {
+    PCMAX_EXPECTS(local[i] >= 0 && local[i] < bs[i]);
+    out[i] = bcoords[i] * bs[i] + local[i];
+  }
+}
+
+}  // namespace pcmax::partition

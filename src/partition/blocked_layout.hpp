@@ -1,0 +1,96 @@
+// The memory re-organization of Algorithm 4 (lines 20-28): cells of each
+// block are stored consecutively so block-local kernels touch one contiguous
+// region. A cell with coordinates c maps to
+//   blocked_offset(c) = block_id(c) * cells_per_block + local_offset(c)
+// where block_id is the row-major index of the block coordinates
+// (floor(c_i / block_size_i)) in the block grid, and local_offset is the
+// row-major index of the local coordinates (c_i mod block_size_i) within the
+// block. The divisor divides every extent exactly, so the map is a bijection
+// on [0, table_size).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dp/mixed_radix.hpp"
+
+namespace pcmax::partition {
+
+class BlockedLayout {
+ public:
+  /// `radix` is the DP-table radix; `divisor` must have one entry per
+  /// dimension, each dividing the corresponding extent exactly.
+  BlockedLayout(const dp::MixedRadix& radix, std::vector<std::int64_t> divisor);
+
+  [[nodiscard]] const std::vector<std::int64_t>& divisor() const noexcept {
+    return divisor_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& block_size() const noexcept {
+    return grid_block_.extents();
+  }
+  /// Radix over block coordinates (extents = divisor entries).
+  [[nodiscard]] const dp::MixedRadix& grid() const noexcept { return grid_; }
+  /// Radix over local coordinates (extents = block sizes).
+  [[nodiscard]] const dp::MixedRadix& block() const noexcept {
+    return grid_block_;
+  }
+
+  [[nodiscard]] std::uint64_t block_count() const noexcept {
+    return grid_.size();
+  }
+  [[nodiscard]] std::uint64_t cells_per_block() const noexcept {
+    return grid_block_.size();
+  }
+  /// Number of block-levels (colors in Fig. 2).
+  [[nodiscard]] std::int64_t block_levels() const noexcept {
+    return grid_.max_level() + 1;
+  }
+  /// Number of in-block anti-diagonal levels (Algorithm 5 line 4).
+  [[nodiscard]] std::int64_t in_block_levels() const noexcept {
+    return grid_block_.max_level() + 1;
+  }
+
+  /// Block id a cell belongs to.
+  [[nodiscard]] std::uint64_t block_of(
+      std::span<const std::int64_t> cell) const;
+
+  /// Blocked offset of a cell given by coordinates.
+  [[nodiscard]] std::uint64_t blocked_offset(
+      std::span<const std::int64_t> cell) const;
+
+  /// Blocked offset of a cell given by its row-major index.
+  [[nodiscard]] std::uint64_t to_blocked(std::uint64_t row_major) const;
+
+  /// Inverse: row-major index of a blocked offset.
+  [[nodiscard]] std::uint64_t from_blocked(std::uint64_t blocked) const;
+
+  /// Global coordinates of the cell with the given block id and local
+  /// coordinates.
+  void cell_at(std::uint64_t block_id, std::span<const std::int64_t> local,
+               std::span<std::int64_t> out) const;
+
+  /// Permutes a row-major array into blocked order (Algorithm 4 line 28).
+  template <typename T>
+  [[nodiscard]] std::vector<T> reorganize(std::span<const T> row_major) const {
+    std::vector<T> blocked(row_major.size());
+    std::vector<std::int64_t> c(radix_.dims());
+    for (std::uint64_t id = 0; id < row_major.size(); ++id) {
+      radix_.unflatten(id, c);
+      blocked[blocked_offset(c)] = row_major[id];
+    }
+    return blocked;
+  }
+
+  [[nodiscard]] const dp::MixedRadix& table_radix() const noexcept {
+    return radix_;
+  }
+
+ private:
+  dp::MixedRadix radix_;
+  std::vector<std::int64_t> divisor_;
+  dp::MixedRadix grid_;        // extents = divisor
+  dp::MixedRadix grid_block_;  // extents = block sizes
+};
+
+}  // namespace pcmax::partition

@@ -1,0 +1,58 @@
+#include "partition/divisor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::partition {
+
+std::int64_t divisor_for_extent(std::int64_t extent) {
+  PCMAX_EXPECTS(extent >= 1);
+  if (extent == 1) return 1;
+  const auto e = static_cast<std::uint64_t>(extent);
+  // Algorithm 4 lines 6-8: start at floor(sqrt(e)) and decrement until the
+  // candidate divides e.
+  auto div = static_cast<std::int64_t>(util::isqrt(e));
+  while (extent % div != 0) --div;
+  // Prime extents end at div == 1; the published block tables show a full
+  // split into unit segments in that case.
+  if (div == 1) div = extent;
+  return div;
+}
+
+std::vector<std::int64_t> compute_divisor(
+    std::span<const std::int64_t> extents, std::size_t dims_to_partition) {
+  PCMAX_EXPECTS(!extents.empty());
+  for (const auto e : extents) PCMAX_EXPECTS(e >= 1);
+
+  // Rank dimensions by extent, descending; stable so earlier dimensions win
+  // ties, matching the published tables.
+  std::vector<std::size_t> order(extents.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return extents[a] > extents[b];
+  });
+
+  std::vector<std::int64_t> divisor(extents.size(), 1);
+  const std::size_t chosen = std::min(dims_to_partition, extents.size());
+  for (std::size_t r = 0; r < chosen; ++r)
+    divisor[order[r]] = divisor_for_extent(extents[order[r]]);
+  return divisor;
+}
+
+std::vector<std::int64_t> block_sizes(std::span<const std::int64_t> extents,
+                                      std::span<const std::int64_t> divisor) {
+  PCMAX_EXPECTS(extents.size() == divisor.size());
+  std::vector<std::int64_t> sizes(extents.size());
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    PCMAX_EXPECTS(divisor[i] >= 1);
+    PCMAX_EXPECTS(extents[i] % divisor[i] == 0);
+    sizes[i] = extents[i] / divisor[i];
+  }
+  return sizes;
+}
+
+}  // namespace pcmax::partition

@@ -1,0 +1,33 @@
+// The divisor computation of Algorithm 4 (lines 4-10).
+//
+// For each table dimension of extent e = n_i + 1 the divisor entry is the
+// number of segments the dimension is split into: the largest divisor of e
+// not exceeding floor(sqrt(e)). When that divisor is 1 and e > 1 (prime
+// extents), the paper's Tables I-VI show a full split into unit segments
+// (block size 1), so the entry falls back to e itself. Only the `dim`
+// largest dimensions keep their divisor entry (Algorithm 4 line 10); the
+// rest are set to 1 (unpartitioned). Ties are broken by dimension order,
+// earlier dimensions first.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pcmax::partition {
+
+/// Divisor entry for a single dimension extent (>= 1).
+[[nodiscard]] std::int64_t divisor_for_extent(std::int64_t extent);
+
+/// Full divisor vector for a table, partitioning along the
+/// `dims_to_partition` largest dimensions (Algorithm 4 lines 4-10).
+[[nodiscard]] std::vector<std::int64_t> compute_divisor(
+    std::span<const std::int64_t> extents, std::size_t dims_to_partition);
+
+/// Per-dimension block sizes: extent_i / divisor_i (divisor entries always
+/// divide their extents exactly).
+[[nodiscard]] std::vector<std::int64_t> block_sizes(
+    std::span<const std::int64_t> extents,
+    std::span<const std::int64_t> divisor);
+
+}  // namespace pcmax::partition

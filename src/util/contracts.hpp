@@ -1,0 +1,36 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations throw, so tests can assert on them;
+// they are never compiled out because every check here guards a user-facing
+// precondition, not a hot inner loop.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pcmax::util {
+
+/// Thrown when a public-API precondition is violated.
+class contract_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond,
+                                       const char* file, int line) {
+  throw contract_violation(std::string(kind) + " failed: " + cond + " at " +
+                           file + ":" + std::to_string(line));
+}
+
+}  // namespace pcmax::util
+
+#define PCMAX_EXPECTS(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pcmax::util::contract_fail("Expects", #cond, __FILE__, __LINE__);   \
+  } while (false)
+
+#define PCMAX_ENSURES(cond)                                                 \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pcmax::util::contract_fail("Ensures", #cond, __FILE__, __LINE__);   \
+  } while (false)

@@ -1,0 +1,47 @@
+// Seeded deterministic RNG used by workload generators. A thin wrapper around
+// std::mt19937_64 so every generator in the repo draws from the same,
+// reproducible source and call sites cannot forget to seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::util {
+
+/// Deterministic pseudo-random source; identical seeds give identical streams
+/// on every platform (mt19937_64 semantics are fixed by the standard).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi], inclusive on both ends.
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    PCMAX_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Normal draw clamped to [lo, hi].
+  [[nodiscard]] std::int64_t clamped_normal(double mean, double stddev,
+                                            std::int64_t lo, std::int64_t hi) {
+    PCMAX_EXPECTS(lo <= hi);
+    const double x = std::normal_distribution<double>(mean, stddev)(engine_);
+    auto v = static_cast<std::int64_t>(x);
+    if (v < lo) v = lo;
+    if (v > hi) v = hi;
+    return v;
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pcmax::util

@@ -1,0 +1,25 @@
+#include "util/sim_time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pcmax::util {
+
+SimTime SimTime::from_ns(double ns) noexcept {
+  return SimTime{static_cast<std::int64_t>(std::llround(ns * 1e3))};
+}
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  const double abs_ps = std::abs(static_cast<double>(ps_));
+  if (abs_ps >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ms());
+  } else if (abs_ps >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f ns", this->ns());
+  }
+  return buf;
+}
+
+}  // namespace pcmax::util

@@ -1,0 +1,82 @@
+// Deterministic simulated time. All simulator cost accounting uses integer
+// picoseconds so results are bit-identical across hosts and compilers;
+// floating point appears only at the formatting boundary.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pcmax::util {
+
+/// A span of simulated time, stored as integer picoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  [[nodiscard]] static constexpr SimTime picoseconds(std::int64_t ps) noexcept {
+    return SimTime{ps};
+  }
+  [[nodiscard]] static constexpr SimTime nanoseconds(std::int64_t ns) noexcept {
+    return SimTime{ns * 1'000};
+  }
+  [[nodiscard]] static constexpr SimTime microseconds(std::int64_t us) noexcept {
+    return SimTime{us * 1'000'000};
+  }
+  [[nodiscard]] static constexpr SimTime milliseconds(std::int64_t ms) noexcept {
+    return SimTime{ms * 1'000'000'000};
+  }
+  /// Rounds to the nearest picosecond; convenient for cost-model parameters
+  /// expressed as fractional nanoseconds.
+  [[nodiscard]] static SimTime from_ns(double ns) noexcept;
+
+  [[nodiscard]] constexpr std::int64_t ps() const noexcept { return ps_; }
+  [[nodiscard]] constexpr double ns() const noexcept {
+    return static_cast<double>(ps_) / 1e3;
+  }
+  [[nodiscard]] constexpr double us() const noexcept {
+    return static_cast<double>(ps_) / 1e6;
+  }
+  [[nodiscard]] constexpr double ms() const noexcept {
+    return static_cast<double>(ps_) / 1e9;
+  }
+
+  constexpr SimTime& operator+=(SimTime o) noexcept {
+    ps_ += o.ps_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) noexcept {
+    ps_ -= o.ps_;
+    return *this;
+  }
+  [[nodiscard]] friend constexpr SimTime operator+(SimTime a,
+                                                   SimTime b) noexcept {
+    return SimTime{a.ps_ + b.ps_};
+  }
+  [[nodiscard]] friend constexpr SimTime operator-(SimTime a,
+                                                   SimTime b) noexcept {
+    return SimTime{a.ps_ - b.ps_};
+  }
+  [[nodiscard]] friend constexpr SimTime operator*(SimTime a,
+                                                   std::int64_t n) noexcept {
+    return SimTime{a.ps_ * n};
+  }
+  [[nodiscard]] friend constexpr SimTime operator*(std::int64_t n,
+                                                   SimTime a) noexcept {
+    return a * n;
+  }
+  [[nodiscard]] friend constexpr SimTime operator/(SimTime a,
+                                                   std::int64_t n) noexcept {
+    return SimTime{a.ps_ / n};
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  /// "123.456 ms" style human-readable rendering with adaptive unit.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t ps) noexcept : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+}  // namespace pcmax::util

@@ -1,0 +1,66 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PCMAX_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  PCMAX_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::cell(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+std::string TextTable::cell(std::uint64_t v) { return std::to_string(v); }
+std::string TextTable::cell(std::int64_t v) { return std::to_string(v); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size())
+        out += std::string(width[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out = render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out += std::string(total, '-') + '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string format_vector(const std::vector<std::int64_t>& v) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out += std::to_string(v[i]);
+    if (i + 1 < v.size()) out += ", ";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pcmax::util

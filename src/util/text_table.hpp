@@ -1,0 +1,42 @@
+// Column-aligned plain-text tables for the benchmark harnesses, so every
+// bench binary prints rows in the same style the paper's tables use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pcmax::util {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells via std::to_string-like rules.
+  [[nodiscard]] static std::string cell(const std::string& s) { return s; }
+  [[nodiscard]] static std::string cell(const char* s) { return s; }
+  [[nodiscard]] static std::string cell(double v);
+  [[nodiscard]] static std::string cell(std::uint64_t v);
+  [[nodiscard]] static std::string cell(std::int64_t v);
+  [[nodiscard]] static std::string cell(int v) {
+    return cell(static_cast<std::int64_t>(v));
+  }
+
+  /// Renders the full table, header underlined with dashes.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an integer vector as "(a, b, c)" — the notation Tables I-VI use.
+[[nodiscard]] std::string format_vector(const std::vector<std::int64_t>& v);
+
+}  // namespace pcmax::util

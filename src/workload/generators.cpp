@@ -1,0 +1,60 @@
+#include "workload/generators.hpp"
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::workload {
+
+Instance uniform_instance(std::size_t jobs, std::int64_t machines,
+                          std::int64_t lo, std::int64_t hi,
+                          std::uint64_t seed) {
+  PCMAX_EXPECTS(jobs >= 1);
+  PCMAX_EXPECTS(lo >= 1 && lo <= hi);
+  util::Rng rng(seed);
+  Instance inst;
+  inst.machines = machines;
+  inst.times.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j)
+    inst.times.push_back(rng.uniform(lo, hi));
+  inst.validate();
+  return inst;
+}
+
+Instance normal_instance(std::size_t jobs, std::int64_t machines, double mean,
+                         double stddev, std::uint64_t seed) {
+  PCMAX_EXPECTS(jobs >= 1);
+  PCMAX_EXPECTS(mean >= 1.0);
+  util::Rng rng(seed);
+  Instance inst;
+  inst.machines = machines;
+  inst.times.reserve(jobs);
+  const auto hi = static_cast<std::int64_t>(2.0 * mean);
+  for (std::size_t j = 0; j < jobs; ++j)
+    inst.times.push_back(rng.clamped_normal(mean, stddev, 1, hi));
+  inst.validate();
+  return inst;
+}
+
+Instance bimodal_instance(std::size_t jobs, std::int64_t machines,
+                          std::int64_t short_lo, std::int64_t short_hi,
+                          std::int64_t long_lo, std::int64_t long_hi,
+                          double long_fraction, std::uint64_t seed) {
+  PCMAX_EXPECTS(jobs >= 1);
+  PCMAX_EXPECTS(short_lo >= 1 && short_lo <= short_hi);
+  PCMAX_EXPECTS(long_lo >= 1 && long_lo <= long_hi);
+  PCMAX_EXPECTS(long_fraction >= 0.0 && long_fraction <= 1.0);
+  util::Rng rng(seed);
+  Instance inst;
+  inst.machines = machines;
+  inst.times.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    if (rng.uniform01() < long_fraction)
+      inst.times.push_back(rng.uniform(long_lo, long_hi));
+    else
+      inst.times.push_back(rng.uniform(short_lo, short_hi));
+  }
+  inst.validate();
+  return inst;
+}
+
+}  // namespace pcmax::workload

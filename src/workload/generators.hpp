@@ -1,0 +1,34 @@
+// Random P||Cmax instance generators. The paper generates instances from the
+// uniform distribution over varying job/machine counts; normal and bimodal
+// variants are provided for the example applications and wider testing.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+
+namespace pcmax::workload {
+
+/// n jobs uniform in [lo, hi] on m machines. Deterministic per seed.
+[[nodiscard]] Instance uniform_instance(std::size_t jobs,
+                                        std::int64_t machines, std::int64_t lo,
+                                        std::int64_t hi, std::uint64_t seed);
+
+/// Normal(mean, stddev) clamped to [1, 2*mean].
+[[nodiscard]] Instance normal_instance(std::size_t jobs, std::int64_t machines,
+                                       double mean, double stddev,
+                                       std::uint64_t seed);
+
+/// Mixture: with probability `long_fraction` a job is uniform in
+/// [long_lo, long_hi], otherwise uniform in [short_lo, short_hi]. Models
+/// workloads with a few dominant jobs (e.g. render frames vs thumbnails).
+[[nodiscard]] Instance bimodal_instance(std::size_t jobs,
+                                        std::int64_t machines,
+                                        std::int64_t short_lo,
+                                        std::int64_t short_hi,
+                                        std::int64_t long_lo,
+                                        std::int64_t long_hi,
+                                        double long_fraction,
+                                        std::uint64_t seed);
+
+}  // namespace pcmax::workload

@@ -1,0 +1,72 @@
+#include "workload/io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::workload {
+
+namespace {
+
+/// Strips '#' comments and concatenates the remaining tokens.
+std::string strip_comments(std::istream& in) {
+  std::string out, line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+Instance read_instance(std::istream& in) {
+  std::istringstream tokens(strip_comments(in));
+  Instance instance;
+  if (!(tokens >> instance.machines))
+    throw util::contract_violation("instance: missing machine count");
+  std::int64_t t = 0;
+  while (tokens >> t) instance.times.push_back(t);
+  if (!tokens.eof())
+    throw util::contract_violation("instance: non-numeric token");
+  instance.validate();
+  return instance;
+}
+
+Instance parse_instance(const std::string& text) {
+  std::istringstream in(text);
+  return read_instance(in);
+}
+
+void write_instance(std::ostream& out, const Instance& instance) {
+  instance.validate();
+  out << "# pcmax instance: " << instance.jobs() << " jobs\n"
+      << instance.machines << "\n";
+  for (std::size_t j = 0; j < instance.times.size(); ++j) {
+    out << instance.times[j];
+    out << ((j + 1) % 16 == 0 || j + 1 == instance.times.size() ? '\n' : ' ');
+  }
+}
+
+void write_schedule(std::ostream& out, const Instance& instance,
+                    const Schedule& schedule) {
+  validate_schedule(instance, schedule);
+  const auto loads = machine_loads(instance, schedule);
+  for (std::int64_t m = 0; m < instance.machines; ++m) {
+    out << "machine " << m << " (load "
+        << loads[static_cast<std::size_t>(m)] << "):";
+    for (std::size_t j = 0; j < instance.jobs(); ++j)
+      if (schedule.assignment[j] == m)
+        out << " " << j << ":" << instance.times[j];
+    out << "\n";
+  }
+  out << "makespan " << *std::max_element(loads.begin(), loads.end())
+      << "\n";
+}
+
+}  // namespace pcmax::workload

@@ -1,0 +1,31 @@
+// Plain-text instance and schedule serialization, used by the CLI tool and
+// for exchanging instances with other schedulers.
+//
+// Instance format (whitespace tolerant, '#' starts a comment line):
+//   line 1: m              (machine count)
+//   line 2: t_1 t_2 ... t_n  (processing times, any line breaks)
+//
+// Schedule format: one "job machine load" triple per line after a header.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+
+namespace pcmax::workload {
+
+/// Parses an instance; throws util::contract_violation with a line-anchored
+/// message on malformed input.
+[[nodiscard]] Instance read_instance(std::istream& in);
+[[nodiscard]] Instance parse_instance(const std::string& text);
+
+/// Serializes an instance in the format read_instance accepts.
+void write_instance(std::ostream& out, const Instance& instance);
+
+/// Human-readable schedule dump: per machine, its jobs and load, then the
+/// makespan.
+void write_schedule(std::ostream& out, const Instance& instance,
+                    const Schedule& schedule);
+
+}  // namespace pcmax::workload

@@ -1,0 +1,141 @@
+#include "workload/shapes.hpp"
+
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::workload {
+
+namespace {
+
+TableShape make_shape(std::vector<std::int64_t> extents) {
+  TableShape shape;
+  std::uint64_t size = 1;
+  for (const auto e : extents) {
+    PCMAX_EXPECTS(e >= 1);
+    size = util::checked_mul(size, static_cast<std::uint64_t>(e));
+  }
+  shape.table_size = size;
+  shape.label = std::to_string(size) + "/d" + std::to_string(extents.size());
+  shape.extents = std::move(extents);
+  return shape;
+}
+
+}  // namespace
+
+dp::DpProblem dp_problem_for_extents(const std::vector<std::int64_t>& extents,
+                                     std::int64_t k) {
+  PCMAX_EXPECTS(!extents.empty());
+  PCMAX_EXPECTS(k >= 1);
+  dp::DpProblem problem;
+  problem.capacity = k * k;
+  const std::int64_t distinct = k * k - k + 1;  // classes k .. k^2
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    PCMAX_EXPECTS(extents[i] >= 1);
+    problem.counts.push_back(extents[i] - 1);
+    problem.weights.push_back(k + static_cast<std::int64_t>(i) % distinct);
+  }
+  problem.validate();
+  return problem;
+}
+
+const std::vector<TableShape>& paper_table_shapes() {
+  static const std::vector<TableShape> shapes = [] {
+    std::vector<TableShape> out;
+    // Table I: size 3456.
+    out.push_back(make_shape({6, 4, 6, 6, 4}));
+    out.push_back(make_shape({2, 6, 3, 4, 6, 4}));
+    out.push_back(make_shape({2, 2, 4, 3, 2, 6, 3, 2}));
+    out.push_back(make_shape({3, 2, 3, 2, 2, 2, 2, 3, 4}));
+    out.push_back(make_shape({2, 3, 2, 2, 3, 3, 2, 2, 2, 2}));
+    // Table II: size 8640.
+    out.push_back(make_shape({5, 3, 6, 3, 4, 4, 2}));
+    out.push_back(make_shape({5, 6, 2, 3, 2, 2, 4, 3}));
+    out.push_back(make_shape({3, 3, 4, 3, 2, 2, 5, 2, 2}));
+    // Table III: size 12960.
+    out.push_back(make_shape({3, 16, 15, 18}));
+    out.push_back(make_shape({4, 5, 3, 6, 4, 3, 3}));
+    out.push_back(make_shape({3, 4, 3, 4, 3, 5, 3, 2}));
+    out.push_back(make_shape({3, 3, 3, 2, 3, 4, 2, 5, 2}));
+    // Table IV: size 20736.
+    out.push_back(make_shape({4, 4, 6, 6, 2, 3, 3, 2}));
+    out.push_back(make_shape({2, 4, 2, 3, 3, 3, 3, 2, 2, 2, 2}));
+    // Table V: size 362880.
+    out.push_back(make_shape({5, 6, 3, 7, 6, 4, 8, 3}));
+    out.push_back(make_shape({3, 3, 3, 4, 5, 7, 2, 3, 4, 4}));
+    // Table VI: size 403200.
+    out.push_back(make_shape({3, 10, 7, 6, 4, 8, 10}));
+    out.push_back(make_shape({4, 5, 4, 2, 3, 5, 7, 3, 8}));
+    return out;
+  }();
+  return shapes;
+}
+
+std::vector<TableShape> paper_shapes_for_size(std::uint64_t table_size) {
+  std::vector<TableShape> out;
+  for (const auto& shape : paper_table_shapes())
+    if (shape.table_size == table_size) out.push_back(shape);
+  return out;
+}
+
+const std::vector<TableShape>& fig3_group(char group) {
+  static const std::vector<TableShape> a = [] {
+    std::vector<TableShape> out;
+    out.push_back(make_shape({5, 5, 4}));                 // 100
+    out.push_back(make_shape({4, 4, 3, 5}));              // 240
+    out.push_back(make_shape({5, 5, 5, 4}));              // 500
+    out.push_back(make_shape({4, 4, 4, 3, 5}));           // 960
+    out.push_back(make_shape({4, 4, 4, 3, 3, 3}));        // 1728
+    out.push_back(make_shape({4, 4, 4, 4, 10}));          // 2560
+    out.push_back(make_shape({6, 4, 6, 6, 4}));           // 3456 (Table I)
+    out.push_back(make_shape({4, 4, 4, 4, 3, 6}));        // 4608
+    out.push_back(make_shape({4, 4, 4, 5, 3, 6}));        // 5760
+    out.push_back(make_shape({6, 4, 6, 6, 4, 2}));        // 6912
+    out.push_back(make_shape({5, 3, 6, 3, 4, 4, 2}));     // 8640 (Table II)
+    out.push_back(make_shape({5, 5, 5, 5, 4, 4}));        // 10000
+    return out;
+  }();
+  static const std::vector<TableShape> b = [] {
+    std::vector<TableShape> out;
+    out.push_back(make_shape({4, 4, 6, 6, 2, 3, 3, 2}));     // 20736 (IV)
+    out.push_back(make_shape({4, 4, 5, 4, 3, 3, 3, 3}));     // 25920
+    out.push_back(make_shape({6, 7, 8, 9, 10}));             // 30240
+    out.push_back(make_shape({6, 4, 6, 6, 4, 10}));          // 34560
+    out.push_back(make_shape({6, 4, 6, 6, 4, 4, 3}));        // 41472
+    out.push_back(make_shape({5, 3, 6, 3, 4, 4, 2, 6}));     // 51840
+    out.push_back(make_shape({6, 6, 6, 4, 3, 4, 2, 3}));     // 62208
+    out.push_back(make_shape({8, 6, 4, 5, 4, 3, 3, 2}));     // 69120
+    out.push_back(make_shape({6, 6, 6, 6, 5, 4, 3}));        // 77760
+    out.push_back(make_shape({6, 6, 6, 6, 8, 8}));           // 82944
+    out.push_back(make_shape({9, 8, 7, 6, 5, 6}));           // 90720
+    out.push_back(make_shape({10, 10, 10, 10, 10}));         // 100000
+    return out;
+  }();
+  static const std::vector<TableShape> c = [] {
+    std::vector<TableShape> out;
+    out.push_back(make_shape({10, 10, 10, 10, 12}));            // 120000
+    out.push_back(make_shape({7, 6, 8, 6, 6, 4, 3}));           // 145152
+    out.push_back(make_shape({8, 8, 6, 6, 6, 4, 3}));           // 165888
+    out.push_back(make_shape({6, 6, 6, 6, 6, 6, 4}));           // 186624
+    out.push_back(make_shape({4, 4, 6, 6, 2, 3, 3, 2, 10}));    // 207360
+    out.push_back(make_shape({8, 7, 6, 6, 5, 4, 3, 2}));        // 241920
+    out.push_back(make_shape({6, 7, 8, 9, 10, 9}));             // 272160
+    out.push_back(make_shape({6, 6, 6, 6, 6, 8, 5}));           // 311040
+    out.push_back(make_shape({5, 6, 3, 7, 6, 4, 8, 3}));        // 362880 (V)
+    out.push_back(make_shape({3, 10, 7, 6, 4, 8, 10}));         // 403200 (VI)
+    out.push_back(make_shape({6, 4, 6, 6, 4, 2, 7, 9}));        // 435456
+    out.push_back(make_shape({8, 7, 6, 6, 5, 4, 3, 2, 2}));     // 483840
+    return out;
+  }();
+  switch (group) {
+    case 'a':
+      return a;
+    case 'b':
+      return b;
+    case 'c':
+      return c;
+    default:
+      throw util::contract_violation("fig3_group: group must be a, b, or c");
+  }
+}
+
+}  // namespace pcmax::workload

@@ -1,0 +1,45 @@
+// DP-table shapes for the benchmark harnesses.
+//
+// The paper organizes its evaluation by DP-table size and dimension
+// structure rather than by raw scheduling instances (Section IV.A filters
+// its instance set down to "typical sizes"). Tables I-VI publish the exact
+// dimension vectors for the six sizes studied in Fig. 4; we reuse them
+// verbatim, and synthesize comparable grids for the three size groups of
+// Fig. 3. dp_problem_for_extents turns a dimension vector into the DP
+// problem the PTAS would build for it: counts = extent - 1, weights =
+// distinct Hochbaum-Shmoys class indices in [k, k^2], capacity k^2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dp/problem.hpp"
+
+namespace pcmax::workload {
+
+struct TableShape {
+  std::string label;                  ///< e.g. "3456/d5"
+  std::uint64_t table_size = 0;       ///< prod(extents)
+  std::vector<std::int64_t> extents;  ///< per-dimension sizes (n_i + 1)
+};
+
+/// DP problem for a table shape with PTAS class weights (k defaults to the
+/// paper's epsilon = 0.3 setting).
+[[nodiscard]] dp::DpProblem dp_problem_for_extents(
+    const std::vector<std::int64_t>& extents, std::int64_t k = 4);
+
+/// The published dimension vectors of Tables I-VI, keyed by table size:
+/// 3456, 8640, 12960, 20736, 362880, 403200.
+[[nodiscard]] const std::vector<TableShape>& paper_table_shapes();
+
+/// Variants of one published size (all entries of paper_table_shapes()
+/// whose table_size matches).
+[[nodiscard]] std::vector<TableShape> paper_shapes_for_size(
+    std::uint64_t table_size);
+
+/// Fig. 3 size grids. Group 'a' spans 100..10'000, 'b' 20'000..100'000,
+/// 'c' 110'000..500'000; 12 shapes each.
+[[nodiscard]] const std::vector<TableShape>& fig3_group(char group);
+
+}  // namespace pcmax::workload

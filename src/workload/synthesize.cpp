@@ -1,0 +1,79 @@
+#include "workload/synthesize.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::workload {
+
+namespace {
+
+/// DFS over non-increasing factor sequences; tracks the best (most
+/// balanced) complete factorization.
+struct FactorSearch {
+  std::uint64_t target;
+  std::size_t dims;
+  std::int64_t min_extent;
+  std::int64_t max_extent;
+  std::vector<std::int64_t> current;
+  std::optional<std::vector<std::int64_t>> best;
+
+  void run(std::uint64_t remaining, std::int64_t cap) {
+    if (current.size() == dims) {
+      if (remaining != 1) return;
+      if (!best.has_value() || current.back() > best->back()) best = current;
+      return;
+    }
+    const auto slots = dims - current.size();
+    for (std::int64_t f = std::min<std::int64_t>(
+             cap, static_cast<std::int64_t>(remaining));
+         f >= min_extent; --f) {
+      if (remaining % static_cast<std::uint64_t>(f) != 0) continue;
+      // Feasibility pruning: the remaining product must fit in the
+      // remaining slots given factors <= f and >= min_extent.
+      std::uint64_t rest = remaining / static_cast<std::uint64_t>(f);
+      std::uint64_t max_rest = 1, min_rest = 1;
+      bool overflow = false;
+      for (std::size_t s = 1; s < slots; ++s) {
+        max_rest *= static_cast<std::uint64_t>(f);
+        min_rest *= static_cast<std::uint64_t>(min_extent);
+        if (max_rest > (1ull << 62)) {
+          overflow = true;
+          break;
+        }
+      }
+      if (!overflow && (rest > max_rest || rest < min_rest)) continue;
+      current.push_back(f);
+      run(rest, f);
+      current.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<std::int64_t>> factor_table_size(
+    std::uint64_t table_size, std::size_t dims, std::int64_t min_extent,
+    std::int64_t max_extent) {
+  PCMAX_EXPECTS(table_size >= 1);
+  PCMAX_EXPECTS(dims >= 1);
+  PCMAX_EXPECTS(min_extent >= 1);
+  PCMAX_EXPECTS(min_extent <= max_extent);
+
+  FactorSearch search{table_size, dims, min_extent, max_extent, {}, {}};
+  search.run(table_size, max_extent);
+  return search.best;
+}
+
+std::vector<std::vector<std::int64_t>> shape_variants(
+    std::uint64_t table_size, std::size_t min_dims, std::size_t max_dims) {
+  PCMAX_EXPECTS(min_dims >= 1 && min_dims <= max_dims);
+  std::vector<std::vector<std::int64_t>> variants;
+  for (std::size_t d = min_dims; d <= max_dims; ++d) {
+    auto shape = factor_table_size(table_size, d);
+    if (shape.has_value()) variants.push_back(std::move(*shape));
+  }
+  return variants;
+}
+
+}  // namespace pcmax::workload

@@ -1,0 +1,29 @@
+// DP-shape synthesis: factor a target table size into a given number of
+// dimension extents. The paper notes that "selecting the appropriate
+// instances that can result in an expected table size and different number
+// of non-zero dimensions is impossible" when working from raw scheduling
+// instances — synthesizing the table shape directly sidesteps that and is
+// how the Fig. 3/4 grids in this repository are built.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pcmax::workload {
+
+/// Factors `table_size` into exactly `dims` extents, each in
+/// [min_extent, max_extent], preferring balanced factors (the search
+/// maximizes the smallest extent, then lexicographically-smallest
+/// descending order). Returns nullopt when no factorization exists.
+[[nodiscard]] std::optional<std::vector<std::int64_t>> factor_table_size(
+    std::uint64_t table_size, std::size_t dims, std::int64_t min_extent = 2,
+    std::int64_t max_extent = 32);
+
+/// All dimension counts d in [min_dims, max_dims] for which `table_size`
+/// factors, with one synthesized shape each — the per-size variants Fig. 4
+/// plots.
+[[nodiscard]] std::vector<std::vector<std::int64_t>> shape_variants(
+    std::uint64_t table_size, std::size_t min_dims, std::size_t max_dims);
+
+}  // namespace pcmax::workload

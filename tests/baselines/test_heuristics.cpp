@@ -1,0 +1,133 @@
+#include "baselines/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact.hpp"
+#include "core/bounds.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace pcmax::baselines {
+namespace {
+
+TEST(ListScheduling, HandInstance) {
+  // Graham's classic: order matters.
+  const Instance inst{2, {3, 3, 2, 2, 2}};
+  const auto s = list_scheduling(inst);
+  validate_schedule(inst, s);
+  EXPECT_LE(makespan(inst, s), 2 * 6);  // 2-approx of OPT = 6
+}
+
+TEST(Lpt, OptimalOnPerfectlyDivisibleLoads) {
+  const Instance inst{3, {5, 5, 5, 5, 5, 5}};
+  EXPECT_EQ(makespan(inst, lpt(inst)), 10);
+}
+
+TEST(Lpt, ClassicWorstCaseStaysWithinBound) {
+  // LPT's tight example for m = 2: {3, 3, 2, 2, 2}: LPT gives 7, OPT 6.
+  const Instance inst{2, {3, 3, 2, 2, 2}};
+  EXPECT_EQ(makespan(inst, lpt(inst)), 7);
+}
+
+TEST(Ffd, PacksWhenCapacityIsAmple) {
+  const Instance inst{3, {4, 3, 3, 2}};
+  std::vector<std::int64_t> assignment;
+  EXPECT_TRUE(ffd_packs(inst, 100, assignment));
+  for (const auto b : assignment) {
+    EXPECT_GE(b, 0);
+    EXPECT_LT(b, 3);
+  }
+}
+
+TEST(Ffd, FailsWhenCapacityTooSmall) {
+  const Instance inst{2, {4, 4, 4}};
+  std::vector<std::int64_t> assignment;
+  EXPECT_FALSE(ffd_packs(inst, 4, assignment));  // 3 jobs, 2 bins
+  EXPECT_TRUE(ffd_packs(inst, 8, assignment));
+}
+
+TEST(Multifit, HandInstance) {
+  const Instance inst{2, {3, 3, 2, 2, 2}};
+  const auto s = multifit(inst);
+  validate_schedule(inst, s);
+  EXPECT_EQ(makespan(inst, s), 6);  // MULTIFIT nails this one
+}
+
+TEST(Exact, SmallInstances) {
+  const Instance inst{2, {3, 3, 2, 2, 2}};
+  const auto r = solve_exact(inst);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->makespan, 6);
+  EXPECT_EQ(makespan(inst, r->schedule), 6);
+}
+
+TEST(Exact, SingleMachine) {
+  const Instance inst{1, {7, 5, 3}};
+  const auto r = solve_exact(inst);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->makespan, 15);
+}
+
+TEST(Exact, BudgetAbortsGracefully) {
+  // LPT gives 11 here but OPT = 10 = LB, so the solver cannot prove
+  // optimality without searching; a 3-node budget must abort.
+  const Instance inst{3, {5, 5, 4, 4, 3, 3, 3, 3}};
+  ExactOptions options;
+  options.node_budget = 3;
+  EXPECT_FALSE(solve_exact(inst, options).has_value());
+  // With an ample budget the same instance is solved to optimality.
+  const auto full = solve_exact(inst);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->makespan, 10);
+}
+
+struct RatioCase {
+  std::uint64_t seed;
+};
+
+class ApproxRatios : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ApproxRatios, AllHeuristicsWithinTheirGuarantees) {
+  util::Rng rng(GetParam());
+  Instance inst;
+  inst.machines = rng.uniform(2, 4);
+  const auto n = static_cast<std::size_t>(rng.uniform(3, 11));
+  for (std::size_t j = 0; j < n; ++j)
+    inst.times.push_back(rng.uniform(1, 60));
+
+  const auto exact = solve_exact(inst);
+  ASSERT_TRUE(exact.has_value());
+  const std::int64_t opt = exact->makespan;
+  const std::int64_t m = inst.machines;
+
+  const auto ls = makespan(inst, list_scheduling(inst));
+  const auto lp = makespan(inst, lpt(inst));
+  const auto mf = makespan(inst, multifit(inst));
+
+  EXPECT_GE(ls, opt);
+  EXPECT_GE(lp, opt);
+  EXPECT_GE(mf, opt);
+  // Guarantees in exact rational arithmetic:
+  // list: (2 - 1/m), LPT: (4/3 - 1/(3m)), MULTIFIT: 13/11.
+  EXPECT_LE(ls * m, opt * (2 * m - 1));
+  EXPECT_LE(lp * 3 * m, opt * (4 * m - 1));
+  EXPECT_LE(mf * 11, opt * 13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ApproxRatios,
+                         ::testing::Range<std::uint64_t>(500, 540));
+
+TEST(Heuristics, LargeGeneratedInstanceSanity) {
+  const auto inst = workload::uniform_instance(500, 16, 1, 1000, 42);
+  const auto lb = makespan_lower_bound(inst);
+  for (const auto& s :
+       {list_scheduling(inst), lpt(inst), multifit(inst)}) {
+    validate_schedule(inst, s);
+    const auto ms = makespan(inst, s);
+    EXPECT_GE(ms, lb);
+    EXPECT_LE(ms, 2 * lb);
+  }
+}
+
+}  // namespace
+}  // namespace pcmax::baselines

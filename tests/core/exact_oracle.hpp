@@ -1,0 +1,45 @@
+// Test-only exact P||Cmax solver: branch-and-bound over job-to-machine
+// assignments with descending-time ordering, load-bound pruning, and
+// machine-symmetry breaking. Exponential — use only on tiny instances.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace pcmax::testing {
+
+inline void exact_dfs(const std::vector<std::int64_t>& times, std::size_t j,
+                      std::vector<std::int64_t>& loads, std::int64_t current,
+                      std::int64_t& best) {
+  if (current >= best) return;
+  if (j == times.size()) {
+    best = current;
+    return;
+  }
+  std::int64_t prev_load = -1;
+  for (auto& load : loads) {
+    if (load == prev_load) continue;  // symmetric machine
+    prev_load = load;
+    load += times[j];
+    exact_dfs(times, j + 1, loads, std::max(current, load), best);
+    load -= times[j];
+  }
+}
+
+/// Minimum achievable makespan (exact).
+inline std::int64_t exact_makespan(const Instance& instance) {
+  std::vector<std::int64_t> times = instance.times;
+  std::sort(times.begin(), times.end(), std::greater<>());
+  std::vector<std::int64_t> loads(
+      static_cast<std::size_t>(instance.machines), 0);
+  std::int64_t best =
+      std::accumulate(times.begin(), times.end(), std::int64_t{0});
+  exact_dfs(times, 0, loads, times.empty() ? 0 : times.front(), best);
+  return best;
+}
+
+}  // namespace pcmax::testing

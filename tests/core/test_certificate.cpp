@@ -1,0 +1,69 @@
+#include "core/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ptas.hpp"
+#include "core/rounding.hpp"
+#include "util/contracts.hpp"
+#include "workload/generators.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(Certificate, HandInstance) {
+  const Instance inst{2, {4, 3, 2, 1}};
+  const Schedule s{{0, 1, 0, 1}};  // loads 6, 4
+  const auto cert = certify(inst, s);
+  EXPECT_EQ(cert.makespan, 6);
+  EXPECT_EQ(cert.lower_bound, 5);  // ceil(10/2)
+  EXPECT_DOUBLE_EQ(cert.ratio_vs_lower_bound, 6.0 / 5.0);
+}
+
+TEST(Certificate, ValidatesSchedule) {
+  const Instance inst{2, {4, 3}};
+  EXPECT_THROW((void)certify(inst, Schedule{{0}}), util::contract_violation);
+}
+
+TEST(Certificate, PerfectScheduleRatioOne) {
+  const Instance inst{2, {3, 3}};
+  const auto cert = certify(inst, Schedule{{0, 1}});
+  EXPECT_DOUBLE_EQ(cert.ratio_vs_lower_bound, 1.0);
+}
+
+TEST(WithinPtasGuarantee, ExactBoundary) {
+  // k = 4: bound is 1.25 * target.
+  EXPECT_TRUE(within_ptas_guarantee(125, 100, 4));
+  EXPECT_FALSE(within_ptas_guarantee(126, 100, 4));
+  // k = 1: bound is 2x.
+  EXPECT_TRUE(within_ptas_guarantee(200, 100, 1));
+  EXPECT_FALSE(within_ptas_guarantee(201, 100, 1));
+}
+
+TEST(WithinPtasGuarantee, RejectsBadArguments) {
+  EXPECT_THROW((void)within_ptas_guarantee(-1, 10, 4),
+               util::contract_violation);
+  EXPECT_THROW((void)within_ptas_guarantee(5, 0, 4),
+               util::contract_violation);
+  EXPECT_THROW((void)within_ptas_guarantee(5, 10, 0),
+               util::contract_violation);
+}
+
+TEST(Certificate, PtasResultsAlwaysCertify) {
+  const dp::LevelBucketSolver solver;
+  for (std::uint64_t seed = 800; seed < 812; ++seed) {
+    const auto inst = workload::uniform_instance(30, 5, 1, 80, seed);
+    for (const double eps : {0.5, 0.3}) {
+      PtasOptions options;
+      options.epsilon = eps;
+      const auto r = solve_ptas(inst, solver, options);
+      const auto cert = certify(inst, r.schedule);
+      EXPECT_EQ(cert.makespan, r.achieved_makespan);
+      EXPECT_TRUE(within_ptas_guarantee(cert.makespan, r.best_target,
+                                        k_for_epsilon(eps)))
+          << "seed " << seed << " eps " << eps;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcmax

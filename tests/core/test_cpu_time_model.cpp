@@ -1,0 +1,71 @@
+#include "core/cpu_time_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "workload/shapes.hpp"
+
+namespace pcmax {
+namespace {
+
+dp::DpResult solved_with_deps(const dp::DpProblem& p) {
+  dp::SolveOptions options;
+  options.collect_deps = true;
+  return dp::LevelBucketSolver().solve(p, options);
+}
+
+TEST(CpuTimeModel, PositiveForNonTrivialProblem) {
+  const auto p = workload::dp_problem_for_extents({5, 5, 4});
+  const auto r = solved_with_deps(p);
+  EXPECT_GT(estimate_openmp_dp_time(p, r), util::SimTime{});
+}
+
+TEST(CpuTimeModel, MoreThreadsIsFaster) {
+  const auto p = workload::dp_problem_for_extents({6, 4, 6, 6, 4});
+  const auto r = solved_with_deps(p);
+  CpuModelParams p16;
+  p16.threads = 16;
+  CpuModelParams p28;
+  p28.threads = 28;
+  EXPECT_GT(estimate_openmp_dp_time(p, r, p16),
+            estimate_openmp_dp_time(p, r, p28));
+}
+
+TEST(CpuTimeModel, SuperlinearInTableSize) {
+  // The sigma-wide search makes the model grow faster than linearly: a table
+  // 3.75x bigger must cost much more than 3.75x.
+  const auto small = workload::dp_problem_for_extents({6, 4, 6, 6, 4});
+  const auto large =
+      workload::dp_problem_for_extents({3, 16, 15, 18});  // 12960
+  const auto ts = estimate_openmp_dp_time(small, solved_with_deps(small));
+  const auto tl = estimate_openmp_dp_time(large, solved_with_deps(large));
+  EXPECT_GT(tl.ns(), ts.ns() * 5.0);
+}
+
+TEST(CpuTimeModel, DeterministicAcrossSolvers) {
+  const auto p = workload::dp_problem_for_extents({5, 3, 6, 3, 4, 4, 2});
+  dp::SolveOptions options;
+  options.collect_deps = true;
+  const auto a = dp::ReferenceSolver().solve(p, options);
+  const auto b = dp::LevelBucketSolver().solve(p, options);
+  EXPECT_EQ(estimate_openmp_dp_time(p, a), estimate_openmp_dp_time(p, b));
+}
+
+TEST(CpuTimeModel, RequiresDeps) {
+  const auto p = workload::dp_problem_for_extents({5, 5, 4});
+  const auto r = dp::LevelBucketSolver().solve(p);  // no deps collected
+  EXPECT_THROW((void)estimate_openmp_dp_time(p, r),
+               util::contract_violation);
+}
+
+TEST(CpuTimeModel, RejectsBadThreadCount) {
+  const auto p = workload::dp_problem_for_extents({5, 5, 4});
+  const auto r = solved_with_deps(p);
+  CpuModelParams params;
+  params.threads = 0;
+  EXPECT_THROW((void)estimate_openmp_dp_time(p, r, params),
+               util::contract_violation);
+}
+
+}  // namespace
+}  // namespace pcmax

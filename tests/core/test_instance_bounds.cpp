@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/instance.hpp"
+#include "exact_oracle.hpp"
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(Instance, Accessors) {
+  const Instance inst{3, {5, 2, 9, 1}};
+  inst.validate();
+  EXPECT_EQ(inst.jobs(), 4u);
+  EXPECT_EQ(inst.total_time(), 17);
+  EXPECT_EQ(inst.max_time(), 9);
+}
+
+TEST(Instance, ValidationRejectsBadInput) {
+  EXPECT_THROW((Instance{0, {1}}).validate(), util::contract_violation);
+  EXPECT_THROW((Instance{2, {}}).validate(), util::contract_violation);
+  EXPECT_THROW((Instance{2, {3, 0}}).validate(), util::contract_violation);
+  EXPECT_THROW((Instance{2, {-1}}).validate(), util::contract_violation);
+}
+
+TEST(Schedule, LoadsAndMakespan) {
+  const Instance inst{2, {4, 3, 2, 1}};
+  const Schedule s{{0, 1, 0, 1}};
+  EXPECT_EQ(machine_loads(inst, s), (std::vector<std::int64_t>{6, 4}));
+  EXPECT_EQ(makespan(inst, s), 6);
+}
+
+TEST(Schedule, ValidationRejectsBadAssignments) {
+  const Instance inst{2, {4, 3}};
+  EXPECT_THROW(validate_schedule(inst, Schedule{{0}}),
+               util::contract_violation);
+  EXPECT_THROW(validate_schedule(inst, Schedule{{0, 2}}),
+               util::contract_violation);
+  EXPECT_THROW(validate_schedule(inst, Schedule{{0, -1}}),
+               util::contract_violation);
+}
+
+TEST(Bounds, HandComputed) {
+  // sum = 17, m = 3 -> ceil = 6; max = 9.
+  const Instance inst{3, {5, 2, 9, 1}};
+  EXPECT_EQ(makespan_lower_bound(inst), 9);
+  EXPECT_EQ(makespan_upper_bound(inst), 6 + 9);
+}
+
+TEST(Bounds, AverageDominatesWhenJobsAreSmall) {
+  const Instance inst{2, {3, 3, 3, 3}};  // sum 12, ceil 6, max 3
+  EXPECT_EQ(makespan_lower_bound(inst), 6);
+  EXPECT_EQ(makespan_upper_bound(inst), 9);
+}
+
+TEST(Bounds, SingleMachine) {
+  const Instance inst{1, {2, 5, 1}};
+  EXPECT_EQ(makespan_lower_bound(inst), 8);
+  EXPECT_EQ(makespan_upper_bound(inst), 8 + 5);
+}
+
+class BoundsRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsRandom, BracketExactOptimum) {
+  util::Rng rng(GetParam());
+  Instance inst;
+  inst.machines = rng.uniform(1, 4);
+  const auto n = static_cast<std::size_t>(rng.uniform(1, 9));
+  for (std::size_t j = 0; j < n; ++j)
+    inst.times.push_back(rng.uniform(1, 40));
+  const auto opt = testing::exact_makespan(inst);
+  EXPECT_LE(makespan_lower_bound(inst), opt);
+  EXPECT_GE(makespan_upper_bound(inst), opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BoundsRandom,
+                         ::testing::Range<std::uint64_t>(200, 225));
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,160 @@
+#include "core/ptas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/rounding.hpp"
+#include "exact_oracle.hpp"
+#include "partition/block_solver.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax {
+namespace {
+
+const dp::LevelBucketSolver kSolver;
+
+TEST(Ptas, TinyHandInstance) {
+  // Jobs {3, 3, 2, 2, 2} on 2 machines: OPT = 6 (3+3 / 2+2+2).
+  const Instance inst{2, {3, 3, 2, 2, 2}};
+  const auto r = solve_ptas(inst, kSolver);
+  validate_schedule(inst, r.schedule);
+  EXPECT_EQ(makespan(inst, r.schedule), r.achieved_makespan);
+  EXPECT_GE(r.achieved_makespan, 6);
+  // epsilon = 0.3 -> k = 4 -> makespan <= (1 + 1/4) * OPT = 7.5.
+  EXPECT_LE(r.achieved_makespan, 7);
+}
+
+TEST(Ptas, SingleJob) {
+  const Instance inst{3, {42}};
+  const auto r = solve_ptas(inst, kSolver);
+  EXPECT_EQ(r.achieved_makespan, 42);
+  EXPECT_EQ(r.best_target, 42);
+}
+
+TEST(Ptas, SingleMachineIsExact) {
+  const Instance inst{1, {5, 7, 3}};
+  const auto r = solve_ptas(inst, kSolver);
+  EXPECT_EQ(r.achieved_makespan, 15);
+}
+
+TEST(Ptas, IdenticalJobsPerfectFit) {
+  const Instance inst{4, {10, 10, 10, 10, 10, 10, 10, 10}};
+  const auto r = solve_ptas(inst, kSolver);
+  EXPECT_EQ(r.achieved_makespan, 20);  // 2 jobs per machine, OPT
+}
+
+TEST(Ptas, MoreMachinesThanJobs) {
+  const Instance inst{10, {6, 4, 2}};
+  const auto r = solve_ptas(inst, kSolver);
+  EXPECT_EQ(r.achieved_makespan, 6);
+}
+
+TEST(Ptas, BestTargetNeverBelowLowerBound) {
+  const Instance inst{3, {9, 8, 7, 6, 5, 4, 3, 2, 1}};
+  const auto r = solve_ptas(inst, kSolver);
+  EXPECT_GE(r.best_target, makespan_lower_bound(inst));
+  EXPECT_LE(r.best_target, makespan_upper_bound(inst));
+}
+
+TEST(Ptas, RecordsDpInvocations) {
+  const Instance inst{3, {9, 8, 7, 6, 5, 4, 3, 2, 1}};
+  const auto r = solve_ptas(inst, kSolver);
+  EXPECT_FALSE(r.dp_calls.empty());
+  for (const auto& call : r.dp_calls) {
+    EXPECT_GE(call.table_size, 1u);
+    EXPECT_LE(call.nonzero_dims, 16u);  // k^2 with epsilon = 0.3
+  }
+  EXPECT_GT(r.search_iterations, 0u);
+}
+
+TEST(Ptas, SkipScheduleBuild) {
+  const Instance inst{3, {9, 8, 7}};
+  PtasOptions opt;
+  opt.build_schedule = false;
+  const auto r = solve_ptas(inst, kSolver, opt);
+  EXPECT_TRUE(r.schedule.assignment.empty());
+  EXPECT_GT(r.best_target, 0);
+}
+
+TEST(Ptas, QuarterSplitFindsSameTarget) {
+  const Instance inst{4, {23, 19, 17, 13, 11, 7, 5, 3, 29, 31, 37, 41}};
+  PtasOptions bis;
+  PtasOptions quarter;
+  quarter.strategy = SearchStrategy::kQuarterSplit;
+  const auto rb = solve_ptas(inst, kSolver, bis);
+  const auto rq = solve_ptas(inst, kSolver, quarter);
+  EXPECT_EQ(rb.best_target, rq.best_target);
+  EXPECT_EQ(rb.achieved_makespan, rq.achieved_makespan);
+  EXPECT_LE(rq.search_iterations, rb.search_iterations);
+}
+
+TEST(Ptas, WorksWithBlockedSolver) {
+  const Instance inst{3, {20, 18, 16, 14, 12, 10, 8, 6, 4, 2}};
+  const partition::BlockedSolver blocked(5);
+  const auto r1 = solve_ptas(inst, kSolver);
+  const auto r2 = solve_ptas(inst, blocked);
+  EXPECT_EQ(r1.best_target, r2.best_target);
+  EXPECT_EQ(r1.achieved_makespan, r2.achieved_makespan);
+}
+
+TEST(PlaceOnLeastLoaded, BalancesGreedily) {
+  const Instance inst{3, {5, 5, 5, 1, 1, 1}};
+  Schedule s;
+  s.assignment.assign(6, 0);
+  std::vector<std::int64_t> loads(3, 0);
+  place_on_least_loaded(inst, {0, 1, 2, 3, 4, 5}, s, loads);
+  EXPECT_EQ(loads, (std::vector<std::int64_t>{6, 6, 6}));
+}
+
+TEST(PlaceOnLeastLoaded, RespectsExistingLoads) {
+  const Instance inst{2, {4, 4}};
+  Schedule s;
+  s.assignment.assign(2, 0);
+  std::vector<std::int64_t> loads{10, 0};
+  place_on_least_loaded(inst, {0, 1}, s, loads);
+  EXPECT_EQ(s.assignment, (std::vector<std::int64_t>{1, 1}));
+  EXPECT_EQ(loads, (std::vector<std::int64_t>{10, 8}));
+}
+
+struct GuaranteeCase {
+  std::uint64_t seed;
+  double epsilon;
+};
+
+class PtasGuarantee : public ::testing::TestWithParam<GuaranteeCase> {};
+
+TEST_P(PtasGuarantee, WithinOnePlusEpsilonOfExact) {
+  util::Rng rng(GetParam().seed);
+  Instance inst;
+  inst.machines = rng.uniform(2, 4);
+  const auto n = static_cast<std::size_t>(rng.uniform(4, 10));
+  for (std::size_t j = 0; j < n; ++j)
+    inst.times.push_back(rng.uniform(1, 50));
+
+  PtasOptions opt;
+  opt.epsilon = GetParam().epsilon;
+  const auto r = solve_ptas(inst, kSolver, opt);
+  validate_schedule(inst, r.schedule);
+  EXPECT_EQ(makespan(inst, r.schedule), r.achieved_makespan);
+
+  const auto exact = testing::exact_makespan(inst);
+  const auto k = k_for_epsilon(opt.epsilon);
+  EXPECT_GE(r.achieved_makespan, exact);
+  // T* <= OPT and makespan <= (1 + 1/k) T*, all in exact integers.
+  EXPECT_LE(r.best_target, exact);
+  EXPECT_LE(r.achieved_makespan * k, exact * (k + 1));
+}
+
+std::vector<GuaranteeCase> guarantee_cases() {
+  std::vector<GuaranteeCase> cases;
+  for (std::uint64_t seed = 400; seed < 412; ++seed)
+    for (const double eps : {0.1, 0.3, 0.5, 1.0})
+      cases.push_back({seed, eps});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PtasGuarantee,
+                         ::testing::ValuesIn(guarantee_cases()));
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,145 @@
+#include "core/rounding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax {
+namespace {
+
+TEST(KForEpsilon, PaperSettings) {
+  EXPECT_EQ(k_for_epsilon(0.3), 4);   // the paper's evaluation epsilon
+  EXPECT_EQ(k_for_epsilon(0.5), 2);
+  EXPECT_EQ(k_for_epsilon(1.0), 1);
+  EXPECT_EQ(k_for_epsilon(0.25), 4);
+  EXPECT_EQ(k_for_epsilon(0.2), 5);
+  EXPECT_EQ(k_for_epsilon(0.1), 10);
+}
+
+TEST(KForEpsilon, RejectsOutOfRange) {
+  EXPECT_THROW((void)k_for_epsilon(0.0), util::contract_violation);
+  EXPECT_THROW((void)k_for_epsilon(-0.5), util::contract_violation);
+  EXPECT_THROW((void)k_for_epsilon(1.5), util::contract_violation);
+}
+
+TEST(Rounding, ShortLongSplit) {
+  // T = 100, k = 4: long iff t * 4 > 100, i.e. t >= 26.
+  const Instance inst{2, {25, 26, 50, 100, 1}};
+  const auto r = round_instance(inst, 100, 4);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.short_jobs, (std::vector<std::size_t>{0, 4}));
+  EXPECT_EQ(r.long_jobs(), 3);
+}
+
+TEST(Rounding, ClassIndices) {
+  // T = 100, k = 4: class = floor(t * 16 / 100).
+  const Instance inst{2, {26, 50, 100, 99}};
+  const auto r = round_instance(inst, 100, 4);
+  ASSERT_TRUE(r.feasible);
+  // 26 -> floor(416/100) = 4; 50 -> 8; 100 -> 16; 99 -> floor(1584/100) = 15.
+  EXPECT_EQ(r.class_index, (std::vector<std::int64_t>{4, 8, 15, 16}));
+  EXPECT_EQ(r.counts, (std::vector<std::int64_t>{1, 1, 1, 1}));
+}
+
+TEST(Rounding, JobsGroupedByClass) {
+  const Instance inst{2, {50, 50, 50, 30}};
+  const auto r = round_instance(inst, 100, 4);
+  ASSERT_TRUE(r.feasible);
+  // 50 -> class 8 (x3); 30 -> class floor(480/100) = 4.
+  ASSERT_EQ(r.class_index, (std::vector<std::int64_t>{4, 8}));
+  EXPECT_EQ(r.counts, (std::vector<std::int64_t>{1, 3}));
+  EXPECT_EQ(r.jobs_per_class[1], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(r.jobs_per_class[0], (std::vector<std::size_t>{3}));
+}
+
+TEST(Rounding, InfeasibleWhenJobExceedsTarget) {
+  const Instance inst{2, {101}};
+  const auto r = round_instance(inst, 100, 4);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Rounding, BoundaryJobEqualToTargetIsTopClass) {
+  const Instance inst{2, {100}};
+  const auto r = round_instance(inst, 100, 4);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.class_index, (std::vector<std::int64_t>{16}));
+}
+
+TEST(Rounding, BoundaryShortJob) {
+  // t * k == T exactly: short (the long test is strict).
+  const Instance inst{2, {25}};
+  const auto r = round_instance(inst, 100, 4);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.short_jobs.size(), 1u);
+  EXPECT_TRUE(r.class_index.empty());
+}
+
+TEST(Rounding, TableSize) {
+  const Instance inst{2, {50, 50, 50, 30}};
+  const auto r = round_instance(inst, 100, 4);
+  EXPECT_EQ(r.table_size(), 2u * 4u);  // (1+1)(3+1)
+}
+
+TEST(Rounding, ToDpProblemFields) {
+  const Instance inst{2, {50, 50, 50, 30}};
+  const auto r = round_instance(inst, 100, 4);
+  const auto p = to_dp_problem(r);
+  EXPECT_EQ(p.counts, r.counts);
+  EXPECT_EQ(p.weights, r.class_index);
+  EXPECT_EQ(p.capacity, 16);
+  p.validate();
+}
+
+TEST(Rounding, ToDpProblemRequiresLongJobs) {
+  const Instance inst{2, {1, 2}};
+  const auto r = round_instance(inst, 100, 4);
+  EXPECT_THROW((void)to_dp_problem(r), util::contract_violation);
+}
+
+class RoundingRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundingRandom, PartitionAndClassInvariants) {
+  util::Rng rng(GetParam());
+  Instance inst;
+  inst.machines = rng.uniform(1, 8);
+  const auto n = static_cast<std::size_t>(rng.uniform(1, 40));
+  for (std::size_t j = 0; j < n; ++j)
+    inst.times.push_back(rng.uniform(1, 200));
+  const std::int64_t k = rng.uniform(1, 10);
+  const std::int64_t target = rng.uniform(inst.max_time(), 400);
+
+  const auto r = round_instance(inst, target, k);
+  ASSERT_TRUE(r.feasible);
+
+  // Every job lands in exactly one bucket.
+  std::set<std::size_t> seen(r.short_jobs.begin(), r.short_jobs.end());
+  for (const auto& jobs : r.jobs_per_class)
+    for (const auto j : jobs) EXPECT_TRUE(seen.insert(j).second);
+  EXPECT_EQ(seen.size(), inst.jobs());
+
+  // Class invariants: indices in [k, k^2], counts match lists, jobs long.
+  for (std::size_t i = 0; i < r.class_index.size(); ++i) {
+    EXPECT_GE(r.class_index[i], k);
+    EXPECT_LE(r.class_index[i], k * k);
+    EXPECT_EQ(r.counts[i],
+              static_cast<std::int64_t>(r.jobs_per_class[i].size()));
+    EXPECT_GT(r.counts[i], 0);
+    for (const auto j : r.jobs_per_class[i]) {
+      EXPECT_GT(inst.times[j] * k, target);  // long
+      EXPECT_EQ(inst.times[j] * k * k / target, r.class_index[i]);
+    }
+    if (i > 0) {
+      EXPECT_LT(r.class_index[i - 1], r.class_index[i]);
+    }
+  }
+  for (const auto j : r.short_jobs) EXPECT_LE(inst.times[j] * k, target);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RoundingRandom,
+                         ::testing::Range<std::uint64_t>(300, 330));
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,130 @@
+#include "core/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pcmax {
+namespace {
+
+FeasibilityOracle threshold_oracle(std::int64_t threshold,
+                                   std::size_t* probe_count = nullptr) {
+  return [threshold, probe_count](std::int64_t t) {
+    if (probe_count != nullptr) ++*probe_count;
+    return t >= threshold;
+  };
+}
+
+TEST(Bisection, FindsThreshold) {
+  for (std::int64_t th = 0; th <= 100; th += 7) {
+    const auto r = bisection_search(0, 100, threshold_oracle(th));
+    EXPECT_EQ(r.best_target, th);
+  }
+}
+
+TEST(Bisection, DegenerateInterval) {
+  const auto r = bisection_search(42, 42, threshold_oracle(0));
+  EXPECT_EQ(r.best_target, 42);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(Bisection, IterationsLogarithmic) {
+  const auto r = bisection_search(0, 1'000'000, threshold_oracle(777'777));
+  EXPECT_LE(r.iterations, 21u);  // ceil(log2(1e6 + 1)) = 20
+  EXPECT_EQ(r.iterations, r.probes.size());
+}
+
+TEST(Bisection, RejectsInvalidArguments) {
+  EXPECT_THROW((void)bisection_search(5, 4, threshold_oracle(0)),
+               util::contract_violation);
+  EXPECT_THROW((void)bisection_search(0, 4, FeasibilityOracle{}),
+               util::contract_violation);
+}
+
+TEST(QuarterSplit, FindsThreshold) {
+  for (std::int64_t th = 0; th <= 100; th += 3) {
+    const auto r = quarter_split_search(0, 100, threshold_oracle(th));
+    EXPECT_EQ(r.best_target, th) << "threshold " << th;
+  }
+}
+
+TEST(QuarterSplit, MatchesBisectionOnLargeRange) {
+  for (const std::int64_t th :
+       {std::int64_t{1}, std::int64_t{12345}, std::int64_t{999'999}}) {
+    const auto q = quarter_split_search(0, 1'000'000, threshold_oracle(th));
+    const auto b = bisection_search(0, 1'000'000, threshold_oracle(th));
+    EXPECT_EQ(q.best_target, b.best_target);
+  }
+}
+
+TEST(QuarterSplit, FewerRoundsThanBisection) {
+  // 4 segments shrink the interval by at least 4x per round: about half the
+  // rounds of bisection (Table VII's effect).
+  const auto q =
+      quarter_split_search(0, 1'000'000, threshold_oracle(654'321));
+  const auto b = bisection_search(0, 1'000'000, threshold_oracle(654'321));
+  EXPECT_LT(q.iterations, b.iterations);
+  EXPECT_LE(q.iterations, b.iterations / 2 + 1);
+}
+
+TEST(QuarterSplit, ProbesAtMostFourPerRound) {
+  std::size_t probes = 0;
+  const auto r =
+      quarter_split_search(0, 100'000, threshold_oracle(31'415, &probes));
+  EXPECT_EQ(r.probes.size(), probes);
+  EXPECT_LE(probes, 4 * r.iterations);
+}
+
+TEST(QuarterSplit, SegmentsParameter) {
+  for (const int segments : {2, 3, 4, 8}) {
+    const auto r = quarter_split_search(0, 10'000, threshold_oracle(2'718),
+                                        segments);
+    EXPECT_EQ(r.best_target, 2'718) << "segments " << segments;
+  }
+}
+
+TEST(QuarterSplit, TwoSegmentsBehavesLikeBisection) {
+  const auto q = quarter_split_search(0, 1024, threshold_oracle(700), 2);
+  const auto b = bisection_search(0, 1024, threshold_oracle(700));
+  EXPECT_EQ(q.best_target, b.best_target);
+}
+
+TEST(QuarterSplit, DegenerateInterval) {
+  const auto r = quarter_split_search(9, 9, threshold_oracle(0));
+  EXPECT_EQ(r.best_target, 9);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(QuarterSplit, RejectsInvalidArguments) {
+  EXPECT_THROW((void)quarter_split_search(5, 4, threshold_oracle(0)),
+               util::contract_violation);
+  EXPECT_THROW((void)quarter_split_search(0, 5, threshold_oracle(0), 1),
+               util::contract_violation);
+  EXPECT_THROW((void)quarter_split_search(0, 5, FeasibilityOracle{}),
+               util::contract_violation);
+}
+
+class SearchAgreement
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(SearchAgreement, BothStrategiesAgreeEverywhere) {
+  const auto [lo, hi] = GetParam();
+  for (std::int64_t th = lo; th <= hi; ++th) {
+    const auto q = quarter_split_search(lo, hi, threshold_oracle(th));
+    const auto b = bisection_search(lo, hi, threshold_oracle(th));
+    ASSERT_EQ(q.best_target, th);
+    ASSERT_EQ(b.best_target, th);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SearchAgreement,
+    ::testing::Values(std::make_pair<std::int64_t, std::int64_t>(0, 1),
+                      std::make_pair<std::int64_t, std::int64_t>(0, 2),
+                      std::make_pair<std::int64_t, std::int64_t>(0, 63),
+                      std::make_pair<std::int64_t, std::int64_t>(100, 164),
+                      std::make_pair<std::int64_t, std::int64_t>(7, 107)));
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,186 @@
+#include "dp/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::dp {
+namespace {
+
+// Brute-force enumeration for cross-checking: every s != 0 with s <= counts
+// and dot(s, weights) <= capacity.
+std::set<std::vector<std::int64_t>> brute_force(
+    const std::vector<std::int64_t>& counts,
+    const std::vector<std::int64_t>& weights, std::int64_t capacity) {
+  std::set<std::vector<std::int64_t>> out;
+  const MixedRadix radix([&] {
+    std::vector<std::int64_t> e(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) e[i] = counts[i] + 1;
+    return e;
+  }());
+  for (std::uint64_t id = 1; id < radix.size(); ++id) {
+    const auto s = radix.unflatten(id);
+    std::int64_t w = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) w += s[i] * weights[i];
+    if (w <= capacity) out.insert(s);
+  }
+  return out;
+}
+
+MixedRadix radix_for(const std::vector<std::int64_t>& counts) {
+  std::vector<std::int64_t> e(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) e[i] = counts[i] + 1;
+  return MixedRadix(std::move(e));
+}
+
+TEST(ConfigSet, MatchesBruteForceSmall) {
+  const std::vector<std::int64_t> counts{2, 3, 1};
+  const std::vector<std::int64_t> weights{4, 5, 7};
+  const std::int64_t cap = 16;
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, cap, radix);
+  const auto expected = brute_force(counts, weights, cap);
+  ASSERT_EQ(cs.size(), expected.size());
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const auto s = cs.config(i);
+    EXPECT_TRUE(expected.contains(std::vector<std::int64_t>(s.begin(), s.end())));
+  }
+}
+
+TEST(ConfigSet, AllWithinCapacity) {
+  const std::vector<std::int64_t> counts{3, 3, 3, 3};
+  const std::vector<std::int64_t> weights{4, 6, 9, 13};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 16, radix);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const auto s = cs.config(i);
+    std::int64_t w = 0;
+    for (std::size_t j = 0; j < s.size(); ++j) w += s[j] * weights[j];
+    EXPECT_LE(w, 16);
+    EXPECT_EQ(w, cs.weight(i));
+  }
+}
+
+TEST(ConfigSet, NoZeroConfiguration) {
+  const std::vector<std::int64_t> counts{2, 2};
+  const std::vector<std::int64_t> weights{1, 1};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 100, radix);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const auto s = cs.config(i);
+    EXPECT_GT(std::accumulate(s.begin(), s.end(), std::int64_t{0}), 0);
+  }
+}
+
+TEST(ConfigSet, DeltasMatchFlattenDifference) {
+  const std::vector<std::int64_t> counts{3, 2, 4};
+  const std::vector<std::int64_t> weights{2, 3, 1};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 7, radix);
+  // For v = counts (the largest cell), v - s must be at flatten(v) - delta.
+  const std::uint64_t top = radix.flatten(counts);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const auto s = cs.config(i);
+    std::vector<std::int64_t> rest(counts.size());
+    for (std::size_t j = 0; j < rest.size(); ++j) rest[j] = counts[j] - s[j];
+    EXPECT_EQ(radix.flatten(rest), top - cs.delta(i));
+  }
+}
+
+TEST(ConfigSet, LevelDropIsJobCount) {
+  const std::vector<std::int64_t> counts{2, 2, 2};
+  const std::vector<std::int64_t> weights{1, 2, 3};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 12, radix);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const auto s = cs.config(i);
+    EXPECT_EQ(cs.level_drop(i),
+              std::accumulate(s.begin(), s.end(), std::int64_t{0}));
+  }
+}
+
+TEST(ConfigSet, FitsFiltersComponentwise) {
+  const std::vector<std::int64_t> counts{3, 3};
+  const std::vector<std::int64_t> weights{1, 1};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 6, radix);
+  const std::vector<std::int64_t> v{1, 0};
+  std::size_t fitting = 0;
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    if (cs.fits(i, v)) {
+      ++fitting;
+      EXPECT_LE(cs.config(i)[0], 1);
+      EXPECT_EQ(cs.config(i)[1], 0);
+    }
+  EXPECT_EQ(fitting, 1u);  // only s = (1, 0)
+}
+
+TEST(ConfigSet, CapacityZeroGivesEmptySet) {
+  const std::vector<std::int64_t> counts{2, 2};
+  const std::vector<std::int64_t> weights{1, 1};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 0, radix);
+  EXPECT_EQ(cs.size(), 0u);
+}
+
+TEST(ConfigSet, HochbaumShmoysBoundOnJobsPerMachine) {
+  // With class weights >= k and capacity k^2, a machine holds at most k jobs.
+  const std::int64_t k = 4;
+  const std::vector<std::int64_t> counts{5, 5, 5, 5};
+  const std::vector<std::int64_t> weights{4, 7, 11, 16};  // classes in [k, k^2]
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, k * k, radix);
+  for (std::size_t i = 0; i < cs.size(); ++i) EXPECT_LE(cs.level_drop(i), k);
+}
+
+TEST(ConfigSet, RejectsInvalidArguments) {
+  const std::vector<std::int64_t> counts{2};
+  const std::vector<std::int64_t> weights{1};
+  const auto radix = radix_for(counts);
+  EXPECT_THROW(ConfigSet(counts, std::vector<std::int64_t>{0}, 5, radix),
+               util::contract_violation);
+  EXPECT_THROW(ConfigSet(counts, weights, -1, radix),
+               util::contract_violation);
+  EXPECT_THROW(
+      ConfigSet(counts, std::vector<std::int64_t>{1, 1}, 5, radix),
+      util::contract_violation);
+}
+
+TEST(CandidateCount, MatchesProduct) {
+  EXPECT_EQ(candidate_count(std::vector<std::int64_t>{1, 2, 1}), 12u);
+  EXPECT_EQ(candidate_count(std::vector<std::int64_t>{0, 0, 4}), 5u);
+  EXPECT_EQ(candidate_count(std::vector<std::int64_t>{0, 0, 0}), 1u);
+}
+
+struct ConfigCase {
+  std::vector<std::int64_t> counts;
+  std::vector<std::int64_t> weights;
+  std::int64_t capacity;
+};
+
+class ConfigSetParam : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(ConfigSetParam, AgreesWithBruteForce) {
+  const auto& p = GetParam();
+  const auto radix = radix_for(p.counts);
+  const ConfigSet cs(p.counts, p.weights, p.capacity, radix);
+  EXPECT_EQ(cs.size(), brute_force(p.counts, p.weights, p.capacity).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConfigSetParam,
+    ::testing::Values(
+        ConfigCase{{1, 1, 1, 1, 1}, {4, 5, 6, 7, 8}, 16},
+        ConfigCase{{4, 4}, {4, 5}, 16},
+        ConfigCase{{2, 2, 2, 2, 2, 2}, {4, 5, 7, 9, 12, 16}, 16},
+        ConfigCase{{3, 1, 2}, {5, 6, 8}, 25},
+        ConfigCase{{6}, {4}, 16},
+        ConfigCase{{2, 3}, {1, 1}, 2},
+        ConfigCase{{1, 1}, {20, 30}, 16}));  // nothing fits
+
+}  // namespace
+}  // namespace pcmax::dp

@@ -1,0 +1,87 @@
+#include "dp/frontier_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pcmax::dp {
+namespace {
+
+DpProblem ptas_like_problem() {
+  return DpProblem{{2, 3, 1, 2}, {4, 5, 7, 11}, 16};
+}
+
+TEST(FrontierSolver, MatchesReferenceOpt) {
+  const auto p = ptas_like_problem();
+  const auto ref = ReferenceSolver().solve(p);
+  const auto frontier = solve_frontier(p);
+  EXPECT_EQ(frontier.opt, ref.opt);
+}
+
+TEST(FrontierSolver, WindowIsMaxJobsPerMachine) {
+  // Capacity 16 with min class weight 4 allows at most 4 jobs per machine —
+  // when the class holds that many jobs.
+  EXPECT_EQ(solve_frontier(DpProblem{{6}, {4}, 16}).window, 4);
+  // In the mixed problem the class counts cap the drop at 3:
+  // (2 x w4 + 1 x w5 = 13 <= 16), and no 4-job configuration fits.
+  EXPECT_EQ(solve_frontier(ptas_like_problem()).window, 3);
+}
+
+TEST(FrontierSolver, ResidentCellsBelowTable) {
+  // A long single-dimension table: the window holds w+1 cells out of n+1.
+  const DpProblem p{{50}, {4}, 16};
+  const auto frontier = solve_frontier(p);
+  EXPECT_EQ(frontier.opt, 13);  // ceil(50 / 4)
+  EXPECT_EQ(frontier.table_cells, 51u);
+  EXPECT_LE(frontier.peak_resident_cells, 5u);  // window 4 -> 5 levels x 1
+}
+
+TEST(FrontierSolver, ResidentCellsShrinkOnWideTables) {
+  const DpProblem p{{5, 5, 5, 5}, {4, 5, 6, 7}, 16};
+  const auto ref = ReferenceSolver().solve(p);
+  const auto frontier = solve_frontier(p);
+  EXPECT_EQ(frontier.opt, ref.opt);
+  EXPECT_LT(frontier.peak_resident_cells, frontier.table_cells);
+}
+
+TEST(FrontierSolver, InfeasibleProblem) {
+  const DpProblem p{{1}, {20}, 16};  // weight exceeds capacity: no configs
+  const auto frontier = solve_frontier(p);
+  EXPECT_EQ(frontier.opt, kInfeasible);
+}
+
+TEST(FrontierSolver, EmptyCountVector) {
+  const DpProblem p{{0, 0}, {1, 1}, 4};
+  const auto frontier = solve_frontier(p);
+  EXPECT_EQ(frontier.opt, 0);
+}
+
+TEST(FrontierSolver, PartialInfeasibility) {
+  // One class fits, the other does not: OPT(N) is infeasible but the
+  // solver must not crash walking mixed levels.
+  const DpProblem p{{2, 1}, {4, 30}, 16};
+  const auto ref = ReferenceSolver().solve(p);
+  const auto frontier = solve_frontier(p);
+  EXPECT_EQ(frontier.opt, ref.opt);
+  EXPECT_EQ(frontier.opt, kInfeasible);
+}
+
+class FrontierRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrontierRandom, OptMatchesReference) {
+  util::Rng rng(GetParam());
+  DpProblem p;
+  const auto dims = static_cast<std::size_t>(rng.uniform(1, 6));
+  for (std::size_t i = 0; i < dims; ++i) {
+    p.counts.push_back(rng.uniform(0, 4));
+    p.weights.push_back(rng.uniform(1, 9));
+  }
+  p.capacity = rng.uniform(4, 20);
+  EXPECT_EQ(solve_frontier(p).opt, ReferenceSolver().solve(p).opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FrontierRandom,
+                         ::testing::Range<std::uint64_t>(700, 725));
+
+}  // namespace
+}  // namespace pcmax::dp

@@ -1,0 +1,127 @@
+#include "dp/mixed_radix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::dp {
+namespace {
+
+TEST(MixedRadix, SizeIsProductOfExtents) {
+  EXPECT_EQ(MixedRadix({6, 6, 6}).size(), 216u);
+  EXPECT_EQ(MixedRadix({2}).size(), 2u);
+  EXPECT_EQ(MixedRadix({1, 1, 1, 1}).size(), 1u);
+  EXPECT_EQ(MixedRadix({3, 16, 15, 18}).size(), 12960u);  // Table III
+}
+
+TEST(MixedRadix, RowMajorStrides) {
+  const MixedRadix r({4, 3, 2});
+  ASSERT_EQ(r.strides().size(), 3u);
+  EXPECT_EQ(r.strides()[2], 1u);
+  EXPECT_EQ(r.strides()[1], 2u);
+  EXPECT_EQ(r.strides()[0], 6u);
+}
+
+TEST(MixedRadix, FlattenMatchesManualComputation) {
+  const MixedRadix r({4, 3, 2});
+  const std::vector<std::int64_t> v{2, 1, 1};
+  EXPECT_EQ(r.flatten(v), 2u * 6 + 1u * 2 + 1u);
+}
+
+TEST(MixedRadix, FlattenUnflattenRoundTrip) {
+  const MixedRadix r({5, 4, 3, 2});
+  for (std::uint64_t id = 0; id < r.size(); ++id) {
+    const auto v = r.unflatten(id);
+    EXPECT_EQ(r.flatten(v), id);
+  }
+}
+
+TEST(MixedRadix, UnflattenFlattenRoundTripHigherDim) {
+  const MixedRadix r({2, 3, 2, 2, 3, 3, 2, 2, 2, 2});  // Table I, 10 dims
+  EXPECT_EQ(r.size(), 3456u);
+  for (std::uint64_t id = 0; id < r.size(); id += 7) {
+    const auto v = r.unflatten(id);
+    EXPECT_EQ(r.flatten(v), id);
+  }
+}
+
+TEST(MixedRadix, LevelOfMatchesCoordinateSum) {
+  const MixedRadix r({4, 5, 3});
+  for (std::uint64_t id = 0; id < r.size(); ++id) {
+    const auto v = r.unflatten(id);
+    EXPECT_EQ(r.level_of(id),
+              std::accumulate(v.begin(), v.end(), std::int64_t{0}));
+  }
+}
+
+TEST(MixedRadix, MaxLevel) {
+  EXPECT_EQ(MixedRadix({6, 6, 6}).max_level(), 15);
+  EXPECT_EQ(MixedRadix({1}).max_level(), 0);
+  EXPECT_EQ(MixedRadix({2, 2}).max_level(), 2);
+}
+
+TEST(MixedRadix, Contains) {
+  const MixedRadix r({3, 2});
+  EXPECT_TRUE(r.contains(std::vector<std::int64_t>{0, 0}));
+  EXPECT_TRUE(r.contains(std::vector<std::int64_t>{2, 1}));
+  EXPECT_FALSE(r.contains(std::vector<std::int64_t>{3, 0}));
+  EXPECT_FALSE(r.contains(std::vector<std::int64_t>{0, -1}));
+  EXPECT_FALSE(r.contains(std::vector<std::int64_t>{0}));
+}
+
+TEST(MixedRadix, RejectsBadExtents) {
+  EXPECT_THROW(MixedRadix({}), util::contract_violation);
+  EXPECT_THROW(MixedRadix({0}), util::contract_violation);
+  EXPECT_THROW(MixedRadix({3, -1}), util::contract_violation);
+}
+
+TEST(MixedRadix, OverflowDetected) {
+  // 2^13 dims of extent 2 would be 2^8192 cells.
+  std::vector<std::int64_t> extents(70, 2);
+  EXPECT_THROW(MixedRadix(std::move(extents)), util::overflow_error);
+}
+
+TEST(MixedRadix, FlattenRejectsOutOfRange) {
+  const MixedRadix r({3, 3});
+  EXPECT_THROW((void)r.flatten(std::vector<std::int64_t>{3, 0}),
+               util::contract_violation);
+  EXPECT_THROW((void)r.flatten(std::vector<std::int64_t>{0, 0, 0}),
+               util::contract_violation);
+}
+
+TEST(MixedRadix, RowMajorOrderingIsMonotoneInLastCoordinate) {
+  const MixedRadix r({3, 4});
+  for (std::int64_t a = 0; a < 3; ++a)
+    for (std::int64_t b = 0; b + 1 < 4; ++b)
+      EXPECT_EQ(r.flatten(std::vector<std::int64_t>{a, b}) + 1,
+                r.flatten(std::vector<std::int64_t>{a, b + 1}));
+}
+
+class MixedRadixParam
+    : public ::testing::TestWithParam<std::vector<std::int64_t>> {};
+
+TEST_P(MixedRadixParam, RoundTripAndLevels) {
+  const MixedRadix r(GetParam());
+  std::uint64_t step = std::max<std::uint64_t>(1, r.size() / 997);
+  for (std::uint64_t id = 0; id < r.size(); id += step) {
+    const auto v = r.unflatten(id);
+    EXPECT_EQ(r.flatten(v), id);
+    EXPECT_EQ(r.level_of(id),
+              std::accumulate(v.begin(), v.end(), std::int64_t{0}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperShapes, MixedRadixParam,
+    ::testing::Values(std::vector<std::int64_t>{6, 4, 6, 6, 4},
+                      std::vector<std::int64_t>{5, 3, 6, 3, 4, 4, 2},
+                      std::vector<std::int64_t>{3, 16, 15, 18},
+                      std::vector<std::int64_t>{4, 4, 6, 6, 2, 3, 3, 2},
+                      std::vector<std::int64_t>{5, 6, 3, 7, 6, 4, 8, 3},
+                      std::vector<std::int64_t>{3, 10, 7, 6, 4, 8, 10}));
+
+}  // namespace
+}  // namespace pcmax::dp

@@ -1,0 +1,79 @@
+#include "dp/reconstruct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace pcmax::dp {
+namespace {
+
+void check_reconstruction(const DpProblem& p) {
+  const auto result = ReferenceSolver().solve(p);
+  ASSERT_NE(result.opt, kInfeasible);
+  const auto machines = reconstruct_machines(p, result);
+
+  // Exactly OPT machines.
+  EXPECT_EQ(machines.size(), static_cast<std::size_t>(result.opt));
+
+  // Machine configurations sum to the full count vector.
+  std::vector<std::int64_t> total(p.counts.size(), 0);
+  for (const auto& m : machines) {
+    ASSERT_EQ(m.size(), p.counts.size());
+    std::int64_t weight = 0, jobs = 0;
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      EXPECT_GE(m[j], 0);
+      total[j] += m[j];
+      weight += m[j] * p.weights[j];
+      jobs += m[j];
+    }
+    // Every machine respects the capacity and is non-empty.
+    EXPECT_LE(weight, p.capacity);
+    EXPECT_GT(jobs, 0);
+  }
+  EXPECT_EQ(total, p.counts);
+}
+
+TEST(Reconstruct, PtasLikeProblem) {
+  check_reconstruction(DpProblem{{2, 3, 1, 2}, {4, 5, 7, 11}, 16});
+}
+
+TEST(Reconstruct, SingleClass) {
+  check_reconstruction(DpProblem{{9}, {4}, 16});
+}
+
+TEST(Reconstruct, ZeroJobsUsesZeroMachines) {
+  const DpProblem p{{0, 0}, {1, 1}, 4};
+  const auto result = ReferenceSolver().solve(p);
+  EXPECT_EQ(result.opt, 0);
+  EXPECT_TRUE(reconstruct_machines(p, result).empty());
+}
+
+TEST(Reconstruct, ThrowsOnInfeasibleTable) {
+  const DpProblem p{{1}, {20}, 16};
+  const auto result = ReferenceSolver().solve(p);
+  ASSERT_EQ(result.opt, kInfeasible);
+  EXPECT_THROW((void)reconstruct_machines(p, result),
+               util::contract_violation);
+}
+
+class ReconstructRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReconstructRandom, ValidPartitionOfCounts) {
+  util::Rng rng(GetParam());
+  DpProblem p;
+  const auto dims = static_cast<std::size_t>(rng.uniform(1, 6));
+  for (std::size_t i = 0; i < dims; ++i) {
+    p.counts.push_back(rng.uniform(0, 4));
+    p.weights.push_back(rng.uniform(1, 8));
+  }
+  p.capacity = rng.uniform(8, 24);
+  check_reconstruction(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReconstructRandom,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace pcmax::dp

@@ -1,0 +1,208 @@
+#include "dp/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <numeric>
+
+#include "util/checked_math.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::dp {
+namespace {
+
+// Independent oracle: forward BFS relaxation over the table DAG. Every cell
+// starts unreachable; from each settled cell u we relax u + s for every
+// configuration s. This computes the same function as Equation (1) but via a
+// forward shortest-path formulation rather than the backward recurrence.
+std::vector<std::int32_t> bfs_oracle(const DpProblem& p) {
+  const MixedRadix radix = p.radix();
+  const ConfigSet configs(p.counts, p.weights, p.capacity, radix);
+  std::vector<std::int32_t> dist(radix.size(), kInfeasible);
+  dist[0] = 0;
+  std::deque<std::uint64_t> frontier{0};
+  while (!frontier.empty()) {
+    const auto u = frontier.front();
+    frontier.pop_front();
+    const auto uv = radix.unflatten(u);
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const auto s = configs.config(c);
+      bool in_range = true;
+      for (std::size_t j = 0; j < uv.size(); ++j)
+        if (uv[j] + s[j] > p.counts[j]) {
+          in_range = false;
+          break;
+        }
+      if (!in_range) continue;
+      const std::uint64_t w = u + configs.delta(c);
+      if (dist[w] > dist[u] + 1) {
+        dist[w] = dist[u] + 1;
+        frontier.push_back(w);  // BFS with unit weights: first visit is best
+      }
+    }
+  }
+  return dist;
+}
+
+DpProblem ptas_like_problem() {
+  // k = 4, classes 4, 5, 7, 11 with a few jobs each — the exact structure the
+  // PTAS produces with epsilon = 0.3.
+  return DpProblem{{2, 3, 1, 2}, {4, 5, 7, 11}, 16};
+}
+
+TEST(ReferenceSolver, OriginIsZero) {
+  const auto r = ReferenceSolver().solve(ptas_like_problem());
+  EXPECT_EQ(r.table[0], 0);
+}
+
+TEST(ReferenceSolver, MatchesBfsOracle) {
+  const auto p = ptas_like_problem();
+  const auto r = ReferenceSolver().solve(p);
+  EXPECT_EQ(r.table, bfs_oracle(p));
+}
+
+TEST(ReferenceSolver, SingletonProblem) {
+  // One class of weight 4, capacity 16 -> 4 jobs per machine.
+  const DpProblem p{{9}, {4}, 16};
+  const auto r = ReferenceSolver().solve(p);
+  EXPECT_EQ(r.opt, 3);  // ceil(9 / 4)
+  for (std::int64_t i = 0; i <= 9; ++i)
+    EXPECT_EQ(r.table[static_cast<std::size_t>(i)],
+              static_cast<std::int32_t>((i + 3) / 4));
+}
+
+TEST(ReferenceSolver, InfeasibleWhenWeightExceedsCapacity) {
+  const DpProblem p{{1, 1}, {4, 20}, 16};
+  const auto r = ReferenceSolver().solve(p);
+  EXPECT_EQ(r.opt, kInfeasible);
+  // Cells with the oversized class at zero stay feasible.
+  const MixedRadix radix = p.radix();
+  EXPECT_EQ(r.table[radix.flatten(std::vector<std::int64_t>{1, 0})], 1);
+  EXPECT_EQ(r.table[radix.flatten(std::vector<std::int64_t>{0, 1})],
+            kInfeasible);
+}
+
+TEST(ReferenceSolver, VolumeLowerBoundAndSingletonUpperBound) {
+  const auto p = ptas_like_problem();
+  const auto r = ReferenceSolver().solve(p);
+  const MixedRadix radix = p.radix();
+  for (std::uint64_t id = 0; id < radix.size(); ++id) {
+    const auto v = radix.unflatten(id);
+    std::int64_t volume = 0, jobs = 0;
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      volume += v[j] * p.weights[j];
+      jobs += v[j];
+    }
+    const auto lower = static_cast<std::int32_t>(
+        util::ceil_div(static_cast<std::uint64_t>(volume),
+                       static_cast<std::uint64_t>(p.capacity)));
+    ASSERT_NE(r.table[id], kInfeasible);
+    EXPECT_GE(r.table[id], lower);
+    EXPECT_LE(r.table[id], jobs);
+  }
+}
+
+TEST(ReferenceSolver, MonotoneInCounts) {
+  const auto p = ptas_like_problem();
+  const auto r = ReferenceSolver().solve(p);
+  const MixedRadix radix = p.radix();
+  // Increasing any single coordinate never decreases OPT.
+  for (std::uint64_t id = 0; id < radix.size(); ++id) {
+    const auto v = radix.unflatten(id);
+    for (std::size_t j = 0; j < v.size(); ++j) {
+      if (v[j] == 0) continue;
+      auto smaller = v;
+      --smaller[j];
+      EXPECT_LE(r.table[radix.flatten(smaller)], r.table[id]);
+    }
+  }
+}
+
+TEST(ReferenceSolver, CollectsDeps) {
+  const auto p = ptas_like_problem();
+  SolveOptions opt;
+  opt.collect_deps = true;
+  const auto r = ReferenceSolver().solve(p, opt);
+  const MixedRadix radix = p.radix();
+  ASSERT_EQ(r.deps.size(), radix.size());
+  EXPECT_EQ(r.deps[0], 0u);
+  // A cell holding exactly one job of one class has exactly one dependency.
+  std::vector<std::int64_t> one(p.counts.size(), 0);
+  one[0] = 1;
+  EXPECT_EQ(r.deps[radix.flatten(one)], 1u);
+  // The full cell has |C| dependencies (every configuration fits N).
+  EXPECT_EQ(r.deps.back(), r.config_count);
+}
+
+TEST(Solvers, AgreeOnPtasLikeProblem) {
+  const auto p = ptas_like_problem();
+  const auto ref = ReferenceSolver().solve(p);
+  const auto scan = LevelScanSolver().solve(p);
+  const auto bucket = LevelBucketSolver().solve(p);
+  EXPECT_EQ(ref.table, scan.table);
+  EXPECT_EQ(ref.table, bucket.table);
+  EXPECT_EQ(ref.opt, scan.opt);
+  EXPECT_EQ(ref.opt, bucket.opt);
+}
+
+TEST(Solvers, AgreeWithExplicitThreadCounts) {
+  const auto p = ptas_like_problem();
+  const auto ref = ReferenceSolver().solve(p);
+  for (const int threads : {1, 2, 4}) {
+    SolveOptions opt;
+    opt.num_threads = threads;
+    EXPECT_EQ(LevelScanSolver().solve(p, opt).table, ref.table);
+    EXPECT_EQ(LevelBucketSolver().solve(p, opt).table, ref.table);
+  }
+}
+
+struct RandomCase {
+  std::uint64_t seed;
+  std::size_t dims;
+};
+
+class SolverRandomParam : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(SolverRandomParam, AllSolversMatchOracle) {
+  util::Rng rng(GetParam().seed);
+  const std::size_t d = GetParam().dims;
+  DpProblem p;
+  for (std::size_t i = 0; i < d; ++i) {
+    p.counts.push_back(rng.uniform(0, 3));
+    p.weights.push_back(rng.uniform(1, 10));
+  }
+  p.capacity = rng.uniform(5, 20);
+
+  const auto oracle = bfs_oracle(p);
+  const auto ref = ReferenceSolver().solve(p);
+  const auto scan = LevelScanSolver().solve(p);
+  const auto bucket = LevelBucketSolver().solve(p);
+  EXPECT_EQ(ref.table, oracle);
+  EXPECT_EQ(scan.table, oracle);
+  EXPECT_EQ(bucket.table, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SolverRandomParam,
+    ::testing::Values(RandomCase{1, 2}, RandomCase{2, 2}, RandomCase{3, 3},
+                      RandomCase{4, 3}, RandomCase{5, 4}, RandomCase{6, 4},
+                      RandomCase{7, 5}, RandomCase{8, 5}, RandomCase{9, 6},
+                      RandomCase{10, 6}, RandomCase{11, 7},
+                      RandomCase{12, 8}));
+
+TEST(Solvers, RejectInvalidProblem) {
+  DpProblem bad;
+  bad.counts = {2};
+  bad.weights = {1, 1};
+  bad.capacity = 4;
+  EXPECT_THROW((void)ReferenceSolver().solve(bad), util::contract_violation);
+}
+
+TEST(Solvers, ConfigCountReported) {
+  const DpProblem p{{2}, {4}, 16};
+  const auto r = ReferenceSolver().solve(p);
+  EXPECT_EQ(r.config_count, 2u);  // s = 1 and s = 2
+}
+
+}  // namespace
+}  // namespace pcmax::dp

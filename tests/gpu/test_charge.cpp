@@ -1,0 +1,82 @@
+#include "gpu/charge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::gpu {
+namespace {
+
+LevelWork sample_level() {
+  LevelWork w;
+  w.cells = 100;
+  w.candidates = 5'000;
+  w.deps = 1'200;
+  return w;
+}
+
+ChargeParams params(std::uint64_t dims, std::uint64_t scope) {
+  ChargeParams p;
+  p.dims = dims;
+  p.search_cells = scope;
+  return p;
+}
+
+TEST(Charge, FindOptStructure) {
+  const auto w = charge_find_opt(sample_level(), params(8, 64));
+  EXPECT_EQ(w.threads, 100u);
+  EXPECT_EQ(w.thread_ops, 100u * 4 * 8);
+  EXPECT_EQ(w.child_launches, 200u);  // two children per configuration
+  EXPECT_GT(w.transactions, 0u);
+}
+
+TEST(Charge, FindValidSubEnumeratesAllCandidates) {
+  const auto w = charge_find_valid_sub(sample_level(), params(8, 64));
+  EXPECT_EQ(w.threads, 5'000u);
+  EXPECT_EQ(w.thread_ops, 5'000u * 2 * 8);
+  EXPECT_EQ(w.child_launches, 0u);
+}
+
+TEST(Charge, SetOptScalesWithSearchScope) {
+  // The scheme's central effect: SetOPT cost is linear in the search scope
+  // (block size when partitioned, whole table when not).
+  const auto block = charge_set_opt(sample_level(), params(8, 64));
+  const auto table = charge_set_opt(sample_level(), params(8, 6'400));
+  EXPECT_EQ(block.threads, table.threads);  // one thread per dependency
+  EXPECT_NEAR(static_cast<double>(table.thread_ops) /
+                  static_cast<double>(block.thread_ops),
+              6'400.0 / 64.0, 5.0);  // +-: the scan length is scope/2 + 1
+  EXPECT_GT(table.transactions, 50 * block.transactions);
+}
+
+TEST(Charge, SetOptBroadcastCreditReducesTransactions) {
+  auto narrow = params(8, 1'000);
+  auto wide = narrow;
+  wide.scan_broadcast = 8;
+  const auto no_credit = charge_set_opt(sample_level(), narrow);
+  const auto credit = charge_set_opt(sample_level(), wide);
+  EXPECT_NEAR(static_cast<double>(no_credit.transactions) /
+                  static_cast<double>(credit.transactions),
+              8.0, 0.5);
+}
+
+TEST(Charge, EmptyLevelIsFree) {
+  const auto w = charge_set_opt(LevelWork{}, params(4, 16));
+  EXPECT_EQ(w.threads, 0u);
+  EXPECT_EQ(w.thread_ops, 0u);
+  EXPECT_EQ(w.transactions, 0u);
+}
+
+TEST(Charge, RejectsBadParams) {
+  EXPECT_THROW((void)charge_find_opt(sample_level(), params(0, 16)),
+               util::contract_violation);
+  EXPECT_THROW((void)charge_set_opt(sample_level(), params(4, 0)),
+               util::contract_violation);
+  auto bad = params(4, 16);
+  bad.scan_broadcast = 0;
+  EXPECT_THROW((void)charge_set_opt(sample_level(), bad),
+               util::contract_violation);
+}
+
+}  // namespace
+}  // namespace pcmax::gpu

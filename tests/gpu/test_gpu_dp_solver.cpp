@@ -1,0 +1,139 @@
+#include "gpu/gpu_dp_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace pcmax::gpu {
+namespace {
+
+dp::DpProblem ptas_like_problem() {
+  return dp::DpProblem{{2, 3, 1, 2}, {4, 5, 7, 11}, 16};
+}
+
+TEST(GpuDpSolver, ResultsBitIdenticalToReference) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const auto p = ptas_like_problem();
+  const auto ref = dp::ReferenceSolver().solve(p);
+  for (const std::size_t dims : {1u, 3u, 4u}) {
+    const GpuDpSolver solver(device, dims);
+    const auto r = solver.solve(p);
+    EXPECT_EQ(r.table, ref.table) << "dims " << dims;
+    EXPECT_EQ(r.opt, ref.opt);
+  }
+}
+
+TEST(GpuDpSolver, AdvancesDeviceClock) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const GpuDpSolver solver(device, 3);
+  const auto before = device.now();
+  (void)solver.solve(ptas_like_problem());
+  EXPECT_GT(device.now(), before);
+  EXPECT_GT(solver.last_solve_time(), util::SimTime{});
+}
+
+TEST(GpuDpSolver, LaunchesKernelsOnFourStreams) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const GpuDpSolver solver(device, 4, 4);
+  (void)solver.solve(ptas_like_problem());
+  EXPECT_GT(device.stats().kernels, 0u);
+  int max_stream = 0;
+  for (const auto& rec : device.log())
+    max_stream = std::max(max_stream, rec.stream);
+  // The 3x4x2x3 = 72-cell table partitions into enough blocks to reach all
+  // four streams.
+  EXPECT_EQ(max_stream, 3);
+}
+
+TEST(GpuDpSolver, DynamicParallelismChargesChildren) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const GpuDpSolver solver(device, 3);
+  (void)solver.solve(ptas_like_problem());
+  EXPECT_GT(device.stats().child_kernels, 0u);
+}
+
+TEST(GpuDpSolver, TracksPeakMemory) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const GpuDpSolver solver(device, 3);
+  (void)solver.solve(ptas_like_problem());
+  const auto table_bytes = ptas_like_problem().table_size() * 4;
+  EXPECT_GE(solver.last_peak_memory(), table_bytes);
+  // Everything is released after the solve.
+  EXPECT_EQ(device.memory_in_use(), 0u);
+}
+
+TEST(GpuDpSolver, NameReflectsPartitionDims) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  EXPECT_EQ(GpuDpSolver(device, 6).name(), "gpu-dim6");
+}
+
+TEST(GpuDpSolver, RejectsTooManyStreams) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  EXPECT_THROW(GpuDpSolver(device, 3, 33), util::contract_violation);
+  EXPECT_THROW(GpuDpSolver(device, 3, 0), util::contract_violation);
+}
+
+TEST(GpuDpSolver, DeterministicTiming) {
+  const auto run = [] {
+    gpusim::Device device(gpusim::DeviceSpec::k40());
+    const GpuDpSolver solver(device, 5);
+    (void)solver.solve(ptas_like_problem());
+    return solver.last_solve_time();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(NaiveGpuDpSolver, ResultsMatchReference) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const NaiveGpuDpSolver solver(device);
+  const auto p = ptas_like_problem();
+  EXPECT_EQ(solver.solve(p).table, dp::ReferenceSolver().solve(p).table);
+}
+
+TEST(NaiveGpuDpSolver, SlowerThanPartitionedOnNontrivialTables) {
+  // Size 8640 shape (Table II): the whole-table search scope must dominate.
+  const dp::DpProblem p{{4, 2, 5, 2, 3, 3, 1}, {4, 5, 6, 7, 8, 9, 10}, 16};
+
+  gpusim::Device d1(gpusim::DeviceSpec::k40());
+  const GpuDpSolver partitioned(d1, 5);
+  (void)partitioned.solve(p);
+
+  gpusim::Device d2(gpusim::DeviceSpec::k40());
+  const NaiveGpuDpSolver naive(d2);
+  (void)naive.solve(p);
+
+  EXPECT_GT(naive.last_solve_time(), partitioned.last_solve_time());
+}
+
+TEST(GpuDpSolver, StreamPoliciesProduceIdenticalTables) {
+  const auto p = ptas_like_problem();
+  gpusim::Device d1(gpusim::DeviceSpec::k40());
+  const GpuDpSolver cyclic(d1, 4, 4, StreamPolicy::kCyclic);
+  gpusim::Device d2(gpusim::DeviceSpec::k40());
+  const GpuDpSolver chunked(d2, 4, 4, StreamPolicy::kChunked);
+  EXPECT_EQ(cyclic.solve(p).table, chunked.solve(p).table);
+  // Timing may differ (that is the point of the ablation), but both must
+  // be positive and deterministic.
+  EXPECT_GT(cyclic.last_solve_time(), util::SimTime{});
+  EXPECT_GT(chunked.last_solve_time(), util::SimTime{});
+}
+
+TEST(GpuDpSolver, RandomProblemsMatchReference) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    dp::DpProblem p;
+    const auto dims = static_cast<std::size_t>(rng.uniform(1, 6));
+    for (std::size_t i = 0; i < dims; ++i) {
+      p.counts.push_back(rng.uniform(0, 4));
+      p.weights.push_back(rng.uniform(1, 9));
+    }
+    p.capacity = rng.uniform(6, 20);
+    gpusim::Device device(gpusim::DeviceSpec::k40());
+    const GpuDpSolver solver(device,
+                             static_cast<std::size_t>(rng.uniform(1, 9)));
+    EXPECT_EQ(solver.solve(p).table, dp::ReferenceSolver().solve(p).table);
+  }
+}
+
+}  // namespace
+}  // namespace pcmax::gpu

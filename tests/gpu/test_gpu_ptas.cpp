@@ -1,0 +1,125 @@
+#include "gpu/gpu_ptas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+
+namespace pcmax::gpu {
+namespace {
+
+Instance medium_instance() {
+  return Instance{4, {23, 19, 17, 13, 11, 7, 5, 3, 29, 31, 37, 41, 28, 26}};
+}
+
+TEST(GpuPtas, MatchesCpuPtasSchedulingQuality) {
+  const auto inst = medium_instance();
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const auto gpu = solve_gpu_ptas(inst, device);
+
+  PtasOptions cpu_options;
+  cpu_options.strategy = SearchStrategy::kQuarterSplit;
+  const auto cpu = solve_ptas(inst, dp::LevelBucketSolver(), cpu_options);
+
+  EXPECT_EQ(gpu.ptas.best_target, cpu.best_target);
+  EXPECT_EQ(gpu.ptas.achieved_makespan, cpu.achieved_makespan);
+  validate_schedule(inst, gpu.ptas.schedule);
+}
+
+TEST(GpuPtas, QuarterSplitUsesFewerRoundsThanBisection) {
+  const auto inst = medium_instance();
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const auto gpu = solve_gpu_ptas(inst, device);
+
+  const auto cpu = solve_ptas(inst, dp::LevelBucketSolver());  // bisection
+  EXPECT_LE(gpu.ptas.search_iterations, cpu.search_iterations);
+}
+
+TEST(GpuPtas, ReportsDeviceActivity) {
+  const auto inst = medium_instance();
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const auto r = solve_gpu_ptas(inst, device);
+  EXPECT_GT(r.device_time, util::SimTime{});
+  EXPECT_GT(r.stats.kernels, 0u);
+  EXPECT_GT(r.stats.synchronizations, 0u);
+}
+
+TEST(GpuPtas, StatsDeltaIsolatedPerRun) {
+  const auto inst = medium_instance();
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const auto first = solve_gpu_ptas(inst, device);
+  const auto second = solve_gpu_ptas(inst, device);
+  // Same instance on the same device: per-run deltas match.
+  EXPECT_EQ(first.stats.kernels, second.stats.kernels);
+  EXPECT_EQ(first.device_time, second.device_time);
+}
+
+TEST(GpuPtas, RespectsEpsilon) {
+  const auto inst = medium_instance();
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  GpuPtasOptions loose;
+  loose.epsilon = 1.0;  // k = 1: everything is short, greedy only
+  const auto r = solve_gpu_ptas(inst, device, loose);
+  validate_schedule(inst, r.ptas.schedule);
+  EXPECT_LE(r.ptas.achieved_makespan, 2 * makespan_lower_bound(inst));
+}
+
+TEST(GpuPtas, PartitionDimsForwarded) {
+  const auto inst = medium_instance();
+  for (const std::size_t dims : {3u, 6u, 9u}) {
+    gpusim::Device device(gpusim::DeviceSpec::k40());
+    GpuPtasOptions options;
+    options.partition_dims = dims;
+    const auto r = solve_gpu_ptas(inst, device, options);
+    validate_schedule(inst, r.ptas.schedule);
+  }
+}
+
+TEST(GpuPtas, HyperQOverlapMatchesSequentialResults) {
+  const auto inst = medium_instance();
+  gpusim::Device d1(gpusim::DeviceSpec::k40());
+  const auto sequential = solve_gpu_ptas(inst, d1);
+
+  gpusim::Device d2(gpusim::DeviceSpec::k40());
+  GpuPtasOptions overlap;
+  overlap.probe_overlap = ProbeOverlap::kHyperQ;
+  const auto hyperq = solve_gpu_ptas(inst, d2, overlap);
+
+  EXPECT_EQ(hyperq.ptas.best_target, sequential.ptas.best_target);
+  EXPECT_EQ(hyperq.ptas.achieved_makespan,
+            sequential.ptas.achieved_makespan);
+  EXPECT_EQ(hyperq.ptas.search_iterations,
+            sequential.ptas.search_iterations);
+  validate_schedule(inst, hyperq.ptas.schedule);
+}
+
+TEST(GpuPtas, HyperQOverlapIsFasterThanSequential) {
+  // A round of concurrent probes costs its slowest probe, never the sum.
+  const auto inst = medium_instance();
+  gpusim::Device d1(gpusim::DeviceSpec::k40());
+  const auto sequential = solve_gpu_ptas(inst, d1);
+  gpusim::Device d2(gpusim::DeviceSpec::k40());
+  GpuPtasOptions overlap;
+  overlap.probe_overlap = ProbeOverlap::kHyperQ;
+  const auto hyperq = solve_gpu_ptas(inst, d2, overlap);
+  EXPECT_LT(hyperq.device_time, sequential.device_time);
+}
+
+TEST(GpuPtas, SegmentsParameterHonored) {
+  const auto inst = medium_instance();
+  gpusim::Device d8(gpusim::DeviceSpec::k40());
+  GpuPtasOptions opt8;
+  opt8.probe_overlap = ProbeOverlap::kHyperQ;
+  opt8.segments = 8;
+  const auto r8 = solve_gpu_ptas(inst, d8, opt8);
+
+  gpusim::Device d2(gpusim::DeviceSpec::k40());
+  GpuPtasOptions opt2 = opt8;
+  opt2.segments = 2;
+  const auto r2 = solve_gpu_ptas(inst, d2, opt2);
+
+  EXPECT_EQ(r8.ptas.best_target, r2.ptas.best_target);
+  EXPECT_LE(r8.ptas.search_iterations, r2.ptas.search_iterations);
+}
+
+}  // namespace
+}  // namespace pcmax::gpu

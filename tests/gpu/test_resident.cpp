@@ -1,0 +1,101 @@
+#include "gpu/resident.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dp/config.hpp"
+#include "partition/blocked_layout.hpp"
+#include "partition/divisor.hpp"
+#include "workload/shapes.hpp"
+
+namespace pcmax::gpu {
+namespace {
+
+dp::DpProblem ptas_like_problem() {
+  return dp::DpProblem{{5, 5, 5, 5}, {4, 5, 6, 7}, 16};
+}
+
+TEST(Resident, ReachBoundsDependencies) {
+  // Soundness: for every cell and every fitting configuration, the
+  // dependency's block must lie within the per-dimension reach box.
+  const auto p = ptas_like_problem();
+  const auto analysis = analyze_block_residency(p, 3);
+  const dp::MixedRadix radix = p.radix();
+  const partition::BlockedLayout layout(
+      radix, partition::compute_divisor(radix.extents(), 3));
+  const dp::ConfigSet configs(p.counts, p.weights, p.capacity, radix);
+  const auto& bs = layout.block().extents();
+
+  std::vector<std::int64_t> v(radix.dims()), u(radix.dims());
+  for (std::uint64_t id = 0; id < radix.size(); ++id) {
+    radix.unflatten(id, v);
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      if (!configs.fits(c, v)) continue;
+      const auto s = configs.config(c);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        u[i] = v[i] - s[i];
+        const std::int64_t gv = v[i] / bs[i];
+        const std::int64_t gu = u[i] / bs[i];
+        ASSERT_LE(gv - gu, analysis.reach[i]);
+        ASSERT_GE(gv - gu, 0);
+      }
+    }
+  }
+}
+
+TEST(Resident, PeakNeverExceedsTable) {
+  for (const std::size_t dims : {1u, 3u, 5u, 9u}) {
+    const auto a = analyze_block_residency(ptas_like_problem(), dims);
+    EXPECT_LE(a.peak_resident_cells, a.table_cells);
+    EXPECT_GE(a.saving_factor(), 1.0);
+  }
+}
+
+TEST(Resident, SavingsOnPaperShapes) {
+  // On the large published shapes the working set is a strict subset of
+  // the table — the effect the paper's future-work section predicts. The
+  // saving is largest for coarse partitioning (big blocks step over the
+  // dependency reach) and shrinks as blocks approach single cells, where
+  // the reach box covers most of the grid.
+  const auto p = workload::dp_problem_for_extents({5, 6, 3, 7, 6, 4, 8, 3});
+  const auto coarse = analyze_block_residency(p, 3);
+  EXPECT_LT(coarse.peak_resident_cells, coarse.table_cells);
+  EXPECT_GT(coarse.saving_factor(), 1.5);
+  const auto fine = analyze_block_residency(p, 7);
+  EXPECT_LT(fine.peak_resident_cells, fine.table_cells);
+  EXPECT_LT(fine.saving_factor(), coarse.saving_factor());
+}
+
+TEST(Resident, UnpartitionedTableHasNoSaving) {
+  // With divisor 1 everywhere there is a single block: everything resident.
+  const auto a = analyze_block_residency(ptas_like_problem(), 0);
+  EXPECT_EQ(a.peak_resident_cells, a.table_cells);
+  EXPECT_DOUBLE_EQ(a.saving_factor(), 1.0);
+}
+
+TEST(Resident, LevelsCoverWavefront) {
+  const auto p = ptas_like_problem();
+  const auto a = analyze_block_residency(p, 4);
+  const dp::MixedRadix radix = p.radix();
+  const partition::BlockedLayout layout(
+      radix, partition::compute_divisor(radix.extents(), 4));
+  EXPECT_EQ(a.resident_cells_per_level.size(),
+            static_cast<std::size_t>(layout.block_levels()));
+  for (const auto cells : a.resident_cells_per_level) {
+    EXPECT_GT(cells, 0u);
+    EXPECT_EQ(cells % layout.cells_per_block(), 0u);
+  }
+}
+
+TEST(Resident, ReachShrinksWithBiggerBlocks) {
+  // Fewer partitioned dimensions -> bigger blocks -> smaller block reach.
+  const auto p = ptas_like_problem();
+  const auto fine = analyze_block_residency(p, 4);
+  const auto coarse = analyze_block_residency(p, 1);
+  std::int64_t fine_total = 0, coarse_total = 0;
+  for (const auto r : fine.reach) fine_total += r;
+  for (const auto r : coarse.reach) coarse_total += r;
+  EXPECT_GE(fine_total, coarse_total);
+}
+
+}  // namespace
+}  // namespace pcmax::gpu

@@ -1,0 +1,97 @@
+#include "gpusim/coalescing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+namespace {
+
+std::vector<ThreadTrace> unit_stride_warp(int threads, std::uint64_t base,
+                                          std::uint64_t word = 4) {
+  std::vector<ThreadTrace> traces(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    traces[static_cast<std::size_t>(t)] = {base +
+                                           static_cast<std::uint64_t>(t) * word};
+  return traces;
+}
+
+TEST(Coalescing, FullyCoalescedWarpIsOneTransaction) {
+  // 32 threads reading consecutive 4-byte words: 128 bytes = 1 segment.
+  const auto traces = unit_stride_warp(32, 0);
+  EXPECT_EQ(warp_transactions(traces, 128), 1u);
+}
+
+TEST(Coalescing, MisalignedUnitStrideTouchesTwoSegments) {
+  const auto traces = unit_stride_warp(32, 64);  // straddles a boundary
+  EXPECT_EQ(warp_transactions(traces, 128), 2u);
+}
+
+TEST(Coalescing, FullyStridedWarpIsOneTransactionPerThread) {
+  std::vector<ThreadTrace> traces(32);
+  for (int t = 0; t < 32; ++t)
+    traces[static_cast<std::size_t>(t)] = {
+        static_cast<std::uint64_t>(t) * 128};
+  EXPECT_EQ(warp_transactions(traces, 128), 32u);
+}
+
+TEST(Coalescing, BroadcastIsOneTransaction) {
+  std::vector<ThreadTrace> traces(32, ThreadTrace{4096});
+  EXPECT_EQ(warp_transactions(traces, 128), 1u);
+}
+
+TEST(Coalescing, StepsAccumulate) {
+  // Two instructions: one coalesced, one strided.
+  std::vector<ThreadTrace> traces(32);
+  for (int t = 0; t < 32; ++t) {
+    const auto u = static_cast<std::uint64_t>(t);
+    traces[static_cast<std::size_t>(t)] = {u * 4, 100000 + u * 256};
+  }
+  EXPECT_EQ(warp_transactions(traces, 128), 1u + 32u);
+}
+
+TEST(Coalescing, DivergentThreadsSitOut) {
+  // Only 4 threads issue a second access, all in one segment.
+  std::vector<ThreadTrace> traces(32);
+  for (int t = 0; t < 32; ++t) {
+    traces[static_cast<std::size_t>(t)] = {static_cast<std::uint64_t>(t) * 4};
+    if (t < 4) traces[static_cast<std::size_t>(t)].push_back(8192);
+  }
+  EXPECT_EQ(warp_transactions(traces, 128), 1u + 1u);
+}
+
+TEST(Coalescing, EmptyWarpNoTransactions) {
+  std::vector<ThreadTrace> traces(32);
+  EXPECT_EQ(warp_transactions(traces, 128), 0u);
+}
+
+TEST(Coalescing, SegmentSizeMatters) {
+  const auto traces = unit_stride_warp(32, 0);  // bytes 0..127
+  EXPECT_EQ(warp_transactions(traces, 128), 1u);
+  EXPECT_EQ(warp_transactions(traces, 64), 2u);
+  EXPECT_EQ(warp_transactions(traces, 32), 4u);
+}
+
+TEST(Coalescing, RejectsBadSegment) {
+  std::vector<ThreadTrace> traces(1, ThreadTrace{0});
+  EXPECT_THROW((void)warp_transactions(traces, 0), util::contract_violation);
+}
+
+TEST(Coalescing, GridGroupsByWarp) {
+  // 64 threads unit-stride: warp 0 covers segments 0-1 partially? No:
+  // 64 threads * 4B = 256B; warp 0 -> bytes 0..127 (1 segment), warp 1 ->
+  // bytes 128..255 (1 segment).
+  const auto traces = unit_stride_warp(64, 0);
+  EXPECT_EQ(grid_transactions(traces, 32, 128), 2u);
+  // With warp size 64 all accesses form one instruction over 2 segments.
+  EXPECT_EQ(grid_transactions(traces, 64, 128), 2u);
+}
+
+TEST(Coalescing, PartialTrailingWarp) {
+  const auto traces = unit_stride_warp(40, 0);
+  // Warp 0: 32 threads -> 1 segment; warp 1: 8 threads in bytes 128..159.
+  EXPECT_EQ(grid_transactions(traces, 32, 128), 2u);
+}
+
+}  // namespace
+}  // namespace pcmax::gpusim

@@ -1,0 +1,82 @@
+#include "gpusim/execute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+namespace {
+
+DeviceSpec spec() { return DeviceSpec::k40(); }
+
+TEST(Execute, CountsThreadsAndOps) {
+  LaunchConfig cfg{4, 64};
+  const auto est = execute_kernel(
+      cfg, [](ThreadCtx& ctx) { ctx.ops(3); }, spec());
+  EXPECT_EQ(est.threads, 256u);
+  EXPECT_EQ(est.thread_ops, 3u * 256u);
+  EXPECT_EQ(est.transactions, 0u);
+}
+
+TEST(Execute, CoalescedLoadsOneTransactionPerWarp) {
+  LaunchConfig cfg{1, 128};  // 4 warps
+  const auto est = execute_kernel(
+      cfg, [](ThreadCtx& ctx) { ctx.load(ctx.global_id() * 4); }, spec());
+  EXPECT_EQ(est.transactions, 4u);  // 128 threads * 4 B = 4 segments
+}
+
+TEST(Execute, StridedLoadsOneTransactionPerThread) {
+  LaunchConfig cfg{1, 64};
+  const auto est = execute_kernel(
+      cfg, [](ThreadCtx& ctx) { ctx.load(ctx.global_id() * 128); }, spec());
+  EXPECT_EQ(est.transactions, 64u);
+}
+
+TEST(Execute, KernelsMutateUserData) {
+  std::vector<int> data(64, 0);
+  LaunchConfig cfg{1, 64};
+  const auto est = execute_kernel(
+      cfg,
+      [&](ThreadCtx& ctx) {
+        data[ctx.global_id()] = static_cast<int>(ctx.global_id());
+        ctx.store(ctx.global_id() * 4);
+      },
+      spec());
+  EXPECT_EQ(est.threads, 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(data[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Execute, BlockAndThreadIndicesExposed) {
+  LaunchConfig cfg{3, 10};
+  std::vector<int> hits(30, 0);
+  (void)execute_kernel(
+      cfg,
+      [&](ThreadCtx& ctx) {
+        EXPECT_LT(ctx.block_idx(), 3u);
+        EXPECT_LT(ctx.thread_idx(), 10u);
+        EXPECT_EQ(ctx.block_dim(), 10u);
+        ++hits[ctx.global_id()];
+      },
+      spec());
+  for (const auto h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Execute, WarpsDoNotSpanBlocks) {
+  // Two blocks of 16 threads each, all touching distinct segments within a
+  // block but the same segments across blocks: 1 transaction per block-warp.
+  LaunchConfig cfg{2, 16};
+  const auto est = execute_kernel(
+      cfg, [](ThreadCtx& ctx) { ctx.load(ctx.thread_idx() * 4); }, spec());
+  EXPECT_EQ(est.transactions, 2u);
+}
+
+TEST(Execute, RejectsEmptyKernel) {
+  EXPECT_THROW(
+      (void)execute_kernel(LaunchConfig{1, 1}, KernelFn{}, spec()),
+      util::contract_violation);
+}
+
+}  // namespace
+}  // namespace pcmax::gpusim

@@ -1,0 +1,199 @@
+#include "gpusim/fluid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+namespace {
+
+using util::SimTime;
+
+FluidTask task(int stream, std::int64_t latency_ns, std::int64_t work_ns,
+               int width, std::uint64_t tag = 0) {
+  FluidTask t;
+  t.stream = stream;
+  t.latency = SimTime::nanoseconds(latency_ns);
+  t.work = SimTime::nanoseconds(work_ns);
+  t.width_sms = width;
+  t.tag = tag;
+  return t;
+}
+
+TEST(Fluid, SingleTaskRunsLatencyPlusWorkOverWidth) {
+  FluidScheduler sched(4);
+  sched.submit(task(0, 100, 1000, 2));
+  const auto end = sched.run(SimTime{});
+  // 100 ns latency + 1000 SM-ns at 2 SMs = 600 ns.
+  EXPECT_EQ(end, SimTime::nanoseconds(600));
+  ASSERT_EQ(sched.completed().size(), 1u);
+  EXPECT_EQ(sched.completed()[0].start, SimTime{});
+  EXPECT_EQ(sched.completed()[0].finish, SimTime::nanoseconds(600));
+}
+
+TEST(Fluid, WidthCappedByCapacity) {
+  FluidScheduler sched(2);
+  sched.submit(task(0, 0, 1000, 8));  // wants 8 SMs, only 2 exist
+  EXPECT_EQ(sched.run(SimTime{}), SimTime::nanoseconds(500));
+}
+
+TEST(Fluid, SameStreamSerializes) {
+  FluidScheduler sched(16);
+  sched.submit(task(0, 100, 800, 1, 1));
+  sched.submit(task(0, 100, 800, 1, 2));
+  const auto end = sched.run(SimTime{});
+  EXPECT_EQ(end, SimTime::nanoseconds(2 * 900));
+  ASSERT_EQ(sched.completed().size(), 2u);
+  // FIFO order preserved.
+  EXPECT_EQ(sched.completed()[0].task.tag, 1u);
+  EXPECT_EQ(sched.completed()[1].task.tag, 2u);
+  EXPECT_EQ(sched.completed()[1].start, SimTime::nanoseconds(900));
+}
+
+TEST(Fluid, DifferentStreamsOverlapWhenCapacityAllows) {
+  FluidScheduler sched(8);
+  sched.submit(task(0, 0, 1000, 4));
+  sched.submit(task(1, 0, 1000, 4));
+  // Both get their full width concurrently: 250 ns each.
+  EXPECT_EQ(sched.run(SimTime{}), SimTime::nanoseconds(250));
+}
+
+TEST(Fluid, ContentionSharesFairly) {
+  FluidScheduler sched(4);
+  sched.submit(task(0, 0, 1000, 4));
+  sched.submit(task(1, 0, 1000, 4));
+  // Water-fill alternates SMs: 2 each, so both take 500 ns.
+  EXPECT_EQ(sched.run(SimTime{}), SimTime::nanoseconds(500));
+}
+
+TEST(Fluid, FreedCapacityReallocated) {
+  FluidScheduler sched(4);
+  sched.submit(task(0, 0, 400, 4));   // alone would take 100 ns
+  sched.submit(task(1, 0, 2000, 4));  // alone would take 500 ns
+  // Phase 1: 2 SMs each. Task A drains 400 SM-ns in 200 ns. Task B has
+  // consumed 400, leaving 1600 SM-ns; with all 4 SMs that is 400 ns more.
+  EXPECT_EQ(sched.run(SimTime{}), SimTime::nanoseconds(600));
+}
+
+TEST(Fluid, LatencyPhaseUsesNoCapacity) {
+  FluidScheduler sched(1);
+  sched.submit(task(0, 500, 100, 1));
+  sched.submit(task(1, 0, 400, 1));
+  // Stream 1 runs its 400 ns of work entirely inside stream 0's latency.
+  const auto end = sched.run(SimTime{});
+  EXPECT_EQ(end, SimTime::nanoseconds(600));
+}
+
+TEST(Fluid, ZeroWorkTaskCompletesAfterLatency) {
+  FluidScheduler sched(1);
+  sched.submit(task(0, 250, 0, 1));
+  EXPECT_EQ(sched.run(SimTime{}), SimTime::nanoseconds(250));
+}
+
+TEST(Fluid, EmptyRunReturnsStart) {
+  FluidScheduler sched(4);
+  EXPECT_EQ(sched.run(SimTime::nanoseconds(42)), SimTime::nanoseconds(42));
+}
+
+TEST(Fluid, StartOffsetPropagates) {
+  FluidScheduler sched(1);
+  sched.submit(task(0, 0, 100, 1));
+  EXPECT_EQ(sched.run(SimTime::nanoseconds(1000)),
+            SimTime::nanoseconds(1100));
+}
+
+TEST(Fluid, ManyStreamsBeyondCapacityAllComplete) {
+  FluidScheduler sched(2);
+  for (int s = 0; s < 16; ++s) sched.submit(task(s, 0, 100, 1, 100 + s));
+  const auto end = sched.run(SimTime{});
+  EXPECT_EQ(sched.completed().size(), 16u);
+  // Total work 1600 SM-ns over 2 SMs: at least 800 ns.
+  EXPECT_GE(end, SimTime::nanoseconds(800));
+}
+
+TEST(Fluid, DeterministicAcrossRuns) {
+  auto build = [] {
+    FluidScheduler sched(3);
+    for (int s = 0; s < 5; ++s) {
+      sched.submit(task(s, 10 * s, 97 * (s + 1), 1 + s % 3, 0));
+      sched.submit(task(s, 5, 31 * (s + 2), 2, 1));
+    }
+    return sched.run(SimTime{});
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Fluid, RejectsInvalidTasks) {
+  FluidScheduler sched(1);
+  EXPECT_THROW(sched.submit(task(-1, 0, 10, 1)), util::contract_violation);
+  FluidTask bad = task(0, 0, 10, 0);
+  EXPECT_THROW(sched.submit(bad), util::contract_violation);
+  EXPECT_THROW(FluidScheduler(0), util::contract_violation);
+}
+
+TEST(Fluid, WaterFillPrefersLowerStreams) {
+  // 3 SMs over two tasks of width 2: stream 0 gets 2, stream 1 gets 1.
+  FluidScheduler sched(3);
+  sched.submit(task(0, 0, 600, 2, 7));
+  sched.submit(task(1, 0, 600, 2, 8));
+  (void)sched.run(SimTime{});
+  ASSERT_EQ(sched.completed().size(), 2u);
+  // Task 7 finishes first (drains 600 at rate 2 = 300 ns).
+  EXPECT_EQ(sched.completed()[0].task.tag, 7u);
+  EXPECT_EQ(sched.completed()[0].finish, SimTime::nanoseconds(300));
+}
+
+TEST(Fluid, RandomizedInvariants) {
+  // For random task sets: every task completes exactly once, per-stream
+  // FIFO order holds, finish >= start + latency + work/capacity, and the
+  // schedule is work-conserving (makespan * capacity >= total work).
+  std::uint64_t x = 0x2545F4914F6CDD1Dull;
+  const auto rnd = [&x](std::int64_t lo, std::int64_t hi) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return lo + static_cast<std::int64_t>(x % static_cast<std::uint64_t>(
+                                                  hi - lo + 1));
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    const int capacity = static_cast<int>(rnd(1, 8));
+    FluidScheduler sched(capacity);
+    const int n = static_cast<int>(rnd(1, 30));
+    std::int64_t total_work_ns = 0;
+    for (int i = 0; i < n; ++i) {
+      FluidTask t;
+      t.stream = static_cast<int>(rnd(0, 5));
+      t.latency = SimTime::nanoseconds(rnd(0, 50));
+      t.work = SimTime::nanoseconds(rnd(0, 500));
+      t.width_sms = static_cast<int>(rnd(1, 6));
+      t.tag = static_cast<std::uint64_t>(i);
+      total_work_ns += t.work.ps() / 1000;
+      sched.submit(t);
+    }
+    const auto end = sched.run(SimTime{});
+    const auto done = sched.completed();
+    ASSERT_EQ(done.size(), static_cast<std::size_t>(n));
+
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::vector<SimTime> last_finish(6);
+    for (const auto& c : done) {
+      ASSERT_FALSE(seen[c.task.tag]);
+      seen[c.task.tag] = true;
+      // Duration lower bound.
+      EXPECT_GE(c.finish - c.start,
+                c.task.latency + c.task.work / capacity);
+      // Stream FIFO: starts after the previous task on the stream finished.
+      const auto stream = static_cast<std::size_t>(c.task.stream);
+      EXPECT_GE(c.start, last_finish[stream]);
+      last_finish[stream] = std::max(last_finish[stream], c.finish);
+      EXPECT_LE(c.finish, end);
+    }
+    // Work conservation: the device cannot do more than capacity SM-ns per
+    // ns of wall time.
+    EXPECT_GE(end.ns() * capacity + 1e-6,
+              static_cast<double>(total_work_ns));
+  }
+}
+
+}  // namespace
+}  // namespace pcmax::gpusim

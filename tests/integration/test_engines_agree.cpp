@@ -1,0 +1,50 @@
+// Cross-engine integration: every DP engine in the repository must produce
+// the identical table (or identical OPT, for OPT-only engines) on every
+// Fig. 3 group-(a) shape — the invariant the benchmark harness relies on.
+#include <gtest/gtest.h>
+
+#include "dp/frontier_solver.hpp"
+#include "dp/solver.hpp"
+#include "gpu/gpu_dp_solver.hpp"
+#include "partition/block_solver.hpp"
+#include "workload/shapes.hpp"
+
+namespace pcmax {
+namespace {
+
+class EnginesAgree
+    : public ::testing::TestWithParam<workload::TableShape> {};
+
+TEST_P(EnginesAgree, AllEnginesIdenticalOnShape) {
+  const auto problem = workload::dp_problem_for_extents(GetParam().extents);
+  const auto reference = dp::LevelBucketSolver().solve(problem);
+  ASSERT_NE(reference.opt, dp::kInfeasible);
+
+  EXPECT_EQ(dp::LevelScanSolver().solve(problem).table, reference.table);
+  EXPECT_EQ(dp::ReferenceSolver().solve(problem).table, reference.table);
+  EXPECT_EQ(partition::BlockedSolver(3).solve(problem).table,
+            reference.table);
+  EXPECT_EQ(partition::BlockedSolver(6).solve(problem).table,
+            reference.table);
+
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  EXPECT_EQ(gpu::GpuDpSolver(device, 5).solve(problem).table,
+            reference.table);
+  EXPECT_EQ(gpu::NaiveGpuDpSolver(device).solve(problem).table,
+            reference.table);
+
+  EXPECT_EQ(dp::solve_frontier(problem).opt, reference.opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig3GroupA, EnginesAgree,
+    ::testing::ValuesIn(workload::fig3_group('a')),
+    [](const ::testing::TestParamInfo<workload::TableShape>& param_info) {
+      std::string name = param_info.param.label;
+      for (auto& c : name)
+        if (c == '/' || c == '-') c = '_';
+      return name;
+    });
+
+}  // namespace
+}  // namespace pcmax

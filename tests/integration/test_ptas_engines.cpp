@@ -1,0 +1,73 @@
+// PTAS-level cross-engine integration: the full Algorithm-1 pipeline must
+// find the same optimal target and an equally good schedule no matter
+// which DP engine drives it, on generated instances of varying character.
+#include <gtest/gtest.h>
+
+#include "core/certificate.hpp"
+#include "core/ptas.hpp"
+#include "gpu/gpu_dp_solver.hpp"
+#include "partition/block_solver.hpp"
+#include "workload/generators.hpp"
+
+namespace pcmax {
+namespace {
+
+struct InstanceCase {
+  const char* name;
+  Instance instance;
+};
+
+std::vector<InstanceCase> cases() {
+  return {
+      {"uniform_small", workload::uniform_instance(24, 4, 1, 50, 11)},
+      {"uniform_wide", workload::uniform_instance(40, 6, 1, 400, 12)},
+      {"bimodal", workload::bimodal_instance(36, 5, 1, 8, 60, 90, 0.4, 13)},
+      {"normalish", workload::normal_instance(30, 4, 80.0, 25.0, 14)},
+      {"few_jobs", workload::uniform_instance(6, 3, 10, 90, 15)},
+  };
+}
+
+TEST(PtasEngines, SameTargetAndMakespanAcrossEngines) {
+  for (const auto& c : cases()) {
+    const auto baseline = solve_ptas(c.instance, dp::LevelBucketSolver());
+    validate_schedule(c.instance, baseline.schedule);
+
+    // Scan solver (Algorithm 2 verbatim).
+    const auto scan = solve_ptas(c.instance, dp::LevelScanSolver());
+    EXPECT_EQ(scan.best_target, baseline.best_target) << c.name;
+    EXPECT_EQ(scan.achieved_makespan, baseline.achieved_makespan) << c.name;
+
+    // Blocked solver (the partitioning scheme on the CPU).
+    const auto blocked =
+        solve_ptas(c.instance, partition::BlockedSolver(5));
+    EXPECT_EQ(blocked.best_target, baseline.best_target) << c.name;
+    EXPECT_EQ(blocked.achieved_makespan, baseline.achieved_makespan)
+        << c.name;
+
+    // Simulated-GPU engine.
+    gpusim::Device device(gpusim::DeviceSpec::k40());
+    const auto gpu = solve_ptas(c.instance, gpu::GpuDpSolver(device, 6));
+    EXPECT_EQ(gpu.best_target, baseline.best_target) << c.name;
+    EXPECT_EQ(gpu.achieved_makespan, baseline.achieved_makespan) << c.name;
+
+    // And the result always certifies against the guarantee.
+    EXPECT_TRUE(within_ptas_guarantee(baseline.achieved_makespan,
+                                      baseline.best_target, 4))
+        << c.name;
+  }
+}
+
+TEST(PtasEngines, QuarterSplitAgreesAcrossEngines) {
+  PtasOptions quarter;
+  quarter.strategy = SearchStrategy::kQuarterSplit;
+  for (const auto& c : cases()) {
+    const auto a = solve_ptas(c.instance, dp::LevelBucketSolver(), quarter);
+    const auto b =
+        solve_ptas(c.instance, partition::BlockedSolver(4), quarter);
+    EXPECT_EQ(a.best_target, b.best_target) << c.name;
+    EXPECT_EQ(a.achieved_makespan, b.achieved_makespan) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,81 @@
+// Robustness tests at the edges: large instances, extreme processing-time
+// magnitudes, and degenerate machine counts, end to end through the PTAS.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/certificate.hpp"
+#include "core/ptas.hpp"
+#include "core/rounding.hpp"
+#include "workload/generators.hpp"
+
+namespace pcmax {
+namespace {
+
+const dp::LevelBucketSolver kSolver;
+
+TEST(Stress, ThousandJobs) {
+  const auto inst = workload::uniform_instance(1000, 32, 1, 500, 1);
+  const auto r = solve_ptas(inst, kSolver);
+  validate_schedule(inst, r.schedule);
+  EXPECT_TRUE(within_ptas_guarantee(r.achieved_makespan, r.best_target, 4));
+  EXPECT_GE(r.achieved_makespan, makespan_lower_bound(inst));
+}
+
+TEST(Stress, LargeProcessingTimes) {
+  // Times near 10^12: all the integer arithmetic (rounding classes,
+  // bounds, loads) must stay exact with no overflow.
+  Instance inst;
+  inst.machines = 3;
+  const std::int64_t big = 1'000'000'000'000;
+  inst.times = {big, big - 1, big / 2, big / 3, big / 5, big / 7, 1};
+  const auto r = solve_ptas(inst, kSolver);
+  validate_schedule(inst, r.schedule);
+  EXPECT_TRUE(within_ptas_guarantee(r.achieved_makespan, r.best_target, 4));
+  EXPECT_GE(r.best_target, makespan_lower_bound(inst));
+  EXPECT_LE(r.best_target, makespan_upper_bound(inst));
+}
+
+TEST(Stress, ManyMachinesFewJobs) {
+  const Instance inst{1000, {7, 5, 3}};
+  const auto r = solve_ptas(inst, kSolver);
+  EXPECT_EQ(r.achieved_makespan, 7);
+}
+
+TEST(Stress, AllJobsIdenticalLarge) {
+  Instance inst;
+  inst.machines = 7;
+  inst.times.assign(700, 13);
+  const auto r = solve_ptas(inst, kSolver);
+  EXPECT_EQ(r.achieved_makespan, 1300);  // exactly 100 jobs per machine
+}
+
+TEST(Stress, AdversarialEpsilonStillBounded) {
+  // Tight epsilon (k = 10, capacity 100) exercised on a bimodal instance
+  // whose long jobs cluster in a narrow band, keeping the class count — and
+  // therefore the table dimensionality — bounded while the fine-grained
+  // rounding machinery runs for real. (A wide uniform spread at eps = 0.1
+  // explodes into 10+ dimensions and minutes of DP — the curse of
+  // dimensionality the paper is about; that regime belongs to the benches.)
+  const auto inst =
+      workload::bimodal_instance(48, 6, 1, 5, 70, 80, 0.3, 2);
+  PtasOptions options;
+  options.epsilon = 0.1;
+  const auto r = solve_ptas(inst, kSolver, options);
+  validate_schedule(inst, r.schedule);
+  EXPECT_TRUE(
+      within_ptas_guarantee(r.achieved_makespan, r.best_target, 10));
+}
+
+TEST(Stress, QuarterSplitOnWideRange) {
+  // One giant job forces a huge [LB, UB] interval.
+  Instance inst;
+  inst.machines = 2;
+  inst.times = {1'000'000, 1, 1, 1};
+  PtasOptions options;
+  options.strategy = SearchStrategy::kQuarterSplit;
+  const auto r = solve_ptas(inst, kSolver, options);
+  EXPECT_EQ(r.achieved_makespan, 1'000'000);
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,132 @@
+#include "partition/blocked_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "partition/divisor.hpp"
+
+namespace pcmax::partition {
+namespace {
+
+BlockedLayout fig2_layout() {
+  // Fig. 2: a 6x6x6 table divided by divisor (3, 3, 3) into 2x2x2 blocks.
+  return BlockedLayout(dp::MixedRadix({6, 6, 6}), {3, 3, 3});
+}
+
+TEST(BlockedLayout, Fig2Shape) {
+  const auto layout = fig2_layout();
+  EXPECT_EQ(layout.block_count(), 27u);
+  EXPECT_EQ(layout.cells_per_block(), 8u);
+  EXPECT_EQ(layout.block_size(), (std::vector<std::int64_t>{2, 2, 2}));
+  EXPECT_EQ(layout.block_levels(), 7);    // 7 colors in Fig. 2
+  EXPECT_EQ(layout.in_block_levels(), 4); // 4 in-block anti-diagonal levels
+}
+
+TEST(BlockedLayout, ToBlockedIsBijection) {
+  const auto layout = fig2_layout();
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t id = 0; id < 216; ++id) {
+    const auto b = layout.to_blocked(id);
+    EXPECT_LT(b, 216u);
+    EXPECT_TRUE(seen.insert(b).second) << "collision at row-major " << id;
+    EXPECT_EQ(layout.from_blocked(b), id);
+  }
+}
+
+TEST(BlockedLayout, CellsOfABlockAreContiguous) {
+  const auto layout = fig2_layout();
+  // Every cell of block g must land in [g*8, (g+1)*8).
+  for (std::uint64_t id = 0; id < 216; ++id) {
+    const auto v = layout.table_radix().unflatten(id);
+    const auto g = layout.block_of(v);
+    const auto b = layout.blocked_offset(v);
+    EXPECT_EQ(b / layout.cells_per_block(), g);
+  }
+}
+
+TEST(BlockedLayout, BlockOfMatchesCoordinateDivision) {
+  const auto layout = fig2_layout();
+  const std::vector<std::int64_t> cell{5, 2, 3};
+  // block coords = (2, 1, 1) -> id = 2*9 + 1*3 + 1 = 22.
+  EXPECT_EQ(layout.block_of(cell), 22u);
+}
+
+TEST(BlockedLayout, CellAtInvertsBlockDecomposition) {
+  const auto layout = fig2_layout();
+  std::vector<std::int64_t> out(3);
+  for (std::uint64_t g = 0; g < layout.block_count(); ++g) {
+    for (std::uint64_t l = 0; l < layout.cells_per_block(); ++l) {
+      const auto local = layout.block().unflatten(l);
+      layout.cell_at(g, local, out);
+      EXPECT_EQ(layout.block_of(out), g);
+      EXPECT_EQ(layout.blocked_offset(out),
+                g * layout.cells_per_block() + l);
+    }
+  }
+}
+
+TEST(BlockedLayout, ReorganizeIsPermutation) {
+  const auto layout = fig2_layout();
+  std::vector<std::int32_t> row_major(216);
+  std::iota(row_major.begin(), row_major.end(), 0);
+  const auto blocked =
+      layout.reorganize(std::span<const std::int32_t>(row_major));
+  std::set<std::int32_t> values(blocked.begin(), blocked.end());
+  EXPECT_EQ(values.size(), 216u);
+  // Spot-check: blocked[b] must be the row-major id mapping to b.
+  for (std::uint64_t b = 0; b < 216; ++b)
+    EXPECT_EQ(static_cast<std::uint64_t>(blocked[b]), layout.from_blocked(b));
+}
+
+TEST(BlockedLayout, UnitDivisorIsIdentity) {
+  const dp::MixedRadix radix({4, 3, 5});
+  const BlockedLayout layout(radix, {1, 1, 1});
+  EXPECT_EQ(layout.block_count(), 1u);
+  EXPECT_EQ(layout.cells_per_block(), radix.size());
+  for (std::uint64_t id = 0; id < radix.size(); ++id)
+    EXPECT_EQ(layout.to_blocked(id), id);
+}
+
+TEST(BlockedLayout, FullSplitMakesUnitBlocks) {
+  const dp::MixedRadix radix({5, 5});
+  const BlockedLayout layout(radix, {5, 5});
+  EXPECT_EQ(layout.block_count(), 25u);
+  EXPECT_EQ(layout.cells_per_block(), 1u);
+  for (std::uint64_t id = 0; id < 25; ++id)
+    EXPECT_EQ(layout.to_blocked(id), id);  // unit blocks keep row-major order
+}
+
+struct LayoutCase {
+  std::vector<std::int64_t> extents;
+  std::size_t dims;
+};
+
+class LayoutParam : public ::testing::TestWithParam<LayoutCase> {};
+
+TEST_P(LayoutParam, BijectionAndBlockLocality) {
+  const dp::MixedRadix radix(std::vector<std::int64_t>(GetParam().extents));
+  const BlockedLayout layout(
+      radix, compute_divisor(GetParam().extents, GetParam().dims));
+  std::vector<bool> seen(radix.size(), false);
+  for (std::uint64_t id = 0; id < radix.size(); ++id) {
+    const auto b = layout.to_blocked(id);
+    ASSERT_LT(b, radix.size());
+    ASSERT_FALSE(seen[b]);
+    seen[b] = true;
+    ASSERT_EQ(layout.from_blocked(b), id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayoutParam,
+    ::testing::Values(LayoutCase{{6, 4, 6, 6, 4}, 3},
+                      LayoutCase{{6, 4, 6, 6, 4}, 5},
+                      LayoutCase{{5, 3, 6, 3, 4, 4, 2}, 5},
+                      LayoutCase{{3, 16, 15, 18}, 4},
+                      LayoutCase{{2, 2, 2, 2, 2, 2, 2, 2}, 8},
+                      LayoutCase{{7, 1, 9}, 3}));
+
+}  // namespace
+}  // namespace pcmax::partition

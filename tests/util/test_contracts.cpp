@@ -1,0 +1,48 @@
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pcmax::util {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) {
+  PCMAX_EXPECTS(1 + 1 == 2);  // must not throw
+  PCMAX_ENSURES(true);
+}
+
+TEST(Contracts, ExpectsThrowsWithLocation) {
+  try {
+    PCMAX_EXPECTS(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const contract_violation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("Expects"), std::string::npos);
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrowsWithKind) {
+  try {
+    PCMAX_ENSURES(false);
+    FAIL() << "should have thrown";
+  } catch (const contract_violation& e) {
+    EXPECT_NE(std::string(e.what()).find("Ensures"), std::string::npos);
+  }
+}
+
+TEST(Contracts, ViolationIsLogicError) {
+  // Callers may catch std::logic_error generically.
+  EXPECT_THROW(PCMAX_EXPECTS(false), std::logic_error);
+}
+
+TEST(Contracts, ConditionEvaluatedOnce) {
+  int count = 0;
+  PCMAX_EXPECTS(++count == 1);
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace pcmax::util

@@ -1,0 +1,60 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmax::util {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.uniform(0, 1'000'000), b.uniform(0, 1'000'000));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform(0, 1'000'000) == b.uniform(0, 1'000'000)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(3, 2), contract_violation);
+}
+
+TEST(Rng, ClampedNormalStaysInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.clamped_normal(50.0, 100.0, 0, 100);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pcmax::util

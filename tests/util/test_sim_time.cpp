@@ -1,0 +1,57 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmax::util {
+namespace {
+
+TEST(SimTime, UnitConversions) {
+  EXPECT_EQ(SimTime::nanoseconds(1).ps(), 1'000);
+  EXPECT_EQ(SimTime::microseconds(1).ps(), 1'000'000);
+  EXPECT_EQ(SimTime::milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::milliseconds(3).ms(), 3.0);
+  EXPECT_DOUBLE_EQ(SimTime::microseconds(3).us(), 3.0);
+  EXPECT_DOUBLE_EQ(SimTime::nanoseconds(3).ns(), 3.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::nanoseconds(10);
+  const auto b = SimTime::nanoseconds(4);
+  EXPECT_EQ((a + b).ps(), 14'000);
+  EXPECT_EQ((a - b).ps(), 6'000);
+  EXPECT_EQ((a * 3).ps(), 30'000);
+  EXPECT_EQ((3 * a).ps(), 30'000);
+  EXPECT_EQ((a / 2).ps(), 5'000);
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c.ps(), 14'000);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::nanoseconds(1), SimTime::nanoseconds(2));
+  EXPECT_GT(SimTime::milliseconds(1), SimTime::microseconds(999));
+  EXPECT_EQ(SimTime::microseconds(1000), SimTime::milliseconds(1));
+  EXPECT_EQ(SimTime{}, SimTime::picoseconds(0));
+}
+
+TEST(SimTime, FromNsRounds) {
+  EXPECT_EQ(SimTime::from_ns(1.5).ps(), 1'500);
+  EXPECT_EQ(SimTime::from_ns(0.0004).ps(), 0);
+  EXPECT_EQ(SimTime::from_ns(0.0006).ps(), 1);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::milliseconds(2).to_string(), "2.000 ms");
+  EXPECT_EQ(SimTime::microseconds(2).to_string(), "2.000 us");
+  EXPECT_EQ(SimTime::nanoseconds(2).to_string(), "2.000 ns");
+}
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.ps(), 0);
+  EXPECT_DOUBLE_EQ(SimTime{}.ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace pcmax::util

@@ -1,0 +1,54 @@
+#include "util/text_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string out = t.to_string();
+  // Every line must have the second column starting at the same offset.
+  const auto lines_start = out.find("name");
+  ASSERT_NE(lines_start, std::string::npos);
+  EXPECT_NE(out.find("long-name  22"), std::string::npos);
+  EXPECT_NE(out.find("a          1"), std::string::npos);
+}
+
+TEST(TextTable, RowArityChecked) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), contract_violation);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), contract_violation);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), contract_violation);
+}
+
+TEST(TextTable, CellFormatting) {
+  EXPECT_EQ(TextTable::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(TextTable::cell(std::int64_t{-7}), "-7");
+  EXPECT_EQ(TextTable::cell(1.5), "1.500");
+  EXPECT_EQ(TextTable::cell("abc"), "abc");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(FormatVector, PaperNotation) {
+  EXPECT_EQ(format_vector({6, 4, 6, 6, 4}), "(6, 4, 6, 6, 4)");
+  EXPECT_EQ(format_vector({3}), "(3)");
+  EXPECT_EQ(format_vector({}), "()");
+}
+
+}  // namespace
+}  // namespace pcmax::util

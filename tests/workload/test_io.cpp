@@ -1,0 +1,69 @@
+#include "workload/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+#include "workload/generators.hpp"
+
+namespace pcmax::workload {
+namespace {
+
+TEST(InstanceIo, ParseSimple) {
+  const auto inst = parse_instance("3\n10 20 30 40\n");
+  EXPECT_EQ(inst.machines, 3);
+  EXPECT_EQ(inst.times, (std::vector<std::int64_t>{10, 20, 30, 40}));
+}
+
+TEST(InstanceIo, ParseToleratesCommentsAndWhitespace) {
+  const auto inst = parse_instance(
+      "# scheduling instance\n"
+      "  2   # two machines\n"
+      "5\n"
+      "  6 7\n"
+      "\n"
+      "8 # trailing\n");
+  EXPECT_EQ(inst.machines, 2);
+  EXPECT_EQ(inst.times, (std::vector<std::int64_t>{5, 6, 7, 8}));
+}
+
+TEST(InstanceIo, ParseRejectsGarbage) {
+  EXPECT_THROW((void)parse_instance(""), util::contract_violation);
+  EXPECT_THROW((void)parse_instance("x\n1 2\n"), util::contract_violation);
+  EXPECT_THROW((void)parse_instance("2\n1 banana 3\n"),
+               util::contract_violation);
+  // Valid syntax, invalid instance (zero time).
+  EXPECT_THROW((void)parse_instance("2\n1 0 3\n"), util::contract_violation);
+  EXPECT_THROW((void)parse_instance("0\n1 2\n"), util::contract_violation);
+}
+
+TEST(InstanceIo, RoundTrip) {
+  const auto original = uniform_instance(50, 7, 1, 500, 99);
+  std::ostringstream out;
+  write_instance(out, original);
+  const auto parsed = parse_instance(out.str());
+  EXPECT_EQ(parsed.machines, original.machines);
+  EXPECT_EQ(parsed.times, original.times);
+}
+
+TEST(InstanceIo, WriteScheduleIsReadable) {
+  const Instance inst{2, {4, 3, 2}};
+  const Schedule s{{0, 1, 0}};
+  std::ostringstream out;
+  write_schedule(out, inst, s);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("machine 0 (load 6): 0:4 2:2"), std::string::npos);
+  EXPECT_NE(text.find("machine 1 (load 3): 1:3"), std::string::npos);
+  EXPECT_NE(text.find("makespan 6"), std::string::npos);
+}
+
+TEST(InstanceIo, WriteScheduleValidates) {
+  const Instance inst{2, {4, 3}};
+  std::ostringstream out;
+  EXPECT_THROW(write_schedule(out, inst, Schedule{{0}}),
+               util::contract_violation);
+}
+
+}  // namespace
+}  // namespace pcmax::workload

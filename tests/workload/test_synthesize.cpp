@@ -1,0 +1,90 @@
+#include "workload/synthesize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::workload {
+namespace {
+
+std::uint64_t product(const std::vector<std::int64_t>& v) {
+  std::uint64_t p = 1;
+  for (const auto e : v) p *= static_cast<std::uint64_t>(e);
+  return p;
+}
+
+TEST(FactorTableSize, ExactProducts) {
+  for (const std::uint64_t size : {3456u, 8640u, 12960u, 20736u}) {
+    for (const std::size_t dims : {4u, 5u, 6u, 7u}) {
+      const auto shape = factor_table_size(size, dims);
+      if (!shape.has_value()) continue;
+      EXPECT_EQ(shape->size(), dims);
+      EXPECT_EQ(product(*shape), size) << size << " d" << dims;
+    }
+  }
+}
+
+TEST(FactorTableSize, RespectsExtentBounds) {
+  const auto shape = factor_table_size(3456, 6, 2, 6);
+  ASSERT_TRUE(shape.has_value());
+  for (const auto e : *shape) {
+    EXPECT_GE(e, 2);
+    EXPECT_LE(e, 6);
+  }
+}
+
+TEST(FactorTableSize, PrefersBalancedFactors) {
+  // 64 into 3 dims: (4, 4, 4) is the balanced choice.
+  const auto shape = factor_table_size(64, 3);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(*shape, (std::vector<std::int64_t>{4, 4, 4}));
+}
+
+TEST(FactorTableSize, DescendingOrder) {
+  const auto shape = factor_table_size(360, 4);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_TRUE(std::is_sorted(shape->rbegin(), shape->rend()));
+  EXPECT_EQ(product(*shape), 360u);
+}
+
+TEST(FactorTableSize, InfeasibleCases) {
+  // A prime beyond max_extent cannot factor.
+  EXPECT_FALSE(factor_table_size(97, 2, 2, 32).has_value());
+  // Too many dims for the available factors of 8 (2*2*2 needs exactly 3).
+  EXPECT_FALSE(factor_table_size(8, 4).has_value());
+  // Too few dims: 2^10 does not fit in 2 extents <= 32.
+  EXPECT_FALSE(factor_table_size(1u << 10, 1).has_value());
+}
+
+TEST(FactorTableSize, SingleDimension) {
+  const auto shape = factor_table_size(24, 1);
+  ASSERT_TRUE(shape.has_value());
+  EXPECT_EQ(*shape, (std::vector<std::int64_t>{24}));
+}
+
+TEST(FactorTableSize, RejectsBadArguments) {
+  EXPECT_THROW((void)factor_table_size(0, 2), util::contract_violation);
+  EXPECT_THROW((void)factor_table_size(8, 0), util::contract_violation);
+  EXPECT_THROW((void)factor_table_size(8, 2, 5, 3),
+               util::contract_violation);
+}
+
+TEST(ShapeVariants, PaperSizeVariants) {
+  const auto variants = shape_variants(20736, 3, 9);
+  EXPECT_GE(variants.size(), 5u);
+  for (const auto& v : variants) EXPECT_EQ(product(v), 20736u);
+  // Distinct dimension counts, ascending.
+  for (std::size_t i = 1; i < variants.size(); ++i)
+    EXPECT_LT(variants[i - 1].size(), variants[i].size());
+}
+
+TEST(ShapeVariants, SkipsInfeasibleDimCounts) {
+  // 97 (prime > 32) factors at no dimension count in [1, 4] with the
+  // default extent cap.
+  EXPECT_TRUE(shape_variants(97, 1, 4).empty());
+}
+
+}  // namespace
+}  // namespace pcmax::workload

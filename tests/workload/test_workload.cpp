@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dp/solver.hpp"
+#include "util/contracts.hpp"
+#include "workload/generators.hpp"
+#include "workload/shapes.hpp"
+
+namespace pcmax::workload {
+namespace {
+
+TEST(Generators, UniformDeterministicAndInRange) {
+  const auto a = uniform_instance(100, 8, 10, 99, 7);
+  const auto b = uniform_instance(100, 8, 10, 99, 7);
+  EXPECT_EQ(a.times, b.times);
+  for (const auto t : a.times) {
+    EXPECT_GE(t, 10);
+    EXPECT_LE(t, 99);
+  }
+  EXPECT_EQ(a.machines, 8);
+  EXPECT_EQ(a.jobs(), 100u);
+}
+
+TEST(Generators, DifferentSeedsDiffer) {
+  EXPECT_NE(uniform_instance(50, 4, 1, 1000, 1).times,
+            uniform_instance(50, 4, 1, 1000, 2).times);
+}
+
+TEST(Generators, NormalClampedPositive) {
+  const auto inst = normal_instance(200, 4, 50.0, 100.0, 3);
+  for (const auto t : inst.times) {
+    EXPECT_GE(t, 1);
+    EXPECT_LE(t, 100);
+  }
+}
+
+TEST(Generators, BimodalProducesBothModes) {
+  const auto inst = bimodal_instance(300, 4, 1, 10, 1000, 2000, 0.3, 5);
+  bool has_short = false, has_long = false;
+  for (const auto t : inst.times) {
+    if (t <= 10) has_short = true;
+    if (t >= 1000) has_long = true;
+  }
+  EXPECT_TRUE(has_short);
+  EXPECT_TRUE(has_long);
+}
+
+TEST(Generators, RejectBadArguments) {
+  EXPECT_THROW((void)uniform_instance(0, 4, 1, 10, 1),
+               util::contract_violation);
+  EXPECT_THROW((void)uniform_instance(5, 4, 10, 1, 1),
+               util::contract_violation);
+  EXPECT_THROW((void)bimodal_instance(5, 4, 1, 10, 100, 200, 1.5, 1),
+               util::contract_violation);
+}
+
+TEST(Shapes, PaperShapesHavePublishedSizes) {
+  std::set<std::uint64_t> sizes;
+  for (const auto& shape : paper_table_shapes()) {
+    std::uint64_t product = 1;
+    for (const auto e : shape.extents)
+      product *= static_cast<std::uint64_t>(e);
+    EXPECT_EQ(product, shape.table_size) << shape.label;
+    sizes.insert(shape.table_size);
+  }
+  EXPECT_EQ(sizes, (std::set<std::uint64_t>{3456, 8640, 12960, 20736, 362880,
+                                            403200}));
+}
+
+TEST(Shapes, ShapesForSizeFilters) {
+  const auto variants = paper_shapes_for_size(3456);
+  EXPECT_EQ(variants.size(), 5u);  // Table I has 5 dimension variants
+  for (const auto& v : variants) EXPECT_EQ(v.table_size, 3456u);
+  EXPECT_TRUE(paper_shapes_for_size(12345).empty());
+}
+
+TEST(Shapes, Fig3GroupsSpanTheirRanges) {
+  for (const char g : {'a', 'b', 'c'}) {
+    const auto& shapes = fig3_group(g);
+    EXPECT_EQ(shapes.size(), 12u);
+    for (std::size_t i = 1; i < shapes.size(); ++i)
+      EXPECT_LT(shapes[i - 1].table_size, shapes[i].table_size);
+  }
+  EXPECT_GE(fig3_group('a').front().table_size, 100u);
+  EXPECT_LE(fig3_group('a').back().table_size, 10'000u);
+  EXPECT_GE(fig3_group('b').front().table_size, 20'000u);
+  EXPECT_LE(fig3_group('b').back().table_size, 100'000u);
+  EXPECT_GE(fig3_group('c').front().table_size, 110'000u);
+  EXPECT_LE(fig3_group('c').back().table_size, 500'000u);
+}
+
+TEST(Shapes, Fig3RejectsUnknownGroup) {
+  EXPECT_THROW((void)fig3_group('x'), util::contract_violation);
+}
+
+TEST(Shapes, DpProblemForExtentsIsValidPtasShape) {
+  const auto p = dp_problem_for_extents({6, 4, 6, 6, 4});
+  p.validate();
+  EXPECT_EQ(p.capacity, 16);
+  EXPECT_EQ(p.counts, (std::vector<std::int64_t>{5, 3, 5, 5, 3}));
+  for (const auto w : p.weights) {
+    EXPECT_GE(w, 4);
+    EXPECT_LE(w, 16);
+  }
+  EXPECT_EQ(p.table_size(), 3456u);
+}
+
+TEST(Shapes, DpProblemSolvable) {
+  const auto p = dp_problem_for_extents({5, 5, 4});
+  const auto r = dp::ReferenceSolver().solve(p);
+  EXPECT_NE(r.opt, dp::kInfeasible);
+  EXPECT_GT(r.opt, 0);
+}
+
+TEST(Shapes, ManyDimensionsWrapWeights) {
+  std::vector<std::int64_t> extents(15, 2);
+  const auto p = dp_problem_for_extents(extents, 4);
+  p.validate();  // weights wrap modulo the 13 distinct classes
+}
+
+}  // namespace
+}  // namespace pcmax::workload

@@ -1,0 +1,191 @@
+// pcmax command-line scheduler.
+//
+// Reads a P||Cmax instance (file or generated), schedules it with the
+// selected engine, and prints the schedule plus solver statistics.
+//
+//   pcmax_cli --input jobs.txt
+//   pcmax_cli --random 120 16 1 100 42 --engine gpu-dim6 --epsilon 0.2
+//   pcmax_cli --random 20 4 1 50 7 --engine exact
+//   pcmax_cli --random 50 8 1 99 1 --emit-instance > jobs.txt
+//
+// Engines: ptas (default; --dp selects the DP solver: bucket, scan,
+// blocked-<dims>), gpu-dim<dims> (simulated K40, quarter split), lpt,
+// list, multifit, exact.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baselines/exact.hpp"
+#include "baselines/heuristics.hpp"
+#include "core/bounds.hpp"
+#include "gpu/gpu_ptas.hpp"
+#include "partition/block_solver.hpp"
+#include "workload/generators.hpp"
+#include "workload/io.hpp"
+
+namespace {
+
+using namespace pcmax;
+
+[[noreturn]] void usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: pcmax_cli (--input FILE | --random N M LO HI SEED)\n"
+      "                 [--engine ptas|gpu-dim<k>|lpt|list|multifit|exact]\n"
+      "                 [--dp bucket|scan|blocked-<dims>] [--epsilon E]\n"
+      "                 [--quarter-split] [--emit-instance]\n");
+  std::exit(2);
+}
+
+struct Args {
+  std::optional<std::string> input;
+  std::optional<Instance> random;
+  std::string engine = "ptas";
+  std::string dp = "bucket";
+  double epsilon = 0.3;
+  bool quarter_split = false;
+  bool emit_instance = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) usage(what);
+      return argv[++i];
+    };
+    if (a == "--input") {
+      args.input = next("--input needs a path");
+    } else if (a == "--random") {
+      if (i + 5 >= argc) usage("--random needs N M LO HI SEED");
+      const auto n = static_cast<std::size_t>(std::atoll(argv[++i]));
+      const auto m = std::atoll(argv[++i]);
+      const auto lo = std::atoll(argv[++i]);
+      const auto hi = std::atoll(argv[++i]);
+      const auto seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      args.random = workload::uniform_instance(n, m, lo, hi, seed);
+    } else if (a == "--engine") {
+      args.engine = next("--engine needs a name");
+    } else if (a == "--dp") {
+      args.dp = next("--dp needs a name");
+    } else if (a == "--epsilon") {
+      args.epsilon = std::atof(next("--epsilon needs a value"));
+    } else if (a == "--quarter-split") {
+      args.quarter_split = true;
+    } else if (a == "--emit-instance") {
+      args.emit_instance = true;
+    } else {
+      usage(("unknown flag: " + a).c_str());
+    }
+  }
+  return args;
+}
+
+int run_ptas(const Instance& instance, const Args& args) {
+  std::unique_ptr<dp::DpSolver> solver;
+  if (args.dp == "bucket") {
+    solver = std::make_unique<dp::LevelBucketSolver>();
+  } else if (args.dp == "scan") {
+    solver = std::make_unique<dp::LevelScanSolver>();
+  } else if (args.dp.rfind("blocked-", 0) == 0) {
+    solver = std::make_unique<partition::BlockedSolver>(
+        static_cast<std::size_t>(std::atoll(args.dp.c_str() + 8)));
+  } else {
+    usage(("unknown --dp: " + args.dp).c_str());
+  }
+
+  PtasOptions options;
+  options.epsilon = args.epsilon;
+  options.strategy = args.quarter_split ? SearchStrategy::kQuarterSplit
+                                        : SearchStrategy::kBisection;
+  const auto result = solve_ptas(instance, *solver, options);
+  workload::write_schedule(std::cout, instance, result.schedule);
+  std::printf("engine ptas/%s epsilon %.3f target %lld rounds %zu "
+              "dp-calls %zu\n",
+              solver->name().c_str(), args.epsilon,
+              static_cast<long long>(result.best_target),
+              result.search_iterations, result.dp_calls.size());
+  return 0;
+}
+
+int run_gpu(const Instance& instance, const Args& args, std::size_t dims) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  gpu::GpuPtasOptions options;
+  options.epsilon = args.epsilon;
+  options.partition_dims = dims;
+  const auto result = gpu::solve_gpu_ptas(instance, device, options);
+  workload::write_schedule(std::cout, instance, result.ptas.schedule);
+  std::printf("engine gpu-dim%zu epsilon %.3f target %lld rounds %zu "
+              "sim-time %s kernels %llu (+%llu children) peak-mem %.2f MB\n",
+              dims, args.epsilon,
+              static_cast<long long>(result.ptas.best_target),
+              result.ptas.search_iterations,
+              result.device_time.to_string().c_str(),
+              static_cast<unsigned long long>(result.stats.kernels),
+              static_cast<unsigned long long>(result.stats.child_kernels),
+              static_cast<double>(device.peak_memory()) / (1 << 20));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  Instance instance;
+  if (args.input.has_value()) {
+    std::ifstream in(*args.input);
+    if (!in) usage(("cannot open " + *args.input).c_str());
+    instance = workload::read_instance(in);
+  } else if (args.random.has_value()) {
+    instance = *args.random;
+  } else {
+    usage("need --input or --random");
+  }
+
+  if (args.emit_instance) {
+    workload::write_instance(std::cout, instance);
+    return 0;
+  }
+
+  std::printf("# %zu jobs on %lld machines, LB %lld UB %lld\n",
+              instance.jobs(), static_cast<long long>(instance.machines),
+              static_cast<long long>(makespan_lower_bound(instance)),
+              static_cast<long long>(makespan_upper_bound(instance)));
+
+  if (args.engine == "ptas") return run_ptas(instance, args);
+  if (args.engine.rfind("gpu-dim", 0) == 0)
+    return run_gpu(instance, args,
+                   static_cast<std::size_t>(
+                       std::atoll(args.engine.c_str() + 7)));
+  if (args.engine == "lpt" || args.engine == "list" ||
+      args.engine == "multifit") {
+    const Schedule s = args.engine == "lpt"
+                           ? baselines::lpt(instance)
+                           : args.engine == "list"
+                                 ? baselines::list_scheduling(instance)
+                                 : baselines::multifit(instance);
+    workload::write_schedule(std::cout, instance, s);
+    std::printf("engine %s\n", args.engine.c_str());
+    return 0;
+  }
+  if (args.engine == "exact") {
+    const auto r = baselines::solve_exact(instance);
+    if (!r.has_value()) {
+      std::fprintf(stderr, "exact solver exceeded its node budget\n");
+      return 1;
+    }
+    workload::write_schedule(std::cout, instance, r->schedule);
+    std::printf("engine exact nodes %llu\n",
+                static_cast<unsigned long long>(r->nodes_visited));
+    return 0;
+  }
+  usage(("unknown --engine: " + args.engine).c_str());
+}
