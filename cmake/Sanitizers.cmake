@@ -1,0 +1,48 @@
+# Sanitizer presets. PCMAX_SANITIZE is a comma-separated subset of
+# {address, undefined, leak, thread}, applied to every target in the build
+# (libraries, tests, tools, benches) so the fuzzer and ctest both run
+# instrumented. ThreadSanitizer matters here: LevelBucketSolver and
+# BlockedSolver are OpenMP wavefronts, and a missing barrier shows up as a
+# data race on DP-table cells, not as a wrong answer on every input.
+#
+#   cmake -B build -DPCMAX_SANITIZE=address,undefined
+#   cmake -B build-tsan -DPCMAX_SANITIZE=thread
+#
+# Notes:
+#  - address/leak and thread are mutually exclusive (compiler restriction).
+#  - -fno-sanitize-recover=all turns UBSan findings into hard failures so
+#    ctest and the fuzzer exit non-zero instead of logging and continuing.
+#  - TSan with GCC's libgomp can report false positives unless OpenMP was
+#    built with TSan instrumentation; docs/TESTING.md lists the suppression
+#    workflow the nightly CI job uses.
+
+set(PCMAX_SANITIZE "" CACHE STRING
+    "Comma-separated sanitizers to instrument with (address,undefined,leak,thread)")
+
+if(NOT PCMAX_SANITIZE STREQUAL "")
+  string(REPLACE "," ";" _pcmax_sanitizers "${PCMAX_SANITIZE}")
+
+  foreach(_san IN LISTS _pcmax_sanitizers)
+    if(NOT _san MATCHES "^(address|undefined|leak|thread)$")
+      message(FATAL_ERROR
+        "PCMAX_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected address, undefined, leak, or thread)")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _pcmax_sanitizers AND
+     ("address" IN_LIST _pcmax_sanitizers OR "leak" IN_LIST _pcmax_sanitizers))
+    message(FATAL_ERROR
+      "PCMAX_SANITIZE: thread cannot be combined with address or leak")
+  endif()
+
+  string(REPLACE ";" "," _pcmax_sanitize_flag "${_pcmax_sanitizers}")
+  message(STATUS "Sanitizers enabled: ${_pcmax_sanitize_flag}")
+
+  add_compile_options(
+    -fsanitize=${_pcmax_sanitize_flag}
+    -fno-sanitize-recover=all
+    -fno-omit-frame-pointer
+    -g)
+  add_link_options(-fsanitize=${_pcmax_sanitize_flag})
+endif()

@@ -8,7 +8,8 @@
 
 namespace pcmax::dp {
 
-FrontierResult solve_frontier(const DpProblem& problem) {
+FrontierResult solve_frontier(const DpProblem& problem,
+                              const FrontierOptions& options) {
   problem.validate();
   const MixedRadix radix = problem.radix();
   PCMAX_EXPECTS(radix.dims() <= 64);
@@ -18,6 +19,8 @@ FrontierResult solve_frontier(const DpProblem& problem) {
 
   FrontierResult result;
   result.table_cells = radix.size();
+  if (options.keep_table)
+    result.table.assign(radix.size(), kInfeasible);
 
   // Window: the largest number of jobs any configuration removes.
   std::int64_t window = 0;
@@ -28,6 +31,7 @@ FrontierResult solve_frontier(const DpProblem& problem) {
     // No configurations at all: OPT is 0 only for the empty count vector.
     result.opt = problem.total_jobs() == 0 ? 0 : kInfeasible;
     result.peak_resident_cells = 1;
+    if (options.keep_table) result.table[0] = 0;
     return result;
   }
 
@@ -80,6 +84,9 @@ FrontierResult solve_frontier(const DpProblem& problem) {
       }
       ring[slot][i] = best == kInfeasible ? kInfeasible : best + 1;
     }
+    if (options.keep_table)
+      for (std::size_t i = 0; i < cells.size(); ++i)
+        result.table[cells[i]] = ring[slot][i];
   }
 
   result.opt = values_of(buckets.levels() - 1)[0];

@@ -18,10 +18,20 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "dp/solver.hpp"
 
 namespace pcmax::dp {
+
+struct FrontierOptions {
+  /// Retain the full row-major table in FrontierResult::table. This gives up
+  /// the memory saving (the table is materialized alongside the window) but
+  /// makes the frontier solver bit-comparable with the full-table engines —
+  /// used by the differential test harness. peak_resident_cells still
+  /// reports the windowed working set.
+  bool keep_table = false;
+};
 
 struct FrontierResult {
   /// OPT(N), or kInfeasible.
@@ -31,9 +41,12 @@ struct FrontierResult {
   /// Peak cells resident at once (the memory bound), vs the full table.
   std::uint64_t peak_resident_cells = 0;
   std::uint64_t table_cells = 0;
+  /// Full row-major table; empty unless FrontierOptions::keep_table was set.
+  std::vector<std::int32_t> table;
 };
 
 /// Solves the DP keeping only `window + 1` levels in memory.
-[[nodiscard]] FrontierResult solve_frontier(const DpProblem& problem);
+[[nodiscard]] FrontierResult solve_frontier(const DpProblem& problem,
+                                            const FrontierOptions& options = {});
 
 }  // namespace pcmax::dp

@@ -1,0 +1,42 @@
+#include "testkit/engines.hpp"
+
+#include "dp/frontier_solver.hpp"
+#include "gpu/gpu_dp_solver.hpp"
+#include "partition/block_solver.hpp"
+
+namespace pcmax::testkit {
+
+EngineRegistry::EngineRegistry()
+    : device_(std::make_unique<gpusim::Device>(gpusim::DeviceSpec::k40())) {
+  const auto add_solver = [this](std::unique_ptr<dp::DpSolver> solver) {
+    auto* raw = solver.get();
+    owned_.push_back(std::move(solver));
+    engines_.push_back(Engine{
+        raw->name(), true,
+        [raw](const dp::DpProblem& problem) { return raw->solve(problem); }});
+  };
+
+  // The reference oracle must stay first: it is the baseline every other
+  // engine is compared against.
+  add_solver(std::make_unique<dp::ReferenceSolver>());
+  add_solver(std::make_unique<dp::LevelScanSolver>());
+  add_solver(std::make_unique<dp::LevelBucketSolver>());
+  add_solver(std::make_unique<partition::BlockedSolver>(3));
+  add_solver(std::make_unique<partition::BlockedSolver>(6));
+  add_solver(std::make_unique<gpu::GpuDpSolver>(*device_, 5));
+  add_solver(std::make_unique<gpu::NaiveGpuDpSolver>(*device_));
+
+  // The frontier engine reports OPT from a sliding window; keep_table makes
+  // its full table comparable too.
+  engines_.push_back(Engine{"frontier", true, [](const dp::DpProblem& problem) {
+    dp::FrontierOptions options;
+    options.keep_table = true;
+    auto frontier = dp::solve_frontier(problem, options);
+    dp::DpResult result;
+    result.opt = frontier.opt;
+    result.table = std::move(frontier.table);
+    return result;
+  }});
+}
+
+}  // namespace pcmax::testkit

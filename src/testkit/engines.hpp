@@ -1,0 +1,50 @@
+// One registry of every DP engine in the repository, behind a uniform
+// solve signature, so differential tests and the fuzzer enumerate engines
+// instead of hard-coding them. Adding a new engine here automatically puts
+// it under the fuzzer's cross-engine comparison.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dp/solver.hpp"
+#include "gpusim/device.hpp"
+
+namespace pcmax::testkit {
+
+struct Engine {
+  std::string name;
+  /// True when the engine materializes the full table bit-exactly (the
+  /// frontier engine does so only under its keep_table option, which the
+  /// registry enables).
+  bool full_table = true;
+  std::function<dp::DpResult(const dp::DpProblem&)> solve;
+};
+
+/// Owns the simulated device plus every solver instance. The first entry is
+/// always the reference oracle; all comparisons run other engines against
+/// it.
+class EngineRegistry {
+ public:
+  EngineRegistry();
+
+  [[nodiscard]] const std::vector<Engine>& engines() const noexcept {
+    return engines_;
+  }
+  [[nodiscard]] const Engine& reference() const noexcept {
+    return engines_.front();
+  }
+  /// The simulated device backing the GPU engines (for conservation checks
+  /// and log maintenance between fuzz cases).
+  [[nodiscard]] gpusim::Device& device() noexcept { return *device_; }
+
+ private:
+  std::unique_ptr<gpusim::Device> device_;
+  std::vector<std::unique_ptr<dp::DpSolver>> owned_;
+  std::vector<Engine> engines_;
+};
+
+}  // namespace pcmax::testkit

@@ -1,0 +1,190 @@
+#include "testkit/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::testkit {
+
+namespace {
+
+constexpr std::int64_t kSmallPrimes[] = {2, 3, 5, 7, 11, 13, 17, 19, 23};
+
+std::uint64_t cells_of(const std::vector<std::int64_t>& counts) {
+  std::uint64_t cells = 1;
+  for (const auto n : counts) cells *= static_cast<std::uint64_t>(n + 1);
+  return cells;
+}
+
+/// Log-uniform integer in [1, hi]: exponent first, then a value in that
+/// decade, so 3 and 3'000'000 are about equally likely.
+std::int64_t log_uniform(util::Rng& rng, std::int64_t hi) {
+  PCMAX_EXPECTS(hi >= 1);
+  const auto max_exp =
+      static_cast<std::int64_t>(std::floor(std::log10(static_cast<double>(hi))));
+  const auto exp = rng.uniform(0, max_exp);
+  std::int64_t lo_decade = 1;
+  for (std::int64_t i = 0; i < exp; ++i) lo_decade *= 10;
+  const auto hi_decade = std::min(hi, lo_decade * 10 - 1);
+  return rng.uniform(lo_decade, hi_decade);
+}
+
+}  // namespace
+
+dp::DpProblem random_dp_problem(util::Rng& rng, const DpProblemLimits& limits) {
+  PCMAX_EXPECTS(limits.max_dims >= 1);
+  PCMAX_EXPECTS(limits.max_count >= 1);
+  PCMAX_EXPECTS(limits.max_weight >= 1);
+  PCMAX_EXPECTS(limits.max_capacity >= 1);
+  for (;;) {
+    dp::DpProblem p;
+    const auto style = rng.uniform(0, limits.allow_infeasible ? 4 : 3);
+    const auto dims = static_cast<std::size_t>(
+        rng.uniform(1, static_cast<std::int64_t>(limits.max_dims)));
+
+    switch (style) {
+      case 2: {  // single class, count stretched beyond the usual cap
+        p.counts.push_back(rng.uniform(0, limits.max_count * 2));
+        p.weights.push_back(rng.uniform(1, limits.max_weight));
+        break;
+      }
+      default: {
+        for (std::size_t i = 0; i < dims; ++i) {
+          p.counts.push_back(rng.uniform(0, limits.max_count));
+          p.weights.push_back(rng.uniform(1, limits.max_weight));
+        }
+        if (style == 1)  // degenerate: at least one empty class
+          p.counts[static_cast<std::size_t>(
+              rng.uniform(0, static_cast<std::int64_t>(dims) - 1))] = 0;
+        break;
+      }
+    }
+
+    const auto max_w = *std::max_element(p.weights.begin(), p.weights.end());
+    if (style == 3) {
+      // Tight: exactly one heaviest-class job per machine.
+      p.capacity = max_w;
+    } else {
+      p.capacity = rng.uniform(1, limits.max_capacity);
+      // Honour the flag: without allow_infeasible every class must fit on a
+      // machine, so a randomly small capacity is raised to the heaviest
+      // weight (keeping the tight case reachable for all styles).
+      if (!limits.allow_infeasible && p.capacity < max_w) p.capacity = max_w;
+    }
+    if (style == 4) {
+      // Infeasible class: one weight strictly above the capacity, so every
+      // cell using that class is unreachable.
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(p.counts.size()) - 1));
+      p.weights[victim] = p.capacity + rng.uniform(1, 4);
+      if (p.counts[victim] == 0) p.counts[victim] = 1;
+    }
+
+    if (cells_of(p.counts) > limits.max_cells) continue;
+    p.validate();
+    return p;
+  }
+}
+
+Instance random_instance(util::Rng& rng, const InstanceLimits& limits) {
+  PCMAX_EXPECTS(limits.max_jobs >= 1);
+  PCMAX_EXPECTS(limits.max_machines >= 1);
+  PCMAX_EXPECTS(limits.max_time >= 2);
+  Instance inst;
+  inst.machines = rng.uniform(1, limits.max_machines);
+  const auto jobs = static_cast<std::size_t>(
+      rng.uniform(1, static_cast<std::int64_t>(limits.max_jobs)));
+  const auto style = rng.uniform(0, 4);
+  switch (style) {
+    case 0:  // wide log-uniform spread
+      for (std::size_t j = 0; j < jobs; ++j)
+        inst.times.push_back(log_uniform(rng, limits.max_time));
+      break;
+    case 1: {  // all short: every job far below the average load, so any
+               // reasonable target classifies them all short (greedy path)
+      const auto t_max = std::max<std::int64_t>(2, inst.machines);
+      for (std::size_t j = 0; j < jobs; ++j)
+        inst.times.push_back(rng.uniform(1, t_max));
+      break;
+    }
+    case 2: {  // all identical
+      const auto t = log_uniform(rng, limits.max_time);
+      inst.times.assign(jobs, t);
+      break;
+    }
+    case 3: {  // few dominant jobs over a sea of unit jobs
+      const auto dominants = rng.uniform(1, std::min<std::int64_t>(
+                                                static_cast<std::int64_t>(jobs), 4));
+      for (std::int64_t j = 0; j < dominants; ++j)
+        inst.times.push_back(log_uniform(rng, limits.max_time));
+      while (inst.times.size() < jobs) inst.times.push_back(1);
+      break;
+    }
+    default: {  // powers of two: exercises exact halving/rounding boundaries
+      for (std::size_t j = 0; j < jobs; ++j) {
+        const auto shift = rng.uniform(0, 20);
+        inst.times.push_back(std::int64_t{1} << shift);
+      }
+      break;
+    }
+  }
+  inst.validate();
+  return inst;
+}
+
+std::vector<std::int64_t> adversarial_extents(util::Rng& rng,
+                                              std::size_t max_dims,
+                                              std::uint64_t max_cells) {
+  PCMAX_EXPECTS(max_dims >= 1);
+  PCMAX_EXPECTS(max_cells >= 2);
+  const auto style = rng.uniform(0, 4);
+  std::vector<std::int64_t> extents;
+  const auto pick_prime = [&] {
+    return kSmallPrimes[static_cast<std::size_t>(rng.uniform(0, 8))];
+  };
+  switch (style) {
+    case 0: {  // all-prime extents: the divisor fully splits every dimension
+      const auto dims =
+          rng.uniform(1, static_cast<std::int64_t>(std::min<std::size_t>(max_dims, 4)));
+      for (std::int64_t i = 0; i < dims; ++i) extents.push_back(pick_prime());
+      break;
+    }
+    case 1: {  // degenerate: unit extents interleaved with real ones
+      const auto dims = rng.uniform(2, static_cast<std::int64_t>(max_dims));
+      for (std::int64_t i = 0; i < dims; ++i)
+        extents.push_back(rng.uniform(0, 1) == 0 ? 1 : rng.uniform(2, 8));
+      break;
+    }
+    case 2: {  // single dimension, as long as the cell budget allows
+      extents.push_back(rng.uniform(
+          2, static_cast<std::int64_t>(std::min<std::uint64_t>(max_cells, 4096))));
+      break;
+    }
+    case 3: {  // perfect squares: divisor picks the exact square root
+      const auto dims =
+          rng.uniform(1, static_cast<std::int64_t>(std::min<std::size_t>(max_dims, 3)));
+      for (std::int64_t i = 0; i < dims; ++i) {
+        const auto root = rng.uniform(2, 5);
+        extents.push_back(root * root);
+      }
+      break;
+    }
+    default: {  // mixed composite/prime
+      const auto dims = rng.uniform(1, static_cast<std::int64_t>(max_dims));
+      for (std::int64_t i = 0; i < dims; ++i)
+        extents.push_back(rng.uniform(0, 1) == 0 ? pick_prime()
+                                                 : rng.uniform(2, 10));
+      break;
+    }
+  }
+  // Enforce the cell budget by demoting trailing dimensions to extent 1.
+  std::uint64_t cells = 1;
+  for (auto& e : extents) {
+    if (cells * static_cast<std::uint64_t>(e) > max_cells) e = 1;
+    cells *= static_cast<std::uint64_t>(e);
+  }
+  return extents;
+}
+
+}  // namespace pcmax::testkit

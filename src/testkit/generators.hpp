@@ -1,0 +1,58 @@
+// Seeded random generators for differential and property testing. Unlike
+// workload::uniform_instance and friends (which model the paper's benchmark
+// distributions), these are *adversarial*: they deliberately hit the corner
+// regimes where makespan schedulers historically diverge from their paper
+// guarantees — prime and degenerate table extents, all-short instances that
+// skip the DP entirely, single-class problems, capacity-tight and outright
+// infeasible classes, and processing times spanning nine orders of
+// magnitude. Every generator draws from a caller-owned util::Rng, so a case
+// is reproducible from its seed alone (see testkit/replay.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "dp/problem.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::testkit {
+
+struct DpProblemLimits {
+  std::size_t max_dims = 5;
+  std::int64_t max_count = 6;
+  std::int64_t max_weight = 12;
+  std::int64_t max_capacity = 24;
+  /// Permit classes whose weight exceeds the capacity (the whole table
+  /// becomes kInfeasible past the origin) — engines must agree on that too.
+  bool allow_infeasible = true;
+  /// Upper bound on the table size; generators resample dimensions until
+  /// prod(count_i + 1) fits. Keeps differential cases fast.
+  std::uint64_t max_cells = 20'000;
+};
+
+/// Random DP problem. Styles rotate between generic, degenerate (zero
+/// counts), single-class, tight-capacity, and infeasible-class shapes.
+[[nodiscard]] dp::DpProblem random_dp_problem(util::Rng& rng,
+                                              const DpProblemLimits& limits = {});
+
+struct InstanceLimits {
+  std::size_t max_jobs = 48;
+  std::int64_t max_machines = 12;
+  /// Ceiling on processing times; magnitudes are drawn log-uniformly so
+  /// small and huge times are equally likely.
+  std::int64_t max_time = 1'000'000'000;
+};
+
+/// Random P||Cmax instance. Styles rotate between wide-uniform, all-short
+/// (every job tiny — the PTAS's pure greedy path), all-identical,
+/// few-dominant-jobs, and power-of-two times.
+[[nodiscard]] Instance random_instance(util::Rng& rng,
+                                       const InstanceLimits& limits = {});
+
+/// Adversarial table extents: prime, unit (degenerate), single-dimension,
+/// perfect-square, and mixed shapes, capped at `max_cells` total cells.
+[[nodiscard]] std::vector<std::int64_t> adversarial_extents(
+    util::Rng& rng, std::size_t max_dims = 6, std::uint64_t max_cells = 20'000);
+
+}  // namespace pcmax::testkit

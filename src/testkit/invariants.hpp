@@ -1,0 +1,73 @@
+// Invariant checkers: each verifies one structural property the repository
+// guarantees and returns nullopt on success or a human-readable diagnosis on
+// violation. They are the assertion vocabulary shared by the property tests
+// and the differential fuzzer, and they check from first principles — none
+// of them re-runs the code under test to judge itself.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/instance.hpp"
+#include "core/ptas.hpp"
+#include "dp/problem.hpp"
+#include "dp/solver.hpp"
+#include "gpusim/device.hpp"
+#include "partition/blocked_layout.hpp"
+
+namespace pcmax::testkit {
+
+/// nullopt == the invariant holds; otherwise a diagnosis suitable for a
+/// test failure message or a fuzz report.
+using CheckResult = std::optional<std::string>;
+
+/// Schedule validity plus conservation: every job on a real machine, and
+/// the per-machine loads sum to the instance's total processing time.
+[[nodiscard]] CheckResult check_schedule(const Instance& instance,
+                                         const Schedule& schedule);
+
+/// Full PTAS certificate: the schedule is valid, achieved_makespan matches
+/// the actual loads, the found target lies in [LB, UB], the makespan
+/// respects the (1 + 1/k) guarantee against the target, and the makespan is
+/// at least the oracle lower bound (testkit/oracles.hpp).
+[[nodiscard]] CheckResult check_ptas_result(const Instance& instance,
+                                            const PtasResult& result,
+                                            std::int64_t k);
+
+/// Sharper variant when the exact optimum is known: OPT <= makespan and
+/// makespan * k <= (k + 1) * OPT, both in exact integers.
+[[nodiscard]] CheckResult check_ptas_vs_exact(const Instance& instance,
+                                              const PtasResult& result,
+                                              std::int64_t k,
+                                              std::int64_t exact_opt);
+
+/// DP-table self-consistency: origin 0, table.back() == opt, monotonicity
+/// along every axis (a finite cell's axis-predecessors are finite and no
+/// larger), the weight lower bound OPT(v) >= ceil(weight(v) / capacity),
+/// and the level upper bound OPT(v) <= level(v) for reachable cells.
+[[nodiscard]] CheckResult check_dp_table(const dp::DpProblem& problem,
+                                         const dp::DpResult& result);
+
+/// Two engines agree: equal OPT always; equal tables when `compare_tables`
+/// (OPT-only engines pass an empty table).
+[[nodiscard]] CheckResult check_tables_match(const std::string& name_a,
+                                             const dp::DpResult& a,
+                                             const std::string& name_b,
+                                             const dp::DpResult& b,
+                                             bool compare_tables);
+
+/// The blocked layout is a bijection on [0, table_size): to_blocked and
+/// from_blocked are mutual inverses and to_blocked covers every offset
+/// exactly once; blocked_offset agrees with to_blocked on coordinates.
+[[nodiscard]] CheckResult check_blocked_bijection(
+    const partition::BlockedLayout& layout);
+
+/// Simulated-device conservation laws over the kernel log: every kernel's
+/// finish >= start, nothing finishes after the device clock, per-stream
+/// FIFO (kernels on one stream never overlap), and the device clock is at
+/// least every stream's total busy time — charged time >= critical path.
+[[nodiscard]] CheckResult check_device_conservation(
+    const gpusim::Device& device);
+
+}  // namespace pcmax::testkit

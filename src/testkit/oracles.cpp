@@ -1,0 +1,40 @@
+#include "testkit/oracles.hpp"
+
+#include <algorithm>
+
+#include "baselines/exact.hpp"
+#include "baselines/heuristics.hpp"
+#include "core/bounds.hpp"
+#include "util/checked_math.hpp"
+
+namespace pcmax::testkit {
+
+std::int64_t lpt_makespan(const Instance& instance) {
+  return makespan(instance, baselines::lpt(instance));
+}
+
+std::int64_t oracle_lower_bound(const Instance& instance) {
+  const std::int64_t trivial = makespan_lower_bound(instance);
+  // LPT <= (4m - 1) / (3m) * OPT  =>  OPT >= 3m * LPT / (4m - 1).
+  const std::int64_t m = instance.machines;
+  const std::int64_t lpt = lpt_makespan(instance);
+  // 3m * LPT stays in range: the fuzz generators cap times at ~1e9 and jobs
+  // at ~64, but guard with checked arithmetic anyway so a caller with
+  // 1e12-scale times gets an exception instead of a wrong bound.
+  const auto numerator = util::checked_mul(static_cast<std::uint64_t>(3 * m),
+                                           static_cast<std::uint64_t>(lpt));
+  const auto lpt_bound = static_cast<std::int64_t>(
+      util::ceil_div(numerator, static_cast<std::uint64_t>(4 * m - 1)));
+  return std::max(trivial, lpt_bound);
+}
+
+std::optional<std::int64_t> exact_makespan(const Instance& instance,
+                                           std::uint64_t node_budget) {
+  baselines::ExactOptions options;
+  options.node_budget = node_budget;
+  const auto result = baselines::solve_exact(instance, options);
+  if (!result.has_value()) return std::nullopt;
+  return result->makespan;
+}
+
+}  // namespace pcmax::testkit

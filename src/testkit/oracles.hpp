@@ -1,0 +1,30 @@
+// Cheap independent oracles for makespan results. The differential fuzzer
+// never trusts the code under test to judge itself: a PTAS result is checked
+// against (a) the exact branch-and-bound optimum when the instance is small
+// enough, and (b) an LPT-derived lower bound that is valid for every
+// instance. The latter exploits the tight per-instance LPT analysis
+// (Della Croce & Scatamacchia 2018 refine Graham's 4/3 - 1/(3m)): since
+// LPT <= (4/3 - 1/(3m)) * OPT, any schedule's optimum satisfies
+// OPT >= ceil(3m * LPT / (4m - 1)) — an O(n log n) lower bound that is
+// frequently much sharper than max(avg load, max job).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/instance.hpp"
+
+namespace pcmax::testkit {
+
+/// Makespan of the LPT schedule (upper bound on OPT).
+[[nodiscard]] std::int64_t lpt_makespan(const Instance& instance);
+
+/// max(trivial bound, LPT-ratio bound): always <= OPT.
+[[nodiscard]] std::int64_t oracle_lower_bound(const Instance& instance);
+
+/// Exact optimum via branch and bound, or nullopt when the node budget ran
+/// out. Use only on small instances (the fuzzer gates on jobs/machines).
+[[nodiscard]] std::optional<std::int64_t> exact_makespan(
+    const Instance& instance, std::uint64_t node_budget = 2'000'000);
+
+}  // namespace pcmax::testkit

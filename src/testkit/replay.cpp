@@ -1,0 +1,45 @@
+#include "testkit/replay.hpp"
+
+#include <charconv>
+
+namespace pcmax::testkit {
+
+namespace {
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || text.empty()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string format_case(const CaseId& id) {
+  return std::to_string(id.seed) + ":" + std::to_string(id.index);
+}
+
+std::optional<CaseId> parse_case(std::string_view text) {
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  const auto seed = parse_u64(text.substr(0, colon));
+  const auto index = parse_u64(text.substr(colon + 1));
+  if (!seed.has_value() || !index.has_value()) return std::nullopt;
+  return CaseId{*seed, *index};
+}
+
+std::uint64_t case_rng_seed(const CaseId& id) noexcept {
+  // splitmix64 over (seed advanced by index+1 increments); the +1 keeps
+  // case 0 of campaign s distinct from campaign s itself.
+  std::uint64_t x = id.seed + (id.index + 1) * 0x9e3779b97f4a7c15ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace pcmax::testkit

@@ -1,0 +1,33 @@
+// Replayable fuzz-case identifiers. A fuzz campaign is identified by its
+// seed; every case inside it by a sequential index. The textual form
+// "seed:case" is what pcmax_fuzz prints on failure and accepts via
+// --replay, so a shrunk failure can be reproduced exactly on any host
+// (the generators are mt19937_64-based and platform-deterministic).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pcmax::testkit {
+
+struct CaseId {
+  std::uint64_t seed = 0;   ///< campaign seed (--seed)
+  std::uint64_t index = 0;  ///< case number within the campaign
+
+  friend bool operator==(const CaseId&, const CaseId&) = default;
+};
+
+/// "seed:case" textual form.
+[[nodiscard]] std::string format_case(const CaseId& id);
+
+/// Parses "seed:case"; nullopt on malformed input (missing colon,
+/// non-numeric fields, trailing garbage).
+[[nodiscard]] std::optional<CaseId> parse_case(std::string_view text);
+
+/// Deterministic RNG seed for one case: a splitmix64 mix of campaign seed
+/// and case index, so neighbouring cases draw unrelated streams.
+[[nodiscard]] std::uint64_t case_rng_seed(const CaseId& id) noexcept;
+
+}  // namespace pcmax::testkit

@@ -1,0 +1,166 @@
+#include "testkit/shrink.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::testkit {
+
+namespace {
+
+/// Shared evaluation budget across all shrink passes.
+class Budget {
+ public:
+  explicit Budget(std::uint64_t max_evaluations)
+      : left_(max_evaluations) {}
+  [[nodiscard]] bool spend() noexcept {
+    if (left_ == 0) return false;
+    --left_;
+    return true;
+  }
+
+ private:
+  std::uint64_t left_;
+};
+
+template <typename T, typename Predicate>
+bool try_accept(T& current, T candidate, const Predicate& fails,
+                Budget& budget) {
+  if (!budget.spend()) return false;
+  if (!fails(candidate)) return false;
+  current = std::move(candidate);
+  return true;
+}
+
+/// Candidate values for shrinking `value` toward `floor`, most aggressive
+/// first: the floor itself, the halfway point, the decrement.
+std::vector<std::int64_t> shrink_steps(std::int64_t value, std::int64_t floor) {
+  std::vector<std::int64_t> steps;
+  if (value <= floor) return steps;
+  steps.push_back(floor);
+  const auto half = floor + (value - floor) / 2;
+  if (half != floor && half != value) steps.push_back(half);
+  if (value - 1 != floor && value - 1 != half) steps.push_back(value - 1);
+  return steps;
+}
+
+}  // namespace
+
+dp::DpProblem shrink_dp_problem(dp::DpProblem failing,
+                                const DpProblemPredicate& fails,
+                                const ShrinkOptions& options) {
+  failing.validate();
+  PCMAX_EXPECTS(fails(failing));
+  Budget budget(options.max_evaluations);
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+
+    // Pass 1: drop whole dimensions (a d-dimensional reproducer is worth
+    // far more than any amount of count shrinking).
+    for (std::size_t d = 0; failing.counts.size() > 1 &&
+                            d < failing.counts.size();) {
+      dp::DpProblem candidate = failing;
+      candidate.counts.erase(candidate.counts.begin() +
+                             static_cast<std::ptrdiff_t>(d));
+      candidate.weights.erase(candidate.weights.begin() +
+                              static_cast<std::ptrdiff_t>(d));
+      if (try_accept(failing, std::move(candidate), fails, budget))
+        progressed = true;  // same index now names the next dimension
+      else
+        ++d;
+    }
+
+    // Pass 2: shrink per-class counts toward 0.
+    for (std::size_t d = 0; d < failing.counts.size(); ++d)
+      for (const auto step : shrink_steps(failing.counts[d], 0)) {
+        dp::DpProblem candidate = failing;
+        candidate.counts[d] = step;
+        if (try_accept(failing, std::move(candidate), fails, budget)) {
+          progressed = true;
+          break;
+        }
+      }
+
+    // Pass 3: shrink weights toward 1.
+    for (std::size_t d = 0; d < failing.weights.size(); ++d)
+      for (const auto step : shrink_steps(failing.weights[d], 1)) {
+        dp::DpProblem candidate = failing;
+        candidate.weights[d] = step;
+        if (try_accept(failing, std::move(candidate), fails, budget)) {
+          progressed = true;
+          break;
+        }
+      }
+
+    // Pass 4: shrink the capacity toward 0.
+    for (const auto step : shrink_steps(failing.capacity, 0)) {
+      dp::DpProblem candidate = failing;
+      candidate.capacity = step;
+      if (try_accept(failing, std::move(candidate), fails, budget)) {
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return failing;
+}
+
+Instance shrink_instance(Instance failing, const InstancePredicate& fails,
+                         const ShrinkOptions& options) {
+  failing.validate();
+  PCMAX_EXPECTS(fails(failing));
+  Budget budget(options.max_evaluations);
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+
+    // Pass 1: delete jobs, ddmin-style — halves first, then single jobs.
+    for (std::size_t chunk = std::max<std::size_t>(failing.times.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      for (std::size_t start = 0; start + 1 <= failing.times.size() &&
+                                  failing.times.size() > 1;) {
+        const auto len = std::min(chunk, failing.times.size() - start);
+        if (len >= failing.times.size()) {
+          ++start;
+          continue;  // never delete every job
+        }
+        Instance candidate = failing;
+        candidate.times.erase(
+            candidate.times.begin() + static_cast<std::ptrdiff_t>(start),
+            candidate.times.begin() + static_cast<std::ptrdiff_t>(start + len));
+        if (try_accept(failing, std::move(candidate), fails, budget))
+          progressed = true;  // same start now names the next chunk
+        else
+          start += len;
+      }
+      if (chunk == 1) break;
+    }
+
+    // Pass 2: fewer machines.
+    for (const auto step : shrink_steps(failing.machines, 1)) {
+      Instance candidate = failing;
+      candidate.machines = step;
+      if (try_accept(failing, std::move(candidate), fails, budget)) {
+        progressed = true;
+        break;
+      }
+    }
+
+    // Pass 3: shrink processing times toward 1.
+    for (std::size_t j = 0; j < failing.times.size(); ++j)
+      for (const auto step : shrink_steps(failing.times[j], 1)) {
+        Instance candidate = failing;
+        candidate.times[j] = step;
+        if (try_accept(failing, std::move(candidate), fails, budget)) {
+          progressed = true;
+          break;
+        }
+      }
+  }
+  return failing;
+}
+
+}  // namespace pcmax::testkit

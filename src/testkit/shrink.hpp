@@ -1,0 +1,42 @@
+// Greedy input shrinking: given a failing input and a predicate that
+// re-checks the failure, repeatedly try structurally smaller candidates and
+// keep any that still fail, until a fixpoint. The result is always a valid
+// input that still fails the predicate — the minimal reproducer the fuzzer
+// reports. Shrinking is deterministic (no randomness), so a shrunk case is
+// itself replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/instance.hpp"
+#include "dp/problem.hpp"
+
+namespace pcmax::testkit {
+
+struct ShrinkOptions {
+  /// Cap on predicate evaluations; greedy passes stop once exhausted.
+  /// Shrinking re-runs the (possibly expensive) failing check, so the cap
+  /// bounds worst-case shrink time.
+  std::uint64_t max_evaluations = 10'000;
+};
+
+/// Predicate: true while the candidate still reproduces the failure.
+using DpProblemPredicate = std::function<bool(const dp::DpProblem&)>;
+using InstancePredicate = std::function<bool(const Instance&)>;
+
+/// Minimizes a failing DP problem: drops whole dimensions, then shrinks
+/// counts, weights, and the capacity toward their minimal values. The
+/// returned problem satisfies `fails` and DpProblem::validate().
+[[nodiscard]] dp::DpProblem shrink_dp_problem(dp::DpProblem failing,
+                                              const DpProblemPredicate& fails,
+                                              const ShrinkOptions& options = {});
+
+/// Minimizes a failing instance: removes jobs (binary chunks first, then
+/// singles), reduces the machine count, then shrinks processing times
+/// toward 1. The returned instance satisfies `fails` and validate().
+[[nodiscard]] Instance shrink_instance(Instance failing,
+                                       const InstancePredicate& fails,
+                                       const ShrinkOptions& options = {});
+
+}  // namespace pcmax::testkit

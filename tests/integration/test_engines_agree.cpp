@@ -1,6 +1,8 @@
 // Cross-engine integration: every DP engine in the repository must produce
 // the identical table (or identical OPT, for OPT-only engines) on every
-// Fig. 3 group-(a) shape — the invariant the benchmark harness relies on.
+// Fig. 3 group-(a) shape and the small end of group (b) — the invariant the
+// benchmark harness relies on. The frontier solver joins the full-table
+// comparison through its keep_table option.
 #include <gtest/gtest.h>
 
 #include "dp/frontier_solver.hpp"
@@ -11,6 +13,23 @@
 
 namespace pcmax {
 namespace {
+
+std::string shape_test_name(
+    const ::testing::TestParamInfo<workload::TableShape>& param_info) {
+  std::string name = param_info.param.label;
+  for (auto& c : name)
+    if (c == '/' || c == '-') c = '_';
+  return name;
+}
+
+/// The small end of Fig. 3 group (b): 20'000..40'000-cell tables, big enough
+/// to exercise multi-level block wavefronts yet cheap enough for tier-1.
+std::vector<workload::TableShape> fig3_group_b_small() {
+  std::vector<workload::TableShape> shapes;
+  for (const auto& shape : workload::fig3_group('b'))
+    if (shape.table_size <= 40'000) shapes.push_back(shape);
+  return shapes;
+}
 
 class EnginesAgree
     : public ::testing::TestWithParam<workload::TableShape> {};
@@ -33,18 +52,20 @@ TEST_P(EnginesAgree, AllEnginesIdenticalOnShape) {
   EXPECT_EQ(gpu::NaiveGpuDpSolver(device).solve(problem).table,
             reference.table);
 
-  EXPECT_EQ(dp::solve_frontier(problem).opt, reference.opt);
+  dp::FrontierOptions frontier_options;
+  frontier_options.keep_table = true;
+  const auto frontier = dp::solve_frontier(problem, frontier_options);
+  EXPECT_EQ(frontier.opt, reference.opt);
+  EXPECT_EQ(frontier.table, reference.table);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Fig3GroupA, EnginesAgree,
-    ::testing::ValuesIn(workload::fig3_group('a')),
-    [](const ::testing::TestParamInfo<workload::TableShape>& param_info) {
-      std::string name = param_info.param.label;
-      for (auto& c : name)
-        if (c == '/' || c == '-') c = '_';
-      return name;
-    });
+INSTANTIATE_TEST_SUITE_P(Fig3GroupA, EnginesAgree,
+                         ::testing::ValuesIn(workload::fig3_group('a')),
+                         shape_test_name);
+
+INSTANTIATE_TEST_SUITE_P(Fig3GroupBSmall, EnginesAgree,
+                         ::testing::ValuesIn(fig3_group_b_small()),
+                         shape_test_name);
 
 }  // namespace
 }  // namespace pcmax

@@ -1,11 +1,15 @@
 // Robustness tests at the edges: large instances, extreme processing-time
-// magnitudes, and degenerate machine counts, end to end through the PTAS.
+// magnitudes, and degenerate machine counts, end to end through the PTAS,
+// plus testkit-driven adversarial sweeps with full certificate checking.
 #include <gtest/gtest.h>
 
 #include "core/bounds.hpp"
 #include "core/certificate.hpp"
 #include "core/ptas.hpp"
 #include "core/rounding.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/replay.hpp"
 #include "workload/generators.hpp"
 
 namespace pcmax {
@@ -75,6 +79,41 @@ TEST(Stress, QuarterSplitOnWideRange) {
   options.strategy = SearchStrategy::kQuarterSplit;
   const auto r = solve_ptas(inst, kSolver, options);
   EXPECT_EQ(r.achieved_makespan, 1'000'000);
+}
+
+TEST(Stress, AdversarialInstancesHoldTheFullCertificate) {
+  // testkit's adversarial generator covers regimes the curated cases above
+  // miss (all-short, power-of-two, few-dominant); every result must pass
+  // the complete certificate check, not just the guarantee inequality.
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 32;
+  limits.max_machines = 8;
+  limits.max_time = 100'000;
+  for (std::uint64_t index = 0; index < 15; ++index) {
+    util::Rng rng(testkit::case_rng_seed(testkit::CaseId{7, index}));
+    const auto inst = testkit::random_instance(rng, limits);
+    const auto r = solve_ptas(inst, kSolver);
+    const auto bad = testkit::check_ptas_result(inst, r, 4);
+    EXPECT_EQ(bad, std::nullopt)
+        << testkit::format_case({7, index}) << ": " << bad.value_or("");
+  }
+}
+
+TEST(Stress, AdversarialDpProblemsKeepTablesSelfConsistent) {
+  // Random degenerate/tight/infeasible DP problems: the solved table must
+  // satisfy the structural invariants (monotonicity, weight and level
+  // bounds) that hold for any correct solver.
+  testkit::DpProblemLimits limits;
+  limits.max_cells = 4'000;
+  const dp::LevelBucketSolver solver;
+  for (std::uint64_t index = 0; index < 25; ++index) {
+    util::Rng rng(testkit::case_rng_seed(testkit::CaseId{8, index}));
+    const auto problem = testkit::random_dp_problem(rng, limits);
+    const auto result = solver.solve(problem);
+    const auto bad = testkit::check_dp_table(problem, result);
+    EXPECT_EQ(bad, std::nullopt)
+        << testkit::format_case({8, index}) << ": " << bad.value_or("");
+  }
 }
 
 }  // namespace

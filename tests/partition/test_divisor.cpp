@@ -32,6 +32,30 @@ TEST(DivisorForExtent, UnitExtentUntouched) {
   EXPECT_EQ(divisor_for_extent(1), 1);
 }
 
+TEST(DivisorForExtent, LargePrimesAlsoFullySplit) {
+  // The prime fallback must not silently stop at small table extents.
+  EXPECT_EQ(divisor_for_extent(97), 97);
+  EXPECT_EQ(divisor_for_extent(101), 101);
+  EXPECT_EQ(divisor_for_extent(9973), 9973);
+}
+
+TEST(DivisorForExtent, PerfectSquaresSplitExactlyAtTheRoot) {
+  // floor(sqrt(e)) itself divides a perfect square, so it is always chosen.
+  EXPECT_EQ(divisor_for_extent(49), 7);
+  EXPECT_EQ(divisor_for_extent(121), 11);
+  EXPECT_EQ(divisor_for_extent(169), 13);
+  EXPECT_EQ(divisor_for_extent(10000), 100);
+}
+
+TEST(ComputeDivisor, PrimeAndSquareExtentsMix) {
+  // A prime dimension fully splits (block size 1) while a square dimension
+  // splits at its root, within one table.
+  const std::vector<std::int64_t> extents{97, 49};
+  const auto div = compute_divisor(extents, 2);
+  EXPECT_EQ(div, (std::vector<std::int64_t>{97, 7}));
+  EXPECT_EQ(block_sizes(extents, div), (std::vector<std::int64_t>{1, 7}));
+}
+
 TEST(DivisorForExtent, AlwaysDivides) {
   for (std::int64_t e = 1; e <= 500; ++e) {
     const auto d = divisor_for_extent(e);

@@ -1,0 +1,117 @@
+#include "testkit/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "testkit/replay.hpp"
+
+namespace pcmax::testkit {
+namespace {
+
+TEST(CaseIdReplay, RoundTripsThroughText) {
+  const CaseId id{123456789, 42};
+  const auto parsed = parse_case(format_case(id));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, id);
+}
+
+TEST(CaseIdReplay, RejectsMalformedText) {
+  EXPECT_FALSE(parse_case("").has_value());
+  EXPECT_FALSE(parse_case("123").has_value());
+  EXPECT_FALSE(parse_case(":7").has_value());
+  EXPECT_FALSE(parse_case("7:").has_value());
+  EXPECT_FALSE(parse_case("a:b").has_value());
+  EXPECT_FALSE(parse_case("1:2:3").has_value());
+  EXPECT_FALSE(parse_case("1:2x").has_value());
+}
+
+TEST(CaseIdReplay, NeighbouringCasesGetUnrelatedSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i)
+    seeds.insert(case_rng_seed(CaseId{7, i}));
+  EXPECT_EQ(seeds.size(), 1000u);  // no collisions in a small campaign
+  EXPECT_NE(case_rng_seed(CaseId{7, 0}), case_rng_seed(CaseId{8, 0}));
+}
+
+TEST(RandomDpProblem, DeterministicPerSeed) {
+  util::Rng a(99), b(99);
+  for (int i = 0; i < 50; ++i) {
+    const auto pa = random_dp_problem(a);
+    const auto pb = random_dp_problem(b);
+    EXPECT_EQ(pa.counts, pb.counts);
+    EXPECT_EQ(pa.weights, pb.weights);
+    EXPECT_EQ(pa.capacity, pb.capacity);
+  }
+}
+
+TEST(RandomDpProblem, AlwaysValidAndWithinLimits) {
+  util::Rng rng(1);
+  DpProblemLimits limits;
+  limits.max_cells = 2'000;
+  for (int i = 0; i < 500; ++i) {
+    const auto p = random_dp_problem(rng, limits);
+    EXPECT_NO_THROW(p.validate());
+    EXPECT_LE(p.table_size(), limits.max_cells);
+  }
+}
+
+TEST(RandomDpProblem, CoversDegenerateAndInfeasibleStyles) {
+  util::Rng rng(2);
+  bool saw_zero_count = false, saw_overweight_class = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto p = random_dp_problem(rng);
+    for (std::size_t d = 0; d < p.counts.size(); ++d) {
+      if (p.counts[d] == 0) saw_zero_count = true;
+      if (p.weights[d] > p.capacity && p.counts[d] > 0)
+        saw_overweight_class = true;
+    }
+  }
+  EXPECT_TRUE(saw_zero_count);
+  EXPECT_TRUE(saw_overweight_class);
+}
+
+TEST(RandomInstance, DeterministicValidAndStyleDiverse) {
+  util::Rng a(5), b(5);
+  bool saw_identical = false, saw_unit = false, saw_large = false;
+  for (int i = 0; i < 300; ++i) {
+    const auto ia = random_instance(a);
+    const auto ib = random_instance(b);
+    EXPECT_EQ(ia.times, ib.times);
+    EXPECT_EQ(ia.machines, ib.machines);
+    EXPECT_NO_THROW(ia.validate());
+    const auto [lo, hi] =
+        std::minmax_element(ia.times.begin(), ia.times.end());
+    if (ia.times.size() > 1 && *lo == *hi) saw_identical = true;
+    if (*lo == 1) saw_unit = true;
+    if (*hi >= 1'000'000) saw_large = true;
+  }
+  EXPECT_TRUE(saw_identical);
+  EXPECT_TRUE(saw_unit);
+  EXPECT_TRUE(saw_large);
+}
+
+TEST(AdversarialExtents, RespectsCellBudgetAndHitsCorners) {
+  util::Rng rng(11);
+  bool saw_prime = false, saw_unit_extent = false, saw_single_dim = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto extents = adversarial_extents(rng, 6, 10'000);
+    ASSERT_FALSE(extents.empty());
+    std::uint64_t cells = 1;
+    for (const auto e : extents) {
+      EXPECT_GE(e, 1);
+      cells *= static_cast<std::uint64_t>(e);
+      if (e == 7 || e == 11 || e == 13) saw_prime = true;
+      if (e == 1) saw_unit_extent = true;
+    }
+    EXPECT_LE(cells, 10'000u);
+    if (extents.size() == 1) saw_single_dim = true;
+  }
+  EXPECT_TRUE(saw_prime);
+  EXPECT_TRUE(saw_unit_extent);
+  EXPECT_TRUE(saw_single_dim);
+}
+
+}  // namespace
+}  // namespace pcmax::testkit

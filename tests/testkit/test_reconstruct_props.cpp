@@ -1,0 +1,126 @@
+// Property tests for schedule reconstruction, driven by the testkit
+// generators: degenerate inputs (no jobs, no long jobs, more machines than
+// used configurations) and a random sweep asserting the reconstruction
+// always partitions the count vector into exactly OPT(N) capacity-respecting
+// machine configurations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ptas.hpp"
+#include "core/rounding.hpp"
+#include "dp/reconstruct.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/replay.hpp"
+
+namespace pcmax::testkit {
+namespace {
+
+TEST(ReconstructProps, AllZeroCountsYieldsNoMachines) {
+  // The "empty instance" of the DP layer: classes exist but hold no jobs.
+  const dp::DpProblem p{{0, 0, 0}, {2, 3, 4}, 10};
+  const auto result = dp::ReferenceSolver().solve(p);
+  EXPECT_EQ(result.opt, 0);
+  EXPECT_TRUE(dp::reconstruct_machines(p, result).empty());
+}
+
+TEST(ReconstructProps, AllShortJobsTakeThePureGreedyPath) {
+  // Every job is short at the optimal target, so the DP degenerates to the
+  // one-cell table and the whole schedule comes from greedy placement.
+  Instance inst;
+  inst.machines = 4;
+  inst.times.assign(24, 2);
+  const auto rounded =
+      round_instance(inst, /*target=*/12, /*k=*/2);
+  EXPECT_TRUE(rounded.feasible);
+  EXPECT_EQ(rounded.long_jobs(), 0);
+  EXPECT_EQ(rounded.table_size(), 1u);
+  EXPECT_EQ(rounded.short_jobs.size(), inst.jobs());
+
+  const dp::LevelBucketSolver solver;
+  PtasOptions options;
+  options.epsilon = 0.5;
+  const auto r = solve_ptas(inst, solver, options);
+  EXPECT_EQ(check_ptas_result(inst, r, 2), std::nullopt);
+  EXPECT_EQ(r.achieved_makespan, 12);  // 24 twos over 4 machines, perfectly
+}
+
+TEST(ReconstructProps, MoreMachinesThanUsedConfigurations) {
+  // 100 machines, 3 jobs: the reconstruction may use at most 3 machines and
+  // must leave the rest idle rather than inventing assignments.
+  const Instance inst{100, {50, 40, 30}};
+  const dp::LevelBucketSolver solver;
+  const auto r = solve_ptas(inst, solver);
+  EXPECT_EQ(check_ptas_result(inst, r, 4), std::nullopt);
+  EXPECT_EQ(r.achieved_makespan, 50);
+
+  const auto loads = machine_loads(inst, r.schedule);
+  const auto used = std::count_if(loads.begin(), loads.end(),
+                                  [](std::int64_t l) { return l > 0; });
+  EXPECT_LE(used, 3);
+}
+
+TEST(ReconstructProps, RandomProblemsPartitionIntoExactlyOptMachines) {
+  DpProblemLimits limits;
+  limits.allow_infeasible = false;
+  limits.max_cells = 3'000;
+  const dp::ReferenceSolver solver;
+  for (std::uint64_t index = 0; index < 40; ++index) {
+    util::Rng rng(case_rng_seed(CaseId{2026, index}));
+    const auto p = random_dp_problem(rng, limits);
+    const auto result = solver.solve(p);
+    ASSERT_NE(result.opt, dp::kInfeasible) << format_case({2026, index});
+    const auto machines = dp::reconstruct_machines(p, result);
+
+    // Exactly OPT(N) machines.
+    EXPECT_EQ(machines.size(), static_cast<std::size_t>(result.opt))
+        << format_case({2026, index});
+
+    // Configurations respect the capacity, are non-empty, and partition N.
+    std::vector<std::int64_t> total(p.counts.size(), 0);
+    for (const auto& m : machines) {
+      ASSERT_EQ(m.size(), p.counts.size());
+      std::int64_t weight = 0, jobs = 0;
+      for (std::size_t d = 0; d < m.size(); ++d) {
+        EXPECT_GE(m[d], 0);
+        total[d] += m[d];
+        weight += m[d] * p.weights[d];
+        jobs += m[d];
+      }
+      EXPECT_LE(weight, p.capacity) << format_case({2026, index});
+      EXPECT_GT(jobs, 0) << format_case({2026, index});
+    }
+    EXPECT_EQ(total, p.counts) << format_case({2026, index});
+  }
+}
+
+TEST(ReconstructProps, RandomInstancesEndToEndHoldTheCertificate) {
+  InstanceLimits limits;
+  limits.max_jobs = 24;
+  limits.max_machines = 6;
+  limits.max_time = 10'000;  // bounds the bisection depth, keeps the sweep fast
+  const dp::LevelBucketSolver solver;
+  int checked_exact = 0;
+  for (std::uint64_t index = 0; index < 25; ++index) {
+    util::Rng rng(case_rng_seed(CaseId{42, index}));
+    const auto inst = random_instance(rng, limits);
+    const auto r = solve_ptas(inst, solver);
+    const auto bad = check_ptas_result(inst, r, 4);
+    EXPECT_EQ(bad, std::nullopt)
+        << format_case({42, index}) << ": " << bad.value_or("");
+    if (inst.jobs() <= 9 && inst.machines <= 4) {
+      if (const auto exact = exact_makespan(inst)) {
+        ++checked_exact;
+        const auto sharp = check_ptas_vs_exact(inst, r, 4, *exact);
+        EXPECT_EQ(sharp, std::nullopt)
+            << format_case({42, index}) << ": " << sharp.value_or("");
+      }
+    }
+  }
+  EXPECT_GT(checked_exact, 0);  // the sweep exercised the sharp oracle too
+}
+
+}  // namespace
+}  // namespace pcmax::testkit

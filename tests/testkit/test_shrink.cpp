@@ -1,0 +1,116 @@
+// The shrinker is trusted to hand developers minimal reproducers, so these
+// tests pin down its contract: the result still fails the predicate, is
+// valid, is deterministic, and actually reaches the structural minimum on
+// predicates whose minimum is known.
+#include "testkit/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "dp/solver.hpp"
+
+namespace pcmax::testkit {
+namespace {
+
+TEST(ShrinkDpProblem, ReachesTheKnownMinimumForAJobCountPredicate) {
+  const dp::DpProblem start{{3, 4, 2}, {2, 3, 5}, 10};
+  const auto fails = [](const dp::DpProblem& p) {
+    return p.total_jobs() >= 4;
+  };
+  const auto shrunk = shrink_dp_problem(start, fails);
+  EXPECT_TRUE(fails(shrunk));
+  EXPECT_NO_THROW(shrunk.validate());
+  // Minimal shape: one dimension of exactly four unit-weight jobs.
+  EXPECT_EQ(shrunk.counts, (std::vector<std::int64_t>{4}));
+  EXPECT_EQ(shrunk.weights, (std::vector<std::int64_t>{1}));
+}
+
+TEST(ShrinkDpProblem, SemanticPredicateShrinksToOneDimension) {
+  // "OPT is finite and at least 2" — a property of the solved table, the
+  // kind of predicate the fuzzer re-runs during shrinking.
+  const dp::DpProblem start{{2, 2, 1}, {4, 5, 3}, 8};
+  const auto fails = [](const dp::DpProblem& p) {
+    const auto r = dp::ReferenceSolver().solve(p);
+    return r.opt != dp::kInfeasible && r.opt >= 2;
+  };
+  ASSERT_TRUE(fails(start));
+  const auto shrunk = shrink_dp_problem(start, fails);
+  EXPECT_TRUE(fails(shrunk));
+  EXPECT_EQ(shrunk.counts.size(), 1u);
+  EXPECT_LE(shrunk.total_jobs(), 2);
+}
+
+TEST(ShrinkDpProblem, DeterministicAcrossRuns) {
+  const dp::DpProblem start{{5, 1, 3}, {7, 2, 9}, 21};
+  const auto fails = [](const dp::DpProblem& p) {
+    return std::accumulate(p.weights.begin(), p.weights.end(),
+                           std::int64_t{0}) >= 5;
+  };
+  const auto a = shrink_dp_problem(start, fails);
+  const auto b = shrink_dp_problem(start, fails);
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_EQ(a.capacity, b.capacity);
+}
+
+TEST(ShrinkDpProblem, BudgetBoundsPredicateEvaluations) {
+  const dp::DpProblem start{{4, 4, 4, 4}, {3, 3, 3, 3}, 12};
+  std::uint64_t calls = 0;
+  const auto fails = [&calls](const dp::DpProblem& p) {
+    ++calls;
+    return p.total_jobs() >= 1;
+  };
+  ShrinkOptions options;
+  options.max_evaluations = 3;
+  const auto shrunk = shrink_dp_problem(start, fails, options);
+  // The cap plus the up-front reproduction check.
+  EXPECT_LE(calls, options.max_evaluations + 1);
+  EXPECT_GE(shrunk.total_jobs(), 1);
+  EXPECT_NO_THROW(shrunk.validate());
+}
+
+TEST(ShrinkInstance, ReachesTheKnownMinimumForAJobCountPredicate) {
+  Instance start;
+  start.machines = 5;
+  start.times = {90, 17, 250, 3, 44, 8, 901, 66, 12, 5, 130, 7, 2, 19, 83, 4};
+  const auto fails = [](const Instance& i) { return i.jobs() >= 3; };
+  const auto shrunk = shrink_instance(start, fails);
+  EXPECT_TRUE(fails(shrunk));
+  EXPECT_NO_THROW(shrunk.validate());
+  // Minimal shape: three unit jobs on one machine.
+  EXPECT_EQ(shrunk.times, (std::vector<std::int64_t>{1, 1, 1}));
+  EXPECT_EQ(shrunk.machines, 1);
+}
+
+TEST(ShrinkInstance, NeverDeletesTheLastJob) {
+  Instance start;
+  start.machines = 2;
+  start.times = {10, 20, 30};
+  const auto fails = [](const Instance&) { return true; };
+  const auto shrunk = shrink_instance(start, fails);
+  EXPECT_GE(shrunk.jobs(), 1u);
+  EXPECT_NO_THROW(shrunk.validate());
+}
+
+TEST(ShrinkInstance, KeepsThePropertyCarryingJob) {
+  // Only the giant job reproduces the "failure"; shrinking must keep one
+  // copy of it and drop everything else.
+  Instance start;
+  start.machines = 4;
+  start.times = {1, 2, 1'000'000, 3, 1'000'000, 4};
+  const auto fails = [](const Instance& i) {
+    for (const auto t : i.times)
+      if (t >= 500'000) return true;
+    return false;
+  };
+  const auto shrunk = shrink_instance(start, fails);
+  EXPECT_TRUE(fails(shrunk));
+  EXPECT_EQ(shrunk.jobs(), 1u);
+  EXPECT_EQ(shrunk.machines, 1);
+  // Time shrinking stops at the smallest value still reproducing.
+  EXPECT_GE(shrunk.times[0], 500'000);
+}
+
+}  // namespace
+}  // namespace pcmax::testkit

@@ -30,12 +30,50 @@ TEST(CheckedMath, AddBasics) {
   EXPECT_THROW((void)checked_add(max, 1), overflow_error);
 }
 
+TEST(CheckedMath, MulAtInt64MaxBoundary) {
+  // Table sizes and load sums live in int64 territory; products adjacent to
+  // INT64_MAX must be exact, and the uint64 headroom above it must not be
+  // mistaken for safety.
+  const auto i64max =
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(checked_mul(i64max, 1), i64max);
+  EXPECT_EQ(checked_mul(i64max, 2), i64max * 2);  // 2^64 - 2, still uint64
+  EXPECT_THROW((void)checked_mul(i64max, 3), overflow_error);
+  EXPECT_EQ(checked_add(i64max, i64max), i64max * 2);
+  EXPECT_THROW((void)checked_add(i64max * 2, 2), overflow_error);
+}
+
+TEST(CheckedMath, ClassIndexArithmeticBoundary) {
+  // Hochbaum-Shmoys classifies a job via t_j * k^2 (class index
+  // floor(t_j * k^2 / T)). For the tightest supported epsilon = 0.1,
+  // k^2 = 100; the largest t_j whose product is representable sits at
+  // umax / 100, and one past it must throw rather than wrap.
+  const std::uint64_t k = 10;
+  const std::uint64_t k2 = k * k;
+  const auto umax = std::numeric_limits<std::uint64_t>::max();
+  const auto largest_t = umax / k2;
+  EXPECT_EQ(checked_mul(largest_t, k2), largest_t * k2);
+  EXPECT_THROW((void)checked_mul(largest_t + 1, k2), overflow_error);
+  // The class index itself stays in [k, k^2] for a long job at t = T.
+  const auto t = largest_t;
+  const auto target = largest_t;  // t == T: the largest long job
+  EXPECT_EQ(checked_mul(t, k2) / target, k2);
+}
+
 TEST(CheckedMath, CeilDiv) {
   EXPECT_EQ(ceil_div(0, 5), 0u);
   EXPECT_EQ(ceil_div(1, 5), 1u);
   EXPECT_EQ(ceil_div(5, 5), 1u);
   EXPECT_EQ(ceil_div(6, 5), 2u);
   EXPECT_EQ(ceil_div(10, 5), 2u);
+}
+
+TEST(CheckedMath, CeilDivExtremes) {
+  const auto umax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(ceil_div(umax, 1), umax);
+  EXPECT_EQ(ceil_div(umax, umax), 1u);
+  EXPECT_EQ(ceil_div(umax - 1, umax), 1u);
+  EXPECT_EQ(ceil_div(umax, 2), (umax / 2) + 1);
 }
 
 TEST(CheckedMath, IsqrtExactSquares) {

@@ -1,0 +1,476 @@
+// pcmax differential fuzzer.
+//
+// Drives randomized cases through every DP engine and the PTAS schedulers
+// under a wall-clock budget, checking the repository's central invariant:
+// all engines agree bit-exactly with the reference oracle, and every PTAS
+// result carries a valid (1 + 1/k) certificate against independent oracles.
+// On failure the input is greedily shrunk to a minimal reproducer, a replay
+// token is printed, and a repro file is written for CI artifact upload.
+//
+//   pcmax_fuzz --budget 60 --seed 1        # 60-second campaign
+//   pcmax_fuzz --replay 1:4242            # re-run one failing case
+//   pcmax_fuzz --budget 600 --seed $RANDOM --repro-dir out/
+//
+// Exit codes: 0 all cases green (and every engine exercised), 1 invariant
+// violation (reproducer printed), 2 usage error.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/ptas.hpp"
+#include "core/rounding.hpp"
+#include "gpu/gpu_ptas.hpp"
+#include "partition/block_solver.hpp"
+#include "partition/divisor.hpp"
+#include "testkit/engines.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/replay.hpp"
+#include "testkit/shrink.hpp"
+#include "workload/shapes.hpp"
+
+namespace {
+
+using namespace pcmax;
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: pcmax_fuzz [--budget SECONDS] [--seed SEED]\n"
+               "                  [--max-cases N] [--replay SEED:CASE]\n"
+               "                  [--repro-dir DIR] [--verbose]\n");
+  std::exit(2);
+}
+
+struct Args {
+  double budget = 10.0;
+  std::uint64_t seed = 1;
+  std::uint64_t max_cases = 0;  // 0 = unlimited within the budget
+  std::optional<testkit::CaseId> replay;
+  std::string repro_dir = ".";
+  bool verbose = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) usage(what);
+      return argv[++i];
+    };
+    if (a == "--budget") {
+      args.budget = std::atof(next("--budget needs seconds"));
+      if (args.budget <= 0) usage("--budget must be positive");
+    } else if (a == "--seed") {
+      args.seed = static_cast<std::uint64_t>(
+          std::strtoull(next("--seed needs a value"), nullptr, 10));
+    } else if (a == "--max-cases") {
+      args.max_cases = static_cast<std::uint64_t>(
+          std::strtoull(next("--max-cases needs a value"), nullptr, 10));
+    } else if (a == "--replay") {
+      args.replay = testkit::parse_case(next("--replay needs SEED:CASE"));
+      if (!args.replay.has_value()) usage("--replay wants the SEED:CASE form");
+    } else if (a == "--repro-dir") {
+      args.repro_dir = next("--repro-dir needs a path");
+    } else if (a == "--verbose") {
+      args.verbose = true;
+    } else {
+      usage(("unknown flag: " + a).c_str());
+    }
+  }
+  return args;
+}
+
+enum class Mode : int {
+  kDpDifferential = 0,
+  kPtasCertificate = 1,
+  kLayoutBijection = 2,
+  kSimulator = 3,
+};
+constexpr int kModeCount = 4;
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kDpDifferential: return "dp-differential";
+    case Mode::kPtasCertificate: return "ptas-certificate";
+    case Mode::kLayoutBijection: return "layout-bijection";
+    case Mode::kSimulator: return "simulator";
+  }
+  return "?";
+}
+
+void append_list(std::string& s, const std::vector<std::int64_t>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) s += ',';
+    s += std::to_string(values[i]);
+  }
+}
+
+std::string describe(const dp::DpProblem& p) {
+  std::string s = "counts=[";
+  append_list(s, p.counts);
+  s += "] weights=[";
+  append_list(s, p.weights);
+  s += "] capacity=";
+  s += std::to_string(p.capacity);
+  return s;
+}
+
+std::string describe(const Instance& inst) {
+  std::string s = "machines=" + std::to_string(inst.machines) + " times=[";
+  append_list(s, inst.times);
+  s += "]";
+  return s;
+}
+
+struct Coverage {
+  std::uint64_t cases = 0;
+  std::uint64_t skipped = 0;
+  std::map<std::string, std::uint64_t> per_mode;
+  /// Engine-pair comparisons (reference, X), counted per case.
+  std::map<std::string, std::uint64_t> per_engine;
+  /// PTAS engines whose certificate was checked.
+  std::map<std::string, std::uint64_t> per_ptas_engine;
+};
+
+struct Failure {
+  testkit::CaseId id;
+  Mode mode = Mode::kDpDifferential;
+  std::string diagnosis;
+  std::string reproducer;
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(const Args& args) : args_(args) {}
+
+  /// Runs one case; returns nullopt when it passed (or was skipped).
+  std::optional<Failure> run_case(const testkit::CaseId& id) {
+    util::Rng rng(testkit::case_rng_seed(id));
+    // The first cases round-robin the modes so even a tiny budget exercises
+    // every engine and checker; afterwards the mix is random but biased
+    // toward the differential core.
+    Mode mode;
+    if (id.index < 12) {
+      mode = static_cast<Mode>(id.index % kModeCount);
+    } else {
+      const auto roll = rng.uniform(0, 9);
+      mode = roll < 5   ? Mode::kDpDifferential
+             : roll < 8 ? Mode::kPtasCertificate
+             : roll < 9 ? Mode::kLayoutBijection
+                        : Mode::kSimulator;
+    }
+    coverage_.cases++;
+    coverage_.per_mode[mode_name(mode)]++;
+    switch (mode) {
+      case Mode::kDpDifferential: return run_dp_differential(id, rng);
+      case Mode::kPtasCertificate: return run_ptas_certificate(id, rng);
+      case Mode::kLayoutBijection: return run_layout_bijection(id, rng);
+      case Mode::kSimulator: return run_simulator(id, rng);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const Coverage& coverage() const noexcept { return coverage_; }
+  [[nodiscard]] const testkit::EngineRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+ private:
+  /// Every engine against the reference, plus reference self-consistency.
+  testkit::CheckResult check_problem_all_engines(const dp::DpProblem& problem,
+                                                 bool count_coverage) {
+    registry_.device().clear_log();
+    const auto& engines = registry_.engines();
+    const auto reference = engines.front().solve(problem);
+    if (auto bad = testkit::check_dp_table(problem, reference))
+      return "reference self-check: " + *bad;
+    for (std::size_t e = 1; e < engines.size(); ++e) {
+      const auto result = engines[e].solve(problem);
+      if (count_coverage) coverage_.per_engine[engines[e].name]++;
+      if (auto bad = testkit::check_tables_match(
+              engines.front().name, reference, engines[e].name, result,
+              engines[e].full_table))
+        return bad;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Failure> run_dp_differential(const testkit::CaseId& id,
+                                             util::Rng& rng) {
+    dp::DpProblem problem;
+    if (rng.uniform(0, 3) == 0) {
+      // Adversarial table shape with PTAS-style class weights.
+      const auto extents = testkit::adversarial_extents(rng, 6, 5'000);
+      problem = workload::dp_problem_for_extents(extents, rng.uniform(2, 5));
+    } else {
+      testkit::DpProblemLimits limits;
+      limits.max_cells = 5'000;
+      problem = testkit::random_dp_problem(rng, limits);
+    }
+    auto bad = check_problem_all_engines(problem, /*count_coverage=*/true);
+    if (!bad.has_value()) return std::nullopt;
+
+    Failure failure{id, Mode::kDpDifferential, *bad, {}};
+    const auto shrunk = testkit::shrink_dp_problem(
+        problem, [this](const dp::DpProblem& candidate) {
+          return check_problem_all_engines(candidate, /*count_coverage=*/false)
+              .has_value();
+        });
+    failure.reproducer = describe(shrunk);
+    return failure;
+  }
+
+  testkit::CheckResult check_ptas_case(const Instance& instance,
+                                       const dp::DpSolver& solver,
+                                       double epsilon,
+                                       SearchStrategy strategy) {
+    PtasOptions options;
+    options.epsilon = epsilon;
+    options.strategy = strategy;
+    const auto k = k_for_epsilon(epsilon);
+    const auto result = solve_ptas(instance, solver, options);
+    // Tiny instances get the exact branch-and-bound oracle on top of the
+    // certificate checks.
+    if (instance.jobs() <= 9 && instance.machines <= 4) {
+      if (const auto opt = testkit::exact_makespan(instance))
+        return testkit::check_ptas_vs_exact(instance, result, k, *opt);
+    }
+    return testkit::check_ptas_result(instance, result, k);
+  }
+
+  std::optional<Failure> run_ptas_certificate(const testkit::CaseId& id,
+                                              util::Rng& rng) {
+    Instance instance;
+    const auto k_choice = rng.uniform(0, 3);
+    const double epsilon = k_choice == 0   ? 1.0
+                           : k_choice == 1 ? 0.5
+                           : k_choice == 2 ? 0.34
+                                           : 0.25;
+    const auto k = k_for_epsilon(epsilon);
+    bool found = false;
+    for (int attempt = 0; attempt < 5 && !found; ++attempt) {
+      instance = testkit::random_instance(rng);
+      // Gate on the DP table size at the lower-bound target (the largest
+      // table the search can build): the curse of dimensionality belongs to
+      // the benches, not the fuzzer.
+      const auto rounded =
+          round_instance(instance, makespan_lower_bound(instance), k);
+      found = !rounded.feasible || rounded.table_size() <= 100'000;
+    }
+    if (!found) {
+      coverage_.skipped++;
+      return std::nullopt;
+    }
+
+    const dp::LevelBucketSolver bucket;
+    const dp::LevelScanSolver scan;
+    const partition::BlockedSolver blocked3(3);
+    const partition::BlockedSolver blocked6(6);
+    const dp::DpSolver* solvers[] = {&bucket, &scan, &blocked3, &blocked6};
+    const auto* solver = solvers[rng.uniform(0, 3)];
+    const auto strategy = rng.uniform(0, 1) == 0 ? SearchStrategy::kBisection
+                                                 : SearchStrategy::kQuarterSplit;
+    coverage_.per_ptas_engine[solver->name()]++;
+    auto bad = check_ptas_case(instance, *solver, epsilon, strategy);
+
+    // The GPU PTAS (Algorithm 3 end to end on the simulated device) rides
+    // along on small instances.
+    if (!bad.has_value() && instance.jobs() <= 16) {
+      gpusim::Device device(gpusim::DeviceSpec::k40());
+      gpu::GpuPtasOptions gpu_options;
+      gpu_options.epsilon = epsilon;
+      const auto gpu_result = gpu::solve_gpu_ptas(instance, device, gpu_options);
+      coverage_.per_ptas_engine["gpu-ptas"]++;
+      bad = testkit::check_ptas_result(instance, gpu_result.ptas, k);
+      if (!bad.has_value())
+        bad = testkit::check_device_conservation(device);
+    }
+    if (!bad.has_value()) return std::nullopt;
+
+    Failure failure{id, Mode::kPtasCertificate, *bad, {}};
+    const auto shrunk = testkit::shrink_instance(
+        instance, [&](const Instance& candidate) {
+          return check_ptas_case(candidate, *solver, epsilon, strategy)
+              .has_value();
+        });
+    failure.reproducer = describe(shrunk);
+    return failure;
+  }
+
+  std::optional<Failure> run_layout_bijection(const testkit::CaseId& id,
+                                              util::Rng& rng) {
+    const auto extents = testkit::adversarial_extents(rng, 6, 20'000);
+    const auto dims = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(extents.size())));
+    const auto check = [dims](const std::vector<std::int64_t>& e) {
+      const dp::MixedRadix radix(e);
+      const partition::BlockedLayout layout(
+          radix, partition::compute_divisor(e, dims));
+      return testkit::check_blocked_bijection(layout);
+    };
+    auto bad = check(extents);
+    if (!bad.has_value()) return std::nullopt;
+
+    // Shrink via the DP-problem shrinker: extents are counts + 1.
+    dp::DpProblem as_problem;
+    as_problem.capacity = 1;
+    for (const auto e : extents) {
+      as_problem.counts.push_back(e - 1);
+      as_problem.weights.push_back(1);
+    }
+    Failure failure{id, Mode::kLayoutBijection, *bad, {}};
+    const auto shrunk = testkit::shrink_dp_problem(
+        as_problem, [&](const dp::DpProblem& candidate) {
+          std::vector<std::int64_t> e;
+          for (const auto n : candidate.counts) e.push_back(n + 1);
+          return check(e).has_value();
+        });
+    std::string extents_text = "extents=[";
+    for (std::size_t i = 0; i < shrunk.counts.size(); ++i) {
+      if (i != 0) extents_text += ',';
+      extents_text += std::to_string(shrunk.counts[i] + 1);
+    }
+    extents_text += "] partition-dims=";
+    extents_text += std::to_string(dims);
+    failure.reproducer = extents_text;
+    return failure;
+  }
+
+  std::optional<Failure> run_simulator(const testkit::CaseId& id,
+                                       util::Rng& rng) {
+    testkit::DpProblemLimits limits;
+    limits.max_cells = 2'000;
+    limits.allow_infeasible = false;
+    const auto problem = testkit::random_dp_problem(rng, limits);
+    const auto check = [&](const dp::DpProblem& candidate)
+        -> testkit::CheckResult {
+      gpusim::Device device(gpusim::DeviceSpec::k40());
+      const gpu::GpuDpSolver solver(device, 5);
+      const auto result = solver.solve(candidate);
+      const auto reference = dp::ReferenceSolver().solve(candidate);
+      if (auto bad = testkit::check_tables_match("reference", reference,
+                                                 solver.name(), result, true))
+        return bad;
+      return testkit::check_device_conservation(device);
+    };
+    auto bad = check(problem);
+    if (!bad.has_value()) return std::nullopt;
+
+    Failure failure{id, Mode::kSimulator, *bad, {}};
+    const auto shrunk = testkit::shrink_dp_problem(
+        problem, [&](const dp::DpProblem& candidate) {
+          return check(candidate).has_value();
+        });
+    failure.reproducer = describe(shrunk);
+    return failure;
+  }
+
+  Args args_;
+  testkit::EngineRegistry registry_;
+  Coverage coverage_;
+};
+
+void print_coverage(const Fuzzer& fuzzer) {
+  const auto& cov = fuzzer.coverage();
+  std::printf("coverage: %llu cases (%llu skipped)\n",
+              static_cast<unsigned long long>(cov.cases),
+              static_cast<unsigned long long>(cov.skipped));
+  for (const auto& [mode, count] : cov.per_mode)
+    std::printf("  mode %-18s %llu\n", mode.c_str(),
+                static_cast<unsigned long long>(count));
+  for (const auto& [engine, count] : cov.per_engine)
+    std::printf("  pair reference<->%-14s %llu\n", engine.c_str(),
+                static_cast<unsigned long long>(count));
+  for (const auto& [engine, count] : cov.per_ptas_engine)
+    std::printf("  ptas %-18s %llu certificates\n", engine.c_str(),
+                static_cast<unsigned long long>(count));
+}
+
+int report_failure(const Args& args, const Failure& failure) {
+  const auto token = testkit::format_case(failure.id);
+  std::fprintf(stderr,
+               "FAIL case %s mode=%s\n  %s\n  shrunk reproducer: %s\n"
+               "  replay with: pcmax_fuzz --seed %llu --replay %s\n",
+               token.c_str(), mode_name(failure.mode),
+               failure.diagnosis.c_str(), failure.reproducer.c_str(),
+               static_cast<unsigned long long>(failure.id.seed),
+               token.c_str());
+  std::error_code ec;
+  std::filesystem::create_directories(args.repro_dir, ec);
+  const auto path = args.repro_dir + "/fuzz-repro-" +
+                    std::to_string(failure.id.seed) + "-" +
+                    std::to_string(failure.id.index) + ".txt";
+  std::ofstream out(path);
+  if (out) {
+    out << "case " << token << "\nmode " << mode_name(failure.mode)
+        << "\ndiagnosis " << failure.diagnosis << "\nreproducer "
+        << failure.reproducer << "\n";
+    std::fprintf(stderr, "  repro written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "  could not write repro file %s\n", path.c_str());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  Fuzzer fuzzer(args);
+
+  if (args.replay.has_value()) {
+    std::printf("replaying case %s\n",
+                testkit::format_case(*args.replay).c_str());
+    if (const auto failure = fuzzer.run_case(*args.replay))
+      return report_failure(args, *failure);
+    std::printf("case passed\n");
+    return 0;
+  }
+
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(args.budget));
+  std::uint64_t index = 0;
+  while (Clock::now() < deadline &&
+         (args.max_cases == 0 || index < args.max_cases)) {
+    const testkit::CaseId id{args.seed, index};
+    if (args.verbose)
+      std::printf("case %s\n", testkit::format_case(id).c_str());
+    if (const auto failure = fuzzer.run_case(id)) {
+      print_coverage(fuzzer);
+      return report_failure(args, *failure);
+    }
+    ++index;
+  }
+
+  print_coverage(fuzzer);
+
+  // A green campaign must actually have exercised every registered engine;
+  // otherwise the differential guarantee is vacuous.
+  for (const auto& engine : fuzzer.registry().engines()) {
+    if (engine.name == fuzzer.registry().reference().name) continue;
+    const auto& per_engine = fuzzer.coverage().per_engine;
+    const auto it = per_engine.find(engine.name);
+    if (it == per_engine.end() || it->second == 0) {
+      std::fprintf(stderr, "engine %s was never exercised — raise --budget\n",
+                   engine.name.c_str());
+      return 1;
+    }
+  }
+  std::printf("all %llu cases green\n",
+              static_cast<unsigned long long>(fuzzer.coverage().cases));
+  return 0;
+}
