@@ -1,7 +1,10 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <fstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace pcmax::bench {
 
@@ -45,6 +48,56 @@ std::string fmt_ms(double ms) {
   else
     std::snprintf(buf, sizeof buf, "%.3f", ms);
   return buf;
+}
+
+namespace {
+
+std::string escape_json(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_json(const std::string& path,
+                const std::vector<JsonRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << "  {\"name\": \"" << escape_json(r.name) << "\", \"ns\": " << r.ns
+        << ", \"cells\": " << r.cells << ", \"probes\": " << r.probes
+        << ", \"cache_hits\": " << r.cache_hits << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+std::string json_path_from_args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      if (i + 1 >= argc)
+        throw std::runtime_error("--json requires a file path");
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+std::uint64_t cells_evaluated(const PtasResult& result) {
+  std::uint64_t cells = 0;
+  for (const DpInvocation& call : result.dp_calls)
+    // Probes without long jobs answer without a DP (nonzero_dims == 0);
+    // their nominal table_size of 1 is not an evaluated cell.
+    if (!call.cached && call.nonzero_dims > 0) cells += call.table_size;
+  return cells;
 }
 
 }  // namespace pcmax::bench

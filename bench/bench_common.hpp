@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/cpu_time_model.hpp"
+#include "core/ptas.hpp"
 #include "gpu/gpu_dp_solver.hpp"
 #include "workload/shapes.hpp"
 
@@ -33,5 +34,36 @@ struct ShapeTiming {
 
 /// Formats milliseconds with adaptive precision for table cells.
 [[nodiscard]] std::string fmt_ms(double ms);
+
+/// One benchmark case of the machine-readable perf trajectory (--json).
+/// scripts/perf_trajectory.py folds these into BENCH_*.json histories.
+struct JsonRecord {
+  std::string name;
+  /// Real host wall time of the case, nanoseconds.
+  std::uint64_t ns = 0;
+  /// DP cells actually evaluated: sum of table sizes over real (non-cached)
+  /// solves.
+  std::uint64_t cells = 0;
+  /// DP invocations recorded (feasibility probes plus reconstruction),
+  /// cache-answered ones included.
+  std::uint64_t probes = 0;
+  /// Probe-cache hits; 0 whenever the cache is off.
+  std::uint64_t cache_hits = 0;
+};
+
+/// Writes `records` to `path` as a JSON array of objects. Throws on I/O
+/// failure.
+void write_json(const std::string& path,
+                const std::vector<JsonRecord>& records);
+
+/// The value following a `--json` flag in argv, or "" when absent.
+/// Throws when the flag is present without a value.
+[[nodiscard]] std::string json_path_from_args(int argc,
+                                              const char* const* argv);
+
+/// Cells actually evaluated during a PTAS run: sum of table_size over the
+/// run's non-cached DP invocations (the unit the probe-cache ablation
+/// reports).
+[[nodiscard]] std::uint64_t cells_evaluated(const PtasResult& result);
 
 }  // namespace pcmax::bench

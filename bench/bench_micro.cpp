@@ -3,6 +3,12 @@
 // reproduction benches, which report simulated device times).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/probe_cache.hpp"
+#include "core/ptas.hpp"
 #include "dp/frontier_solver.hpp"
 #include "dp/reconstruct.hpp"
 #include "dp/solver.hpp"
@@ -12,6 +18,7 @@
 #include "partition/block_solver.hpp"
 #include "partition/blocked_layout.hpp"
 #include "partition/divisor.hpp"
+#include "workload/generators.hpp"
 #include "workload/shapes.hpp"
 
 namespace {
@@ -172,6 +179,57 @@ void BM_ReorganizeLayout(benchmark::State& state) {
 }
 BENCHMARK(BM_ReorganizeLayout);
 
+// Pinned perf-smoke workload for `--json <path>`: one fixed instance
+// solved twice per strategy against a shared probe cache (the canonical
+// repeated-probe pattern). The second rep must hit the cache, so CI can
+// fail the build when the hit rate degenerates to zero.
+std::vector<bench::JsonRecord> run_json_workload() {
+  const Instance instance = workload::uniform_instance(64, 8, 1, 1000, 42);
+  const dp::LevelBucketSolver solver;
+  std::vector<bench::JsonRecord> records;
+  for (const auto& [name, strategy] :
+       {std::pair<const char*, SearchStrategy>{"bisect",
+                                               SearchStrategy::kBisection},
+        std::pair<const char*, SearchStrategy>{
+            "quarter", SearchStrategy::kQuarterSplit}}) {
+    ProbeCache shared;
+    PtasOptions options;
+    options.strategy = strategy;
+    options.use_probe_cache = true;
+    options.probe_cache = &shared;
+    for (int rep = 1; rep <= 2; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      const PtasResult result = solve_ptas(instance, solver, options);
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      records.push_back({std::string("ptas-cache-repeat/") + name + "/rep" +
+                             std::to_string(rep),
+                         ns, bench::cells_evaluated(result),
+                         result.dp_calls.size(),
+                         result.cache_stats.hits +
+                             result.cache_stats.bound_skips});
+    }
+  }
+  return records;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      pcmax::bench::json_path_from_args(argc, argv);
+  if (!json_path.empty()) {
+    const auto records = run_json_workload();
+    pcmax::bench::write_json(json_path, records);
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path.c_str());
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

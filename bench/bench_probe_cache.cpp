@@ -1,0 +1,136 @@
+// Probe-cache ablation: the PTAS target search solved with the probe-level
+// DP cache off vs on, over a perf-trajectory-style repeated workload (each
+// instance solved `kReps` times, as a tuning loop or benchmark harness
+// would). Reports DP cell evaluations (sum of table sizes over real
+// solves), cache hits, and monotone-bound skips per strategy; `--json
+// <path>` emits the machine-readable records scripts/perf_trajectory.py
+// folds into BENCH_*.json.
+//
+// Cached and uncached runs must return identical makespans — the bench
+// throws otherwise.
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/probe_cache.hpp"
+#include "core/ptas.hpp"
+#include "util/text_table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pcmax;
+
+constexpr int kReps = 3;
+
+struct Case {
+  std::string name;
+  Instance instance;
+};
+
+struct Run {
+  std::uint64_t ns = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t bound_skips = 0;
+  std::uint64_t first_run_cells = 0;
+  std::size_t iterations = 0;
+  std::int64_t makespan = 0;
+};
+
+Run run_reps(const Case& c, SearchStrategy strategy, bool use_cache) {
+  const dp::LevelBucketSolver solver;
+  PtasOptions options;
+  options.strategy = strategy;
+  options.use_probe_cache = use_cache;
+  ProbeCache shared;
+  if (use_cache) options.probe_cache = &shared;
+
+  Run run;
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const PtasResult result = solve_ptas(c.instance, solver, options);
+    const std::uint64_t cells = pcmax::bench::cells_evaluated(result);
+    if (rep == 0) run.first_run_cells = cells;
+    run.cells += cells;
+    run.probes += result.dp_calls.size();
+    run.hits += result.cache_stats.hits;
+    run.bound_skips += result.cache_stats.bound_skips;
+    run.iterations += result.search_iterations;
+    if (rep == 0)
+      run.makespan = result.achieved_makespan;
+    else if (run.makespan != result.achieved_makespan)
+      throw std::runtime_error(c.name + ": makespan changed across reps");
+  }
+  run.ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      pcmax::bench::json_path_from_args(argc, argv);
+
+  const std::vector<Case> cases{
+      {"uniform-60x8", workload::uniform_instance(60, 8, 1, 1000, 1)},
+      {"uniform-100x12", workload::uniform_instance(100, 12, 1, 5000, 2)},
+      {"uniform-40x16", workload::uniform_instance(40, 16, 1, 1000, 3)},
+      {"bimodal-80x10",
+       workload::bimodal_instance(80, 10, 1, 50, 400, 900, 0.3, 4)},
+  };
+  const std::vector<std::pair<std::string, SearchStrategy>> strategies{
+      {"bisect", SearchStrategy::kBisection},
+      {"quarter", SearchStrategy::kQuarterSplit},
+  };
+
+  std::printf("== bench_probe_cache: PTAS probe cache off vs on "
+              "(%d reps per case, shared cache) ==\n\n",
+              kReps);
+  pcmax::util::TextTable table({"case", "strategy", "cells off", "cells on",
+                                "drop", "run1 on", "hits", "bound skips",
+                                "itr off", "itr on"});
+  std::vector<pcmax::bench::JsonRecord> records;
+  for (const Case& c : cases) {
+    for (const auto& [strat_name, strategy] : strategies) {
+      const Run off = run_reps(c, strategy, false);
+      const Run on = run_reps(c, strategy, true);
+      if (off.makespan != on.makespan)
+        throw std::runtime_error(c.name + ": cache changed the makespan");
+      const double drop =
+          on.cells == 0 ? 0.0 : static_cast<double>(off.cells) /
+                                    static_cast<double>(on.cells);
+      char drop_buf[32];
+      std::snprintf(drop_buf, sizeof drop_buf, "%.2fx", drop);
+      table.add_row({c.name, strat_name, std::to_string(off.cells),
+                     std::to_string(on.cells), drop_buf,
+                     std::to_string(on.first_run_cells),
+                     std::to_string(on.hits), std::to_string(on.bound_skips),
+                     std::to_string(off.iterations),
+                     std::to_string(on.iterations)});
+      records.push_back({c.name + "/" + strat_name + "/cache-off", off.ns,
+                         off.cells, off.probes, 0});
+      records.push_back({c.name + "/" + strat_name + "/cache-on", on.ns,
+                         on.cells, on.probes, on.hits});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("cells = DP cells evaluated (sum of table sizes over real "
+              "solves, reconstruction included);\n"
+              "run1 on = cells of the first cached rep (intra-run hits "
+              "only); drop = cells off / cells on.\n");
+
+  if (!json_path.empty()) {
+    pcmax::bench::write_json(json_path, records);
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Fold a bench --json output into a BENCH_<name>.json perf trajectory.
+
+Every bench binary that takes `--json <path>` emits a flat array of
+records {name, ns, cells, probes, cache_hits}. This script appends one
+labelled run to a history file (BENCH_<bench>.json in --history-dir, the
+repo root by default) and prints per-record deltas against the previous
+run, so regressions in cell evaluations or cache hit rate are visible
+across commits:
+
+    build/bench/bench_probe_cache --json /tmp/pc.json
+    scripts/perf_trajectory.py --bench probe_cache --input /tmp/pc.json
+
+History format: {"bench": <name>, "runs": [{"label": <rev>, "records":
+[...]}, ...]}.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def git_label() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unlabelled"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True,
+                        help="bench name, e.g. probe_cache or micro")
+    parser.add_argument("--input", required=True,
+                        help="JSON file written by the bench's --json flag")
+    parser.add_argument("--history-dir", default=".",
+                        help="directory holding BENCH_<name>.json")
+    parser.add_argument("--label", default=None,
+                        help="run label (default: short git revision)")
+    args = parser.parse_args()
+
+    records = json.loads(pathlib.Path(args.input).read_text())
+    if not isinstance(records, list):
+        print("input must be a JSON array of records", file=sys.stderr)
+        return 1
+    for rec in records:
+        missing = {"name", "ns", "cells", "probes", "cache_hits"} - set(rec)
+        if missing:
+            print(f"record missing fields {sorted(missing)}: {rec}",
+                  file=sys.stderr)
+            return 1
+
+    history_path = (pathlib.Path(args.history_dir) /
+                    f"BENCH_{args.bench}.json")
+    if history_path.exists():
+        history = json.loads(history_path.read_text())
+    else:
+        history = {"bench": args.bench, "runs": []}
+
+    previous = {rec["name"]: rec
+                for run in history["runs"] for rec in run["records"]}
+    label = args.label or git_label()
+    history["runs"].append({"label": label, "records": records})
+    history_path.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(f"{history_path}: appended run '{label}' "
+          f"({len(records)} records, {len(history['runs'])} total runs)")
+    for rec in records:
+        prev = previous.get(rec["name"])
+        if prev is None:
+            print(f"  {rec['name']}: cells={rec['cells']} "
+                  f"hits={rec['cache_hits']} (new)")
+            continue
+        def delta(key: str) -> str:
+            if prev[key] == 0:
+                return f"{key}={rec[key]}"
+            change = rec[key] / prev[key] - 1.0
+            return f"{key}={rec[key]} ({change:+.0%})"
+        print(f"  {rec['name']}: {delta('cells')} {delta('ns')} "
+              f"hits={rec['cache_hits']} (prev {prev['cache_hits']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

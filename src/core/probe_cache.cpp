@@ -1,0 +1,74 @@
+#include "core/probe_cache.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pcmax {
+
+namespace {
+
+void hash_combine(std::size_t& seed, std::uint64_t value) noexcept {
+  // splitmix64-style mix; good avalanche for sequential integer payloads.
+  value *= 0x9E3779B97F4A7C15ull;
+  value ^= value >> 32;
+  seed ^= value + 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace
+
+std::size_t ProbeKeyHash::operator()(const ProbeKey& key) const noexcept {
+  std::size_t seed = key.counts.size();
+  for (const auto c : key.counts)
+    hash_combine(seed, static_cast<std::uint64_t>(c));
+  for (const auto w : key.weights)
+    hash_combine(seed, static_cast<std::uint64_t>(w));
+  hash_combine(seed, static_cast<std::uint64_t>(key.capacity));
+  return seed;
+}
+
+ProbeKey probe_key_for(const RoundedInstance& rounded) {
+  PCMAX_EXPECTS(rounded.feasible);
+  PCMAX_EXPECTS(!rounded.class_index.empty());
+  ProbeKey key;
+  key.counts = rounded.counts;
+  key.weights = rounded.class_index;
+  key.capacity = rounded.k * rounded.k;
+  return key;
+}
+
+ProbeCache::ProbeCache(std::size_t max_entries) : max_entries_(max_entries) {
+  PCMAX_EXPECTS(max_entries >= 1);
+}
+
+std::optional<std::int32_t> ProbeCache::lookup(const ProbeKey& key) {
+  ++stats_.lookups;
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ProbeCache::insert(const ProbeKey& key, std::int32_t opt) {
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // The DP is deterministic, so a re-insert must agree.
+    PCMAX_ENSURES(it->second->second == opt);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= max_entries_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.emplace_front(key, opt);
+  map_.emplace(lru_.front().first, lru_.begin());
+  ++stats_.insertions;
+}
+
+void ProbeCache::clear() {
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace pcmax

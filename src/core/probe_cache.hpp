@@ -1,0 +1,136 @@
+// Probe-level DP solve cache.
+//
+// Every feasibility probe of the PTAS search rounds the instance for a
+// target T and solves the higher-dimensional DP. Distinct targets often
+// round to the *same* problem — identical class counts, class indices, and
+// capacity k^2 — because the class index floor(t_j * k^2 / T) is a step
+// function of T. ProbeKey canonicalizes a rounded problem so such probes
+// share one DP solve; ProbeCache is an LRU-bounded memo from key to the
+// DP's OPT (machine count).
+//
+// MonotoneBounds exploits the other structural fact of the search: the
+// feasibility oracle is monotone in T (false below the threshold T*, true
+// at and above it), so once a verdict is known for some target, every
+// target at or beyond it on the same side is decided without any solve.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rounding.hpp"
+
+namespace pcmax {
+
+/// Canonical identity of a rounded DP problem: per-class long-job counts,
+/// class indices (the DP weights), and the capacity k^2. Two targets with
+/// equal keys have byte-identical DP problems and hence equal OPT.
+struct ProbeKey {
+  std::vector<std::int64_t> counts;
+  std::vector<std::int64_t> weights;
+  std::int64_t capacity = 0;
+
+  bool operator==(const ProbeKey&) const = default;
+};
+
+struct ProbeKeyHash {
+  [[nodiscard]] std::size_t operator()(const ProbeKey& key) const noexcept;
+};
+
+/// The canonical key of a feasible rounding. Requires rounded.feasible and
+/// at least one long job (callers answer the empty rounding without a DP).
+[[nodiscard]] ProbeKey probe_key_for(const RoundedInstance& rounded);
+
+struct ProbeCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  /// Probes answered by MonotoneBounds before any rounding or solve.
+  std::uint64_t bound_skips = 0;
+};
+
+/// Monotone feasibility bounds for one instance within one search: the
+/// highest target observed infeasible and the lowest observed feasible.
+/// Bounds are instance-specific — create one per search run; they must not
+/// be shared across instances (unlike ProbeCache, whose keys are canonical).
+class MonotoneBounds {
+ public:
+  /// The verdict for `target` if the bounds already decide it, nullopt
+  /// otherwise.
+  [[nodiscard]] std::optional<bool> decide(std::int64_t target) const noexcept {
+    if (target <= highest_infeasible_) return false;
+    if (target >= lowest_feasible_) return true;
+    return std::nullopt;
+  }
+
+  /// Records an oracle verdict. Verdicts must come from a monotone oracle;
+  /// contradictory notes keep the bounds conservative (they never cross).
+  void note(std::int64_t target, bool feasible) noexcept {
+    if (feasible) {
+      if (target < lowest_feasible_ && target > highest_infeasible_)
+        lowest_feasible_ = target;
+    } else {
+      if (target > highest_infeasible_ && target < lowest_feasible_)
+        highest_infeasible_ = target;
+    }
+  }
+
+  [[nodiscard]] std::int64_t highest_infeasible() const noexcept {
+    return highest_infeasible_;
+  }
+  [[nodiscard]] std::int64_t lowest_feasible() const noexcept {
+    return lowest_feasible_;
+  }
+
+ private:
+  std::int64_t highest_infeasible_ =
+      std::numeric_limits<std::int64_t>::min();
+  std::int64_t lowest_feasible_ = std::numeric_limits<std::int64_t>::max();
+};
+
+/// LRU-bounded memo from canonical rounded problems to their DP OPT. Keys
+/// are self-contained, so one cache may be shared across targets, search
+/// strategies, and even instances (e.g. across the repeated PTAS runs of a
+/// benchmark); it memoizes only the scalar OPT, never the DP table, so
+/// reconstruction solves always run for real.
+class ProbeCache {
+ public:
+  /// `max_entries` bounds resident entries; least-recently-used entries are
+  /// evicted beyond it. Must be >= 1.
+  explicit ProbeCache(std::size_t max_entries = kDefaultMaxEntries);
+
+  /// The memoized OPT for `key`, refreshing its recency; nullopt on miss.
+  [[nodiscard]] std::optional<std::int32_t> lookup(const ProbeKey& key);
+
+  /// Memoizes `opt` for `key` (no-op if present), evicting the LRU entry
+  /// when full.
+  void insert(const ProbeKey& key, std::int32_t opt);
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+  [[nodiscard]] const ProbeCacheStats& stats() const noexcept {
+    return stats_;
+  }
+
+  /// Drops all entries; statistics are kept.
+  void clear();
+
+  static constexpr std::size_t kDefaultMaxEntries = 4096;
+
+ private:
+  using Entry = std::pair<ProbeKey, std::int32_t>;
+
+  std::size_t max_entries_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<ProbeKey, std::list<Entry>::iterator, ProbeKeyHash>
+      map_;
+  ProbeCacheStats stats_;
+};
+
+}  // namespace pcmax

@@ -13,10 +13,11 @@ namespace pcmax {
 
 namespace {
 
-/// Runs the DP for one target and records the invocation.
+/// Runs the DP for one target (or answers it from `cache`) and records the
+/// invocation.
 std::int32_t evaluate_target(const RoundedInstance& rounded,
                              const dp::DpSolver& solver,
-                             const PtasOptions& options,
+                             const PtasOptions& options, ProbeCache* cache,
                              std::vector<DpInvocation>& calls) {
   DpInvocation call;
   call.target = rounded.target;
@@ -25,13 +26,35 @@ std::int32_t evaluate_target(const RoundedInstance& rounded,
   call.table_size = rounded.table_size();
   std::int32_t opt = 0;
   if (!rounded.class_index.empty()) {
-    dp::SolveOptions solve_options;
-    solve_options.num_threads = options.num_threads;
-    opt = solver.solve(to_dp_problem(rounded), solve_options).opt;
+    ProbeKey key;
+    if (cache != nullptr) {
+      key = probe_key_for(rounded);
+      if (const auto hit = cache->lookup(key)) {
+        opt = *hit;
+        call.cached = true;
+      }
+    }
+    if (!call.cached) {
+      dp::SolveOptions solve_options;
+      solve_options.num_threads = options.num_threads;
+      opt = solver.solve(to_dp_problem(rounded), solve_options).opt;
+      if (cache != nullptr) cache->insert(key, opt);
+    }
   }
   call.opt = opt;
   calls.push_back(call);
   return opt;
+}
+
+/// Per-run delta of a (possibly shared, already warm) cache's counters.
+ProbeCacheStats stats_delta(const ProbeCacheStats& now,
+                            const ProbeCacheStats& before) {
+  ProbeCacheStats d;
+  d.lookups = now.lookups - before.lookups;
+  d.hits = now.hits - before.hits;
+  d.insertions = now.insertions - before.insertions;
+  d.evictions = now.evictions - before.evictions;
+  return d;
 }
 
 }  // namespace
@@ -65,20 +88,36 @@ PtasResult solve_ptas(const Instance& instance, const dp::DpSolver& solver,
   const std::int64_t ub = makespan_upper_bound(instance);
 
   PtasResult result;
+  ProbeCache local_cache;
+  ProbeCache* cache = nullptr;
+  if (options.use_probe_cache)
+    cache = options.probe_cache != nullptr ? options.probe_cache
+                                           : &local_cache;
+  const ProbeCacheStats stats_before =
+      cache != nullptr ? cache->stats() : ProbeCacheStats{};
+  // Bounds are instance-specific, so they live for this run only even when
+  // the (canonically keyed) cache is shared.
+  MonotoneBounds bounds;
+  MonotoneBounds* bounds_ptr = cache != nullptr ? &bounds : nullptr;
+
   const FeasibilityOracle oracle = [&](std::int64_t target) {
     const RoundedInstance rounded = round_instance(instance, target, k);
     if (!rounded.feasible) return false;
     const std::int32_t opt =
-        evaluate_target(rounded, solver, options, result.dp_calls);
+        evaluate_target(rounded, solver, options, cache, result.dp_calls);
     return opt <= instance.machines;
   };
 
   const SearchResult search =
       options.strategy == SearchStrategy::kQuarterSplit
-          ? quarter_split_search(lb, ub, oracle, options.segments)
-          : bisection_search(lb, ub, oracle);
+          ? quarter_split_search(lb, ub, oracle, options.segments, bounds_ptr)
+          : bisection_search(lb, ub, oracle, bounds_ptr);
   result.best_target = search.best_target;
   result.search_iterations = search.iterations;
+  if (cache != nullptr) {
+    result.cache_stats = stats_delta(cache->stats(), stats_before);
+    result.cache_stats.bound_skips = search.bound_skips;
+  }
 
   if (!options.build_schedule) return result;
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/instance.hpp"
+#include "core/probe_cache.hpp"
 #include "dp/solver.hpp"
 
 namespace pcmax {
@@ -28,6 +29,10 @@ struct DpInvocation {
   std::size_t nonzero_dims = 0;   ///< non-empty job classes
   std::int64_t long_jobs = 0;     ///< n'
   std::int32_t opt = 0;           ///< machines needed for the rounded longs
+  /// True when the probe cache answered and no DP table was filled. The
+  /// cell-evaluation metrics (sum of table_size over real solves) must
+  /// exclude these entries.
+  bool cached = false;
 };
 
 struct PtasOptions {
@@ -37,6 +42,14 @@ struct PtasOptions {
   int segments = 4;
   int num_threads = 0;   ///< forwarded to the DP solver
   bool build_schedule = true;
+  /// Probe-level DP solve cache: memoize the OPT of canonicalized rounded
+  /// problems and answer bound-decided probes without solving. Off by
+  /// default so EXPERIMENTS ablations compare like with like.
+  bool use_probe_cache = false;
+  /// Optional externally owned cache, shared across runs (and instances —
+  /// keys are canonical). When null and use_probe_cache is set, the run
+  /// uses a private cache. Ignored when use_probe_cache is false.
+  ProbeCache* probe_cache = nullptr;
 };
 
 struct PtasResult {
@@ -48,7 +61,10 @@ struct PtasResult {
   /// Search rounds (Table VII's "#itr").
   std::size_t search_iterations = 0;
   /// Every DP evaluation, in probe order (reconstruction solve included).
+  /// Cache-answered probes appear with DpInvocation::cached set.
   std::vector<DpInvocation> dp_calls;
+  /// This run's probe-cache activity (all zero when the cache is off).
+  ProbeCacheStats cache_stats;
 };
 
 [[nodiscard]] PtasResult solve_ptas(const Instance& instance,

@@ -1,19 +1,48 @@
 #include "core/search.hpp"
 
+#include <optional>
+
+#include "core/probe_cache.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax {
 
+namespace {
+
+/// One target's verdict: from the bounds when they decide it (counted as a
+/// skip, no oracle traffic), from `ask` otherwise (recorded into the
+/// bounds). `ask` must invoke the oracle and do the round accounting.
+template <typename Ask>
+bool resolve_target(std::int64_t target, MonotoneBounds* bounds,
+                    SearchResult& result, Ask&& ask) {
+  if (bounds != nullptr) {
+    if (const std::optional<bool> known = bounds->decide(target)) {
+      ++result.bound_skips;
+      return *known;
+    }
+  }
+  const bool verdict = ask(target);
+  if (bounds != nullptr) bounds->note(target, verdict);
+  return verdict;
+}
+
+}  // namespace
+
 SearchResult bisection_search(std::int64_t lb, std::int64_t ub,
-                              const FeasibilityOracle& oracle) {
+                              const FeasibilityOracle& oracle,
+                              MonotoneBounds* bounds) {
   PCMAX_EXPECTS(lb <= ub);
   PCMAX_EXPECTS(static_cast<bool>(oracle));
   SearchResult result;
   while (lb < ub) {
     const std::int64_t t = lb + (ub - lb) / 2;
-    result.probes.push_back(t);
-    ++result.iterations;
-    if (oracle(t))
+    const bool verdict =
+        resolve_target(t, bounds, result, [&](std::int64_t target) {
+          result.probes.push_back(target);
+          ++result.iterations;
+          return oracle(target);
+        });
+    if (verdict)
       ub = t;
     else
       lb = t + 1;
@@ -24,13 +53,16 @@ SearchResult bisection_search(std::int64_t lb, std::int64_t ub,
 
 SearchResult quarter_split_search_batch(std::int64_t lb, std::int64_t ub,
                                         const BatchFeasibilityOracle& oracle,
-                                        int segments) {
+                                        int segments,
+                                        MonotoneBounds* bounds) {
   PCMAX_EXPECTS(lb <= ub);
   PCMAX_EXPECTS(segments >= 2);
   PCMAX_EXPECTS(static_cast<bool>(oracle));
 
   SearchResult result;
-  std::vector<std::int64_t> targets;
+  std::vector<std::int64_t> targets, asked;
+  std::vector<std::size_t> pending;  // indices into targets sent to oracle
+  std::vector<bool> feasible;
   while (lb < ub) {
     // Segment boundaries b_p = lb + (ub-lb)*p/segments, probe midpoints.
     targets.clear();
@@ -40,11 +72,70 @@ SearchResult quarter_split_search_batch(std::int64_t lb, std::int64_t ub,
       const std::int64_t t = b0 + (b1 - b0) / 2;
       if (targets.empty() || targets.back() != t) targets.push_back(t);
     }
-    // One round: all probes issued together (concurrent streams on the GPU).
-    ++result.iterations;
-    result.probes.insert(result.probes.end(), targets.begin(), targets.end());
-    const std::vector<bool> feasible = oracle(targets);
-    PCMAX_ENSURES(feasible.size() == targets.size());
+
+    // Targets the bounds already decide never reach the oracle; a round
+    // whose targets are all decided issues no batch and counts no
+    // iteration.
+    asked.clear();
+    pending.clear();
+    feasible.assign(targets.size(), false);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      std::optional<bool> known;
+      if (bounds != nullptr) known = bounds->decide(targets[i]);
+      if (known.has_value()) {
+        feasible[i] = *known;
+        ++result.bound_skips;
+      } else {
+        pending.push_back(i);
+        asked.push_back(targets[i]);
+      }
+    }
+    if (!asked.empty()) {
+      // One round: all probes issued together (concurrent GPU streams).
+      ++result.iterations;
+      result.probes.insert(result.probes.end(), asked.begin(), asked.end());
+      const std::vector<bool> verdicts = oracle(asked);
+      PCMAX_ENSURES(verdicts.size() == asked.size());
+      for (std::size_t j = 0; j < asked.size(); ++j) {
+        feasible[pending[j]] = verdicts[j];
+        if (bounds != nullptr) bounds->note(asked[j], verdicts[j]);
+      }
+    }
+
+    // A feasible probe below an infeasible one contradicts oracle
+    // monotonicity (a buggy engine); Algorithm 3's interval logic would
+    // then converge on an arbitrary boundary. Narrow to the subinterval
+    // bracketing the first feasible verdict — consistent with what the
+    // oracle actually answered — and finish with plain bisection through
+    // single-target batches, which terminates unconditionally.
+    bool violated = false;
+    for (std::size_t i = 0; i + 1 < feasible.size(); ++i)
+      if (feasible[i] && !feasible[i + 1]) violated = true;
+    if (violated) {
+      ++result.monotonicity_violations;
+      std::size_t first_feasible = 0;
+      while (!feasible[first_feasible]) ++first_feasible;
+      ub = targets[first_feasible];
+      if (first_feasible > 0) lb = targets[first_feasible - 1] + 1;
+      while (lb < ub) {
+        const std::int64_t t = lb + (ub - lb) / 2;
+        const bool verdict =
+            resolve_target(t, bounds, result, [&](std::int64_t target) {
+              ++result.iterations;
+              result.probes.push_back(target);
+              const std::int64_t one[1] = {target};
+              const std::vector<bool> v =
+                  oracle(std::span<const std::int64_t>(one, 1));
+              PCMAX_ENSURES(v.size() == 1);
+              return v.front();
+            });
+        if (verdict)
+          ub = t;
+        else
+          lb = t + 1;
+      }
+      break;
+    }
 
     if (feasible.front()) {
       ub = targets.front();
@@ -66,7 +157,7 @@ SearchResult quarter_split_search_batch(std::int64_t lb, std::int64_t ub,
 
 SearchResult quarter_split_search(std::int64_t lb, std::int64_t ub,
                                   const FeasibilityOracle& oracle,
-                                  int segments) {
+                                  int segments, MonotoneBounds* bounds) {
   PCMAX_EXPECTS(static_cast<bool>(oracle));
   return quarter_split_search_batch(
       lb, ub,
@@ -76,7 +167,7 @@ SearchResult quarter_split_search(std::int64_t lb, std::int64_t ub,
         for (const auto t : targets) feasible.push_back(oracle(t));
         return feasible;
       },
-      segments);
+      segments, bounds);
 }
 
 }  // namespace pcmax

@@ -14,6 +14,8 @@
 
 namespace pcmax {
 
+class MonotoneBounds;  // core/probe_cache.hpp
+
 /// Returns true when a schedule with makespan <= T exists (monotone in T).
 using FeasibilityOracle = std::function<bool(std::int64_t target)>;
 
@@ -21,17 +23,30 @@ struct SearchResult {
   /// Smallest target in [lb, ub] the oracle accepts.
   std::int64_t best_target = 0;
   /// Rounds executed. A quarter-split round issues several probes but counts
-  /// once, matching how Table VII counts "#itr".
+  /// once, matching how Table VII counts "#itr". Rounds answered entirely by
+  /// MonotoneBounds are not counted: no probe was issued.
   std::size_t iterations = 0;
-  /// Every target probed, in order (duplicates possible across rounds).
+  /// Every target the oracle actually evaluated, in order (duplicates
+  /// possible across rounds). Bound-decided targets are not listed.
   std::vector<std::int64_t> probes;
+  /// Probes answered by the MonotoneBounds instead of the oracle.
+  std::size_t bound_skips = 0;
+  /// Rounds whose verdict vector contradicted monotonicity (a feasible
+  /// probe below an infeasible one) — always 0 for a correct oracle. The
+  /// search falls back to plain bisection on the bracketing subinterval, so
+  /// it still terminates and best_target is consistent with the verdicts
+  /// the oracle actually gave.
+  std::size_t monotonicity_violations = 0;
 };
 
 /// Classic bisection: one probe per round, interval halves.
 /// Requires lb <= ub and oracle(ub) == true (guaranteed by the PTAS upper
-/// bound). Behaviour is undefined if the oracle is not monotone.
+/// bound). Behaviour is undefined if the oracle is not monotone. When
+/// `bounds` is given, probes it already decides skip the oracle and verdicts
+/// are recorded into it.
 [[nodiscard]] SearchResult bisection_search(std::int64_t lb, std::int64_t ub,
-                                            const FeasibilityOracle& oracle);
+                                            const FeasibilityOracle& oracle,
+                                            MonotoneBounds* bounds = nullptr);
 
 /// Algorithm 3: the interval is split into `segments` equal parts; the
 /// midpoints of all parts are probed in one round (on the GPU these run
@@ -39,7 +54,7 @@ struct SearchResult {
 /// bracketing the feasibility threshold.
 [[nodiscard]] SearchResult quarter_split_search(
     std::int64_t lb, std::int64_t ub, const FeasibilityOracle& oracle,
-    int segments = 4);
+    int segments = 4, MonotoneBounds* bounds = nullptr);
 
 /// Batch oracle: receives every target of one round together, so callers
 /// that evaluate probes concurrently (Hyper-Q) can account a whole round at
@@ -49,8 +64,10 @@ using BatchFeasibilityOracle =
 
 /// Quarter-split search over a batch oracle. Identical interval logic to
 /// the single-probe overload; rounds and probes are counted the same way.
+/// Bound-decided targets are removed from the batch before the oracle sees
+/// it; a round whose targets are all decided issues no batch at all.
 [[nodiscard]] SearchResult quarter_split_search_batch(
     std::int64_t lb, std::int64_t ub, const BatchFeasibilityOracle& oracle,
-    int segments = 4);
+    int segments = 4, MonotoneBounds* bounds = nullptr);
 
 }  // namespace pcmax

@@ -59,6 +59,7 @@ ConfigSet::ConfigSet(std::span<const std::int64_t> counts,
                std::vector<std::int64_t>(counts.size(), 0),
                &flat_,  &deltas_,      &weights_, &level_drops_};
   enumerate(st, 0, 0, 0);
+  if (!flat_.empty()) hot_ = FitSet(flat_, dims_);
 }
 
 std::uint64_t candidate_count(std::span<const std::int64_t> v) {

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "dp/fitset.hpp"
 #include "dp/mixed_radix.hpp"
 
 namespace pcmax::dp {
@@ -63,12 +64,29 @@ class ConfigSet {
     return true;
   }
 
+  /// Largest level drop of any configuration: the most jobs one machine can
+  /// hold. 0 when the set is empty.
+  [[nodiscard]] std::int64_t max_level_drop() const noexcept {
+    return hot_.max_drop();
+  }
+
+  /// The SoA fits kernel (fitset.hpp): visits every configuration fitting
+  /// under `v` in descending-level-drop order, calling fn(config_index) with
+  /// the index in this set's (enumeration) order; fn returns false to stop.
+  /// `level` must equal the coordinate sum of `v`.
+  template <typename Fn>
+  void for_each_fitting(std::span<const std::int64_t> v, std::int64_t level,
+                        Fn&& fn) const {
+    hot_.for_each_fitting(v, level, static_cast<Fn&&>(fn));
+  }
+
  private:
   std::size_t dims_;
   std::vector<std::int64_t> flat_;        // size() * dims() entries
   std::vector<std::uint64_t> deltas_;     // per configuration
   std::vector<std::int64_t> weights_;     // per configuration
   std::vector<std::int64_t> level_drops_; // per configuration
+  FitSet hot_;                            // SoA fits kernel over flat_
 };
 
 /// Number of sub-configuration *candidates* the paper's GPU kernel

@@ -1,0 +1,57 @@
+#include "dp/fitset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::dp {
+
+FitSet::FitSet(std::span<const std::int64_t> rows, std::size_t dims)
+    : dims_(dims) {
+  PCMAX_EXPECTS(dims >= 1);
+  PCMAX_EXPECTS(dims <= 64);
+  PCMAX_EXPECTS(rows.size() % dims == 0);
+  size_ = rows.size() / dims;
+  PCMAX_EXPECTS(size_ <= 0xFFFFFFFFull);
+  for (const auto x : rows) PCMAX_EXPECTS(x >= 0);
+
+  std::vector<std::int64_t> drops(size_, 0);
+  for (std::size_t i = 0; i < size_; ++i)
+    for (std::size_t j = 0; j < dims_; ++j)
+      drops[i] += rows[i * dims_ + j];
+  max_drop_ = size_ == 0 ? 0 : *std::max_element(drops.begin(), drops.end());
+
+  // Descending drop; original order breaks ties so the scan order is
+  // deterministic and stable across rebuilds.
+  orig_.resize(size_);
+  std::iota(orig_.begin(), orig_.end(), 0u);
+  std::stable_sort(orig_.begin(), orig_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return drops[a] > drops[b];
+                   });
+
+  // Transpose into dimension-major columns in sorted order.
+  soa_.resize(size_ * dims_);
+  max_coord_.assign(dims_, 0);
+  for (std::size_t pos = 0; pos < size_; ++pos) {
+    const std::size_t row = orig_[pos];
+    for (std::size_t j = 0; j < dims_; ++j) {
+      const std::int64_t x = rows[row * dims_ + j];
+      soa_[j * size_ + pos] = x;
+      max_coord_[j] = std::max(max_coord_[j], x);
+    }
+  }
+
+  // begin_at_drop_[l]: first sorted position whose drop is <= l — i.e. the
+  // number of rows with drop > l, since positions are sorted descending.
+  std::vector<std::size_t> rows_with_drop(
+      static_cast<std::size_t>(max_drop_) + 1, 0);
+  for (std::size_t i = 0; i < size_; ++i)
+    ++rows_with_drop[static_cast<std::size_t>(drops[i])];
+  begin_at_drop_.assign(static_cast<std::size_t>(max_drop_) + 1, 0);
+  for (std::size_t l = static_cast<std::size_t>(max_drop_); l-- > 0;)
+    begin_at_drop_[l] = begin_at_drop_[l + 1] + rows_with_drop[l + 1];
+}
+
+}  // namespace pcmax::dp

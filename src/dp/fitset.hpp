@@ -1,0 +1,92 @@
+// The shared dependency-stencil kernel: a set of non-negative coordinate
+// rows (machine configurations for the PTAS DP, item weight vectors for the
+// knapsack DP) stored in a structure-of-arrays hot layout, with the
+// componentwise fits test (s <= v) every DP engine's inner loop spends its
+// time in. One implementation serves all engines so the differential fuzzer
+// cross-checks the optimized path everywhere at once.
+//
+// Three structural optimizations, all exact:
+//  * rows are sorted by descending level drop (sum of coordinates) and
+//    bucketed by drop, so a cell at anti-diagonal level l only scans rows
+//    with drop <= l — rows that remove more jobs than the cell holds can
+//    never fit and are skipped without a comparison;
+//  * a per-dimension maximum-coordinate prefilter: dimensions where the
+//    cell's coordinate already reaches the set-wide maximum cannot reject
+//    any row, so the inner fits test only touches the remaining dimensions;
+//  * the fits test itself is branchless (an AND-accumulated comparison over
+//    the SoA columns), trading unpredictable per-dimension branches for
+//    straight-line compares.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pcmax::dp {
+
+class FitSet {
+ public:
+  FitSet() = default;
+
+  /// `rows` holds `size` rows of `dims` coordinates each, flattened
+  /// row-major in the caller's original order; every coordinate must be
+  /// >= 0. for_each_fitting reports rows by their original index, so
+  /// callers keep addressing their own row-indexed data.
+  FitSet(std::span<const std::int64_t> rows, std::size_t dims);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+
+  /// Largest level drop (row coordinate sum) over the set; 0 when empty.
+  [[nodiscard]] std::int64_t max_drop() const noexcept { return max_drop_; }
+
+  /// Maximum coordinate of any row in dimension j.
+  [[nodiscard]] std::int64_t max_coord(std::size_t j) const noexcept {
+    return max_coord_[j];
+  }
+
+  /// Visits every row s with s <= v componentwise, in descending-level-drop
+  /// order, calling fn(original_row_index); fn returns true to continue or
+  /// false to stop the scan. `level` must be the coordinate sum of `v` (the
+  /// cell's anti-diagonal level); rows with drop > level are skipped
+  /// wholesale. dims() must be <= 64.
+  template <typename Fn>
+  void for_each_fitting(std::span<const std::int64_t> v, std::int64_t level,
+                        Fn&& fn) const {
+    if (size_ == 0 || level <= 0) return;
+    // Prefilter: only dimensions whose cell coordinate is below the
+    // set-wide maximum can reject a row.
+    const std::int64_t* cols[64];
+    std::int64_t caps[64];
+    std::size_t checked = 0;
+    for (std::size_t j = 0; j < dims_; ++j) {
+      if (v[j] < max_coord_[j]) {
+        cols[checked] = soa_.data() + j * size_;
+        caps[checked] = v[j];
+        ++checked;
+      }
+    }
+    const std::size_t begin =
+        level >= max_drop_
+            ? 0
+            : begin_at_drop_[static_cast<std::size_t>(level)];
+    for (std::size_t i = begin; i < size_; ++i) {
+      std::uint64_t ok = 1;
+      for (std::size_t t = 0; t < checked; ++t)
+        ok &= static_cast<std::uint64_t>(cols[t][i] <= caps[t]);
+      if (ok == 0) continue;
+      if (!fn(static_cast<std::size_t>(orig_[i]))) return;
+    }
+  }
+
+ private:
+  std::size_t dims_ = 0;
+  std::size_t size_ = 0;
+  std::vector<std::int64_t> soa_;        // dims_ columns of size_ entries
+  std::vector<std::uint32_t> orig_;      // sorted position -> original row
+  std::vector<std::size_t> begin_at_drop_;  // first position with drop <= l
+  std::vector<std::int64_t> max_coord_;  // per dimension
+  std::int64_t max_drop_ = 0;
+};
+
+}  // namespace pcmax::dp

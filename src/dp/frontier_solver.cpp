@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dp/config.hpp"
+#include "dp/solver.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax::dp {
@@ -23,9 +24,7 @@ FrontierResult solve_frontier(const DpProblem& problem,
     result.table.assign(radix.size(), kInfeasible);
 
   // Window: the largest number of jobs any configuration removes.
-  std::int64_t window = 0;
-  for (std::size_t c = 0; c < configs.size(); ++c)
-    window = std::max(window, configs.level_drop(c));
+  const std::int64_t window = configs.max_level_drop();
   result.window = window;
   if (window == 0) {
     // No configurations at all: OPT is 0 only for the empty count vector.
@@ -51,6 +50,12 @@ FrontierResult solve_frontier(const DpProblem& problem,
   std::int64_t coords[64];
   std::span<std::int64_t> v(coords, radix.dims());
 
+  // Per-configuration cursor into the dependency's level bucket. Cells
+  // within a level ascend by id, so sub_id = id - delta(c) ascends per
+  // configuration and the cursor only ever moves forward within a level —
+  // an amortized O(|bucket|) replacement for per-dependency binary search.
+  std::vector<std::size_t> cursor(configs.size(), 0);
+
   for (std::int64_t level = 0; level < buckets.levels(); ++level) {
     const auto cells = buckets.cells_at(level);
     const auto slot = static_cast<std::size_t>(level % static_cast<std::int64_t>(slots));
@@ -62,6 +67,8 @@ FrontierResult solve_frontier(const DpProblem& problem,
     result.peak_resident_cells = std::max(result.peak_resident_cells,
                                           resident);
 
+    std::fill(cursor.begin(), cursor.end(), 0);
+    const std::int32_t floor_best = level_floor_best(level, window);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       const std::uint64_t id = cells[i];
       if (id == 0) {
@@ -70,18 +77,17 @@ FrontierResult solve_frontier(const DpProblem& problem,
       }
       radix.unflatten(id, v);
       std::int32_t best = kInfeasible;
-      for (std::size_t c = 0; c < configs.size(); ++c) {
-        if (!configs.fits(c, v)) continue;
+      configs.for_each_fitting(v, level, [&](std::size_t c) {
         const std::uint64_t sub_id = id - configs.delta(c);
         const std::int64_t sub_level = level - configs.level_drop(c);
         const auto sub_cells = buckets.cells_at(sub_level);
-        const auto it = std::lower_bound(sub_cells.begin(), sub_cells.end(),
-                                         sub_id);
-        PCMAX_ENSURES(it != sub_cells.end() && *it == sub_id);
-        const auto pos = static_cast<std::size_t>(it - sub_cells.begin());
-        const std::int32_t sub = values_of(sub_level)[pos];
+        std::size_t& cur = cursor[c];
+        while (cur < sub_cells.size() && sub_cells[cur] < sub_id) ++cur;
+        PCMAX_ENSURES(cur < sub_cells.size() && sub_cells[cur] == sub_id);
+        const std::int32_t sub = values_of(sub_level)[cur];
         if (sub < best) best = sub;
-      }
+        return best > floor_best;
+      });
       ring[slot][i] = best == kInfeasible ? kInfeasible : best + 1;
     }
     if (options.keep_table)

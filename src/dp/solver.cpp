@@ -38,17 +38,22 @@ int resolve_threads(const SolveOptions& options) {
 }  // namespace
 
 std::int32_t solve_cell(const ConfigSet& configs,
-                        std::span<const std::int64_t> v, std::uint64_t id,
+                        std::span<const std::int64_t> v, std::int64_t level,
+                        std::uint64_t id,
                         std::span<const std::int32_t> table,
                         std::uint32_t* dep_count) noexcept {
   std::int32_t best = kInfeasible;
   std::uint32_t deps = 0;
-  for (std::size_t c = 0; c < configs.size(); ++c) {
-    if (!configs.fits(c, v)) continue;
-    ++deps;
-    const std::int32_t sub = table[id - configs.delta(c)];
-    if (sub < best) best = sub;
-  }
+  const bool exact_deps = dep_count != nullptr;
+  const std::int32_t floor_best =
+      level_floor_best(level, configs.max_level_drop());
+  configs.for_each_fitting(
+      v, level, [&](std::size_t c) noexcept {
+        ++deps;
+        const std::int32_t sub = table[id - configs.delta(c)];
+        if (sub < best) best = sub;
+        return exact_deps || best > floor_best;
+      });
   if (dep_count != nullptr) *dep_count = deps;
   return best == kInfeasible ? kInfeasible : best + 1;
 }
@@ -64,7 +69,7 @@ DpResult ReferenceSolver::solve(const DpProblem& problem,
       std::uint32_t* deps =
           options.collect_deps ? &ctx.result.deps[id] : nullptr;
       ctx.result.table[id] =
-          solve_cell(ctx.configs, v, id, ctx.result.table, deps);
+          solve_cell(ctx.configs, v, level, id, ctx.result.table, deps);
     }
   }
   if (options.collect_deps && !ctx.result.deps.empty()) {
@@ -100,7 +105,7 @@ DpResult LevelScanSolver::solve(const DpProblem& problem,
       std::uint32_t* deps =
           options.collect_deps ? &ctx.result.deps[id] : nullptr;
       ctx.result.table[id] =
-          solve_cell(ctx.configs, v, id, ctx.result.table, deps);
+          solve_cell(ctx.configs, v, level, id, ctx.result.table, deps);
     }
   }
   ctx.finish();
@@ -125,7 +130,7 @@ DpResult LevelBucketSolver::solve(const DpProblem& problem,
       std::uint32_t* deps =
           options.collect_deps ? &ctx.result.deps[id] : nullptr;
       ctx.result.table[id] =
-          solve_cell(ctx.configs, v, id, ctx.result.table, deps);
+          solve_cell(ctx.configs, v, level, id, ctx.result.table, deps);
     }
   }
   ctx.finish();

@@ -91,11 +91,26 @@ class LevelBucketSolver final : public DpSolver {
 
 /// Computes one cell's OPT given the already-filled prefix of the table.
 /// Shared by every solver so they cannot diverge on the recurrence itself.
+/// `level` must be the cell's anti-diagonal level (coordinate sum of `v`).
 /// Returns the OPT value for the cell and (optionally) counts dependencies.
+/// When dep_count is null the scan stops early once the cell provably
+/// reached its level lower bound ceil(level / max_level_drop); with
+/// dep_count set every fitting configuration is visited so |C_v| is exact.
 [[nodiscard]] std::int32_t solve_cell(const ConfigSet& configs,
                                       std::span<const std::int64_t> v,
-                                      std::uint64_t id,
+                                      std::int64_t level, std::uint64_t id,
                                       std::span<const std::int32_t> table,
                                       std::uint32_t* dep_count) noexcept;
+
+/// The smallest value `best` (the minimum over sub-configuration OPTs) can
+/// take for a cell at `level`: every machine removes at most max_drop jobs,
+/// so the cell's final value best + 1 is at least ceil(level / max_drop).
+/// Exposed for the engines that run their own reduction loop over
+/// ConfigSet::for_each_fitting (blocked, frontier, executable GPU).
+[[nodiscard]] constexpr std::int32_t level_floor_best(
+    std::int64_t level, std::int64_t max_drop) noexcept {
+  if (max_drop <= 0) return kInfeasible;
+  return static_cast<std::int32_t>((level + max_drop - 1) / max_drop) - 1;
+}
 
 }  // namespace pcmax::dp

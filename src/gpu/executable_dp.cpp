@@ -188,6 +188,20 @@ ExecutableReport run_executable_dp(const dp::DpProblem& problem,
                   if (val < best) best = val;
                 });
           }
+          // Cross-check the simulated SetOPT reduction against the shared
+          // SoA fits kernel every other engine routes through: both must
+          // reach the same minimum over the cell's dependencies.
+          std::int32_t kernel_best = dp::kInfeasible;
+          std::int64_t cell_level = 0;
+          for (std::size_t j = 0; j < dims; ++j) cell_level += cell[j];
+          configs.for_each_fitting(cell, cell_level, [&](std::size_t ci) {
+            const auto s = configs.config(ci);
+            for (std::size_t j = 0; j < dims; ++j) sub[j] = cell[j] - s[j];
+            const std::int32_t val = blocked[layout.blocked_offset(sub)];
+            if (val < kernel_best) kernel_best = val;
+            return true;
+          });
+          PCMAX_ENSURES(kernel_best == best);
           blocked[b] = best == dp::kInfeasible ? dp::kInfeasible : best + 1;
 
           totals.cells += 1;

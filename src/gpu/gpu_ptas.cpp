@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/bounds.hpp"
+#include "core/probe_cache.hpp"
 #include "core/rounding.hpp"
 #include "core/search.hpp"
 
@@ -30,6 +31,8 @@ GpuPtasResult solve_sequential(const Instance& instance,
   ptas_options.strategy = SearchStrategy::kQuarterSplit;
   ptas_options.segments = options.segments;
   ptas_options.build_schedule = options.build_schedule;
+  ptas_options.use_probe_cache = options.use_probe_cache;
+  ptas_options.probe_cache = options.probe_cache;
 
   GpuPtasResult result;
   const util::SimTime start = device.now();
@@ -54,10 +57,19 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
   const std::int64_t ub = makespan_upper_bound(instance);
 
   GpuPtasResult result;
+  ProbeCache local_cache;
+  ProbeCache* cache = nullptr;
+  if (options.use_probe_cache)
+    cache = options.probe_cache != nullptr ? options.probe_cache
+                                           : &local_cache;
+  const ProbeCacheStats stats_before =
+      cache != nullptr ? cache->stats() : ProbeCacheStats{};
+  MonotoneBounds bounds;
   const util::SimTime start = device.now();
 
   // Each round's probes run on scratch devices (their own Hyper-Q stream
   // groups); the round costs its slowest probe on the caller's device.
+  // Cache-answered probes skip the scratch solve and charge no time.
   const BatchFeasibilityOracle oracle =
       [&](std::span<const std::int64_t> targets) {
         std::vector<bool> feasible;
@@ -69,27 +81,49 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
             continue;
           }
           std::int32_t opt = 0;
+          bool cached = false;
           if (!rounded.class_index.empty()) {
-            gpusim::Device scratch(device.spec());
-            const GpuDpSolver solver(scratch, options.partition_dims,
-                                     options.streams_per_probe);
-            opt = solver.solve(to_dp_problem(rounded)).opt;
-            round_time = std::max(round_time, solver.last_solve_time());
-            accumulate(result.stats, scratch.stats());
+            ProbeKey key;
+            if (cache != nullptr) {
+              key = probe_key_for(rounded);
+              if (const auto hit = cache->lookup(key)) {
+                opt = *hit;
+                cached = true;
+              }
+            }
+            if (!cached) {
+              gpusim::Device scratch(device.spec());
+              const GpuDpSolver solver(scratch, options.partition_dims,
+                                       options.streams_per_probe);
+              opt = solver.solve(to_dp_problem(rounded)).opt;
+              round_time = std::max(round_time, solver.last_solve_time());
+              accumulate(result.stats, scratch.stats());
+              if (cache != nullptr) cache->insert(key, opt);
+            }
           }
           result.ptas.dp_calls.push_back(DpInvocation{
               target, rounded.table_size(), rounded.nonzero_dims(),
-              rounded.long_jobs(), opt});
+              rounded.long_jobs(), opt, cached});
           feasible.push_back(opt <= instance.machines);
         }
         device.advance(round_time);
         return feasible;
       };
 
-  const SearchResult search =
-      quarter_split_search_batch(lb, ub, oracle, options.segments);
+  const SearchResult search = quarter_split_search_batch(
+      lb, ub, oracle, options.segments, cache != nullptr ? &bounds : nullptr);
   result.ptas.best_target = search.best_target;
   result.ptas.search_iterations = search.iterations;
+  if (cache != nullptr) {
+    const ProbeCacheStats& now = cache->stats();
+    result.ptas.cache_stats.lookups = now.lookups - stats_before.lookups;
+    result.ptas.cache_stats.hits = now.hits - stats_before.hits;
+    result.ptas.cache_stats.insertions =
+        now.insertions - stats_before.insertions;
+    result.ptas.cache_stats.evictions =
+        now.evictions - stats_before.evictions;
+    result.ptas.cache_stats.bound_skips = search.bound_skips;
+  }
 
   if (options.build_schedule) {
     // Reconstruction runs once, on the caller's device.

@@ -33,6 +33,13 @@ struct GpuPtasOptions {
   int segments = 4;
   ProbeOverlap probe_overlap = ProbeOverlap::kSequential;
   bool build_schedule = true;
+  /// Probe-level DP solve cache (core/probe_cache.hpp). Cache-answered
+  /// probes skip their scratch-device solve entirely, so they cost no
+  /// simulated device time.
+  bool use_probe_cache = false;
+  /// Optional externally owned cache shared across runs; a private one is
+  /// used when null and use_probe_cache is set.
+  ProbeCache* probe_cache = nullptr;
 };
 
 struct GpuPtasResult {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "dp/fitset.hpp"
 #include "partition/blocked_layout.hpp"
 #include "partition/divisor.hpp"
 #include "util/checked_math.hpp"
@@ -13,24 +14,32 @@ namespace pcmax::knapsack {
 
 namespace {
 
+/// The item catalogue's weight vectors as a FitSet, so the knapsack DP's
+/// inner loop shares the SoA fits kernel with the scheduling DP engines.
+dp::FitSet item_fitset(const KnapsackProblem& problem, std::size_t dims) {
+  std::vector<std::int64_t> rows;
+  rows.reserve(problem.items.size() * dims);
+  for (const auto& item : problem.items)
+    rows.insert(rows.end(), item.weights.begin(), item.weights.end());
+  return dp::FitSet(rows, dims);
+}
+
 /// Computes one cell from already-filled predecessors, addressed through
 /// `lookup` (row-major for the reference solver, blocked for the blocked
-/// solver). Returns the cell's value.
+/// solver). Returns the cell's value. The max-reduction has no usable lower
+/// bound, so every fitting item is visited (no early exit).
 template <typename Lookup>
 std::int64_t solve_cell(const KnapsackProblem& problem,
+                        const dp::FitSet& fits,
                         std::span<const std::int64_t> c, Lookup&& lookup) {
   std::int64_t best = 0;  // taking nothing is always allowed
-  for (const auto& item : problem.items) {
-    bool fits = true;
-    for (std::size_t i = 0; i < c.size(); ++i) {
-      if (item.weights[i] > c[i]) {
-        fits = false;
-        break;
-      }
-    }
-    if (!fits) continue;
+  std::int64_t level = 0;
+  for (const auto x : c) level += x;
+  fits.for_each_fitting(c, level, [&](std::size_t i) {
+    const Item& item = problem.items[i];
     best = std::max(best, lookup(c, item) + item.value);
-  }
+    return true;
+  });
   return best;
 }
 
@@ -44,6 +53,7 @@ KnapsackResult solve_reference(const KnapsackProblem& problem) {
 
   KnapsackResult result;
   result.table.assign(radix.size(), 0);
+  const dp::FitSet fits = item_fitset(problem, radix.dims());
 
   std::int64_t coords[64];
   std::span<std::int64_t> c(coords, radix.dims());
@@ -61,7 +71,7 @@ KnapsackResult solve_reference(const KnapsackProblem& problem) {
   for (std::int64_t level = 1; level < buckets.levels(); ++level) {
     for (const auto id : buckets.cells_at(level)) {
       radix.unflatten(id, c);
-      result.table[id] = solve_cell(problem, c, lookup);
+      result.table[id] = solve_cell(problem, fits, c, lookup);
     }
   }
   result.best = result.table.back();
@@ -80,6 +90,7 @@ KnapsackResult solve_blocked(const KnapsackProblem& problem,
   const dp::LevelBuckets in_block_buckets(layout.block());
 
   std::vector<std::int64_t> blocked(radix.size(), 0);
+  const dp::FitSet fits = item_fitset(problem, radix.dims());
   const int threads =
       num_threads > 0 ? num_threads : omp_get_max_threads();
 
@@ -104,7 +115,8 @@ KnapsackResult solve_blocked(const KnapsackProblem& problem,
         for (std::size_t i = 0; i < dims; ++i)
           cell[i] = bcoords[i] * bs[i] + lcoords[i];
         blocked[base + local_id] = solve_cell(
-            problem, std::span<const std::int64_t>(cell, dims), lookup);
+            problem, fits, std::span<const std::int64_t>(cell, dims),
+            lookup);
       }
     }
   };

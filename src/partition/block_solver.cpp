@@ -54,19 +54,26 @@ class BlockWorker {
           candidates *= static_cast<std::uint64_t>(cell[i]) + 1;
         }
         const std::span<const std::int64_t> v(cell, dims);
+        std::int64_t level = 0;
+        for (std::size_t i = 0; i < dims; ++i) level += cell[i];
 
         std::uint32_t dep_count = 0;
         std::int32_t best = dp::kInfeasible;
         if (base + local_id != 0) {  // origin is pinned to 0
-          for (std::size_t c = 0; c < configs_.size(); ++c) {
-            if (!configs_.fits(c, v)) continue;
+          // Dependency counts feed the deps table and the observer's cost
+          // model, so the early exit is only legal when neither is active.
+          const bool exact = !deps_row_major_.empty() || observer_ != nullptr;
+          const std::int32_t floor_best =
+              dp::level_floor_best(level, configs_.max_level_drop());
+          configs_.for_each_fitting(v, level, [&](std::size_t c) {
             ++dep_count;
             const auto s = configs_.config(c);
             for (std::size_t i = 0; i < dims; ++i) sub[i] = cell[i] - s[i];
             const std::int32_t val = blocked_table_[layout_.blocked_offset(
                 std::span<const std::int64_t>(sub, dims))];
             if (val < best) best = val;
-          }
+            return exact || best > floor_best;
+          });
           blocked_table_[base + local_id] =
               best == dp::kInfeasible ? dp::kInfeasible : best + 1;
         }

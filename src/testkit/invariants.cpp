@@ -194,6 +194,27 @@ CheckResult check_blocked_bijection(const partition::BlockedLayout& layout) {
   return std::nullopt;
 }
 
+CheckResult check_ptas_cache_equivalence(const PtasResult& cached,
+                                         const PtasResult& uncached,
+                                         bool require_same_iterations) {
+  if (cached.best_target != uncached.best_target)
+    return "probe cache changed the best target: " +
+           std::to_string(cached.best_target) + " (cached) vs " +
+           std::to_string(uncached.best_target) + " (uncached)";
+  if (cached.achieved_makespan != uncached.achieved_makespan)
+    return "probe cache changed the makespan: " +
+           std::to_string(cached.achieved_makespan) + " (cached) vs " +
+           std::to_string(uncached.achieved_makespan) + " (uncached)";
+  if (cached.schedule.assignment != uncached.schedule.assignment)
+    return "probe cache changed the schedule assignment";
+  if (require_same_iterations &&
+      cached.search_iterations != uncached.search_iterations)
+    return "cold probe cache changed the search rounds: " +
+           std::to_string(cached.search_iterations) + " (cached) vs " +
+           std::to_string(uncached.search_iterations) + " (uncached)";
+  return std::nullopt;
+}
+
 CheckResult check_device_conservation(const gpusim::Device& device) {
   const auto now = device.now();
   std::map<int, util::SimTime> busy;

@@ -63,6 +63,16 @@ using CheckResult = std::optional<std::string>;
 [[nodiscard]] CheckResult check_blocked_bijection(
     const partition::BlockedLayout& layout);
 
+/// The probe cache is semantically invisible: a cached PTAS run returns the
+/// same best target, achieved makespan, and schedule as an uncached run of
+/// the same instance/solver/strategy. A cold-cache run replays the uncached
+/// search trajectory exactly, so `require_same_iterations` additionally
+/// demands equal round counts; pass false for runs against a warm shared
+/// cache, where skipped rounds are legitimate.
+[[nodiscard]] CheckResult check_ptas_cache_equivalence(
+    const PtasResult& cached, const PtasResult& uncached,
+    bool require_same_iterations);
+
 /// Simulated-device conservation laws over the kernel log: every kernel's
 /// finish >= start, nothing finishes after the device clock, per-stream
 /// FIFO (kernels on one stream never overlap), and the device clock is at

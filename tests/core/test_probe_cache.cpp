@@ -1,0 +1,177 @@
+#include "core/probe_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <unordered_map>
+
+#include "core/bounds.hpp"
+#include "core/ptas.hpp"
+#include "core/rounding.hpp"
+#include "util/contracts.hpp"
+#include "workload/generators.hpp"
+
+namespace pcmax {
+namespace {
+
+ProbeKey key_n(std::int64_t n) { return ProbeKey{{n}, {1}, 4}; }
+
+std::uint64_t cells_evaluated(const PtasResult& result) {
+  std::uint64_t cells = 0;
+  for (const DpInvocation& call : result.dp_calls)
+    if (!call.cached && call.nonzero_dims > 0) cells += call.table_size;
+  return cells;
+}
+
+TEST(ProbeKey, DistinctTargetsCollapseToSharedKeys) {
+  // The class index floor(t * k^2 / T) is a step function of T, so sweeping
+  // targets over [LB, UB] must produce far fewer distinct keys than targets.
+  const Instance inst = workload::uniform_instance(60, 8, 1, 1000, 1);
+  const std::int64_t k = 4;
+  const auto lb = makespan_lower_bound(inst);
+  const auto ub = makespan_upper_bound(inst);
+  std::unordered_map<ProbeKey, std::int64_t, ProbeKeyHash> first_target;
+  std::size_t keyed_targets = 0, collisions = 0;
+  for (std::int64_t t = lb; t <= ub; ++t) {
+    const auto rounded = round_instance(inst, t, k);
+    if (!rounded.feasible || rounded.class_index.empty()) continue;
+    ++keyed_targets;
+    const auto [it, inserted] = first_target.emplace(probe_key_for(rounded), t);
+    if (!inserted) {
+      ++collisions;
+      EXPECT_NE(it->second, t);
+    }
+  }
+  EXPECT_GT(keyed_targets, 0u);
+  EXPECT_GT(collisions, 0u);
+}
+
+TEST(ProbeKey, EqualityAndHashAgree) {
+  const ProbeKey a{{1, 2}, {4, 5}, 16};
+  const ProbeKey b{{1, 2}, {4, 5}, 16};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ProbeKeyHash{}(a), ProbeKeyHash{}(b));
+  ProbeKey c = a;
+  c.capacity = 17;
+  EXPECT_NE(a, c);
+}
+
+TEST(ProbeKey, RequiresFeasibleRoundingWithLongJobs) {
+  RoundedInstance rounded;
+  rounded.feasible = false;
+  EXPECT_THROW((void)probe_key_for(rounded), util::contract_violation);
+  rounded.feasible = true;  // still no classes
+  EXPECT_THROW((void)probe_key_for(rounded), util::contract_violation);
+}
+
+TEST(ProbeCache, CountsLookupsAndHits) {
+  ProbeCache cache;
+  EXPECT_FALSE(cache.lookup(key_n(1)).has_value());
+  cache.insert(key_n(1), 2);
+  EXPECT_EQ(cache.lookup(key_n(1)), std::optional<std::int32_t>(2));
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ProbeCache, InsertIsIdempotent) {
+  ProbeCache cache;
+  cache.insert(key_n(7), 3);
+  cache.insert(key_n(7), 3);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(ProbeCache, EvictsLeastRecentlyUsed) {
+  ProbeCache cache(2);
+  cache.insert(key_n(1), 1);
+  cache.insert(key_n(2), 2);
+  EXPECT_EQ(cache.size(), 2u);
+  // Refresh key 1, so key 2 is the LRU victim of the next insert.
+  EXPECT_TRUE(cache.lookup(key_n(1)).has_value());
+  cache.insert(key_n(3), 3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(key_n(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_n(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_n(3)).has_value());
+}
+
+TEST(ProbeCache, ClearDropsEntriesKeepsStats) {
+  ProbeCache cache;
+  cache.insert(key_n(1), 1);
+  (void)cache.lookup(key_n(1));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_FALSE(cache.lookup(key_n(1)).has_value());
+}
+
+TEST(MonotoneBounds, DecidesOnlyOutsideTheGap) {
+  MonotoneBounds bounds;
+  EXPECT_FALSE(bounds.decide(0).has_value());
+  bounds.note(10, false);
+  bounds.note(20, true);
+  EXPECT_EQ(bounds.decide(5), std::optional<bool>(false));
+  EXPECT_EQ(bounds.decide(10), std::optional<bool>(false));
+  EXPECT_FALSE(bounds.decide(15).has_value());
+  EXPECT_EQ(bounds.decide(20), std::optional<bool>(true));
+  EXPECT_EQ(bounds.decide(25), std::optional<bool>(true));
+}
+
+TEST(MonotoneBounds, ContradictoryNotesNeverCross) {
+  MonotoneBounds bounds;
+  bounds.note(10, false);
+  bounds.note(20, true);
+  // Verdicts that would cross the recorded bounds are ignored.
+  bounds.note(25, false);
+  bounds.note(5, true);
+  EXPECT_EQ(bounds.highest_infeasible(), 10);
+  EXPECT_EQ(bounds.lowest_feasible(), 20);
+}
+
+class ProbeCachePtas : public ::testing::TestWithParam<SearchStrategy> {};
+
+TEST_P(ProbeCachePtas, CachedRunMatchesUncachedAndSolvesLess) {
+  const Instance inst = workload::uniform_instance(60, 8, 1, 1000, 1);
+  const dp::LevelBucketSolver solver;
+  PtasOptions options;
+  options.strategy = GetParam();
+  const PtasResult base = solve_ptas(inst, solver, options);
+
+  options.use_probe_cache = true;
+  const PtasResult cached = solve_ptas(inst, solver, options);
+  EXPECT_EQ(cached.best_target, base.best_target);
+  EXPECT_EQ(cached.achieved_makespan, base.achieved_makespan);
+  EXPECT_EQ(cached.schedule.assignment, base.schedule.assignment);
+  // Hits happen inside the oracle, so the search trajectory is identical.
+  EXPECT_EQ(cached.search_iterations, base.search_iterations);
+  EXPECT_GT(cached.cache_stats.hits, 0u);
+  EXPECT_LT(cells_evaluated(cached), cells_evaluated(base));
+}
+
+TEST_P(ProbeCachePtas, SharedCacheWarmsAcrossRuns) {
+  const Instance inst = workload::uniform_instance(60, 8, 1, 1000, 1);
+  const dp::LevelBucketSolver solver;
+  ProbeCache shared;
+  PtasOptions options;
+  options.strategy = GetParam();
+  options.use_probe_cache = true;
+  options.probe_cache = &shared;
+  const PtasResult first = solve_ptas(inst, solver, options);
+  const PtasResult second = solve_ptas(inst, solver, options);
+  EXPECT_EQ(second.best_target, first.best_target);
+  EXPECT_EQ(second.achieved_makespan, first.achieved_makespan);
+  EXPECT_EQ(second.schedule.assignment, first.schedule.assignment);
+  // Every search probe of the second run finds its key resident.
+  EXPECT_GT(second.cache_stats.hits, first.cache_stats.hits);
+  EXPECT_LT(cells_evaluated(second), cells_evaluated(first));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, ProbeCachePtas,
+                         ::testing::Values(SearchStrategy::kBisection,
+                                           SearchStrategy::kQuarterSplit));
+
+}  // namespace
+}  // namespace pcmax

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/probe_cache.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax {
@@ -102,6 +103,86 @@ TEST(QuarterSplit, RejectsInvalidArguments) {
                util::contract_violation);
   EXPECT_THROW((void)quarter_split_search(0, 5, FeasibilityOracle{}),
                util::contract_violation);
+}
+
+BatchFeasibilityOracle batch_oracle(std::function<bool(std::int64_t)> f,
+                                    std::size_t* probe_count = nullptr) {
+  return [f = std::move(f),
+          probe_count](std::span<const std::int64_t> targets) {
+    std::vector<bool> feasible;
+    for (const auto t : targets) {
+      if (probe_count != nullptr) ++*probe_count;
+      feasible.push_back(f(t));
+    }
+    return feasible;
+  };
+}
+
+TEST(MonotoneBoundsSearch, FullyWarmedBoundsSkipEveryProbe) {
+  MonotoneBounds bounds;
+  bounds.note(49, false);
+  bounds.note(50, true);
+  std::size_t probes = 0;
+  const auto b = bisection_search(0, 100, threshold_oracle(50, &probes),
+                                  &bounds);
+  EXPECT_EQ(b.best_target, 50);
+  EXPECT_EQ(probes, 0u);
+  EXPECT_EQ(b.iterations, 0u);
+  EXPECT_TRUE(b.probes.empty());
+  EXPECT_GT(b.bound_skips, 0u);
+  const auto q = quarter_split_search(0, 100, threshold_oracle(50, &probes),
+                                      4, &bounds);
+  EXPECT_EQ(q.best_target, 50);
+  EXPECT_EQ(probes, 0u);
+  EXPECT_EQ(q.iterations, 0u);
+  EXPECT_GT(q.bound_skips, 0u);
+}
+
+TEST(MonotoneBoundsSearch, PartiallyWarmedBoundsReduceOracleTraffic) {
+  std::size_t cold_probes = 0;
+  const auto cold =
+      bisection_search(0, 100, threshold_oracle(50, &cold_probes));
+  MonotoneBounds bounds;
+  bounds.note(30, false);  // every probe <= 30 is decided for free
+  std::size_t warm_probes = 0;
+  const auto warm = bisection_search(0, 100, threshold_oracle(50, &warm_probes),
+                                     &bounds);
+  EXPECT_EQ(warm.best_target, cold.best_target);
+  EXPECT_LT(warm_probes, cold_probes);
+  EXPECT_GT(warm.bound_skips, 0u);
+  EXPECT_EQ(warm_probes + warm.bound_skips, cold_probes);
+}
+
+TEST(MonotoneBoundsSearch, SearchRecordsVerdictsIntoBounds) {
+  MonotoneBounds bounds;
+  const auto r = bisection_search(0, 100, threshold_oracle(50), &bounds);
+  EXPECT_EQ(r.best_target, 50);
+  EXPECT_EQ(bounds.highest_infeasible(), 49);
+  EXPECT_EQ(bounds.lowest_feasible(), 50);
+}
+
+TEST(QuarterSplitBatch, MonotoneOracleHasNoViolations) {
+  const auto r = quarter_split_search_batch(
+      0, 100'000, batch_oracle([](std::int64_t t) { return t >= 31'415; }));
+  EXPECT_EQ(r.best_target, 31'415);
+  EXPECT_EQ(r.monotonicity_violations, 0u);
+}
+
+TEST(QuarterSplitBatch, NonMonotoneOracleFallsBackToBisection) {
+  // On [0, 800] the first round probes 100, 300, 500, 700; this oracle
+  // answers T,F,F,T — a feasible probe below an infeasible one. The search
+  // must flag the violation and still terminate on a target consistent with
+  // the verdicts it saw (100 feasible, nothing below it feasible).
+  const auto weird = [](std::int64_t t) { return t == 100 || t >= 700; };
+  std::size_t probes = 0;
+  const auto r =
+      quarter_split_search_batch(0, 800, batch_oracle(weird, &probes));
+  EXPECT_EQ(r.best_target, 100);
+  EXPECT_EQ(r.monotonicity_violations, 1u);
+  EXPECT_EQ(r.probes.size(), probes);
+  // The fallback is plain bisection: at most ceil(log2) single-probe rounds
+  // after the violating one.
+  EXPECT_LE(r.iterations, 1u + 8u);
 }
 
 class SearchAgreement

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <set>
 #include <vector>
@@ -117,6 +118,71 @@ TEST(ConfigSet, FitsFiltersComponentwise) {
       EXPECT_EQ(cs.config(i)[1], 0);
     }
   EXPECT_EQ(fitting, 1u);  // only s = (1, 0)
+}
+
+TEST(ConfigSet, ForEachFittingMatchesFitsExactly) {
+  const std::vector<std::int64_t> counts{3, 2, 4};
+  const std::vector<std::int64_t> weights{2, 3, 1};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 7, radix);
+  // Every cell of the table: the SoA kernel must visit exactly the configs
+  // the AoS fits() predicate accepts, each once.
+  for (std::uint64_t id = 0; id < radix.size(); ++id) {
+    const auto v = radix.unflatten(id);
+    const auto level = std::accumulate(v.begin(), v.end(), std::int64_t{0});
+    std::set<std::size_t> expected;
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      if (cs.fits(i, v)) expected.insert(i);
+    std::set<std::size_t> visited;
+    cs.for_each_fitting(v, level, [&](std::size_t c) {
+      EXPECT_TRUE(visited.insert(c).second) << "config visited twice";
+      return true;
+    });
+    EXPECT_EQ(visited, expected) << "cell " << id;
+  }
+}
+
+TEST(ConfigSet, ForEachFittingDescendsByLevelDrop) {
+  const std::vector<std::int64_t> counts{3, 3, 3};
+  const std::vector<std::int64_t> weights{4, 5, 7};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 16, radix);
+  const std::vector<std::int64_t> v = counts;  // top cell: everything fits
+  const auto level = std::accumulate(v.begin(), v.end(), std::int64_t{0});
+  std::int64_t prev = cs.max_level_drop();
+  std::size_t visits = 0;
+  cs.for_each_fitting(v, level, [&](std::size_t c) {
+    EXPECT_LE(cs.level_drop(c), prev);
+    prev = cs.level_drop(c);
+    ++visits;
+    return true;
+  });
+  EXPECT_EQ(visits, cs.size());
+}
+
+TEST(ConfigSet, ForEachFittingStopsWhenToldTo) {
+  const std::vector<std::int64_t> counts{3, 3};
+  const std::vector<std::int64_t> weights{1, 1};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 6, radix);
+  std::size_t visits = 0;
+  cs.for_each_fitting(counts, 6, [&](std::size_t) {
+    ++visits;
+    return false;
+  });
+  EXPECT_EQ(visits, 1u);
+}
+
+TEST(ConfigSet, MaxLevelDropIsTheLargestConfig) {
+  const std::vector<std::int64_t> counts{5, 5};
+  const std::vector<std::int64_t> weights{4, 7};
+  const auto radix = radix_for(counts);
+  const ConfigSet cs(counts, weights, 16, radix);
+  std::int64_t expected = 0;
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    expected = std::max(expected, cs.level_drop(i));
+  EXPECT_EQ(cs.max_level_drop(), expected);
+  EXPECT_GT(expected, 0);
 }
 
 TEST(ConfigSet, CapacityZeroGivesEmptySet) {

@@ -97,8 +97,9 @@ enum class Mode : int {
   kPtasCertificate = 1,
   kLayoutBijection = 2,
   kSimulator = 3,
+  kPtasCache = 4,
 };
-constexpr int kModeCount = 4;
+constexpr int kModeCount = 5;
 
 const char* mode_name(Mode mode) {
   switch (mode) {
@@ -106,6 +107,7 @@ const char* mode_name(Mode mode) {
     case Mode::kPtasCertificate: return "ptas-certificate";
     case Mode::kLayoutBijection: return "layout-bijection";
     case Mode::kSimulator: return "simulator";
+    case Mode::kPtasCache: return "ptas-cache";
   }
   return "?";
 }
@@ -162,14 +164,15 @@ class Fuzzer {
     // every engine and checker; afterwards the mix is random but biased
     // toward the differential core.
     Mode mode;
-    if (id.index < 12) {
+    if (id.index < 15) {
       mode = static_cast<Mode>(id.index % kModeCount);
     } else {
-      const auto roll = rng.uniform(0, 9);
-      mode = roll < 5   ? Mode::kDpDifferential
-             : roll < 8 ? Mode::kPtasCertificate
-             : roll < 9 ? Mode::kLayoutBijection
-                        : Mode::kSimulator;
+      const auto roll = rng.uniform(0, 11);
+      mode = roll < 5    ? Mode::kDpDifferential
+             : roll < 8  ? Mode::kPtasCertificate
+             : roll < 9  ? Mode::kLayoutBijection
+             : roll < 10 ? Mode::kSimulator
+                         : Mode::kPtasCache;
     }
     coverage_.cases++;
     coverage_.per_mode[mode_name(mode)]++;
@@ -178,6 +181,7 @@ class Fuzzer {
       case Mode::kPtasCertificate: return run_ptas_certificate(id, rng);
       case Mode::kLayoutBijection: return run_layout_bijection(id, rng);
       case Mode::kSimulator: return run_simulator(id, rng);
+      case Mode::kPtasCache: return run_ptas_cache(id, rng);
     }
     return std::nullopt;
   }
@@ -303,6 +307,85 @@ class Fuzzer {
     const auto shrunk = testkit::shrink_instance(
         instance, [&](const Instance& candidate) {
           return check_ptas_case(candidate, *solver, epsilon, strategy)
+              .has_value();
+        });
+    failure.reproducer = describe(shrunk);
+    return failure;
+  }
+
+  testkit::CheckResult check_ptas_cache_case(const Instance& instance,
+                                             const dp::DpSolver& solver,
+                                             double epsilon,
+                                             SearchStrategy strategy) {
+    PtasOptions options;
+    options.epsilon = epsilon;
+    options.strategy = strategy;
+    const auto k = k_for_epsilon(epsilon);
+    const PtasResult uncached = solve_ptas(instance, solver, options);
+
+    // Cold cache: the search trajectory must replay the uncached run exactly.
+    options.use_probe_cache = true;
+    const PtasResult cold = solve_ptas(instance, solver, options);
+    if (auto bad = testkit::check_ptas_cache_equivalence(
+            cold, uncached, /*require_same_iterations=*/true))
+      return "cold cache: " + *bad;
+    if (auto bad = testkit::check_ptas_result(instance, cold, k))
+      return "cold cache: " + *bad;
+
+    // Warm shared cache: the second run may answer probes (and skip rounds)
+    // from memory but must land on the same schedule.
+    ProbeCache shared;
+    options.probe_cache = &shared;
+    solve_ptas(instance, solver, options);
+    const PtasResult warm = solve_ptas(instance, solver, options);
+    if (auto bad = testkit::check_ptas_cache_equivalence(
+            warm, uncached, /*require_same_iterations=*/false))
+      return "warm cache: " + *bad;
+    if (auto bad = testkit::check_ptas_result(instance, warm, k))
+      return "warm cache: " + *bad;
+    return std::nullopt;
+  }
+
+  std::optional<Failure> run_ptas_cache(const testkit::CaseId& id,
+                                        util::Rng& rng) {
+    Instance instance;
+    const auto k_choice = rng.uniform(0, 3);
+    const double epsilon = k_choice == 0   ? 1.0
+                           : k_choice == 1 ? 0.5
+                           : k_choice == 2 ? 0.34
+                                           : 0.25;
+    const auto k = k_for_epsilon(epsilon);
+    bool found = false;
+    for (int attempt = 0; attempt < 5 && !found; ++attempt) {
+      instance = testkit::random_instance(rng);
+      // Tighter gate than ptas-certificate: this mode runs the full search
+      // four times per case.
+      const auto rounded =
+          round_instance(instance, makespan_lower_bound(instance), k);
+      found = !rounded.feasible || rounded.table_size() <= 50'000;
+    }
+    if (!found) {
+      coverage_.skipped++;
+      return std::nullopt;
+    }
+
+    const dp::LevelBucketSolver bucket;
+    const dp::LevelScanSolver scan;
+    const partition::BlockedSolver blocked3(3);
+    const partition::BlockedSolver blocked6(6);
+    const dp::DpSolver* solvers[] = {&bucket, &scan, &blocked3, &blocked6};
+    const auto* solver = solvers[rng.uniform(0, 3)];
+    const auto strategy = rng.uniform(0, 1) == 0
+                              ? SearchStrategy::kBisection
+                              : SearchStrategy::kQuarterSplit;
+    coverage_.per_ptas_engine[solver->name()]++;
+    auto bad = check_ptas_cache_case(instance, *solver, epsilon, strategy);
+    if (!bad.has_value()) return std::nullopt;
+
+    Failure failure{id, Mode::kPtasCache, *bad, {}};
+    const auto shrunk = testkit::shrink_instance(
+        instance, [&](const Instance& candidate) {
+          return check_ptas_cache_case(candidate, *solver, epsilon, strategy)
               .has_value();
         });
     failure.reproducer = describe(shrunk);
