@@ -80,15 +80,24 @@ void write_json(const std::string& path,
   if (!out) throw std::runtime_error("failed writing " + path);
 }
 
-std::string json_path_from_args(int argc, const char* const* argv) {
+std::string flag_value_from_args(int argc, const char* const* argv,
+                                 std::string_view flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--json") {
+    const std::string_view a = argv[i];
+    if (a == flag) {
       if (i + 1 >= argc)
-        throw std::runtime_error("--json requires a file path");
+        throw std::runtime_error(std::string(flag) + " requires a value");
       return argv[i + 1];
     }
+    if (a.size() > flag.size() + 1 && a.substr(0, flag.size()) == flag &&
+        a[flag.size()] == '=')
+      return std::string(a.substr(flag.size() + 1));
   }
   return "";
+}
+
+std::string json_path_from_args(int argc, const char* const* argv) {
+  return flag_value_from_args(argc, argv, "--json");
 }
 
 std::uint64_t cells_evaluated(const PtasResult& result) {

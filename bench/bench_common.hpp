@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/cpu_time_model.hpp"
@@ -55,6 +56,12 @@ struct JsonRecord {
 /// failure.
 void write_json(const std::string& path,
                 const std::vector<JsonRecord>& records);
+
+/// The value of `flag` in argv (either `--flag VALUE` or `--flag=VALUE`),
+/// or "" when absent. Throws when the flag is present without a value.
+[[nodiscard]] std::string flag_value_from_args(int argc,
+                                               const char* const* argv,
+                                               std::string_view flag);
 
 /// The value following a `--json` flag in argv, or "" when absent.
 /// Throws when the flag is present without a value.

@@ -9,6 +9,10 @@
 #include "bench_common.hpp"
 #include "core/probe_cache.hpp"
 #include "core/ptas.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/session.hpp"
+#include "obs/trace.hpp"
 #include "dp/frontier_solver.hpp"
 #include "dp/reconstruct.hpp"
 #include "dp/solver.hpp"
@@ -179,6 +183,33 @@ void BM_ReorganizeLayout(benchmark::State& state) {
 }
 BENCHMARK(BM_ReorganizeLayout);
 
+// Observability overhead at the instrumentation sites themselves: one RAII
+// span (two trace events) plus one counter bump per iteration. The disabled
+// variant is the cost every solver path pays when no ObsSession is active —
+// a relaxed atomic load and a branch — and must stay in the low
+// single-digit nanoseconds.
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench/span", {obs::arg("i", 1)});
+    obs::count("bench.counter");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+// Enabled variant: capped iteration count because every span appends two
+// events to the recorder arena, which grows for the session's lifetime.
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::ObsSession session;
+  for (auto _ : state) {
+    const obs::ScopedSpan span("bench/span", {obs::arg("i", 1)});
+    obs::count("bench.counter");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetLabel("events=" + std::to_string(session.trace().size()));
+}
+BENCHMARK(BM_ObsSpanEnabled)->Iterations(100000);
+
 // Pinned perf-smoke workload for `--json <path>`: one fixed instance
 // solved twice per strategy against a shared probe cache (the canonical
 // repeated-probe pattern). The second rep must hit the cache, so CI can
@@ -221,7 +252,31 @@ int main(int argc, char** argv) {
   const std::string json_path =
       pcmax::bench::json_path_from_args(argc, argv);
   if (!json_path.empty()) {
-    const auto records = run_json_workload();
+    // In --json mode the workload can also be recorded: --trace-out and
+    // --metrics-out capture the same observability artifacts as pcmax_cli
+    // (see docs/OBSERVABILITY.md), covering exactly the pinned workload.
+    const std::string trace_path =
+        pcmax::bench::flag_value_from_args(argc, argv, "--trace-out");
+    const std::string metrics_path =
+        pcmax::bench::flag_value_from_args(argc, argv, "--metrics-out");
+    std::vector<pcmax::bench::JsonRecord> records;
+    if (trace_path.empty() && metrics_path.empty()) {
+      records = run_json_workload();
+    } else {
+      pcmax::obs::ObsSession session;
+      records = run_json_workload();
+      if (!trace_path.empty()) {
+        pcmax::obs::write_file(
+            trace_path, pcmax::obs::chrome_trace_json(session.trace()));
+        std::printf("trace: %zu events -> %s\n", session.trace().size(),
+                    trace_path.c_str());
+      }
+      if (!metrics_path.empty()) {
+        pcmax::obs::write_file(
+            metrics_path, pcmax::obs::metrics_json(session.metrics()));
+        std::printf("metrics -> %s\n", metrics_path.c_str());
+      }
+    }
     pcmax::bench::write_json(json_path, records);
     std::printf("wrote %zu records to %s\n", records.size(),
                 json_path.c_str());

@@ -8,11 +8,13 @@ repo root by default) and prints per-record deltas against the previous
 run, so regressions in cell evaluations or cache hit rate are visible
 across commits:
 
-    build/bench/bench_probe_cache --json /tmp/pc.json
-    scripts/perf_trajectory.py --bench probe_cache --input /tmp/pc.json
+    build/bench/bench_micro --json /tmp/micro.json
+    scripts/perf_trajectory.py --bench micro --input /tmp/micro.json
 
 History format: {"bench": <name>, "runs": [{"label": <rev>, "records":
-[...]}, ...]}.
+[...]}, ...]}. The fold/delta logic lives in pure functions so
+scripts/test_perf_trajectory.py can exercise it without a git checkout
+or bench binaries.
 """
 
 import argparse
@@ -20,6 +22,8 @@ import json
 import pathlib
 import subprocess
 import sys
+
+REQUIRED_FIELDS = {"name", "ns", "cells", "probes", "cache_hits"}
 
 
 def git_label() -> str:
@@ -30,6 +34,64 @@ def git_label() -> str:
         ).stdout.strip()
     except (OSError, subprocess.CalledProcessError):
         return "unlabelled"
+
+
+def validate_records(records):
+    """Returns an error string for malformed input, else None."""
+    if not isinstance(records, list):
+        return "input must be a JSON array of records"
+    for rec in records:
+        if not isinstance(rec, dict):
+            return f"record is not an object: {rec!r}"
+        missing = REQUIRED_FIELDS - set(rec)
+        if missing:
+            return f"record missing fields {sorted(missing)}: {rec}"
+    return None
+
+
+def previous_records(history):
+    """Latest-run-wins index of record name -> record over all prior runs.
+
+    Tolerates an empty or partially formed history (no "runs" key, runs
+    without "records"), which is what the first CI run on a fresh branch
+    sees.
+    """
+    previous = {}
+    for run in history.get("runs", []):
+        for rec in run.get("records", []):
+            previous[rec["name"]] = rec
+    return previous
+
+
+def fold_run(history, label, records):
+    """Appends one labelled run to the history in place and returns the
+    pre-fold record index used for delta reporting."""
+    previous = previous_records(history)
+    history.setdefault("runs", []).append(
+        {"label": label, "records": records})
+    return previous
+
+
+def delta_lines(records, previous):
+    """Human-readable per-record deltas against the previous run."""
+
+    def delta(rec, prev, key):
+        if prev[key] == 0:
+            return f"{key}={rec[key]}"
+        change = rec[key] / prev[key] - 1.0
+        return f"{key}={rec[key]} ({change:+.0%})"
+
+    lines = []
+    for rec in records:
+        prev = previous.get(rec["name"])
+        if prev is None:
+            lines.append(f"  {rec['name']}: cells={rec['cells']} "
+                         f"hits={rec['cache_hits']} (new)")
+            continue
+        lines.append(f"  {rec['name']}: {delta(rec, prev, 'cells')} "
+                     f"{delta(rec, prev, 'ns')} "
+                     f"hits={rec['cache_hits']} (prev {prev['cache_hits']})")
+    return lines
 
 
 def main() -> int:
@@ -45,15 +107,10 @@ def main() -> int:
     args = parser.parse_args()
 
     records = json.loads(pathlib.Path(args.input).read_text())
-    if not isinstance(records, list):
-        print("input must be a JSON array of records", file=sys.stderr)
+    error = validate_records(records)
+    if error is not None:
+        print(error, file=sys.stderr)
         return 1
-    for rec in records:
-        missing = {"name", "ns", "cells", "probes", "cache_hits"} - set(rec)
-        if missing:
-            print(f"record missing fields {sorted(missing)}: {rec}",
-                  file=sys.stderr)
-            return 1
 
     history_path = (pathlib.Path(args.history_dir) /
                     f"BENCH_{args.bench}.json")
@@ -62,27 +119,14 @@ def main() -> int:
     else:
         history = {"bench": args.bench, "runs": []}
 
-    previous = {rec["name"]: rec
-                for run in history["runs"] for rec in run["records"]}
     label = args.label or git_label()
-    history["runs"].append({"label": label, "records": records})
+    previous = fold_run(history, label, records)
     history_path.write_text(json.dumps(history, indent=2) + "\n")
 
     print(f"{history_path}: appended run '{label}' "
           f"({len(records)} records, {len(history['runs'])} total runs)")
-    for rec in records:
-        prev = previous.get(rec["name"])
-        if prev is None:
-            print(f"  {rec['name']}: cells={rec['cells']} "
-                  f"hits={rec['cache_hits']} (new)")
-            continue
-        def delta(key: str) -> str:
-            if prev[key] == 0:
-                return f"{key}={rec[key]}"
-            change = rec[key] / prev[key] - 1.0
-            return f"{key}={rec[key]} ({change:+.0%})"
-        print(f"  {rec['name']}: {delta('cells')} {delta('ns')} "
-              f"hits={rec['cache_hits']} (prev {prev['cache_hits']})")
+    for line in delta_lines(records, previous):
+        print(line)
     return 0
 
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Unit tests for the fold/delta logic in perf_trajectory.py.
+
+Run directly or via ctest (perf_trajectory_unit):
+
+    python3 scripts/test_perf_trajectory.py
+"""
+
+import unittest
+
+import perf_trajectory
+
+
+def record(name, ns=100, cells=50, probes=10, cache_hits=0):
+    return {"name": name, "ns": ns, "cells": cells, "probes": probes,
+            "cache_hits": cache_hits}
+
+
+class ValidateRecordsTest(unittest.TestCase):
+    def test_accepts_well_formed_records(self):
+        self.assertIsNone(perf_trajectory.validate_records([record("a")]))
+        self.assertIsNone(perf_trajectory.validate_records([]))
+
+    def test_rejects_non_list_input(self):
+        self.assertIn("array", perf_trajectory.validate_records({"runs": []}))
+
+    def test_rejects_missing_fields(self):
+        error = perf_trajectory.validate_records([{"name": "a", "ns": 1}])
+        self.assertIn("cache_hits", error)
+        self.assertIn("cells", error)
+
+    def test_rejects_non_object_records(self):
+        self.assertIn("not an object",
+                      perf_trajectory.validate_records(["oops"]))
+
+
+class FoldRunTest(unittest.TestCase):
+    def test_fold_into_empty_history(self):
+        history = {"bench": "micro", "runs": []}
+        previous = perf_trajectory.fold_run(history, "rev1", [record("a")])
+        self.assertEqual(previous, {})
+        self.assertEqual(len(history["runs"]), 1)
+        self.assertEqual(history["runs"][0]["label"], "rev1")
+
+    def test_fold_tolerates_missing_runs_key(self):
+        # The first CI run on a fresh branch sees a history file that may
+        # predate the schema; fold must not crash on it.
+        history = {"bench": "micro"}
+        previous = perf_trajectory.fold_run(history, "rev1", [record("a")])
+        self.assertEqual(previous, {})
+        self.assertEqual(len(history["runs"]), 1)
+
+    def test_previous_prefers_latest_run(self):
+        history = {"bench": "micro", "runs": []}
+        perf_trajectory.fold_run(history, "rev1", [record("a", cells=10)])
+        perf_trajectory.fold_run(history, "rev2", [record("a", cells=20)])
+        previous = perf_trajectory.fold_run(history, "rev3",
+                                            [record("a", cells=30)])
+        self.assertEqual(previous["a"]["cells"], 20)
+        self.assertEqual([run["label"] for run in history["runs"]],
+                         ["rev1", "rev2", "rev3"])
+
+
+class DeltaLinesTest(unittest.TestCase):
+    def test_new_record_marked_new(self):
+        lines = perf_trajectory.delta_lines([record("a", cells=5)], {})
+        self.assertEqual(len(lines), 1)
+        self.assertIn("(new)", lines[0])
+        self.assertIn("cells=5", lines[0])
+
+    def test_delta_against_previous(self):
+        previous = {"a": record("a", ns=100, cells=50, cache_hits=2)}
+        lines = perf_trajectory.delta_lines(
+            [record("a", ns=150, cells=25, cache_hits=3)], previous)
+        self.assertIn("cells=25 (-50%)", lines[0])
+        self.assertIn("ns=150 (+50%)", lines[0])
+        self.assertIn("hits=3 (prev 2)", lines[0])
+
+    def test_zero_previous_value_has_no_percentage(self):
+        previous = {"a": record("a", ns=0, cells=0)}
+        lines = perf_trajectory.delta_lines([record("a", ns=9, cells=7)],
+                                            previous)
+        self.assertIn("cells=7 ", lines[0])
+        self.assertNotIn("%", lines[0])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,5 +1,6 @@
 #include "core/probe_cache.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax {
@@ -41,9 +42,14 @@ ProbeCache::ProbeCache(std::size_t max_entries) : max_entries_(max_entries) {
 
 std::optional<std::int32_t> ProbeCache::lookup(const ProbeKey& key) {
   ++stats_.lookups;
+  obs::count("probe_cache.lookups");
   const auto it = map_.find(key);
-  if (it == map_.end()) return std::nullopt;
+  if (it == map_.end()) {
+    obs::count("probe_cache.misses");
+    return std::nullopt;
+  }
   ++stats_.hits;
+  obs::count("probe_cache.hits");
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -60,10 +66,12 @@ void ProbeCache::insert(const ProbeKey& key, std::int32_t opt) {
     map_.erase(lru_.back().first);
     lru_.pop_back();
     ++stats_.evictions;
+    obs::count("probe_cache.evictions");
   }
   lru_.emplace_front(key, opt);
   map_.emplace(lru_.front().first, lru_.begin());
   ++stats_.insertions;
+  obs::count("probe_cache.insertions");
 }
 
 void ProbeCache::clear() {

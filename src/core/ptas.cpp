@@ -7,6 +7,8 @@
 #include "core/rounding.hpp"
 #include "core/search.hpp"
 #include "dp/reconstruct.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax {
@@ -24,6 +26,10 @@ std::int32_t evaluate_target(const RoundedInstance& rounded,
   call.nonzero_dims = rounded.nonzero_dims();
   call.long_jobs = rounded.long_jobs();
   call.table_size = rounded.table_size();
+  const obs::ScopedSpan span(
+      "dp/invocation",
+      {obs::arg("target", rounded.target),
+       obs::arg("table", static_cast<std::int64_t>(call.table_size))});
   std::int32_t opt = 0;
   if (!rounded.class_index.empty()) {
     ProbeKey key;
@@ -42,6 +48,16 @@ std::int32_t evaluate_target(const RoundedInstance& rounded,
     }
   }
   call.opt = opt;
+  obs::count("dp.invocations");
+  obs::observe("dp.table_size", static_cast<std::int64_t>(call.table_size));
+  if (call.cached) {
+    obs::count("dp.cache_answered");
+    if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+      tr->instant("dp/cache-hit", {obs::arg("target", rounded.target),
+                                   obs::arg("opt", opt)});
+  } else if (!rounded.class_index.empty()) {
+    obs::count("dp.cells", call.table_size);
+  }
   calls.push_back(call);
   return opt;
 }
@@ -86,6 +102,9 @@ PtasResult solve_ptas(const Instance& instance, const dp::DpSolver& solver,
   const std::int64_t k = k_for_epsilon(options.epsilon);
   const std::int64_t lb = makespan_lower_bound(instance);
   const std::int64_t ub = makespan_upper_bound(instance);
+  const obs::ScopedSpan span(
+      "ptas/solve",
+      {obs::arg("k", k), obs::arg("machines", instance.machines)});
 
   PtasResult result;
   ProbeCache local_cache;
@@ -137,6 +156,7 @@ ScheduleBuild build_schedule_at_target(const Instance& instance,
   instance.validate();
   // Reconstruction at T*: schedule the rounded long jobs via the DP
   // backtrack (Algorithm 1 line 10), then add short jobs greedily.
+  const obs::ScopedSpan span("ptas/reconstruct", {obs::arg("target", target)});
   const RoundedInstance rounded = round_instance(instance, target, k);
   PCMAX_ENSURES(rounded.feasible);
 
@@ -149,7 +169,18 @@ ScheduleBuild build_schedule_at_target(const Instance& instance,
     const dp::DpProblem problem = to_dp_problem(rounded);
     dp::SolveOptions solve_options;
     solve_options.num_threads = num_threads;
-    const dp::DpResult dp_result = solver.solve(problem, solve_options);
+    const dp::DpResult dp_result = [&] {
+      const obs::ScopedSpan dp_span(
+          "dp/invocation",
+          {obs::arg("target", rounded.target),
+           obs::arg("table",
+                    static_cast<std::int64_t>(rounded.table_size()))});
+      return solver.solve(problem, solve_options);
+    }();
+    obs::count("dp.invocations");
+    obs::count("dp.cells", rounded.table_size());
+    obs::observe("dp.table_size",
+                 static_cast<std::int64_t>(rounded.table_size()));
     dp_calls.push_back(DpInvocation{
         rounded.target, rounded.table_size(), rounded.nonzero_dims(),
         rounded.long_jobs(), dp_result.opt});

@@ -3,6 +3,8 @@
 #include <optional>
 
 #include "core/probe_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax {
@@ -18,11 +20,18 @@ bool resolve_target(std::int64_t target, MonotoneBounds* bounds,
   if (bounds != nullptr) {
     if (const std::optional<bool> known = bounds->decide(target)) {
       ++result.bound_skips;
+      obs::count("search.bound_skips");
+      if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+        tr->instant("search/bound-skip", {obs::arg("target", target),
+                                          obs::arg("feasible", *known)});
       return *known;
     }
   }
   const bool verdict = ask(target);
   if (bounds != nullptr) bounds->note(target, verdict);
+  if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+    tr->instant("search/probe",
+                {obs::arg("target", target), obs::arg("feasible", verdict)});
   return verdict;
 }
 
@@ -35,11 +44,15 @@ SearchResult bisection_search(std::int64_t lb, std::int64_t ub,
   PCMAX_EXPECTS(static_cast<bool>(oracle));
   SearchResult result;
   while (lb < ub) {
+    const obs::ScopedSpan round("search/round",
+                                {obs::arg("lb", lb), obs::arg("ub", ub)});
     const std::int64_t t = lb + (ub - lb) / 2;
     const bool verdict =
         resolve_target(t, bounds, result, [&](std::int64_t target) {
           result.probes.push_back(target);
           ++result.iterations;
+          obs::count("search.rounds");
+          obs::count("search.probes");
           return oracle(target);
         });
     if (verdict)
@@ -64,6 +77,8 @@ SearchResult quarter_split_search_batch(std::int64_t lb, std::int64_t ub,
   std::vector<std::size_t> pending;  // indices into targets sent to oracle
   std::vector<bool> feasible;
   while (lb < ub) {
+    const obs::ScopedSpan round("search/round",
+                                {obs::arg("lb", lb), obs::arg("ub", ub)});
     // Segment boundaries b_p = lb + (ub-lb)*p/segments, probe midpoints.
     targets.clear();
     for (int p = 0; p < segments; ++p) {
@@ -85,6 +100,10 @@ SearchResult quarter_split_search_batch(std::int64_t lb, std::int64_t ub,
       if (known.has_value()) {
         feasible[i] = *known;
         ++result.bound_skips;
+        obs::count("search.bound_skips");
+        if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+          tr->instant("search/bound-skip", {obs::arg("target", targets[i]),
+                                            obs::arg("feasible", *known)});
       } else {
         pending.push_back(i);
         asked.push_back(targets[i]);
@@ -93,12 +112,18 @@ SearchResult quarter_split_search_batch(std::int64_t lb, std::int64_t ub,
     if (!asked.empty()) {
       // One round: all probes issued together (concurrent GPU streams).
       ++result.iterations;
+      obs::count("search.rounds");
+      obs::count("search.probes", asked.size());
       result.probes.insert(result.probes.end(), asked.begin(), asked.end());
       const std::vector<bool> verdicts = oracle(asked);
       PCMAX_ENSURES(verdicts.size() == asked.size());
+      obs::TraceRecorder* const tr = obs::trace();
       for (std::size_t j = 0; j < asked.size(); ++j) {
         feasible[pending[j]] = verdicts[j];
         if (bounds != nullptr) bounds->note(asked[j], verdicts[j]);
+        if (tr != nullptr)
+          tr->instant("search/probe", {obs::arg("target", asked[j]),
+                                       obs::arg("feasible", verdicts[j])});
       }
     }
 
@@ -113,15 +138,23 @@ SearchResult quarter_split_search_batch(std::int64_t lb, std::int64_t ub,
       if (feasible[i] && !feasible[i + 1]) violated = true;
     if (violated) {
       ++result.monotonicity_violations;
+      obs::count("search.monotonicity_violations");
+      if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+        tr->instant("search/monotonicity-violation",
+                    {obs::arg("lb", lb), obs::arg("ub", ub)});
       std::size_t first_feasible = 0;
       while (!feasible[first_feasible]) ++first_feasible;
       ub = targets[first_feasible];
       if (first_feasible > 0) lb = targets[first_feasible - 1] + 1;
       while (lb < ub) {
+        const obs::ScopedSpan fallback(
+            "search/round", {obs::arg("lb", lb), obs::arg("ub", ub)});
         const std::int64_t t = lb + (ub - lb) / 2;
         const bool verdict =
             resolve_target(t, bounds, result, [&](std::int64_t target) {
               ++result.iterations;
+              obs::count("search.rounds");
+              obs::count("search.probes");
               result.probes.push_back(target);
               const std::int64_t one[1] = {target};
               const std::vector<bool> v =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax::dp {
@@ -15,6 +16,11 @@ FitSet::FitSet(std::span<const std::int64_t> rows, std::size_t dims)
   size_ = rows.size() / dims;
   PCMAX_EXPECTS(size_ <= 0xFFFFFFFFull);
   for (const auto x : rows) PCMAX_EXPECTS(x >= 0);
+  // Per-build aggregates only: the fits scan itself is the DP's innermost
+  // loop and must stay untouched by instrumentation.
+  obs::count("fitset.builds");
+  obs::count("fitset.rows", size_);
+  obs::observe("fitset.rows_per_build", static_cast<std::int64_t>(size_));
 
   std::vector<std::int64_t> drops(size_, 0);
   for (std::size_t i = 0; i < size_; ++i)

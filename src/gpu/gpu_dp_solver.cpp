@@ -1,9 +1,11 @@
 #include "gpu/gpu_dp_solver.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "gpu/charge.hpp"
+#include "obs/trace.hpp"
 #include "partition/block_solver.hpp"
 #include "util/contracts.hpp"
 
@@ -122,6 +124,20 @@ std::string GpuDpSolver::name() const {
 dp::DpResult GpuDpSolver::solve(const dp::DpProblem& problem,
                                 const dp::SolveOptions& options) const {
   const util::SimTime start = device_.now();
+  // Stamp spans opened during this solve with the device clock so they land
+  // on the simulated-time track, bracketing the kernels they launched.
+  // Scratch devices (trace_emission off) stay off every track: their
+  // private clocks would interleave non-monotonically with the primary
+  // device's timeline.
+  std::optional<obs::SimClockGuard> sim_clock;
+  std::optional<obs::ScopedSpan> span;
+  if (device_.trace_emission() && obs::trace() != nullptr) {
+    sim_clock.emplace([this] { return device_.now().ps(); });
+    const auto args = {
+        obs::arg("table", static_cast<std::int64_t>(problem.radix().size())),
+        obs::arg("streams", stream_count_)};
+    span.emplace("gpu/dp-solve", args);
+  }
   ChargingObserver observer(device_, stream_count_, stream_policy_);
   const partition::BlockedSolver solver(partition_dims_, &observer);
   dp::DpResult result = solver.solve(problem, options);
@@ -136,6 +152,14 @@ NaiveGpuDpSolver::NaiveGpuDpSolver(gpusim::Device& device)
 dp::DpResult NaiveGpuDpSolver::solve(const dp::DpProblem& problem,
                                      const dp::SolveOptions& options) const {
   const util::SimTime start = device_.now();
+  std::optional<obs::SimClockGuard> sim_clock;
+  std::optional<obs::ScopedSpan> span;
+  if (device_.trace_emission() && obs::trace() != nullptr) {
+    sim_clock.emplace([this] { return device_.now().ps(); });
+    const auto args = {
+        obs::arg("table", static_cast<std::int64_t>(problem.radix().size()))};
+    span.emplace("gpu/naive-solve", args);
+  }
 
   // Real values from the bucketed solver, with per-cell dependency counts.
   dp::SolveOptions with_deps = options;

@@ -6,6 +6,8 @@
 #include "core/probe_cache.hpp"
 #include "core/rounding.hpp"
 #include "core/search.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pcmax::gpu {
 
@@ -37,6 +39,10 @@ GpuPtasResult solve_sequential(const Instance& instance,
   GpuPtasResult result;
   const util::SimTime start = device.now();
   const gpusim::Device::Stats before = device.stats();
+  // Algorithm spans (ptas/solve, search/round, dp/invocation) opened below
+  // are stamped with this device's clock so they nest around the kernel
+  // timeline on the simulated-time track.
+  const obs::SimClockGuard sim_clock([&device] { return device.now().ps(); });
   result.ptas = solve_ptas(instance, solver, ptas_options);
   result.device_time = device.now() - start;
   result.stats = device.stats();
@@ -66,6 +72,10 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
       cache != nullptr ? cache->stats() : ProbeCacheStats{};
   MonotoneBounds bounds;
   const util::SimTime start = device.now();
+  const obs::SimClockGuard sim_clock([&device] { return device.now().ps(); });
+  const obs::ScopedSpan span(
+      "ptas/solve",
+      {obs::arg("k", k), obs::arg("machines", instance.machines)});
 
   // Each round's probes run on scratch devices (their own Hyper-Q stream
   // groups); the round costs its slowest probe on the caller's device.
@@ -82,25 +92,43 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
           }
           std::int32_t opt = 0;
           bool cached = false;
-          if (!rounded.class_index.empty()) {
-            ProbeKey key;
-            if (cache != nullptr) {
-              key = probe_key_for(rounded);
-              if (const auto hit = cache->lookup(key)) {
-                opt = *hit;
-                cached = true;
+          {
+            const obs::ScopedSpan probe_span(
+                "dp/invocation",
+                {obs::arg("target", target),
+                 obs::arg("table",
+                          static_cast<std::int64_t>(rounded.table_size()))});
+            if (!rounded.class_index.empty()) {
+              ProbeKey key;
+              if (cache != nullptr) {
+                key = probe_key_for(rounded);
+                if (const auto hit = cache->lookup(key)) {
+                  opt = *hit;
+                  cached = true;
+                }
+              }
+              if (!cached) {
+                gpusim::Device scratch(device.spec());
+                // The scratch device models concurrent activity with its own
+                // private clock; its spans would overlap the primary
+                // timeline, so only its aggregate stats are kept.
+                scratch.set_trace_emission(false);
+                const GpuDpSolver solver(scratch, options.partition_dims,
+                                         options.streams_per_probe);
+                opt = solver.solve(to_dp_problem(rounded)).opt;
+                round_time = std::max(round_time, solver.last_solve_time());
+                accumulate(result.stats, scratch.stats());
+                if (cache != nullptr) cache->insert(key, opt);
               }
             }
-            if (!cached) {
-              gpusim::Device scratch(device.spec());
-              const GpuDpSolver solver(scratch, options.partition_dims,
-                                       options.streams_per_probe);
-              opt = solver.solve(to_dp_problem(rounded)).opt;
-              round_time = std::max(round_time, solver.last_solve_time());
-              accumulate(result.stats, scratch.stats());
-              if (cache != nullptr) cache->insert(key, opt);
-            }
           }
+          obs::count("dp.invocations");
+          obs::observe("dp.table_size",
+                       static_cast<std::int64_t>(rounded.table_size()));
+          if (cached)
+            obs::count("dp.cache_answered");
+          else if (!rounded.class_index.empty())
+            obs::count("dp.cells", rounded.table_size());
           result.ptas.dp_calls.push_back(DpInvocation{
               target, rounded.table_size(), rounded.nonzero_dims(),
               rounded.long_jobs(), opt, cached});

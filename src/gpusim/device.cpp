@@ -1,7 +1,9 @@
 #include "gpusim/device.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax::gpusim {
@@ -51,6 +53,7 @@ void Device::enqueue(int stream, std::string name, const WorkEstimate& work,
   KernelRecord record;
   record.name = std::move(name);
   record.stream = stream;
+  record.is_child = is_child;
   record.work = work;
   pending_.push_back(std::move(record));
   scheduler_.submit(task);
@@ -99,12 +102,59 @@ util::SimTime Device::synchronize() {
       record.start = c.start;
       record.finish = c.finish;
     }
+    if (trace_emission_ && obs::trace() != nullptr) emit_trace_spans();
     log_.insert(log_.end(), std::make_move_iterator(pending_.begin()),
                 std::make_move_iterator(pending_.end()));
     pending_.clear();
   }
   now_ += spec_.sync_overhead;
   return now_;
+}
+
+// Maps the just-timed launch batch onto Chrome-trace tracks: one pid per
+// stream, kernel "family" spans on tid 1 and Dynamic Parallelism children on
+// tid 2. As in real CUDA DP, a parent grid completes only after its child
+// grids retire, so the family span covers [parent.start, last family
+// member's finish]; the fluid scheduler serializes a stream FIFO, so family
+// spans on one stream never overlap. A child with no preceding parent in
+// the batch (no caller does this today) degrades to its own family.
+void Device::emit_trace_spans() const {
+  obs::TraceRecorder* const tr = obs::trace();
+  PCMAX_EXPECTS(tr != nullptr);
+  struct Family {
+    const KernelRecord* parent;
+    util::SimTime end;
+    std::vector<const KernelRecord*> children;
+  };
+  std::vector<Family> families;
+  std::unordered_map<int, std::size_t> open;  // stream -> family index
+  for (const KernelRecord& record : pending_) {
+    const auto it = record.is_child ? open.find(record.stream) : open.end();
+    if (it == open.end()) {
+      open[record.stream] = families.size();
+      families.push_back(Family{&record, record.finish, {}});
+    } else {
+      Family& family = families[it->second];
+      family.children.push_back(&record);
+      family.end = std::max(family.end, record.finish);
+    }
+  }
+  for (const Family& family : families) {
+    const KernelRecord& p = *family.parent;
+    const std::int32_t pid = obs::kStreamPidBase + p.stream;
+    tr->complete(
+        p.name, pid, obs::kParentTid, p.start.ps(),
+        (family.end - p.start).ps(),
+        {obs::arg("threads", static_cast<std::int64_t>(p.work.threads)),
+         obs::arg("txn", static_cast<std::int64_t>(p.work.transactions))});
+    for (const KernelRecord* child : family.children)
+      tr->complete(
+          child->name, pid, obs::kChildTid, child->start.ps(),
+          (child->finish - child->start).ps(),
+          {obs::arg("threads", static_cast<std::int64_t>(child->work.threads)),
+           obs::arg("txn",
+                    static_cast<std::int64_t>(child->work.transactions))});
+  }
 }
 
 }  // namespace pcmax::gpusim

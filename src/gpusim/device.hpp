@@ -113,6 +113,7 @@ class Device {
   struct KernelRecord {
     std::string name;
     int stream = 0;
+    bool is_child = false;  // Dynamic Parallelism launch
     WorkEstimate work;
     util::SimTime start;
     util::SimTime finish;
@@ -134,9 +135,19 @@ class Device {
   /// Drops the kernel log (it can grow large in long simulations).
   void clear_log() { log_.clear(); }
 
+  /// When false, this device never emits obs trace spans even while a
+  /// trace recorder is installed. Scratch devices that model concurrent
+  /// activity (Hyper-Q probe overlap) disable emission so their private
+  /// clocks do not pollute the primary device's timeline.
+  void set_trace_emission(bool enabled) noexcept { trace_emission_ = enabled; }
+  [[nodiscard]] bool trace_emission() const noexcept {
+    return trace_emission_;
+  }
+
  private:
   void enqueue(int stream, std::string name, const WorkEstimate& work,
                util::SimTime launch_latency, bool is_child);
+  void emit_trace_spans() const;
 
   DeviceSpec spec_;
   util::SimTime now_;
@@ -146,6 +157,7 @@ class Device {
   Stats stats_;
   std::uint64_t memory_in_use_ = 0;
   std::uint64_t peak_memory_ = 0;
+  bool trace_emission_ = true;
 };
 
 }  // namespace pcmax::gpusim

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "gpusim/coalescing.hpp"
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax::gpusim {
@@ -37,6 +38,10 @@ WorkEstimate execute_kernel(const LaunchConfig& config, const KernelFn& fn,
           warp_transactions(warp_traces, spec.memory_segment_bytes);
     }
   }
+  obs::count("gpusim.executed_kernels");
+  obs::count("gpusim.executed_threads", estimate.threads);
+  obs::count("gpusim.thread_ops", estimate.thread_ops);
+  obs::count("gpusim.transactions", estimate.transactions);
   return estimate;
 }
 

@@ -1,0 +1,299 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pcmax::obs {
+
+namespace {
+
+// Chrome trace timestamps are microseconds. Both conversions below are
+// exact decimals (ps -> us needs 6 fractional digits, ns -> us needs 3),
+// so the output is deterministic for deterministic inputs.
+void append_us_from_ps(std::string& out, std::int64_t ps) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64, ps / 1000000,
+                ps % 1000000);
+  out += buf;
+}
+
+void append_us_from_ns(std::string& out, std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_args_object(std::string& out, const TraceEvent& event) {
+  out += "\"args\":{";
+  bool first = true;
+  for (const TraceArg& a : event.args) {
+    if (!a.used()) continue;
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, a.key);
+    out += ':';
+    out += std::to_string(a.value);
+  }
+  out += '}';
+}
+
+void append_metadata(std::string& out, std::int32_t pid, int sort_index,
+                     const std::string& process_name) {
+  out += "{\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":";
+  append_json_string(out, process_name);
+  out += "}},\n{\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out +=
+      ",\"tid\":0,\"name\":\"process_sort_index\",\"args\":{\"sort_index\":";
+  out += std::to_string(sort_index);
+  out += "}},\n";
+}
+
+// Host-side begin/end/instant events are recorded without a pid; the track
+// is derived from the clock domain: events stamped by a simulated clock go
+// to the algorithm track, the rest to the wall-clock host track.
+bool on_sim_track(const TraceEvent& event) {
+  return event.kind != EventKind::kComplete && event.sim_ps >= 0;
+}
+
+void append_digest_args(std::string& out, const TraceEvent& event) {
+  for (const TraceArg& a : event.args) {
+    if (!a.used()) continue;
+    out += ' ';
+    out += a.key;
+    out += '=';
+    out += std::to_string(a.value);
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const TraceRecorder& trace) {
+  const std::vector<TraceEvent> events = trace.snapshot();
+
+  std::string out;
+  out.reserve(events.size() * 120 + 512);
+  out += "{\"traceEvents\":[\n";
+
+  bool algo_track = false;
+  std::set<std::int32_t> stream_pids;
+  for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::kComplete)
+      stream_pids.insert(e.pid);
+    else if (on_sim_track(e))
+      algo_track = true;
+  }
+
+  append_metadata(out, kHostPid, 0, "host (wall clock)");
+  if (algo_track) append_metadata(out, kAlgoPid, 1, "algorithm (sim time)");
+  int sort = 2;
+  for (const std::int32_t pid : stream_pids)
+    append_metadata(out, pid, sort++,
+                    "gpusim stream " + std::to_string(pid - kStreamPidBase) +
+                        " (sim time)");
+
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    switch (e.kind) {
+      case EventKind::kSpanBegin: out += 'B'; break;
+      case EventKind::kSpanEnd: out += 'E'; break;
+      case EventKind::kComplete: out += 'X'; break;
+      case EventKind::kInstant: out += 'i'; break;
+    }
+    out += "\",\"pid\":";
+    if (e.kind == EventKind::kComplete) {
+      out += std::to_string(e.pid);
+      out += ",\"tid\":";
+      out += std::to_string(e.tid);
+      out += ",\"ts\":";
+      append_us_from_ps(out, e.sim_ps);
+      out += ",\"dur\":";
+      append_us_from_ps(out, e.dur_ps);
+    } else if (on_sim_track(e)) {
+      out += std::to_string(kAlgoPid);
+      out += ",\"tid\":1,\"ts\":";
+      append_us_from_ps(out, e.sim_ps);
+    } else {
+      out += std::to_string(kHostPid);
+      out += ",\"tid\":1,\"ts\":";
+      append_us_from_ns(out, e.wall_ns);
+    }
+    if (e.kind == EventKind::kInstant) out += ",\"s\":\"t\"";
+    out += ",\"name\":";
+    append_json_string(out, e.name);
+    if (e.kind != EventKind::kSpanEnd) {
+      out += ',';
+      append_args_object(out, e);
+    }
+    out += '}';
+  }
+
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string metrics_json(const MetricsRegistry& metrics) {
+  std::string out = "{\n\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  ";
+    append_json_string(out, name);
+    out += ": ";
+    out += std::to_string(value);
+  }
+  out += "\n},\n\"histograms\": {";
+  first = true;
+  for (const auto& h : metrics.histograms()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n  ";
+    append_json_string(out, h.name);
+    out += ": {\"total\": ";
+    out += std::to_string(h.total);
+    out += ", \"sum\": ";
+    out += std::to_string(h.sum);
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (h.counts[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "{\"le\": ";
+      out += std::to_string(MetricsRegistry::bucket_upper(b));
+      out += ", \"count\": ";
+      out += std::to_string(h.counts[b]);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "\n}\n}\n";
+  return out;
+}
+
+std::string text_summary(const TraceRecorder& trace,
+                         const MetricsRegistry& metrics) {
+  const std::vector<TraceEvent> events = trace.snapshot();
+  std::size_t spans = 0;
+  std::size_t kernels = 0;
+  std::size_t instants = 0;
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kSpanBegin: ++spans; break;
+      case EventKind::kComplete: ++kernels; break;
+      case EventKind::kInstant: ++instants; break;
+      case EventKind::kSpanEnd: break;
+    }
+  }
+  std::ostringstream out;
+  out << "trace: " << events.size() << " events (" << spans << " spans, "
+      << kernels << " kernel spans, " << instants << " instants)\n";
+  const auto counters = metrics.counters();
+  if (!counters.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, value] : counters)
+      out << "  " << name << " = " << value << "\n";
+  }
+  const auto histograms = metrics.histograms();
+  if (!histograms.empty()) {
+    out << "histograms:\n";
+    for (const auto& h : histograms) {
+      out << "  " << h.name << ": n=" << h.total << " sum=" << h.sum;
+      for (std::size_t b = 0; b < h.counts.size(); ++b)
+        if (h.counts[b] != 0)
+          out << " le" << MetricsRegistry::bucket_upper(b) << "="
+              << h.counts[b];
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string trace_digest(const TraceRecorder& trace) {
+  const std::vector<TraceEvent> events = trace.snapshot();
+  std::string out;
+  out.reserve(events.size() * 64);
+  std::size_t depth = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == EventKind::kSpanEnd && depth > 0) --depth;
+    out.append(2 * depth, ' ');
+    switch (e.kind) {
+      case EventKind::kSpanBegin:
+        out += "begin ";
+        out += e.name;
+        append_digest_args(out, e);
+        ++depth;
+        break;
+      case EventKind::kSpanEnd:
+        out += "end ";
+        out += e.name;
+        break;
+      case EventKind::kInstant:
+        out += "instant ";
+        out += e.name;
+        append_digest_args(out, e);
+        break;
+      case EventKind::kComplete:
+        out += "kernel stream=";
+        out += std::to_string(e.pid - kStreamPidBase);
+        out += " tid=";
+        out += std::to_string(e.tid);
+        out += ' ';
+        out += e.name;
+        out += " start=";
+        out += std::to_string(e.sim_ps);
+        out += " dur=";
+        out += std::to_string(e.dur_ps);
+        append_digest_args(out, e);
+        break;
+    }
+    if (e.kind != EventKind::kComplete && e.sim_ps >= 0) {
+      out += " sim=";
+      out += std::to_string(e.sim_ps);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open for writing: " + path);
+  file << contents;
+}
+
+}  // namespace pcmax::obs

@@ -1,0 +1,30 @@
+// Exporters for recorded traces and metrics:
+//  - chrome_trace_json: chrome://tracing / Perfetto "traceEvents" JSON. One
+//    pid per track: pid 1 = host wall clock, pid 10 = algorithm spans on the
+//    simulated clock, pid 100+s = gpusim stream s (kernel family spans on
+//    tid 1, dynamic-parallelism children on tid 2).
+//  - metrics_json: flat counters + fixed-bucket histograms.
+//  - text_summary: human-readable one-screen digest of both.
+//  - trace_digest: deterministic text form of the event sequence (names,
+//    args, structure, simulated timestamps; wall-clock timestamps are
+//    excluded) used by the golden-trace regression tests.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pcmax::obs {
+
+[[nodiscard]] std::string chrome_trace_json(const TraceRecorder& trace);
+[[nodiscard]] std::string metrics_json(const MetricsRegistry& metrics);
+[[nodiscard]] std::string text_summary(const TraceRecorder& trace,
+                                       const MetricsRegistry& metrics);
+[[nodiscard]] std::string trace_digest(const TraceRecorder& trace);
+
+/// Write a string to a file; throws std::runtime_error when the file cannot
+/// be opened (callers surface the path in their own error handling).
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace pcmax::obs

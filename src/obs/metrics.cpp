@@ -1,0 +1,82 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pcmax::obs {
+
+namespace detail {
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+}  // namespace detail
+
+void install_metrics(MetricsRegistry* registry) noexcept {
+  detail::g_metrics.store(registry, std::memory_order_release);
+}
+
+std::size_t MetricsRegistry::bucket_index(std::int64_t value) noexcept {
+  if (value <= 0) return 0;
+  std::size_t bucket = 1;
+  while (bucket + 1 < kHistogramBuckets && value >= (std::int64_t{1} << bucket))
+    ++bucket;
+  return bucket;
+}
+
+std::int64_t MetricsRegistry::bucket_upper(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= 62) return std::numeric_limits<std::int64_t>::max();
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(name), delta);
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, std::int64_t value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  Histogram& h = it->second;
+  ++h.total;
+  h.sum += value;
+  ++h.counts[bucket_index(value)];
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) out.emplace_back(name, value);
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramSnapshot> MetricsRegistry::histograms()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot snap;
+    snap.name = name;
+    snap.total = h.total;
+    snap.sum = h.sum;
+    snap.counts = h.counts;
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace pcmax::obs

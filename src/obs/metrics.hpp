@@ -1,0 +1,94 @@
+// Global registry of named counters and fixed-bucket histograms. Like the
+// trace recorder, the registry is reachable only through a global pointer
+// that is null unless an ObsSession is alive, so instrumented code pays a
+// single relaxed load when metrics are disabled.
+//
+// Histograms use fixed power-of-two buckets: bucket 0 counts values <= 0 and
+// bucket b >= 1 counts values in [2^(b-1), 2^b). Fixed bounds keep snapshots
+// mergeable and make golden comparisons trivial.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pcmax::obs {
+
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kHistogramBuckets = 42;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Add delta to a named counter (created on first use).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Record one sample into a named histogram (created on first use).
+  void observe(std::string_view name, std::int64_t value);
+
+  /// Current counter value; 0 for counters never touched.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+
+  struct HistogramSnapshot {
+    std::string name;
+    std::uint64_t total = 0;  // number of samples
+    std::int64_t sum = 0;     // sum of sample values
+    std::array<std::uint64_t, kHistogramBuckets> counts{};
+  };
+
+  /// All counters, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const;
+
+  /// All histograms, sorted by name.
+  [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
+
+  /// Bucket index for a sample value (exposed for tests/exporters).
+  [[nodiscard]] static std::size_t bucket_index(std::int64_t value) noexcept;
+
+  /// Inclusive upper bound of a bucket (2^b - 1; bucket 0 covers <= 0).
+  [[nodiscard]] static std::int64_t bucket_upper(std::size_t bucket) noexcept;
+
+ private:
+  struct Histogram {
+    std::uint64_t total = 0;
+    std::int64_t sum = 0;
+    std::array<std::uint64_t, kHistogramBuckets> counts{};
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+namespace detail {
+extern std::atomic<MetricsRegistry*> g_metrics;
+}  // namespace detail
+
+/// Active registry, or nullptr when metrics are disabled.
+[[nodiscard]] inline MetricsRegistry* metrics() noexcept {
+  return detail::g_metrics.load(std::memory_order_acquire);
+}
+
+/// Install (or, with nullptr, remove) the global registry.
+void install_metrics(MetricsRegistry* registry) noexcept;
+
+/// Convenience: bump a counter iff metrics are enabled.
+inline void count(std::string_view name, std::uint64_t delta = 1) {
+  if (MetricsRegistry* m = metrics(); m != nullptr) m->add(name, delta);
+}
+
+/// Convenience: record a histogram sample iff metrics are enabled.
+inline void observe(std::string_view name, std::int64_t value) {
+  if (MetricsRegistry* m = metrics(); m != nullptr) m->observe(name, value);
+}
+
+}  // namespace pcmax::obs

@@ -1,0 +1,19 @@
+#include "obs/session.hpp"
+
+#include "util/contracts.hpp"
+
+namespace pcmax::obs {
+
+ObsSession::ObsSession() {
+  PCMAX_EXPECTS(obs::trace() == nullptr);
+  PCMAX_EXPECTS(obs::metrics() == nullptr);
+  install_trace(&trace_);
+  install_metrics(&metrics_);
+}
+
+ObsSession::~ObsSession() {
+  install_trace(nullptr);
+  install_metrics(nullptr);
+}
+
+}  // namespace pcmax::obs

@@ -1,0 +1,26 @@
+// RAII scope that turns observability on: owns one TraceRecorder and one
+// MetricsRegistry and installs them globally for its lifetime. Exactly one
+// session may be alive at a time (nesting would silently split the data).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pcmax::obs {
+
+class ObsSession {
+ public:
+  ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+  ~ObsSession();
+
+  [[nodiscard]] TraceRecorder& trace() noexcept { return trace_; }
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+
+ private:
+  TraceRecorder trace_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace pcmax::obs

@@ -1,0 +1,113 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::obs {
+
+namespace detail {
+std::atomic<TraceRecorder*> g_trace{nullptr};
+}  // namespace detail
+
+void install_trace(TraceRecorder* recorder) noexcept {
+  detail::g_trace.store(recorder, std::memory_order_release);
+}
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void copy_name(char (&dst)[47], std::string_view name) noexcept {
+  const std::size_t n =
+      name.size() < sizeof(dst) - 1 ? name.size() : sizeof(dst) - 1;
+  std::memcpy(dst, name.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : wall_origin_ns_(steady_ns()) {}
+
+TraceEvent& TraceRecorder::append_locked() {
+  if (count_ == blocks_.size() * kBlockSize)
+    blocks_.push_back(std::make_unique<Block>());
+  TraceEvent& event = blocks_.back()->events[count_ % kBlockSize];
+  event.seq = count_;
+  ++count_;
+  return event;
+}
+
+void TraceRecorder::record(EventKind kind, std::string_view name,
+                           std::int32_t pid, std::int32_t tid,
+                           std::int64_t sim_start_ps, std::int64_t sim_dur_ps,
+                           std::initializer_list<TraceArg> args) {
+  PCMAX_EXPECTS(args.size() <= 2);
+  const std::int64_t wall = steady_ns() - wall_origin_ns_;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent& event = append_locked();
+  event.kind = kind;
+  copy_name(event.name, name);
+  event.pid = pid;
+  event.tid = tid;
+  event.wall_ns = wall;
+  if (kind == EventKind::kComplete) {
+    event.sim_ps = sim_start_ps;
+    event.dur_ps = sim_dur_ps;
+  } else if (sim_clock_) {
+    event.sim_ps = sim_clock_();
+  }
+  std::size_t slot = 0;
+  for (const TraceArg& a : args) event.args[slot++] = a;
+}
+
+void TraceRecorder::begin_span(std::string_view name,
+                               std::initializer_list<TraceArg> args) {
+  record(EventKind::kSpanBegin, name, kHostPid, kParentTid, -1, -1, args);
+}
+
+void TraceRecorder::end_span(std::string_view name) {
+  record(EventKind::kSpanEnd, name, kHostPid, kParentTid, -1, -1, {});
+}
+
+void TraceRecorder::instant(std::string_view name,
+                            std::initializer_list<TraceArg> args) {
+  record(EventKind::kInstant, name, kHostPid, kParentTid, -1, -1, args);
+}
+
+void TraceRecorder::complete(std::string_view name, std::int32_t pid,
+                             std::int32_t tid, std::int64_t sim_start_ps,
+                             std::int64_t sim_dur_ps,
+                             std::initializer_list<TraceArg> args) {
+  PCMAX_EXPECTS(sim_start_ps >= 0);
+  PCMAX_EXPECTS(sim_dur_ps >= 0);
+  record(EventKind::kComplete, name, pid, tid, sim_start_ps, sim_dur_ps, args);
+}
+
+std::function<std::int64_t()> TraceRecorder::set_sim_clock(
+    std::function<std::int64_t()> clock) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::function<std::int64_t()> previous = std::move(sim_clock_);
+  sim_clock_ = std::move(clock);
+  return previous;
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  events.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i)
+    events.push_back(blocks_[i / kBlockSize]->events[i % kBlockSize]);
+  return events;
+}
+
+}  // namespace pcmax::obs

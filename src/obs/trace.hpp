@@ -1,0 +1,186 @@
+// Structured trace recording: spans and instant events with two clock
+// domains. Every event captures the host wall clock (monotonic ns since the
+// recorder was created) and, when a simulated clock is installed, the gpusim
+// device clock (integer picoseconds). The exporter places sim-stamped events
+// on simulated-time tracks so algorithm spans nest around the kernel
+// timeline they caused, which no single wall-clock track could show.
+//
+// Recording is globally disabled unless an ObsSession (see session.hpp) is
+// alive: every instrumentation site reduces to one relaxed atomic load and a
+// predictable branch, so instrumented builds pay nothing when tracing is off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace pcmax::obs {
+
+// Track (pid) layout used by the Chrome exporter and the invariant checkers.
+// Host code records spans without choosing a pid; the exporter derives the
+// track from the clock domain. Only gpusim kernel spans carry explicit pids.
+inline constexpr std::int32_t kHostPid = 1;         // wall-clock host track
+inline constexpr std::int32_t kAlgoPid = 10;        // sim-clock algorithm track
+inline constexpr std::int32_t kStreamPidBase = 100; // + stream id per stream
+inline constexpr std::int32_t kParentTid = 1;       // kernel family spans
+inline constexpr std::int32_t kChildTid = 2;        // dynamic-parallelism children
+
+enum class EventKind : std::uint8_t {
+  kSpanBegin,
+  kSpanEnd,
+  kComplete,  // span with explicit start + duration (gpusim kernels)
+  kInstant,
+};
+
+/// One named integer attached to an event. Keys longer than the inline
+/// buffer are truncated; instrumentation sites use short literal keys.
+struct TraceArg {
+  char key[15] = {};
+  std::int64_t value = 0;
+  [[nodiscard]] bool used() const noexcept { return key[0] != '\0'; }
+};
+
+/// Build a TraceArg from a literal key and value (truncating the key).
+[[nodiscard]] inline TraceArg arg(std::string_view key,
+                                  std::int64_t value) noexcept {
+  TraceArg a;
+  const std::size_t n = key.size() < sizeof(a.key) - 1 ? key.size()
+                                                       : sizeof(a.key) - 1;
+  std::memcpy(a.key, key.data(), n);
+  a.value = value;
+  return a;
+}
+
+/// Fixed-size event record; names are copied inline so recording never
+/// allocates outside the arena and events survive their call site.
+struct TraceEvent {
+  char name[47] = {};
+  EventKind kind = EventKind::kInstant;
+  std::int32_t pid = kHostPid;
+  std::int32_t tid = kParentTid;
+  std::int64_t wall_ns = -1;  // monotonic ns since recorder creation
+  std::int64_t sim_ps = -1;   // simulated ps; -1 when no sim clock installed
+  std::int64_t dur_ps = -1;   // kComplete only
+  std::uint64_t seq = 0;      // global record order
+  TraceArg args[2];
+};
+
+/// Thread-safe, arena-backed recorder. Events live in fixed-size blocks that
+/// are never reallocated, so recording is a bump-pointer append under a
+/// mutex. Instrumentation sites must reach a recorder only through the
+/// global obs::trace() accessor, which is null when tracing is disabled.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Open a span on the host/algorithm track (pid chosen at export time
+  /// from the clock domain). Close with end_span using the same name.
+  void begin_span(std::string_view name,
+                  std::initializer_list<TraceArg> args = {});
+  void end_span(std::string_view name);
+
+  /// Point event on the host/algorithm track.
+  void instant(std::string_view name,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Span with an explicit simulated-time extent on an explicit track;
+  /// used for gpusim kernels whose timing is only known at synchronize().
+  void complete(std::string_view name, std::int32_t pid, std::int32_t tid,
+                std::int64_t sim_start_ps, std::int64_t sim_dur_ps,
+                std::initializer_list<TraceArg> args = {});
+
+  /// Install a simulated-clock sampler (e.g. reading Device::now());
+  /// returns the previously installed sampler so guards can nest.
+  std::function<std::int64_t()> set_sim_clock(
+      std::function<std::int64_t()> clock);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Copy of all events in record (seq) order.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+ private:
+  static constexpr std::size_t kBlockSize = 1024;
+  struct Block {
+    TraceEvent events[kBlockSize];
+  };
+
+  TraceEvent& append_locked();
+  void record(EventKind kind, std::string_view name, std::int32_t pid,
+              std::int32_t tid, std::int64_t sim_start_ps,
+              std::int64_t sim_dur_ps, std::initializer_list<TraceArg> args);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::size_t count_ = 0;
+  std::int64_t wall_origin_ns_ = 0;
+  std::function<std::int64_t()> sim_clock_;
+};
+
+namespace detail {
+extern std::atomic<TraceRecorder*> g_trace;
+}  // namespace detail
+
+/// Active recorder, or nullptr when tracing is disabled. The relaxed load
+/// plus branch is the entire disabled-path cost of an instrumentation site.
+[[nodiscard]] inline TraceRecorder* trace() noexcept {
+  return detail::g_trace.load(std::memory_order_acquire);
+}
+
+/// Install (or, with nullptr, remove) the global recorder. Owned by
+/// ObsSession; exposed separately so tests can scope recorders directly.
+void install_trace(TraceRecorder* recorder) noexcept;
+
+/// RAII begin/end pair; a no-op when tracing is disabled. The name must be
+/// a literal (or otherwise outlive the guard).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name,
+                      std::initializer_list<TraceArg> args = {}) {
+    if (TraceRecorder* t = trace(); t != nullptr) {
+      t->begin_span(name, args);
+      recorder_ = t;
+      name_ = name;
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->end_span(name_);
+  }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  const char* name_ = nullptr;
+};
+
+/// RAII sim-clock installer; restores the previous sampler on destruction
+/// and is a no-op when tracing is disabled.
+class SimClockGuard {
+ public:
+  explicit SimClockGuard(std::function<std::int64_t()> clock) {
+    if (TraceRecorder* t = trace(); t != nullptr) {
+      recorder_ = t;
+      previous_ = t->set_sim_clock(std::move(clock));
+    }
+  }
+  SimClockGuard(const SimClockGuard&) = delete;
+  SimClockGuard& operator=(const SimClockGuard&) = delete;
+  ~SimClockGuard() {
+    if (recorder_ != nullptr) recorder_->set_sim_clock(std::move(previous_));
+  }
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  std::function<std::int64_t()> previous_;
+};
+
+}  // namespace pcmax::obs

@@ -1,0 +1,153 @@
+#include "testkit/metamorphic.hpp"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "core/rounding.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::testkit {
+
+namespace {
+
+// Each relation runs the transformed instance with a private cache: a warm
+// shared cache would let the second run skip probes and change its
+// trajectory, which is exactly the kind of accidental coupling these checks
+// must not depend on.
+PtasOptions isolated(const PtasOptions& options) {
+  PtasOptions out = options;
+  out.probe_cache = nullptr;
+  return out;
+}
+
+CheckResult certify(const char* what, const Instance& instance,
+                    const PtasResult& result, const PtasOptions& options) {
+  if (!options.build_schedule) return std::nullopt;
+  const std::int64_t k = k_for_epsilon(options.epsilon);
+  if (CheckResult bad = check_ptas_result(instance, result, k)) {
+    std::ostringstream out;
+    out << what << " run fails its own certificate: " << *bad;
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+CheckResult check_permutation_metamorphic(const Instance& instance,
+                                          const dp::DpSolver& solver,
+                                          const PtasOptions& options,
+                                          std::uint64_t shuffle_seed) {
+  const PtasOptions opts = isolated(options);
+  Instance permuted = instance;
+  util::Rng rng(shuffle_seed);
+  for (std::size_t i = permuted.times.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(permuted.times[i - 1], permuted.times[j]);
+  }
+
+  const PtasResult base = solve_ptas(instance, solver, opts);
+  const PtasResult perm = solve_ptas(permuted, solver, opts);
+
+  // Rounding at any target sees only the multiset of job times, so the
+  // feasibility oracle — and with it the whole search trajectory — is
+  // identical for both orderings.
+  if (base.best_target != perm.best_target) {
+    std::ostringstream out;
+    out << "permutation changed the target: base T*=" << base.best_target
+        << " permuted T*=" << perm.best_target << " (seed " << shuffle_seed
+        << ")";
+    return out.str();
+  }
+  if (base.search_iterations != perm.search_iterations) {
+    std::ostringstream out;
+    out << "permutation changed the search trajectory: base rounds="
+        << base.search_iterations << " permuted rounds="
+        << perm.search_iterations << " (seed " << shuffle_seed << ")";
+    return out.str();
+  }
+  if (CheckResult bad = certify("base", instance, base, opts)) return bad;
+  return certify("permuted", permuted, perm, opts);
+}
+
+CheckResult check_scaling_metamorphic(const Instance& instance,
+                                      const dp::DpSolver& solver,
+                                      const PtasOptions& options,
+                                      std::int64_t factor) {
+  if (factor < 2) factor = 2;
+  const PtasOptions opts = isolated(options);
+
+  // Overflow guard: the upper bound sums all times, so the scaled sum must
+  // stay comfortably inside int64. Oversized inputs pass vacuously.
+  std::int64_t total = 0;
+  for (const auto t : instance.times) total += t;
+  if (total > std::numeric_limits<std::int64_t>::max() / (4 * factor))
+    return std::nullopt;
+
+  Instance scaled = instance;
+  for (auto& t : scaled.times) t *= factor;
+
+  const PtasResult base = solve_ptas(instance, solver, opts);
+  const PtasResult big = solve_ptas(scaled, solver, opts);
+
+  // Rounding at target c*T is identical to rounding at T with unscaled
+  // times (class indices floor(c*t*k^2 / (c*T)) are unchanged), so
+  // feasible_scaled(c*T) == feasible(T). With a monotone oracle the scaled
+  // threshold lies in (c*(T*-1), c*T*], and both lower-bound components
+  // scale compatibly, hence ceil(T*_scaled / c) == T* exactly.
+  const std::int64_t folded = (big.best_target + factor - 1) / factor;
+  if (folded != base.best_target) {
+    std::ostringstream out;
+    out << "scaling by " << factor << " broke the target relation: base T*="
+        << base.best_target << " scaled T*=" << big.best_target
+        << " ceil(scaled/factor)=" << folded;
+    return out.str();
+  }
+  if (CheckResult bad = certify("base", instance, base, opts)) return bad;
+  return certify("scaled", scaled, big, opts);
+}
+
+CheckResult check_extension_metamorphic(const Instance& instance,
+                                        const dp::DpSolver& solver,
+                                        const PtasOptions& options) {
+  const PtasOptions opts = isolated(options);
+  const PtasResult base = solve_ptas(instance, solver, opts);
+
+  // A filler job of size exactly T* on one extra machine changes nothing:
+  // below T* the filler alone is infeasible (it exceeds the target), and at
+  // any T >= T* it fits on the added machine (it joins some class c <= k^2,
+  // raising the rounded OPT by at most one against a machine count that
+  // also grew by one). The new lower bound is exactly T* because T* >=
+  // max job time and m*T* >= total time.
+  Instance extended = instance;
+  extended.machines += 1;
+  extended.times.push_back(base.best_target);
+  const PtasResult ext = solve_ptas(extended, solver, opts);
+
+  if (ext.best_target != base.best_target) {
+    std::ostringstream out;
+    out << "machine+filler extension moved the target: base T*="
+        << base.best_target << " extended T*=" << ext.best_target;
+    return out.str();
+  }
+  if (CheckResult bad = certify("base", instance, base, opts)) return bad;
+  return certify("extended", extended, ext, opts);
+}
+
+CheckResult check_metamorphic_suite(const Instance& instance,
+                                    const dp::DpSolver& solver,
+                                    const PtasOptions& options,
+                                    std::uint64_t seed) {
+  if (CheckResult bad =
+          check_permutation_metamorphic(instance, solver, options, seed))
+    return bad;
+  const std::int64_t factor = 2 + static_cast<std::int64_t>(seed % 5);
+  if (CheckResult bad =
+          check_scaling_metamorphic(instance, solver, options, factor))
+    return bad;
+  return check_extension_metamorphic(instance, solver, options);
+}
+
+}  // namespace pcmax::testkit

@@ -1,0 +1,47 @@
+// Metamorphic relations over the PTAS: transformations of an instance with
+// an exactly predictable effect on the found target. Each relation is proved
+// against the rounding/search semantics (see the notes in metamorphic.cpp),
+// so a violation is a real defect, not test flakiness. All relations hold
+// for every DP engine because they only constrain PTAS-level outputs.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/ptas.hpp"
+#include "dp/solver.hpp"
+#include "testkit/invariants.hpp"
+
+namespace pcmax::testkit {
+
+/// Permuting the job order leaves the found target and the search
+/// trajectory unchanged: rounding is a function of the job-time multiset.
+/// (The achieved makespan may legitimately differ — greedy short-job
+/// placement is order-dependent — so both runs are certificate-checked
+/// instead of compared.)
+[[nodiscard]] CheckResult check_permutation_metamorphic(
+    const Instance& instance, const dp::DpSolver& solver,
+    const PtasOptions& options, std::uint64_t shuffle_seed);
+
+/// Scaling every job time by an integer factor c scales the found target
+/// exactly: ceil(T*_scaled / c) == T*.
+[[nodiscard]] CheckResult check_scaling_metamorphic(const Instance& instance,
+                                                    const dp::DpSolver& solver,
+                                                    const PtasOptions& options,
+                                                    std::int64_t factor);
+
+/// Adding one machine plus one filler job of size exactly T* leaves the
+/// found target unchanged: the filler is infeasible below T* and occupies
+/// the new machine alone at T*.
+[[nodiscard]] CheckResult check_extension_metamorphic(
+    const Instance& instance, const dp::DpSolver& solver,
+    const PtasOptions& options);
+
+/// All three relations; the seed drives the permutation shuffle and the
+/// scaling factor. Stops at the first violated relation.
+[[nodiscard]] CheckResult check_metamorphic_suite(const Instance& instance,
+                                                  const dp::DpSolver& solver,
+                                                  const PtasOptions& options,
+                                                  std::uint64_t seed);
+
+}  // namespace pcmax::testkit

@@ -1,0 +1,213 @@
+#include "testkit/trace_checks.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace pcmax::testkit {
+
+namespace {
+
+struct Interval {
+  std::int64_t start;
+  std::int64_t end;
+  std::string name;
+};
+
+CheckResult fail(const std::ostringstream& out) { return out.str(); }
+
+}  // namespace
+
+CheckResult check_trace_structure(const obs::TraceRecorder& trace) {
+  const std::vector<obs::TraceEvent> events = trace.snapshot();
+
+  // Balanced, name-matched begin/end nesting on the host/algorithm track.
+  std::vector<std::string> stack;
+  std::int64_t last_sim = -1;
+  for (const obs::TraceEvent& e : events) {
+    switch (e.kind) {
+      case obs::EventKind::kSpanBegin:
+        stack.emplace_back(e.name);
+        break;
+      case obs::EventKind::kSpanEnd: {
+        if (stack.empty()) {
+          std::ostringstream out;
+          out << "span end '" << e.name << "' (seq " << e.seq
+              << ") with no open span";
+          return fail(out);
+        }
+        if (stack.back() != e.name) {
+          std::ostringstream out;
+          out << "span end '" << e.name << "' (seq " << e.seq
+              << ") does not match open span '" << stack.back() << "'";
+          return fail(out);
+        }
+        stack.pop_back();
+        break;
+      }
+      case obs::EventKind::kInstant:
+      case obs::EventKind::kComplete:
+        break;
+    }
+    // Simulated time is monotone in record order for host-side events: the
+    // device clock only moves forward.
+    if (e.kind != obs::EventKind::kComplete && e.sim_ps >= 0) {
+      if (e.sim_ps < last_sim) {
+        std::ostringstream out;
+        out << "simulated time went backwards at '" << e.name << "' (seq "
+            << e.seq << "): " << e.sim_ps << " < " << last_sim;
+        return fail(out);
+      }
+      last_sim = e.sim_ps;
+    }
+  }
+  if (!stack.empty()) {
+    std::ostringstream out;
+    out << stack.size() << " span(s) never closed; innermost '"
+        << stack.back() << "'";
+    return fail(out);
+  }
+
+  // Kernel spans: sane extents, and per-(pid, tid) non-overlap.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::vector<Interval>>
+      tracks;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind != obs::EventKind::kComplete) continue;
+    if (e.sim_ps < 0 || e.dur_ps < 0) {
+      std::ostringstream out;
+      out << "kernel span '" << e.name << "' (seq " << e.seq
+          << ") has negative extent: start=" << e.sim_ps
+          << " dur=" << e.dur_ps;
+      return fail(out);
+    }
+    if (e.pid < obs::kStreamPidBase) {
+      std::ostringstream out;
+      out << "kernel span '" << e.name << "' (seq " << e.seq
+          << ") on non-stream pid " << e.pid;
+      return fail(out);
+    }
+    tracks[{e.pid, e.tid}].push_back(
+        Interval{e.sim_ps, e.sim_ps + e.dur_ps, e.name});
+  }
+  for (auto& [key, intervals] : tracks) {
+    std::stable_sort(intervals.begin(), intervals.end(),
+                     [](const Interval& a, const Interval& b) {
+                       return a.start < b.start;
+                     });
+    for (std::size_t i = 0; i + 1 < intervals.size(); ++i) {
+      if (intervals[i + 1].start < intervals[i].end) {
+        std::ostringstream out;
+        out << "overlapping kernel spans on stream "
+            << key.first - obs::kStreamPidBase << " tid " << key.second
+            << ": '" << intervals[i].name << "' [" << intervals[i].start
+            << ", " << intervals[i].end << ") overlaps '"
+            << intervals[i + 1].name << "' starting at "
+            << intervals[i + 1].start;
+        return fail(out);
+      }
+    }
+  }
+
+  // Child nesting: every tid-2 span inside some tid-1 family on its stream.
+  for (const auto& [key, children] : tracks) {
+    if (key.second != obs::kChildTid) continue;
+    const auto parents_it = tracks.find({key.first, obs::kParentTid});
+    if (parents_it == tracks.end()) {
+      std::ostringstream out;
+      out << "child kernel spans on stream "
+          << key.first - obs::kStreamPidBase << " but no parent spans";
+      return fail(out);
+    }
+    const std::vector<Interval>& parents = parents_it->second;  // sorted
+    for (const Interval& child : children) {
+      // Last parent starting at or before the child (parents are disjoint
+      // and sorted, so it is the only candidate container).
+      auto it = std::upper_bound(
+          parents.begin(), parents.end(), child.start,
+          [](std::int64_t t, const Interval& p) { return t < p.start; });
+      const bool nested = it != parents.begin() &&
+                          child.start >= std::prev(it)->start &&
+                          child.end <= std::prev(it)->end;
+      if (!nested) {
+        std::ostringstream out;
+        out << "child kernel '" << child.name << "' [" << child.start << ", "
+            << child.end << ") on stream "
+            << key.first - obs::kStreamPidBase
+            << " is not nested inside any parent family span";
+        return fail(out);
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+CheckResult check_trace_reconciles(const obs::MetricsRegistry& metrics,
+                                   const PtasResult& result) {
+  const std::uint64_t invocations = metrics.counter("dp.invocations");
+  if (invocations != result.dp_calls.size()) {
+    std::ostringstream out;
+    out << "dp.invocations counter " << invocations << " != dp_calls.size() "
+        << result.dp_calls.size();
+    return fail(out);
+  }
+
+  std::uint64_t cached = 0;
+  std::uint64_t cells = 0;
+  for (const DpInvocation& call : result.dp_calls) {
+    if (call.cached) {
+      ++cached;
+    } else if (call.long_jobs > 0) {
+      cells += call.table_size;
+    }
+  }
+  if (metrics.counter("dp.cache_answered") != cached) {
+    std::ostringstream out;
+    out << "dp.cache_answered counter " << metrics.counter("dp.cache_answered")
+        << " != cached dp_calls " << cached;
+    return fail(out);
+  }
+  if (metrics.counter("dp.cells") != cells) {
+    std::ostringstream out;
+    out << "dp.cells counter " << metrics.counter("dp.cells")
+        << " != summed uncached table sizes " << cells;
+    return fail(out);
+  }
+
+  if (metrics.counter("search.rounds") !=
+      static_cast<std::uint64_t>(result.search_iterations)) {
+    std::ostringstream out;
+    out << "search.rounds counter " << metrics.counter("search.rounds")
+        << " != search_iterations " << result.search_iterations;
+    return fail(out);
+  }
+
+  if (metrics.counter("probe_cache.lookups") !=
+      result.cache_stats.lookups) {
+    std::ostringstream out;
+    out << "probe_cache.lookups counter "
+        << metrics.counter("probe_cache.lookups") << " != cache_stats.lookups "
+        << result.cache_stats.lookups;
+    return fail(out);
+  }
+  if (metrics.counter("probe_cache.hits") != result.cache_stats.hits) {
+    std::ostringstream out;
+    out << "probe_cache.hits counter " << metrics.counter("probe_cache.hits")
+        << " != cache_stats.hits " << result.cache_stats.hits;
+    return fail(out);
+  }
+  if (metrics.counter("search.bound_skips") !=
+      result.cache_stats.bound_skips) {
+    std::ostringstream out;
+    out << "search.bound_skips counter "
+        << metrics.counter("search.bound_skips")
+        << " != cache_stats.bound_skips " << result.cache_stats.bound_skips;
+    return fail(out);
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace pcmax::testkit

@@ -1,0 +1,34 @@
+// Invariant checkers over recorded observability data (obs/). Structural
+// checks validate a trace against the track model (balanced spans, monotone
+// simulated time, non-overlapping stream spans, children nested in parent
+// families); the reconciliation check ties the metric counters back to the
+// algorithm-level aggregates they mirror.
+#pragma once
+
+#include "core/ptas.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "testkit/invariants.hpp"
+
+namespace pcmax::testkit {
+
+/// Structural trace invariants:
+///  - begin/end span events balance LIFO with matching names;
+///  - simulated timestamps on host/algorithm events never decrease;
+///  - kernel (complete) spans carry sane extents and stream pids, and spans
+///    on one (stream, tid) track never overlap — the fluid scheduler runs
+///    each simulated stream FIFO;
+///  - every child kernel span (tid 2) lies inside a parent family span
+///    (tid 1) on the same stream, mirroring CUDA Dynamic Parallelism
+///    completion semantics.
+[[nodiscard]] CheckResult check_trace_structure(const obs::TraceRecorder& trace);
+
+/// Counter totals reconcile with one PtasResult produced while `metrics`
+/// was the installed registry (the session must cover exactly that solve):
+/// dp.invocations == dp_calls.size(), dp.cache_answered == cached calls,
+/// dp.cells == summed uncached long-job table sizes, search.rounds ==
+/// search_iterations, and the probe_cache counters match cache_stats.
+[[nodiscard]] CheckResult check_trace_reconciles(
+    const obs::MetricsRegistry& metrics, const PtasResult& result);
+
+}  // namespace pcmax::testkit

@@ -1,0 +1,118 @@
+// Exporter tests: Chrome-trace JSON track routing, metrics JSON shape, the
+// text summary, and determinism of the golden-trace digest.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pcmax::obs {
+namespace {
+
+/// A small trace exercising all three tracks. `sim` shifts the simulated
+/// clock; the digest must not depend on anything else.
+void record_scenario(TraceRecorder& recorder, std::int64_t sim) {
+  recorder.begin_span("ptas/solve", {arg("k", 2)});
+  recorder.instant("search/probe", {arg("target", 40), arg("verdict", 1)});
+  std::int64_t now = sim;
+  recorder.set_sim_clock([&now] { return now; });
+  recorder.begin_span("gpu/dp-solve", {arg("table", 64)});
+  recorder.complete("dp-kernel", kStreamPidBase, kParentTid, sim, 3000,
+                    {arg("threads", 64)});
+  recorder.complete("dp-child", kStreamPidBase, kChildTid, sim + 100, 800);
+  now = sim + 3000;
+  recorder.end_span("gpu/dp-solve");
+  recorder.set_sim_clock(nullptr);
+  recorder.end_span("ptas/solve");
+}
+
+TEST(Export, ChromeTraceRoutesTracksByClockDomain) {
+  TraceRecorder recorder;
+  record_scenario(recorder, 10'000);
+  const std::string json = chrome_trace_json(recorder);
+
+  // Valid envelope and per-track metadata.
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("host (wall clock)"), std::string::npos);
+  EXPECT_NE(json.find("algorithm (sim time)"), std::string::npos);
+  EXPECT_NE(json.find("gpusim stream 0 (sim time)"), std::string::npos);
+
+  // Wall-clock host span: no sim stamp when it was recorded.
+  EXPECT_NE(json.find("{\"ph\":\"B\",\"pid\":1,"), std::string::npos);
+  // Sim-stamped host span routed to the algorithm track.
+  EXPECT_NE(json.find("{\"ph\":\"B\",\"pid\":10,"), std::string::npos);
+  // Kernel complete events keep their stream pid and explicit extent
+  // (10000 ps = 0.010000 us).
+  EXPECT_NE(json.find("{\"ph\":\"X\",\"pid\":100,\"tid\":1,\"ts\":0.010000,"
+                      "\"dur\":0.003000,"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  // Instants are marked thread-scoped and carry args.
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"target\":40,\"verdict\":1}"),
+            std::string::npos);
+}
+
+TEST(Export, MetricsJsonListsCountersAndNonzeroBuckets) {
+  MetricsRegistry registry;
+  registry.add("dp.invocations", 6);
+  registry.observe("dp.table_size", 3);
+  registry.observe("dp.table_size", 100);
+  const std::string json = metrics_json(registry);
+  EXPECT_NE(json.find("\"dp.invocations\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"dp.table_size\": {\"total\": 2, \"sum\": 103,"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"le\": 3, \"count\": 1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\": 127, \"count\": 1}"), std::string::npos);
+  // Empty buckets are omitted.
+  EXPECT_EQ(json.find("\"count\": 0"), std::string::npos);
+}
+
+TEST(Export, TextSummaryCountsEventKinds) {
+  TraceRecorder recorder;
+  MetricsRegistry registry;
+  record_scenario(recorder, 500);
+  registry.add("search.rounds", 3);
+  const std::string summary = text_summary(recorder, registry);
+  EXPECT_NE(summary.find("trace: 7 events (2 spans, 2 kernel spans,"
+                         " 1 instants)"),
+            std::string::npos);
+  EXPECT_NE(summary.find("search.rounds = 3"), std::string::npos);
+}
+
+TEST(Export, DigestIsDeterministicAndExcludesWallClock) {
+  // Two recorders created at different wall times with identical logical
+  // content must produce byte-identical digests.
+  TraceRecorder first;
+  record_scenario(first, 10'000);
+  TraceRecorder second;
+  record_scenario(second, 10'000);
+  EXPECT_EQ(trace_digest(first), trace_digest(second));
+
+  // The digest nests by span depth and stamps simulated time only.
+  const std::string digest = trace_digest(first);
+  EXPECT_NE(digest.find("begin ptas/solve k=2\n"), std::string::npos);
+  EXPECT_NE(digest.find("  begin gpu/dp-solve table=64 sim=10000\n"),
+            std::string::npos);
+  EXPECT_NE(digest.find("    kernel stream=0 tid=1 dp-kernel start=10000 "
+                        "dur=3000 threads=64\n"),
+            std::string::npos);
+  EXPECT_EQ(digest.find("wall"), std::string::npos);
+
+  // A different simulated schedule changes the digest.
+  TraceRecorder third;
+  record_scenario(third, 20'000);
+  EXPECT_NE(trace_digest(first), trace_digest(third));
+}
+
+TEST(Export, WriteFileThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_file("/nonexistent-dir/trace.json", "{}"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pcmax::obs

@@ -1,0 +1,107 @@
+// Golden-trace regression tests: deterministic solver runs recorded under an
+// ObsSession, digested with obs::trace_digest (wall-clock free) plus the
+// text summary, and compared byte-for-byte against checked-in goldens in
+// tests/obs/golden/. On intentional instrumentation changes, regenerate with
+//
+//   build/tests/test_obs_golden --update-goldens
+//
+// and review the diff like any other code change: it IS the observable
+// behaviour of the instrumentation.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "core/probe_cache.hpp"
+#include "core/ptas.hpp"
+#include "dp/solver.hpp"
+#include "gpu/gpu_ptas.hpp"
+#include "obs/export.hpp"
+#include "obs/session.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pcmax;
+
+bool g_update_goldens = false;
+
+std::string golden_path(const std::string& name) {
+  return std::string(PCMAX_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (g_update_goldens) {
+    obs::write_file(path, actual);
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden " << path
+                  << " — regenerate with test_obs_golden --update-goldens";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), actual)
+      << "golden trace drifted for '" << name
+      << "'. If the instrumentation change is intentional, regenerate with "
+         "test_obs_golden --update-goldens and review the diff.";
+}
+
+/// Digest + summary for whatever `run` records under a fresh session.
+template <typename Run>
+std::string record(Run&& run) {
+  obs::ObsSession session;
+  run();
+  return obs::trace_digest(session.trace()) + "----\n" +
+         obs::text_summary(session.trace(), session.metrics());
+}
+
+TEST(GoldenTrace, BisectionBucket) {
+  const Instance instance = workload::uniform_instance(12, 3, 1, 40, 7);
+  check_golden("bisection_bucket", record([&] {
+    const dp::LevelBucketSolver solver;
+    PtasOptions options;
+    options.epsilon = 0.5;
+    solve_ptas(instance, solver, options);
+  }));
+}
+
+TEST(GoldenTrace, QuarterSplitWithProbeCache) {
+  const Instance instance = workload::uniform_instance(16, 4, 1, 60, 11);
+  check_golden("quarter_cache", record([&] {
+    const dp::LevelBucketSolver solver;
+    ProbeCache shared;
+    PtasOptions options;
+    options.epsilon = 0.5;
+    options.strategy = SearchStrategy::kQuarterSplit;
+    options.use_probe_cache = true;
+    options.probe_cache = &shared;
+    // The second run replays the first from the warm cache, so the golden
+    // pins both the miss path and the cache-hit instants.
+    solve_ptas(instance, solver, options);
+    solve_ptas(instance, solver, options);
+  }));
+}
+
+TEST(GoldenTrace, GpuEndToEnd) {
+  const Instance instance = workload::uniform_instance(10, 3, 1, 30, 5);
+  check_golden("gpu_small", record([&] {
+    gpusim::Device device(gpusim::DeviceSpec::k40());
+    gpu::GpuPtasOptions options;
+    options.epsilon = 0.5;
+    options.partition_dims = 5;
+    gpu::solve_gpu_ptas(instance, device, options);
+  }));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--update-goldens") g_update_goldens = true;
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,100 @@
+// MetricsRegistry unit tests: counters, power-of-two histogram buckets, and
+// the disabled-path convenience helpers.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace pcmax::obs {
+namespace {
+
+class InstallGuard {
+ public:
+  explicit InstallGuard(MetricsRegistry& registry) {
+    install_metrics(&registry);
+  }
+  ~InstallGuard() { install_metrics(nullptr); }
+};
+
+TEST(Metrics, CountersAccumulateAndSort) {
+  MetricsRegistry registry;
+  registry.add("b.second");
+  registry.add("a.first", 3);
+  registry.add("a.first", 2);
+  EXPECT_EQ(registry.counter("a.first"), 5u);
+  EXPECT_EQ(registry.counter("b.second"), 1u);
+  EXPECT_EQ(registry.counter("never.touched"), 0u);
+
+  const auto counters = registry.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a.first");
+  EXPECT_EQ(counters[1].first, "b.second");
+}
+
+TEST(Metrics, BucketIndexIsPowerOfTwo) {
+  EXPECT_EQ(MetricsRegistry::bucket_index(-5), 0u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(0), 0u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(1), 1u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(2), 2u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(3), 2u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(4), 3u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(7), 3u);
+  EXPECT_EQ(MetricsRegistry::bucket_index(8), 4u);
+  // Everything huge lands in the last bucket instead of overflowing.
+  EXPECT_EQ(MetricsRegistry::bucket_index(std::numeric_limits<std::int64_t>::max()),
+            MetricsRegistry::kHistogramBuckets - 1);
+}
+
+TEST(Metrics, BucketUpperMatchesIndex) {
+  EXPECT_EQ(MetricsRegistry::bucket_upper(0), 0);
+  EXPECT_EQ(MetricsRegistry::bucket_upper(1), 1);
+  EXPECT_EQ(MetricsRegistry::bucket_upper(2), 3);
+  EXPECT_EQ(MetricsRegistry::bucket_upper(3), 7);
+  // Every in-range value's bucket upper bound is >= the value itself.
+  for (const std::int64_t v : {1, 2, 5, 100, 4095, 4096, 1 << 20}) {
+    const auto b = MetricsRegistry::bucket_index(v);
+    EXPECT_GE(MetricsRegistry::bucket_upper(b), v) << "value " << v;
+    if (b > 1)
+      EXPECT_LT(MetricsRegistry::bucket_upper(b - 1), v) << "value " << v;
+  }
+}
+
+TEST(Metrics, HistogramSnapshotsCarryTotalsAndBuckets) {
+  MetricsRegistry registry;
+  registry.observe("sizes", 1);
+  registry.observe("sizes", 3);
+  registry.observe("sizes", 3);
+  registry.observe("sizes", 0);
+  const auto histograms = registry.histograms();
+  ASSERT_EQ(histograms.size(), 1u);
+  const auto& h = histograms[0];
+  EXPECT_EQ(h.name, "sizes");
+  EXPECT_EQ(h.total, 4u);
+  EXPECT_EQ(h.sum, 7);
+  EXPECT_EQ(h.counts[0], 1u);  // the 0 sample
+  EXPECT_EQ(h.counts[1], 1u);  // the 1 sample
+  EXPECT_EQ(h.counts[2], 2u);  // both 3 samples
+}
+
+TEST(Metrics, HelpersNoOpWhenDisabled) {
+  ASSERT_EQ(metrics(), nullptr);
+  count("ignored");
+  observe("ignored", 17);
+  EXPECT_EQ(metrics(), nullptr);
+}
+
+TEST(Metrics, HelpersReachInstalledRegistry) {
+  MetricsRegistry registry;
+  InstallGuard guard(registry);
+  count("hits");
+  count("hits", 4);
+  observe("latency", 12);
+  EXPECT_EQ(registry.counter("hits"), 5u);
+  ASSERT_EQ(registry.histograms().size(), 1u);
+  EXPECT_EQ(registry.histograms()[0].total, 1u);
+}
+
+}  // namespace
+}  // namespace pcmax::obs

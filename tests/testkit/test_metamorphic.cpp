@@ -1,0 +1,130 @@
+// Metamorphic relations across every DP engine family: the same proved
+// instance transformations must hold no matter which engine answers the
+// feasibility probes, including the simulated-GPU solver.
+#include "testkit/metamorphic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "dp/solver.hpp"
+#include "gpu/gpu_dp_solver.hpp"
+#include "gpusim/device.hpp"
+#include "partition/block_solver.hpp"
+#include "workload/generators.hpp"
+
+namespace pcmax::testkit {
+namespace {
+
+Instance small_instance(std::uint64_t seed) {
+  return workload::uniform_instance(14, 4, 1, 50, seed);
+}
+
+PtasOptions options_for(SearchStrategy strategy) {
+  PtasOptions options;
+  options.epsilon = 0.5;
+  options.strategy = strategy;
+  return options;
+}
+
+TEST(Metamorphic, PermutationHoldsAcrossCpuEngines) {
+  const dp::LevelBucketSolver bucket;
+  const dp::LevelScanSolver scan;
+  const partition::BlockedSolver blocked(3);
+  const std::vector<const dp::DpSolver*> solvers = {&bucket, &scan, &blocked};
+  const Instance instance = small_instance(21);
+  for (const auto* solver : solvers) {
+    const auto bad = check_permutation_metamorphic(
+        instance, *solver, options_for(SearchStrategy::kBisection), 99);
+    EXPECT_FALSE(bad.has_value()) << solver->name() << ": " << *bad;
+  }
+}
+
+TEST(Metamorphic, ScalingHoldsForSeveralFactors) {
+  const dp::LevelBucketSolver solver;
+  const Instance instance = small_instance(22);
+  for (const std::int64_t factor : {2, 3, 7}) {
+    const auto bad = check_scaling_metamorphic(
+        instance, solver, options_for(SearchStrategy::kBisection), factor);
+    EXPECT_FALSE(bad.has_value()) << "factor " << factor << ": " << *bad;
+  }
+}
+
+TEST(Metamorphic, ExtensionHoldsForBothStrategies) {
+  const dp::LevelBucketSolver solver;
+  const Instance instance = small_instance(23);
+  for (const auto strategy :
+       {SearchStrategy::kBisection, SearchStrategy::kQuarterSplit}) {
+    const auto bad =
+        check_extension_metamorphic(instance, solver, options_for(strategy));
+    EXPECT_FALSE(bad.has_value()) << *bad;
+  }
+}
+
+TEST(Metamorphic, SuiteHoldsOnQuarterSplit) {
+  const partition::BlockedSolver solver(5);
+  const Instance instance = small_instance(24);
+  const auto bad = check_metamorphic_suite(
+      instance, solver, options_for(SearchStrategy::kQuarterSplit), 7);
+  EXPECT_FALSE(bad.has_value()) << *bad;
+}
+
+TEST(Metamorphic, SuiteHoldsOnSimulatedGpuEngine) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const gpu::GpuDpSolver solver(device, 5);
+  // Smaller than the CPU cases: the suite reruns the full search for every
+  // transformed variant on the simulated device.
+  const Instance instance = workload::uniform_instance(10, 3, 1, 30, 25);
+  const auto bad = check_metamorphic_suite(
+      instance, solver, options_for(SearchStrategy::kBisection), 13);
+  EXPECT_FALSE(bad.has_value()) << *bad;
+}
+
+/// Deliberately unsound engine: delegates to the bucketed solver but
+/// over-claims feasibility (opt = 1) on its first few invocations, so the
+/// base run and the transformed run see different oracles. Over-claiming
+/// (never the reverse) keeps the search inside its contracts, so the
+/// inconsistency must surface as a checker diagnosis, not a crash.
+class FlakySolver final : public dp::DpSolver {
+ public:
+  using DpSolver::solve;
+  [[nodiscard]] dp::DpResult solve(
+      const dp::DpProblem& problem,
+      const dp::SolveOptions& options) const override {
+    dp::DpResult result = inner_.solve(problem, options);
+    if (++calls_ <= 3 && result.opt != dp::kInfeasible) {
+      result.opt = 1;
+      if (!result.table.empty()) result.table.back() = 1;
+    }
+    return result;
+  }
+  [[nodiscard]] std::string name() const override { return "flaky"; }
+
+ private:
+  dp::LevelBucketSolver inner_;
+  mutable std::uint64_t calls_ = 0;
+};
+
+TEST(Metamorphic, PermutationDetectsInconsistentEngine) {
+  // The checkers must actually have teeth: a solver whose answers drift
+  // between invocations drives the base run to a lower target than the
+  // permuted rerun, and the relation must report it. The instance and k=4
+  // are crafted so the rounded threshold (8: class floor(64/T) jobs pair up
+  // only once 2*floor(64/T) <= 16) sits strictly above the lower bound
+  // (6 = ceil(12/2)), which is where the over-claimed probes pin the
+  // corrupted base search. Schedules are not built — the corrupted probes
+  // only desynchronize the searches.
+  const FlakySolver solver;
+  Instance instance;
+  instance.machines = 2;
+  instance.times = {4, 4, 4};
+  PtasOptions options = options_for(SearchStrategy::kBisection);
+  options.epsilon = 0.25;
+  options.build_schedule = false;
+  const auto bad = check_permutation_metamorphic(instance, solver, options, 3);
+  EXPECT_TRUE(bad.has_value());
+}
+
+}  // namespace
+}  // namespace pcmax::testkit

@@ -24,6 +24,8 @@
 #include "baselines/heuristics.hpp"
 #include "core/bounds.hpp"
 #include "gpu/gpu_ptas.hpp"
+#include "obs/export.hpp"
+#include "obs/session.hpp"
 #include "partition/block_solver.hpp"
 #include "workload/generators.hpp"
 #include "workload/io.hpp"
@@ -39,7 +41,13 @@ using namespace pcmax;
       "usage: pcmax_cli (--input FILE | --random N M LO HI SEED)\n"
       "                 [--engine ptas|gpu-dim<k>|lpt|list|multifit|exact]\n"
       "                 [--dp bucket|scan|blocked-<dims>] [--epsilon E]\n"
-      "                 [--quarter-split] [--emit-instance]\n");
+      "                 [--quarter-split] [--emit-instance]\n"
+      "                 [--trace-out FILE] [--metrics-out FILE]\n"
+      "\n"
+      "Value flags also accept --flag=VALUE. --trace-out writes a Chrome\n"
+      "trace (chrome://tracing, Perfetto); --metrics-out writes counters\n"
+      "and histograms as JSON. Either flag enables recording and prints a\n"
+      "text summary (see docs/OBSERVABILITY.md).\n");
   std::exit(2);
 }
 
@@ -51,13 +59,24 @@ struct Args {
   double epsilon = 0.3;
   bool quarter_split = false;
   bool emit_instance = false;
+  std::optional<std::string> trace_out;
+  std::optional<std::string> metrics_out;
 };
 
 Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    const auto next = [&](const char* what) -> const char* {
+    std::string a = argv[i];
+    // --flag=VALUE is equivalent to --flag VALUE.
+    std::optional<std::string> inline_value;
+    if (a.rfind("--", 0) == 0) {
+      if (const auto eq = a.find('='); eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a.resize(eq);
+      }
+    }
+    const auto next = [&](const char* what) -> std::string {
+      if (inline_value.has_value()) return *inline_value;
       if (i + 1 >= argc) usage(what);
       return argv[++i];
     };
@@ -76,11 +95,15 @@ Args parse_args(int argc, char** argv) {
     } else if (a == "--dp") {
       args.dp = next("--dp needs a name");
     } else if (a == "--epsilon") {
-      args.epsilon = std::atof(next("--epsilon needs a value"));
+      args.epsilon = std::atof(next("--epsilon needs a value").c_str());
     } else if (a == "--quarter-split") {
       args.quarter_split = true;
     } else if (a == "--emit-instance") {
       args.emit_instance = true;
+    } else if (a == "--trace-out") {
+      args.trace_out = next("--trace-out needs a path");
+    } else if (a == "--metrics-out") {
+      args.metrics_out = next("--metrics-out needs a path");
     } else {
       usage(("unknown flag: " + a).c_str());
     }
@@ -134,32 +157,7 @@ int run_gpu(const Instance& instance, const Args& args, std::size_t dims) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
-
-  Instance instance;
-  if (args.input.has_value()) {
-    std::ifstream in(*args.input);
-    if (!in) usage(("cannot open " + *args.input).c_str());
-    instance = workload::read_instance(in);
-  } else if (args.random.has_value()) {
-    instance = *args.random;
-  } else {
-    usage("need --input or --random");
-  }
-
-  if (args.emit_instance) {
-    workload::write_instance(std::cout, instance);
-    return 0;
-  }
-
-  std::printf("# %zu jobs on %lld machines, LB %lld UB %lld\n",
-              instance.jobs(), static_cast<long long>(instance.machines),
-              static_cast<long long>(makespan_lower_bound(instance)),
-              static_cast<long long>(makespan_upper_bound(instance)));
-
+int run_engine(const Instance& instance, const Args& args) {
   if (args.engine == "ptas") return run_ptas(instance, args);
   if (args.engine.rfind("gpu-dim", 0) == 0)
     return run_gpu(instance, args,
@@ -188,4 +186,51 @@ int main(int argc, char** argv) {
     return 0;
   }
   usage(("unknown --engine: " + args.engine).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  Instance instance;
+  if (args.input.has_value()) {
+    std::ifstream in(*args.input);
+    if (!in) usage(("cannot open " + *args.input).c_str());
+    instance = workload::read_instance(in);
+  } else if (args.random.has_value()) {
+    instance = *args.random;
+  } else {
+    usage("need --input or --random");
+  }
+
+  if (args.emit_instance) {
+    workload::write_instance(std::cout, instance);
+    return 0;
+  }
+
+  std::printf("# %zu jobs on %lld machines, LB %lld UB %lld\n",
+              instance.jobs(), static_cast<long long>(instance.machines),
+              static_cast<long long>(makespan_lower_bound(instance)),
+              static_cast<long long>(makespan_upper_bound(instance)));
+
+  // Either observability flag turns recording on for the engine run only,
+  // so trace and metrics cover exactly one solve.
+  if (!args.trace_out.has_value() && !args.metrics_out.has_value())
+    return run_engine(instance, args);
+
+  obs::ObsSession session;
+  const int rc = run_engine(instance, args);
+  if (args.trace_out.has_value()) {
+    obs::write_file(*args.trace_out, obs::chrome_trace_json(session.trace()));
+    std::printf("trace: %zu events -> %s\n", session.trace().size(),
+                args.trace_out->c_str());
+  }
+  if (args.metrics_out.has_value()) {
+    obs::write_file(*args.metrics_out, obs::metrics_json(session.metrics()));
+    std::printf("metrics -> %s\n", args.metrics_out->c_str());
+  }
+  std::fputs(obs::text_summary(session.trace(), session.metrics()).c_str(),
+             stdout);
+  return rc;
 }

@@ -28,11 +28,14 @@
 #include "core/ptas.hpp"
 #include "core/rounding.hpp"
 #include "gpu/gpu_ptas.hpp"
+#include "obs/export.hpp"
+#include "obs/session.hpp"
 #include "partition/block_solver.hpp"
 #include "partition/divisor.hpp"
 #include "testkit/engines.hpp"
 #include "testkit/generators.hpp"
 #include "testkit/invariants.hpp"
+#include "testkit/metamorphic.hpp"
 #include "testkit/oracles.hpp"
 #include "testkit/replay.hpp"
 #include "testkit/shrink.hpp"
@@ -98,8 +101,9 @@ enum class Mode : int {
   kLayoutBijection = 2,
   kSimulator = 3,
   kPtasCache = 4,
+  kMetamorphic = 5,
 };
-constexpr int kModeCount = 5;
+constexpr int kModeCount = 6;
 
 const char* mode_name(Mode mode) {
   switch (mode) {
@@ -108,6 +112,7 @@ const char* mode_name(Mode mode) {
     case Mode::kLayoutBijection: return "layout-bijection";
     case Mode::kSimulator: return "simulator";
     case Mode::kPtasCache: return "ptas-cache";
+    case Mode::kMetamorphic: return "metamorphic";
   }
   return "?";
 }
@@ -164,15 +169,16 @@ class Fuzzer {
     // every engine and checker; afterwards the mix is random but biased
     // toward the differential core.
     Mode mode;
-    if (id.index < 15) {
+    if (id.index < 3 * kModeCount) {
       mode = static_cast<Mode>(id.index % kModeCount);
     } else {
-      const auto roll = rng.uniform(0, 11);
+      const auto roll = rng.uniform(0, 12);
       mode = roll < 5    ? Mode::kDpDifferential
              : roll < 8  ? Mode::kPtasCertificate
              : roll < 9  ? Mode::kLayoutBijection
              : roll < 10 ? Mode::kSimulator
-                         : Mode::kPtasCache;
+             : roll < 12 ? Mode::kPtasCache
+                         : Mode::kMetamorphic;
     }
     coverage_.cases++;
     coverage_.per_mode[mode_name(mode)]++;
@@ -182,6 +188,7 @@ class Fuzzer {
       case Mode::kLayoutBijection: return run_layout_bijection(id, rng);
       case Mode::kSimulator: return run_simulator(id, rng);
       case Mode::kPtasCache: return run_ptas_cache(id, rng);
+      case Mode::kMetamorphic: return run_metamorphic(id, rng);
     }
     return std::nullopt;
   }
@@ -392,6 +399,57 @@ class Fuzzer {
     return failure;
   }
 
+  std::optional<Failure> run_metamorphic(const testkit::CaseId& id,
+                                         util::Rng& rng) {
+    Instance instance;
+    const auto k_choice = rng.uniform(0, 3);
+    const double epsilon = k_choice == 0   ? 1.0
+                           : k_choice == 1 ? 0.5
+                           : k_choice == 2 ? 0.34
+                                           : 0.25;
+    const auto k = k_for_epsilon(epsilon);
+    bool found = false;
+    for (int attempt = 0; attempt < 5 && !found; ++attempt) {
+      instance = testkit::random_instance(rng);
+      // The suite reruns the full search for the base, permuted, scaled and
+      // extended variants (scaling leaves the rounded table size unchanged),
+      // so gate as tightly as the cache mode.
+      const auto rounded =
+          round_instance(instance, makespan_lower_bound(instance), k);
+      found = !rounded.feasible || rounded.table_size() <= 30'000;
+    }
+    if (!found) {
+      coverage_.skipped++;
+      return std::nullopt;
+    }
+
+    const dp::LevelBucketSolver bucket;
+    const dp::LevelScanSolver scan;
+    const partition::BlockedSolver blocked3(3);
+    const partition::BlockedSolver blocked6(6);
+    const dp::DpSolver* solvers[] = {&bucket, &scan, &blocked3, &blocked6};
+    const auto* solver = solvers[rng.uniform(0, 3)];
+    PtasOptions options;
+    options.epsilon = epsilon;
+    options.strategy = rng.uniform(0, 1) == 0 ? SearchStrategy::kBisection
+                                              : SearchStrategy::kQuarterSplit;
+    const auto suite_seed = testkit::case_rng_seed(id);
+    coverage_.per_ptas_engine[solver->name()]++;
+    auto bad =
+        testkit::check_metamorphic_suite(instance, *solver, options, suite_seed);
+    if (!bad.has_value()) return std::nullopt;
+
+    Failure failure{id, Mode::kMetamorphic, *bad, {}};
+    const auto shrunk = testkit::shrink_instance(
+        instance, [&](const Instance& candidate) {
+          return testkit::check_metamorphic_suite(candidate, *solver, options,
+                                                  suite_seed)
+              .has_value();
+        });
+    failure.reproducer = describe(shrunk);
+    return failure;
+  }
+
   std::optional<Failure> run_layout_bijection(const testkit::CaseId& id,
                                               util::Rng& rng) {
     const auto extents = testkit::adversarial_extents(rng, 6, 20'000);
@@ -481,7 +539,7 @@ void print_coverage(const Fuzzer& fuzzer) {
                 static_cast<unsigned long long>(count));
 }
 
-int report_failure(const Args& args, const Failure& failure) {
+int report_failure(const Args& args, Fuzzer& fuzzer, const Failure& failure) {
   const auto token = testkit::format_case(failure.id);
   std::fprintf(stderr,
                "FAIL case %s mode=%s\n  %s\n  shrunk reproducer: %s\n"
@@ -492,9 +550,10 @@ int report_failure(const Args& args, const Failure& failure) {
                token.c_str());
   std::error_code ec;
   std::filesystem::create_directories(args.repro_dir, ec);
-  const auto path = args.repro_dir + "/fuzz-repro-" +
-                    std::to_string(failure.id.seed) + "-" +
-                    std::to_string(failure.id.index) + ".txt";
+  const auto prefix = args.repro_dir + "/fuzz-repro-" +
+                      std::to_string(failure.id.seed) + "-" +
+                      std::to_string(failure.id.index);
+  const auto path = prefix + ".txt";
   std::ofstream out(path);
   if (out) {
     out << "case " << token << "\nmode " << mode_name(failure.mode)
@@ -503,6 +562,23 @@ int report_failure(const Args& args, const Failure& failure) {
     std::fprintf(stderr, "  repro written to %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "  could not write repro file %s\n", path.c_str());
+  }
+
+  // Replay the failing case once more with observability on and attach the
+  // trace and metrics next to the repro: the CI artifact then carries the
+  // full search/DP/kernel timeline of the failure (including the shrink
+  // probes, which is useful context when diagnosing a flaky engine).
+  try {
+    obs::ObsSession session;
+    fuzzer.run_case(failure.id);
+    obs::write_file(prefix + "-trace.json",
+                    obs::chrome_trace_json(session.trace()));
+    obs::write_file(prefix + "-metrics.json",
+                    obs::metrics_json(session.metrics()));
+    std::fprintf(stderr, "  trace + metrics written to %s-{trace,metrics}.json\n",
+                 prefix.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "  could not record failure trace: %s\n", e.what());
   }
   return 1;
 }
@@ -517,7 +593,7 @@ int main(int argc, char** argv) {
     std::printf("replaying case %s\n",
                 testkit::format_case(*args.replay).c_str());
     if (const auto failure = fuzzer.run_case(*args.replay))
-      return report_failure(args, *failure);
+      return report_failure(args, fuzzer, *failure);
     std::printf("case passed\n");
     return 0;
   }
@@ -534,7 +610,7 @@ int main(int argc, char** argv) {
       std::printf("case %s\n", testkit::format_case(id).c_str());
     if (const auto failure = fuzzer.run_case(id)) {
       print_coverage(fuzzer);
-      return report_failure(args, *failure);
+      return report_failure(args, fuzzer, *failure);
     }
     ++index;
   }
