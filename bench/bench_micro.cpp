@@ -15,6 +15,7 @@
 #include "obs/trace.hpp"
 #include "dp/frontier_solver.hpp"
 #include "dp/reconstruct.hpp"
+#include "faultsim/injector.hpp"
 #include "dp/solver.hpp"
 #include "gpusim/coalescing.hpp"
 #include "knapsack/solver.hpp"
@@ -196,6 +197,35 @@ void BM_ObsSpanDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsSpanDisabled);
+
+// Fault-hook overhead with no injector installed: the cost every
+// instrumented site (device allocate/launch/synchronize, DP-table
+// allocation and finalization) pays in production — one relaxed atomic
+// load and a predictable branch, same discipline as the obs hooks above.
+void BM_FaultHookDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    auto fault = faultsim::fault_at(faultsim::Site::kDeviceAlloc);
+    benchmark::DoNotOptimize(fault);
+  }
+}
+BENCHMARK(BM_FaultHookDisabled);
+
+// Enabled variant with a non-matching nth rule: the per-hit cost when an
+// injector is active but the site does not fire (atomic ordinal bump plus
+// one rule scan).
+void BM_FaultHookEnabled(benchmark::State& state) {
+  faultsim::FaultPlan plan;
+  plan.seed = 7;
+  plan.rules.push_back(faultsim::FaultRule{
+      faultsim::Site::kDeviceAlloc, /*nth=*/std::uint64_t{1} << 62,
+      /*permille=*/0, /*stall_ms=*/0});
+  const faultsim::ScopedFaultInjector scoped(plan);
+  for (auto _ : state) {
+    auto fault = faultsim::fault_at(faultsim::Site::kDeviceAlloc);
+    benchmark::DoNotOptimize(fault);
+  }
+}
+BENCHMARK(BM_FaultHookEnabled);
 
 // Enabled variant: capped iteration count because every span appends two
 // events to the recorder arena, which grows for the session's lifetime.

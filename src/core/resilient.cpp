@@ -1,0 +1,388 @@
+#include "core/resilient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "core/bounds.hpp"
+#include "core/ptas.hpp"
+#include "core/rounding.hpp"
+#include "gpusim/device.hpp"  // header-only exception types; no link dependency
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax {
+
+Deadline Deadline::after_ms(std::int64_t ms) {
+  Deadline d;
+  if (ms > 0) {
+    d.unlimited_ = false;
+    d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+  }
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  return !unlimited_ && Clock::now() >= at_;
+}
+
+void Deadline::check(const char* what) const {
+  if (expired())
+    throw DeadlineExceeded(std::string(what) + " deadline exceeded");
+}
+
+namespace {
+
+/// DpSolver decorator enforcing the per-solve and per-probe deadlines at
+/// probe granularity: a probe is never started past either deadline, and a
+/// finished probe that blew its own budget fails the attempt instead of
+/// letting the search keep burning time. (Probes are not aborted mid-table;
+/// promptness is bounded by one DP fill.)
+class DeadlineSolver final : public dp::DpSolver {
+ public:
+  DeadlineSolver(const dp::DpSolver& inner, Deadline overall,
+                 std::int64_t probe_ms)
+      : inner_(inner), overall_(overall), probe_ms_(probe_ms) {}
+
+  using dp::DpSolver::solve;
+  [[nodiscard]] dp::DpResult solve(
+      const dp::DpProblem& problem,
+      const dp::SolveOptions& options) const override {
+    overall_.check("solve");
+    const Deadline probe = Deadline::after_ms(probe_ms_);
+    dp::DpResult result = inner_.solve(problem, options);
+    probe.check("probe");
+    overall_.check("solve");
+    return result;
+  }
+
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+
+ private:
+  const dp::DpSolver& inner_;
+  Deadline overall_;
+  std::int64_t probe_ms_;
+};
+
+EngineOutcome run_cpu_ptas(const dp::DpSolver& solver,
+                           const Instance& instance, std::int64_t k,
+                           const EngineContext& ctx) {
+  const DeadlineSolver guarded(solver, ctx.deadline, ctx.probe_deadline_ms);
+  PtasOptions options;
+  options.epsilon = epsilon_for_k(k);
+  options.num_threads = ctx.num_threads;
+  PtasResult r = solve_ptas(instance, guarded, options);
+  return EngineOutcome{std::move(r.schedule), r.achieved_makespan,
+                       r.best_target};
+}
+
+/// Worst-case DP-table bytes over the search range [LB, UB]: T = LB keeps
+/// the most jobs long (t*k > T is hardest at the smallest target), so its
+/// rounding has the largest per-class counts. Throws util::overflow_error
+/// when the size does not even fit 64 bits.
+std::uint64_t cpu_table_bytes(const Instance& instance, std::int64_t k) {
+  const RoundedInstance rounded =
+      round_instance(instance, makespan_lower_bound(instance), k);
+  return util::checked_mul(rounded.table_size(), sizeof(std::int32_t));
+}
+
+SolveEngine make_cpu_engine(std::string name,
+                            std::shared_ptr<const dp::DpSolver> solver) {
+  SolveEngine engine;
+  engine.name = std::move(name);
+  engine.uses_k = true;
+  engine.bound = [](std::int64_t, std::int64_t k) {
+    return std::pair<std::int64_t, std::int64_t>{k + 1, k};
+  };
+  engine.mem_estimate = [](const Instance& instance, std::int64_t k) {
+    return cpu_table_bytes(instance, k);
+  };
+  engine.run = [solver = std::move(solver)](const Instance& instance,
+                                            std::int64_t k,
+                                            const EngineContext& ctx) {
+    return run_cpu_ptas(*solver, instance, k, ctx);
+  };
+  return engine;
+}
+
+/// Post-attempt integrity gate. Catches injected (and organic) result
+/// corruption: the schedule must validate, the reported makespan must match
+/// an independent recomputation, and a PTAS outcome must satisfy its own
+/// certificate — T* within the search range and makespan * k <= (k+1) * T*.
+Status integrity_check(const Instance& instance, std::int64_t k,
+                       std::int64_t lower_bound, const EngineOutcome& out) {
+  try {
+    validate_schedule(instance, out.schedule);
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kDataCorruption,
+                  std::string("schedule failed validation: ") + e.what());
+  }
+  const std::int64_t recomputed = makespan(instance, out.schedule);
+  if (recomputed != out.achieved_makespan)
+    return Status(StatusCode::kDataCorruption,
+                  "reported makespan " + std::to_string(out.achieved_makespan) +
+                      " != recomputed " + std::to_string(recomputed));
+  if (out.best_target > 0 && k > 0) {
+    if (out.best_target < lower_bound)
+      return Status(StatusCode::kDataCorruption,
+                    "best target " + std::to_string(out.best_target) +
+                        " below lower bound " + std::to_string(lower_bound));
+    if (recomputed * k > (k + 1) * out.best_target)
+      return Status(StatusCode::kDataCorruption,
+                    "makespan " + std::to_string(recomputed) +
+                        " violates (k+1)/k certificate at T*=" +
+                        std::to_string(out.best_target) +
+                        ", k=" + std::to_string(k));
+  }
+  return Status::ok();
+}
+
+void count_status(const Status& status) {
+  obs::count(std::string("resilient.status.") +
+             std::string(status_code_name(status.code())));
+}
+
+void record_attempt(ResilientResult& result, const SolveEngine& engine,
+                    std::int64_t k, int retry, Status status) {
+  count_status(status);
+  result.attempts.push_back(
+      AttemptRecord{engine.name, k, retry, std::move(status)});
+}
+
+}  // namespace
+
+double epsilon_for_k(std::int64_t k) {
+  // fl(1.0/k) can land below 1/k (k=3 does), making ceil(1/eps) == k+1;
+  // nudge upward until the round trip is exact.
+  double eps = 1.0 / static_cast<double>(k);
+  while (k_for_epsilon(eps) > k) eps = std::nextafter(eps, 1.0);
+  return eps;
+}
+
+EngineOutcome lpt_outcome(const Instance& instance) {
+  std::vector<std::size_t> order(instance.times.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return instance.times[a] > instance.times[b];
+                   });
+  EngineOutcome out;
+  out.schedule.assignment.assign(instance.times.size(), 0);
+  std::vector<std::int64_t> loads(
+      static_cast<std::size_t>(instance.machines), 0);
+  place_on_least_loaded(instance, order, out.schedule, loads);
+  out.achieved_makespan =
+      loads.empty() ? 0 : *std::max_element(loads.begin(), loads.end());
+  return out;
+}
+
+SolveEngine make_lpt_engine() {
+  SolveEngine engine;
+  engine.name = "lpt";
+  engine.uses_k = false;
+  engine.bound = [](std::int64_t m, std::int64_t) {
+    return std::pair<std::int64_t, std::int64_t>{4 * m - 1, 3 * m};
+  };
+  engine.run = [](const Instance& instance, std::int64_t,
+                  const EngineContext&) { return lpt_outcome(instance); };
+  return engine;
+}
+
+std::vector<SolveEngine> make_cpu_engines() {
+  std::vector<SolveEngine> engines;
+  engines.push_back(make_cpu_engine(
+      "ptas-level-bucket", std::make_shared<dp::LevelBucketSolver>()));
+  engines.push_back(make_cpu_engine("ptas-reference",
+                                    std::make_shared<dp::ReferenceSolver>()));
+  return engines;
+}
+
+std::vector<SolveEngine> make_default_chain() {
+  std::vector<SolveEngine> chain = make_cpu_engines();
+  chain.push_back(make_lpt_engine());
+  return chain;
+}
+
+Status classify_current_exception() {
+  try {
+    throw;
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const gpusim::OutOfMemory& e) {
+    return Status(StatusCode::kDeviceOutOfMemory, e.what());
+  } catch (const gpusim::LaunchFailure& e) {
+    return Status(StatusCode::kKernelLaunchFailed, e.what());
+  } catch (const gpusim::StreamStalled& e) {
+    return Status(StatusCode::kStreamStalled, e.what());
+  } catch (const util::overflow_error& e) {
+    return Status(StatusCode::kTableOverflow, e.what());
+  } catch (const std::bad_alloc&) {
+    return Status(StatusCode::kHostOutOfMemory, "host allocation failed");
+  } catch (const util::contract_violation& e) {
+    // The driver validates the instance up front, so a contract violation
+    // inside an attempt means solver state went bad mid-flight.
+    return Status(StatusCode::kDataCorruption, e.what());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInternal, e.what());
+  } catch (...) {
+    return Status(StatusCode::kInternal, "unknown exception");
+  }
+}
+
+ResilientResult solve_resilient(const Instance& instance,
+                                std::span<const SolveEngine> chain,
+                                const ResilientOptions& options) {
+  ResilientResult result;
+  try {
+    instance.validate();
+    if (options.epsilon <= 0.0 || options.epsilon > 1.0)
+      throw util::contract_violation("epsilon must be in (0, 1]");
+  } catch (const std::exception& e) {
+    result.status = Status(StatusCode::kInvalidInput, e.what());
+    count_status(result.status);
+    return result;
+  }
+  if (chain.empty()) {
+    result.status = Status(StatusCode::kUnavailable, "empty engine chain");
+    count_status(result.status);
+    return result;
+  }
+
+  const obs::ScopedSpan span("resilient/solve");
+  const Deadline deadline = Deadline::after_ms(options.deadline_ms);
+  const std::int64_t k0 = k_for_epsilon(options.epsilon);
+  const std::int64_t lower_bound = makespan_lower_bound(instance);
+  EngineContext ctx{deadline, options.probe_deadline_ms, options.num_threads};
+
+  const auto deadline_best_effort = [&]() {
+    // Terminal deadline path: a best-effort LPT schedule (cheap, faultless)
+    // plus the typed status — never a partial or corrupt result.
+    obs::count("resilient.deadline.best_effort");
+    if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+      tr->instant("resilient/deadline");
+    EngineOutcome out = lpt_outcome(instance);
+    result.schedule = std::move(out.schedule);
+    result.achieved_makespan = out.achieved_makespan;
+    result.engine = "lpt";
+    result.k = 0;
+    result.bound_num = 4 * instance.machines - 1;
+    result.bound_den = 3 * instance.machines;
+    result.degraded = true;
+    result.status = Status(StatusCode::kDeadlineExceeded,
+                           "solve deadline exceeded; best-effort LPT result");
+    count_status(result.status);
+    return result;
+  };
+
+  Status last_failure;
+  for (std::size_t e = 0; e < chain.size(); ++e) {
+    const SolveEngine& engine = chain[e];
+    if (e > 0) {
+      obs::count("resilient.fallbacks");
+      if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+        tr->instant("resilient/fallback",
+                    {obs::arg("engine", static_cast<std::int64_t>(e))});
+    }
+
+    // Memory pre-flight: degrade epsilon (halve k — coarser rounding,
+    // smaller table) until the engine's estimate fits the budget; skip the
+    // engine when even k=1 does not fit. An estimate that overflows 64 bits
+    // is over any budget by definition.
+    std::int64_t k = engine.uses_k ? k0 : 0;
+    if (engine.uses_k && options.mem_budget_bytes > 0 && engine.mem_estimate) {
+      const auto estimate = [&](std::int64_t at_k) -> std::uint64_t {
+        try {
+          return engine.mem_estimate(instance, at_k);
+        } catch (const util::overflow_error&) {
+          return std::numeric_limits<std::uint64_t>::max();
+        }
+      };
+      std::uint64_t bytes = estimate(k);
+      while (bytes > options.mem_budget_bytes && k > 1) {
+        const std::int64_t coarser = k / 2;
+        obs::count("resilient.degrade.k");
+        if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+          tr->instant("resilient/degrade",
+                      {obs::arg("from_k", k), obs::arg("to_k", coarser)});
+        k = coarser;
+        bytes = estimate(k);
+      }
+      if (bytes > options.mem_budget_bytes) {
+        record_attempt(result, engine, k, 0,
+                       Status(StatusCode::kMemoryBudgetExceeded,
+                              engine.name + " needs " + std::to_string(bytes) +
+                                  " bytes at k=" + std::to_string(k) +
+                                  ", budget " +
+                                  std::to_string(options.mem_budget_bytes)));
+        last_failure = result.attempts.back().status;
+        continue;
+      }
+    }
+
+    for (int retry = 0; retry <= options.max_transient_retries; ++retry) {
+      if (deadline.expired()) return deadline_best_effort();
+      obs::count("resilient.attempts");
+      if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+        tr->instant("resilient/attempt",
+                    {obs::arg("engine", static_cast<std::int64_t>(e)),
+                     obs::arg("k", k)});
+      Status status;
+      try {
+        EngineOutcome out = engine.run(instance, k, ctx);
+        status = integrity_check(instance, k, lower_bound, out);
+        if (status.is_ok()) {
+          record_attempt(result, engine, k, retry, Status::ok());
+          result.schedule = std::move(out.schedule);
+          result.achieved_makespan = out.achieved_makespan;
+          result.engine = engine.name;
+          result.k = k;
+          std::tie(result.bound_num, result.bound_den) =
+              engine.bound(instance.machines, k);
+          result.degraded = e > 0 || (engine.uses_k && k != k0);
+          result.status = Status::ok();
+          return result;
+        }
+      } catch (...) {
+        status = classify_current_exception();
+      }
+      record_attempt(result, engine, k, retry, status);
+      last_failure = status;
+
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        if (deadline.expired()) return deadline_best_effort();
+        break;  // per-probe budget blown: this engine is too slow, fall back
+      }
+      if (!status.transient()) break;
+
+      if (engine.recover) engine.recover();
+      if (retry < options.max_transient_retries) {
+        const std::int64_t backoff = options.backoff_ms << retry;
+        obs::count("resilient.retries");
+        if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+          tr->instant("resilient/retry",
+                      {obs::arg("retry", retry + 1),
+                       obs::arg("backoff_ms", backoff)});
+        if (engine.backoff) engine.backoff(backoff);
+      }
+    }
+  }
+
+  if (deadline.expired()) return deadline_best_effort();
+  result.status = last_failure.is_ok()
+                      ? Status(StatusCode::kUnavailable, "no engine succeeded")
+                      : last_failure;
+  return result;
+}
+
+ResilientResult solve_resilient(const Instance& instance,
+                                const ResilientOptions& options) {
+  const std::vector<SolveEngine> chain = make_default_chain();
+  return solve_resilient(instance, chain, options);
+}
+
+}  // namespace pcmax

@@ -1,0 +1,187 @@
+// The resilient solve driver: wraps the PTAS behind a policy layer that
+// production callers can trust under faults. One call to solve_resilient
+// walks an ordered chain of engines (simulated-GPU PTAS, CPU DP PTAS
+// variants, LPT) and guarantees a terminal outcome: either a validated
+// schedule with an explicit quality bound, or a clean typed Status — never a
+// crash, a hang, or a silently wrong answer.
+//
+// Policy, in order of application per engine:
+//   1. Memory pre-flight: estimate the DP-table bytes the engine needs at
+//      the current k and, when over ResilientOptions::mem_budget_bytes,
+//      degrade epsilon (halve k — coarser rounding, smaller table) until it
+//      fits; an engine that cannot fit even at k=1 is skipped.
+//   2. Deadlines: a per-solve deadline bounds the whole call, a per-probe
+//      deadline bounds each DP evaluation (enforced between and after
+//      probes by DeadlineSolver). When the solve deadline passes, the
+//      driver returns kDeadlineExceeded together with a best-effort LPT
+//      schedule — promptly, and never a partial or corrupt result.
+//   3. Retry with backoff: transient failures (injected or organic device
+//      OOM, launch failure, stream stall, detected corruption, host OOM)
+//      are retried on the same engine up to max_transient_retries times
+//      after engine recovery (device reset) and exponential backoff —
+//      charged in simulated time for device-backed engines.
+//   4. Fallback: an engine that exhausts retries or fails fatally hands
+//      over to the next engine in the chain; degradation is recorded in
+//      the result and every fault/retry/degrade/fallback emits obs
+//      instants and counters.
+//
+// Every returned schedule passes an integrity gate (validate_schedule, an
+// independent makespan recomputation, and the PTAS certificate bound
+// achieved * k <= (k+1) * T*), so injected DP-cell corruption surfaces as a
+// typed kDataCorruption retry instead of a wrong answer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/status.hpp"
+
+namespace pcmax {
+
+/// A wall-clock deadline. Default-constructed deadlines are unlimited.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now; ms <= 0 means unlimited.
+  [[nodiscard]] static Deadline after_ms(std::int64_t ms);
+
+  [[nodiscard]] bool unlimited() const noexcept { return unlimited_; }
+  [[nodiscard]] bool expired() const noexcept;
+
+  /// Throws DeadlineExceeded mentioning `what` when the deadline passed.
+  void check(const char* what) const;
+
+ private:
+  Clock::time_point at_{};
+  bool unlimited_ = true;
+};
+
+struct ResilientOptions {
+  double epsilon = 0.3;  ///< requested accuracy; may be degraded (see below)
+  /// Whole-solve deadline in wall milliseconds; 0 = unlimited.
+  std::int64_t deadline_ms = 0;
+  /// Per-DP-probe deadline in wall milliseconds; 0 = unlimited.
+  std::int64_t probe_deadline_ms = 0;
+  /// DP-table memory budget in bytes; 0 = unlimited. Engines whose
+  /// pre-flight estimate exceeds it degrade epsilon or are skipped.
+  std::uint64_t mem_budget_bytes = 0;
+  /// Retries of one engine after a transient failure (so an engine runs at
+  /// most 1 + max_transient_retries times).
+  int max_transient_retries = 2;
+  /// Base backoff charged before retry r as backoff_ms << r; device-backed
+  /// engines advance their simulated clock by it.
+  std::int64_t backoff_ms = 10;
+  int num_threads = 0;  ///< forwarded to DP solvers
+};
+
+/// One engine attempt's outcome as the driver records it.
+struct AttemptRecord {
+  std::string engine;
+  std::int64_t k = 0;  ///< rounding parameter used; 0 for LPT
+  int retry = 0;       ///< 0 for the first try of this engine at this k
+  Status status;       ///< kOk, or why the attempt failed
+};
+
+struct ResilientResult {
+  /// kOk, or the terminal failure (kDeadlineExceeded still carries a
+  /// best-effort schedule; see degraded/engine to tell how it was built).
+  Status status;
+  Schedule schedule;
+  std::int64_t achieved_makespan = 0;
+  std::string engine;   ///< engine that produced the schedule
+  std::int64_t k = 0;   ///< final rounding parameter (0 = LPT, no rounding)
+  /// Quality bound as an exact rational: makespan <= bound_num/bound_den *
+  /// OPT. (k+1)/k for a PTAS engine at k, (4m-1)/(3m) for LPT.
+  std::int64_t bound_num = 0;
+  std::int64_t bound_den = 1;
+  /// True when the result is weaker than requested: epsilon was coarsened,
+  /// a fallback engine produced the schedule, or the deadline forced a
+  /// best-effort answer.
+  bool degraded = false;
+  std::vector<AttemptRecord> attempts;  ///< every attempt, in order
+
+  [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }
+};
+
+/// What one engine attempt must deliver. best_target is the PTAS T* (0 for
+/// engines without a target search); the driver's integrity gate uses it.
+struct EngineOutcome {
+  Schedule schedule;
+  std::int64_t achieved_makespan = 0;
+  std::int64_t best_target = 0;
+};
+
+/// Context the driver hands each attempt.
+struct EngineContext {
+  Deadline deadline;                    ///< whole-solve deadline
+  std::int64_t probe_deadline_ms = 0;   ///< per-probe budget (0 = unlimited)
+  int num_threads = 0;
+};
+
+/// One engine of the fallback chain. `run` throws on failure (the driver
+/// classifies the exception); the optional hooks model recovery and
+/// sim-time backoff for device-backed engines.
+struct SolveEngine {
+  std::string name;
+  /// False for engines that ignore the rounding parameter (LPT).
+  bool uses_k = true;
+  /// Quality bound at (machines, k) as a rational {num, den}.
+  std::function<std::pair<std::int64_t, std::int64_t>(std::int64_t m,
+                                                      std::int64_t k)>
+      bound;
+  /// Estimated peak DP-table bytes at k; null or 0 = negligible.
+  std::function<std::uint64_t(const Instance&, std::int64_t k)> mem_estimate;
+  std::function<EngineOutcome(const Instance&, std::int64_t k,
+                              const EngineContext&)>
+      run;
+  /// Recover engine state after a transient failure (e.g. device reset).
+  std::function<void()> recover;
+  /// Charge a backoff of `ms` to the engine's clock (e.g. simulated time).
+  std::function<void(std::int64_t ms)> backoff;
+};
+
+/// Largest epsilon for which k_for_epsilon returns exactly k. The naive
+/// 1.0/k is not safe under double rounding (ceil(1/fl(1.0/3)) == 4); engine
+/// adapters use this to drive epsilon-parameterized solvers at an exact k.
+[[nodiscard]] double epsilon_for_k(std::int64_t k);
+
+/// LPT in core (mirrors baselines::lpt, which core cannot link): descending
+/// stable sort + greedy placement. Bound (4m-1)/(3m), memory O(n).
+[[nodiscard]] EngineOutcome lpt_outcome(const Instance& instance);
+
+/// The terminal LPT engine: no rounding, no DP table, never degraded
+/// further.
+[[nodiscard]] SolveEngine make_lpt_engine();
+
+/// The CPU PTAS engines, strongest first: level-bucket (OpenMP), then the
+/// single-threaded reference solver. Both bound (k+1)/k.
+[[nodiscard]] std::vector<SolveEngine> make_cpu_engines();
+
+/// CPU engines + LPT — the default chain when no device is available.
+/// Device-backed callers prepend gpu::make_gpu_engine (gpu/resilient_gpu.hpp).
+[[nodiscard]] std::vector<SolveEngine> make_default_chain();
+
+/// Maps an in-flight exception (call inside a catch block) to a Status:
+/// gpusim OutOfMemory/LaunchFailure/StreamStalled, std::bad_alloc,
+/// StatusError, and contract violations on a pre-validated instance (data
+/// corruption) each get their code; anything else is kInternal.
+[[nodiscard]] Status classify_current_exception();
+
+/// Resilient solve over an explicit engine chain. Never throws.
+[[nodiscard]] ResilientResult solve_resilient(
+    const Instance& instance, std::span<const SolveEngine> chain,
+    const ResilientOptions& options = {});
+
+/// Convenience: solve_resilient over make_default_chain().
+[[nodiscard]] ResilientResult solve_resilient(
+    const Instance& instance, const ResilientOptions& options = {});
+
+}  // namespace pcmax

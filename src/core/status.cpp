@@ -1,0 +1,52 @@
+#include "core/status.hpp"
+
+namespace pcmax {
+
+bool is_transient(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kDeviceOutOfMemory:
+    case StatusCode::kHostOutOfMemory:
+    case StatusCode::kKernelLaunchFailed:
+    case StatusCode::kStreamStalled:
+    case StatusCode::kDataCorruption:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kMemoryBudgetExceeded:
+    case StatusCode::kTableOverflow:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kInvalidInput:
+    case StatusCode::kUnavailable:
+    case StatusCode::kInternal:
+      return false;
+  }
+  return false;
+}
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kDeviceOutOfMemory: return "device-oom";
+    case StatusCode::kHostOutOfMemory: return "host-oom";
+    case StatusCode::kKernelLaunchFailed: return "kernel-launch-failed";
+    case StatusCode::kStreamStalled: return "stream-stalled";
+    case StatusCode::kDataCorruption: return "data-corruption";
+    case StatusCode::kMemoryBudgetExceeded: return "memory-budget-exceeded";
+    case StatusCode::kTableOverflow: return "table-overflow";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kInvalidInput: return "invalid-input";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace pcmax

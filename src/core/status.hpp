@@ -1,0 +1,120 @@
+// Typed error taxonomy for solver paths. Production callers need to know
+// *why* a solve failed — and in particular whether the failure is transient
+// (a retry after backoff may succeed: a device allocation raced another
+// tenant, a stream stalled, a DP cell was corrupted in flight) or fatal for
+// the attempt (the input is malformed, a deadline passed, the table cannot
+// fit the memory budget at this epsilon). The resilient driver
+// (core/resilient.hpp) keys its retry/degrade/fallback policy entirely off
+// this classification, so every failure an engine can produce must map to
+// exactly one StatusCode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pcmax {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+
+  // --- Transient: retrying the same engine (after backoff) may succeed. ---
+  kDeviceOutOfMemory,   ///< simulated device allocation failed
+  kHostOutOfMemory,     ///< host allocation failed (std::bad_alloc)
+  kKernelLaunchFailed,  ///< kernel launch rejected by the device
+  kStreamStalled,       ///< stream exceeded the device's stall watchdog
+  kDataCorruption,      ///< result failed an integrity check
+
+  // --- Fatal for the attempt: degrade epsilon or fall back instead. ------
+  kMemoryBudgetExceeded,  ///< pre-flight: table exceeds the memory budget
+  kTableOverflow,         ///< table size overflows 64-bit arithmetic
+  kDeadlineExceeded,      ///< per-solve or per-probe deadline passed
+  kInvalidInput,          ///< malformed instance or options
+  kUnavailable,           ///< engine declined to run (e.g. skipped by pre-flight)
+  kInternal,              ///< unclassified failure — always a bug to chase
+};
+
+/// True when a retry of the same engine may succeed.
+[[nodiscard]] bool is_transient(StatusCode code) noexcept;
+
+/// Stable lower-kebab-case name ("device-oom", "deadline-exceeded", ...)
+/// used in logs, metrics counter names, and fault-plan replay artifacts.
+[[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool transient() const noexcept { return is_transient(code_); }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "device-oom: device allocation of 96 bytes exceeds 0 bytes free".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or the Status explaining its absence. Deliberately minimal: the
+/// repository's solver paths either produce a full result or a Status, and
+/// the driver never needs monadic composition.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    // A Result built from a Status must carry an error; an OK status with
+    // no value would make has_value()/status() contradict each other.
+    if (status_.is_ok())
+      status_ = Status(StatusCode::kInternal, "OK status without a value");
+  }
+
+  [[nodiscard]] bool has_value() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+  [[nodiscard]] T& value() { return *value_; }
+  [[nodiscard]] const T& value() const { return *value_; }
+  [[nodiscard]] T& operator*() { return *value_; }
+  [[nodiscard]] const T& operator*() const { return *value_; }
+  [[nodiscard]] T* operator->() { return &*value_; }
+  [[nodiscard]] const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Exception carrying a Status across layers that still unwind via throw
+/// (the DP solvers, the simulated device). The resilient driver converts
+/// every exception back to a Status at its boundary.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Thrown by deadline guards (core/resilient.hpp) when a per-solve or
+/// per-probe deadline has passed.
+class DeadlineExceeded : public StatusError {
+ public:
+  explicit DeadlineExceeded(std::string message)
+      : StatusError(Status(StatusCode::kDeadlineExceeded, std::move(message))) {}
+};
+
+}  // namespace pcmax

@@ -5,6 +5,7 @@
 
 #include "dp/config.hpp"
 #include "dp/solver.hpp"
+#include "faultsim/injector.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax::dp {
@@ -20,8 +21,10 @@ FrontierResult solve_frontier(const DpProblem& problem,
 
   FrontierResult result;
   result.table_cells = radix.size();
-  if (options.keep_table)
+  if (options.keep_table) {
+    faultsim::check_host_alloc(radix.size() * sizeof(std::int32_t));
     result.table.assign(radix.size(), kInfeasible);
+  }
 
   // Window: the largest number of jobs any configuration removes.
   const std::int64_t window = configs.max_level_drop();
@@ -96,6 +99,7 @@ FrontierResult solve_frontier(const DpProblem& problem,
   }
 
   result.opt = values_of(buckets.levels() - 1)[0];
+  faultsim::maybe_corrupt_table(result.table, result.opt);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <omp.h>
 
+#include "faultsim/injector.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax::dp {
@@ -21,13 +22,17 @@ struct SolveContext {
     problem.validate();
     // Solvers keep coordinates in fixed stack buffers inside hot loops.
     PCMAX_EXPECTS(radix.dims() <= 64);
+    faultsim::check_host_alloc(radix.size() * sizeof(std::int32_t));
     result.table.assign(radix.size(), kInfeasible);
     result.table[0] = 0;
     if (options.collect_deps) result.deps.assign(radix.size(), 0);
     result.config_count = configs.size();
   }
 
-  void finish() { result.opt = result.table.back(); }
+  void finish() {
+    result.opt = result.table.back();
+    faultsim::maybe_corrupt_table(result.table, result.opt);
+  }
 };
 
 int resolve_threads(const SolveOptions& options) {

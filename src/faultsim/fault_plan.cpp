@@ -1,0 +1,125 @@
+#include "faultsim/fault_plan.hpp"
+
+#include <charconv>
+
+namespace pcmax::faultsim {
+
+namespace {
+
+constexpr std::string_view kSiteNames[kSiteCount] = {
+    "device-alloc", "host-alloc", "kernel-launch", "stream-sync", "dp-cell"};
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+/// Parses "key=value" into key and an unsigned value.
+bool parse_kv(std::string_view token, std::string_view& key,
+              std::uint64_t& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos) return false;
+  key = token.substr(0, eq);
+  const std::string_view digits = token.substr(eq + 1);
+  if (digits.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(
+      digits.data(), digits.data() + digits.size(), value);
+  return ec == std::errc{} && ptr == digits.data() + digits.size();
+}
+
+bool parse_rule(std::string_view text, FaultRule& rule, std::string* error) {
+  // site[:key=value]...
+  std::size_t colon = text.find(':');
+  const std::string_view name = text.substr(0, colon);
+  const auto site = parse_site(name);
+  if (!site.has_value())
+    return set_error(error, "unknown fault site: " + std::string(name));
+  rule.site = *site;
+  while (colon != std::string_view::npos) {
+    const std::size_t start = colon + 1;
+    colon = text.find(':', start);
+    const std::string_view token =
+        text.substr(start, colon == std::string_view::npos ? std::string_view::npos
+                                                           : colon - start);
+    std::string_view key;
+    std::uint64_t value = 0;
+    if (!parse_kv(token, key, value))
+      return set_error(error, "malformed rule token: " + std::string(token));
+    if (key == "nth") {
+      if (value == 0) return set_error(error, "nth must be >= 1");
+      rule.nth = value;
+    } else if (key == "permille") {
+      if (value > 1000) return set_error(error, "permille must be <= 1000");
+      rule.permille = static_cast<std::uint32_t>(value);
+    } else if (key == "stall-ms") {
+      rule.stall_ms = static_cast<std::int64_t>(value);
+    } else {
+      return set_error(error, "unknown rule key: " + std::string(key));
+    }
+  }
+  if (rule.nth == 0 && rule.permille == 0)
+    return set_error(error, "rule for " + std::string(name) +
+                                " needs nth=N or permille=P");
+  return true;
+}
+
+}  // namespace
+
+std::string_view site_name(Site site) noexcept {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+std::optional<Site> parse_site(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kSiteCount; ++i)
+    if (kSiteNames[i] == name) return static_cast<Site>(i);
+  return std::nullopt;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const FaultRule& rule : rules) {
+    out += ';';
+    out += site_name(rule.site);
+    if (rule.nth != 0)
+      out += ":nth=" + std::to_string(rule.nth);
+    else
+      out += ":permille=" + std::to_string(rule.permille);
+    if (rule.stall_ms != 0) out += ":stall-ms=" + std::to_string(rule.stall_ms);
+  }
+  return out;
+}
+
+std::optional<FaultPlan> parse_fault_plan(std::string_view text,
+                                          std::string* error) {
+  FaultPlan plan;
+  bool saw_seed = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t semi = text.find(';', pos);
+    if (semi == std::string_view::npos) semi = text.size();
+    const std::string_view part = text.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (part.empty()) continue;
+    if (part.rfind("seed=", 0) == 0) {
+      std::string_view key;
+      std::uint64_t value = 0;
+      if (!parse_kv(part, key, value)) {
+        set_error(error, "malformed seed: " + std::string(part));
+        return std::nullopt;
+      }
+      plan.seed = value;
+      saw_seed = true;
+      continue;
+    }
+    FaultRule rule;
+    if (!parse_rule(part, rule, error)) return std::nullopt;
+    plan.rules.push_back(rule);
+  }
+  if (!saw_seed && plan.rules.empty()) {
+    set_error(error, "empty fault plan");
+    return std::nullopt;
+  }
+  return plan;
+}
+
+}  // namespace pcmax::faultsim

@@ -1,0 +1,65 @@
+// Deterministic fault-injection plans. A FaultPlan names the sites where
+// faults fire and how: either a one-shot nth-hit trigger ("the 3rd device
+// allocation fails") or a seeded per-hit probability in permille. Plans have
+// a single-line textual form so the CLI can take them on the command line,
+// the fuzzer can write them next to shrunk reproducers, and CI can replay
+// them verbatim:
+//
+//   seed=42;device-alloc:nth=3;kernel-launch:permille=10;
+//   stream-sync:nth=1:stall-ms=250;dp-cell:nth=2;host-alloc:permille=5
+//
+// (shown wrapped; the format is one ';'-separated line). Determinism
+// contract: the same plan fired against the same sequence of site hits
+// makes identical decisions on every platform — probability rules hash
+// (seed, site, hit-ordinal) instead of consuming shared RNG state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pcmax::faultsim {
+
+/// The instrumented choke points. Sites are identified by stable names used
+/// in plan text, metrics counters, and trace instants.
+enum class Site : std::uint8_t {
+  kDeviceAlloc,   ///< gpusim::Device::allocate
+  kHostAlloc,     ///< DP-table host allocations in the CPU solvers
+  kKernelLaunch,  ///< gpusim::Device kernel enqueue
+  kStreamSync,    ///< gpusim::Device::synchronize (stream stall)
+  kDpCell,        ///< DP result finalization (transient cell corruption)
+};
+inline constexpr std::size_t kSiteCount = 5;
+
+[[nodiscard]] std::string_view site_name(Site site) noexcept;
+[[nodiscard]] std::optional<Site> parse_site(std::string_view name) noexcept;
+
+struct FaultRule {
+  Site site = Site::kDeviceAlloc;
+  /// One-shot trigger: fire exactly at the nth hit of the site (1-based).
+  /// 0 disables the trigger and `permille` decides instead.
+  std::uint64_t nth = 0;
+  /// Per-hit firing probability in 1/1000 (0..1000); only used when nth==0.
+  std::uint32_t permille = 0;
+  /// Site-specific magnitude: for kStreamSync, the injected stall in
+  /// milliseconds of simulated time. Ignored elsewhere.
+  std::int64_t stall_ms = 0;
+};
+
+struct FaultPlan {
+  /// Seed for probability decisions (and recorded for replay).
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  /// Single-line parseable form; parse_fault_plan(to_string()) round-trips.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses the single-line plan form. Returns nullopt on malformed text and,
+/// when `error` is non-null, stores a diagnosis there.
+[[nodiscard]] std::optional<FaultPlan> parse_fault_plan(
+    std::string_view text, std::string* error = nullptr);
+
+}  // namespace pcmax::faultsim

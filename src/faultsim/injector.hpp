@@ -1,0 +1,116 @@
+// The fault injector: a globally installable decision engine that the
+// instrumented sites (gpusim device, DP solvers) consult. Mirrors the obs
+// layer's discipline exactly — when no injector is installed, every hook
+// reduces to one relaxed atomic load and a predictable branch
+// (BM_FaultHookDisabled holds the line) — so production binaries carry the
+// hooks at zero cost and tests/CI install a ScopedFaultInjector to turn
+// chaos on.
+//
+// Decisions are deterministic: nth-triggers fire at an exact per-site hit
+// ordinal, probability rules hash (plan seed, site, hit ordinal) with
+// splitmix64, and per-site hit counters are atomic so concurrent OpenMP
+// solver threads each get a unique ordinal. Every fired fault emits an obs
+// instant ("fault/injected") and a per-site counter when observability is
+// enabled, so traces show exactly which injected fault steered a solve.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <optional>
+#include <span>
+
+#include "faultsim/fault_plan.hpp"
+
+namespace pcmax::faultsim {
+
+/// What a fired fault tells the site to do. Today only kStreamSync carries a
+/// magnitude (the injected stall); other sites just observe that it fired.
+struct FiredFault {
+  Site site = Site::kDeviceAlloc;
+  std::uint64_t hit = 0;       ///< 1-based per-site hit ordinal that fired
+  std::int64_t stall_ms = 0;   ///< kStreamSync: simulated stall to inject
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Records one hit at `site` and decides whether it fires. Thread-safe;
+  /// hit ordinals are unique across threads.
+  [[nodiscard]] std::optional<FiredFault> should_fire(Site site);
+
+  struct SiteStats {
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+  };
+  [[nodiscard]] SiteStats stats(Site site) const noexcept;
+  /// Total faults fired across all sites.
+  [[nodiscard]] std::uint64_t total_fired() const noexcept;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  /// Rules grouped per site for O(rules-at-site) decisions.
+  std::array<std::vector<FaultRule>, kSiteCount> rules_;
+  std::array<std::atomic<std::uint64_t>, kSiteCount> hits_{};
+  std::array<std::atomic<std::uint64_t>, kSiteCount> fired_{};
+};
+
+namespace detail {
+extern std::atomic<FaultInjector*> g_injector;
+}  // namespace detail
+
+/// Active injector, or nullptr when fault injection is off. The relaxed
+/// load plus branch is the entire disabled-path cost of every hook.
+[[nodiscard]] inline FaultInjector* injector() noexcept {
+  return detail::g_injector.load(std::memory_order_acquire);
+}
+
+/// Install (or, with nullptr, remove) the global injector.
+void install_injector(FaultInjector* injector) noexcept;
+
+/// RAII installer; exactly one injector may be active at a time.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultPlan plan) : injector_(std::move(plan)) {
+    install_injector(&injector_);
+  }
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+  ~ScopedFaultInjector() { install_injector(nullptr); }
+
+  [[nodiscard]] FaultInjector& injector() noexcept { return injector_; }
+
+ private:
+  FaultInjector injector_;
+};
+
+// --- Hooks (what instrumented sites call) --------------------------------
+
+/// Did a fault fire at `site`? One relaxed load when no injector is active.
+[[nodiscard]] inline std::optional<FiredFault> fault_at(Site site) {
+  FaultInjector* f = injector();
+  if (f == nullptr) [[likely]]
+    return std::nullopt;
+  return f->should_fire(site);
+}
+
+/// Host-allocation site: throws std::bad_alloc when a kHostAlloc fault
+/// fires. Call before sizing large DP-table vectors; `bytes` is recorded in
+/// the fault metrics but the throw carries no message (bad_alloc cannot).
+void check_host_alloc(std::uint64_t bytes);
+
+/// DP-cell corruption site: when a kDpCell fault fires, deterministically
+/// corrupts one finite cell of the just-filled table (decrement, so the
+/// existing invariant checkers — monotonicity / weight lower bound / the
+/// reconstruction contracts — can detect it) and keeps `opt` consistent
+/// with table.back(). With an empty table (OPT-only engines) `opt` itself
+/// is corrupted. Returns true when corruption was applied.
+bool maybe_corrupt_table(std::span<std::int32_t> table, std::int32_t& opt);
+
+}  // namespace pcmax::faultsim

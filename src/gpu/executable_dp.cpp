@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "dp/config.hpp"
+#include "faultsim/injector.hpp"
 #include "gpu/charge.hpp"
 #include "partition/blocked_layout.hpp"
 #include "partition/divisor.hpp"
@@ -237,6 +238,7 @@ ExecutableReport run_executable_dp(const dp::DpProblem& problem,
     report.result.table[id] = blocked[layout.blocked_offset(c)];
   }
   report.result.opt = report.result.table.back();
+  faultsim::maybe_corrupt_table(report.result.table, report.result.opt);
   report.result.config_count = configs.size();
   return report;
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "gpu/charge.hpp"
+#include "util/checked_math.hpp"
 #include "obs/trace.hpp"
 #include "partition/block_solver.hpp"
 #include "util/contracts.hpp"
@@ -41,8 +42,10 @@ class ChargingObserver final : public partition::BlockObserver {
     params_.search_cells = layout.cells_per_block();
     // Persistent allocations for the whole solve: the blocked DP-table and
     // the configuration set (Algorithm 4 line 11).
-    table_ = device_.allocate(layout.table_radix().size() * 4);
-    configs_ = device_.allocate(config_count * params_.dims * 8);
+    table_ = device_.allocate(
+        util::checked_mul(layout.table_radix().size(), 4));
+    configs_ = device_.allocate(
+        util::checked_mul(util::checked_mul(config_count, params_.dims), 8));
     peak_ = device_.memory_in_use();
     first_level_ = true;
   }
@@ -73,7 +76,8 @@ class ChargingObserver final : public partition::BlockObserver {
     const int stream = stream_of_.at(block_id);
     // Per-level candidate scratch (freed when the level's kernels retire;
     // the data-partitioning scheme sizes it by the block, not the table).
-    [[maybe_unused]] const auto scratch = device_.allocate(work.candidates * 4);
+    [[maybe_unused]] const auto scratch =
+        device_.allocate(util::checked_mul(work.candidates, 4));
     peak_ = std::max(peak_, device_.memory_in_use());
     device_.launch_estimated(stream, "FindOPT",
                              charge_find_opt(work, params_));
@@ -173,8 +177,9 @@ dp::DpResult NaiveGpuDpSolver::solve(const dp::DpProblem& problem,
   params.dims = radix.dims();
   params.search_cells = radix.size();  // SetOPT scans the whole table
 
-  const auto table = device_.allocate(radix.size() * 4);
-  const auto configs = device_.allocate(result.config_count * params.dims * 8);
+  const auto table = device_.allocate(util::checked_mul(radix.size(), 4));
+  const auto configs = device_.allocate(
+      util::checked_mul(util::checked_mul(result.config_count, params.dims), 8));
 
   std::vector<std::int64_t> coords(radix.dims());
   for (std::int64_t level = 1; level < buckets.levels(); ++level) {
@@ -191,7 +196,8 @@ dp::DpResult NaiveGpuDpSolver::solve(const dp::DpProblem& problem,
     if (work.cells == 0) continue;
     // Table-scope candidate scratch: the memory behaviour the paper calls
     // out — this is what exhausts the 12 GB device on larger instances.
-    [[maybe_unused]] const auto scratch = device_.allocate(work.candidates * 4);
+    [[maybe_unused]] const auto scratch =
+        device_.allocate(util::checked_mul(work.candidates, 4));
     // The direct port runs ONE kernel per level with one thread per
     // configuration; each thread serially enumerates its candidates and
     // serially searches the whole table for every dependency (the OpenMP

@@ -1,0 +1,60 @@
+#include "gpu/resilient_gpu.hpp"
+
+#include <utility>
+
+#include "core/bounds.hpp"
+#include "core/rounding.hpp"
+#include "util/checked_math.hpp"
+
+namespace pcmax::gpu {
+
+SolveEngine make_gpu_engine(gpusim::Device& device,
+                            const GpuPtasOptions& base) {
+  SolveEngine engine;
+  engine.name = "gpu-ptas";
+  engine.uses_k = true;
+  engine.bound = [](std::int64_t, std::int64_t k) {
+    return std::pair<std::int64_t, std::int64_t>{k + 1, k};
+  };
+  // Worst case over the search range (T = LB keeps the most jobs long):
+  // the executable DP keeps the int32 table and per-cell int64 coordinates
+  // resident in device memory.
+  engine.mem_estimate = [](const Instance& instance, std::int64_t k) {
+    const RoundedInstance rounded =
+        round_instance(instance, makespan_lower_bound(instance), k);
+    const std::uint64_t per_cell =
+        sizeof(std::int32_t) +
+        util::checked_mul(rounded.nonzero_dims(), sizeof(std::int64_t));
+    return util::checked_mul(rounded.table_size(), per_cell);
+  };
+  engine.run = [&device, base](const Instance& instance, std::int64_t k,
+                               const EngineContext& ctx) {
+    // Probe-level wall deadlines cannot preempt a simulated solve, so the
+    // whole-solve deadline is enforced at the attempt boundary; the stream
+    // stall watchdog bounds simulated hangs inside.
+    ctx.deadline.check("solve");
+    GpuPtasOptions options = base;
+    options.epsilon = epsilon_for_k(k);
+    GpuPtasResult r = solve_gpu_ptas(instance, device, options);
+    ctx.deadline.check("solve");
+    return EngineOutcome{std::move(r.ptas.schedule),
+                         r.ptas.achieved_makespan, r.ptas.best_target};
+  };
+  engine.recover = [&device]() { device.reset(); };
+  engine.backoff = [&device](std::int64_t ms) {
+    device.advance(util::SimTime::milliseconds(ms));
+  };
+  return engine;
+}
+
+std::vector<SolveEngine> make_gpu_chain(gpusim::Device& device,
+                                        const GpuPtasOptions& base) {
+  std::vector<SolveEngine> chain;
+  chain.push_back(make_gpu_engine(device, base));
+  for (SolveEngine& engine : make_cpu_engines())
+    chain.push_back(std::move(engine));
+  chain.push_back(make_lpt_engine());
+  return chain;
+}
+
+}  // namespace pcmax::gpu

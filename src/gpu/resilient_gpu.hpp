@@ -1,0 +1,26 @@
+// Adapter making the simulated-GPU PTAS a SolveEngine for the resilient
+// driver (core/resilient.hpp). Lives in gpu/ because core cannot link the
+// gpu or gpusim libraries; the driver only sees the type-erased engine.
+#pragma once
+
+#include "core/resilient.hpp"
+#include "gpu/gpu_ptas.hpp"
+#include "gpusim/device.hpp"
+
+namespace pcmax::gpu {
+
+/// The GPU PTAS as the head of a fallback chain. The engine borrows
+/// `device` (which must outlive it): recover() resets the device after a
+/// transient fault (dropping pending launches and orphaned allocations, as
+/// cudaDeviceReset would) and backoff() charges retry backoff to the
+/// device's simulated clock. `base` supplies the non-resilience knobs
+/// (partition dims, streams, probe overlap); its epsilon is overridden by
+/// the driver's current k.
+[[nodiscard]] SolveEngine make_gpu_engine(gpusim::Device& device,
+                                          const GpuPtasOptions& base = {});
+
+/// GPU chain: GPU PTAS, then the CPU engines, then LPT.
+[[nodiscard]] std::vector<SolveEngine> make_gpu_chain(
+    gpusim::Device& device, const GpuPtasOptions& base = {});
+
+}  // namespace pcmax::gpu

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "faultsim/injector.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
 
@@ -26,13 +27,18 @@ Device::Buffer& Device::Buffer::operator=(Buffer&& o) noexcept {
 
 void Device::Buffer::release() noexcept {
   if (device_ != nullptr) {
-    device_->memory_in_use_ -= bytes_;
+    // A buffer allocated before a reset() is stale: its bytes were already
+    // reclaimed wholesale, so releasing it must not touch the accounting.
+    if (epoch_ == device_->epoch_) device_->memory_in_use_ -= bytes_;
     device_ = nullptr;
     bytes_ = 0;
   }
 }
 
 Device::Buffer Device::allocate(std::uint64_t bytes) {
+  if (faultsim::fault_at(faultsim::Site::kDeviceAlloc).has_value())
+    throw OutOfMemory("injected fault: device allocation of " +
+                      std::to_string(bytes) + " bytes failed");
   if (memory_in_use_ + bytes > spec_.global_memory_bytes)
     throw OutOfMemory("device allocation of " + std::to_string(bytes) +
                       " bytes exceeds " +
@@ -41,12 +47,17 @@ Device::Buffer Device::allocate(std::uint64_t bytes) {
                       " bytes free");
   memory_in_use_ += bytes;
   peak_memory_ = std::max(peak_memory_, memory_in_use_);
-  return Buffer(this, bytes);
+  return Buffer(this, bytes, epoch_);
 }
 
 void Device::enqueue(int stream, std::string name, const WorkEstimate& work,
                      util::SimTime launch_latency, bool is_child) {
   PCMAX_EXPECTS(stream >= 0 && stream < spec_.max_streams);
+  // Fires before any state mutates, so a failed launch leaves the queue
+  // exactly as it was (a caller may synchronize() the survivors).
+  if (faultsim::fault_at(faultsim::Site::kKernelLaunch).has_value())
+    throw LaunchFailure("injected fault: launch of kernel '" + name +
+                        "' on stream " + std::to_string(stream) + " failed");
   FluidTask task =
       make_fluid_task(spec_, work, stream, is_child, pending_.size());
   task.latency = launch_latency;
@@ -92,8 +103,29 @@ void Device::advance(util::SimTime delta) {
   now_ += delta;
 }
 
+void Device::reset() {
+  pending_.clear();
+  scheduler_ = FluidScheduler(spec_.sm_count);
+  memory_in_use_ = 0;
+  ++epoch_;
+}
+
 util::SimTime Device::synchronize() {
   ++stats_.synchronizations;
+  if (const auto fault = faultsim::fault_at(faultsim::Site::kStreamSync)) {
+    // The stream sits idle for the injected stall before any queued work
+    // retires. A stall at or past the watchdog means the stream is hung:
+    // the clock advances only to the watchdog (where the driver gives up)
+    // and pending work is lost until reset().
+    const auto stall = util::SimTime::milliseconds(fault->stall_ms);
+    if (stall >= spec_.stall_watchdog) {
+      now_ += spec_.stall_watchdog;
+      throw StreamStalled("injected fault: stream stalled " +
+                          stall.to_string() + ", watchdog " +
+                          spec_.stall_watchdog.to_string());
+    }
+    now_ += stall;
+  }
   if (!pending_.empty()) {
     scheduler_.clear_history();
     now_ = scheduler_.run(now_);

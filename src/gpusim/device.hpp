@@ -30,6 +30,21 @@ class OutOfMemory : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a kernel launch fails (only via injected faults today; a
+/// real driver surfaces the same class of transient launch errors).
+class LaunchFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when synchronize() observes a stream stalled past the device's
+/// stall watchdog. The device keeps its clock but loses pending work;
+/// call reset() before reusing it.
+class StreamStalled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class Device {
  public:
   explicit Device(DeviceSpec spec);
@@ -45,7 +60,8 @@ class Device {
   class Buffer {
    public:
     Buffer() noexcept = default;
-    Buffer(Buffer&& o) noexcept : device_(o.device_), bytes_(o.bytes_) {
+    Buffer(Buffer&& o) noexcept
+        : device_(o.device_), bytes_(o.bytes_), epoch_(o.epoch_) {
       o.device_ = nullptr;
       o.bytes_ = 0;
     }
@@ -59,10 +75,11 @@ class Device {
 
    private:
     friend class Device;
-    Buffer(Device* device, std::uint64_t bytes) noexcept
-        : device_(device), bytes_(bytes) {}
+    Buffer(Device* device, std::uint64_t bytes, std::uint64_t epoch) noexcept
+        : device_(device), bytes_(bytes), epoch_(epoch) {}
     Device* device_ = nullptr;
     std::uint64_t bytes_ = 0;
+    std::uint64_t epoch_ = 0;  ///< allocation epoch; stale after reset()
   };
 
   /// Reserves `bytes` of global memory; throws OutOfMemory when the device
@@ -107,6 +124,13 @@ class Device {
   /// on scratch devices that represents concurrent activity on this one).
   /// Requires no pending launches. `delta` must be non-negative.
   void advance(util::SimTime delta);
+
+  /// Models cudaDeviceReset after a fault: drops pending (unretired)
+  /// launches and their scheduler state and zeroes the memory accounting so
+  /// Buffers orphaned by an unwound solve stop counting against capacity.
+  /// Live Buffers become stale handles — their release() is a no-op against
+  /// the fresh accounting. The clock, stats, and kernel log survive.
+  void reset();
 
   // --- Introspection ----------------------------------------------------
 
@@ -157,6 +181,7 @@ class Device {
   Stats stats_;
   std::uint64_t memory_in_use_ = 0;
   std::uint64_t peak_memory_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped by reset(); invalidates old Buffers
   bool trace_emission_ = true;
 };
 

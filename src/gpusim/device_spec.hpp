@@ -43,6 +43,10 @@ struct DeviceSpec {
   /// Concurrent device-side launch queues draining child kernels.
   int dp_launch_lanes = 4;
   util::SimTime sync_overhead = util::SimTime::microseconds(4);
+  /// Watchdog budget for a single synchronize(): an injected stream stall
+  /// that reaches this bound is treated as a hung stream and synchronize()
+  /// throws StreamStalled. Inert unless a fault injector stalls the stream.
+  util::SimTime stall_watchdog = util::SimTime::milliseconds(2000);
 
   /// Duration of one core clock cycle.
   [[nodiscard]] util::SimTime cycle_time() const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "dp/config.hpp"
+#include "faultsim/injector.hpp"
 #include "partition/divisor.hpp"
 #include "util/contracts.hpp"
 
@@ -112,6 +113,7 @@ dp::DpResult BlockedSolver::solve(const dp::DpProblem& problem,
 
   dp::DpResult result;
   result.config_count = configs.size();
+  faultsim::check_host_alloc(2 * radix.size() * sizeof(std::int32_t));
   std::vector<std::int32_t> blocked(radix.size(), dp::kInfeasible);
   blocked[0] = 0;
   if (options.collect_deps || observer_ != nullptr)
@@ -150,6 +152,7 @@ dp::DpResult BlockedSolver::solve(const dp::DpProblem& problem,
     result.table[id] = blocked[layout.blocked_offset(c)];
   }
   result.opt = result.table.back();
+  faultsim::maybe_corrupt_table(result.table, result.opt);
   if (!options.collect_deps) result.deps.clear();
   return result;
 }

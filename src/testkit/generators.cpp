@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 #include "util/contracts.hpp"
 
@@ -185,6 +186,52 @@ std::vector<std::int64_t> adversarial_extents(util::Rng& rng,
     cells *= static_cast<std::uint64_t>(e);
   }
   return extents;
+}
+
+std::string random_instance_text(util::Rng& rng) {
+  // Start from a well-formed serialization with cosmetic noise the parser
+  // must tolerate (comments, ragged line breaks).
+  const std::int64_t machines = rng.uniform(1, 8);
+  const std::int64_t jobs = rng.uniform(0, 12);
+  std::string text;
+  if (rng.uniform01() < 0.3) text += "# parser fuzz case\n";
+  text += std::to_string(machines);
+  text += rng.uniform01() < 0.3 ? "   # machines\n" : "\n";
+  for (std::int64_t j = 0; j < jobs; ++j) {
+    text += std::to_string(log_uniform(rng, 1'000'000));
+    text += rng.uniform01() < 0.2 ? "\n" : " ";
+  }
+  text += "\n";
+  if (rng.uniform01() < 0.5) return text;
+
+  // Adversarial half: exactly one mutation per case, so a failure shrinks
+  // to a single cause.
+  switch (rng.uniform(0, 7)) {
+    case 0:
+      return "";
+    case 1:  // truncation (may still parse; the property allows either)
+      return text.substr(0, text.size() / 2);
+    case 2: {  // garbage token spliced at a random position
+      static constexpr const char* kGarbage[] = {"banana", "1x2",  "--3",
+                                                 "12-",    "0x10", "1e9"};
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(text.size())));
+      return text.substr(0, pos) + " " +
+             kGarbage[static_cast<std::size_t>(
+                 rng.uniform(0, std::ssize(kGarbage) - 1))] +
+             " " + text.substr(pos);
+    }
+    case 3:
+      return "0\n1 2 3\n";  // zero machines
+    case 4:
+      return std::to_string(machines) + "\n1 0 3\n";  // zero time
+    case 5:
+      return std::to_string(machines) + "\n5 -7 2\n";  // negative time
+    case 6:  // literal overflows int64
+      return std::to_string(machines) + "\n99999999999999999999999 1\n";
+    default:  // each time fits but their sum wraps
+      return "1\n9223372036854775807 9223372036854775807\n";
+  }
 }
 
 }  // namespace pcmax::testkit

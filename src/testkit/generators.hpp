@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/instance.hpp"
@@ -54,5 +55,13 @@ struct InstanceLimits {
 /// perfect-square, and mixed shapes, capped at `max_cells` total cells.
 [[nodiscard]] std::vector<std::int64_t> adversarial_extents(
     util::Rng& rng, std::size_t max_dims = 6, std::uint64_t max_cells = 20'000);
+
+/// Random instance *text* for parser fuzzing. Roughly half the draws are
+/// well-formed serializations dressed with comments and ragged whitespace;
+/// the rest carry one adversarial mutation — garbage tokens, signs glued to
+/// digits, zero/negative values, 64-bit-overflowing literals, a truncated
+/// or empty body. The parser must either return a validated instance or
+/// throw workload::ParseError; any other escape is a bug.
+[[nodiscard]] std::string random_instance_text(util::Rng& rng);
 
 }  // namespace pcmax::testkit

@@ -215,6 +215,49 @@ CheckResult check_ptas_cache_equivalence(const PtasResult& cached,
   return std::nullopt;
 }
 
+CheckResult check_resilient_result(const Instance& instance,
+                                   const ResilientResult& result) {
+  const StatusCode code = result.status.code();
+  const bool carries_schedule =
+      code == StatusCode::kOk || code == StatusCode::kDeadlineExceeded;
+  if (!carries_schedule) {
+    if (code == StatusCode::kInternal)
+      return "unclassified failure (kInternal): " + result.status.message();
+    if (result.attempts.empty() && code != StatusCode::kInvalidInput &&
+        code != StatusCode::kUnavailable)
+      return "failure " + std::string(status_code_name(code)) +
+             " with no recorded attempts";
+    return std::nullopt;
+  }
+
+  if (result.engine.empty())
+    return "result carries a schedule but names no engine";
+  if (auto bad = check_schedule(instance, result.schedule)) return bad;
+  const std::int64_t actual = makespan(instance, result.schedule);
+  if (actual != result.achieved_makespan)
+    return "achieved_makespan " + std::to_string(result.achieved_makespan) +
+           " does not match the schedule's real makespan " +
+           std::to_string(actual);
+  if (actual < oracle_lower_bound(instance))
+    return "makespan " + std::to_string(actual) +
+           " beats the oracle lower bound " +
+           std::to_string(oracle_lower_bound(instance));
+  if (result.bound_num < result.bound_den || result.bound_den <= 0)
+    return "stated quality bound " + std::to_string(result.bound_num) + "/" +
+           std::to_string(result.bound_den) + " is not a ratio >= 1";
+  // The stated bound is against OPT, which LPT's makespan upper-bounds:
+  // makespan <= (num/den) * OPT <= (num/den) * LPT must hold exactly.
+  const std::int64_t lpt_ub = lpt_makespan(instance);
+  if (actual * result.bound_den > result.bound_num * lpt_ub)
+    return "makespan " + std::to_string(actual) +
+           " violates the stated bound " + std::to_string(result.bound_num) +
+           "/" + std::to_string(result.bound_den) +
+           " against the LPT upper bound " + std::to_string(lpt_ub);
+  if (code == StatusCode::kDeadlineExceeded && !result.degraded)
+    return "deadline best-effort result is not marked degraded";
+  return std::nullopt;
+}
+
 CheckResult check_device_conservation(const gpusim::Device& device) {
   const auto now = device.now();
   std::map<int, util::SimTime> busy;

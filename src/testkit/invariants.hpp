@@ -11,6 +11,7 @@
 
 #include "core/instance.hpp"
 #include "core/ptas.hpp"
+#include "core/resilient.hpp"
 #include "dp/problem.hpp"
 #include "dp/solver.hpp"
 #include "gpusim/device.hpp"
@@ -72,6 +73,16 @@ using CheckResult = std::optional<std::string>;
 [[nodiscard]] CheckResult check_ptas_cache_equivalence(
     const PtasResult& cached, const PtasResult& uncached,
     bool require_same_iterations);
+
+/// The resilient-driver contract under faults: a kOk result carries a valid
+/// schedule whose makespan matches an independent recomputation, respects
+/// its stated rational quality bound against the oracle lower bound, and
+/// names the engine that produced it; a kDeadlineExceeded result still
+/// carries a valid best-effort schedule and is marked degraded; any other
+/// failure must be a classified code (never kOk-with-no-schedule and never
+/// kInternal, which the driver reserves for bugs).
+[[nodiscard]] CheckResult check_resilient_result(const Instance& instance,
+                                                 const ResilientResult& result);
 
 /// Simulated-device conservation laws over the kernel log: every kernel's
 /// finish >= start, nothing finishes after the device clock, per-stream

@@ -1,46 +1,100 @@
 #include "workload/io.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
-
-#include "util/contracts.hpp"
+#include <string>
 
 namespace pcmax::workload {
 
 namespace {
 
-/// Strips '#' comments and concatenates the remaining tokens.
-std::string strip_comments(std::istream& in) {
-  std::string out, line;
-  while (std::getline(in, line)) {
-    const auto hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    out += line;
-    out += '\n';
-  }
-  return out;
+/// Parses one whitespace-delimited token as a strictly formatted int64.
+/// Rejects partial matches ("12x"), signs without digits, and 64-bit
+/// overflow, each with the offending token in the message.
+std::int64_t parse_i64(std::string_view token, int line, const char* what) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec == std::errc::result_out_of_range)
+    throw ParseError(line, std::string(what) + " '" + std::string(token) +
+                               "' overflows 64-bit integers");
+  if (ec != std::errc{} || ptr != token.data() + token.size())
+    throw ParseError(line, std::string("non-numeric ") + what + " '" +
+                               std::string(token) + "'");
+  return value;
 }
 
-}  // namespace
-
-Instance read_instance(std::istream& in) {
-  std::istringstream tokens(strip_comments(in));
+Instance parse_lines(std::istream& in) {
   Instance instance;
-  if (!(tokens >> instance.machines))
-    throw util::contract_violation("instance: missing machine count");
-  std::int64_t t = 0;
-  while (tokens >> t) instance.times.push_back(t);
-  if (!tokens.eof())
-    throw util::contract_violation("instance: non-numeric token");
+  bool saw_machines = false;
+  std::int64_t total = 0;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      if (std::isspace(static_cast<unsigned char>(line[pos])) != 0) {
+        ++pos;
+        continue;
+      }
+      std::size_t end = pos;
+      while (end < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[end])) == 0)
+        ++end;
+      const std::string_view token(line.data() + pos, end - pos);
+      pos = end;
+      if (!saw_machines) {
+        instance.machines = parse_i64(token, line_no, "machine count");
+        if (instance.machines < 1)
+          throw ParseError(line_no, "machine count " +
+                                        std::to_string(instance.machines) +
+                                        " must be >= 1");
+        saw_machines = true;
+        continue;
+      }
+      const std::int64_t t = parse_i64(token, line_no, "processing time");
+      if (t < 1)
+        throw ParseError(line_no, "processing time " + std::to_string(t) +
+                                      " must be >= 1");
+      // The makespan bounds sum all times into an int64; an instance whose
+      // total wraps would corrupt every downstream bound, so reject it at
+      // the boundary.
+      if (__builtin_add_overflow(total, t, &total))
+        throw ParseError(line_no,
+                         "total processing time overflows 64-bit makespan "
+                         "arithmetic");
+      instance.times.push_back(t);
+    }
+  }
+  if (!saw_machines) throw ParseError(0, "missing machine count");
+  if (instance.times.empty())
+    throw ParseError(0, "instance has no processing times");
   instance.validate();
   return instance;
 }
 
+}  // namespace
+
+Instance read_instance(std::istream& in) { return parse_lines(in); }
+
 Instance parse_instance(const std::string& text) {
   std::istringstream in(text);
   return read_instance(in);
+}
+
+Result<Instance> try_parse_instance(std::string_view text) {
+  try {
+    return parse_instance(std::string(text));
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kInvalidInput, e.what());
+  }
 }
 
 void write_instance(std::ostream& out, const Instance& instance) {

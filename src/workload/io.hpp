@@ -5,20 +5,50 @@
 //   line 1: m              (machine count)
 //   line 2: t_1 t_2 ... t_n  (processing times, any line breaks)
 //
+// Parsing is strict and typed: every malformed input — non-numeric tokens,
+// a missing or non-positive machine count, zero/negative processing times,
+// values that overflow 64 bits, a job total that overflows 64-bit makespan
+// arithmetic — is rejected with a line-anchored ParseError (or, via
+// try_parse_instance, a kInvalidInput Status) instead of producing a
+// half-built instance.
+//
 // Schedule format: one "job machine load" triple per line after a header.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "core/instance.hpp"
+#include "core/status.hpp"
+#include "util/contracts.hpp"
 
 namespace pcmax::workload {
 
-/// Parses an instance; throws util::contract_violation with a line-anchored
-/// message on malformed input.
+/// Malformed instance text. Derives from util::contract_violation so
+/// pre-existing callers that catch the old type keep working; carries the
+/// 1-based input line the diagnosis is anchored to (0 = whole input).
+class ParseError : public util::contract_violation {
+ public:
+  ParseError(int line, const std::string& message)
+      : util::contract_violation(
+            line > 0 ? "instance:" + std::to_string(line) + ": " + message
+                     : "instance: " + message),
+        line_(line) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses an instance; throws ParseError on malformed input.
 [[nodiscard]] Instance read_instance(std::istream& in);
 [[nodiscard]] Instance parse_instance(const std::string& text);
+
+/// Non-throwing variant: a parsed instance, or a kInvalidInput Status
+/// carrying the ParseError diagnosis. The boundary production loaders use.
+[[nodiscard]] Result<Instance> try_parse_instance(std::string_view text);
 
 /// Serializes an instance in the format read_instance accepts.
 void write_instance(std::ostream& out, const Instance& instance);

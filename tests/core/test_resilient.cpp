@@ -1,0 +1,313 @@
+#include "core/resilient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/rounding.hpp"
+#include "gpusim/device.hpp"
+#include "util/checked_math.hpp"
+
+namespace pcmax {
+namespace {
+
+Instance small_instance() {
+  Instance inst;
+  inst.machines = 3;
+  inst.times = {9, 8, 7, 6, 5, 5, 4, 3, 2, 1};
+  return inst;
+}
+
+/// An engine that fails `failures` times with `thrower`, then delegates to
+/// LPT. The driver must classify each failure and retry or fall back.
+SolveEngine flaky_engine(std::string name, int failures,
+                         std::function<void()> thrower) {
+  SolveEngine engine = make_lpt_engine();
+  engine.name = std::move(name);
+  auto remaining = std::make_shared<int>(failures);
+  auto inner = engine.run;
+  engine.run = [remaining, thrower = std::move(thrower), inner](
+                   const Instance& inst, std::int64_t k,
+                   const EngineContext& ctx) {
+    if (*remaining > 0) {
+      --*remaining;
+      thrower();
+    }
+    return inner(inst, k, ctx);
+  };
+  return engine;
+}
+
+TEST(Deadline, DefaultAndNonPositiveAreUnlimited) {
+  EXPECT_TRUE(Deadline().unlimited());
+  EXPECT_FALSE(Deadline().expired());
+  EXPECT_TRUE(Deadline::after_ms(0).unlimited());
+  EXPECT_TRUE(Deadline::after_ms(-3).unlimited());
+  EXPECT_NO_THROW(Deadline().check("never"));
+}
+
+TEST(Deadline, ExpiresAndThrowsWithContext) {
+  const auto deadline = Deadline::after_ms(1);
+  EXPECT_FALSE(deadline.unlimited());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.expired());
+  try {
+    deadline.check("dp probe");
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_NE(std::string(e.what()).find("dp probe"), std::string::npos);
+  }
+}
+
+TEST(EpsilonForK, RoundTripsThroughKForEpsilon) {
+  for (std::int64_t k = 1; k <= 64; ++k)
+    EXPECT_EQ(k_for_epsilon(epsilon_for_k(k)), k) << "k=" << k;
+}
+
+TEST(LptOutcome, ProducesValidScheduleAndMakespan) {
+  const auto inst = small_instance();
+  const auto outcome = lpt_outcome(inst);
+  validate_schedule(inst, outcome.schedule);
+  EXPECT_EQ(outcome.achieved_makespan, makespan(inst, outcome.schedule));
+  // 50 total over 3 machines: LPT is well within 4/3 of the ceil(50/3)=17
+  // lower bound.
+  EXPECT_GE(outcome.achieved_makespan, 17);
+  EXPECT_LE(outcome.achieved_makespan, 22);
+}
+
+TEST(SolveResilient, DefaultChainSucceedsUndegraded) {
+  const auto result = solve_resilient(small_instance());
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  EXPECT_EQ(result.engine, "ptas-level-bucket");
+  EXPECT_FALSE(result.degraded);
+  EXPECT_EQ(result.k, k_for_epsilon(0.3));
+  EXPECT_EQ(result.bound_num, result.k + 1);
+  EXPECT_EQ(result.bound_den, result.k);
+  validate_schedule(small_instance(), result.schedule);
+  ASSERT_EQ(result.attempts.size(), 1u);
+  EXPECT_TRUE(result.attempts[0].status.is_ok());
+}
+
+TEST(SolveResilient, RetriesTransientFailuresThenSucceeds) {
+  const SolveEngine engine = flaky_engine("flaky", 2, [] {
+    throw gpusim::OutOfMemory("injected: device allocation failed");
+  });
+  ResilientOptions options;
+  options.backoff_ms = 0;
+  const auto result =
+      solve_resilient(small_instance(), {&engine, 1}, options);
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  EXPECT_EQ(result.engine, "flaky");
+  ASSERT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(result.attempts[0].status.code(), StatusCode::kDeviceOutOfMemory);
+  EXPECT_EQ(result.attempts[1].status.code(), StatusCode::kDeviceOutOfMemory);
+  EXPECT_EQ(result.attempts[1].retry, 1);
+  EXPECT_TRUE(result.attempts[2].status.is_ok());
+  EXPECT_EQ(result.attempts[2].retry, 2);
+}
+
+TEST(SolveResilient, ExhaustedRetriesFallBackToNextEngine) {
+  const SolveEngine engines[] = {
+      flaky_engine("always-stalls", 1'000'000,
+                   [] { throw gpusim::StreamStalled("injected stall"); }),
+      make_lpt_engine(),
+  };
+  ResilientOptions options;
+  options.max_transient_retries = 1;
+  options.backoff_ms = 0;
+  const auto result = solve_resilient(small_instance(), engines, options);
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  EXPECT_EQ(result.engine, "lpt");
+  EXPECT_TRUE(result.degraded) << "fallback results are degraded";
+  // 2 failed attempts on the first engine + 1 success on LPT.
+  ASSERT_EQ(result.attempts.size(), 3u);
+  EXPECT_EQ(result.attempts[0].status.code(), StatusCode::kStreamStalled);
+  EXPECT_EQ(result.attempts[1].status.code(), StatusCode::kStreamStalled);
+  EXPECT_EQ(result.attempts[2].engine, "lpt");
+}
+
+TEST(SolveResilient, FatalFailureSkipsRetriesAndFallsBack) {
+  const SolveEngine engines[] = {
+      flaky_engine("fatal", 1'000'000,
+                   [] {
+                     throw StatusError(Status(StatusCode::kTableOverflow,
+                                              "table too large"));
+                   }),
+      make_lpt_engine(),
+  };
+  ResilientOptions options;
+  options.backoff_ms = 0;
+  const auto result = solve_resilient(small_instance(), engines, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.engine, "lpt");
+  // Fatal: exactly one attempt on the first engine, no retries.
+  ASSERT_EQ(result.attempts.size(), 2u);
+  EXPECT_EQ(result.attempts[0].status.code(), StatusCode::kTableOverflow);
+}
+
+TEST(SolveResilient, ClassifiesOrganicExceptions) {
+  struct Case {
+    std::function<void()> thrower;
+    StatusCode expected;
+  };
+  const Case cases[] = {
+      {[] { throw gpusim::LaunchFailure("no"); },
+       StatusCode::kKernelLaunchFailed},
+      {[] { throw std::bad_alloc(); }, StatusCode::kHostOutOfMemory},
+      {[] { throw util::overflow_error("mul"); }, StatusCode::kTableOverflow},
+      {[] { throw std::logic_error("?"); }, StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    const SolveEngine engines[] = {flaky_engine("thrower", 1'000'000, c.thrower),
+                                   make_lpt_engine()};
+    ResilientOptions options;
+    options.max_transient_retries = 0;
+    options.backoff_ms = 0;
+    const auto result = solve_resilient(small_instance(), engines, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.attempts[0].status.code(), c.expected);
+  }
+}
+
+TEST(SolveResilient, MemoryBudgetDegradesK) {
+  // mem_estimate grows linearly in k; a budget of 250 forces k=4 -> 2.
+  SolveEngine engine = make_cpu_engines()[0];
+  engine.mem_estimate = [](const Instance&, std::int64_t k) {
+    return static_cast<std::uint64_t>(k) * 100;
+  };
+  ResilientOptions options;
+  options.mem_budget_bytes = 250;
+  const auto result = solve_resilient(small_instance(), {&engine, 1}, options);
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  EXPECT_EQ(result.k, 2);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.bound_num, 3);
+  EXPECT_EQ(result.bound_den, 2);
+}
+
+TEST(SolveResilient, BudgetTooSmallEvenAtK1SkipsTheEngine) {
+  SolveEngine engine = make_cpu_engines()[0];
+  engine.mem_estimate = [](const Instance&, std::int64_t) {
+    return std::uint64_t{1} << 40;
+  };
+  ResilientOptions options;
+  options.mem_budget_bytes = 1024;
+  const SolveEngine engines[] = {engine, make_lpt_engine()};
+  const auto result = solve_resilient(small_instance(), engines, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.engine, "lpt");
+  ASSERT_FALSE(result.attempts.empty());
+  EXPECT_EQ(result.attempts[0].status.code(),
+            StatusCode::kMemoryBudgetExceeded);
+}
+
+TEST(SolveResilient, OverflowingMemEstimateIsOverAnyBudget) {
+  // An estimate that cannot even be computed in 64 bits is over any budget
+  // by definition: the engine is skipped, not crashed into.
+  SolveEngine engine = make_cpu_engines()[0];
+  engine.mem_estimate = [](const Instance&, std::int64_t) -> std::uint64_t {
+    throw util::overflow_error("table size overflows 64 bits");
+  };
+  ResilientOptions options;
+  options.mem_budget_bytes = std::uint64_t{1} << 40;
+  const SolveEngine engines[] = {engine, make_lpt_engine()};
+  const auto result = solve_resilient(small_instance(), engines, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.engine, "lpt");
+  EXPECT_EQ(result.attempts[0].status.code(),
+            StatusCode::kMemoryBudgetExceeded);
+}
+
+TEST(SolveResilient, DeadlineYieldsBestEffortLptSchedule) {
+  const SolveEngine engines[] = {
+      flaky_engine("slow", 1'000'000,
+                   [] {
+                     std::this_thread::sleep_for(
+                         std::chrono::milliseconds(5));
+                     throw DeadlineExceeded("engine noticed the deadline");
+                   }),
+      make_lpt_engine(),
+  };
+  ResilientOptions options;
+  options.deadline_ms = 1;
+  options.backoff_ms = 0;
+  const auto inst = small_instance();
+  const auto result = solve_resilient(inst, engines, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(result.degraded);
+  validate_schedule(inst, result.schedule);
+  EXPECT_EQ(result.achieved_makespan, makespan(inst, result.schedule));
+  EXPECT_EQ(result.bound_num, 4 * inst.machines - 1);
+  EXPECT_EQ(result.bound_den, 3 * inst.machines);
+}
+
+TEST(SolveResilient, InvalidInputIsTyped) {
+  Instance bad;
+  bad.machines = 0;
+  bad.times = {1, 2};
+  const auto result = solve_resilient(bad);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidInput);
+  EXPECT_TRUE(result.schedule.assignment.empty());
+
+  Instance good = small_instance();
+  ResilientOptions options;
+  options.epsilon = 0.0;
+  EXPECT_EQ(solve_resilient(good, options).status.code(),
+            StatusCode::kInvalidInput);
+  options.epsilon = 1.5;
+  EXPECT_EQ(solve_resilient(good, options).status.code(),
+            StatusCode::kInvalidInput);
+}
+
+TEST(SolveResilient, EmptyChainIsUnavailable) {
+  const auto result =
+      solve_resilient(small_instance(), std::span<const SolveEngine>{});
+  EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+}
+
+TEST(SolveResilient, IntegrityGateCatchesCorruptOutcomes) {
+  // An engine that returns a wrong makespan must be caught by the gate and
+  // classified as data corruption, then retried / fallen back.
+  SolveEngine lying = make_lpt_engine();
+  lying.name = "liar";
+  auto inner = lying.run;
+  lying.run = [inner](const Instance& inst, std::int64_t k,
+                      const EngineContext& ctx) {
+    auto outcome = inner(inst, k, ctx);
+    outcome.achieved_makespan -= 1;
+    return outcome;
+  };
+  const SolveEngine engines[] = {lying, make_lpt_engine()};
+  ResilientOptions options;
+  options.max_transient_retries = 0;
+  options.backoff_ms = 0;
+  const auto result = solve_resilient(small_instance(), engines, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.engine, "lpt");
+  EXPECT_EQ(result.attempts[0].status.code(), StatusCode::kDataCorruption);
+}
+
+TEST(SolveResilient, AllEnginesFailingReturnsLastFailure) {
+  const SolveEngine engines[] = {flaky_engine(
+      "doomed", 1'000'000,
+      [] { throw gpusim::OutOfMemory("injected"); })};
+  ResilientOptions options;
+  options.max_transient_retries = 1;
+  options.backoff_ms = 0;
+  const auto result = solve_resilient(small_instance(), engines, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kDeviceOutOfMemory);
+  EXPECT_TRUE(result.schedule.assignment.empty());
+  EXPECT_EQ(result.attempts.size(), 2u);
+}
+
+}  // namespace
+}  // namespace pcmax

@@ -1,0 +1,96 @@
+#include "core/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace pcmax {
+namespace {
+
+constexpr StatusCode kAllCodes[] = {
+    StatusCode::kOk,
+    StatusCode::kDeviceOutOfMemory,
+    StatusCode::kHostOutOfMemory,
+    StatusCode::kKernelLaunchFailed,
+    StatusCode::kStreamStalled,
+    StatusCode::kDataCorruption,
+    StatusCode::kMemoryBudgetExceeded,
+    StatusCode::kTableOverflow,
+    StatusCode::kDeadlineExceeded,
+    StatusCode::kInvalidInput,
+    StatusCode::kUnavailable,
+    StatusCode::kInternal,
+};
+
+TEST(Status, TransientClassification) {
+  EXPECT_TRUE(is_transient(StatusCode::kDeviceOutOfMemory));
+  EXPECT_TRUE(is_transient(StatusCode::kHostOutOfMemory));
+  EXPECT_TRUE(is_transient(StatusCode::kKernelLaunchFailed));
+  EXPECT_TRUE(is_transient(StatusCode::kStreamStalled));
+  EXPECT_TRUE(is_transient(StatusCode::kDataCorruption));
+
+  EXPECT_FALSE(is_transient(StatusCode::kOk));
+  EXPECT_FALSE(is_transient(StatusCode::kMemoryBudgetExceeded));
+  EXPECT_FALSE(is_transient(StatusCode::kTableOverflow));
+  EXPECT_FALSE(is_transient(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(is_transient(StatusCode::kInvalidInput));
+  EXPECT_FALSE(is_transient(StatusCode::kUnavailable));
+  EXPECT_FALSE(is_transient(StatusCode::kInternal));
+}
+
+TEST(Status, NamesAreStableKebabCaseAndUnique) {
+  EXPECT_EQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_EQ(status_code_name(StatusCode::kDeviceOutOfMemory), "device-oom");
+  EXPECT_EQ(status_code_name(StatusCode::kDeadlineExceeded),
+            "deadline-exceeded");
+  std::set<std::string> names;
+  for (const auto code : kAllCodes) {
+    const auto name = std::string(status_code_name(code));
+    EXPECT_FALSE(name.empty());
+    for (const char c : name)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '-') << name;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(Status, DefaultIsOkAndToStringCarriesTheMessage) {
+  EXPECT_TRUE(Status::ok().is_ok());
+  EXPECT_FALSE(Status::ok().transient());
+  const Status s(StatusCode::kDeviceOutOfMemory, "allocation of 96 bytes");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_TRUE(s.transient());
+  EXPECT_EQ(s.to_string(), "device-oom: allocation of 96 bytes");
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  const Result<int> good(42);
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(*good, 42);
+  EXPECT_TRUE(good.status().is_ok());
+
+  const Result<int> bad(Status(StatusCode::kInvalidInput, "nope"));
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_FALSE(static_cast<bool>(bad));
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidInput);
+}
+
+TEST(Result, OkStatusWithoutValueBecomesInternal) {
+  const Result<int> broken(Status::ok());
+  EXPECT_FALSE(broken.has_value());
+  EXPECT_EQ(broken.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusError, CarriesStatusAndFormatsWhat) {
+  const StatusError err(Status(StatusCode::kStreamStalled, "watchdog"));
+  EXPECT_EQ(err.status().code(), StatusCode::kStreamStalled);
+  EXPECT_STREQ(err.what(), "stream-stalled: watchdog");
+
+  const DeadlineExceeded deadline("probe 3");
+  EXPECT_EQ(deadline.status().code(), StatusCode::kDeadlineExceeded);
+  const StatusError* as_base = &deadline;
+  EXPECT_EQ(as_base->status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace pcmax

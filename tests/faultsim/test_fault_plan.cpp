@@ -1,0 +1,81 @@
+#include "faultsim/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pcmax::faultsim {
+namespace {
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    const auto site = static_cast<Site>(i);
+    const auto parsed = parse_site(site_name(site));
+    ASSERT_TRUE(parsed.has_value()) << site_name(site);
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(parse_site("warp-scheduler").has_value());
+  EXPECT_FALSE(parse_site("").has_value());
+}
+
+TEST(FaultPlan, ParsesFullPlan) {
+  const auto plan = parse_fault_plan(
+      "seed=42;device-alloc:nth=3;kernel-launch:permille=10;"
+      "stream-sync:nth=1:stall-ms=250;dp-cell:nth=2;host-alloc:permille=5");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->rules.size(), 5u);
+  EXPECT_EQ(plan->rules[0].site, Site::kDeviceAlloc);
+  EXPECT_EQ(plan->rules[0].nth, 3u);
+  EXPECT_EQ(plan->rules[1].site, Site::kKernelLaunch);
+  EXPECT_EQ(plan->rules[1].permille, 10u);
+  EXPECT_EQ(plan->rules[2].site, Site::kStreamSync);
+  EXPECT_EQ(plan->rules[2].stall_ms, 250);
+  EXPECT_EQ(plan->rules[4].site, Site::kHostAlloc);
+}
+
+TEST(FaultPlan, ToStringRoundTrips) {
+  const char* kPlans[] = {
+      "seed=7",
+      "seed=0;dp-cell:nth=1",
+      "seed=99;device-alloc:permille=500;stream-sync:nth=4:stall-ms=3000",
+  };
+  for (const char* text : kPlans) {
+    const auto plan = parse_fault_plan(text);
+    ASSERT_TRUE(plan.has_value()) << text;
+    const auto again = parse_fault_plan(plan->to_string());
+    ASSERT_TRUE(again.has_value()) << plan->to_string();
+    EXPECT_EQ(again->to_string(), plan->to_string());
+    EXPECT_EQ(plan->to_string(), text) << "canonical form drifted";
+  }
+}
+
+TEST(FaultPlan, RejectsMalformedText) {
+  std::string error;
+  EXPECT_FALSE(parse_fault_plan("", &error).has_value());
+  EXPECT_NE(error.find("empty"), std::string::npos);
+  EXPECT_FALSE(parse_fault_plan("seed=x", &error).has_value());
+  EXPECT_FALSE(parse_fault_plan("warp:nth=1", &error).has_value());
+  EXPECT_NE(error.find("unknown fault site"), std::string::npos);
+  EXPECT_FALSE(parse_fault_plan("seed=1;device-alloc", &error).has_value());
+  EXPECT_NE(error.find("needs nth"), std::string::npos);
+  EXPECT_FALSE(parse_fault_plan("seed=1;device-alloc:nth=0", &error)
+                   .has_value());
+  EXPECT_FALSE(
+      parse_fault_plan("seed=1;device-alloc:permille=1001", &error)
+          .has_value());
+  EXPECT_FALSE(
+      parse_fault_plan("seed=1;device-alloc:bogus=3", &error).has_value());
+  EXPECT_NE(error.find("unknown rule key"), std::string::npos);
+  EXPECT_FALSE(
+      parse_fault_plan("seed=1;device-alloc:nth=", &error).has_value());
+}
+
+TEST(FaultPlan, SeedOnlyAndRuleOnlyAreValid) {
+  EXPECT_TRUE(parse_fault_plan("seed=5").has_value());
+  const auto plan = parse_fault_plan("dp-cell:nth=2");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->seed, 0u);
+  EXPECT_EQ(plan->rules.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pcmax::faultsim

@@ -1,0 +1,142 @@
+#include "faultsim/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace pcmax::faultsim {
+namespace {
+
+FaultPlan plan_from(const char* text) {
+  auto plan = parse_fault_plan(text);
+  EXPECT_TRUE(plan.has_value()) << text;
+  return *plan;
+}
+
+TEST(FaultInjector, NthRuleFiresExactlyOnce) {
+  FaultInjector inj(plan_from("seed=1;device-alloc:nth=3"));
+  for (std::uint64_t hit = 1; hit <= 10; ++hit) {
+    const auto fired = inj.should_fire(Site::kDeviceAlloc);
+    if (hit == 3) {
+      ASSERT_TRUE(fired.has_value());
+      EXPECT_EQ(fired->site, Site::kDeviceAlloc);
+      EXPECT_EQ(fired->hit, 3u);
+    } else {
+      EXPECT_FALSE(fired.has_value()) << "hit " << hit;
+    }
+  }
+  const auto stats = inj.stats(Site::kDeviceAlloc);
+  EXPECT_EQ(stats.hits, 10u);
+  EXPECT_EQ(stats.fired, 1u);
+  EXPECT_EQ(inj.total_fired(), 1u);
+}
+
+TEST(FaultInjector, SitesAreIndependent) {
+  FaultInjector inj(plan_from("seed=1;kernel-launch:nth=1"));
+  EXPECT_FALSE(inj.should_fire(Site::kDeviceAlloc).has_value());
+  EXPECT_FALSE(inj.should_fire(Site::kStreamSync).has_value());
+  EXPECT_TRUE(inj.should_fire(Site::kKernelLaunch).has_value());
+  EXPECT_EQ(inj.stats(Site::kDeviceAlloc).fired, 0u);
+  EXPECT_EQ(inj.stats(Site::kKernelLaunch).hits, 1u);
+}
+
+TEST(FaultInjector, PermilleIsDeterministicInSeedAndOrdinal) {
+  const auto plan = plan_from("seed=77;kernel-launch:permille=300");
+  std::vector<bool> first, second;
+  {
+    FaultInjector inj(plan);
+    for (int i = 0; i < 200; ++i)
+      first.push_back(inj.should_fire(Site::kKernelLaunch).has_value());
+  }
+  {
+    FaultInjector inj(plan);
+    for (int i = 0; i < 200; ++i)
+      second.push_back(inj.should_fire(Site::kKernelLaunch).has_value());
+  }
+  EXPECT_EQ(first, second);
+  // A 30% rule over 200 hits fires sometimes but not always.
+  const auto fired = static_cast<std::size_t>(
+      std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, first.size());
+
+  // A different seed makes different decisions somewhere in 200 hits.
+  FaultInjector other(plan_from("seed=78;kernel-launch:permille=300"));
+  std::vector<bool> third;
+  for (int i = 0; i < 200; ++i)
+    third.push_back(other.should_fire(Site::kKernelLaunch).has_value());
+  EXPECT_NE(first, third);
+}
+
+TEST(FaultInjector, PermilleExtremes) {
+  FaultInjector always(plan_from("seed=5;stream-sync:permille=1000"));
+  for (int i = 0; i < 20; ++i)
+    EXPECT_TRUE(always.should_fire(Site::kStreamSync).has_value());
+}
+
+TEST(FaultInjector, StallMillisecondsArriveWithTheFault) {
+  FaultInjector inj(plan_from("seed=1;stream-sync:nth=2:stall-ms=250"));
+  EXPECT_FALSE(inj.should_fire(Site::kStreamSync).has_value());
+  const auto fired = inj.should_fire(Site::kStreamSync);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->stall_ms, 250);
+}
+
+TEST(FaultInjector, ScopedInstallAndRemove) {
+  EXPECT_EQ(injector(), nullptr);
+  EXPECT_FALSE(fault_at(Site::kDeviceAlloc).has_value());
+  {
+    ScopedFaultInjector scoped(plan_from("seed=1;device-alloc:nth=1"));
+    EXPECT_EQ(injector(), &scoped.injector());
+    EXPECT_TRUE(fault_at(Site::kDeviceAlloc).has_value());
+    EXPECT_FALSE(fault_at(Site::kDeviceAlloc).has_value());
+  }
+  EXPECT_EQ(injector(), nullptr);
+  EXPECT_FALSE(fault_at(Site::kDeviceAlloc).has_value());
+}
+
+TEST(FaultInjector, CheckHostAllocThrowsBadAlloc) {
+  ScopedFaultInjector scoped(plan_from("seed=1;host-alloc:nth=2"));
+  EXPECT_NO_THROW(check_host_alloc(1024));
+  EXPECT_THROW(check_host_alloc(1024), std::bad_alloc);
+  EXPECT_NO_THROW(check_host_alloc(1024));
+}
+
+TEST(FaultInjector, CorruptsOneFiniteTableCell) {
+  ScopedFaultInjector scoped(plan_from("seed=9;dp-cell:nth=1"));
+  std::vector<std::int32_t> table = {0, 1, 1, 2, 2, 3};
+  const std::vector<std::int32_t> pristine = table;
+  std::int32_t opt = table.back();
+  ASSERT_TRUE(maybe_corrupt_table(table, opt));
+  EXPECT_EQ(opt, table.back()) << "opt must stay consistent with the table";
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i] != pristine[i]) {
+      ++diffs;
+      EXPECT_EQ(table[i], pristine[i] - 1) << "corruption is a decrement";
+    }
+  }
+  EXPECT_EQ(diffs, 1u);
+  // The one-shot rule is spent: no further corruption.
+  EXPECT_FALSE(maybe_corrupt_table(table, opt));
+}
+
+TEST(FaultInjector, CorruptsOptWhenTableIsEmpty) {
+  ScopedFaultInjector scoped(plan_from("seed=9;dp-cell:nth=1"));
+  std::int32_t opt = 7;
+  ASSERT_TRUE(maybe_corrupt_table({}, opt));
+  EXPECT_NE(opt, 7);
+}
+
+TEST(FaultInjector, NoInjectorMeansNoFaults) {
+  std::int32_t opt = 4;
+  std::vector<std::int32_t> table = {0, 4};
+  EXPECT_FALSE(maybe_corrupt_table(table, opt));
+  EXPECT_NO_THROW(check_host_alloc(std::uint64_t{1} << 40));
+}
+
+}  // namespace
+}  // namespace pcmax::faultsim

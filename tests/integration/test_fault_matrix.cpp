@@ -1,0 +1,204 @@
+// The resilience acceptance matrix: seeded FaultPlans crossed with engine
+// families. Every solve under every plan must end in a valid schedule within
+// its stated bound or a clean typed error — zero crashes, zero hangs, zero
+// unclassified failures. Plus the two teeth tests the subsystem exists for:
+// an always-failing GPU must fall back to LPT (visibly, in trace and
+// metrics) and still meet the LPT guarantee against the exact optimum, and
+// a tight deadline must yield a prompt typed status with a valid
+// best-effort schedule, never a partial or corrupt one.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/resilient.hpp"
+#include "faultsim/injector.hpp"
+#include "gpu/resilient_gpu.hpp"
+#include "gpusim/device.hpp"
+#include "obs/session.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax {
+namespace {
+
+/// Random plan: each site independently gets a one-shot or probability rule,
+/// so plans range from benign (no rules) to storms (every site firing).
+faultsim::FaultPlan random_plan(util::Rng& rng) {
+  faultsim::FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(rng.uniform(0, 1'000'000));
+  for (std::size_t s = 0; s < faultsim::kSiteCount; ++s) {
+    if (rng.uniform01() > 0.45) continue;
+    faultsim::FaultRule rule;
+    rule.site = static_cast<faultsim::Site>(s);
+    if (rng.uniform01() < 0.5)
+      rule.nth = static_cast<std::uint64_t>(rng.uniform(1, 8));
+    else
+      rule.permille = static_cast<std::uint32_t>(rng.uniform(50, 700));
+    if (rule.site == faultsim::Site::kStreamSync) {
+      // Below, at, and far past the 2 s default watchdog.
+      constexpr std::int64_t kStalls[] = {50, 2000, 5000};
+      rule.stall_ms = kStalls[rng.uniform(0, 2)];
+    }
+    plan.rules.push_back(rule);
+  }
+  return plan;
+}
+
+Instance matrix_instance(util::Rng& rng) {
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 14;
+  limits.max_machines = 5;
+  limits.max_time = 500;
+  return testkit::random_instance(rng, limits);
+}
+
+TEST(FaultMatrix, FiveHundredPlansAcrossEngineFamilies) {
+  ResilientOptions options;
+  options.max_transient_retries = 2;
+  options.backoff_ms = 1;  // charged to sim time only; no wall sleeps
+  obs::ObsSession session;  // exercise the obs emission paths too
+  int solves = 0;
+  for (std::uint64_t seed = 0; seed < 250; ++seed) {
+    util::Rng rng(seed);
+    const auto plan = random_plan(rng);
+    const auto instance = matrix_instance(rng);
+
+    // Family 1: CPU chain (level-bucket, reference, LPT).
+    ResilientResult cpu_result;
+    {
+      faultsim::ScopedFaultInjector scoped(plan);
+      cpu_result = solve_resilient(instance, options);
+    }
+    if (auto bad = testkit::check_resilient_result(instance, cpu_result))
+      FAIL() << "cpu chain, seed " << seed << ", plan " << plan.to_string()
+             << ": " << *bad;
+    ++solves;
+
+    // Family 2: GPU chain (simulated-GPU PTAS, CPU engines, LPT).
+    ResilientResult gpu_result;
+    {
+      gpusim::Device device(gpusim::DeviceSpec::k40());
+      const auto chain = gpu::make_gpu_chain(device);
+      faultsim::ScopedFaultInjector scoped(plan);
+      gpu_result = solve_resilient(instance, chain, options);
+    }
+    if (auto bad = testkit::check_resilient_result(instance, gpu_result))
+      FAIL() << "gpu chain, seed " << seed << ", plan " << plan.to_string()
+             << ": " << *bad;
+    ++solves;
+  }
+  EXPECT_EQ(solves, 500);
+  EXPECT_GT(session.metrics().counter("resilient.attempts"), 500u);
+}
+
+TEST(FaultMatrix, AlwaysFailingGpuFallsBackToLptWithinBound) {
+  // Every device allocation fails, so the GPU engine can never start; the
+  // driver must land on LPT, record the degradation, make the fallback
+  // visible in trace and metrics, and the LPT schedule must meet
+  // (4/3 - 1/(3m)) * OPT against the exact optimum.
+  obs::ObsSession session;
+  // Fixed instances with guaranteed long jobs (t * k > LB), so the GPU PTAS
+  // must allocate device memory — an all-short instance would solve greedily
+  // without ever touching the faulty device.
+  const Instance instances[] = {
+      {3, {40, 35, 30, 25, 20, 15, 10, 5, 5, 5}},
+      {2, {9, 8, 7, 6, 5, 4}},
+      {4, {50, 47, 43, 41, 38, 36, 10, 9, 8, 3, 2, 1}},
+      {3, {17, 17, 17, 16, 16, 16, 2, 1}},
+      {2, {31, 29, 23, 19, 17, 13, 11, 7}},
+  };
+  int rounds = 0;
+  for (const Instance& instance : instances) {
+    const int round = rounds++;
+    gpusim::Device device(gpusim::DeviceSpec::k40());
+    std::vector<SolveEngine> chain;
+    chain.push_back(gpu::make_gpu_engine(device));
+    chain.push_back(make_lpt_engine());
+    ResilientOptions options;
+    options.max_transient_retries = 1;
+    options.backoff_ms = 1;
+
+    ResilientResult result;
+    {
+      faultsim::ScopedFaultInjector scoped(
+          *faultsim::parse_fault_plan("seed=7;device-alloc:permille=1000"));
+      result = solve_resilient(instance, chain, options);
+    }
+    ASSERT_TRUE(result.ok()) << result.status.to_string();
+    EXPECT_EQ(result.engine, "lpt");
+    EXPECT_TRUE(result.degraded);
+    EXPECT_EQ(result.bound_num, 4 * instance.machines - 1);
+    EXPECT_EQ(result.bound_den, 3 * instance.machines);
+    ASSERT_FALSE(testkit::check_resilient_result(instance, result)
+                     .has_value());
+
+    const auto exact = testkit::exact_makespan(instance);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(result.achieved_makespan * result.bound_den,
+              result.bound_num * *exact)
+        << "LPT fallback above its Graham bound, round " << round;
+    // Failed GPU attempts are on the record, classified as transient OOM.
+    ASSERT_GE(result.attempts.size(), 3u);
+    EXPECT_EQ(result.attempts[0].status.code(),
+              StatusCode::kDeviceOutOfMemory);
+  }
+
+  // The injected faults and the fallback decisions are observable.
+  EXPECT_GE(session.metrics().counter("resilient.fallbacks"), 5u);
+  EXPECT_GE(session.metrics().counter("fault.injected.device-alloc"), 5u);
+  EXPECT_GE(session.metrics().counter(
+                "resilient.status.device-oom"), 5u);
+  bool saw_fallback_instant = false;
+  for (const auto& event : session.trace().snapshot())
+    if (std::strcmp(event.name, "resilient/fallback") == 0)
+      saw_fallback_instant = true;
+  EXPECT_TRUE(saw_fallback_instant)
+      << "fallbacks must be visible in the trace";
+}
+
+TEST(FaultMatrix, TightDeadlineYieldsPromptTypedBestEffort) {
+  // The first engine burns past the whole-solve deadline; the driver must
+  // return kDeadlineExceeded with a valid best-effort schedule promptly —
+  // never a partial or corrupt result, never a hang.
+  std::vector<SolveEngine> chain = make_default_chain();
+  SolveEngine& slow = chain.front();
+  const auto inner = slow.run;
+  slow.run = [inner](const Instance& inst, std::int64_t k,
+                     const EngineContext& ctx) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return inner(inst, k, ctx);  // DeadlineSolver notices before probing
+  };
+
+  util::Rng rng(99);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 20;
+  limits.max_machines = 4;
+  const auto instance = testkit::random_instance(rng, limits);
+
+  ResilientOptions options;
+  options.deadline_ms = 5;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = solve_resilient(instance, chain, options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.engine, "lpt");
+  ASSERT_FALSE(
+      testkit::check_resilient_result(instance, result).has_value());
+  validate_schedule(instance, result.schedule);
+  EXPECT_EQ(result.achieved_makespan, makespan(instance, result.schedule));
+  // Promptness: bounded by one engine attempt, nowhere near a retry storm.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+}  // namespace
+}  // namespace pcmax

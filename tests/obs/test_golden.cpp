@@ -64,7 +64,7 @@ TEST(GoldenTrace, BisectionBucket) {
     const dp::LevelBucketSolver solver;
     PtasOptions options;
     options.epsilon = 0.5;
-    solve_ptas(instance, solver, options);
+    (void)solve_ptas(instance, solver, options);
   }));
 }
 
@@ -80,8 +80,8 @@ TEST(GoldenTrace, QuarterSplitWithProbeCache) {
     options.probe_cache = &shared;
     // The second run replays the first from the warm cache, so the golden
     // pins both the miss path and the cache-hit instants.
-    solve_ptas(instance, solver, options);
-    solve_ptas(instance, solver, options);
+    (void)solve_ptas(instance, solver, options);
+    (void)solve_ptas(instance, solver, options);
   }));
 }
 
@@ -92,7 +92,7 @@ TEST(GoldenTrace, GpuEndToEnd) {
     gpu::GpuPtasOptions options;
     options.epsilon = 0.5;
     options.partition_dims = 5;
-    gpu::solve_gpu_ptas(instance, device, options);
+    (void)gpu::solve_gpu_ptas(instance, device, options);
   }));
 }
 

@@ -56,8 +56,9 @@ TEST(Metrics, BucketUpperMatchesIndex) {
   for (const std::int64_t v : {1, 2, 5, 100, 4095, 4096, 1 << 20}) {
     const auto b = MetricsRegistry::bucket_index(v);
     EXPECT_GE(MetricsRegistry::bucket_upper(b), v) << "value " << v;
-    if (b > 1)
+    if (b > 1) {
       EXPECT_LT(MetricsRegistry::bucket_upper(b - 1), v) << "value " << v;
+    }
   }
 }
 

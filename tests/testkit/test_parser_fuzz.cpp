@@ -1,0 +1,56 @@
+// Property fuzz for the instance parser: over many seeded random texts
+// (half well-formed, half carrying one adversarial mutation), parsing either
+// returns a fully validated instance or throws workload::ParseError — no
+// other exception type, no half-built escape — and the non-throwing
+// boundary mirrors that exactly as value-or-kInvalidInput.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <typeinfo>
+
+#include "testkit/generators.hpp"
+#include "util/rng.hpp"
+#include "workload/io.hpp"
+
+namespace pcmax::testkit {
+namespace {
+
+TEST(ParserFuzz, ParseReturnsValidInstanceOrParseError) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    util::Rng rng(seed);
+    const std::string text = random_instance_text(rng);
+    try {
+      const Instance inst = workload::parse_instance(text);
+      // parse_instance validates before returning; re-validate from outside
+      // to prove nothing half-built escaped.
+      inst.validate();
+      EXPECT_GE(inst.machines, 1) << "seed " << seed;
+      for (const auto t : inst.times) EXPECT_GE(t, 1) << "seed " << seed;
+    } catch (const workload::ParseError& e) {
+      EXPECT_GE(e.line(), 0) << "seed " << seed;
+      EXPECT_FALSE(std::string(e.what()).empty());
+    } catch (const std::exception& e) {
+      FAIL() << "seed " << seed << ": parser escaped with "
+             << typeid(e).name() << ": " << e.what() << "\ninput:\n"
+             << text;
+    }
+  }
+}
+
+TEST(ParserFuzz, TryParseNeverThrows) {
+  for (std::uint64_t seed = 0; seed < 400; ++seed) {
+    util::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+    const std::string text = random_instance_text(rng);
+    const auto result = workload::try_parse_instance(text);
+    if (result.has_value()) {
+      EXPECT_NO_THROW(result->validate()) << "seed " << seed;
+    } else {
+      EXPECT_EQ(result.status().code(), StatusCode::kInvalidInput)
+          << "seed " << seed;
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcmax::testkit

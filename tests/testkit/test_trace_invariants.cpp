@@ -41,7 +41,7 @@ TEST(TraceInvariants, CachedSolveReconcilesCacheCounters) {
   options.probe_cache = &shared;
   // Warm the cache outside the session so the recorded solve both hits and
   // bound-skips; the reconciliation covers exactly the second run.
-  solve_ptas(instance, solver, options);
+  (void)solve_ptas(instance, solver, options);
 
   obs::ObsSession session;
   const PtasResult result = solve_ptas(instance, solver, options);

@@ -1,0 +1,107 @@
+// Typed-error hardening of the instance parser: every malformed input maps
+// to a line-anchored ParseError (or a kInvalidInput Status through the
+// non-throwing boundary), and nothing half-built ever escapes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "workload/io.hpp"
+
+namespace pcmax::workload {
+namespace {
+
+int line_of(const std::string& text) {
+  try {
+    (void)parse_instance(text);
+  } catch (const ParseError& e) {
+    return e.line();
+  }
+  ADD_FAILURE() << "expected ParseError for: " << text;
+  return -1;
+}
+
+TEST(IoHardening, ErrorsAreLineAnchored) {
+  EXPECT_EQ(line_of("x\n1 2\n"), 1);
+  EXPECT_EQ(line_of("2\nbanana\n"), 2);
+  EXPECT_EQ(line_of("2\n1 2\n3 oops\n"), 3);
+  EXPECT_EQ(line_of(""), 0);  // whole-input diagnosis
+  try {
+    (void)parse_instance("2\n1 banana\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("instance:2:"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+}
+
+TEST(IoHardening, RejectsNonPositiveValues) {
+  EXPECT_THROW((void)parse_instance("0\n1 2\n"), ParseError);
+  EXPECT_THROW((void)parse_instance("-3\n1 2\n"), ParseError);
+  EXPECT_THROW((void)parse_instance("2\n1 0 3\n"), ParseError);
+  EXPECT_THROW((void)parse_instance("2\n5 -7 2\n"), ParseError);
+}
+
+TEST(IoHardening, RejectsPartialAndMalformedTokens) {
+  EXPECT_THROW((void)parse_instance("2\n1x2\n"), ParseError);
+  EXPECT_THROW((void)parse_instance("2\n12-\n"), ParseError);
+  EXPECT_THROW((void)parse_instance("2\n--3\n"), ParseError);
+  EXPECT_THROW((void)parse_instance("2\n0x10\n"), ParseError);
+  EXPECT_THROW((void)parse_instance("2\n1e9\n"), ParseError);
+  EXPECT_THROW((void)parse_instance("2\n+5\n"), ParseError);
+}
+
+TEST(IoHardening, RejectsSixtyFourBitOverflow) {
+  try {
+    (void)parse_instance("2\n99999999999999999999999 1\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("overflows 64-bit"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW((void)parse_instance("99999999999999999999999\n1\n"),
+               ParseError);
+}
+
+TEST(IoHardening, RejectsTotalTimeOverflow) {
+  // Each time fits in 64 bits but their sum wraps; the makespan bounds
+  // would silently corrupt downstream, so the parser rejects it.
+  try {
+    (void)parse_instance("1\n9223372036854775807 9223372036854775807\n");
+    FAIL();
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("total processing time"),
+              std::string::npos)
+        << e.what();
+  }
+  // The same totals split across lines are still caught.
+  EXPECT_THROW((void)parse_instance(
+                   "1\n9223372036854775807\n1\n"),
+               ParseError);
+}
+
+TEST(IoHardening, MaxRepresentableSingleJobParses) {
+  const auto inst = parse_instance("1\n9223372036854775807\n");
+  EXPECT_EQ(inst.machines, 1);
+  EXPECT_EQ(inst.times, (std::vector<std::int64_t>{
+                            9223372036854775807ll}));
+}
+
+TEST(IoHardening, TryParseReturnsValueOrTypedStatus) {
+  const auto good = try_parse_instance("2\n3 4 5\n");
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->machines, 2);
+  EXPECT_EQ(good->times, (std::vector<std::int64_t>{3, 4, 5}));
+
+  const auto bad = try_parse_instance("2\n1 banana\n");
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidInput);
+  EXPECT_NE(bad.status().message().find("banana"), std::string::npos);
+
+  EXPECT_EQ(try_parse_instance("").status().code(),
+            StatusCode::kInvalidInput);
+}
+
+}  // namespace
+}  // namespace pcmax::workload

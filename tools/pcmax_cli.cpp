@@ -9,8 +9,10 @@
 //   pcmax_cli --random 50 8 1 99 1 --emit-instance > jobs.txt
 //
 // Engines: ptas (default; --dp selects the DP solver: bucket, scan,
-// blocked-<dims>), gpu-dim<dims> (simulated K40, quarter split), lpt,
-// list, multifit, exact.
+// blocked-<dims>), gpu-dim<dims> (simulated K40, quarter split), resilient
+// (GPU chain with CPU and LPT fallback; honors --deadline-ms,
+// --mem-budget-bytes, --fault-plan — see docs/ROBUSTNESS.md), lpt, list,
+// multifit, exact.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,7 +25,10 @@
 #include "baselines/exact.hpp"
 #include "baselines/heuristics.hpp"
 #include "core/bounds.hpp"
+#include "core/resilient.hpp"
+#include "faultsim/injector.hpp"
 #include "gpu/gpu_ptas.hpp"
+#include "gpu/resilient_gpu.hpp"
 #include "obs/export.hpp"
 #include "obs/session.hpp"
 #include "partition/block_solver.hpp"
@@ -39,15 +44,23 @@ using namespace pcmax;
   std::fprintf(
       stderr,
       "usage: pcmax_cli (--input FILE | --random N M LO HI SEED)\n"
-      "                 [--engine ptas|gpu-dim<k>|lpt|list|multifit|exact]\n"
+      "                 [--engine ptas|gpu-dim<k>|resilient|lpt|list|\n"
+      "                  multifit|exact]\n"
       "                 [--dp bucket|scan|blocked-<dims>] [--epsilon E]\n"
       "                 [--quarter-split] [--emit-instance]\n"
+      "                 [--deadline-ms MS] [--probe-deadline-ms MS]\n"
+      "                 [--mem-budget-bytes BYTES] [--fault-plan PLAN]\n"
       "                 [--trace-out FILE] [--metrics-out FILE]\n"
       "\n"
       "Value flags also accept --flag=VALUE. --trace-out writes a Chrome\n"
       "trace (chrome://tracing, Perfetto); --metrics-out writes counters\n"
       "and histograms as JSON. Either flag enables recording and prints a\n"
-      "text summary (see docs/OBSERVABILITY.md).\n");
+      "text summary (see docs/OBSERVABILITY.md).\n"
+      "\n"
+      "--engine resilient runs the fallback chain (GPU PTAS, CPU PTAS, LPT)\n"
+      "with retries, deadlines, and memory pre-flight; --fault-plan injects\n"
+      "deterministic faults, e.g. 'seed=42;device-alloc:nth=3'\n"
+      "(see docs/ROBUSTNESS.md).\n");
   std::exit(2);
 }
 
@@ -59,6 +72,10 @@ struct Args {
   double epsilon = 0.3;
   bool quarter_split = false;
   bool emit_instance = false;
+  std::int64_t deadline_ms = 0;
+  std::int64_t probe_deadline_ms = 0;
+  std::uint64_t mem_budget_bytes = 0;
+  std::optional<faultsim::FaultPlan> fault_plan;
   std::optional<std::string> trace_out;
   std::optional<std::string> metrics_out;
 };
@@ -100,6 +117,20 @@ Args parse_args(int argc, char** argv) {
       args.quarter_split = true;
     } else if (a == "--emit-instance") {
       args.emit_instance = true;
+    } else if (a == "--deadline-ms") {
+      args.deadline_ms = std::atoll(next("--deadline-ms needs a value").c_str());
+    } else if (a == "--probe-deadline-ms") {
+      args.probe_deadline_ms =
+          std::atoll(next("--probe-deadline-ms needs a value").c_str());
+    } else if (a == "--mem-budget-bytes") {
+      args.mem_budget_bytes = static_cast<std::uint64_t>(
+          std::atoll(next("--mem-budget-bytes needs a value").c_str()));
+    } else if (a == "--fault-plan") {
+      std::string error;
+      args.fault_plan =
+          faultsim::parse_fault_plan(next("--fault-plan needs a plan"), &error);
+      if (!args.fault_plan.has_value())
+        usage(("bad --fault-plan: " + error).c_str());
     } else if (a == "--trace-out") {
       args.trace_out = next("--trace-out needs a path");
     } else if (a == "--metrics-out") {
@@ -157,8 +188,42 @@ int run_gpu(const Instance& instance, const Args& args, std::size_t dims) {
   return 0;
 }
 
+int run_resilient(const Instance& instance, const Args& args) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const auto chain = gpu::make_gpu_chain(device);
+  ResilientOptions options;
+  options.epsilon = args.epsilon;
+  options.deadline_ms = args.deadline_ms;
+  options.probe_deadline_ms = args.probe_deadline_ms;
+  options.mem_budget_bytes = args.mem_budget_bytes;
+  const auto result = solve_resilient(instance, chain, options);
+
+  if (!result.schedule.assignment.empty())
+    workload::write_schedule(std::cout, instance, result.schedule);
+  std::printf("engine resilient status %s via %s k %lld bound %lld/%lld%s\n",
+              result.status.to_string().c_str(),
+              result.engine.empty() ? "-" : result.engine.c_str(),
+              static_cast<long long>(result.k),
+              static_cast<long long>(result.bound_num),
+              static_cast<long long>(result.bound_den),
+              result.degraded ? " degraded" : "");
+  for (std::size_t i = 0; i < result.attempts.size(); ++i) {
+    const auto& attempt = result.attempts[i];
+    std::printf("attempt %zu: %s k %lld retry %d -> %s\n", i,
+                attempt.engine.c_str(), static_cast<long long>(attempt.k),
+                attempt.retry, attempt.status.to_string().c_str());
+  }
+  // A deadline result still carries a valid best-effort schedule; only a
+  // solve with no schedule at all is a hard failure.
+  return result.ok() ||
+                 result.status.code() == StatusCode::kDeadlineExceeded
+             ? 0
+             : 1;
+}
+
 int run_engine(const Instance& instance, const Args& args) {
   if (args.engine == "ptas") return run_ptas(instance, args);
+  if (args.engine == "resilient") return run_resilient(instance, args);
   if (args.engine.rfind("gpu-dim", 0) == 0)
     return run_gpu(instance, args,
                    static_cast<std::size_t>(
@@ -214,13 +279,33 @@ int main(int argc, char** argv) {
               static_cast<long long>(makespan_lower_bound(instance)),
               static_cast<long long>(makespan_upper_bound(instance)));
 
+  // Fault injection stays on for the whole engine run (any engine, not just
+  // resilient — a plain engine under faults shows the raw failure mode).
+  std::optional<faultsim::ScopedFaultInjector> injector;
+  if (args.fault_plan.has_value()) {
+    injector.emplace(*args.fault_plan);
+    std::printf("# fault plan: %s\n", args.fault_plan->to_string().c_str());
+  }
+
+  // A non-resilient engine under injected faults (or bad luck) may throw;
+  // surface the classified status instead of std::terminate.
+  const auto guarded_run = [&]() {
+    try {
+      return run_engine(instance, args);
+    } catch (...) {
+      std::fprintf(stderr, "error: %s\n",
+                   classify_current_exception().to_string().c_str());
+      return 1;
+    }
+  };
+
   // Either observability flag turns recording on for the engine run only,
   // so trace and metrics cover exactly one solve.
   if (!args.trace_out.has_value() && !args.metrics_out.has_value())
-    return run_engine(instance, args);
+    return guarded_run();
 
   obs::ObsSession session;
-  const int rc = run_engine(instance, args);
+  const int rc = guarded_run();
   if (args.trace_out.has_value()) {
     obs::write_file(*args.trace_out, obs::chrome_trace_json(session.trace()));
     std::printf("trace: %zu events -> %s\n", session.trace().size(),

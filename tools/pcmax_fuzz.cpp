@@ -26,8 +26,11 @@
 
 #include "core/bounds.hpp"
 #include "core/ptas.hpp"
+#include "core/resilient.hpp"
 #include "core/rounding.hpp"
+#include "faultsim/injector.hpp"
 #include "gpu/gpu_ptas.hpp"
+#include "gpu/resilient_gpu.hpp"
 #include "obs/export.hpp"
 #include "obs/session.hpp"
 #include "partition/block_solver.hpp"
@@ -102,8 +105,9 @@ enum class Mode : int {
   kSimulator = 3,
   kPtasCache = 4,
   kMetamorphic = 5,
+  kFaults = 6,
 };
-constexpr int kModeCount = 6;
+constexpr int kModeCount = 7;
 
 const char* mode_name(Mode mode) {
   switch (mode) {
@@ -113,8 +117,31 @@ const char* mode_name(Mode mode) {
     case Mode::kSimulator: return "simulator";
     case Mode::kPtasCache: return "ptas-cache";
     case Mode::kMetamorphic: return "metamorphic";
+    case Mode::kFaults: return "faults";
   }
   return "?";
+}
+
+/// Random fault plan for the resilience mode: each site independently gets a
+/// one-shot or probability rule, so plans range from benign to storms.
+faultsim::FaultPlan random_fault_plan(util::Rng& rng) {
+  faultsim::FaultPlan plan;
+  plan.seed = static_cast<std::uint64_t>(rng.uniform(0, 1'000'000));
+  for (std::size_t s = 0; s < faultsim::kSiteCount; ++s) {
+    if (rng.uniform01() > 0.45) continue;
+    faultsim::FaultRule rule;
+    rule.site = static_cast<faultsim::Site>(s);
+    if (rng.uniform01() < 0.5)
+      rule.nth = static_cast<std::uint64_t>(rng.uniform(1, 8));
+    else
+      rule.permille = static_cast<std::uint32_t>(rng.uniform(50, 700));
+    if (rule.site == faultsim::Site::kStreamSync) {
+      constexpr std::int64_t kStalls[] = {50, 2000, 5000};
+      rule.stall_ms = kStalls[rng.uniform(0, 2)];
+    }
+    plan.rules.push_back(rule);
+  }
+  return plan;
 }
 
 void append_list(std::string& s, const std::vector<std::int64_t>& values) {
@@ -156,6 +183,9 @@ struct Failure {
   Mode mode = Mode::kDpDifferential;
   std::string diagnosis;
   std::string reproducer;
+  /// Canonical fault-plan text when the failing mode injected faults; the
+  /// reporter writes it as a standalone replay artifact for --fault-plan.
+  std::string fault_plan;
 };
 
 class Fuzzer {
@@ -172,13 +202,14 @@ class Fuzzer {
     if (id.index < 3 * kModeCount) {
       mode = static_cast<Mode>(id.index % kModeCount);
     } else {
-      const auto roll = rng.uniform(0, 12);
+      const auto roll = rng.uniform(0, 13);
       mode = roll < 5    ? Mode::kDpDifferential
              : roll < 8  ? Mode::kPtasCertificate
              : roll < 9  ? Mode::kLayoutBijection
              : roll < 10 ? Mode::kSimulator
              : roll < 12 ? Mode::kPtasCache
-                         : Mode::kMetamorphic;
+             : roll < 13 ? Mode::kMetamorphic
+                         : Mode::kFaults;
     }
     coverage_.cases++;
     coverage_.per_mode[mode_name(mode)]++;
@@ -189,6 +220,7 @@ class Fuzzer {
       case Mode::kSimulator: return run_simulator(id, rng);
       case Mode::kPtasCache: return run_ptas_cache(id, rng);
       case Mode::kMetamorphic: return run_metamorphic(id, rng);
+      case Mode::kFaults: return run_faults(id, rng);
     }
     return std::nullopt;
   }
@@ -233,7 +265,7 @@ class Fuzzer {
     auto bad = check_problem_all_engines(problem, /*count_coverage=*/true);
     if (!bad.has_value()) return std::nullopt;
 
-    Failure failure{id, Mode::kDpDifferential, *bad, {}};
+    Failure failure{id, Mode::kDpDifferential, *bad, {}, {}};
     const auto shrunk = testkit::shrink_dp_problem(
         problem, [this](const dp::DpProblem& candidate) {
           return check_problem_all_engines(candidate, /*count_coverage=*/false)
@@ -310,7 +342,7 @@ class Fuzzer {
     }
     if (!bad.has_value()) return std::nullopt;
 
-    Failure failure{id, Mode::kPtasCertificate, *bad, {}};
+    Failure failure{id, Mode::kPtasCertificate, *bad, {}, {}};
     const auto shrunk = testkit::shrink_instance(
         instance, [&](const Instance& candidate) {
           return check_ptas_case(candidate, *solver, epsilon, strategy)
@@ -343,7 +375,7 @@ class Fuzzer {
     // from memory but must land on the same schedule.
     ProbeCache shared;
     options.probe_cache = &shared;
-    solve_ptas(instance, solver, options);
+    (void)solve_ptas(instance, solver, options);
     const PtasResult warm = solve_ptas(instance, solver, options);
     if (auto bad = testkit::check_ptas_cache_equivalence(
             warm, uncached, /*require_same_iterations=*/false))
@@ -389,7 +421,7 @@ class Fuzzer {
     auto bad = check_ptas_cache_case(instance, *solver, epsilon, strategy);
     if (!bad.has_value()) return std::nullopt;
 
-    Failure failure{id, Mode::kPtasCache, *bad, {}};
+    Failure failure{id, Mode::kPtasCache, *bad, {}, {}};
     const auto shrunk = testkit::shrink_instance(
         instance, [&](const Instance& candidate) {
           return check_ptas_cache_case(candidate, *solver, epsilon, strategy)
@@ -439,7 +471,7 @@ class Fuzzer {
         testkit::check_metamorphic_suite(instance, *solver, options, suite_seed);
     if (!bad.has_value()) return std::nullopt;
 
-    Failure failure{id, Mode::kMetamorphic, *bad, {}};
+    Failure failure{id, Mode::kMetamorphic, *bad, {}, {}};
     const auto shrunk = testkit::shrink_instance(
         instance, [&](const Instance& candidate) {
           return testkit::check_metamorphic_suite(candidate, *solver, options,
@@ -471,7 +503,7 @@ class Fuzzer {
       as_problem.counts.push_back(e - 1);
       as_problem.weights.push_back(1);
     }
-    Failure failure{id, Mode::kLayoutBijection, *bad, {}};
+    Failure failure{id, Mode::kLayoutBijection, *bad, {}, {}};
     const auto shrunk = testkit::shrink_dp_problem(
         as_problem, [&](const dp::DpProblem& candidate) {
           std::vector<std::int64_t> e;
@@ -509,12 +541,57 @@ class Fuzzer {
     auto bad = check(problem);
     if (!bad.has_value()) return std::nullopt;
 
-    Failure failure{id, Mode::kSimulator, *bad, {}};
+    Failure failure{id, Mode::kSimulator, *bad, {}, {}};
     const auto shrunk = testkit::shrink_dp_problem(
         problem, [&](const dp::DpProblem& candidate) {
           return check(candidate).has_value();
         });
     failure.reproducer = describe(shrunk);
+    return failure;
+  }
+
+  /// One instance under one fault plan through both resilient chains: every
+  /// solve must end in a valid schedule within its stated bound or a clean
+  /// typed error (testkit::check_resilient_result).
+  testkit::CheckResult check_resilient_case(const Instance& instance,
+                                            const faultsim::FaultPlan& plan) {
+    ResilientOptions options;
+    options.max_transient_retries = 2;
+    options.backoff_ms = 1;  // charged to sim time only; no wall sleeps
+    {
+      faultsim::ScopedFaultInjector scoped(plan);
+      const auto result = solve_resilient(instance, options);
+      if (auto bad = testkit::check_resilient_result(instance, result))
+        return "cpu chain: " + *bad;
+    }
+    {
+      gpusim::Device device(gpusim::DeviceSpec::k40());
+      const auto chain = gpu::make_gpu_chain(device);
+      faultsim::ScopedFaultInjector scoped(plan);
+      const auto result = solve_resilient(instance, chain, options);
+      if (auto bad = testkit::check_resilient_result(instance, result))
+        return "gpu chain: " + *bad;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Failure> run_faults(const testkit::CaseId& id,
+                                    util::Rng& rng) {
+    const auto plan = random_fault_plan(rng);
+    testkit::InstanceLimits limits;
+    limits.max_jobs = 14;
+    limits.max_machines = 5;
+    limits.max_time = 500;
+    const auto instance = testkit::random_instance(rng, limits);
+    auto bad = check_resilient_case(instance, plan);
+    if (!bad.has_value()) return std::nullopt;
+
+    Failure failure{id, Mode::kFaults, *bad, {}, plan.to_string()};
+    const auto shrunk = testkit::shrink_instance(
+        instance, [&](const Instance& candidate) {
+          return check_resilient_case(candidate, plan).has_value();
+        });
+    failure.reproducer = describe(shrunk) + " plan=" + plan.to_string();
     return failure;
   }
 
@@ -562,6 +639,21 @@ int report_failure(const Args& args, Fuzzer& fuzzer, const Failure& failure) {
     std::fprintf(stderr, "  repro written to %s\n", path.c_str());
   } else {
     std::fprintf(stderr, "  could not write repro file %s\n", path.c_str());
+  }
+
+  // Fault-mode failures also get a standalone replay artifact holding the
+  // canonical plan text, directly loadable via pcmax_cli --fault-plan.
+  if (!failure.fault_plan.empty()) {
+    const auto plan_path = prefix + "-faultplan.txt";
+    std::ofstream plan_out(plan_path);
+    if (plan_out) {
+      plan_out << failure.fault_plan << "\n";
+      std::fprintf(stderr, "  fault plan replay written to %s\n",
+                   plan_path.c_str());
+    } else {
+      std::fprintf(stderr, "  could not write fault plan %s\n",
+                   plan_path.c_str());
+    }
   }
 
   // Replay the failing case once more with observability on and attach the
