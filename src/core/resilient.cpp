@@ -361,7 +361,14 @@ ResilientResult solve_resilient(const Instance& instance,
 
       if (engine.recover) engine.recover();
       if (retry < options.max_transient_retries) {
-        const std::int64_t backoff = options.backoff_ms << retry;
+        // Saturating exponential backoff: a caller-supplied retry cap >= 63
+        // would make an unclamped shift undefined behavior.
+        const int shift = std::min(retry, 20);
+        const std::int64_t backoff =
+            options.backoff_ms > (std::numeric_limits<std::int64_t>::max() >>
+                                  shift)
+                ? std::numeric_limits<std::int64_t>::max()
+                : options.backoff_ms << shift;
         obs::count("resilient.retries");
         if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
           tr->instant("resilient/retry",

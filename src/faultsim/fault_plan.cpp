@@ -80,9 +80,8 @@ std::string FaultPlan::to_string() const {
   for (const FaultRule& rule : rules) {
     out += ';';
     out += site_name(rule.site);
-    if (rule.nth != 0)
-      out += ":nth=" + std::to_string(rule.nth);
-    else
+    if (rule.nth != 0) out += ":nth=" + std::to_string(rule.nth);
+    if (rule.permille != 0)
       out += ":permille=" + std::to_string(rule.permille);
     if (rule.stall_ms != 0) out += ":stall-ms=" + std::to_string(rule.stall_ms);
   }

@@ -85,7 +85,8 @@ bool maybe_corrupt_table(std::span<std::int32_t> table, std::int32_t& opt) {
   // dp::kInfeasible, spelled without a dp dependency (dp links faultsim).
   constexpr std::int32_t kInfeasible = std::numeric_limits<std::int32_t>::max();
   if (table.empty()) {
-    opt = opt == kInfeasible || opt <= 0 ? opt + 1 : opt - 1;
+    // opt + 1 would overflow when opt == kInfeasible (INT32_MAX).
+    opt = opt == kInfeasible ? opt - 1 : (opt <= 0 ? opt + 1 : opt - 1);
     return true;
   }
   // Decrement the first finite positive cell at or after a seeded start

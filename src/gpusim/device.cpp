@@ -19,6 +19,7 @@ Device::Buffer& Device::Buffer::operator=(Buffer&& o) noexcept {
     release();
     device_ = o.device_;
     bytes_ = o.bytes_;
+    epoch_ = o.epoch_;
     o.device_ = nullptr;
     o.bytes_ = 0;
   }

@@ -37,6 +37,7 @@ TEST(FaultPlan, ToStringRoundTrips) {
       "seed=7",
       "seed=0;dp-cell:nth=1",
       "seed=99;device-alloc:permille=500;stream-sync:nth=4:stall-ms=3000",
+      "seed=3;dp-cell:nth=2:permille=250",
   };
   for (const char* text : kPlans) {
     const auto plan = parse_fault_plan(text);

@@ -67,6 +67,27 @@ TEST(Device, BufferMoveTransfersOwnership) {
   EXPECT_EQ(device.memory_in_use(), 0u);
 }
 
+TEST(Device, BufferMoveAssignTransfersEpochAcrossReset) {
+  Device device(DeviceSpec::k40());
+  // reset() bumps the device epoch, so a buffer allocated afterwards and
+  // move-ASSIGNED (not move-constructed) into another slot must still carry
+  // the fresh epoch, or release() skips the accounting decrement.
+  device.reset();
+  Device::Buffer slot;
+  slot = device.allocate(1024);
+  EXPECT_EQ(device.memory_in_use(), 1024u);
+  slot.release();
+  EXPECT_EQ(device.memory_in_use(), 0u);
+
+  // Conversely, a buffer from before a reset stays stale after move-assign.
+  Device::Buffer stale;
+  stale = device.allocate(512);
+  device.reset();
+  EXPECT_EQ(device.memory_in_use(), 0u);
+  stale.release();
+  EXPECT_EQ(device.memory_in_use(), 0u);
+}
+
 TEST(Device, ClockAdvancesAtSynchronize) {
   Device device(DeviceSpec::k40());
   EXPECT_EQ(device.now(), util::SimTime{});
