@@ -49,17 +49,45 @@ def validate_records(records):
     return None
 
 
+def load_history(text, bench):
+    """Parses a history file's contents into a usable history dict.
+
+    Tolerates every state a fresh or half-written checkout produces: an
+    empty or whitespace-only file (e.g. created by `touch` or a truncated
+    upload), a JSON document that is not an object (null, a bare array),
+    and a "runs" key that is missing or not a list. Each of those folds
+    to a fresh seed history instead of crashing the CI step that only
+    wanted to append a datapoint. Raises json.JSONDecodeError only for
+    non-empty text that is not JSON at all, which deserves a loud failure.
+    """
+    if not text.strip():
+        return {"bench": bench, "runs": []}
+    history = json.loads(text)
+    if not isinstance(history, dict):
+        return {"bench": bench, "runs": []}
+    history.setdefault("bench", bench)
+    if not isinstance(history.get("runs"), list):
+        history["runs"] = []
+    return history
+
+
 def previous_records(history):
     """Latest-run-wins index of record name -> record over all prior runs.
 
     Tolerates an empty or partially formed history (no "runs" key, runs
-    without "records"), which is what the first CI run on a fresh branch
-    sees.
+    without "records" or that are not objects), which is what the first
+    CI run on a fresh branch sees.
     """
     previous = {}
     for run in history.get("runs", []):
-        for rec in run.get("records", []):
-            previous[rec["name"]] = rec
+        if not isinstance(run, dict):
+            continue
+        records = run.get("records")
+        if not isinstance(records, list):
+            continue
+        for rec in records:
+            if isinstance(rec, dict) and "name" in rec:
+                previous[rec["name"]] = rec
     return previous
 
 
@@ -106,7 +134,16 @@ def main() -> int:
                         help="run label (default: short git revision)")
     args = parser.parse_args()
 
-    records = json.loads(pathlib.Path(args.input).read_text())
+    input_text = pathlib.Path(args.input).read_text()
+    if not input_text.strip():
+        print(f"{args.input}: empty input (bench wrote no records?)",
+              file=sys.stderr)
+        return 1
+    try:
+        records = json.loads(input_text)
+    except json.JSONDecodeError as err:
+        print(f"{args.input}: not valid JSON: {err}", file=sys.stderr)
+        return 1
     error = validate_records(records)
     if error is not None:
         print(error, file=sys.stderr)
@@ -114,10 +151,8 @@ def main() -> int:
 
     history_path = (pathlib.Path(args.history_dir) /
                     f"BENCH_{args.bench}.json")
-    if history_path.exists():
-        history = json.loads(history_path.read_text())
-    else:
-        history = {"bench": args.bench, "runs": []}
+    history_text = history_path.read_text() if history_path.exists() else ""
+    history = load_history(history_text, args.bench)
 
     label = args.label or git_label()
     previous = fold_run(history, label, records)

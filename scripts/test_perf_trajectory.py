@@ -34,6 +34,57 @@ class ValidateRecordsTest(unittest.TestCase):
                       perf_trajectory.validate_records(["oops"]))
 
 
+class LoadHistoryTest(unittest.TestCase):
+    def test_empty_text_seeds_fresh_history(self):
+        # A history file created by `touch` (or a truncated artifact
+        # download) must fold to a fresh seed, not a JSONDecodeError.
+        history = perf_trajectory.load_history("", "micro")
+        self.assertEqual(history, {"bench": "micro", "runs": []})
+
+    def test_whitespace_only_seeds_fresh_history(self):
+        history = perf_trajectory.load_history("  \n\t\n", "serve")
+        self.assertEqual(history, {"bench": "serve", "runs": []})
+
+    def test_non_object_document_seeds_fresh_history(self):
+        for text in ("null", "[]", '"oops"', "42"):
+            history = perf_trajectory.load_history(text, "micro")
+            self.assertEqual(history, {"bench": "micro", "runs": []},
+                             f"for document {text!r}")
+
+    def test_missing_or_malformed_runs_key_is_repaired(self):
+        history = perf_trajectory.load_history('{"bench": "micro"}', "micro")
+        self.assertEqual(history["runs"], [])
+        history = perf_trajectory.load_history(
+            '{"bench": "micro", "runs": null}', "micro")
+        self.assertEqual(history["runs"], [])
+
+    def test_missing_bench_name_is_filled_in(self):
+        history = perf_trajectory.load_history('{"runs": []}', "serve")
+        self.assertEqual(history["bench"], "serve")
+
+    def test_well_formed_history_passes_through(self):
+        text = ('{"bench": "micro", "runs": '
+                '[{"label": "rev1", "records": []}]}')
+        history = perf_trajectory.load_history(text, "micro")
+        self.assertEqual(len(history["runs"]), 1)
+        self.assertEqual(history["runs"][0]["label"], "rev1")
+
+    def test_garbage_text_still_raises(self):
+        import json
+        with self.assertRaises(json.JSONDecodeError):
+            perf_trajectory.load_history("not json at all", "micro")
+
+
+class PreviousRecordsTest(unittest.TestCase):
+    def test_tolerates_non_dict_runs_and_records(self):
+        history = {"runs": [None, "oops", {"records": None},
+                            {"records": [None, {"no_name": 1},
+                                         record("a", cells=3)]}]}
+        previous = perf_trajectory.previous_records(history)
+        self.assertEqual(list(previous), ["a"])
+        self.assertEqual(previous["a"]["cells"], 3)
+
+
 class FoldRunTest(unittest.TestCase):
     def test_fold_into_empty_history(self):
         history = {"bench": "micro", "runs": []}

@@ -19,7 +19,8 @@ namespace {
 /// invocation.
 std::int32_t evaluate_target(const RoundedInstance& rounded,
                              const dp::DpSolver& solver,
-                             const PtasOptions& options, ProbeCache* cache,
+                             const PtasOptions& options,
+                             ProbeCacheBase* cache,
                              std::vector<DpInvocation>& calls) {
   DpInvocation call;
   call.target = rounded.target;
@@ -108,7 +109,7 @@ PtasResult solve_ptas(const Instance& instance, const dp::DpSolver& solver,
 
   PtasResult result;
   ProbeCache local_cache;
-  ProbeCache* cache = nullptr;
+  ProbeCacheBase* cache = nullptr;
   if (options.use_probe_cache)
     cache = options.probe_cache != nullptr ? options.probe_cache
                                            : &local_cache;

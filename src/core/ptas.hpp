@@ -48,8 +48,10 @@ struct PtasOptions {
   bool use_probe_cache = false;
   /// Optional externally owned cache, shared across runs (and instances —
   /// keys are canonical). When null and use_probe_cache is set, the run
-  /// uses a private cache. Ignored when use_probe_cache is false.
-  ProbeCache* probe_cache = nullptr;
+  /// uses a private cache. Ignored when use_probe_cache is false. A
+  /// ShardedProbeCache here may be shared across threads (the serve
+  /// daemon's cross-request cache); a plain ProbeCache must not be.
+  ProbeCacheBase* probe_cache = nullptr;
 };
 
 struct PtasResult {

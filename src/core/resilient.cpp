@@ -76,6 +76,8 @@ EngineOutcome run_cpu_ptas(const dp::DpSolver& solver,
   PtasOptions options;
   options.epsilon = epsilon_for_k(k);
   options.num_threads = ctx.num_threads;
+  options.use_probe_cache = ctx.probe_cache != nullptr;
+  options.probe_cache = ctx.probe_cache;
   PtasResult r = solve_ptas(instance, guarded, options);
   return EngineOutcome{std::move(r.schedule), r.achieved_makespan,
                        r.best_target};
@@ -257,7 +259,8 @@ ResilientResult solve_resilient(const Instance& instance,
   const Deadline deadline = Deadline::after_ms(options.deadline_ms);
   const std::int64_t k0 = k_for_epsilon(options.epsilon);
   const std::int64_t lower_bound = makespan_lower_bound(instance);
-  EngineContext ctx{deadline, options.probe_deadline_ms, options.num_threads};
+  EngineContext ctx{deadline, options.probe_deadline_ms, options.num_threads,
+                    options.probe_cache};
 
   const auto deadline_best_effort = [&]() {
     // Terminal deadline path: a best-effort LPT schedule (cheap, faultless)

@@ -43,6 +43,8 @@
 
 namespace pcmax {
 
+class ProbeCacheBase;  // core/probe_cache.hpp
+
 /// A wall-clock deadline. Default-constructed deadlines are unlimited.
 class Deadline {
  public:
@@ -80,6 +82,11 @@ struct ResilientOptions {
   /// engines advance their simulated clock by it.
   std::int64_t backoff_ms = 10;
   int num_threads = 0;  ///< forwarded to DP solvers
+  /// Optional probe-level DP solve cache shared across solves. The PTAS
+  /// engines memoize rounded-problem OPTs in it; a ShardedProbeCache here
+  /// is what the serve daemon shares across worker threads. Null = each
+  /// attempt solves all its probes for real.
+  ProbeCacheBase* probe_cache = nullptr;
 };
 
 /// One engine attempt's outcome as the driver records it.
@@ -124,6 +131,7 @@ struct EngineContext {
   Deadline deadline;                    ///< whole-solve deadline
   std::int64_t probe_deadline_ms = 0;   ///< per-probe budget (0 = unlimited)
   int num_threads = 0;
+  ProbeCacheBase* probe_cache = nullptr;  ///< shared probe memo (may be null)
 };
 
 /// One engine of the fallback chain. `run` throws on failure (the driver

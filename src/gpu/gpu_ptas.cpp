@@ -64,7 +64,7 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
 
   GpuPtasResult result;
   ProbeCache local_cache;
-  ProbeCache* cache = nullptr;
+  ProbeCacheBase* cache = nullptr;
   if (options.use_probe_cache)
     cache = options.probe_cache != nullptr ? options.probe_cache
                                            : &local_cache;

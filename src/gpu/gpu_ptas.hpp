@@ -39,7 +39,7 @@ struct GpuPtasOptions {
   bool use_probe_cache = false;
   /// Optional externally owned cache shared across runs; a private one is
   /// used when null and use_probe_cache is set.
-  ProbeCache* probe_cache = nullptr;
+  ProbeCacheBase* probe_cache = nullptr;
 };
 
 struct GpuPtasResult {

@@ -35,6 +35,10 @@ SolveEngine make_gpu_engine(gpusim::Device& device,
     ctx.deadline.check("solve");
     GpuPtasOptions options = base;
     options.epsilon = epsilon_for_k(k);
+    if (ctx.probe_cache != nullptr) {
+      options.use_probe_cache = true;
+      options.probe_cache = ctx.probe_cache;
+    }
     GpuPtasResult r = solve_gpu_ptas(instance, device, options);
     ctx.deadline.check("solve");
     return EngineOutcome{std::move(r.ptas.schedule),

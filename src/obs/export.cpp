@@ -65,6 +65,24 @@ void append_args_object(std::string& out, const TraceEvent& event) {
   out += '}';
 }
 
+void append_thread_metadata(std::string& out, std::int32_t pid,
+                            std::int32_t tid, const std::string& name) {
+  out += "{\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+  append_json_string(out, name);
+  out += "}},\n";
+}
+
+std::string host_thread_name(std::int32_t tid) {
+  if (tid == kParentTid) return "main";
+  if (tid >= kWorkerTidBase)
+    return "worker " + std::to_string(tid - kWorkerTidBase);
+  return "thread " + std::to_string(tid);
+}
+
 void append_metadata(std::string& out, std::int32_t pid, int sort_index,
                      const std::string& process_name) {
   out += "{\"ph\":\"M\",\"pid\":";
@@ -107,11 +125,15 @@ std::string chrome_trace_json(const TraceRecorder& trace) {
 
   bool algo_track = false;
   std::set<std::int32_t> stream_pids;
+  std::set<std::pair<std::int32_t, std::int32_t>> host_tracks;
   for (const TraceEvent& e : events) {
-    if (e.kind == EventKind::kComplete)
+    if (e.kind == EventKind::kComplete) {
       stream_pids.insert(e.pid);
-    else if (on_sim_track(e))
-      algo_track = true;
+    } else {
+      const std::int32_t pid = on_sim_track(e) ? kAlgoPid : kHostPid;
+      if (pid == kAlgoPid) algo_track = true;
+      if (e.tid != kParentTid) host_tracks.insert({pid, e.tid});
+    }
   }
 
   append_metadata(out, kHostPid, 0, "host (wall clock)");
@@ -121,6 +143,17 @@ std::string chrome_trace_json(const TraceRecorder& trace) {
     append_metadata(out, pid, sort++,
                     "gpusim stream " + std::to_string(pid - kStreamPidBase) +
                         " (sim time)");
+  // Thread-name rows only appear once a non-main host thread recorded
+  // something, so single-threaded traces are unchanged.
+  if (!host_tracks.empty()) {
+    append_thread_metadata(out, kHostPid, kParentTid,
+                           host_thread_name(kParentTid));
+    if (algo_track)
+      append_thread_metadata(out, kAlgoPid, kParentTid,
+                             host_thread_name(kParentTid));
+    for (const auto& [pid, tid] : host_tracks)
+      append_thread_metadata(out, pid, tid, host_thread_name(tid));
+  }
 
   bool first = true;
   for (const TraceEvent& e : events) {
@@ -144,11 +177,15 @@ std::string chrome_trace_json(const TraceRecorder& trace) {
       append_us_from_ps(out, e.dur_ps);
     } else if (on_sim_track(e)) {
       out += std::to_string(kAlgoPid);
-      out += ",\"tid\":1,\"ts\":";
+      out += ",\"tid\":";
+      out += std::to_string(e.tid);
+      out += ",\"ts\":";
       append_us_from_ps(out, e.sim_ps);
     } else {
       out += std::to_string(kHostPid);
-      out += ",\"tid\":1,\"ts\":";
+      out += ",\"tid\":";
+      out += std::to_string(e.tid);
+      out += ",\"ts\":";
       append_us_from_ns(out, e.wall_ns);
     }
     if (e.kind == EventKind::kInstant) out += ",\"s\":\"t\"";
@@ -280,6 +317,10 @@ std::string trace_digest(const TraceRecorder& trace) {
         out += std::to_string(e.dur_ps);
         append_digest_args(out, e);
         break;
+    }
+    if (e.kind != EventKind::kComplete && e.tid != kParentTid) {
+      out += " tid=";
+      out += std::to_string(e.tid);
     }
     if (e.kind != EventKind::kComplete && e.sim_ps >= 0) {
       out += " sim=";

@@ -29,6 +29,11 @@ void copy_name(char (&dst)[47], std::string_view name) noexcept {
   dst[n] = '\0';
 }
 
+// The simulated-clock sampler is per thread: each serve worker drives its
+// own gpusim device, and a shared sampler would stamp one worker's events
+// with another worker's clock (and corrupt nested guard restore order).
+thread_local std::function<std::int64_t()> t_sim_clock;
+
 }  // namespace
 
 TraceRecorder::TraceRecorder() : wall_origin_ns_(steady_ns()) {}
@@ -48,6 +53,11 @@ void TraceRecorder::record(EventKind kind, std::string_view name,
                            std::initializer_list<TraceArg> args) {
   PCMAX_EXPECTS(args.size() <= 2);
   const std::int64_t wall = steady_ns() - wall_origin_ns_;
+  std::int64_t sim = -1;
+  if (kind == EventKind::kComplete)
+    sim = sim_start_ps;
+  else if (t_sim_clock)
+    sim = t_sim_clock();
   const std::lock_guard<std::mutex> lock(mutex_);
   TraceEvent& event = append_locked();
   event.kind = kind;
@@ -55,28 +65,26 @@ void TraceRecorder::record(EventKind kind, std::string_view name,
   event.pid = pid;
   event.tid = tid;
   event.wall_ns = wall;
-  if (kind == EventKind::kComplete) {
-    event.sim_ps = sim_start_ps;
-    event.dur_ps = sim_dur_ps;
-  } else if (sim_clock_) {
-    event.sim_ps = sim_clock_();
-  }
+  event.sim_ps = sim;
+  if (kind == EventKind::kComplete) event.dur_ps = sim_dur_ps;
   std::size_t slot = 0;
   for (const TraceArg& a : args) event.args[slot++] = a;
+  if (detail::t_request >= 0 && kind != EventKind::kSpanEnd)
+    event.args[slot] = arg("req", detail::t_request);
 }
 
 void TraceRecorder::begin_span(std::string_view name,
                                std::initializer_list<TraceArg> args) {
-  record(EventKind::kSpanBegin, name, kHostPid, kParentTid, -1, -1, args);
+  record(EventKind::kSpanBegin, name, kHostPid, detail::t_track, -1, -1, args);
 }
 
 void TraceRecorder::end_span(std::string_view name) {
-  record(EventKind::kSpanEnd, name, kHostPid, kParentTid, -1, -1, {});
+  record(EventKind::kSpanEnd, name, kHostPid, detail::t_track, -1, -1, {});
 }
 
 void TraceRecorder::instant(std::string_view name,
                             std::initializer_list<TraceArg> args) {
-  record(EventKind::kInstant, name, kHostPid, kParentTid, -1, -1, args);
+  record(EventKind::kInstant, name, kHostPid, detail::t_track, -1, -1, args);
 }
 
 void TraceRecorder::complete(std::string_view name, std::int32_t pid,
@@ -90,9 +98,8 @@ void TraceRecorder::complete(std::string_view name, std::int32_t pid,
 
 std::function<std::int64_t()> TraceRecorder::set_sim_clock(
     std::function<std::int64_t()> clock) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  std::function<std::int64_t()> previous = std::move(sim_clock_);
-  sim_clock_ = std::move(clock);
+  std::function<std::int64_t()> previous = std::move(t_sim_clock);
+  t_sim_clock = std::move(clock);
   return previous;
 }
 

@@ -30,6 +30,9 @@ inline constexpr std::int32_t kAlgoPid = 10;        // sim-clock algorithm track
 inline constexpr std::int32_t kStreamPidBase = 100; // + stream id per stream
 inline constexpr std::int32_t kParentTid = 1;       // kernel family spans
 inline constexpr std::int32_t kChildTid = 2;        // dynamic-parallelism children
+// Host-track threads: tid 1 is the main thread; serve workers record on
+// kWorkerTidBase + worker index so concurrent requests get their own rows.
+inline constexpr std::int32_t kWorkerTidBase = 10;
 
 enum class EventKind : std::uint8_t {
   kSpanBegin,
@@ -68,7 +71,9 @@ struct TraceEvent {
   std::int64_t sim_ps = -1;   // simulated ps; -1 when no sim clock installed
   std::int64_t dur_ps = -1;   // kComplete only
   std::uint64_t seq = 0;      // global record order
-  TraceArg args[2];
+  // Slots 0..1 hold the call site's args; slot 2 is reserved for the
+  // automatic "req" tag stamped from the calling thread's ScopedRequestTag.
+  TraceArg args[3];
 };
 
 /// Thread-safe, arena-backed recorder. Events live in fixed-size blocks that
@@ -97,8 +102,10 @@ class TraceRecorder {
                 std::int64_t sim_start_ps, std::int64_t sim_dur_ps,
                 std::initializer_list<TraceArg> args = {});
 
-  /// Install a simulated-clock sampler (e.g. reading Device::now());
-  /// returns the previously installed sampler so guards can nest.
+  /// Install a simulated-clock sampler (e.g. reading Device::now()) for the
+  /// calling thread; returns the previously installed sampler so guards can
+  /// nest. The sampler is thread-local so concurrent workers, each driving
+  /// its own simulated device, never stamp each other's events.
   std::function<std::int64_t()> set_sim_clock(
       std::function<std::int64_t()> clock);
 
@@ -122,11 +129,16 @@ class TraceRecorder {
   std::vector<std::unique_ptr<Block>> blocks_;
   std::size_t count_ = 0;
   std::int64_t wall_origin_ns_ = 0;
-  std::function<std::int64_t()> sim_clock_;
 };
 
 namespace detail {
 extern std::atomic<TraceRecorder*> g_trace;
+// Per-thread event stamps. Host-side begin/end/instant events record on the
+// calling thread's track (tid) and, when a ScopedRequestTag is live, carry
+// its id as an automatic "req" arg. Trivially initialized so the thread-
+// local access stays cheap on instrumentation fast paths.
+inline thread_local std::int32_t t_track = kParentTid;
+inline thread_local std::int64_t t_request = -1;
 }  // namespace detail
 
 /// Active recorder, or nullptr when tracing is disabled. The relaxed load
@@ -181,6 +193,44 @@ class SimClockGuard {
  private:
   TraceRecorder* recorder_ = nullptr;
   std::function<std::int64_t()> previous_;
+};
+
+/// Routes the calling thread's host-side events to an explicit track (tid)
+/// for the lifetime of the guard. Serve workers use kWorkerTidBase + index;
+/// the previous track is restored on destruction so guards nest. Unlike the
+/// recorder-backed guards this always takes effect — the track must be set
+/// before a recorder is installed mid-flight ever observes the thread.
+class ScopedTrack {
+ public:
+  explicit ScopedTrack(std::int32_t tid) noexcept
+      : previous_(detail::t_track) {
+    detail::t_track = tid;
+  }
+  ScopedTrack(const ScopedTrack&) = delete;
+  ScopedTrack& operator=(const ScopedTrack&) = delete;
+  ~ScopedTrack() { detail::t_track = previous_; }
+
+ private:
+  std::int32_t previous_;
+};
+
+/// Tags every event the calling thread records with an automatic "req" arg
+/// carrying this id, so one request's spans and instants can be filtered
+/// out of an interleaved multi-worker trace. Ids are non-negative; the
+/// previous tag is restored on destruction so nested tags (e.g. a coalesced
+/// leader solving for followers) work.
+class ScopedRequestTag {
+ public:
+  explicit ScopedRequestTag(std::int64_t id) noexcept
+      : previous_(detail::t_request) {
+    detail::t_request = id >= 0 ? id : previous_;
+  }
+  ScopedRequestTag(const ScopedRequestTag&) = delete;
+  ScopedRequestTag& operator=(const ScopedRequestTag&) = delete;
+  ~ScopedRequestTag() { detail::t_request = previous_; }
+
+ private:
+  std::int64_t previous_;
 };
 
 }  // namespace pcmax::obs

@@ -1,0 +1,55 @@
+#include "serve/coalesce.hpp"
+
+#include "core/bounds.hpp"
+#include "core/rounding.hpp"
+
+namespace pcmax::serve {
+
+namespace {
+
+// FNV-1a style mixing over 64-bit words; matches the spirit of
+// ProbeKeyHash without depending on its exact constants.
+std::size_t mix(std::size_t seed, std::uint64_t value) noexcept {
+  seed ^= static_cast<std::size_t>(value) + 0x9e3779b97f4a7c15ULL +
+          (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+}  // namespace
+
+std::size_t RequestKeyHash::operator()(const RequestKey& key) const noexcept {
+  std::size_t seed = ProbeKeyHash{}(key.anchor);
+  seed = mix(seed, static_cast<std::uint64_t>(key.times.size()));
+  for (const std::int64_t t : key.times)
+    seed = mix(seed, static_cast<std::uint64_t>(t));
+  seed = mix(seed, static_cast<std::uint64_t>(key.machines));
+  seed = mix(seed, static_cast<std::uint64_t>(key.k));
+  seed = mix(seed, static_cast<std::uint64_t>(key.deadline_ms));
+  seed = mix(seed, static_cast<std::uint64_t>(key.probe_deadline_ms));
+  seed = mix(seed, key.mem_budget_bytes);
+  seed = mix(seed, static_cast<std::uint64_t>(key.backoff_ms));
+  seed = mix(seed, static_cast<std::uint64_t>(key.max_transient_retries));
+  seed = mix(seed, static_cast<std::uint64_t>(key.num_threads));
+  return seed;
+}
+
+RequestKey request_key_for(const Instance& instance,
+                           const ResilientOptions& options) {
+  RequestKey key;
+  key.k = k_for_epsilon(options.epsilon);
+  const RoundedInstance rounded =
+      round_instance(instance, makespan_lower_bound(instance), key.k);
+  if (rounded.feasible && !rounded.class_index.empty())
+    key.anchor = probe_key_for(rounded);
+  key.times = instance.times;
+  key.machines = instance.machines;
+  key.deadline_ms = options.deadline_ms;
+  key.probe_deadline_ms = options.probe_deadline_ms;
+  key.mem_budget_bytes = options.mem_budget_bytes;
+  key.backoff_ms = options.backoff_ms;
+  key.max_transient_retries = options.max_transient_retries;
+  key.num_threads = options.num_threads;
+  return key;
+}
+
+}  // namespace pcmax::serve

@@ -1,0 +1,49 @@
+// Request coalescing key. Two queued requests coalesce when one solve can
+// answer both bit for bit. The key anchors on the canonical ProbeKey of the
+// instance rounded at its makespan lower bound — the same rounded-problem
+// identity the probe cache uses — and then pins everything else that feeds
+// the resilient driver: the verbatim processing times (instances that merely
+// round alike may still differ in reconstruction), the machine count, the
+// rounding parameter k, and every ResilientOptions field that can change
+// the outcome (deadlines, memory budget, retry policy, thread count). Equal
+// keys therefore guarantee equal ResilientResults from a deterministic
+// solve, which is what lets a coalesced follower reuse its leader's answer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/probe_cache.hpp"
+#include "core/resilient.hpp"
+
+namespace pcmax::serve {
+
+struct RequestKey {
+  /// Canonical rounded-problem identity at T = lower bound; empty (default)
+  /// when that rounding has no long jobs, in which case the verbatim fields
+  /// below still fully identify the request.
+  ProbeKey anchor;
+  std::vector<std::int64_t> times;
+  std::int64_t machines = 0;
+  std::int64_t k = 0;
+  std::int64_t deadline_ms = 0;
+  std::int64_t probe_deadline_ms = 0;
+  std::uint64_t mem_budget_bytes = 0;
+  std::int64_t backoff_ms = 0;
+  int max_transient_retries = 0;
+  int num_threads = 0;
+
+  bool operator==(const RequestKey&) const = default;
+};
+
+struct RequestKeyHash {
+  [[nodiscard]] std::size_t operator()(const RequestKey& key) const noexcept;
+};
+
+/// The coalescing key of (instance, options). The instance must be valid.
+[[nodiscard]] RequestKey request_key_for(const Instance& instance,
+                                         const ResilientOptions& options);
+
+}  // namespace pcmax::serve

@@ -1,0 +1,72 @@
+#include "serve/queue.hpp"
+
+#include <utility>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::serve {
+
+BoundedRequestQueue::BoundedRequestQueue(std::size_t capacity)
+    : capacity_(capacity) {
+  PCMAX_EXPECTS(capacity >= 1);
+}
+
+Status BoundedRequestQueue::push(PendingRequest&& request) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_)
+      return Status(StatusCode::kUnavailable, "serve queue is closed");
+    if (queue_.size() >= capacity_)
+      return Status(StatusCode::kUnavailable,
+                    "serve queue is full (" + std::to_string(capacity_) +
+                        " requests queued)");
+    queue_.push_back(std::move(request));
+  }
+  ready_.notify_one();
+  return Status::ok();
+}
+
+bool BoundedRequestQueue::pop(PendingRequest& leader,
+                              std::vector<PendingRequest>& followers,
+                              bool coalesce) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  leader = std::move(queue_.front());
+  queue_.pop_front();
+  if (coalesce) {
+    // Stable sweep: duplicates leave in submission order, the rest keep
+    // their relative order.
+    auto keep = queue_.begin();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->key == leader.key) {
+        followers.push_back(std::move(*it));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    queue_.erase(keep, queue_.end());
+  }
+  return true;
+}
+
+void BoundedRequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t BoundedRequestQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool BoundedRequestQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace pcmax::serve

@@ -1,0 +1,53 @@
+// Bounded request queue with admission control. Submission never blocks:
+// a request is either admitted or rejected right away with a typed
+// kUnavailable Status (queue full, or server shutting down), so overload
+// surfaces as fast feedback instead of unbounded latency. Workers block in
+// pop(); a pop can sweep every queued duplicate of the popped request
+// (equal RequestKey) out with it, which is how the server coalesces.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/status.hpp"
+#include "serve/request.hpp"
+
+namespace pcmax::serve {
+
+class BoundedRequestQueue {
+ public:
+  /// `capacity` bounds queued (not yet popped) requests; must be >= 1.
+  explicit BoundedRequestQueue(std::size_t capacity);
+
+  /// Admits `request`, or rejects without blocking: kUnavailable when the
+  /// queue holds `capacity` requests or has been closed.
+  [[nodiscard]] Status push(PendingRequest&& request);
+
+  /// Blocks until a request is available or the queue is closed and
+  /// drained. Pops the oldest request into `leader`; when `coalesce` is
+  /// set, also moves every queued request with the same key into
+  /// `followers` (in submission order). Returns false only when closed and
+  /// empty — every admitted request is handed to exactly one pop.
+  [[nodiscard]] bool pop(PendingRequest& leader,
+                         std::vector<PendingRequest>& followers,
+                         bool coalesce);
+
+  /// Stops admission; queued requests still drain through pop().
+  void close();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<PendingRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace pcmax::serve

@@ -1,0 +1,49 @@
+// Request/response types of the solve daemon. A client submits a
+// SolveRequest (instance + resilience policy) and gets back a future
+// SolveResponse; PendingRequest is the queued form the server moves between
+// the submission path and a worker.
+#pragma once
+
+#include <cstdint>
+#include <future>
+
+#include "core/instance.hpp"
+#include "core/resilient.hpp"
+#include "core/status.hpp"
+#include "serve/coalesce.hpp"
+
+namespace pcmax::serve {
+
+struct SolveRequest {
+  Instance instance;
+  /// Per-request resilience policy (deadline, memory budget, retries).
+  /// The probe_cache field is server-owned: whatever the client sets is
+  /// replaced by the server's shared cache (or null when sharing is off).
+  ResilientOptions options;
+};
+
+struct SolveResponse {
+  std::int64_t request_id = -1;
+  /// kOk, or the terminal failure (mirrors ResilientResult::status; also
+  /// kUnavailable when the server shut down before serving the request).
+  Status status;
+  ResilientResult result;
+  /// True when this response was produced by another request's solve: the
+  /// request coalesced behind a queued duplicate (the leader) and shares
+  /// its result bit for bit.
+  bool coalesced = false;
+  int worker = -1;  ///< index of the worker that served it
+
+  [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }
+};
+
+/// A queued request: identity, payload, coalescing key, and the promise the
+/// serving worker fulfills.
+struct PendingRequest {
+  std::int64_t id = -1;
+  SolveRequest request;
+  RequestKey key;
+  std::promise<SolveResponse> promise;
+};
+
+}  // namespace pcmax::serve

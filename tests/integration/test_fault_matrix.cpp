@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "gpu/resilient_gpu.hpp"
 #include "gpusim/device.hpp"
 #include "obs/session.hpp"
+#include "serve/server.hpp"
 #include "testkit/generators.hpp"
 #include "testkit/invariants.hpp"
 #include "testkit/oracles.hpp"
@@ -160,6 +162,89 @@ TEST(FaultMatrix, AlwaysFailingGpuFallsBackToLptWithinBound) {
       saw_fallback_instant = true;
   EXPECT_TRUE(saw_fallback_instant)
       << "fallbacks must be visible in the trace";
+}
+
+TEST(FaultMatrix, ServeBurstDegradesFaultedRequestsWithoutCrossTalk) {
+  // Serve-mode teeth: a fault plan killing every device allocation while a
+  // burst is in flight. Each worker's GPU engine fails; each request must
+  // degrade to a CPU engine *individually* — valid schedule, exact rational
+  // bound, typed attempt record — and no request may fail or corrupt
+  // another's answer. The degraded results must still be deterministic:
+  // identical to a standalone degraded solve of the same instance.
+  const auto plan =
+      *faultsim::parse_fault_plan("seed=7;device-alloc:permille=1000");
+
+  // Long-job instances so the GPU PTAS must touch the faulty allocator.
+  const std::vector<Instance> instances = {
+      {3, {40, 35, 30, 25, 20, 15, 10, 5, 5, 5}},
+      {2, {9, 8, 7, 6, 5, 4}},
+      {4, {50, 47, 43, 41, 38, 36, 10, 9, 8, 3, 2, 1}},
+      {3, {17, 17, 17, 16, 16, 16, 2, 1}},
+      {2, {31, 29, 23, 19, 17, 13, 11, 7}},
+      {3, {60, 55, 50, 45, 40, 35, 30, 25}},
+  };
+  ResilientOptions solve_options;
+  solve_options.max_transient_retries = 1;
+  solve_options.backoff_ms = 1;
+  solve_options.num_threads = 1;
+
+  std::vector<serve::SolveResponse> responses;
+  {
+    faultsim::ScopedFaultInjector scoped(plan);
+    serve::ServeOptions options;
+    options.workers = 4;
+    options.start_paused = true;
+    serve::SolveServer server(options);
+    std::vector<std::future<serve::SolveResponse>> futures;
+    for (const Instance& instance : instances) {
+      serve::SolveRequest request;
+      request.instance = instance;
+      request.options = solve_options;
+      auto admitted = server.submit(std::move(request));
+      ASSERT_TRUE(admitted.has_value()) << admitted.status().to_string();
+      futures.push_back(std::move(*admitted));
+    }
+    server.resume();
+    for (auto& future : futures) responses.push_back(future.get());
+    const serve::ServeStats stats = server.stats();
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.completed, instances.size());
+  }
+
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    const serve::SolveResponse& response = responses[i];
+    ASSERT_TRUE(response.ok())
+        << "request " << i << ": " << response.status.to_string();
+    EXPECT_TRUE(response.result.degraded) << "request " << i;
+    EXPECT_NE(response.result.engine, "gpu-ptas") << "request " << i;
+    if (auto bad =
+            testkit::check_resilient_result(instances[i], response.result))
+      FAIL() << "request " << i << ": " << *bad;
+    // The failed GPU attempts are on each request's own record, typed.
+    ASSERT_FALSE(response.result.attempts.empty());
+    EXPECT_EQ(response.result.attempts[0].status.code(),
+              StatusCode::kDeviceOutOfMemory)
+        << "request " << i;
+
+    // Cross-talk check: the served degraded answer equals a standalone
+    // degraded solve of the same instance under the same plan.
+    ResilientResult reference;
+    {
+      gpusim::Device device(gpusim::DeviceSpec::k40());
+      const auto chain = gpu::make_gpu_chain(device);
+      faultsim::ScopedFaultInjector scoped(plan);
+      reference = solve_resilient(instances[i], chain, solve_options);
+    }
+    EXPECT_EQ(response.result.schedule.assignment,
+              reference.schedule.assignment)
+        << "request " << i;
+    EXPECT_EQ(response.result.achieved_makespan,
+              reference.achieved_makespan)
+        << "request " << i;
+    EXPECT_EQ(response.result.engine, reference.engine) << "request " << i;
+    EXPECT_EQ(response.result.bound_num, reference.bound_num);
+    EXPECT_EQ(response.result.bound_den, reference.bound_den);
+  }
 }
 
 TEST(FaultMatrix, TightDeadlineYieldsPromptTypedBestEffort) {

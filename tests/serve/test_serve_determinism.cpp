@@ -1,0 +1,163 @@
+// The serving layer's determinism contract: the response for a request is
+// bit-identical whether it was solved alone by a direct solve_resilient
+// call, raced through 1/4/8 workers, answered from the shared cache, or
+// coalesced behind a queued duplicate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "core/resilient.hpp"
+#include "gpu/resilient_gpu.hpp"
+#include "gpusim/device.hpp"
+#include "serve/server.hpp"
+#include "workload/generators.hpp"
+
+namespace pcmax::serve {
+namespace {
+
+// A burst of kBurst requests over kUnique distinct instances (the rest are
+// duplicates, round-robin), in a fixed submission order.
+constexpr std::size_t kUnique = 6;
+constexpr std::size_t kBurst = 12;
+
+// Few jobs per machine with times above T/k so the PTAS rounds to real
+// long-job DP problems and the shared cache sees traffic.
+std::vector<Instance> burst_instances() {
+  std::vector<Instance> instances;
+  for (std::size_t i = 0; i < kBurst; ++i)
+    instances.push_back(
+        workload::uniform_instance(6 + (i % kUnique), 4, 30, 60,
+                                   static_cast<std::uint64_t>(i % kUnique)));
+  return instances;
+}
+
+ResilientOptions burst_options() {
+  ResilientOptions options;
+  options.epsilon = 0.5;
+  options.num_threads = 1;
+  return options;
+}
+
+struct Essence {
+  Status status;
+  std::vector<std::int64_t> assignment;
+  std::int64_t makespan = 0;
+  std::string engine;
+  std::int64_t k = 0;
+  std::int64_t bound_num = 0;
+  std::int64_t bound_den = 1;
+  bool degraded = false;
+};
+
+Essence essence_of(const ResilientResult& result) {
+  return Essence{result.status,          result.schedule.assignment,
+                 result.achieved_makespan, result.engine,
+                 result.k,               result.bound_num,
+                 result.bound_den,       result.degraded};
+}
+
+// The server leads with the GPU engine, so direct references must too.
+Essence direct_essence(const Instance& instance) {
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  return essence_of(
+      solve_resilient(instance, gpu::make_gpu_chain(device), burst_options()));
+}
+
+void expect_same(const Essence& a, const Essence& b, std::size_t index) {
+  EXPECT_EQ(a.status.code(), b.status.code()) << "request " << index;
+  EXPECT_EQ(a.assignment, b.assignment) << "request " << index;
+  EXPECT_EQ(a.makespan, b.makespan) << "request " << index;
+  EXPECT_EQ(a.engine, b.engine) << "request " << index;
+  EXPECT_EQ(a.k, b.k) << "request " << index;
+  EXPECT_EQ(a.bound_num, b.bound_num) << "request " << index;
+  EXPECT_EQ(a.bound_den, b.bound_den) << "request " << index;
+  EXPECT_EQ(a.degraded, b.degraded) << "request " << index;
+}
+
+std::vector<Essence> run_burst(int workers, bool coalesce) {
+  ServeOptions options;
+  options.workers = workers;
+  options.coalesce = coalesce;
+  options.start_paused = true;  // queue the whole burst, then race workers
+  SolveServer server(options);
+
+  const std::vector<Instance> instances = burst_instances();
+  std::vector<std::future<SolveResponse>> futures;
+  for (const Instance& instance : instances) {
+    SolveRequest request;
+    request.instance = instance;
+    request.options = burst_options();
+    auto admitted = server.submit(std::move(request));
+    EXPECT_TRUE(admitted.has_value());
+    futures.push_back(std::move(*admitted));
+  }
+  server.resume();
+
+  std::vector<Essence> results;
+  results.reserve(futures.size());
+  for (auto& future : futures) {
+    SolveResponse response = future.get();
+    EXPECT_TRUE(response.ok());
+    results.push_back(essence_of(response.result));
+  }
+  return results;
+}
+
+TEST(ServeDeterminism, WorkerCountNeverChangesResults) {
+  const std::vector<Essence> sequential = run_burst(1, /*coalesce=*/true);
+  const std::vector<Essence> four = run_burst(4, /*coalesce=*/true);
+  const std::vector<Essence> eight = run_burst(8, /*coalesce=*/true);
+  ASSERT_EQ(sequential.size(), kBurst);
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    expect_same(four[i], sequential[i], i);
+    expect_same(eight[i], sequential[i], i);
+  }
+}
+
+TEST(ServeDeterminism, CoalescedDuplicatesMatchUncoalescedSolves) {
+  const std::vector<Essence> coalesced = run_burst(4, /*coalesce=*/true);
+  const std::vector<Essence> solo = run_burst(4, /*coalesce=*/false);
+  for (std::size_t i = 0; i < kBurst; ++i)
+    expect_same(coalesced[i], solo[i], i);
+}
+
+TEST(ServeDeterminism, ServedBurstMatchesDirectSolves) {
+  const std::vector<Essence> served = run_burst(8, /*coalesce=*/true);
+  const std::vector<Instance> instances = burst_instances();
+  for (std::size_t i = 0; i < kBurst; ++i)
+    expect_same(served[i], direct_essence(instances[i]), i);
+}
+
+TEST(ServeDeterminism, SharedCacheDoesNotChangeResults) {
+  ServeOptions with_cache;
+  with_cache.workers = 2;
+  with_cache.start_paused = true;
+  ServeOptions without_cache = with_cache;
+  without_cache.share_probe_cache = false;
+
+  for (const bool share : {true, false}) {
+    SolveServer server(share ? with_cache : without_cache);
+    const std::vector<Instance> instances = burst_instances();
+    std::vector<std::future<SolveResponse>> futures;
+    for (const Instance& instance : instances) {
+      SolveRequest request;
+      request.instance = instance;
+      request.options = burst_options();
+      auto admitted = server.submit(std::move(request));
+      ASSERT_TRUE(admitted.has_value());
+      futures.push_back(std::move(*admitted));
+    }
+    server.resume();
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      SolveResponse response = futures[i].get();
+      ASSERT_TRUE(response.ok());
+      expect_same(essence_of(response.result), direct_essence(instances[i]),
+                  i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pcmax::serve

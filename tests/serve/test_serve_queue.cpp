@@ -1,0 +1,152 @@
+// BoundedRequestQueue: admission control, FIFO draining, coalescing sweep,
+// and close semantics.
+#include "serve/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pcmax::serve {
+namespace {
+
+PendingRequest make_request(std::int64_t id, std::int64_t key_mark) {
+  PendingRequest request;
+  request.id = id;
+  request.key.times = {key_mark};
+  request.key.machines = 1;
+  request.key.k = 4;
+  return request;
+}
+
+TEST(ServeQueue, PopsInSubmissionOrder) {
+  BoundedRequestQueue queue(8);
+  for (std::int64_t i = 0; i < 5; ++i)
+    ASSERT_TRUE(queue.push(make_request(i, /*key_mark=*/100 + i)).is_ok());
+  PendingRequest leader;
+  std::vector<PendingRequest> followers;
+  for (std::int64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.pop(leader, followers, /*coalesce=*/true));
+    EXPECT_EQ(leader.id, i);
+    EXPECT_TRUE(followers.empty());
+  }
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(ServeQueue, RejectsWhenFullWithoutBlocking) {
+  BoundedRequestQueue queue(2);
+  ASSERT_TRUE(queue.push(make_request(0, 0)).is_ok());
+  ASSERT_TRUE(queue.push(make_request(1, 1)).is_ok());
+  const Status rejected = queue.push(make_request(2, 2));
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.message().find("full"), std::string::npos);
+  EXPECT_EQ(queue.size(), 2u);  // the rejected request was not enqueued
+}
+
+TEST(ServeQueue, RejectsAfterClose) {
+  BoundedRequestQueue queue(4);
+  queue.close();
+  const Status rejected = queue.push(make_request(0, 0));
+  EXPECT_EQ(rejected.code(), StatusCode::kUnavailable);
+  EXPECT_NE(rejected.message().find("closed"), std::string::npos);
+}
+
+TEST(ServeQueue, DrainsQueuedRequestsAfterClose) {
+  BoundedRequestQueue queue(4);
+  ASSERT_TRUE(queue.push(make_request(0, 0)).is_ok());
+  ASSERT_TRUE(queue.push(make_request(1, 1)).is_ok());
+  queue.close();
+  PendingRequest leader;
+  std::vector<PendingRequest> followers;
+  ASSERT_TRUE(queue.pop(leader, followers, true));
+  EXPECT_EQ(leader.id, 0);
+  ASSERT_TRUE(queue.pop(leader, followers, true));
+  EXPECT_EQ(leader.id, 1);
+  EXPECT_FALSE(queue.pop(leader, followers, true));  // closed and empty
+}
+
+TEST(ServeQueue, CoalesceSweepsDuplicatesInOrder) {
+  BoundedRequestQueue queue(8);
+  // A B A C A: popping the first A claims both later As as followers.
+  ASSERT_TRUE(queue.push(make_request(0, /*key_mark=*/7)).is_ok());
+  ASSERT_TRUE(queue.push(make_request(1, /*key_mark=*/8)).is_ok());
+  ASSERT_TRUE(queue.push(make_request(2, /*key_mark=*/7)).is_ok());
+  ASSERT_TRUE(queue.push(make_request(3, /*key_mark=*/9)).is_ok());
+  ASSERT_TRUE(queue.push(make_request(4, /*key_mark=*/7)).is_ok());
+
+  PendingRequest leader;
+  std::vector<PendingRequest> followers;
+  ASSERT_TRUE(queue.pop(leader, followers, /*coalesce=*/true));
+  EXPECT_EQ(leader.id, 0);
+  ASSERT_EQ(followers.size(), 2u);
+  EXPECT_EQ(followers[0].id, 2);
+  EXPECT_EQ(followers[1].id, 4);
+
+  // The survivors keep their relative order.
+  followers.clear();
+  ASSERT_TRUE(queue.pop(leader, followers, true));
+  EXPECT_EQ(leader.id, 1);
+  EXPECT_TRUE(followers.empty());
+  ASSERT_TRUE(queue.pop(leader, followers, true));
+  EXPECT_EQ(leader.id, 3);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(ServeQueue, NoCoalesceLeavesDuplicatesQueued) {
+  BoundedRequestQueue queue(4);
+  ASSERT_TRUE(queue.push(make_request(0, 7)).is_ok());
+  ASSERT_TRUE(queue.push(make_request(1, 7)).is_ok());
+  PendingRequest leader;
+  std::vector<PendingRequest> followers;
+  ASSERT_TRUE(queue.pop(leader, followers, /*coalesce=*/false));
+  EXPECT_EQ(leader.id, 0);
+  EXPECT_TRUE(followers.empty());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(ServeQueue, SweepFreesCapacityForNewAdmissions) {
+  BoundedRequestQueue queue(2);
+  ASSERT_TRUE(queue.push(make_request(0, 7)).is_ok());
+  ASSERT_TRUE(queue.push(make_request(1, 7)).is_ok());
+  PendingRequest leader;
+  std::vector<PendingRequest> followers;
+  ASSERT_TRUE(queue.pop(leader, followers, true));
+  EXPECT_EQ(followers.size(), 1u);
+  // Both slots freed: leader popped, follower swept.
+  EXPECT_TRUE(queue.push(make_request(2, 0)).is_ok());
+  EXPECT_TRUE(queue.push(make_request(3, 1)).is_ok());
+}
+
+TEST(ServeQueue, ConcurrentProducersAndConsumersDeliverEveryRequest) {
+  BoundedRequestQueue queue(64);
+  constexpr int kProducers = 2;
+  constexpr int kPerProducer = 16;
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::int64_t id = p * kPerProducer + i;
+        ASSERT_TRUE(queue.push(make_request(id, id)).is_ok());
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&queue, &popped] {
+      PendingRequest leader;
+      std::vector<PendingRequest> followers;
+      while (queue.pop(leader, followers, true)) {
+        popped.fetch_add(1 + static_cast<int>(followers.size()));
+        followers.clear();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  queue.close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace pcmax::serve

@@ -1,0 +1,343 @@
+// pcmax solve daemon driver: exercises serve::SolveServer with a burst of
+// concurrent requests and verifies the serving layer end to end.
+//
+//   pcmax_serve --burst 64 --dup-percent 25 --threads 8 --seed 42 --hold
+//   pcmax_serve --burst 16 --threads 4 --verify-sequential
+//   pcmax_serve --burst 32 --threads 4 --fault-plan 'seed=7;device-alloc:permille=80'
+//
+// A burst is `--burst` requests over uniform random instances; a
+// --dup-percent slice are exact duplicates of earlier requests, which the
+// server may coalesce. --hold parks the workers until the whole burst is
+// queued, making the coalescing count deterministic. --verify-sequential
+// re-solves every request with a standalone solve_resilient (fresh device,
+// no shared cache, no coalescing) and requires bit-identical schedules —
+// the determinism contract of the serving layer. --json emits a perf
+// datapoint consumed by scripts/perf_trajectory.py.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <numeric>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/resilient.hpp"
+#include "faultsim/injector.hpp"
+#include "gpu/resilient_gpu.hpp"
+#include "gpusim/device.hpp"
+#include "obs/export.hpp"
+#include "obs/session.hpp"
+#include "serve/server.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pcmax;
+
+[[noreturn]] void usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: pcmax_serve [--burst N] [--dup-percent P] [--threads T]\n"
+      "                   [--seed S] [--jobs N] [--machines M] [--tmax HI]\n"
+      "                   [--epsilon E] [--queue-capacity C] [--hold]\n"
+      "                   [--no-coalesce] [--no-cache] [--verify-sequential]\n"
+      "                   [--deadline-ms MS] [--mem-budget-bytes BYTES]\n"
+      "                   [--fault-plan PLAN] [--trace-out FILE]\n"
+      "                   [--metrics-out FILE] [--json FILE]\n"
+      "\n"
+      "Submits a burst of solve requests (a --dup-percent slice being exact\n"
+      "duplicates) to an in-process SolveServer and reports admission,\n"
+      "coalescing, shared-cache, and verification results. --hold queues\n"
+      "the whole burst before the workers start, so the coalesced count is\n"
+      "deterministic. See docs/SERVING.md.\n");
+  std::exit(2);
+}
+
+struct Args {
+  int burst = 64;
+  int dup_percent = 25;
+  int threads = 4;
+  std::uint64_t seed = 42;
+  std::size_t jobs = 60;
+  std::int64_t machines = 8;
+  std::int64_t tmax = 100;
+  double epsilon = 0.3;
+  std::size_t queue_capacity = 0;  // 0 = burst size
+  bool hold = false;
+  bool coalesce = true;
+  bool share_cache = true;
+  bool verify_sequential = false;
+  std::int64_t deadline_ms = 0;
+  std::uint64_t mem_budget_bytes = 0;
+  std::optional<faultsim::FaultPlan> fault_plan;
+  std::optional<std::string> trace_out;
+  std::optional<std::string> metrics_out;
+  std::optional<std::string> json_out;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    std::optional<std::string> inline_value;
+    if (a.rfind("--", 0) == 0) {
+      if (const auto eq = a.find('='); eq != std::string::npos) {
+        inline_value = a.substr(eq + 1);
+        a.resize(eq);
+      }
+    }
+    const auto next = [&](const char* what) -> std::string {
+      if (inline_value.has_value()) return *inline_value;
+      if (i + 1 >= argc) usage(what);
+      return argv[++i];
+    };
+    if (a == "--burst") {
+      args.burst = std::atoi(next("--burst needs a count").c_str());
+    } else if (a == "--dup-percent") {
+      args.dup_percent =
+          std::atoi(next("--dup-percent needs a percent").c_str());
+    } else if (a == "--threads") {
+      args.threads = std::atoi(next("--threads needs a count").c_str());
+    } else if (a == "--seed") {
+      args.seed = static_cast<std::uint64_t>(
+          std::atoll(next("--seed needs a value").c_str()));
+    } else if (a == "--jobs") {
+      args.jobs = static_cast<std::size_t>(
+          std::atoll(next("--jobs needs a count").c_str()));
+    } else if (a == "--machines") {
+      args.machines = std::atoll(next("--machines needs a count").c_str());
+    } else if (a == "--tmax") {
+      args.tmax = std::atoll(next("--tmax needs a value").c_str());
+    } else if (a == "--epsilon") {
+      args.epsilon = std::atof(next("--epsilon needs a value").c_str());
+    } else if (a == "--queue-capacity") {
+      args.queue_capacity = static_cast<std::size_t>(
+          std::atoll(next("--queue-capacity needs a count").c_str()));
+    } else if (a == "--hold") {
+      args.hold = true;
+    } else if (a == "--no-coalesce") {
+      args.coalesce = false;
+    } else if (a == "--no-cache") {
+      args.share_cache = false;
+    } else if (a == "--verify-sequential") {
+      args.verify_sequential = true;
+    } else if (a == "--deadline-ms") {
+      args.deadline_ms =
+          std::atoll(next("--deadline-ms needs a value").c_str());
+    } else if (a == "--mem-budget-bytes") {
+      args.mem_budget_bytes = static_cast<std::uint64_t>(
+          std::atoll(next("--mem-budget-bytes needs a value").c_str()));
+    } else if (a == "--fault-plan") {
+      std::string error;
+      args.fault_plan =
+          faultsim::parse_fault_plan(next("--fault-plan needs a plan"),
+                                     &error);
+      if (!args.fault_plan.has_value())
+        usage(("bad --fault-plan: " + error).c_str());
+    } else if (a == "--trace-out") {
+      args.trace_out = next("--trace-out needs a path");
+    } else if (a == "--metrics-out") {
+      args.metrics_out = next("--metrics-out needs a path");
+    } else if (a == "--json") {
+      args.json_out = next("--json needs a path");
+    } else {
+      usage(("unknown flag: " + a).c_str());
+    }
+  }
+  if (args.burst < 1) usage("--burst must be >= 1");
+  if (args.dup_percent < 0 || args.dup_percent > 90)
+    usage("--dup-percent must be in [0, 90]");
+  if (args.threads < 1) usage("--threads must be >= 1");
+  return args;
+}
+
+bool same_result(const ResilientResult& a, const ResilientResult& b) {
+  return a.status.code() == b.status.code() &&
+         a.schedule.assignment == b.schedule.assignment &&
+         a.achieved_makespan == b.achieved_makespan && a.engine == b.engine &&
+         a.k == b.k && a.bound_num == b.bound_num &&
+         a.bound_den == b.bound_den && a.degraded == b.degraded;
+}
+
+int run_burst(const Args& args) {
+  // Burst layout: `uniques` distinct instances first, then duplicates of
+  // them round-robin, shuffled deterministically by --seed.
+  const int dups = args.burst * args.dup_percent / 100;
+  const int uniques = args.burst - dups;
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<std::size_t>(args.burst));
+  for (int i = 0; i < uniques; ++i)
+    instances.push_back(workload::uniform_instance(
+        args.jobs, args.machines, 1, args.tmax,
+        args.seed + static_cast<std::uint64_t>(i)));
+  for (int i = 0; i < dups; ++i)
+    instances.push_back(instances[static_cast<std::size_t>(i % uniques)]);
+  std::vector<std::size_t> order(instances.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::mt19937_64 rng(args.seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  ResilientOptions solve_options;
+  solve_options.epsilon = args.epsilon;
+  solve_options.deadline_ms = args.deadline_ms;
+  solve_options.mem_budget_bytes = args.mem_budget_bytes;
+  solve_options.num_threads = 1;  // workers are the parallelism axis here
+
+  serve::ServeOptions serve_options;
+  serve_options.workers = args.threads;
+  serve_options.queue_capacity = args.queue_capacity != 0
+                                     ? args.queue_capacity
+                                     : static_cast<std::size_t>(args.burst);
+  serve_options.coalesce = args.coalesce;
+  serve_options.share_probe_cache = args.share_cache;
+  serve_options.start_paused = args.hold;
+
+  std::printf("# serve burst %d (%d dups) workers %d queue %zu%s%s%s\n",
+              args.burst, dups, args.threads, serve_options.queue_capacity,
+              args.hold ? " hold" : "", args.coalesce ? "" : " no-coalesce",
+              args.share_cache ? "" : " no-cache");
+
+  std::optional<faultsim::ScopedFaultInjector> injector;
+  if (args.fault_plan.has_value()) {
+    injector.emplace(*args.fault_plan);
+    std::printf("# fault plan: %s\n", args.fault_plan->to_string().c_str());
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  serve::SolveServer server(serve_options);
+  struct Submitted {
+    std::size_t instance;
+    std::future<serve::SolveResponse> future;
+  };
+  std::vector<Submitted> in_flight;
+  std::uint64_t rejected = 0;
+  for (const std::size_t index : order) {
+    serve::SolveRequest request;
+    request.instance = instances[index];
+    request.options = solve_options;
+    auto admitted = server.submit(std::move(request));
+    if (admitted.has_value())
+      in_flight.push_back(Submitted{index, std::move(*admitted)});
+    else
+      ++rejected;
+  }
+  if (args.hold) server.resume();
+
+  std::vector<std::optional<serve::SolveResponse>> responses(instances.size());
+  std::uint64_t failed = 0;
+  for (Submitted& s : in_flight) {
+    serve::SolveResponse response = s.future.get();
+    if (!response.ok()) ++failed;
+    responses[s.instance] = std::move(response);
+  }
+  server.shutdown();
+  const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - wall_start)
+                           .count();
+
+  const serve::ServeStats stats = server.stats();
+  std::printf("serve: submitted %llu admitted %llu rejected %llu "
+              "coalesced %llu completed %llu failed %llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.coalesced),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.failed));
+  std::printf("cache: lookups %llu hits %llu cross-hits %llu insertions %llu "
+              "evictions %llu\n",
+              static_cast<unsigned long long>(stats.cache.lookups),
+              static_cast<unsigned long long>(stats.cache.hits),
+              static_cast<unsigned long long>(stats.cache.cross_hits),
+              static_cast<unsigned long long>(stats.cache.insertions),
+              static_cast<unsigned long long>(stats.cache.evictions));
+
+  bool ok = rejected == stats.rejected && failed == stats.failed;
+  // With the burst held until fully queued, every duplicate finds its
+  // leader still in the queue, so the coalesced count is exact.
+  if (args.hold && args.coalesce && stats.rejected == 0)
+    ok = ok && stats.coalesced == static_cast<std::uint64_t>(dups);
+
+  // Duplicate submissions must agree bit for bit with the original,
+  // coalesced or not.
+  std::size_t dup_checked = 0;
+  std::size_t dup_identical = 0;
+  for (std::size_t i = static_cast<std::size_t>(uniques);
+       i < instances.size(); ++i) {
+    const auto& dup = responses[i];
+    const auto& original =
+        responses[(i - static_cast<std::size_t>(uniques)) %
+                  static_cast<std::size_t>(uniques)];
+    if (!dup.has_value() || !original.has_value()) continue;
+    ++dup_checked;
+    if (same_result(dup->result, original->result)) ++dup_identical;
+  }
+  if (dup_checked != 0)
+    std::printf("duplicates: identical %zu/%zu\n", dup_identical,
+                dup_checked);
+  ok = ok && dup_identical == dup_checked;
+
+  if (args.verify_sequential) {
+    // Standalone reference: one device, no sharing, no coalescing — the
+    // answer a client would get from a direct solve_resilient call.
+    std::size_t identical = 0;
+    std::size_t checked = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(uniques); ++i) {
+      if (!responses[i].has_value()) continue;
+      ++checked;
+      gpusim::Device device(gpusim::DeviceSpec::k40());
+      const auto chain = gpu::make_gpu_chain(device);
+      const ResilientResult reference =
+          solve_resilient(instances[i], chain, solve_options);
+      if (same_result(responses[i]->result, reference)) ++identical;
+    }
+    std::printf("verify: sequential-identical %zu/%zu\n", identical, checked);
+    ok = ok && identical == checked;
+  }
+
+  if (args.json_out.has_value()) {
+    // One perf-trajectory record in the bench --json schema: wall time of
+    // the whole burst, cache insertions as "cells", admitted requests as
+    // "probes".
+    char record[256];
+    std::snprintf(
+        record, sizeof(record),
+        "[{\"name\": \"serve/burst%d-t%d\", \"ns\": %lld, \"cells\": %llu, "
+        "\"probes\": %llu, \"cache_hits\": %llu}]\n",
+        args.burst, args.threads, static_cast<long long>(wall_ns),
+        static_cast<unsigned long long>(stats.cache.insertions),
+        static_cast<unsigned long long>(stats.admitted),
+        static_cast<unsigned long long>(stats.cache.hits));
+    obs::write_file(*args.json_out, record);
+  }
+
+  std::printf("%s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.trace_out.has_value() && !args.metrics_out.has_value())
+    return run_burst(args);
+
+  obs::ObsSession session;
+  const int rc = run_burst(args);
+  if (args.trace_out.has_value()) {
+    obs::write_file(*args.trace_out, obs::chrome_trace_json(session.trace()));
+    std::printf("trace: %zu events -> %s\n", session.trace().size(),
+                args.trace_out->c_str());
+  }
+  if (args.metrics_out.has_value()) {
+    obs::write_file(*args.metrics_out, obs::metrics_json(session.metrics()));
+    std::printf("metrics -> %s\n", args.metrics_out->c_str());
+  }
+  std::fputs(obs::text_summary(session.trace(), session.metrics()).c_str(),
+             stdout);
+  return rc;
+}
