@@ -17,7 +17,10 @@
 #include "dp/reconstruct.hpp"
 #include "faultsim/injector.hpp"
 #include "dp/solver.hpp"
+#include "gpu/gpu_dp_solver.hpp"
 #include "gpusim/coalescing.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/topology.hpp"
 #include "knapsack/solver.hpp"
 #include "gpusim/fluid.hpp"
 #include "partition/block_solver.hpp"
@@ -160,6 +163,33 @@ void BM_FrontierSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FrontierSolve);
+
+// devices=1 must short-circuit to the plain single-device wavefront: the
+// topology-backed solver with one device and the direct Device solver run
+// the identical code path after dispatch, so these two must match within
+// noise (the acceptance bar for the multi-device layer's zero-overhead
+// claim — see docs/SHARDING.md).
+void BM_GpuDpSolveDirectDevice(benchmark::State& state) {
+  const auto problem = workload::dp_problem_for_extents({6, 4, 6, 6, 4});
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const gpu::GpuDpSolver solver(device, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(problem).opt);
+    device.clear_log();
+  }
+}
+BENCHMARK(BM_GpuDpSolveDirectDevice);
+
+void BM_GpuDpSolveTopologyOneDevice(benchmark::State& state) {
+  const auto problem = workload::dp_problem_for_extents({6, 4, 6, 6, 4});
+  gpusim::Topology topology(1, gpusim::DeviceSpec::k40());
+  const gpu::GpuDpSolver solver(topology, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(problem).opt);
+    topology.device(0).clear_log();
+  }
+}
+BENCHMARK(BM_GpuDpSolveTopologyOneDevice);
 
 void BM_KnapsackBlocked(benchmark::State& state) {
   knapsack::KnapsackProblem p;

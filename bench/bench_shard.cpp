@@ -1,0 +1,128 @@
+// Multi-device sharding scaling bench: the reference large DP table
+// (403200 cells, Table VI shape) solved on 1/2/4/8 simulated devices under
+// both interconnect topologies. Reports charged simulated time (kernel
+// costs plus modeled cross-device transfers), transfer volume, and the
+// per-device peak memory — the numbers behind docs/SHARDING.md and the
+// EXPERIMENTS.md scaling table. Every run's table is verified bit-identical
+// against the bucketed CPU solver; a mismatch is a hard failure.
+//
+// Flags:
+//   --size N       table size to look up in the paper shapes (default 403200)
+//   --placement P  round-robin | level-contiguous | memory-balanced
+//   --json PATH    append machine-readable records (BENCH_shard.json);
+//                  `ns` holds *simulated* nanoseconds, `probes` the
+//                  modeled transfer count.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dp/solver.hpp"
+#include "gpu/gpu_dp_solver.hpp"
+#include "gpusim/topology.hpp"
+#include "placement/strategy.hpp"
+#include "util/text_table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pcmax;
+
+  std::uint64_t size = 403200;
+  if (const std::string s = bench::flag_value_from_args(argc, argv, "--size");
+      !s.empty())
+    size = std::stoull(s);
+  placement::PlacementKind placement =
+      placement::PlacementKind::kLevelContiguous;
+  if (const std::string p =
+          bench::flag_value_from_args(argc, argv, "--placement");
+      !p.empty()) {
+    const auto parsed = placement::parse_placement_kind(p);
+    if (!parsed) {
+      std::fprintf(stderr, "bench_shard: unknown --placement: %s\n",
+                   p.c_str());
+      return 2;
+    }
+    placement = *parsed;
+  }
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
+  const auto shapes = workload::paper_shapes_for_size(size);
+  if (shapes.empty()) {
+    std::fprintf(stderr, "bench_shard: no paper shape of size %llu\n",
+                 static_cast<unsigned long long>(size));
+    return 2;
+  }
+  const auto& shape = shapes.front();
+  const auto problem = workload::dp_problem_for_extents(shape.extents);
+  const dp::DpResult reference = dp::LevelBucketSolver().solve(problem);
+  const gpusim::DeviceSpec spec = gpusim::DeviceSpec::k40();
+
+  std::printf("== bench_shard: multi-device wavefront scaling "
+              "(simulated; shape %s, placement %s) ==\n\n",
+              shape.label.c_str(),
+              std::string(placement::placement_kind_name(placement)).c_str());
+
+  std::vector<bench::JsonRecord> records;
+  util::TextTable table({"devices", "topology", "sim time", "speedup",
+                         "transfers", "moved MB", "peak/device MB",
+                         "max cells @ 1-dev budget"});
+  double base_ms = 0.0;
+  bool ok = true;
+  for (const auto kind :
+       {gpusim::TopologyKind::kRing, gpusim::TopologyKind::kFullMesh}) {
+    const std::string kind_name(gpusim::topology_kind_name(kind));
+    for (const int devices : {1, 2, 4, 8}) {
+      gpusim::Topology topology(devices, spec, kind);
+      const gpu::GpuDpSolver solver(topology, 6, 4,
+                                    gpu::StreamPolicy::kCyclic, placement);
+      const dp::DpResult result = solver.solve(problem);
+      if (result.opt != reference.opt || result.table != reference.table) {
+        std::fprintf(stderr,
+                     "bench_shard: MISMATCH at devices=%d topology=%s\n",
+                     devices, kind_name.c_str());
+        ok = false;
+        continue;
+      }
+      const double ms = solver.last_solve_time().ms();
+      if (devices == 1 && kind == gpusim::TopologyKind::kRing) base_ms = ms;
+      const gpusim::Topology::TransferStats xfer = topology.transfer_stats();
+      std::uint64_t peak = 0;
+      for (const std::uint64_t p : solver.last_device_peaks())
+        peak = std::max(peak, p);
+      // Largest table the resilient pre-flight admits without k-halving:
+      // its per-device estimate (table share + per-cell coordinate share,
+      // both over N) shrinks ~1/N, so capacity under one device budget
+      // grows ~N (the "largest table vs device count" row of
+      // EXPERIMENTS.md). The simulated peak above stays flatter because
+      // each device also holds a full configuration-set replica.
+      const std::uint64_t preflight_per_cell =
+          4 + 8 * shape.extents.size();
+      const std::uint64_t max_cells =
+          static_cast<std::uint64_t>(devices) *
+          (spec.global_memory_bytes / preflight_per_cell);
+
+      char speedup[32];
+      std::snprintf(speedup, sizeof speedup, "%.2fx",
+                    ms > 0.0 ? base_ms / ms : 0.0);
+      table.add_row({std::to_string(devices), kind_name, bench::fmt_ms(ms),
+                     speedup, std::to_string(xfer.transfers),
+                     std::to_string(xfer.bytes >> 20),
+                     std::to_string(peak >> 20), std::to_string(max_cells)});
+
+      bench::JsonRecord record;
+      record.name = "shard/d" + std::to_string(devices) + "/" + kind_name;
+      record.ns =
+          static_cast<std::uint64_t>(solver.last_solve_time().ps()) / 1000;
+      record.cells = shape.table_size;
+      record.probes = xfer.transfers;
+      records.push_back(std::move(record));
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("sim time is the topology's charged clock: kernels + modeled "
+              "transfers;\nspeedup is vs the 1-device run.\n");
+
+  if (!json_path.empty()) bench::write_json(json_path, records);
+  return ok ? 0 : 1;
+}

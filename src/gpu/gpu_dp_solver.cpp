@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "gpu/charge.hpp"
+#include "gpu/resident.hpp"
 #include "util/checked_math.hpp"
 #include "obs/trace.hpp"
 #include "partition/block_solver.hpp"
@@ -109,16 +111,195 @@ class ChargingObserver final : public partition::BlockObserver {
   bool first_level_ = true;
 };
 
+/// Drives a multi-device Topology while the BlockedSolver walks the block
+/// wavefront: each block's kernels run on the device its placement chose,
+/// and before a block-level starts, every dependency block a device needs
+/// but does not own is charged as an interconnect transfer (plus a mirror
+/// allocation that lives for the level — the exact working set
+/// resident.hpp computes). Real values still come from the BlockedSolver,
+/// so results are bit-identical to the single-device path by construction.
+class ShardedChargingObserver final : public partition::BlockObserver {
+ public:
+  ShardedChargingObserver(gpusim::Topology& topology,
+                          const placement::PlacementStrategy& strategy,
+                          const dp::DpProblem& problem, int stream_count,
+                          StreamPolicy stream_policy)
+      : topology_(topology),
+        strategy_(strategy),
+        problem_(problem),
+        stream_count_(stream_count),
+        stream_policy_(stream_policy) {}
+
+  void on_solve_begin(const partition::BlockedLayout& layout,
+                      std::uint64_t config_count) override {
+    layout_ = &layout;
+    params_.dims = layout.table_radix().dims();
+    params_.search_cells = layout.cells_per_block();
+    block_bytes_ = util::checked_mul(layout.cells_per_block(), 4);
+    reach_ = dependency_reach(problem_, layout);
+    const int n = topology_.device_count();
+    plan_ = strategy_.place(layout, n, reach_);
+    PCMAX_EXPECTS(plan_.size() == layout.block_count());
+
+    // Per-device persistent allocations: the device's table shard plus a
+    // replica of the configuration set (every device probes configurations
+    // against its own blocks, as each real GPU would hold its own copy).
+    std::vector<std::uint64_t> blocks_on(static_cast<std::size_t>(n), 0);
+    for (const int d : plan_) ++blocks_on[static_cast<std::size_t>(d)];
+    shards_.clear();
+    configs_.clear();
+    peaks_.assign(static_cast<std::size_t>(n), 0);
+    for (int d = 0; d < n; ++d) {
+      gpusim::Device& dev = topology_.device(d);
+      shards_.push_back(dev.allocate(util::checked_mul(
+          blocks_on[static_cast<std::size_t>(d)], block_bytes_)));
+      configs_.push_back(dev.allocate(
+          util::checked_mul(util::checked_mul(config_count, params_.dims), 8)));
+      peaks_[static_cast<std::size_t>(d)] = dev.memory_in_use();
+    }
+    first_level_ = true;
+  }
+
+  void on_block_level(std::int64_t /*level*/,
+                      std::span<const std::uint64_t> blocks) override {
+    const int n = topology_.device_count();
+    // Wavefront barrier across all devices between block-levels; the
+    // previous level's dependency mirrors are evicted once it retires.
+    if (!first_level_) topology_.barrier();
+    first_level_ = false;
+    mirrors_.clear();
+    mirrored_.clear();
+
+    // Per-device stream assignment: each device distributes ITS blocks of
+    // the level over its streams, cyclic (Algorithm 4 line 31) or chunked.
+    stream_of_.clear();
+    std::vector<std::size_t> on_device(static_cast<std::size_t>(n), 0);
+    for (const std::uint64_t b : blocks)
+      ++on_device[static_cast<std::size_t>(plan_[b])];
+    const auto streams = static_cast<std::size_t>(stream_count_);
+    std::vector<std::size_t> index(static_cast<std::size_t>(n), 0);
+    for (const std::uint64_t b : blocks) {
+      const auto d = static_cast<std::size_t>(plan_[b]);
+      const std::size_t i = index[d]++;
+      const std::size_t chunk =
+          (on_device[d] + streams - 1) / std::max<std::size_t>(1, streams);
+      const std::size_t stream = stream_policy_ == StreamPolicy::kCyclic
+                                     ? i % streams
+                                     : i / std::max<std::size_t>(1, chunk);
+      stream_of_[b] = static_cast<int>(stream);
+    }
+
+    // Cross-device dependency transfers: for every block of the level,
+    // each reach-box predecessor owned by another device is shipped to the
+    // block's device (once per level per destination) before the level's
+    // kernels may start. The destination waits for its latest arrival.
+    const dp::MixedRadix& grid = layout_->grid();
+    std::vector<util::SimTime> arrival(static_cast<std::size_t>(n));
+    std::vector<std::int64_t> g(grid.dims());
+    for (const std::uint64_t b : blocks) {
+      const int dst = plan_[b];
+      grid.unflatten(b, g);
+      placement::for_each_reach_predecessor(
+          grid, g, reach_, [&](std::uint64_t pred) {
+            const int src = plan_[pred];
+            if (src == dst) return;
+            const std::uint64_t key =
+                static_cast<std::uint64_t>(dst) * layout_->block_count() +
+                pred;
+            if (!mirrored_.insert(key).second) return;
+            const auto dd = static_cast<std::size_t>(dst);
+            arrival[dd] = std::max(
+                arrival[dd], topology_.transfer(src, dst, block_bytes_));
+            mirrors_.push_back(topology_.device(dst).allocate(block_bytes_));
+            peaks_[dd] = std::max(peaks_[dd],
+                                  topology_.device(dst).memory_in_use());
+          });
+    }
+    for (int d = 0; d < n; ++d) {
+      gpusim::Device& dev = topology_.device(d);
+      const auto dd = static_cast<std::size_t>(d);
+      if (arrival[dd] > dev.now()) dev.advance(arrival[dd] - dev.now());
+    }
+  }
+
+  void on_in_block_level(std::uint64_t block_id, std::int64_t /*in_level*/,
+                         std::span<const CellStat> cells) override {
+    const LevelWork work = aggregate(cells);
+    if (work.cells == 0) return;
+    const auto d = static_cast<std::size_t>(plan_[block_id]);
+    gpusim::Device& dev = topology_.device(static_cast<int>(d));
+    const int stream = stream_of_.at(block_id);
+    [[maybe_unused]] const auto scratch =
+        dev.allocate(util::checked_mul(work.candidates, 4));
+    peaks_[d] = std::max(peaks_[d], dev.memory_in_use());
+    dev.launch_estimated(stream, "FindOPT", charge_find_opt(work, params_));
+    if (work.candidates > 0)
+      dev.launch_accounted(stream, "FindValidSub",
+                           charge_find_valid_sub(work, params_));
+    if (work.deps > 0)
+      dev.launch_accounted(stream, "SetOPT", charge_set_opt(work, params_));
+  }
+
+  void on_solve_end() override {
+    topology_.barrier();
+    mirrors_.clear();
+    shards_.clear();
+    configs_.clear();
+  }
+
+  [[nodiscard]] std::uint64_t peak_memory() const noexcept {
+    return peaks_.empty() ? 0
+                          : *std::max_element(peaks_.begin(), peaks_.end());
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& device_peaks()
+      const noexcept {
+    return peaks_;
+  }
+
+ private:
+  gpusim::Topology& topology_;
+  const placement::PlacementStrategy& strategy_;
+  const dp::DpProblem& problem_;
+  int stream_count_;
+  StreamPolicy stream_policy_;
+  ChargeParams params_;
+  const partition::BlockedLayout* layout_ = nullptr;
+  std::uint64_t block_bytes_ = 0;
+  std::vector<std::int64_t> reach_;
+  std::vector<int> plan_;
+  std::unordered_map<std::uint64_t, int> stream_of_;
+  std::vector<gpusim::Device::Buffer> shards_;
+  std::vector<gpusim::Device::Buffer> configs_;
+  std::vector<gpusim::Device::Buffer> mirrors_;
+  std::unordered_set<std::uint64_t> mirrored_;  // (dst, pred) this level
+  std::vector<std::uint64_t> peaks_;
+  bool first_level_ = true;
+};
+
 }  // namespace
 
 GpuDpSolver::GpuDpSolver(gpusim::Device& device, std::size_t partition_dims,
                          int stream_count, StreamPolicy stream_policy)
-    : device_(device),
+    : device_(&device),
       partition_dims_(partition_dims),
       stream_count_(stream_count),
       stream_policy_(stream_policy) {
   PCMAX_EXPECTS(stream_count >= 1);
   PCMAX_EXPECTS(stream_count <= device.spec().max_streams);
+}
+
+GpuDpSolver::GpuDpSolver(gpusim::Topology& topology,
+                         std::size_t partition_dims, int stream_count,
+                         StreamPolicy stream_policy,
+                         placement::PlacementKind placement)
+    : device_(&topology.device(0)),
+      topology_(&topology),
+      partition_dims_(partition_dims),
+      stream_count_(stream_count),
+      stream_policy_(stream_policy),
+      placement_(placement) {
+  PCMAX_EXPECTS(stream_count >= 1);
+  PCMAX_EXPECTS(stream_count <= device_->spec().max_streams);
 }
 
 std::string GpuDpSolver::name() const {
@@ -127,25 +308,58 @@ std::string GpuDpSolver::name() const {
 
 dp::DpResult GpuDpSolver::solve(const dp::DpProblem& problem,
                                 const dp::SolveOptions& options) const {
-  const util::SimTime start = device_.now();
+  // A one-device topology short-circuits onto the exact single-device path
+  // (device_ already points at its device 0), so devices=1 costs nothing
+  // over the pre-topology solver.
+  if (topology_ != nullptr && topology_->device_count() > 1)
+    return solve_sharded(problem, options);
   // Stamp spans opened during this solve with the device clock so they land
   // on the simulated-time track, bracketing the kernels they launched.
   // Scratch devices (trace_emission off) stay off every track: their
   // private clocks would interleave non-monotonically with the primary
   // device's timeline.
+  const util::SimTime start = device_->now();
   std::optional<obs::SimClockGuard> sim_clock;
   std::optional<obs::ScopedSpan> span;
-  if (device_.trace_emission() && obs::trace() != nullptr) {
-    sim_clock.emplace([this] { return device_.now().ps(); });
+  if (device_->trace_emission() && obs::trace() != nullptr) {
+    sim_clock.emplace([this] { return device_->now().ps(); });
     const auto args = {
         obs::arg("table", static_cast<std::int64_t>(problem.radix().size())),
         obs::arg("streams", stream_count_)};
     span.emplace("gpu/dp-solve", args);
   }
-  ChargingObserver observer(device_, stream_count_, stream_policy_);
+  ChargingObserver observer(*device_, stream_count_, stream_policy_);
   const partition::BlockedSolver solver(partition_dims_, &observer);
   dp::DpResult result = solver.solve(problem, options);
-  last_solve_time_ = device_.now() - start;
+  last_solve_time_ = device_->now() - start;
+  last_peak_memory_ = observer.peak_memory();
+  last_device_peaks_.assign(1, last_peak_memory_);
+  return result;
+}
+
+dp::DpResult GpuDpSolver::solve_sharded(
+    const dp::DpProblem& problem, const dp::SolveOptions& options) const {
+  gpusim::Topology& topology = *topology_;
+  const util::SimTime start = topology.now();
+  std::optional<obs::SimClockGuard> sim_clock;
+  std::optional<obs::ScopedSpan> span;
+  if (device_->trace_emission() && obs::trace() != nullptr) {
+    sim_clock.emplace([&topology] { return topology.now().ps(); });
+    // Trace events carry at most two args; "devices" is the one the
+    // single-device span does not have, "streams" the one it sacrifices.
+    const auto args = {
+        obs::arg("table", static_cast<std::int64_t>(problem.radix().size())),
+        obs::arg("devices", topology.device_count())};
+    span.emplace("gpu/dp-solve", args);
+  }
+  const std::unique_ptr<placement::PlacementStrategy> strategy =
+      placement::make_placement(placement_);
+  ShardedChargingObserver observer(topology, *strategy, problem,
+                                   stream_count_, stream_policy_);
+  const partition::BlockedSolver solver(partition_dims_, &observer);
+  dp::DpResult result = solver.solve(problem, options);
+  last_solve_time_ = topology.now() - start;
+  last_device_peaks_ = observer.device_peaks();
   last_peak_memory_ = observer.peak_memory();
   return result;
 }

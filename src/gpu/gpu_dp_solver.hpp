@@ -15,8 +15,13 @@
 // blocks — the memory saving the data-partitioning scheme exists for.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "dp/solver.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/topology.hpp"
+#include "placement/strategy.hpp"
 
 namespace pcmax::gpu {
 
@@ -37,6 +42,19 @@ class GpuDpSolver final : public dp::DpSolver {
               int stream_count = 4,
               StreamPolicy stream_policy = StreamPolicy::kCyclic);
 
+  /// Multi-device variant: blocks are mapped onto `topology`'s devices by
+  /// `placement`, each block's kernels run on its placed device, and
+  /// cross-device dependent-sub-configuration reads are charged as
+  /// interconnect transfers before each block-level barrier. Results are
+  /// bit-identical to the single-device solver — only the charged time and
+  /// per-device memory differ. A one-device topology takes the exact
+  /// single-device path on device 0 (no placement, no transfer scans).
+  GpuDpSolver(gpusim::Topology& topology, std::size_t partition_dims,
+              int stream_count = 4,
+              StreamPolicy stream_policy = StreamPolicy::kCyclic,
+              placement::PlacementKind placement =
+                  placement::PlacementKind::kLevelContiguous);
+
   using DpSolver::solve;
   [[nodiscard]] dp::DpResult solve(
       const dp::DpProblem& problem,
@@ -46,22 +64,36 @@ class GpuDpSolver final : public dp::DpSolver {
   [[nodiscard]] std::size_t partition_dims() const noexcept {
     return partition_dims_;
   }
-  /// Simulated time the most recent solve() spent on the device.
+  /// Simulated time the most recent solve() spent on the device(s).
   [[nodiscard]] util::SimTime last_solve_time() const noexcept {
     return last_solve_time_;
   }
-  /// Peak device memory of the most recent solve().
+  /// Peak device memory of the most recent solve(); under a multi-device
+  /// topology, the maximum over the per-device peaks.
   [[nodiscard]] std::uint64_t last_peak_memory() const noexcept {
     return last_peak_memory_;
   }
+  /// Per-device peak memory of the most recent solve(); one entry (the
+  /// device's peak) in single-device mode.
+  [[nodiscard]] std::span<const std::uint64_t> last_device_peaks()
+      const noexcept {
+    return last_device_peaks_;
+  }
 
  private:
-  gpusim::Device& device_;
+  [[nodiscard]] dp::DpResult solve_sharded(
+      const dp::DpProblem& problem, const dp::SolveOptions& options) const;
+
+  gpusim::Device* device_;               // single-device path target
+  gpusim::Topology* topology_ = nullptr; // null outside topology mode
   std::size_t partition_dims_;
   int stream_count_;
   StreamPolicy stream_policy_;
+  placement::PlacementKind placement_ =
+      placement::PlacementKind::kLevelContiguous;
   mutable util::SimTime last_solve_time_;
   mutable std::uint64_t last_peak_memory_ = 0;
+  mutable std::vector<std::uint64_t> last_device_peaks_;
 };
 
 /// The strawman direct port of the OpenMP implementation (Section III): one

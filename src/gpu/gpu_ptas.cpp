@@ -1,6 +1,8 @@
 #include "gpu/gpu_ptas.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 
 #include "core/bounds.hpp"
 #include "core/probe_cache.hpp"
@@ -23,11 +25,54 @@ void accumulate(gpusim::Device::Stats& into,
   into.synchronizations += delta.synchronizations;
 }
 
+[[nodiscard]] gpusim::Device::Stats subtract(
+    gpusim::Device::Stats after, const gpusim::Device::Stats& before) {
+  after.kernels -= before.kernels;
+  after.child_kernels -= before.child_kernels;
+  after.threads -= before.threads;
+  after.thread_ops -= before.thread_ops;
+  after.transactions -= before.transactions;
+  after.synchronizations -= before.synchronizations;
+  return after;
+}
+
+/// The simulation the PTAS runs against: one device, or a multi-device
+/// topology whose probes run sharded. Thin dispatch so both overloads of
+/// solve_gpu_ptas share one implementation.
+struct SimTarget {
+  gpusim::Device* device = nullptr;
+  gpusim::Topology* topology = nullptr;
+
+  [[nodiscard]] util::SimTime now() const {
+    return topology != nullptr ? topology->now() : device->now();
+  }
+  void advance(util::SimTime delta) const {
+    if (topology != nullptr)
+      topology->advance(delta);
+    else
+      device->advance(delta);
+  }
+  [[nodiscard]] gpusim::Device::Stats stats() const {
+    return topology != nullptr ? topology->aggregate_stats()
+                               : device->stats();
+  }
+  [[nodiscard]] gpusim::Device& primary() const {
+    return topology != nullptr ? topology->device(0) : *device;
+  }
+  [[nodiscard]] GpuDpSolver solver(const GpuPtasOptions& options) const {
+    return topology != nullptr
+               ? GpuDpSolver(*topology, options.partition_dims,
+                             options.streams_per_probe, StreamPolicy::kCyclic,
+                             options.placement)
+               : GpuDpSolver(*device, options.partition_dims,
+                             options.streams_per_probe);
+  }
+};
+
 GpuPtasResult solve_sequential(const Instance& instance,
-                               gpusim::Device& device,
+                               const SimTarget& target,
                                const GpuPtasOptions& options) {
-  const GpuDpSolver solver(device, options.partition_dims,
-                           options.streams_per_probe);
+  const GpuDpSolver solver = target.solver(options);
   PtasOptions ptas_options;
   ptas_options.epsilon = options.epsilon;
   ptas_options.strategy = SearchStrategy::kQuarterSplit;
@@ -37,25 +82,19 @@ GpuPtasResult solve_sequential(const Instance& instance,
   ptas_options.probe_cache = options.probe_cache;
 
   GpuPtasResult result;
-  const util::SimTime start = device.now();
-  const gpusim::Device::Stats before = device.stats();
+  const util::SimTime start = target.now();
+  const gpusim::Device::Stats before = target.stats();
   // Algorithm spans (ptas/solve, search/round, dp/invocation) opened below
-  // are stamped with this device's clock so they nest around the kernel
+  // are stamped with this target's clock so they nest around the kernel
   // timeline on the simulated-time track.
-  const obs::SimClockGuard sim_clock([&device] { return device.now().ps(); });
+  const obs::SimClockGuard sim_clock([&target] { return target.now().ps(); });
   result.ptas = solve_ptas(instance, solver, ptas_options);
-  result.device_time = device.now() - start;
-  result.stats = device.stats();
-  result.stats.kernels -= before.kernels;
-  result.stats.child_kernels -= before.child_kernels;
-  result.stats.threads -= before.threads;
-  result.stats.thread_ops -= before.thread_ops;
-  result.stats.transactions -= before.transactions;
-  result.stats.synchronizations -= before.synchronizations;
+  result.device_time = target.now() - start;
+  result.stats = subtract(target.stats(), before);
   return result;
 }
 
-GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
+GpuPtasResult solve_hyperq(const Instance& instance, const SimTarget& target,
                            const GpuPtasOptions& options) {
   instance.validate();
   const std::int64_t k = k_for_epsilon(options.epsilon);
@@ -71,21 +110,23 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
   const ProbeCacheStats stats_before =
       cache != nullptr ? cache->stats() : ProbeCacheStats{};
   MonotoneBounds bounds;
-  const util::SimTime start = device.now();
-  const obs::SimClockGuard sim_clock([&device] { return device.now().ps(); });
+  const util::SimTime start = target.now();
+  const obs::SimClockGuard sim_clock([&target] { return target.now().ps(); });
   const obs::ScopedSpan span(
       "ptas/solve",
       {obs::arg("k", k), obs::arg("machines", instance.machines)});
 
   // Each round's probes run on scratch devices (their own Hyper-Q stream
-  // groups); the round costs its slowest probe on the caller's device.
+  // groups) — scratch topologies of the same shape under a multi-device
+  // target; the round costs its slowest probe on the caller's clock.
   // Cache-answered probes skip the scratch solve and charge no time.
   const BatchFeasibilityOracle oracle =
       [&](std::span<const std::int64_t> targets) {
         std::vector<bool> feasible;
         util::SimTime round_time;
-        for (const auto target : targets) {
-          const RoundedInstance rounded = round_instance(instance, target, k);
+        for (const auto target_value : targets) {
+          const RoundedInstance rounded =
+              round_instance(instance, target_value, k);
           if (!rounded.feasible) {
             feasible.push_back(false);
             continue;
@@ -95,7 +136,7 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
           {
             const obs::ScopedSpan probe_span(
                 "dp/invocation",
-                {obs::arg("target", target),
+                {obs::arg("target", target_value),
                  obs::arg("table",
                           static_cast<std::int64_t>(rounded.table_size()))});
             if (!rounded.class_index.empty()) {
@@ -108,16 +149,31 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
                 }
               }
               if (!cached) {
-                gpusim::Device scratch(device.spec());
-                // The scratch device models concurrent activity with its own
-                // private clock; its spans would overlap the primary
-                // timeline, so only its aggregate stats are kept.
-                scratch.set_trace_emission(false);
-                const GpuDpSolver solver(scratch, options.partition_dims,
-                                         options.streams_per_probe);
-                opt = solver.solve(to_dp_problem(rounded)).opt;
-                round_time = std::max(round_time, solver.last_solve_time());
-                accumulate(result.stats, scratch.stats());
+                // The scratch simulation models concurrent activity with
+                // its own private clock; its spans would overlap the
+                // primary timeline, so only its aggregate stats are kept.
+                if (target.topology != nullptr) {
+                  gpusim::Topology scratch(target.topology->device_count(),
+                                           target.primary().spec(),
+                                           target.topology->kind(),
+                                           target.topology->link_spec());
+                  scratch.set_trace_emission(false);
+                  const GpuDpSolver solver(
+                      scratch, options.partition_dims,
+                      options.streams_per_probe, StreamPolicy::kCyclic,
+                      options.placement);
+                  opt = solver.solve(to_dp_problem(rounded)).opt;
+                  round_time = std::max(round_time, solver.last_solve_time());
+                  accumulate(result.stats, scratch.aggregate_stats());
+                } else {
+                  gpusim::Device scratch(target.device->spec());
+                  scratch.set_trace_emission(false);
+                  const GpuDpSolver solver(scratch, options.partition_dims,
+                                           options.streams_per_probe);
+                  opt = solver.solve(to_dp_problem(rounded)).opt;
+                  round_time = std::max(round_time, solver.last_solve_time());
+                  accumulate(result.stats, scratch.stats());
+                }
                 if (cache != nullptr) cache->insert(key, opt);
               }
             }
@@ -130,11 +186,11 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
           else if (!rounded.class_index.empty())
             obs::count("dp.cells", rounded.table_size());
           result.ptas.dp_calls.push_back(DpInvocation{
-              target, rounded.table_size(), rounded.nonzero_dims(),
+              target_value, rounded.table_size(), rounded.nonzero_dims(),
               rounded.long_jobs(), opt, cached});
           feasible.push_back(opt <= instance.machines);
         }
-        device.advance(round_time);
+        target.advance(round_time);
         return feasible;
       };
 
@@ -154,36 +210,43 @@ GpuPtasResult solve_hyperq(const Instance& instance, gpusim::Device& device,
   }
 
   if (options.build_schedule) {
-    // Reconstruction runs once, on the caller's device.
-    const GpuDpSolver solver(device, options.partition_dims,
-                             options.streams_per_probe);
-    const gpusim::Device::Stats before = device.stats();
+    // Reconstruction runs once, on the caller's device(s).
+    const GpuDpSolver solver = target.solver(options);
+    const gpusim::Device::Stats before = target.stats();
     const ScheduleBuild build = build_schedule_at_target(
         instance, solver, k, result.ptas.best_target, 0,
         result.ptas.dp_calls);
     result.ptas.schedule = build.schedule;
     result.ptas.achieved_makespan = build.achieved_makespan;
-    gpusim::Device::Stats delta = device.stats();
-    delta.kernels -= before.kernels;
-    delta.child_kernels -= before.child_kernels;
-    delta.threads -= before.threads;
-    delta.thread_ops -= before.thread_ops;
-    delta.transactions -= before.transactions;
-    delta.synchronizations -= before.synchronizations;
-    accumulate(result.stats, delta);
+    accumulate(result.stats, subtract(target.stats(), before));
   }
 
-  result.device_time = device.now() - start;
+  result.device_time = target.now() - start;
   return result;
+}
+
+GpuPtasResult solve_target(const Instance& instance, const SimTarget& target,
+                           const GpuPtasOptions& options) {
+  return options.probe_overlap == ProbeOverlap::kHyperQ
+             ? solve_hyperq(instance, target, options)
+             : solve_sequential(instance, target, options);
 }
 
 }  // namespace
 
 GpuPtasResult solve_gpu_ptas(const Instance& instance, gpusim::Device& device,
                              const GpuPtasOptions& options) {
-  return options.probe_overlap == ProbeOverlap::kHyperQ
-             ? solve_hyperq(instance, device, options)
-             : solve_sequential(instance, device, options);
+  SimTarget target;
+  target.device = &device;
+  return solve_target(instance, target, options);
+}
+
+GpuPtasResult solve_gpu_ptas(const Instance& instance,
+                             gpusim::Topology& topology,
+                             const GpuPtasOptions& options) {
+  SimTarget target;
+  target.topology = &topology;
+  return solve_target(instance, target, options);
 }
 
 }  // namespace pcmax::gpu

@@ -8,6 +8,7 @@
 #include "core/ptas.hpp"
 #include "gpu/gpu_dp_solver.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/topology.hpp"
 
 namespace pcmax::gpu {
 
@@ -32,6 +33,10 @@ struct GpuPtasOptions {
   /// Segments per quarter-split round (Algorithm 3 uses 4).
   int segments = 4;
   ProbeOverlap probe_overlap = ProbeOverlap::kSequential;
+  /// Block-to-device placement when solving on a multi-device Topology;
+  /// ignored on a single device.
+  placement::PlacementKind placement =
+      placement::PlacementKind::kLevelContiguous;
   bool build_schedule = true;
   /// Probe-level DP solve cache (core/probe_cache.hpp). Cache-answered
   /// probes skip their scratch-device solve entirely, so they cost no
@@ -46,12 +51,22 @@ struct GpuPtasResult {
   PtasResult ptas;
   /// Simulated device time consumed by all DP probes.
   util::SimTime device_time;
-  /// Device counters accumulated over the run.
+  /// Device counters accumulated over the run (summed over all devices of
+  /// a topology).
   gpusim::Device::Stats stats;
 };
 
 [[nodiscard]] GpuPtasResult solve_gpu_ptas(const Instance& instance,
                                            gpusim::Device& device,
+                                           const GpuPtasOptions& options = {});
+
+/// Multi-device variant: every DP probe runs sharded over `topology`'s
+/// devices (see GpuDpSolver's topology mode). Hyper-Q probe overlap uses
+/// scratch topologies of the same shape per probe and charges the round
+/// maximum to every device. A one-device topology behaves exactly like the
+/// single-device overload on its device 0.
+[[nodiscard]] GpuPtasResult solve_gpu_ptas(const Instance& instance,
+                                           gpusim::Topology& topology,
                                            const GpuPtasOptions& options = {});
 
 }  // namespace pcmax::gpu

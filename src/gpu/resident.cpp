@@ -10,6 +10,25 @@
 
 namespace pcmax::gpu {
 
+std::vector<std::int64_t> dependency_reach(
+    const dp::DpProblem& problem, const partition::BlockedLayout& layout) {
+  const dp::MixedRadix radix = problem.radix();
+  const dp::ConfigSet configs(problem.counts, problem.weights,
+                              problem.capacity, radix);
+  const auto& block_size = layout.block().extents();
+  const std::size_t dims = radix.dims();
+  std::vector<std::int64_t> reach(dims, 0);
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    const auto s = configs.config(c);
+    for (std::size_t i = 0; i < dims; ++i)
+      reach[i] = std::max(
+          reach[i], static_cast<std::int64_t>(util::ceil_div(
+                        static_cast<std::uint64_t>(s[i]),
+                        static_cast<std::uint64_t>(block_size[i]))));
+  }
+  return reach;
+}
+
 ResidentAnalysis analyze_block_residency(const dp::DpProblem& problem,
                                          std::size_t partition_dims) {
   problem.validate();
@@ -18,24 +37,12 @@ ResidentAnalysis analyze_block_residency(const dp::DpProblem& problem,
 
   const partition::BlockedLayout layout(
       radix, partition::compute_divisor(radix.extents(), partition_dims));
-  const dp::ConfigSet configs(problem.counts, problem.weights,
-                              problem.capacity, radix);
   const dp::LevelBuckets block_buckets(layout.grid());
-  const auto& block_size = layout.block().extents();
   const std::size_t dims = radix.dims();
 
   ResidentAnalysis analysis;
   analysis.table_cells = radix.size();
-  analysis.reach.assign(dims, 0);
-  for (std::size_t c = 0; c < configs.size(); ++c) {
-    const auto s = configs.config(c);
-    for (std::size_t i = 0; i < dims; ++i)
-      analysis.reach[i] = std::max(
-          analysis.reach[i],
-          static_cast<std::int64_t>(util::ceil_div(
-              static_cast<std::uint64_t>(s[i]),
-              static_cast<std::uint64_t>(block_size[i]))));
-  }
+  analysis.reach = dependency_reach(problem, layout);
 
   // For each block-level: mark the level's blocks and every block within
   // the per-dimension reach box below them.

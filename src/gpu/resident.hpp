@@ -15,8 +15,17 @@
 #include <vector>
 
 #include "dp/problem.hpp"
+#include "partition/blocked_layout.hpp"
 
 namespace pcmax::gpu {
+
+/// Per-dimension dependency reach in blocks for `layout` of `problem`:
+/// reach_i = max over configurations s of ceil(s_i / block_size_i). A cell
+/// in block g depends only on cells in blocks g - offset with
+/// 0 <= offset_i <= reach_i. The sharded wavefront and the placement
+/// strategies both consume this (see placement::for_each_reach_predecessor).
+[[nodiscard]] std::vector<std::int64_t> dependency_reach(
+    const dp::DpProblem& problem, const partition::BlockedLayout& layout);
 
 struct ResidentAnalysis {
   /// Per-dimension dependency reach in blocks.

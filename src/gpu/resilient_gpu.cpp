@@ -51,10 +51,70 @@ SolveEngine make_gpu_engine(gpusim::Device& device,
   return engine;
 }
 
+SolveEngine make_gpu_engine(gpusim::Topology& topology,
+                            const GpuPtasOptions& base) {
+  SolveEngine engine;
+  engine.name = "gpu-ptas";
+  engine.uses_k = true;
+  engine.bound = [](std::int64_t, std::int64_t k) {
+    return std::pair<std::int64_t, std::int64_t>{k + 1, k};
+  };
+  // Per-device worst case: the table shards evenly to within one block
+  // under every placement's cap, so the largest device holds at most
+  // ceil(table bytes / devices) of table plus its own replica of the
+  // configuration set (per-cell coordinates, like the single-device
+  // estimate). The resilient pre-flight compares this — the budget bounds
+  // each device of the topology, not their sum.
+  const auto devices = static_cast<std::uint64_t>(topology.device_count());
+  engine.mem_estimate = [devices](const Instance& instance, std::int64_t k) {
+    const RoundedInstance rounded =
+        round_instance(instance, makespan_lower_bound(instance), k);
+    const std::uint64_t table_share =
+        util::ceil_div(util::checked_mul(rounded.table_size(),
+                                         std::uint64_t{sizeof(std::int32_t)}),
+                       devices);
+    const std::uint64_t config_share = util::ceil_div(
+        util::checked_mul(rounded.table_size(),
+                          util::checked_mul(rounded.nonzero_dims(),
+                                            sizeof(std::int64_t))),
+        devices);
+    return util::checked_add(table_share, config_share);
+  };
+  engine.run = [&topology, base](const Instance& instance, std::int64_t k,
+                                 const EngineContext& ctx) {
+    ctx.deadline.check("solve");
+    GpuPtasOptions options = base;
+    options.epsilon = epsilon_for_k(k);
+    if (ctx.probe_cache != nullptr) {
+      options.use_probe_cache = true;
+      options.probe_cache = ctx.probe_cache;
+    }
+    GpuPtasResult r = solve_gpu_ptas(instance, topology, options);
+    ctx.deadline.check("solve");
+    return EngineOutcome{std::move(r.ptas.schedule),
+                         r.ptas.achieved_makespan, r.ptas.best_target};
+  };
+  engine.recover = [&topology]() { topology.reset(); };
+  engine.backoff = [&topology](std::int64_t ms) {
+    topology.advance(util::SimTime::milliseconds(ms));
+  };
+  return engine;
+}
+
 std::vector<SolveEngine> make_gpu_chain(gpusim::Device& device,
                                         const GpuPtasOptions& base) {
   std::vector<SolveEngine> chain;
   chain.push_back(make_gpu_engine(device, base));
+  for (SolveEngine& engine : make_cpu_engines())
+    chain.push_back(std::move(engine));
+  chain.push_back(make_lpt_engine());
+  return chain;
+}
+
+std::vector<SolveEngine> make_gpu_chain(gpusim::Topology& topology,
+                                        const GpuPtasOptions& base) {
+  std::vector<SolveEngine> chain;
+  chain.push_back(make_gpu_engine(topology, base));
   for (SolveEngine& engine : make_cpu_engines())
     chain.push_back(std::move(engine));
   chain.push_back(make_lpt_engine());

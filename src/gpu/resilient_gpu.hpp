@@ -6,6 +6,7 @@
 #include "core/resilient.hpp"
 #include "gpu/gpu_ptas.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/topology.hpp"
 
 namespace pcmax::gpu {
 
@@ -19,8 +20,23 @@ namespace pcmax::gpu {
 [[nodiscard]] SolveEngine make_gpu_engine(gpusim::Device& device,
                                           const GpuPtasOptions& base = {});
 
+/// Multi-device variant: probes run sharded over `topology` and the memory
+/// pre-flight becomes per-device — mem_estimate reports the largest single
+/// device's share of the DP table (ceil(total / devices) plus that device's
+/// configuration replica), so ResilientOptions::mem_budget_bytes bounds
+/// each device, not the sum. Sharding therefore raises the largest table
+/// that solves without k-halving by roughly the device count. Transient
+/// per-level dependency mirrors are not estimated (they are bounded by the
+/// reach box and evicted at every barrier). recover() resets every device.
+[[nodiscard]] SolveEngine make_gpu_engine(gpusim::Topology& topology,
+                                          const GpuPtasOptions& base = {});
+
 /// GPU chain: GPU PTAS, then the CPU engines, then LPT.
 [[nodiscard]] std::vector<SolveEngine> make_gpu_chain(
     gpusim::Device& device, const GpuPtasOptions& base = {});
+
+/// GPU chain headed by the multi-device engine.
+[[nodiscard]] std::vector<SolveEngine> make_gpu_chain(
+    gpusim::Topology& topology, const GpuPtasOptions& base = {});
 
 }  // namespace pcmax::gpu

@@ -9,8 +9,9 @@
 
 namespace pcmax::gpusim {
 
-Device::Device(DeviceSpec spec)
-    : spec_(std::move(spec)), scheduler_(spec_.sm_count) {
+Device::Device(DeviceSpec spec, int ordinal)
+    : spec_(std::move(spec)), ordinal_(ordinal), scheduler_(spec_.sm_count) {
+  PCMAX_EXPECTS(ordinal >= 0);
   spec_.validate();
 }
 
@@ -174,7 +175,8 @@ void Device::emit_trace_spans() const {
   }
   for (const Family& family : families) {
     const KernelRecord& p = *family.parent;
-    const std::int32_t pid = obs::kStreamPidBase + p.stream;
+    const std::int32_t pid =
+        obs::kStreamPidBase + ordinal_ * obs::kDevicePidStride + p.stream;
     tr->complete(
         p.name, pid, obs::kParentTid, p.start.ps(),
         (family.end - p.start).ps(),

@@ -47,12 +47,16 @@ class StreamStalled : public std::runtime_error {
 
 class Device {
  public:
-  explicit Device(DeviceSpec spec);
+  /// `ordinal` is the device's index within a multi-device Topology; it
+  /// offsets the trace track (pid) of the device's kernel spans so every
+  /// device gets its own rows. Standalone devices keep ordinal 0.
+  explicit Device(DeviceSpec spec, int ordinal = 0);
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
   [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] int ordinal() const noexcept { return ordinal_; }
 
   // --- Memory -----------------------------------------------------------
 
@@ -174,6 +178,7 @@ class Device {
   void emit_trace_spans() const;
 
   DeviceSpec spec_;
+  int ordinal_ = 0;
   util::SimTime now_;
   FluidScheduler scheduler_;
   std::vector<KernelRecord> pending_;

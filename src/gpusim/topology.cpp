@@ -1,0 +1,182 @@
+#include "gpusim/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+
+std::string_view topology_kind_name(TopologyKind kind) noexcept {
+  switch (kind) {
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kFullMesh: return "fullmesh";
+  }
+  return "unknown";
+}
+
+std::optional<TopologyKind> parse_topology_kind(
+    std::string_view name) noexcept {
+  if (name == "ring") return TopologyKind::kRing;
+  if (name == "fullmesh") return TopologyKind::kFullMesh;
+  return std::nullopt;
+}
+
+void InterconnectSpec::validate() const {
+  PCMAX_EXPECTS(link_latency >= util::SimTime{});
+  PCMAX_EXPECTS(std::isfinite(link_bandwidth_gbps));
+  PCMAX_EXPECTS(link_bandwidth_gbps > 0.0);
+}
+
+util::SimTime InterconnectSpec::serialization(std::uint64_t bytes) const {
+  // 1 GB/s moves one byte per nanosecond.
+  return util::SimTime::from_ns(static_cast<double>(bytes) /
+                                link_bandwidth_gbps);
+}
+
+Topology::Topology(int device_count, const DeviceSpec& spec,
+                   TopologyKind kind, InterconnectSpec link)
+    : kind_(kind), link_(link) {
+  PCMAX_EXPECTS(device_count >= 1);
+  link_.validate();
+  devices_.reserve(static_cast<std::size_t>(device_count));
+  for (int i = 0; i < device_count; ++i)
+    devices_.push_back(std::make_unique<Device>(spec, i));
+  const std::size_t n = static_cast<std::size_t>(device_count);
+  link_free_at_.assign(kind_ == TopologyKind::kRing ? 2 * n : n * n,
+                       util::SimTime{});
+}
+
+Device& Topology::device(int i) {
+  PCMAX_EXPECTS(i >= 0 && i < device_count());
+  return *devices_[static_cast<std::size_t>(i)];
+}
+
+const Device& Topology::device(int i) const {
+  PCMAX_EXPECTS(i >= 0 && i < device_count());
+  return *devices_[static_cast<std::size_t>(i)];
+}
+
+int Topology::hop_count(int from, int to) const {
+  PCMAX_EXPECTS(from >= 0 && from < device_count());
+  PCMAX_EXPECTS(to >= 0 && to < device_count());
+  if (from == to) return 0;
+  if (kind_ == TopologyKind::kFullMesh) return 1;
+  const int n = device_count();
+  const int forward = (to - from + n) % n;
+  return std::min(forward, n - forward);
+}
+
+std::size_t Topology::link_index(int from, int to) const {
+  const std::size_t n = devices_.size();
+  if (kind_ == TopologyKind::kFullMesh)
+    return static_cast<std::size_t>(from) * n + static_cast<std::size_t>(to);
+  // Ring: +1-direction links first (index = source), then -1-direction.
+  if (to == (from + 1) % static_cast<int>(n))
+    return static_cast<std::size_t>(from);
+  PCMAX_EXPECTS(to == (from - 1 + static_cast<int>(n)) %
+                          static_cast<int>(n));
+  return n + static_cast<std::size_t>(from);
+}
+
+std::vector<int> Topology::path(int from, int to) const {
+  std::vector<int> route{from};
+  if (kind_ == TopologyKind::kFullMesh) {
+    route.push_back(to);
+    return route;
+  }
+  const int n = device_count();
+  const int forward = (to - from + n) % n;
+  // Shorter direction wins; an exact tie (even N, antipodal pair) takes the
+  // +1 direction so routing stays deterministic.
+  const int step = forward <= n - forward ? 1 : -1;
+  for (int at = from; at != to;) {
+    at = (at + step + n) % n;
+    route.push_back(at);
+  }
+  return route;
+}
+
+util::SimTime Topology::transfer(int from, int to, std::uint64_t bytes) {
+  PCMAX_EXPECTS(from >= 0 && from < device_count());
+  PCMAX_EXPECTS(to >= 0 && to < device_count());
+  PCMAX_EXPECTS(from != to);
+  const std::vector<int> route = path(from, to);
+  const util::SimTime serialize = link_.serialization(bytes);
+  util::SimTime at = devices_[static_cast<std::size_t>(from)]->now();
+  for (std::size_t hop = 0; hop + 1 < route.size(); ++hop) {
+    const std::size_t link = link_index(route[hop], route[hop + 1]);
+    const util::SimTime depart = std::max(at, link_free_at_[link]);
+    const util::SimTime arrive = depart + link_.link_latency + serialize;
+    link_free_at_[link] = arrive;
+    transfer_stats_.busy += arrive - depart;
+    ++transfer_stats_.hops;
+    if (trace_emission_) {
+      if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr) {
+        const std::string name = "xfer d" + std::to_string(route[hop]) +
+                                 "->d" + std::to_string(route[hop + 1]);
+        tr->complete(name, obs::kInterconnectPidBase +
+                               static_cast<std::int32_t>(link),
+                     obs::kParentTid, depart.ps(), (arrive - depart).ps(),
+                     {obs::arg("bytes", static_cast<std::int64_t>(bytes)),
+                      obs::arg("dst", to)});
+      }
+    }
+    at = arrive;
+  }
+  ++transfer_stats_.transfers;
+  transfer_stats_.bytes += bytes;
+  if (trace_emission_) {
+    obs::count("interconnect.transfers");
+    obs::count("interconnect.bytes", bytes);
+  }
+  return at;
+}
+
+util::SimTime Topology::barrier() {
+  util::SimTime latest;
+  for (const auto& device : devices_)
+    latest = std::max(latest, device->synchronize());
+  for (const auto& device : devices_)
+    device->advance(latest - device->now());
+  return latest;
+}
+
+util::SimTime Topology::now() const noexcept {
+  util::SimTime latest;
+  for (const auto& device : devices_)
+    latest = std::max(latest, device->now());
+  return latest;
+}
+
+void Topology::advance(util::SimTime delta) {
+  for (const auto& device : devices_) device->advance(delta);
+}
+
+void Topology::reset() {
+  for (const auto& device : devices_) device->reset();
+}
+
+void Topology::set_trace_emission(bool enabled) noexcept {
+  trace_emission_ = enabled;
+  for (const auto& device : devices_) device->set_trace_emission(enabled);
+}
+
+Device::Stats Topology::aggregate_stats() const {
+  Device::Stats total;
+  for (const auto& device : devices_) {
+    const Device::Stats& s = device->stats();
+    total.kernels += s.kernels;
+    total.child_kernels += s.child_kernels;
+    total.threads += s.threads;
+    total.thread_ops += s.thread_ops;
+    total.transactions += s.transactions;
+    total.synchronizations += s.synchronizations;
+  }
+  return total;
+}
+
+}  // namespace pcmax::gpusim

@@ -139,10 +139,21 @@ std::string chrome_trace_json(const TraceRecorder& trace) {
   append_metadata(out, kHostPid, 0, "host (wall clock)");
   if (algo_track) append_metadata(out, kAlgoPid, 1, "algorithm (sim time)");
   int sort = 2;
-  for (const std::int32_t pid : stream_pids)
-    append_metadata(out, pid, sort++,
-                    "gpusim stream " + std::to_string(pid - kStreamPidBase) +
-                        " (sim time)");
+  for (const std::int32_t pid : stream_pids) {
+    std::string name;
+    if (pid >= kInterconnectPidBase) {
+      name = "interconnect link " + std::to_string(pid - kInterconnectPidBase) +
+             " (sim time)";
+    } else {
+      const std::int32_t device = (pid - kStreamPidBase) / kDevicePidStride;
+      const std::int32_t stream = (pid - kStreamPidBase) % kDevicePidStride;
+      name = device == 0
+                 ? "gpusim stream " + std::to_string(stream) + " (sim time)"
+                 : "gpusim device " + std::to_string(device) + " stream " +
+                       std::to_string(stream) + " (sim time)";
+    }
+    append_metadata(out, pid, sort++, name);
+  }
   // Thread-name rows only appear once a non-main host thread recorded
   // something, so single-threaded traces are unchanged.
   if (!host_tracks.empty()) {

@@ -28,6 +28,13 @@ namespace pcmax::obs {
 inline constexpr std::int32_t kHostPid = 1;         // wall-clock host track
 inline constexpr std::int32_t kAlgoPid = 10;        // sim-clock algorithm track
 inline constexpr std::int32_t kStreamPidBase = 100; // + stream id per stream
+// Multi-device layout: device d's stream s records on
+// kStreamPidBase + d * kDevicePidStride + s, so each device owns a
+// contiguous pid range and single-device traces keep their historical pids.
+inline constexpr std::int32_t kDevicePidStride = 100;
+// Interconnect link l's transfer spans record on kInterconnectPidBase + l,
+// far above any device stream pid so the ranges never collide.
+inline constexpr std::int32_t kInterconnectPidBase = 10000;
 inline constexpr std::int32_t kParentTid = 1;       // kernel family spans
 inline constexpr std::int32_t kChildTid = 2;        // dynamic-parallelism children
 // Host-track threads: tid 1 is the main thread; serve workers record on

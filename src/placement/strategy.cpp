@@ -1,0 +1,142 @@
+#include "placement/strategy.hpp"
+
+#include <algorithm>
+
+#include "dp/mixed_radix.hpp"
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::placement {
+namespace {
+
+class RoundRobin final : public PlacementStrategy {
+ public:
+  [[nodiscard]] PlacementKind kind() const noexcept override {
+    return PlacementKind::kRoundRobin;
+  }
+
+  [[nodiscard]] std::vector<int> place(
+      const partition::BlockedLayout& layout, int device_count,
+      std::span<const std::int64_t> /*reach*/) const override {
+    PCMAX_EXPECTS(device_count >= 1);
+    std::vector<int> plan(layout.block_count());
+    for (std::uint64_t b = 0; b < plan.size(); ++b)
+      plan[b] = static_cast<int>(b % static_cast<std::uint64_t>(device_count));
+    return plan;
+  }
+};
+
+class LevelContiguous final : public PlacementStrategy {
+ public:
+  [[nodiscard]] PlacementKind kind() const noexcept override {
+    return PlacementKind::kLevelContiguous;
+  }
+
+  [[nodiscard]] std::vector<int> place(
+      const partition::BlockedLayout& layout, int device_count,
+      std::span<const std::int64_t> /*reach*/) const override {
+    PCMAX_EXPECTS(device_count >= 1);
+    std::vector<int> plan(layout.block_count());
+    const dp::LevelBuckets buckets(layout.grid());
+    // Each level's blocks (already in ascending id order inside a bucket)
+    // split into device_count contiguous runs of near-equal length, so
+    // neighbouring blocks — which share the most dependency overlap — land
+    // on the same device.
+    for (std::int64_t lvl = 0; lvl < buckets.levels(); ++lvl) {
+      const auto ids = buckets.cells_at(lvl);
+      const std::uint64_t n = ids.size();
+      for (std::uint64_t i = 0; i < n; ++i)
+        plan[ids[i]] = static_cast<int>(
+            i * static_cast<std::uint64_t>(device_count) / n);
+    }
+    return plan;
+  }
+};
+
+class MemoryBalanced final : public PlacementStrategy {
+ public:
+  [[nodiscard]] PlacementKind kind() const noexcept override {
+    return PlacementKind::kMemoryBalanced;
+  }
+
+  [[nodiscard]] std::vector<int> place(
+      const partition::BlockedLayout& layout, int device_count,
+      std::span<const std::int64_t> reach) const override {
+    PCMAX_EXPECTS(device_count >= 1);
+    const std::uint64_t block_count = layout.block_count();
+    // Hard cap: no device holds more than ceil(B / N) blocks, so per-device
+    // table memory is balanced to within one block regardless of affinity.
+    const std::uint64_t cap = util::ceil_div(
+        block_count, static_cast<std::uint64_t>(device_count));
+    std::vector<int> plan(block_count, -1);
+    std::vector<std::uint64_t> load(static_cast<std::size_t>(device_count), 0);
+    std::vector<std::uint64_t> votes(static_cast<std::size_t>(device_count));
+    const dp::LevelBuckets buckets(layout.grid());
+    const dp::MixedRadix& grid = layout.grid();
+    std::vector<std::int64_t> g(grid.dims());
+    // Greedy in wavefront order: every reach predecessor of a block lies on
+    // a strictly lower block-level, so it is already placed when the block
+    // is considered and can vote for its device.
+    for (std::int64_t lvl = 0; lvl < buckets.levels(); ++lvl) {
+      for (const std::uint64_t block_id : buckets.cells_at(lvl)) {
+        std::fill(votes.begin(), votes.end(), 0);
+        grid.unflatten(block_id, g);
+        for_each_reach_predecessor(
+            grid, g, reach, [&](std::uint64_t pred) {
+              ++votes[static_cast<std::size_t>(plan[pred])];
+            });
+        int best = -1;
+        for (int d = 0; d < device_count; ++d) {
+          if (load[static_cast<std::size_t>(d)] >= cap) continue;
+          if (best < 0) {
+            best = d;
+            continue;
+          }
+          const auto bd = static_cast<std::size_t>(best);
+          const auto dd = static_cast<std::size_t>(d);
+          // Most dependency affinity wins; ties go to the lighter device,
+          // then the lower ordinal — all deterministic.
+          if (votes[dd] > votes[bd] ||
+              (votes[dd] == votes[bd] && load[dd] < load[bd]))
+            best = d;
+        }
+        PCMAX_EXPECTS(best >= 0);  // cap * device_count >= block_count
+        plan[block_id] = best;
+        ++load[static_cast<std::size_t>(best)];
+      }
+    }
+    return plan;
+  }
+};
+
+}  // namespace
+
+std::string_view placement_kind_name(PlacementKind kind) noexcept {
+  switch (kind) {
+    case PlacementKind::kRoundRobin: return "round-robin";
+    case PlacementKind::kLevelContiguous: return "level-contiguous";
+    case PlacementKind::kMemoryBalanced: return "memory-balanced";
+  }
+  return "unknown";
+}
+
+std::optional<PlacementKind> parse_placement_kind(
+    std::string_view name) noexcept {
+  if (name == "round-robin") return PlacementKind::kRoundRobin;
+  if (name == "level-contiguous") return PlacementKind::kLevelContiguous;
+  if (name == "memory-balanced") return PlacementKind::kMemoryBalanced;
+  return std::nullopt;
+}
+
+std::unique_ptr<PlacementStrategy> make_placement(PlacementKind kind) {
+  switch (kind) {
+    case PlacementKind::kRoundRobin: return std::make_unique<RoundRobin>();
+    case PlacementKind::kLevelContiguous:
+      return std::make_unique<LevelContiguous>();
+    case PlacementKind::kMemoryBalanced:
+      return std::make_unique<MemoryBalanced>();
+  }
+  return nullptr;
+}
+
+}  // namespace pcmax::placement

@@ -1,0 +1,96 @@
+// Block-to-device placement over the blocked DP layout: a PlacementStrategy
+// maps every block of a partition::BlockedLayout onto one of N devices.
+// Blocks on the same block-level are independent (the wavefront invariant of
+// Algorithm 4), so any placement is correct — strategies only trade off how
+// many dependent-sub-configuration reads cross devices (transfer volume) and
+// how evenly per-device memory fills. See docs/SHARDING.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "partition/blocked_layout.hpp"
+
+namespace pcmax::placement {
+
+/// Visits every dependency-predecessor block of the block with coordinates
+/// `g`: the blocks at g - offset for offsets in prod [0, reach_i] excluding
+/// the all-zero offset (the block itself), clipped at the grid boundary.
+/// `reach` is per-dimension reach in blocks (missing dimensions count as 0).
+/// `fn` receives each predecessor's flattened block id; every predecessor
+/// lies on a strictly lower block-level than `g`.
+template <typename Fn>
+void for_each_reach_predecessor(const dp::MixedRadix& grid,
+                                std::span<const std::int64_t> g,
+                                std::span<const std::int64_t> reach, Fn&& fn) {
+  const std::size_t dims = grid.dims();
+  std::vector<std::int64_t> offset(dims, 0), pred(dims);
+  for (;;) {
+    // Next offset in row-major order over prod [0, reach_i], starting past
+    // the all-zero offset.
+    bool advanced = false;
+    for (std::size_t i = dims; i-- > 0;) {
+      if (offset[i] + 1 <= (i < reach.size() ? reach[i] : 0)) {
+        ++offset[i];
+        std::fill(offset.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  offset.end(), 0);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return;
+    bool in_range = true;
+    for (std::size_t i = 0; i < dims; ++i) {
+      pred[i] = g[i] - offset[i];
+      if (pred[i] < 0) {
+        in_range = false;
+        break;
+      }
+    }
+    if (in_range) fn(grid.flatten(pred));
+  }
+}
+
+enum class PlacementKind {
+  kRoundRobin,       ///< block b -> b mod N; maximal scatter
+  kLevelContiguous,  ///< each block-level split into N contiguous runs
+  kMemoryBalanced,   ///< affinity-greedy under a per-device block cap
+};
+
+/// "round-robin" / "level-contiguous" / "memory-balanced" — the names the
+/// CLI and bench flags accept.
+[[nodiscard]] std::string_view placement_kind_name(PlacementKind kind) noexcept;
+/// Inverse of placement_kind_name; nullopt for unknown names.
+[[nodiscard]] std::optional<PlacementKind> parse_placement_kind(
+    std::string_view name) noexcept;
+
+/// A deterministic block -> device assignment policy.
+class PlacementStrategy {
+ public:
+  virtual ~PlacementStrategy() = default;
+
+  [[nodiscard]] virtual PlacementKind kind() const noexcept = 0;
+  [[nodiscard]] std::string_view name() const noexcept {
+    return placement_kind_name(kind());
+  }
+
+  /// Assigns every block of `layout` a device in [0, device_count).
+  /// `reach` is the per-dimension dependency reach in blocks (see
+  /// gpu/resident.hpp) for strategies that weigh cross-device dependencies;
+  /// pass an empty span when unknown and such strategies fall back to pure
+  /// load balancing. The result has exactly layout.block_count() entries.
+  [[nodiscard]] virtual std::vector<int> place(
+      const partition::BlockedLayout& layout, int device_count,
+      std::span<const std::int64_t> reach = {}) const = 0;
+};
+
+/// Factory for the built-in strategies.
+[[nodiscard]] std::unique_ptr<PlacementStrategy> make_placement(
+    PlacementKind kind);
+
+}  // namespace pcmax::placement

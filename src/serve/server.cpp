@@ -5,6 +5,7 @@
 #include "gpu/gpu_ptas.hpp"
 #include "gpu/resilient_gpu.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -38,6 +39,10 @@ SolveServer::SolveServer(const ServeOptions& options)
   if (options_.share_probe_cache)
     cache_ = std::make_unique<ShardedProbeCache>(options_.cache_entries,
                                                  options_.cache_shards);
+  if (options_.use_gpu_engine)
+    topology_ = std::make_unique<gpusim::Topology>(
+        options_.workers, gpusim::DeviceSpec::k40(),
+        gpusim::TopologyKind::kFullMesh);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -118,11 +123,12 @@ void SolveServer::worker_main(int index) {
   // request's spans are readable even when eight workers interleave.
   const obs::ScopedTrack track(obs::kWorkerTidBase + index);
 
-  // Each worker owns its device: engine recovery (device reset) after one
-  // tenant's fault never disturbs another tenant's in-flight solve.
-  gpusim::Device device(gpusim::DeviceSpec::k40());
+  // Each worker owns device `index` of the server's shared topology:
+  // engine recovery (device reset) after one tenant's fault never disturbs
+  // another tenant's in-flight solve, and per-device memory accounting
+  // reflects one real multi-GPU node's budgets.
   const std::vector<SolveEngine> chain =
-      options_.use_gpu_engine ? gpu::make_gpu_chain(device)
+      options_.use_gpu_engine ? gpu::make_gpu_chain(topology_->device(index))
                               : make_default_chain();
 
   {

@@ -41,6 +41,10 @@
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 
+namespace pcmax::gpusim {
+class Topology;
+}  // namespace pcmax::gpusim
+
 namespace pcmax::serve {
 
 struct ServeOptions {
@@ -112,6 +116,12 @@ class SolveServer {
 
   ServeOptions options_;
   std::unique_ptr<ShardedProbeCache> cache_;  // null when sharing is off
+  /// One device per worker, drawn from a shared fullmesh topology so the
+  /// daemon's memory accounting models one multi-GPU node rather than N
+  /// unrelated simulators; null when use_gpu_engine is off. Workers only
+  /// ever touch their own device — no cross-worker transfers or barriers —
+  /// so worker isolation (and response determinism) is unchanged.
+  std::unique_ptr<gpusim::Topology> topology_;
   BoundedRequestQueue queue_;
 
   std::mutex gate_mutex_;

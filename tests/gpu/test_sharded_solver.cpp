@@ -1,0 +1,190 @@
+// Multi-device sharded wavefront: results must be bit-identical to the
+// single-device solver for every device count, topology, and placement; the
+// modeled interconnect traffic must reconcile with the obs counters; and the
+// per-device memory pre-flight must let larger tables through at higher
+// device counts without k-halving.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/resilient.hpp"
+#include "core/rounding.hpp"
+#include "dp/solver.hpp"
+#include "gpu/gpu_dp_solver.hpp"
+#include "gpu/gpu_ptas.hpp"
+#include "gpu/resilient_gpu.hpp"
+#include "gpusim/topology.hpp"
+#include "obs/session.hpp"
+
+namespace pcmax::gpu {
+namespace {
+
+constexpr gpusim::TopologyKind kKinds[] = {gpusim::TopologyKind::kRing,
+                                           gpusim::TopologyKind::kFullMesh};
+constexpr placement::PlacementKind kPlacements[] = {
+    placement::PlacementKind::kRoundRobin,
+    placement::PlacementKind::kLevelContiguous,
+    placement::PlacementKind::kMemoryBalanced};
+
+dp::DpProblem ptas_like_problem() {
+  return dp::DpProblem{{2, 3, 1, 2}, {4, 5, 7, 11}, 16};
+}
+
+// Size 8640 shape (Table II): enough blocks to spread over 8 devices.
+dp::DpProblem table2_problem() {
+  return dp::DpProblem{{4, 2, 5, 2, 3, 3, 1}, {4, 5, 6, 7, 8, 9, 10}, 16};
+}
+
+TEST(ShardedGpuDpSolver, BitIdenticalAcrossDevicesTopologiesAndPlacements) {
+  for (const auto& p : {ptas_like_problem(), table2_problem()}) {
+    const auto ref = dp::ReferenceSolver().solve(p);
+    for (const int devices : {1, 2, 4}) {
+      for (const auto kind : kKinds) {
+        for (const auto strategy : kPlacements) {
+          gpusim::Topology topology(devices, gpusim::DeviceSpec::k40(), kind);
+          const GpuDpSolver solver(topology, 5, 4, StreamPolicy::kCyclic,
+                                   strategy);
+          const auto r = solver.solve(p);
+          EXPECT_EQ(r.table, ref.table)
+              << devices << " devices, "
+              << gpusim::topology_kind_name(kind) << ", "
+              << placement::placement_kind_name(strategy);
+          EXPECT_EQ(r.opt, ref.opt);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedGpuDpSolver, OneDeviceTopologyShortCircuits) {
+  const auto p = table2_problem();
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const GpuDpSolver direct(device, 5);
+  (void)direct.solve(p);
+
+  gpusim::Topology topology(1, gpusim::DeviceSpec::k40());
+  const GpuDpSolver sharded(topology, 5);
+  (void)sharded.solve(p);
+
+  // Identical charged time — the one-device topology takes the exact
+  // single-device path — and no interconnect activity at all.
+  EXPECT_EQ(sharded.last_solve_time(), direct.last_solve_time());
+  EXPECT_EQ(topology.transfer_stats().transfers, 0u);
+  EXPECT_EQ(sharded.last_device_peaks().size(), 1u);
+}
+
+TEST(ShardedGpuDpSolver, MultiDeviceIssuesModeledTransfers) {
+  gpusim::Topology topology(2, gpusim::DeviceSpec::k40());
+  const GpuDpSolver solver(topology, 5);
+  (void)solver.solve(table2_problem());
+  EXPECT_GT(topology.transfer_stats().transfers, 0u);
+  EXPECT_GT(topology.transfer_stats().bytes, 0u);
+  EXPECT_GT(solver.last_solve_time(), util::SimTime{});
+}
+
+TEST(ShardedGpuDpSolver, TransferBytesReconcileWithObsCounters) {
+  obs::ObsSession session;
+  gpusim::Topology topology(4, gpusim::DeviceSpec::k40(),
+                            gpusim::TopologyKind::kRing);
+  const GpuDpSolver solver(topology, 5);
+  (void)solver.solve(table2_problem());
+  const gpusim::Topology::TransferStats& stats = topology.transfer_stats();
+  ASSERT_GT(stats.transfers, 0u);
+  EXPECT_EQ(session.metrics().counter("interconnect.bytes"), stats.bytes);
+  EXPECT_EQ(session.metrics().counter("interconnect.transfers"),
+            stats.transfers);
+}
+
+TEST(ShardedGpuDpSolver, TracksPerDevicePeaks) {
+  gpusim::Topology topology(4, gpusim::DeviceSpec::k40());
+  const GpuDpSolver solver(topology, 5);
+  (void)solver.solve(table2_problem());
+  const auto peaks = solver.last_device_peaks();
+  ASSERT_EQ(peaks.size(), 4u);
+  for (const std::uint64_t peak : peaks) EXPECT_GT(peak, 0u);
+  EXPECT_EQ(solver.last_peak_memory(),
+            *std::max_element(peaks.begin(), peaks.end()));
+  // Everything is released after the solve, on every device.
+  for (int d = 0; d < 4; ++d)
+    EXPECT_EQ(topology.device(d).memory_in_use(), 0u);
+}
+
+TEST(ShardedGpuDpSolver, DeterministicTiming) {
+  const auto run = [] {
+    gpusim::Topology topology(4, gpusim::DeviceSpec::k40(),
+                              gpusim::TopologyKind::kRing);
+    const GpuDpSolver solver(topology, 5);
+    (void)solver.solve(table2_problem());
+    return solver.last_solve_time();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(ShardedGpuDpSolver, MoreDevicesChargeLessTimeOnBigTables) {
+  const auto time_at = [](int devices) {
+    gpusim::Topology topology(devices, gpusim::DeviceSpec::k40());
+    const GpuDpSolver solver(topology, 5);
+    (void)solver.solve(table2_problem());
+    return solver.last_solve_time();
+  };
+  EXPECT_LT(time_at(4), time_at(1));
+}
+
+TEST(ShardedGpuPtas, EndToEndMatchesSingleDevice) {
+  Instance instance;
+  instance.machines = 6;
+  instance.times = {23, 19, 47, 31, 8, 5, 40, 27, 14, 33, 21, 9, 38, 16};
+
+  gpusim::Device device(gpusim::DeviceSpec::k40());
+  const GpuPtasResult single = solve_gpu_ptas(instance, device);
+
+  for (const auto kind : kKinds) {
+    gpusim::Topology topology(4, gpusim::DeviceSpec::k40(), kind);
+    const GpuPtasResult sharded = solve_gpu_ptas(instance, topology);
+    EXPECT_EQ(sharded.ptas.achieved_makespan, single.ptas.achieved_makespan);
+    EXPECT_EQ(sharded.ptas.best_target, single.ptas.best_target);
+    EXPECT_EQ(sharded.ptas.schedule.assignment,
+              single.ptas.schedule.assignment);
+  }
+}
+
+// The per-device pre-flight: a budget too small for the one-device estimate
+// but large enough for a quarter share must force k-halving (degradation)
+// on one device and pass untouched on four.
+TEST(ResilientGpuTopology, FourDevicesAvoidKHalvingUnderTightBudget) {
+  Instance instance;
+  instance.machines = 8;
+  for (int j = 0; j < 24; ++j)
+    instance.times.push_back(40 + 13 * (j % 7) + j);
+
+  ResilientOptions options;  // epsilon 0.3 -> k0 = 4
+  const std::int64_t k0 = k_for_epsilon(options.epsilon);
+
+  gpusim::Topology one(1, gpusim::DeviceSpec::k40());
+  gpusim::Topology four(4, gpusim::DeviceSpec::k40());
+  const SolveEngine e1 = make_gpu_engine(one);
+  const SolveEngine e4 = make_gpu_engine(four);
+  const std::uint64_t est1 = e1.mem_estimate(instance, k0);
+  const std::uint64_t est4 = e4.mem_estimate(instance, k0);
+  ASSERT_LT(est4, est1);
+  options.mem_budget_bytes = (est1 + est4) / 2;
+
+  const ResilientResult r4 =
+      solve_resilient(instance, make_gpu_chain(four), options);
+  ASSERT_TRUE(r4.ok()) << r4.status.message();
+  EXPECT_EQ(r4.engine, "gpu-ptas");
+  EXPECT_FALSE(r4.degraded);
+
+  const ResilientResult r1 =
+      solve_resilient(instance, make_gpu_chain(one), options);
+  ASSERT_TRUE(r1.ok()) << r1.status.message();
+  EXPECT_TRUE(r1.degraded);
+
+  // Both runs still hand back schedules whose real makespan matches what
+  // they claim.
+  EXPECT_EQ(makespan(instance, r4.schedule), r4.achieved_makespan);
+  EXPECT_EQ(makespan(instance, r1.schedule), r1.achieved_makespan);
+}
+
+}  // namespace
+}  // namespace pcmax::gpu

@@ -1,0 +1,144 @@
+#include "gpusim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::gpusim {
+namespace {
+
+// Defaults: 5 us link latency, 16 GB/s bandwidth. 16000 bytes serialize in
+// exactly 1 us (1 GB/s = one byte per nanosecond), keeping expectations
+// integral.
+constexpr std::uint64_t kPayload = 16'000;
+const util::SimTime kHop =
+    util::SimTime::microseconds(5) + util::SimTime::microseconds(1);
+
+TEST(TopologyKind, NamesRoundTrip) {
+  EXPECT_EQ(topology_kind_name(TopologyKind::kRing), "ring");
+  EXPECT_EQ(topology_kind_name(TopologyKind::kFullMesh), "fullmesh");
+  EXPECT_EQ(parse_topology_kind("ring"), TopologyKind::kRing);
+  EXPECT_EQ(parse_topology_kind("fullmesh"), TopologyKind::kFullMesh);
+  EXPECT_EQ(parse_topology_kind("torus"), std::nullopt);
+}
+
+TEST(Topology, DevicesCarryTheirOrdinals) {
+  Topology t(3, DeviceSpec::k40());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(t.device(i).ordinal(), i);
+}
+
+TEST(Topology, RingHopCountsTakeTheShorterDirection) {
+  const Topology t(5, DeviceSpec::k40(), TopologyKind::kRing);
+  EXPECT_EQ(t.hop_count(0, 0), 0);
+  EXPECT_EQ(t.hop_count(0, 1), 1);
+  EXPECT_EQ(t.hop_count(0, 2), 2);
+  EXPECT_EQ(t.hop_count(0, 3), 2);  // backward is shorter
+  EXPECT_EQ(t.hop_count(0, 4), 1);
+  EXPECT_EQ(t.hop_count(3, 1), 2);
+}
+
+TEST(Topology, FullMeshIsAlwaysOneHop) {
+  const Topology t(6, DeviceSpec::k40(), TopologyKind::kFullMesh);
+  for (int a = 0; a < 6; ++a)
+    for (int b = 0; b < 6; ++b)
+      EXPECT_EQ(t.hop_count(a, b), a == b ? 0 : 1);
+}
+
+TEST(Topology, SingleHopTransferChargesLatencyPlusSerialization) {
+  Topology t(2, DeviceSpec::k40());
+  EXPECT_EQ(t.transfer(0, 1, kPayload), kHop);
+}
+
+TEST(Topology, RingMultiHopIsStoreAndForward) {
+  Topology t(4, DeviceSpec::k40(), TopologyKind::kRing);
+  EXPECT_EQ(t.transfer(0, 2, kPayload), 2 * kHop);
+  EXPECT_EQ(t.transfer_stats().hops, 2u);
+}
+
+TEST(Topology, SameLinkTransfersContend) {
+  Topology t(2, DeviceSpec::k40());
+  EXPECT_EQ(t.transfer(0, 1, kPayload), kHop);
+  // The link is busy until the first payload arrived, so the second one
+  // departs then and lands a full hop later.
+  EXPECT_EQ(t.transfer(0, 1, kPayload), 2 * kHop);
+}
+
+TEST(Topology, OppositeDirectionsAreDistinctLinks) {
+  Topology t(2, DeviceSpec::k40(), TopologyKind::kRing);
+  EXPECT_EQ(t.transfer(0, 1, kPayload), kHop);
+  EXPECT_EQ(t.transfer(1, 0, kPayload), kHop);
+}
+
+TEST(Topology, AntipodalRingTieRoutesForward) {
+  Topology t(4, DeviceSpec::k40(), TopologyKind::kRing);
+  // 0 -> 2 is a tie (2 hops either way); the deterministic route is the
+  // +1 direction, so its first hop occupies link 0->1 and a subsequent
+  // 0 -> 1 transfer contends with it.
+  (void)t.transfer(0, 2, kPayload);
+  EXPECT_EQ(t.transfer(0, 1, kPayload), 2 * kHop);
+}
+
+TEST(Topology, TransferDepartsAtTheSourceClock) {
+  Topology t(2, DeviceSpec::k40());
+  t.device(0).advance(util::SimTime::milliseconds(3));
+  EXPECT_EQ(t.transfer(0, 1, kPayload),
+            util::SimTime::milliseconds(3) + kHop);
+}
+
+TEST(Topology, BarrierAlignsEveryDeviceToTheLatestClock) {
+  Topology t(3, DeviceSpec::k40());
+  t.device(1).advance(util::SimTime::milliseconds(7));
+  // synchronize() charges a per-device sync overhead on top of the latest
+  // clock, so the barrier lands at >= 7 ms — what matters is that every
+  // device ends on the same instant.
+  const util::SimTime at = t.barrier();
+  EXPECT_GE(at, util::SimTime::milliseconds(7));
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(t.device(i).now(), at);
+  EXPECT_EQ(t.now(), at);
+}
+
+TEST(Topology, TransferStatsAccumulate) {
+  Topology t(4, DeviceSpec::k40(), TopologyKind::kRing);
+  (void)t.transfer(0, 1, 100);
+  (void)t.transfer(0, 2, 200);
+  const Topology::TransferStats& s = t.transfer_stats();
+  EXPECT_EQ(s.transfers, 2u);
+  EXPECT_EQ(s.bytes, 300u);
+  EXPECT_EQ(s.hops, 3u);
+  EXPECT_GT(s.busy, util::SimTime{});
+}
+
+TEST(Topology, ResetClearsEveryDeviceButKeepsClocks) {
+  Topology t(2, DeviceSpec::k40());
+  t.advance(util::SimTime::milliseconds(1));
+  t.device(0).launch_estimated(0, "a", {64, 640, 2, 0});
+  t.reset();
+  // Device::reset drops pending work and memory accounting; simulated time
+  // never runs backwards.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(t.device(i).memory_in_use(), 0u);
+    EXPECT_EQ(t.device(i).now(), util::SimTime::milliseconds(1));
+  }
+}
+
+TEST(Topology, RejectsInvalidConstructionAndSelfTransfer) {
+  EXPECT_THROW(Topology(0, DeviceSpec::k40()), util::contract_violation);
+  InterconnectSpec bad;
+  bad.link_bandwidth_gbps = 0.0;
+  EXPECT_THROW(Topology(2, DeviceSpec::k40(), TopologyKind::kRing, bad),
+               util::contract_violation);
+  Topology t(2, DeviceSpec::k40());
+  EXPECT_THROW(t.transfer(0, 0, 1), util::contract_violation);
+  EXPECT_THROW(t.transfer(0, 2, 1), util::contract_violation);
+}
+
+TEST(Topology, AggregateStatsSumOverDevices) {
+  Topology t(2, DeviceSpec::k40());
+  t.device(0).launch_estimated(0, "a", {64, 640, 2, 0});
+  t.device(1).launch_estimated(0, "b", {64, 640, 2, 0});
+  (void)t.barrier();
+  EXPECT_EQ(t.aggregate_stats().kernels, 2u);
+}
+
+}  // namespace
+}  // namespace pcmax::gpusim

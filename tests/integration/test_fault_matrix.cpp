@@ -19,6 +19,7 @@
 #include "faultsim/injector.hpp"
 #include "gpu/resilient_gpu.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/topology.hpp"
 #include "obs/session.hpp"
 #include "serve/server.hpp"
 #include "testkit/generators.hpp"
@@ -283,6 +284,35 @@ TEST(FaultMatrix, TightDeadlineYieldsPromptTypedBestEffort) {
   EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
                 .count(),
             2000);
+}
+
+TEST(FaultMatrix, ShardedTopologyChainRecoversFromDeviceAllocFault) {
+  // One device of a four-device topology faults its first allocation
+  // mid-sharded-solve; the resilient driver must classify it, reset the
+  // whole topology, retry, and still answer within the certificate bound.
+  const Instance instance{3, {40, 35, 30, 25, 20, 15, 10, 5, 5, 5}};
+  gpusim::Topology topology(4, gpusim::DeviceSpec::k40());
+  const auto chain = gpu::make_gpu_chain(topology);
+  ResilientOptions options;
+  options.max_transient_retries = 2;
+  options.backoff_ms = 1;
+
+  ResilientResult result;
+  {
+    faultsim::ScopedFaultInjector scoped(
+        *faultsim::parse_fault_plan("seed=3;device-alloc:nth=2"));
+    result = solve_resilient(instance, chain, options);
+  }
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  // The retry (after topology.reset()) succeeds on the GPU engine itself.
+  EXPECT_EQ(result.engine, "gpu-ptas");
+  EXPECT_FALSE(result.degraded);
+  ASSERT_FALSE(testkit::check_resilient_result(instance, result).has_value());
+  EXPECT_GE(result.attempts.size(), 2u);
+  EXPECT_EQ(result.attempts[0].status.code(), StatusCode::kDeviceOutOfMemory);
+  // The faulted attempt left nothing allocated behind on any device.
+  for (int d = 0; d < 4; ++d)
+    EXPECT_EQ(topology.device(d).memory_in_use(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,158 @@
+#include "placement/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/checked_math.hpp"
+
+namespace pcmax::placement {
+namespace {
+
+partition::BlockedLayout small_layout() {
+  // 6x4x6 table cut 3x2x3: 18 blocks over 6 block-levels.
+  return partition::BlockedLayout(dp::MixedRadix({6, 4, 6}), {3, 2, 3});
+}
+
+std::uint64_t flat(const dp::MixedRadix& grid, std::vector<std::int64_t> c) {
+  return grid.flatten(c);
+}
+
+TEST(PlacementKind, NamesRoundTrip) {
+  for (const auto kind :
+       {PlacementKind::kRoundRobin, PlacementKind::kLevelContiguous,
+        PlacementKind::kMemoryBalanced})
+    EXPECT_EQ(parse_placement_kind(placement_kind_name(kind)), kind);
+  EXPECT_EQ(parse_placement_kind("random"), std::nullopt);
+}
+
+TEST(MakePlacement, ProducesTheRequestedKind) {
+  for (const auto kind :
+       {PlacementKind::kRoundRobin, PlacementKind::kLevelContiguous,
+        PlacementKind::kMemoryBalanced}) {
+    const auto strategy = make_placement(kind);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->kind(), kind);
+    EXPECT_EQ(strategy->name(), placement_kind_name(kind));
+  }
+}
+
+// The core contract: place() is a total function from blocks to valid
+// devices — every block placed exactly once, no device id out of range.
+TEST(PlacementStrategy, EveryBlockPlacedExactlyOnce) {
+  const auto layout = small_layout();
+  const std::vector<std::int64_t> reach{1, 1, 1};
+  for (const auto kind :
+       {PlacementKind::kRoundRobin, PlacementKind::kLevelContiguous,
+        PlacementKind::kMemoryBalanced}) {
+    const auto strategy = make_placement(kind);
+    for (const int n : {1, 2, 3, 4, 7, 32}) {
+      const std::vector<int> plan = strategy->place(layout, n, reach);
+      ASSERT_EQ(plan.size(), layout.block_count())
+          << strategy->name() << " n=" << n;
+      for (const int d : plan) {
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, n);
+      }
+    }
+  }
+}
+
+TEST(PlacementStrategy, OneDeviceGetsEverything) {
+  const auto layout = small_layout();
+  for (const auto kind :
+       {PlacementKind::kRoundRobin, PlacementKind::kLevelContiguous,
+        PlacementKind::kMemoryBalanced}) {
+    const std::vector<int> plan = make_placement(kind)->place(layout, 1);
+    EXPECT_TRUE(std::all_of(plan.begin(), plan.end(),
+                            [](int d) { return d == 0; }));
+  }
+}
+
+TEST(RoundRobin, AssignsBlocksCyclically) {
+  const auto layout = small_layout();
+  const std::vector<int> plan =
+      make_placement(PlacementKind::kRoundRobin)->place(layout, 4);
+  for (std::size_t b = 0; b < plan.size(); ++b)
+    EXPECT_EQ(plan[b], static_cast<int>(b % 4));
+}
+
+TEST(LevelContiguous, SplitsEachLevelIntoOrderedRuns) {
+  const auto layout = small_layout();
+  const std::vector<int> plan =
+      make_placement(PlacementKind::kLevelContiguous)->place(layout, 3);
+  const dp::LevelBuckets buckets(layout.grid());
+  for (std::int64_t level = 0; level <= layout.grid().max_level(); ++level) {
+    int previous = 0;
+    for (const std::uint64_t id : buckets.cells_at(level)) {
+      const int d = plan[id];
+      EXPECT_GE(d, previous) << "level " << level;
+      previous = d;
+    }
+  }
+}
+
+// The memory-balance invariant: no device ever holds more than
+// ceil(blocks / devices) blocks, the bound the per-device table-shard
+// accounting (and the resilient pre-flight) relies on.
+TEST(MemoryBalanced, NeverExceedsTheBlockCap) {
+  const auto layouts = {
+      small_layout(),
+      partition::BlockedLayout(dp::MixedRadix({4, 4, 6, 6}), {2, 2, 3, 3}),
+      partition::BlockedLayout(dp::MixedRadix({8, 8}), {8, 8}),
+  };
+  const auto strategy = make_placement(PlacementKind::kMemoryBalanced);
+  for (const auto& layout : layouts) {
+    const std::vector<std::int64_t> reach(layout.grid().dims(), 1);
+    for (const int n : {2, 3, 4, 5, 8}) {
+      const std::vector<int> plan = strategy->place(layout, n, reach);
+      std::vector<std::uint64_t> load(static_cast<std::size_t>(n), 0);
+      for (const int d : plan) ++load[static_cast<std::size_t>(d)];
+      const std::uint64_t cap = util::ceil_div(
+          layout.block_count(), static_cast<std::uint64_t>(n));
+      for (const std::uint64_t l : load) EXPECT_LE(l, cap) << "n=" << n;
+    }
+  }
+}
+
+TEST(MemoryBalanced, IsDeterministic) {
+  const auto layout = small_layout();
+  const std::vector<std::int64_t> reach{1, 1, 1};
+  const auto strategy = make_placement(PlacementKind::kMemoryBalanced);
+  EXPECT_EQ(strategy->place(layout, 3, reach),
+            strategy->place(layout, 3, reach));
+}
+
+TEST(ForEachReachPredecessor, EnumeratesTheClippedReachBox) {
+  const dp::MixedRadix grid({3, 3});
+  const std::vector<std::int64_t> g{1, 1}, reach{1, 1};
+  std::set<std::uint64_t> seen;
+  for_each_reach_predecessor(grid, g, reach,
+                             [&](std::uint64_t id) { seen.insert(id); });
+  // Predecessors of (1,1) with reach (1,1): (0,0), (0,1), (1,0).
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{flat(grid, {0, 0}),
+                                           flat(grid, {0, 1}),
+                                           flat(grid, {1, 0})}));
+}
+
+TEST(ForEachReachPredecessor, OriginHasNoPredecessors) {
+  const dp::MixedRadix grid({3, 3});
+  const std::vector<std::int64_t> g{0, 0}, reach{2, 2};
+  int count = 0;
+  for_each_reach_predecessor(grid, g, reach, [&](std::uint64_t) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ForEachReachPredecessor, MissingReachDimensionsCountAsZero) {
+  const dp::MixedRadix grid({3, 3});
+  const std::vector<std::int64_t> g{2, 2}, reach{1};  // dim 1 unreachable
+  std::set<std::uint64_t> seen;
+  for_each_reach_predecessor(grid, g, reach,
+                             [&](std::uint64_t id) { seen.insert(id); });
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{flat(grid, {1, 2})}));
+}
+
+}  // namespace
+}  // namespace pcmax::placement

@@ -13,6 +13,7 @@
 // (GPU chain with CPU and LPT fallback; honors --deadline-ms,
 // --mem-budget-bytes, --fault-plan — see docs/ROBUSTNESS.md), lpt, list,
 // multifit, exact.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,9 +49,16 @@ using namespace pcmax;
       "                  multifit|exact]\n"
       "                 [--dp bucket|scan|blocked-<dims>] [--epsilon E]\n"
       "                 [--quarter-split] [--emit-instance]\n"
+      "                 [--devices N] [--topology ring|fullmesh]\n"
+      "                 [--placement round-robin|level-contiguous|\n"
+      "                  memory-balanced]\n"
       "                 [--deadline-ms MS] [--probe-deadline-ms MS]\n"
       "                 [--mem-budget-bytes BYTES] [--fault-plan PLAN]\n"
       "                 [--trace-out FILE] [--metrics-out FILE]\n"
+      "\n"
+      "--devices shards GPU-engine DP blocks over a simulated multi-device\n"
+      "topology (default 1: single device); --topology picks the link graph\n"
+      "and --placement the block-to-device strategy (docs/SHARDING.md).\n"
       "\n"
       "Value flags also accept --flag=VALUE. --trace-out writes a Chrome\n"
       "trace (chrome://tracing, Perfetto); --metrics-out writes counters\n"
@@ -70,6 +78,10 @@ struct Args {
   std::string engine = "ptas";
   std::string dp = "bucket";
   double epsilon = 0.3;
+  int devices = 1;
+  gpusim::TopologyKind topology = gpusim::TopologyKind::kFullMesh;
+  placement::PlacementKind placement =
+      placement::PlacementKind::kLevelContiguous;
   bool quarter_split = false;
   bool emit_instance = false;
   std::int64_t deadline_ms = 0;
@@ -113,6 +125,25 @@ Args parse_args(int argc, char** argv) {
       args.dp = next("--dp needs a name");
     } else if (a == "--epsilon") {
       args.epsilon = std::atof(next("--epsilon needs a value").c_str());
+    } else if (a == "--devices") {
+      args.devices =
+          static_cast<int>(std::atoll(next("--devices needs a count").c_str()));
+      if (args.devices < 1) usage("--devices needs a count >= 1");
+    } else if (a == "--topology") {
+      const std::string name = next("--topology needs a name");
+      const auto kind = gpusim::parse_topology_kind(name);
+      if (!kind.has_value())
+        usage(("unknown --topology: " + name +
+               " (expected ring or fullmesh)").c_str());
+      args.topology = *kind;
+    } else if (a == "--placement") {
+      const std::string name = next("--placement needs a name");
+      const auto kind = placement::parse_placement_kind(name);
+      if (!kind.has_value())
+        usage(("unknown --placement: " + name +
+               " (expected round-robin, level-contiguous, or "
+               "memory-balanced)").c_str());
+      args.placement = *kind;
     } else if (a == "--quarter-split") {
       args.quarter_split = true;
     } else if (a == "--emit-instance") {
@@ -170,27 +201,47 @@ int run_ptas(const Instance& instance, const Args& args) {
 }
 
 int run_gpu(const Instance& instance, const Args& args, std::size_t dims) {
-  gpusim::Device device(gpusim::DeviceSpec::k40());
+  gpusim::Topology topology(args.devices, gpusim::DeviceSpec::k40(),
+                            args.topology);
   gpu::GpuPtasOptions options;
   options.epsilon = args.epsilon;
   options.partition_dims = dims;
-  const auto result = gpu::solve_gpu_ptas(instance, device, options);
+  options.placement = args.placement;
+  const auto result = gpu::solve_gpu_ptas(instance, topology, options);
+  std::uint64_t peak = 0;
+  for (int d = 0; d < topology.device_count(); ++d)
+    peak = std::max(peak, topology.device(d).peak_memory());
   workload::write_schedule(std::cout, instance, result.ptas.schedule);
   std::printf("engine gpu-dim%zu epsilon %.3f target %lld rounds %zu "
-              "sim-time %s kernels %llu (+%llu children) peak-mem %.2f MB\n",
+              "sim-time %s kernels %llu (+%llu children) peak-mem %.2f MB",
               dims, args.epsilon,
               static_cast<long long>(result.ptas.best_target),
               result.ptas.search_iterations,
               result.device_time.to_string().c_str(),
               static_cast<unsigned long long>(result.stats.kernels),
               static_cast<unsigned long long>(result.stats.child_kernels),
-              static_cast<double>(device.peak_memory()) / (1 << 20));
+              static_cast<double>(peak) / (1 << 20));
+  if (args.devices > 1) {
+    const auto& xfer = topology.transfer_stats();
+    std::printf(" devices %d topology %s placement %s transfers %llu "
+                "(%.2f MB)",
+                args.devices,
+                std::string(gpusim::topology_kind_name(args.topology)).c_str(),
+                std::string(placement::placement_kind_name(args.placement))
+                    .c_str(),
+                static_cast<unsigned long long>(xfer.transfers),
+                static_cast<double>(xfer.bytes) / (1 << 20));
+  }
+  std::printf("\n");
   return 0;
 }
 
 int run_resilient(const Instance& instance, const Args& args) {
-  gpusim::Device device(gpusim::DeviceSpec::k40());
-  const auto chain = gpu::make_gpu_chain(device);
+  gpusim::Topology topology(args.devices, gpusim::DeviceSpec::k40(),
+                            args.topology);
+  gpu::GpuPtasOptions base;
+  base.placement = args.placement;
+  const auto chain = gpu::make_gpu_chain(topology, base);
   ResilientOptions options;
   options.epsilon = args.epsilon;
   options.deadline_ms = args.deadline_ms;
