@@ -1,0 +1,106 @@
+// Pruning ablation for the exact branch-and-bound engine: node counts and
+// real wall time per instance family, with each dominance rule and the
+// per-node completion bound toggled off one at a time. Not a paper
+// experiment — it quantifies how much each rule buys, and documents which
+// families the default node budget proves (the fuzzer's exact mode and the
+// ground-truth tests lean on exactly that envelope).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exact/bb.hpp"
+#include "util/text_table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+struct Family {
+  std::string name;
+  pcmax::Instance instance;
+};
+
+struct Variant {
+  std::string name;
+  pcmax::exact::BbOptions options;
+};
+
+std::string run_cell(const pcmax::Instance& instance,
+                     const pcmax::exact::BbOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = pcmax::exact::solve_bb(instance, options);
+  const auto ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%llu nodes / %.1f ms%s",
+                static_cast<unsigned long long>(result.stats.nodes), ms,
+                result.optimal() ? "" : " (unproven)");
+  return buffer;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pcmax;
+
+  std::printf("== bench_exact: branch-and-bound pruning ablation "
+              "(real wall time) ==\n\n");
+
+  std::vector<Family> families;
+  families.push_back({"uniform n=40 m=4",
+                      workload::uniform_instance(40, 4, 1, 100, 7)});
+  families.push_back({"uniform n=60 m=6",
+                      workload::uniform_instance(60, 6, 1, 1000, 11)});
+  families.push_back(
+      {"bimodal n=50 m=5",
+       workload::bimodal_instance(50, 5, 1, 100, 900, 1000, 0.2, 3)});
+  {
+    Instance identical{6, {}};
+    identical.times.assign(48, 317);
+    families.push_back({"identical n=48 m=6", std::move(identical)});
+  }
+  {
+    // Two dominant jobs over a sea of small ones: the a-posteriori bound
+    // usually closes this family at the root.
+    Instance dominant{4, {9000, 8500}};
+    for (int j = 0; j < 30; ++j) dominant.times.push_back(40 + j);
+    families.push_back({"dominant n=32 m=4", std::move(dominant)});
+  }
+
+  // A modest shared budget keeps the harness quick; families the budget
+  // cannot prove print "(unproven)" with the full node count.
+  exact::BbOptions base;
+  base.node_budget = 2'000'000;
+  std::vector<Variant> variants;
+  variants.push_back({"full", base});
+  {
+    exact::BbOptions o = base;
+    o.symmetry_identical_jobs = false;
+    variants.push_back({"-job-sym", o});
+  }
+  {
+    exact::BbOptions o = base;
+    o.symmetry_machine_loads = false;
+    variants.push_back({"-load-sym", o});
+  }
+  {
+    exact::BbOptions o = base;
+    o.use_completion_bound = false;
+    variants.push_back({"-completion", o});
+  }
+
+  std::vector<std::string> header{"family"};
+  for (const auto& v : variants) header.push_back(v.name);
+  util::TextTable table(header);
+  for (const auto& family : families) {
+    std::vector<std::string> row{family.name};
+    for (const auto& variant : variants)
+      row.push_back(run_cell(family.instance, variant.options));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Every variant proves the same optimum (tests/exact pins "
+              "this); the table shows what each rule costs to skip.\n");
+  return 0;
+}

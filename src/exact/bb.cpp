@@ -1,0 +1,213 @@
+#include "exact/bb.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "exact/bounds.hpp"
+#include "faultsim/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pcmax::exact {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Deadline polls happen once per this many nodes so the hot loop does not
+// read the clock; at ~100ns/node the overshoot stays well under a
+// millisecond.
+constexpr std::uint64_t kDeadlineStride = 8192;
+
+struct Dfs {
+  const std::vector<std::int64_t>& times;   // sorted descending
+  const std::vector<std::int64_t>& suffix;  // suffix[j] = sum times[j..n)
+  const BbOptions& options;
+  std::int64_t root_lower;
+  bool has_deadline;
+  Clock::time_point deadline;
+
+  std::vector<std::int64_t> loads;
+  std::vector<std::int64_t> assignment;  // position -> machine
+  std::vector<std::int64_t> best_assignment;
+  std::vector<std::int64_t> scratch;  // loads copy for the water-fill bound
+  std::int64_t best;
+  BbStats stats;
+  bool aborted = false;
+
+  [[nodiscard]] bool out_of_budget() {
+    ++stats.nodes;
+    if (options.node_budget != 0 && stats.nodes > options.node_budget)
+      return true;
+    if (has_deadline && stats.nodes % kDeadlineStride == 0 &&
+        Clock::now() >= deadline)
+      return true;
+    return false;
+  }
+
+  void run(std::size_t j, std::int64_t current) {
+    if (aborted) return;
+    if (out_of_budget()) {
+      aborted = true;
+      return;
+    }
+    if (current >= best) {
+      ++stats.bound_prunes;
+      return;
+    }
+    if (j == times.size()) {
+      best = current;
+      best_assignment = assignment;
+      ++stats.incumbent_updates;
+      if (auto* t = obs::trace(); t != nullptr)
+        t->instant("exact/incumbent", {obs::arg("makespan", best)});
+      return;
+    }
+    if (options.use_completion_bound) {
+      scratch.assign(loads.begin(), loads.end());
+      std::sort(scratch.begin(), scratch.end());
+      if (completion_lower_bound_sorted(scratch, suffix[j]) >= best) {
+        ++stats.bound_prunes;
+        return;
+      }
+    }
+    // Identical-job rule: if this job equals its predecessor, machines
+    // before the predecessor's need not be tried — swapping the two equal
+    // jobs maps any such completion to one with the predecessor on the
+    // earlier machine, which a sibling branch already covers.
+    std::size_t start = 0;
+    if (options.symmetry_identical_jobs && j > 0 && times[j] == times[j - 1])
+      start = static_cast<std::size_t>(assignment[j - 1]);
+    stats.symmetry_skips += start;
+    std::int64_t prev_load = -1;
+    for (std::size_t m = start; m < loads.size(); ++m) {
+      if (options.symmetry_machine_loads && loads[m] == prev_load) {
+        // Equal-load machines are interchangeable; only the first is tried.
+        ++stats.symmetry_skips;
+        continue;
+      }
+      prev_load = loads[m];
+      const std::int64_t child = loads[m] + times[j];
+      if (child >= best) {
+        ++stats.bound_prunes;
+        continue;
+      }
+      loads[m] += times[j];
+      assignment[j] = static_cast<std::int64_t>(m);
+      run(j + 1, std::max(current, child));
+      loads[m] -= times[j];
+      if (aborted || best == root_lower) return;  // proven optimal already
+    }
+  }
+};
+
+void flush_metrics(const BbStats& stats, bool proven) {
+  obs::count("exact.solves");
+  obs::count("exact.nodes", stats.nodes);
+  obs::count("exact.bound_prunes", stats.bound_prunes);
+  obs::count("exact.symmetry_skips", stats.symmetry_skips);
+  obs::count("exact.incumbent_updates", stats.incumbent_updates);
+  obs::count(proven ? "exact.proven" : "exact.budget_exhausted");
+  obs::observe("exact.nodes_per_solve",
+               static_cast<std::int64_t>(stats.nodes));
+}
+
+}  // namespace
+
+BbResult solve_bb(const Instance& instance, const BbOptions& options) {
+  instance.validate();
+  obs::ScopedSpan span("exact/solve",
+                       {obs::arg("jobs", instance.jobs()),
+                        obs::arg("machines", instance.machines)});
+
+  RootBounds root;
+  {
+    obs::ScopedSpan bounds_span("exact/bounds");
+    root = compute_root_bounds(instance);
+  }
+
+  BbResult result;
+  result.makespan = root.lpt_makespan;
+  result.schedule = root.lpt_schedule;
+  result.stats.root_lower_bound = root.lower();
+  result.stats.root_upper_bound = root.lpt_makespan;
+
+  if (root.lpt_makespan == root.lower()) {
+    // LPT matches a proven lower bound: optimal with zero search nodes.
+    result.status = Status::ok();
+    result.lower_bound = result.makespan;
+    flush_metrics(result.stats, /*proven=*/true);
+    return result;
+  }
+
+  const auto n = instance.times.size();
+  // More machines than jobs never helps an optimal schedule; shrinking the
+  // machine loop also keeps the equal-load skip from re-scanning empties.
+  const auto m_eff = static_cast<std::size_t>(
+      std::min<std::int64_t>(instance.machines, instance.jobs()));
+  faultsim::check_host_alloc((4 * n + 2 * m_eff) * sizeof(std::int64_t));
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return instance.times[a] > instance.times[b];
+                   });
+  std::vector<std::int64_t> sorted_times(n);
+  for (std::size_t i = 0; i < n; ++i)
+    sorted_times[i] = instance.times[order[i]];
+  std::vector<std::int64_t> suffix(n + 1, 0);
+  for (std::size_t i = n; i-- > 0;)
+    suffix[i] = suffix[i + 1] + sorted_times[i];
+
+  Dfs dfs{sorted_times,
+          suffix,
+          options,
+          root.lower(),
+          options.deadline_ms > 0,
+          Clock::now() + std::chrono::milliseconds(options.deadline_ms),
+          std::vector<std::int64_t>(m_eff, 0),
+          std::vector<std::int64_t>(n, 0),
+          {},
+          std::vector<std::int64_t>(),
+          root.lpt_makespan,
+          {},
+          false};
+  {
+    obs::ScopedSpan search_span("exact/search");
+    dfs.run(0, 0);
+  }
+
+  result.stats.nodes = dfs.stats.nodes;
+  result.stats.bound_prunes = dfs.stats.bound_prunes;
+  result.stats.symmetry_skips = dfs.stats.symmetry_skips;
+  result.stats.incumbent_updates = dfs.stats.incumbent_updates;
+  result.makespan = dfs.best;
+  if (!dfs.best_assignment.empty()) {
+    result.schedule.assignment.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i)
+      result.schedule.assignment[order[i]] = dfs.best_assignment[i];
+  }  // else: the LPT seed was never improved; keep its schedule.
+  validate_schedule(instance, result.schedule);
+
+  if (dfs.aborted) {
+    result.status = Status(
+        StatusCode::kDeadlineExceeded,
+        "exact-bb: search budget exhausted after " +
+            std::to_string(dfs.stats.nodes) + " nodes; returning incumbent " +
+            std::to_string(dfs.best) + " with proven lower bound " +
+            std::to_string(root.lower()));
+    result.lower_bound = root.lower();
+  } else {
+    result.status = Status::ok();
+    result.lower_bound = dfs.best;
+  }
+  flush_metrics(result.stats, result.status.is_ok());
+  return result;
+}
+
+}  // namespace pcmax::exact

@@ -1,0 +1,75 @@
+// Depth-first branch-and-bound for exact P||Cmax, engineered along the
+// lines of Akram-Maas-Sanders ("Engineering Optimal Parallel Task
+// Scheduling"): jobs sorted descending, LPT-seeded incumbent, per-node
+// water-filling completion bound, and two dominance rules —
+//
+//   * machine-load symmetry: among machines with equal load only the first
+//     is tried (assignments are canonical up to machine permutation), and
+//   * identical-job symmetry: a job equal to its predecessor never goes to
+//     a machine before the predecessor's (swapping the two jobs maps any
+//     such schedule to one the search already covers).
+//
+// Budget exhaustion is not an error: the result carries the LPT-seeded
+// incumbent (a valid schedule, never worse than LPT) plus the proven root
+// lower bound, with status kDeadlineExceeded — so the engine composes with
+// the resilient driver's typed-degradation contract instead of returning
+// nothing the way baselines::solve_exact does.
+#pragma once
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "core/status.hpp"
+
+namespace pcmax::exact {
+
+struct BbOptions {
+  /// Maximum search nodes before giving up with kDeadlineExceeded; 0 means
+  /// unbounded. The default proves optimality for seeded n=100, m=10
+  /// instances (pinned by tests/exact/test_bb.cpp).
+  std::uint64_t node_budget = 20'000'000;
+  /// Wall-clock deadline in milliseconds; 0 means none. Checked every few
+  /// thousand nodes, so expiry is detected within a small overshoot.
+  std::int64_t deadline_ms = 0;
+  /// Dominance-rule toggles, exposed so tests can verify each rule changes
+  /// only the node count, never the optimum.
+  bool symmetry_identical_jobs = true;
+  bool symmetry_machine_loads = true;
+  /// Per-node water-filling bound (exact/bounds.hpp); togglable for the
+  /// same reason.
+  bool use_completion_bound = true;
+};
+
+struct BbStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t bound_prunes = 0;
+  std::uint64_t symmetry_skips = 0;
+  std::uint64_t incumbent_updates = 0;
+  std::int64_t root_lower_bound = 0;
+  std::int64_t root_upper_bound = 0;  // LPT makespan
+};
+
+struct BbResult {
+  /// kOk when `makespan` is proven optimal; kDeadlineExceeded when the
+  /// node/time budget ran out first.
+  Status status;
+  /// Best makespan found. Always achieved by `schedule`; never worse than
+  /// LPT (the incumbent starts there), so the engine inherits LPT's
+  /// a-priori (4m-1)/(3m) guarantee even on budget exhaustion.
+  std::int64_t makespan = 0;
+  /// Proven lower bound on OPT: equals `makespan` iff status is ok,
+  /// otherwise the strongest root bound.
+  std::int64_t lower_bound = 0;
+  Schedule schedule;
+  BbStats stats;
+
+  [[nodiscard]] bool optimal() const noexcept { return status.is_ok(); }
+};
+
+/// Solve `instance` exactly (subject to the budget). Never throws on budget
+/// exhaustion; throws util::contract_violation on invalid instances like
+/// every other solver entry point.
+[[nodiscard]] BbResult solve_bb(const Instance& instance,
+                                const BbOptions& options = {});
+
+}  // namespace pcmax::exact

@@ -1,0 +1,79 @@
+// Lower bounds for exact P||Cmax search. The branch-and-bound engine
+// (exact/bb.hpp) prunes exactly as hard as these bounds are tight, so they
+// are kept separate and individually testable: every function here returns
+// a value that is provably <= OPT (tests/exact/test_bounds.cpp checks each
+// one against brute force on the enumerable range).
+//
+// Root bounds (computed once per solve):
+//   - trivial:          max(max_j t_j, ceil(sum_j t_j / m))
+//   - pairing:          bin-packing pigeonhole family — of the h*m+1 largest
+//                       jobs some machine receives h+1, and of the m+1
+//                       largest some machine receives the two smallest
+//   - lpt_ratio:        OPT >= ceil(3m * LPT / (4m - 1)), the a-priori
+//                       Graham bound read backwards (Della Croce &
+//                       Scatamacchia 2018 build their improved LPT variants
+//                       on exactly this kind of per-instance certificate)
+//   - lpt_aposteriori:  the critical-machine refinement: if the machine
+//                       defining the LPT makespan runs c jobs, then
+//                       LPT <= ((c+1)/c - 1/(c*m)) * OPT, i.e.
+//                       OPT >= ceil(LPT * c * m / ((c+1) * m - 1)); with
+//                       c == 1 the LPT makespan is a single job and LPT is
+//                       optimal outright
+//
+// Node bound (computed per search node):
+//   - completion_lower_bound: water-filling relaxation — pour the remaining
+//     processing time fractionally over the current loads; no integral
+//     completion can beat the resulting level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace pcmax::exact {
+
+struct RootBounds {
+  std::int64_t trivial = 0;
+  std::int64_t pairing = 0;
+  std::int64_t lpt_ratio = 0;
+  std::int64_t lpt_aposteriori = 0;
+  /// LPT makespan: the upper bound / incumbent seed.
+  std::int64_t lpt_makespan = 0;
+  Schedule lpt_schedule;
+
+  /// Strongest proven lower bound.
+  [[nodiscard]] std::int64_t lower() const noexcept;
+};
+
+/// All root bounds for one instance (runs LPT once).
+[[nodiscard]] RootBounds compute_root_bounds(const Instance& instance);
+
+/// Pigeonhole family over `sorted_desc` (processing times in descending
+/// order): max over h >= 1 with h*m < n of (h+1) * t[h*m], and t[m-1] + t[m]
+/// when n > m. Returns 0 when n <= m (no machine is forced to double up).
+[[nodiscard]] std::int64_t pairing_bound(
+    const std::vector<std::int64_t>& sorted_desc, std::int64_t machines);
+
+/// Critical-machine a-posteriori LPT bound: `critical_jobs` is the number of
+/// jobs on the machine that defines the LPT makespan. Requires
+/// critical_jobs >= 1; returns `lpt_makespan` itself when critical_jobs == 1
+/// (LPT is provably optimal in that case).
+[[nodiscard]] std::int64_t lpt_aposteriori_bound(std::int64_t lpt_makespan,
+                                                 std::int64_t critical_jobs,
+                                                 std::int64_t machines);
+
+/// Water-filling completion bound: the smallest integer level L >= max(loads)
+/// such that sum_i max(0, L - loads[i]) >= remaining. Any schedule that
+/// extends `loads` by `remaining` total processing time has makespan >= the
+/// returned value. `loads` must be non-empty; `remaining` >= 0.
+[[nodiscard]] std::int64_t completion_lower_bound(
+    const std::vector<std::int64_t>& loads, std::int64_t remaining);
+
+/// As completion_lower_bound, but `sorted_loads` must already be ascending.
+/// The search hot path copies loads into a reusable scratch buffer, sorts,
+/// and calls this to avoid a per-node allocation.
+[[nodiscard]] std::int64_t completion_lower_bound_sorted(
+    const std::vector<std::int64_t>& sorted_loads, std::int64_t remaining);
+
+}  // namespace pcmax::exact

@@ -1,6 +1,14 @@
 #include "testkit/engines.hpp"
 
+#include <stdexcept>
+
+#include "baselines/heuristics.hpp"
+#include "core/bounds.hpp"
+#include "core/ptas.hpp"
+#include "core/resilient.hpp"
+#include "core/rounding.hpp"
 #include "dp/frontier_solver.hpp"
+#include "exact/bb.hpp"
 #include "gpu/gpu_dp_solver.hpp"
 #include "partition/block_solver.hpp"
 
@@ -37,6 +45,75 @@ EngineRegistry::EngineRegistry()
     result.table = std::move(frontier.table);
     return result;
   }});
+}
+
+namespace {
+
+/// True when the rounded DP table at the trivial lower bound (the largest
+/// table any search probe can produce) fits in `max_cells`. checked_mul
+/// inside table_size() throws on 64-bit overflow, which also means "no".
+bool ptas_table_fits(const Instance& instance, std::int64_t k,
+                     std::uint64_t max_cells) {
+  try {
+    const auto rounded =
+        round_instance(instance, makespan_lower_bound(instance), k);
+    return rounded.feasible && rounded.table_size() <= max_cells;
+  } catch (const std::overflow_error&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+SchedulerEngineRegistry::SchedulerEngineRegistry(std::int64_t k,
+                                                std::uint64_t bb_node_budget,
+                                                std::uint64_t max_table_cells)
+    : k_(k), solver_(std::make_unique<dp::LevelBucketSolver>()) {
+  using Bound = std::pair<std::int64_t, std::int64_t>;
+
+  engines_.push_back(SchedulerEngine{
+      "lpt",
+      [](const Instance& i) {
+        return Bound{4 * i.machines - 1, 3 * i.machines};
+      },
+      [](const Instance& i) { return std::optional(baselines::lpt(i)); }});
+  engines_.push_back(SchedulerEngine{
+      "list",
+      [](const Instance& i) { return Bound{2 * i.machines - 1, i.machines}; },
+      [](const Instance& i) {
+        return std::optional(baselines::list_scheduling(i));
+      }});
+  engines_.push_back(SchedulerEngine{
+      "multifit", [](const Instance&) { return Bound{13, 11}; },
+      [](const Instance& i) { return std::optional(baselines::multifit(i)); }});
+
+  const auto add_ptas = [this, k, max_table_cells](const char* name,
+                                                   SearchStrategy strategy) {
+    dp::DpSolver* solver = solver_.get();
+    engines_.push_back(SchedulerEngine{
+        name, [k](const Instance&) { return Bound{k + 1, k}; },
+        [solver, k, max_table_cells, strategy](
+            const Instance& i) -> std::optional<Schedule> {
+          if (!ptas_table_fits(i, k, max_table_cells)) return std::nullopt;
+          PtasOptions options;
+          options.epsilon = epsilon_for_k(k);
+          options.strategy = strategy;
+          options.build_schedule = true;
+          return solve_ptas(i, *solver, options).schedule;
+        }});
+  };
+  add_ptas("ptas-bisection", SearchStrategy::kBisection);
+  add_ptas("ptas-quarter", SearchStrategy::kQuarterSplit);
+
+  engines_.push_back(SchedulerEngine{
+      "exact-bb", [](const Instance&) { return Bound{1, 1}; },
+      [bb_node_budget](const Instance& i) -> std::optional<Schedule> {
+        exact::BbOptions options;
+        options.node_budget = bb_node_budget;
+        auto result = exact::solve_bb(i, options);
+        if (!result.optimal()) return std::nullopt;
+        return std::move(result.schedule);
+      }});
 }
 
 }  // namespace pcmax::testkit

@@ -7,9 +7,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/instance.hpp"
 #include "dp/solver.hpp"
 #include "gpusim/device.hpp"
 
@@ -45,6 +48,45 @@ class EngineRegistry {
   std::unique_ptr<gpusim::Device> device_;
   std::vector<std::unique_ptr<dp::DpSolver>> owned_;
   std::vector<Engine> engines_;
+};
+
+/// Instance-level schedulers (heuristics, PTAS drivers, the exact branch
+/// and bound) behind one signature, so the ground-truth differential
+/// harness (`pcmax_fuzz` exact mode, tests/exact/test_guarantees.cpp)
+/// enumerates every scheduler and judges each against the proven optimum
+/// instead of against other engines.
+struct SchedulerEngine {
+  std::string name;
+  /// A-priori guarantee as an exact rational >= 1: any schedule the engine
+  /// returns satisfies makespan * den <= num * OPT. A function because the
+  /// classic bounds depend on the machine count (LPT's (4m-1)/(3m)).
+  std::function<std::pair<std::int64_t, std::int64_t>(const Instance&)> bound;
+  /// Produce a schedule, or nullopt when the engine declines the instance
+  /// (the PTAS engines gate on rounded-table size, exact-bb on its node
+  /// budget). Declining is never a failure.
+  std::function<std::optional<Schedule>(const Instance&)> solve;
+};
+
+/// Owns the DP solver behind the PTAS engines. Engines: lpt, list,
+/// multifit, ptas-bisection, ptas-quarter (both at accuracy `k`), and
+/// exact-bb (guarantee 1/1, declining when `bb_node_budget` expires).
+/// The PTAS engines decline instances whose rounded DP table at the
+/// trivial lower bound would exceed `max_table_cells`.
+class SchedulerEngineRegistry {
+ public:
+  explicit SchedulerEngineRegistry(std::int64_t k = 4,
+                                   std::uint64_t bb_node_budget = 4'000'000,
+                                   std::uint64_t max_table_cells = 4'000'000);
+
+  [[nodiscard]] const std::vector<SchedulerEngine>& engines() const noexcept {
+    return engines_;
+  }
+  [[nodiscard]] std::int64_t k() const noexcept { return k_; }
+
+ private:
+  std::int64_t k_;
+  std::unique_ptr<dp::DpSolver> solver_;
+  std::vector<SchedulerEngine> engines_;
 };
 
 }  // namespace pcmax::testkit

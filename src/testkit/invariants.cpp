@@ -258,6 +258,70 @@ CheckResult check_resilient_result(const Instance& instance,
   return std::nullopt;
 }
 
+CheckResult check_exact_claim(const Instance& instance,
+                              const exact::BbResult& result) {
+  if (auto bad = check_schedule(instance, result.schedule)) return bad;
+  const auto actual = makespan(instance, result.schedule);
+  if (actual != result.makespan)
+    return "claimed makespan " + std::to_string(result.makespan) +
+           " does not match the schedule's real makespan " +
+           std::to_string(actual);
+  if (result.lower_bound > result.makespan)
+    return "lower bound " + std::to_string(result.lower_bound) +
+           " exceeds the claimed makespan " + std::to_string(result.makespan);
+  if (result.lower_bound < makespan_lower_bound(instance))
+    return "lower bound " + std::to_string(result.lower_bound) +
+           " is weaker than the trivial instance bound " +
+           std::to_string(makespan_lower_bound(instance));
+  const StatusCode code = result.status.code();
+  if (code == StatusCode::kOk) {
+    if (result.lower_bound != result.makespan)
+      return "status ok but lower bound " + std::to_string(result.lower_bound) +
+             " != makespan " + std::to_string(result.makespan) +
+             " — optimality is claimed but not certified";
+    return std::nullopt;
+  }
+  if (code != StatusCode::kDeadlineExceeded)
+    return "exact engine returned unexpected status " +
+           std::string(status_code_name(code)) + ": " +
+           result.status.message();
+  // Budget expiry: the incumbent must still be at least LPT quality.
+  const auto lpt_ub = lpt_makespan(instance);
+  if (result.makespan > lpt_ub)
+    return "budget-expired incumbent " + std::to_string(result.makespan) +
+           " is worse than LPT's " + std::to_string(lpt_ub);
+  return std::nullopt;
+}
+
+CheckResult check_schedule_vs_opt(const Instance& instance,
+                                  const std::string& engine,
+                                  const Schedule& schedule,
+                                  std::int64_t bound_num,
+                                  std::int64_t bound_den, std::int64_t opt) {
+  if (opt <= 0) return "claimed optimum " + std::to_string(opt) + " is not positive";
+  if (bound_num < bound_den || bound_den <= 0)
+    return engine + " states a quality bound " + std::to_string(bound_num) +
+           "/" + std::to_string(bound_den) + " that is not a ratio >= 1";
+  if (auto bad = check_schedule(instance, schedule))
+    return engine + ": " + *bad;
+  const auto actual = makespan(instance, schedule);
+  if (actual < opt)
+    return engine + " produced makespan " + std::to_string(actual) +
+           " below the proven optimum " + std::to_string(opt) +
+           " — the optimum (or the schedule's loads) is wrong";
+  // makespan <= (num/den) * OPT, exactly: makespan * den <= num * OPT.
+  const auto lhs = util::checked_mul(static_cast<std::uint64_t>(actual),
+                                     static_cast<std::uint64_t>(bound_den));
+  const auto rhs = util::checked_mul(static_cast<std::uint64_t>(bound_num),
+                                     static_cast<std::uint64_t>(opt));
+  if (lhs > rhs)
+    return engine + " violates its a-priori guarantee: makespan " +
+           std::to_string(actual) + " > " + std::to_string(bound_num) + "/" +
+           std::to_string(bound_den) + " * OPT with OPT = " +
+           std::to_string(opt);
+  return std::nullopt;
+}
+
 CheckResult check_device_conservation(const gpusim::Device& device) {
   const auto now = device.now();
   std::map<int, util::SimTime> busy;

@@ -14,6 +14,7 @@
 #include "core/resilient.hpp"
 #include "dp/problem.hpp"
 #include "dp/solver.hpp"
+#include "exact/bb.hpp"
 #include "gpusim/device.hpp"
 #include "partition/blocked_layout.hpp"
 
@@ -83,6 +84,25 @@ using CheckResult = std::optional<std::string>;
 /// kInternal, which the driver reserves for bugs).
 [[nodiscard]] CheckResult check_resilient_result(const Instance& instance,
                                                  const ResilientResult& result);
+
+/// The exact engine's certificate is internally consistent: the schedule is
+/// valid with correct load conservation, its real makespan matches the
+/// claimed one, lower_bound <= makespan always, lower_bound >= the trivial
+/// instance bound, and a kOk status claims exactly lower_bound == makespan
+/// (proven optimality) while budget expiry must carry kDeadlineExceeded and
+/// an incumbent no worse than LPT. Checks the claim's shape, not OPT itself
+/// — pair with check_schedule_vs_opt or a brute-force oracle for that.
+[[nodiscard]] CheckResult check_exact_claim(const Instance& instance,
+                                            const exact::BbResult& result);
+
+/// Ground-truth differential check: `schedule` (produced by `engine`) must
+/// be valid, never beat the true optimum `opt`, and respect the engine's
+/// stated a-priori guarantee makespan * bound_den <= bound_num * opt in
+/// exact integer arithmetic (overflow-checked).
+[[nodiscard]] CheckResult check_schedule_vs_opt(
+    const Instance& instance, const std::string& engine,
+    const Schedule& schedule, std::int64_t bound_num, std::int64_t bound_den,
+    std::int64_t opt);
 
 /// Simulated-device conservation laws over the kernel log: every kernel's
 /// finish >= start, nothing finishes after the device clock, per-stream

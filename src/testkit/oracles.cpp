@@ -5,6 +5,7 @@
 #include "baselines/exact.hpp"
 #include "baselines/heuristics.hpp"
 #include "core/bounds.hpp"
+#include "exact/bb.hpp"
 #include "util/checked_math.hpp"
 
 namespace pcmax::testkit {
@@ -30,6 +31,15 @@ std::int64_t oracle_lower_bound(const Instance& instance) {
 
 std::optional<std::int64_t> exact_makespan(const Instance& instance,
                                            std::uint64_t node_budget) {
+  exact::BbOptions options;
+  options.node_budget = node_budget;
+  const auto result = exact::solve_bb(instance, options);
+  if (!result.optimal()) return std::nullopt;
+  return result.makespan;
+}
+
+std::optional<std::int64_t> brute_force_makespan(const Instance& instance,
+                                                 std::uint64_t node_budget) {
   baselines::ExactOptions options;
   options.node_budget = node_budget;
   const auto result = baselines::solve_exact(instance, options);

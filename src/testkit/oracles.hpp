@@ -7,6 +7,13 @@
 // LPT <= (4/3 - 1/(3m)) * OPT, any schedule's optimum satisfies
 // OPT >= ceil(3m * LPT / (4m - 1)) — an O(n log n) lower bound that is
 // frequently much sharper than max(avg load, max job).
+//
+// Ground-truth hierarchy (docs/TESTING.md "Ground truth"):
+//   brute force  — plain DFS, trustworthy-by-inspection; n <= ~12 only
+//   exact-bb     — pruned branch and bound (src/exact/); proves OPT into
+//                  the hundreds of jobs, itself cross-checked against
+//                  brute force on the enumerable range
+//   LPT bound    — always available; a bound, not an optimum
 #pragma once
 
 #include <cstdint>
@@ -22,9 +29,16 @@ namespace pcmax::testkit {
 /// max(trivial bound, LPT-ratio bound): always <= OPT.
 [[nodiscard]] std::int64_t oracle_lower_bound(const Instance& instance);
 
-/// Exact optimum via branch and bound, or nullopt when the node budget ran
-/// out. Use only on small instances (the fuzzer gates on jobs/machines).
+/// Exact optimum via the pruned branch and bound (exact/bb.hpp), or nullopt
+/// when the node budget expired before optimality was proven. Scales to
+/// hundreds of jobs on typical instances.
 [[nodiscard]] std::optional<std::int64_t> exact_makespan(
+    const Instance& instance, std::uint64_t node_budget = 2'000'000);
+
+/// Exact optimum via the unpruned baseline DFS (baselines/exact.hpp), or
+/// nullopt on budget expiry. Kept as an independent cross-check for the
+/// branch and bound itself; use only at tiny n (<= ~12).
+[[nodiscard]] std::optional<std::int64_t> brute_force_makespan(
     const Instance& instance, std::uint64_t node_budget = 2'000'000);
 
 }  // namespace pcmax::testkit

@@ -1,6 +1,7 @@
 #include "testkit/shrink.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "util/contracts.hpp"
 
@@ -8,26 +9,59 @@ namespace pcmax::testkit {
 
 namespace {
 
-/// Shared evaluation budget across all shrink passes.
-class Budget {
+/// Flattened candidate state used as the memo key; -1 separates fields
+/// (every real value is >= 0, so the separator is unambiguous).
+std::vector<std::int64_t> memo_key(const dp::DpProblem& problem) {
+  std::vector<std::int64_t> key = problem.counts;
+  key.push_back(-1);
+  key.insert(key.end(), problem.weights.begin(), problem.weights.end());
+  key.push_back(-1);
+  key.push_back(problem.capacity);
+  return key;
+}
+
+std::vector<std::int64_t> memo_key(const Instance& instance) {
+  std::vector<std::int64_t> key = instance.times;
+  key.push_back(-1);
+  key.push_back(instance.machines);
+  return key;
+}
+
+/// Budgeted, memoizing predicate wrapper shared by all shrink passes.
+/// Cached verdicts spend no budget; only real predicate runs do.
+template <typename T>
+class Evaluator {
  public:
-  explicit Budget(std::uint64_t max_evaluations)
-      : left_(max_evaluations) {}
-  [[nodiscard]] bool spend() noexcept {
+  Evaluator(const std::function<bool(const T&)>& fails,
+            const ShrinkOptions& options)
+      : fails_(fails),
+        left_(options.max_evaluations),
+        memoize_(options.memoize) {}
+
+  /// True when the candidate still fails (i.e. is worth keeping); false on
+  /// a passing candidate or an exhausted budget.
+  [[nodiscard]] bool still_fails(const T& candidate) {
+    if (memoize_) {
+      const auto it = memo_.find(memo_key(candidate));
+      if (it != memo_.end()) return it->second;
+    }
     if (left_ == 0) return false;
     --left_;
-    return true;
+    const bool verdict = fails_(candidate);
+    if (memoize_) memo_.emplace(memo_key(candidate), verdict);
+    return verdict;
   }
 
  private:
+  const std::function<bool(const T&)>& fails_;
   std::uint64_t left_;
+  bool memoize_;
+  std::map<std::vector<std::int64_t>, bool> memo_;
 };
 
-template <typename T, typename Predicate>
-bool try_accept(T& current, T candidate, const Predicate& fails,
-                Budget& budget) {
-  if (!budget.spend()) return false;
-  if (!fails(candidate)) return false;
+template <typename T>
+bool try_accept(T& current, T candidate, Evaluator<T>& evaluator) {
+  if (!evaluator.still_fails(candidate)) return false;
   current = std::move(candidate);
   return true;
 }
@@ -51,7 +85,7 @@ dp::DpProblem shrink_dp_problem(dp::DpProblem failing,
                                 const ShrinkOptions& options) {
   failing.validate();
   PCMAX_EXPECTS(fails(failing));
-  Budget budget(options.max_evaluations);
+  Evaluator<dp::DpProblem> evaluator(fails, options);
 
   bool progressed = true;
   while (progressed) {
@@ -66,7 +100,7 @@ dp::DpProblem shrink_dp_problem(dp::DpProblem failing,
                              static_cast<std::ptrdiff_t>(d));
       candidate.weights.erase(candidate.weights.begin() +
                               static_cast<std::ptrdiff_t>(d));
-      if (try_accept(failing, std::move(candidate), fails, budget))
+      if (try_accept(failing, std::move(candidate), evaluator))
         progressed = true;  // same index now names the next dimension
       else
         ++d;
@@ -77,7 +111,7 @@ dp::DpProblem shrink_dp_problem(dp::DpProblem failing,
       for (const auto step : shrink_steps(failing.counts[d], 0)) {
         dp::DpProblem candidate = failing;
         candidate.counts[d] = step;
-        if (try_accept(failing, std::move(candidate), fails, budget)) {
+        if (try_accept(failing, std::move(candidate), evaluator)) {
           progressed = true;
           break;
         }
@@ -88,7 +122,7 @@ dp::DpProblem shrink_dp_problem(dp::DpProblem failing,
       for (const auto step : shrink_steps(failing.weights[d], 1)) {
         dp::DpProblem candidate = failing;
         candidate.weights[d] = step;
-        if (try_accept(failing, std::move(candidate), fails, budget)) {
+        if (try_accept(failing, std::move(candidate), evaluator)) {
           progressed = true;
           break;
         }
@@ -98,7 +132,7 @@ dp::DpProblem shrink_dp_problem(dp::DpProblem failing,
     for (const auto step : shrink_steps(failing.capacity, 0)) {
       dp::DpProblem candidate = failing;
       candidate.capacity = step;
-      if (try_accept(failing, std::move(candidate), fails, budget)) {
+      if (try_accept(failing, std::move(candidate), evaluator)) {
         progressed = true;
         break;
       }
@@ -111,7 +145,7 @@ Instance shrink_instance(Instance failing, const InstancePredicate& fails,
                          const ShrinkOptions& options) {
   failing.validate();
   PCMAX_EXPECTS(fails(failing));
-  Budget budget(options.max_evaluations);
+  Evaluator<Instance> evaluator(fails, options);
 
   bool progressed = true;
   while (progressed) {
@@ -131,7 +165,7 @@ Instance shrink_instance(Instance failing, const InstancePredicate& fails,
         candidate.times.erase(
             candidate.times.begin() + static_cast<std::ptrdiff_t>(start),
             candidate.times.begin() + static_cast<std::ptrdiff_t>(start + len));
-        if (try_accept(failing, std::move(candidate), fails, budget))
+        if (try_accept(failing, std::move(candidate), evaluator))
           progressed = true;  // same start now names the next chunk
         else
           start += len;
@@ -143,7 +177,7 @@ Instance shrink_instance(Instance failing, const InstancePredicate& fails,
     for (const auto step : shrink_steps(failing.machines, 1)) {
       Instance candidate = failing;
       candidate.machines = step;
-      if (try_accept(failing, std::move(candidate), fails, budget)) {
+      if (try_accept(failing, std::move(candidate), evaluator)) {
         progressed = true;
         break;
       }
@@ -154,7 +188,7 @@ Instance shrink_instance(Instance failing, const InstancePredicate& fails,
       for (const auto step : shrink_steps(failing.times[j], 1)) {
         Instance candidate = failing;
         candidate.times[j] = step;
-        if (try_accept(failing, std::move(candidate), fails, budget)) {
+        if (try_accept(failing, std::move(candidate), evaluator)) {
           progressed = true;
           break;
         }

@@ -19,6 +19,13 @@ struct ShrinkOptions {
   /// Shrinking re-runs the (possibly expensive) failing check, so the cap
   /// bounds worst-case shrink time.
   std::uint64_t max_evaluations = 10'000;
+  /// Memoize predicate verdicts by candidate value. The fixpoint loop
+  /// re-proposes identical candidates every round (each pass restarts from
+  /// the same shrink steps), so without the memo the oracle re-runs on
+  /// inputs it already judged; cached verdicts spend no budget. Safe
+  /// because shrinking requires a deterministic predicate anyway — a flaky
+  /// predicate already breaks replayability.
+  bool memoize = true;
 };
 
 /// Predicate: true while the candidate still reproduces the failure.

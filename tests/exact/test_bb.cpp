@@ -1,0 +1,169 @@
+// The branch-and-bound engine's contract: bit-exact agreement with the
+// unpruned brute force on the enumerable range, optimum invariance under
+// every dominance-rule toggle, typed budget expiry with a valid LPT-seeded
+// incumbent, and proven optimality for the seeded n=100, m=10 instances the
+// ISSUE pins as the acceptance bar.
+#include "exact/bb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <numeric>
+
+#include "core/status.hpp"
+#include "faultsim/fault_plan.hpp"
+#include "faultsim/injector.hpp"
+#include "obs/metrics.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/oracles.hpp"
+#include "util/rng.hpp"
+#include "workload/generators.hpp"
+
+namespace pcmax::exact {
+namespace {
+
+TEST(ExactBb, AgreesWithBruteForceOnTheEnumerableRange) {
+  util::Rng rng(42);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 12;
+  limits.max_machines = 5;
+  limits.max_time = 50;
+  for (int it = 0; it < 300; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    const auto brute = testkit::brute_force_makespan(instance);
+    ASSERT_TRUE(brute.has_value());
+    const auto result = solve_bb(instance);
+    ASSERT_TRUE(result.optimal());
+    EXPECT_EQ(result.makespan, *brute);
+    EXPECT_EQ(result.lower_bound, *brute);
+    EXPECT_EQ(testkit::check_exact_claim(instance, result), std::nullopt);
+  }
+}
+
+TEST(ExactBb, DominanceTogglesNeverChangeTheOptimum) {
+  util::Rng rng(7);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 11;
+  limits.max_machines = 4;
+  limits.max_time = 40;
+  for (int it = 0; it < 80; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    const auto reference = solve_bb(instance);
+    ASSERT_TRUE(reference.optimal());
+    for (int mask = 0; mask < 8; ++mask) {
+      BbOptions options;
+      options.symmetry_identical_jobs = (mask & 1) != 0;
+      options.symmetry_machine_loads = (mask & 2) != 0;
+      options.use_completion_bound = (mask & 4) != 0;
+      const auto result = solve_bb(instance, options);
+      ASSERT_TRUE(result.optimal());
+      EXPECT_EQ(result.makespan, reference.makespan);
+      EXPECT_EQ(testkit::check_exact_claim(instance, result), std::nullopt);
+    }
+  }
+}
+
+TEST(ExactBb, NodeBudgetExpiryReturnsLptIncumbentAndRootBound) {
+  // LPT gives 7 ({3,2,2} vs {3,2}); the optimum is 6 ({3,3} vs {2,2,2}).
+  const Instance instance{2, {3, 3, 2, 2, 2}};
+  BbOptions options;
+  options.node_budget = 1;
+  const auto result = solve_bb(instance, options);
+  EXPECT_FALSE(result.optimal());
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.makespan, 7);      // the LPT incumbent survives
+  EXPECT_EQ(result.lower_bound, 6);   // ceil(12 / 2), proven at the root
+  EXPECT_EQ(makespan(instance, result.schedule), 7);
+  EXPECT_EQ(testkit::check_exact_claim(instance, result), std::nullopt);
+}
+
+TEST(ExactBb, WallClockDeadlineExpiresOnAHardInstance) {
+  // Uniform [1, 1000] at n=100, m=10 needs tens of millions of nodes; a
+  // 1 ms deadline expires within the first stride check.
+  const auto instance = workload::uniform_instance(100, 10, 1, 1000, 3);
+  BbOptions options;
+  options.node_budget = 0;  // unbounded nodes; only the clock stops us
+  options.deadline_ms = 1;
+  const auto result = solve_bb(instance, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LE(result.makespan, testkit::lpt_makespan(instance));
+  EXPECT_GE(result.makespan, result.lower_bound);
+  EXPECT_EQ(testkit::check_exact_claim(instance, result), std::nullopt);
+}
+
+TEST(ExactBb, ProvesSeededHundredJobTenMachineInstances) {
+  // The ISSUE acceptance bar: seeded n<=100, m<=10 instances solve to
+  // proven optimality within the default node budget.
+  util::Rng rng(7);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 100;
+  limits.max_machines = 10;
+  limits.max_time = 1000;
+  for (int it = 0; it < 20; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    const auto result = solve_bb(instance);
+    ASSERT_TRUE(result.optimal())
+        << "instance " << it << " did not prove within the default budget";
+    EXPECT_EQ(result.makespan, result.lower_bound);
+    EXPECT_EQ(testkit::check_exact_claim(instance, result), std::nullopt);
+  }
+}
+
+TEST(ExactBb, LptOptimalInstancesProveAtTheRootWithoutSearch) {
+  const Instance instance{2, {5, 5, 5, 5}};
+  const auto result = solve_bb(instance);
+  ASSERT_TRUE(result.optimal());
+  EXPECT_EQ(result.makespan, 10);
+  EXPECT_EQ(result.stats.nodes, 0u);  // LPT == root bound short-circuits
+}
+
+TEST(ExactBb, SingleMachineIsTheTotalTime) {
+  const Instance instance{1, {4, 9, 2, 7}};
+  const auto result = solve_bb(instance);
+  ASSERT_TRUE(result.optimal());
+  EXPECT_EQ(result.makespan, 22);
+}
+
+TEST(ExactBb, MoreMachinesThanJobsAssignsEachJobAlone) {
+  const Instance instance{10, {7, 3}};
+  const auto result = solve_bb(instance);
+  ASSERT_TRUE(result.optimal());
+  EXPECT_EQ(result.makespan, 7);
+  validate_schedule(instance, result.schedule);
+}
+
+TEST(ExactBb, RecordsObsMetrics) {
+  obs::MetricsRegistry registry;
+  obs::install_metrics(&registry);
+  const Instance instance{2, {3, 3, 2, 2, 2}};
+  const auto result = solve_bb(instance);
+  obs::install_metrics(nullptr);
+  ASSERT_TRUE(result.optimal());
+  EXPECT_EQ(registry.counter("exact.solves"), 1u);
+  EXPECT_EQ(registry.counter("exact.proven"), 1u);
+  EXPECT_EQ(registry.counter("exact.nodes"), result.stats.nodes);
+  EXPECT_GE(registry.counter("exact.incumbent_updates"), 1u);
+}
+
+TEST(ExactBb, HostAllocFaultPropagatesAsBadAlloc) {
+  // The working-vector allocation goes through the faultsim choke point,
+  // so the engine composes with the fault-injection harness.
+  const auto plan = faultsim::parse_fault_plan("seed=1;host-alloc:nth=1");
+  ASSERT_TRUE(plan.has_value());
+  faultsim::ScopedFaultInjector injector(*plan);
+  const Instance instance{2, {3, 3, 2, 2, 2}};
+  EXPECT_THROW((void)solve_bb(instance), std::bad_alloc);
+}
+
+TEST(ExactBb, OracleWrapperReturnsOptOnlyWhenProven) {
+  const Instance instance{2, {3, 3, 2, 2, 2}};
+  const auto opt = testkit::exact_makespan(instance);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 6);
+  // A one-node budget cannot prove anything beyond the root.
+  EXPECT_EQ(testkit::exact_makespan(instance, 1), std::nullopt);
+}
+
+}  // namespace
+}  // namespace pcmax::exact

@@ -1,0 +1,122 @@
+// Every lower bound in exact/bounds.hpp must be provably <= OPT — the
+// branch and bound prunes with them, so a single over-tight bound silently
+// cuts off the optimum. Hand cases pin the closed-form values; the
+// brute-force sweep checks soundness on the enumerable range.
+#include "exact/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "testkit/generators.hpp"
+#include "testkit/oracles.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::exact {
+namespace {
+
+TEST(ExactBounds, PairingBoundIsZeroWhenNoMachineDoublesUp) {
+  EXPECT_EQ(pairing_bound({9, 4, 2}, 3), 0);
+  EXPECT_EQ(pairing_bound({9, 4, 2}, 5), 0);
+  EXPECT_EQ(pairing_bound({7}, 1), 0);
+}
+
+TEST(ExactBounds, PairingBoundHandCases) {
+  // n = 3, m = 2: some machine runs both of the two smallest jobs.
+  EXPECT_EQ(pairing_bound({5, 4, 3}, 2), 7);
+  // n = 7, m = 2: the h = 1 term is t[1] + t[2] = 15 and the pigeonhole
+  // terms are 2 * t[2] = 14, 3 * t[4] = 15, 4 * t[6] = 12.
+  EXPECT_EQ(pairing_bound({9, 8, 7, 6, 5, 4, 3}, 2), 15);
+  // Identical jobs: ceil(n / m) of them land together.
+  EXPECT_EQ(pairing_bound({10, 10, 10, 10, 10}, 2), 30);
+}
+
+TEST(ExactBounds, AposterioriBoundEqualsLptWhenCriticalMachineRunsOneJob) {
+  // A single job defines the makespan, so LPT is optimal outright.
+  EXPECT_EQ(lpt_aposteriori_bound(1000, 1, 4), 1000);
+}
+
+TEST(ExactBounds, AposterioriBoundHandCase) {
+  // c = 2, m = 2: OPT >= ceil(LPT * 4 / 5).
+  EXPECT_EQ(lpt_aposteriori_bound(14, 2, 2), 12);
+  // c = 3, m = 3: OPT >= ceil(LPT * 9 / 11).
+  EXPECT_EQ(lpt_aposteriori_bound(22, 3, 3), 18);
+}
+
+TEST(ExactBounds, CompletionBoundHandCases) {
+  // Empty machines: plain average, rounded up.
+  EXPECT_EQ(completion_lower_bound({0, 0}, 10), 5);
+  EXPECT_EQ(completion_lower_bound({0, 0}, 11), 6);
+  // Remaining work fits under the tallest load: the max load stands.
+  EXPECT_EQ(completion_lower_bound({3, 0}, 1), 3);
+  EXPECT_EQ(completion_lower_bound({5, 1}, 2), 5);
+  // Remaining work overflows the valley: the level rises past the max.
+  EXPECT_EQ(completion_lower_bound({3, 0}, 5), 4);
+  // Nothing remaining: the bound is the current makespan.
+  EXPECT_EQ(completion_lower_bound({7, 2, 4}, 0), 7);
+}
+
+TEST(ExactBounds, CompletionBoundSortedAgreesWithUnsorted) {
+  util::Rng rng(11);
+  for (int it = 0; it < 200; ++it) {
+    const auto m = rng.uniform(1, 6);
+    std::vector<std::int64_t> loads;
+    for (std::int64_t i = 0; i < m; ++i)
+      loads.push_back(rng.uniform(0, 49));
+    const auto remaining = rng.uniform(0, 199);
+    auto sorted = loads;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(completion_lower_bound(loads, remaining),
+              completion_lower_bound_sorted(sorted, remaining));
+  }
+}
+
+TEST(ExactBounds, EveryRootBoundIsAtMostOptOnTheEnumerableRange) {
+  util::Rng rng(20260809);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 10;
+  limits.max_machines = 5;
+  limits.max_time = 60;
+  int checked = 0;
+  for (int it = 0; it < 300; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    const auto opt = testkit::brute_force_makespan(instance);
+    ASSERT_TRUE(opt.has_value());
+    ++checked;
+    const auto bounds = compute_root_bounds(instance);
+    EXPECT_LE(bounds.trivial, *opt);
+    EXPECT_LE(bounds.pairing, *opt);
+    EXPECT_LE(bounds.lpt_ratio, *opt);
+    EXPECT_LE(bounds.lpt_aposteriori, *opt);
+    EXPECT_LE(bounds.lower(), *opt);
+    EXPECT_GE(bounds.lpt_makespan, *opt);
+    // The root water-fill (all machines empty) is also a valid root bound.
+    const std::vector<std::int64_t> empty(
+        static_cast<std::size_t>(instance.machines), 0);
+    EXPECT_LE(completion_lower_bound(empty, instance.total_time()), *opt);
+  }
+  EXPECT_EQ(checked, 300);
+}
+
+TEST(ExactBounds, LowerPicksTheStrongestBound) {
+  const Instance instance{2, {3, 3, 2, 2, 2}};
+  const auto bounds = compute_root_bounds(instance);
+  const auto strongest =
+      std::max({bounds.trivial, bounds.pairing, bounds.lpt_ratio,
+                bounds.lpt_aposteriori});
+  EXPECT_EQ(bounds.lower(), strongest);
+  EXPECT_LE(bounds.lower(), bounds.lpt_makespan);
+}
+
+TEST(ExactBounds, BoundsSurviveHugeTimesWithoutOverflow) {
+  // 1e14-scale times: the ceil(a * b / c) helpers must not wrap.
+  const std::int64_t big = 100'000'000'000'000;
+  const Instance instance{3, {big, big - 1, big - 2, big - 3, big - 4, big - 5}};
+  const auto bounds = compute_root_bounds(instance);
+  EXPECT_GE(bounds.lower(), 2 * (big - 5));
+  EXPECT_LE(bounds.lower(), bounds.lpt_makespan);
+}
+
+}  // namespace
+}  // namespace pcmax::exact

@@ -1,0 +1,88 @@
+// Golden ground-truth corpus: 30 instances whose optima were computed with
+// the unpruned brute-force DFS (and, for the hand-picked ones, verified by
+// hand). The branch and bound must reproduce every OPT bit-exactly with a
+// proven certificate — any drift here means the pruning became unsound.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "exact/bb.hpp"
+#include "testkit/invariants.hpp"
+
+namespace pcmax::exact {
+namespace {
+
+struct GoldenCase {
+  std::int64_t machines;
+  std::vector<std::int64_t> times;
+  std::int64_t opt;
+};
+
+// Hand-picked classics first, then testkit::random_instance draws (seed
+// 20260809, n <= 14, m <= 6) covering the generator families: identical
+// jobs, power-of-two times, few-dominant-jobs, wide-uniform, all-short.
+const std::vector<GoldenCase>& golden_corpus() {
+  static const std::vector<GoldenCase> corpus = {
+      {2, {2, 2, 3}, 4},
+      {2, {3, 3, 2, 2, 2}, 6},
+      {3, {5, 5, 4, 4, 3, 3, 3}, 9},
+      {2, {7, 7, 7, 7}, 14},
+      {4, {9, 8, 7, 6, 5, 4, 3, 2, 1}, 12},
+      {5, {10, 10, 10, 10, 10}, 10},
+      {3, {1000000000, 999999999, 999999998, 3, 2, 1}, 1000000001},
+      {2, {1, 1, 1, 1, 1, 1, 1}, 4},
+      {1, {27, 27, 27, 27, 27, 27, 27}, 189},
+      {6, {802, 802, 802, 802, 802, 802, 802, 802, 802, 802, 802}, 1604},
+      {5, {299, 5, 79, 5, 1, 1, 1}, 299},
+      {3, {131072, 524288, 1, 16, 8192, 4096, 1048576}, 1048576},
+      {1, {2, 2, 1, 1, 2, 2, 1, 1, 2, 1}, 15},
+      {2, {256, 8192, 65536, 32768, 1048576, 128}, 1048576},
+      {3, {757, 757, 757, 757, 757, 757, 757, 757, 757, 757, 757, 757, 757,
+           757},
+       3785},
+      {1, {524288, 32, 512, 4096, 32768, 4, 1, 131072, 1048576, 32, 8192},
+       1749573},
+      {3, {512, 512, 16384, 4, 262144, 8, 2, 32, 8, 524288, 256, 4096, 65536,
+           64},
+       524288},
+      {6, {131072, 262144, 8192, 2, 2048, 32768}, 262144},
+      {5, {524288, 8, 65536, 524288, 4096, 262144}, 524288},
+      {6, {2, 1, 6, 9, 1000}, 1000},
+      {4, {476, 1000, 2, 68, 232, 4, 74, 8, 802}, 1000},
+      {3, {523, 1000, 1000, 25, 1000, 1000, 274, 9, 869, 82, 921, 818}, 2608},
+      {1, {7, 1000, 1, 1000, 1, 1000, 1000}, 4009},
+      {4, {3, 7, 1000, 1000, 23, 1, 7, 734, 35, 90, 783, 9}, 1000},
+      {2, {80, 1000, 82, 1, 6}, 1000},
+      {5, {963, 28, 664, 1000, 656, 35, 9}, 1000},
+      {5, {97, 1, 13, 1, 1, 1, 1, 1}, 97},
+      {2, {2, 1, 1, 1, 2, 1, 2, 1, 1}, 6},
+      {5, {1048576, 524288, 2, 512, 32768, 4, 1024, 32768, 32, 1048576},
+       1048576},
+      {1, {6, 1, 1, 1, 1, 1}, 11},
+  };
+  return corpus;
+}
+
+TEST(ExactCorpus, HasThirtyCases) {
+  EXPECT_EQ(golden_corpus().size(), 30u);
+}
+
+TEST(ExactCorpus, BranchAndBoundReproducesEveryGoldenOptimum) {
+  std::size_t index = 0;
+  for (const auto& c : golden_corpus()) {
+    const Instance instance{c.machines, c.times};
+    const auto result = solve_bb(instance);
+    ASSERT_TRUE(result.optimal()) << "corpus case " << index;
+    EXPECT_EQ(result.makespan, c.opt) << "corpus case " << index;
+    EXPECT_EQ(result.lower_bound, c.opt) << "corpus case " << index;
+    EXPECT_EQ(makespan(instance, result.schedule), c.opt)
+        << "corpus case " << index;
+    EXPECT_EQ(testkit::check_exact_claim(instance, result), std::nullopt)
+        << "corpus case " << index;
+    ++index;
+  }
+}
+
+}  // namespace
+}  // namespace pcmax::exact

@@ -1,0 +1,82 @@
+// The a-priori approximation guarantees, checked against *proven* optima
+// rather than against other approximations: over 500 seeded instances,
+// LPT <= (4m-1)/(3m) * OPT and PTAS <= (k+1)/k * OPT, both verified in
+// exact (overflow-checked) integer arithmetic via check_schedule_vs_opt.
+// Every scheduler in the registry is judged, so a new engine added there is
+// automatically held to its stated bound.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "baselines/heuristics.hpp"
+#include "exact/bb.hpp"
+#include "testkit/engines.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::exact {
+namespace {
+
+TEST(ExactGuarantees, FiveHundredSeededInstancesRespectEveryStatedBound) {
+  util::Rng rng(500);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 24;
+  limits.max_machines = 8;
+  limits.max_time = 200;
+  // Small table cap keeps the PTAS engines fast; the coverage floor below
+  // proves the gate still lets plenty of instances through.
+  testkit::SchedulerEngineRegistry registry(
+      /*k=*/4, /*bb_node_budget=*/8'000'000, /*max_table_cells=*/200'000);
+  std::map<std::string, int> judged;
+  for (int it = 0; it < 500; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    const auto exact = solve_bb(instance);
+    ASSERT_TRUE(exact.optimal()) << "case " << it << " did not prove OPT";
+    const auto opt = exact.makespan;
+
+    // The classic LPT bound, spelled out longhand: LPT * 3m <= (4m-1) * OPT.
+    const auto m = instance.machines;
+    const auto lpt_ms =
+        makespan(instance, baselines::lpt(instance));
+    EXPECT_LE(lpt_ms * 3 * m, (4 * m - 1) * opt) << "case " << it;
+
+    // Every registered scheduler against its own stated rational bound
+    // (the PTAS entries assert makespan * k <= (k+1) * OPT).
+    for (const auto& engine : registry.engines()) {
+      const auto schedule = engine.solve(instance);
+      if (!schedule.has_value()) continue;  // declined, never a failure
+      const auto [num, den] = engine.bound(instance);
+      EXPECT_EQ(testkit::check_schedule_vs_opt(instance, engine.name,
+                                               *schedule, num, den, opt),
+                std::nullopt)
+          << "case " << it;
+      ++judged[engine.name];
+    }
+  }
+  // Declining is allowed case-by-case, but every engine must have been
+  // judged on a healthy share of the corpus.
+  for (const auto& engine : registry.engines())
+    EXPECT_GE(judged[engine.name], 400)
+        << engine.name << " declined too many instances";
+}
+
+TEST(ExactGuarantees, BoundArithmeticSurvivesBillionScaleTimes) {
+  // Near-1e9 times: makespan * den and num * opt approach 2^62 territory,
+  // where unchecked arithmetic would silently wrap. check_schedule_vs_opt
+  // uses overflow-checked multiplication, so this must simply pass.
+  const Instance instance{3, {1000000000, 999999999, 999999998, 3, 2, 1}};
+  const auto exact = solve_bb(instance);
+  ASSERT_TRUE(exact.optimal());
+  EXPECT_EQ(exact.makespan, 1000000001);
+  const auto lpt_schedule = baselines::lpt(instance);
+  const auto m = instance.machines;
+  EXPECT_EQ(testkit::check_schedule_vs_opt(instance, "lpt", lpt_schedule,
+                                           4 * m - 1, 3 * m, exact.makespan),
+            std::nullopt);
+}
+
+}  // namespace
+}  // namespace pcmax::exact

@@ -1,0 +1,118 @@
+// Teeth tests: a deliberately wrong exact engine must be *caught* by the
+// differential harness. Each test forges one specific lie — an optimum off
+// by one in either direction, a false optimality claim, an understated
+// lower bound, an incumbent worse than LPT — and asserts the invariant
+// checkers reject it. The final test confirms the honest engine sails
+// through, so the teeth bite bugs, not correct code.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "baselines/heuristics.hpp"
+#include "core/status.hpp"
+#include "exact/bb.hpp"
+#include "testkit/engines.hpp"
+#include "testkit/invariants.hpp"
+
+namespace pcmax::exact {
+namespace {
+
+// OPT = 14 (two machines, two 7-jobs each); LPT is optimal here.
+const Instance kTight{2, {7, 7, 7, 7}};
+// OPT = 6 ({3,3} vs {2,2,2}) but LPT gives 7 — the classic LPT gap.
+const Instance kGap{2, {3, 3, 2, 2, 2}};
+
+TEST(ExactTeeth, OracleClaimingOptPlusOneIsCaught) {
+  // An exact engine whose "optimum" is one too high: any truly optimal
+  // schedule now *beats* the claimed OPT, which the checker forbids.
+  const auto result = solve_bb(kTight);
+  ASSERT_TRUE(result.optimal());
+  const auto diagnosis = testkit::check_schedule_vs_opt(
+      kTight, "exact-off-by-one", result.schedule, 1, 1, result.makespan + 1);
+  ASSERT_TRUE(diagnosis.has_value());
+}
+
+TEST(ExactTeeth, OracleClaimingOptMinusOneIsCaught) {
+  // One too low: the engine's own schedule now violates its 1/1 guarantee.
+  const auto result = solve_bb(kTight);
+  ASSERT_TRUE(result.optimal());
+  const auto diagnosis = testkit::check_schedule_vs_opt(
+      kTight, "exact-off-by-one", result.schedule, 1, 1, result.makespan - 1);
+  ASSERT_TRUE(diagnosis.has_value());
+}
+
+TEST(ExactTeeth, HeuristicPosingAsExactIsCaughtByItsOwnBound) {
+  // A broken registry entry that returns LPT but claims the exact 1/1
+  // bound — precisely the off-by-one engine the differential harness
+  // (pcmax_fuzz exact mode) must flag. On kGap, LPT = 7 > OPT = 6.
+  const testkit::SchedulerEngine broken{
+      "exact-off-by-one",
+      [](const Instance&) { return std::pair<std::int64_t, std::int64_t>{1, 1}; },
+      [](const Instance& instance) {
+        return std::optional<Schedule>(baselines::lpt(instance));
+      }};
+  const auto opt = solve_bb(kGap);
+  ASSERT_TRUE(opt.optimal());
+  ASSERT_EQ(opt.makespan, 6);
+  const auto schedule = broken.solve(kGap);
+  ASSERT_TRUE(schedule.has_value());
+  const auto [num, den] = broken.bound(kGap);
+  const auto diagnosis = testkit::check_schedule_vs_opt(
+      kGap, broken.name, *schedule, num, den, opt.makespan);
+  ASSERT_TRUE(diagnosis.has_value());
+}
+
+TEST(ExactTeeth, InflatedMakespanClaimIsCaught) {
+  auto result = solve_bb(kTight);
+  ASSERT_TRUE(result.optimal());
+  result.makespan += 1;  // schedule no longer achieves the claim
+  EXPECT_TRUE(testkit::check_exact_claim(kTight, result).has_value());
+}
+
+TEST(ExactTeeth, FalseOptimalityClaimIsCaught) {
+  // Budget-expired result (incumbent 7, proven bound 6) relabeled kOk:
+  // an "optimal" certificate whose bound does not meet its makespan.
+  BbOptions options;
+  options.node_budget = 1;
+  auto result = solve_bb(kGap, options);
+  ASSERT_FALSE(result.optimal());
+  result.status = Status::ok();
+  EXPECT_TRUE(testkit::check_exact_claim(kGap, result).has_value());
+}
+
+TEST(ExactTeeth, UnderstatedLowerBoundIsCaught) {
+  BbOptions options;
+  options.node_budget = 1;
+  auto result = solve_bb(kGap, options);
+  ASSERT_FALSE(result.optimal());
+  result.lower_bound = 5;  // below the trivial bound ceil(12/2) = 6
+  EXPECT_TRUE(testkit::check_exact_claim(kGap, result).has_value());
+}
+
+TEST(ExactTeeth, IncumbentWorseThanLptIsCaught) {
+  // A budget-expired engine that lost its LPT seed: every job piled on one
+  // machine. The claim is internally consistent (makespan matches the
+  // schedule) but breaks the incumbent-never-worse-than-LPT contract.
+  BbOptions options;
+  options.node_budget = 1;
+  auto result = solve_bb(kGap, options);
+  ASSERT_FALSE(result.optimal());
+  result.schedule.assignment.assign(kGap.times.size(), 0);
+  result.makespan = 12;
+  EXPECT_TRUE(testkit::check_exact_claim(kGap, result).has_value());
+}
+
+TEST(ExactTeeth, HonestEngineSailsThrough) {
+  for (const Instance& instance : {kTight, kGap}) {
+    const auto result = solve_bb(instance);
+    ASSERT_TRUE(result.optimal());
+    EXPECT_EQ(testkit::check_exact_claim(instance, result), std::nullopt);
+    EXPECT_EQ(testkit::check_schedule_vs_opt(instance, "exact-bb",
+                                             result.schedule, 1, 1,
+                                             result.makespan),
+              std::nullopt);
+  }
+}
+
+}  // namespace
+}  // namespace pcmax::exact

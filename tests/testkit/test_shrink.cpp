@@ -112,5 +112,64 @@ TEST(ShrinkInstance, KeepsThePropertyCarryingJob) {
   EXPECT_GE(shrunk.times[0], 500'000);
 }
 
+// Shrinking drives a (possibly very expensive) oracle: the fixpoint loop
+// re-proposes candidates it already judged, so verdicts are memoized and a
+// cached hit must not re-run the predicate. These tests pin the call counts
+// on a known trace so a regression (dropping the memo, or keying it wrong)
+// shows up as a hard number change, not a silent slowdown.
+
+namespace {
+
+/// The known trace: shrink toward "some job still takes >= 5 units".
+Instance memo_trace_start() {
+  Instance start;
+  start.machines = 2;
+  start.times = {8, 5, 3, 2};
+  return start;
+}
+
+std::uint64_t count_shrink_evaluations(bool memoize, Instance& out) {
+  std::uint64_t calls = 0;
+  const auto fails = [&calls](const Instance& i) {
+    ++calls;
+    for (const auto t : i.times)
+      if (t >= 5) return true;
+    return false;
+  };
+  ShrinkOptions options;
+  options.memoize = memoize;
+  out = shrink_instance(memo_trace_start(), fails, options);
+  return calls;
+}
+
+}  // namespace
+
+TEST(ShrinkInstance, MemoizationNeverReEvaluatesACandidate) {
+  Instance with_memo;
+  Instance without_memo;
+  const auto memoized = count_shrink_evaluations(true, with_memo);
+  const auto plain = count_shrink_evaluations(false, without_memo);
+
+  // Memoization is semantically invisible: same minimal reproducer.
+  EXPECT_EQ(with_memo.times, without_memo.times);
+  EXPECT_EQ(with_memo.machines, without_memo.machines);
+  EXPECT_EQ(with_memo.times, (std::vector<std::int64_t>{5}));
+  EXPECT_EQ(with_memo.machines, 1);
+
+  // And strictly cheaper: the fixpoint loop's final verification round
+  // re-proposes only already-judged candidates.
+  EXPECT_LT(memoized, plain);
+}
+
+TEST(ShrinkInstance, MemoizedCallCountIsPinnedOnTheKnownTrace) {
+  // Regression pin for the shrink-step oracle memoization. If either count
+  // moves, the shrink pass order or the memo changed — recount by hand
+  // before updating (the memoized count must stay the number of *distinct*
+  // candidates proposed on this trace).
+  Instance ignored;
+  EXPECT_EQ(count_shrink_evaluations(true, ignored), 8u);
+  EXPECT_EQ(count_shrink_evaluations(false, ignored), 11u);
+}
+
 }  // namespace
 }  // namespace pcmax::testkit

@@ -28,6 +28,7 @@
 #include "core/ptas.hpp"
 #include "core/resilient.hpp"
 #include "core/rounding.hpp"
+#include "exact/bb.hpp"
 #include "faultsim/injector.hpp"
 #include "gpu/gpu_ptas.hpp"
 #include "gpu/resilient_gpu.hpp"
@@ -54,7 +55,10 @@ using Clock = std::chrono::steady_clock;
   std::fprintf(stderr,
                "usage: pcmax_fuzz [--budget SECONDS] [--seed SEED]\n"
                "                  [--max-cases N] [--replay SEED:CASE]\n"
-               "                  [--repro-dir DIR] [--verbose]\n");
+               "                  [--mode NAME] [--repro-dir DIR] [--verbose]\n"
+               "\n"
+               "--mode pins every case to one mode (e.g. exact, faults);\n"
+               "the all-engines coverage gate is then skipped.\n");
   std::exit(2);
 }
 
@@ -63,6 +67,9 @@ struct Args {
   std::uint64_t seed = 1;
   std::uint64_t max_cases = 0;  // 0 = unlimited within the budget
   std::optional<testkit::CaseId> replay;
+  /// Pin every case to one mode by name (resolved in main after the Mode
+  /// table is known); empty = the usual round-robin + biased mix.
+  std::string mode;
   std::string repro_dir = ".";
   bool verbose = false;
 };
@@ -87,6 +94,8 @@ Args parse_args(int argc, char** argv) {
     } else if (a == "--replay") {
       args.replay = testkit::parse_case(next("--replay needs SEED:CASE"));
       if (!args.replay.has_value()) usage("--replay wants the SEED:CASE form");
+    } else if (a == "--mode") {
+      args.mode = next("--mode needs a mode name");
     } else if (a == "--repro-dir") {
       args.repro_dir = next("--repro-dir needs a path");
     } else if (a == "--verbose") {
@@ -106,8 +115,9 @@ enum class Mode : int {
   kPtasCache = 4,
   kMetamorphic = 5,
   kFaults = 6,
+  kExact = 7,
 };
-constexpr int kModeCount = 7;
+constexpr int kModeCount = 8;
 
 const char* mode_name(Mode mode) {
   switch (mode) {
@@ -118,8 +128,15 @@ const char* mode_name(Mode mode) {
     case Mode::kPtasCache: return "ptas-cache";
     case Mode::kMetamorphic: return "metamorphic";
     case Mode::kFaults: return "faults";
+    case Mode::kExact: return "exact";
   }
   return "?";
+}
+
+std::optional<Mode> parse_mode(const std::string& name) {
+  for (int i = 0; i < kModeCount; ++i)
+    if (name == mode_name(static_cast<Mode>(i))) return static_cast<Mode>(i);
+  return std::nullopt;
 }
 
 /// Random fault plan for the resilience mode: each site independently gets a
@@ -176,6 +193,8 @@ struct Coverage {
   std::map<std::string, std::uint64_t> per_engine;
   /// PTAS engines whose certificate was checked.
   std::map<std::string, std::uint64_t> per_ptas_engine;
+  /// Instance-level schedulers judged against a proven optimum (exact mode).
+  std::map<std::string, std::uint64_t> per_scheduler;
 };
 
 struct Failure {
@@ -190,26 +209,30 @@ struct Failure {
 
 class Fuzzer {
  public:
-  explicit Fuzzer(const Args& args) : args_(args) {}
+  Fuzzer(const Args& args, std::optional<Mode> mode_filter)
+      : args_(args), mode_filter_(mode_filter) {}
 
   /// Runs one case; returns nullopt when it passed (or was skipped).
   std::optional<Failure> run_case(const testkit::CaseId& id) {
     util::Rng rng(testkit::case_rng_seed(id));
     // The first cases round-robin the modes so even a tiny budget exercises
     // every engine and checker; afterwards the mix is random but biased
-    // toward the differential core.
+    // toward the differential core. A --mode filter pins every case.
     Mode mode;
-    if (id.index < 3 * kModeCount) {
+    if (mode_filter_.has_value()) {
+      mode = *mode_filter_;
+    } else if (id.index < 3 * kModeCount) {
       mode = static_cast<Mode>(id.index % kModeCount);
     } else {
-      const auto roll = rng.uniform(0, 13);
+      const auto roll = rng.uniform(0, 15);
       mode = roll < 5    ? Mode::kDpDifferential
              : roll < 8  ? Mode::kPtasCertificate
              : roll < 9  ? Mode::kLayoutBijection
              : roll < 10 ? Mode::kSimulator
              : roll < 12 ? Mode::kPtasCache
              : roll < 13 ? Mode::kMetamorphic
-                         : Mode::kFaults;
+             : roll < 14 ? Mode::kFaults
+                         : Mode::kExact;
     }
     coverage_.cases++;
     coverage_.per_mode[mode_name(mode)]++;
@@ -221,6 +244,7 @@ class Fuzzer {
       case Mode::kPtasCache: return run_ptas_cache(id, rng);
       case Mode::kMetamorphic: return run_metamorphic(id, rng);
       case Mode::kFaults: return run_faults(id, rng);
+      case Mode::kExact: return run_exact(id, rng);
     }
     return std::nullopt;
   }
@@ -575,6 +599,61 @@ class Fuzzer {
     return std::nullopt;
   }
 
+  /// Ground-truth differential: prove OPT by branch and bound, then judge
+  /// every instance-level scheduler (LPT, list, MULTIFIT, both PTAS search
+  /// drivers, exact-bb itself) against it — the (1 + 1/k) guarantee tested
+  /// against the true optimum, not a bound proxy. Unproven instances are
+  /// skipped (after a certificate sanity check), never failed. At tiny n
+  /// the unpruned brute force cross-checks the branch and bound itself.
+  testkit::CheckResult check_exact_case(const Instance& instance,
+                                        bool count_coverage) {
+    exact::BbOptions options;
+    options.node_budget = 4'000'000;
+    const auto bb = exact::solve_bb(instance, options);
+    if (auto bad = testkit::check_exact_claim(instance, bb))
+      return "exact-bb certificate: " + *bad;
+    if (!bb.optimal()) {
+      if (count_coverage) coverage_.skipped++;
+      return std::nullopt;
+    }
+    const auto opt = bb.makespan;
+    if (instance.jobs() <= 12) {
+      const auto brute = testkit::brute_force_makespan(instance);
+      if (brute.has_value() && *brute != opt)
+        return "exact-bb proved OPT " + std::to_string(opt) +
+               " but brute force found " + std::to_string(*brute);
+    }
+    for (const auto& engine : scheduler_registry_.engines()) {
+      const auto schedule = engine.solve(instance);
+      if (!schedule.has_value()) continue;  // engine declined (budget/table)
+      if (count_coverage) coverage_.per_scheduler[engine.name]++;
+      const auto [num, den] = engine.bound(instance);
+      if (auto bad = testkit::check_schedule_vs_opt(instance, engine.name,
+                                                    *schedule, num, den, opt))
+        return bad;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Failure> run_exact(const testkit::CaseId& id, util::Rng& rng) {
+    testkit::InstanceLimits limits;
+    limits.max_jobs = 200;
+    limits.max_machines = 10;
+    limits.max_time = 1000;
+    const auto instance = testkit::random_instance(rng, limits);
+    auto bad = check_exact_case(instance, /*count_coverage=*/true);
+    if (!bad.has_value()) return std::nullopt;
+
+    Failure failure{id, Mode::kExact, *bad, {}, {}};
+    const auto shrunk = testkit::shrink_instance(
+        instance, [this](const Instance& candidate) {
+          return check_exact_case(candidate, /*count_coverage=*/false)
+              .has_value();
+        });
+    failure.reproducer = describe(shrunk);
+    return failure;
+  }
+
   std::optional<Failure> run_faults(const testkit::CaseId& id,
                                     util::Rng& rng) {
     const auto plan = random_fault_plan(rng);
@@ -596,7 +675,9 @@ class Fuzzer {
   }
 
   Args args_;
+  std::optional<Mode> mode_filter_;
   testkit::EngineRegistry registry_;
+  testkit::SchedulerEngineRegistry scheduler_registry_;
   Coverage coverage_;
 };
 
@@ -613,6 +694,9 @@ void print_coverage(const Fuzzer& fuzzer) {
                 static_cast<unsigned long long>(count));
   for (const auto& [engine, count] : cov.per_ptas_engine)
     std::printf("  ptas %-18s %llu certificates\n", engine.c_str(),
+                static_cast<unsigned long long>(count));
+  for (const auto& [engine, count] : cov.per_scheduler)
+    std::printf("  vs-opt %-16s %llu instances\n", engine.c_str(),
                 static_cast<unsigned long long>(count));
 }
 
@@ -679,7 +763,13 @@ int report_failure(const Args& args, Fuzzer& fuzzer, const Failure& failure) {
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
-  Fuzzer fuzzer(args);
+  std::optional<Mode> mode_filter;
+  if (!args.mode.empty()) {
+    mode_filter = parse_mode(args.mode);
+    if (!mode_filter.has_value())
+      usage(("unknown --mode: " + args.mode).c_str());
+  }
+  Fuzzer fuzzer(args, mode_filter);
 
   if (args.replay.has_value()) {
     std::printf("replaying case %s\n",
@@ -710,7 +800,14 @@ int main(int argc, char** argv) {
   print_coverage(fuzzer);
 
   // A green campaign must actually have exercised every registered engine;
-  // otherwise the differential guarantee is vacuous.
+  // otherwise the differential guarantee is vacuous. A --mode filter opts
+  // out of the full mix on purpose, so the gate does not apply.
+  if (mode_filter.has_value()) {
+    std::printf("all %llu cases green (mode %s)\n",
+                static_cast<unsigned long long>(fuzzer.coverage().cases),
+                mode_name(*mode_filter));
+    return 0;
+  }
   for (const auto& engine : fuzzer.registry().engines()) {
     if (engine.name == fuzzer.registry().reference().name) continue;
     const auto& per_engine = fuzzer.coverage().per_engine;
