@@ -23,6 +23,7 @@
 #include "gpu/gpu_dp_solver.hpp"
 #include "gpusim/topology.hpp"
 #include "placement/strategy.hpp"
+#include "recover/recovery.hpp"
 #include "util/text_table.hpp"
 
 int main(int argc, char** argv) {
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
                          "transfers", "moved MB", "peak/device MB",
                          "max cells @ 1-dev budget"});
   double base_ms = 0.0;
+  double d4_ms[2] = {0.0, 0.0};  // 4-device baseline per topology kind
   bool ok = true;
   for (const auto kind :
        {gpusim::TopologyKind::kRing, gpusim::TopologyKind::kFullMesh}) {
@@ -86,6 +88,8 @@ int main(int argc, char** argv) {
       }
       const double ms = solver.last_solve_time().ms();
       if (devices == 1 && kind == gpusim::TopologyKind::kRing) base_ms = ms;
+      if (devices == 4)
+        d4_ms[kind == gpusim::TopologyKind::kFullMesh ? 1 : 0] = ms;
       const gpusim::Topology::TransferStats xfer = topology.transfer_stats();
       std::uint64_t peak = 0;
       for (const std::uint64_t p : solver.last_device_peaks())
@@ -122,6 +126,48 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.to_string().c_str());
   std::printf("sim time is the topology's charged clock: kernels + modeled "
               "transfers;\nspeedup is vs the 1-device run.\n");
+
+  // Checkpoint overhead: the same 4-device solves with wavefront recovery
+  // checkpointing every barrier. Mirror transfers ride the interconnect in
+  // the background (they never stall the wavefront), so the only charged
+  // cost is link contention — the CI perf-smoke gate holds this under 2%.
+  std::printf("\n-- checkpoint overhead (4 devices, --checkpoint-every 1) "
+              "--\n");
+  util::TextTable ckpt_table(
+      {"topology", "sim time", "overhead", "transfers"});
+  for (const auto kind :
+       {gpusim::TopologyKind::kRing, gpusim::TopologyKind::kFullMesh}) {
+    const std::string kind_name(gpusim::topology_kind_name(kind));
+    recover::RecoveryOptions recovery;
+    recovery.checkpoint_every = 1;
+    gpusim::Topology topology(4, spec, kind);
+    const gpu::GpuDpSolver solver(topology, 6, 4, gpu::StreamPolicy::kCyclic,
+                                  placement, recovery);
+    const dp::DpResult result = solver.solve(problem);
+    if (result.opt != reference.opt || result.table != reference.table) {
+      std::fprintf(stderr, "bench_shard: CHECKPOINT MISMATCH topology=%s\n",
+                   kind_name.c_str());
+      ok = false;
+      continue;
+    }
+    const double ms = solver.last_solve_time().ms();
+    const double base =
+        d4_ms[kind == gpusim::TopologyKind::kFullMesh ? 1 : 0];
+    char overhead[32];
+    std::snprintf(overhead, sizeof overhead, "%+.2f%%",
+                  base > 0.0 ? (ms / base - 1.0) * 100.0 : 0.0);
+    ckpt_table.add_row({kind_name, bench::fmt_ms(ms), overhead,
+                        std::to_string(topology.transfer_stats().transfers)});
+
+    bench::JsonRecord record;
+    record.name = "shard/d4/" + kind_name + "-ckpt";
+    record.ns =
+        static_cast<std::uint64_t>(solver.last_solve_time().ps()) / 1000;
+    record.cells = shape.table_size;
+    record.probes = topology.transfer_stats().transfers;
+    records.push_back(std::move(record));
+  }
+  std::printf("%s\n", ckpt_table.to_string().c_str());
 
   if (!json_path.empty()) bench::write_json(json_path, records);
   return ok ? 0 : 1;

@@ -4,9 +4,18 @@
 // LB <= OPT, `ratio_vs_lower_bound` upper-bounds the true approximation
 // ratio. check_guarantee() verifies the (1 + 1/k) PTAS bound in exact
 // integer arithmetic against a target T* that the caller proved feasible.
+//
+// lpt_certificate() grades an LPT schedule by how its bound was obtained:
+// the a-priori Graham ratio (4m-1)/(3m) holds for any LPT run, but reading
+// the schedule back gives the a-posteriori critical-machine form — with c
+// jobs on the machine that defines the makespan, LPT <= ((c+1)m-1)/(cm) *
+// OPT, which is strictly tighter than a-priori whenever c >= 4 (m >= 2) and
+// proves optimality outright when c == 1. The resilient driver stamps
+// degraded results with the best tier it can prove.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "core/instance.hpp"
 
@@ -27,5 +36,36 @@ struct Certificate {
 /// the PTAS guarantees when `target` is a feasible T* <= OPT.
 [[nodiscard]] bool within_ptas_guarantee(std::int64_t makespan,
                                          std::int64_t target, std::int64_t k);
+
+/// How a result's quality bound was established, weakest to strongest.
+enum class CertificateTier : std::uint8_t {
+  kNone,         ///< no bound claimed
+  kAPriori,      ///< worst-case engine guarantee ((k+1)/k or (4m-1)/(3m))
+  kAPosteriori,  ///< read back from the schedule; tighter than a-priori
+  kOptimal,      ///< the schedule is provably optimal
+};
+
+[[nodiscard]] std::string_view certificate_tier_name(
+    CertificateTier tier) noexcept;
+
+/// An engine-quality bound as an exact rational with its provenance tier:
+/// makespan <= bound_num / bound_den * OPT.
+struct TieredBound {
+  std::int64_t bound_num = 0;
+  std::int64_t bound_den = 1;
+  CertificateTier tier = CertificateTier::kNone;
+  /// Jobs on the critical machine (a-posteriori evidence; 0 when unused).
+  std::int64_t critical_jobs = 0;
+};
+
+/// The best bound provable for an LPT schedule, read a-posteriori from the
+/// schedule itself: with c jobs on the critical machine the bound is
+/// min((4m-1)/(3m), ((c+1)m-1)/(cm)) — the critical-machine form wins for
+/// c >= 4 (kAPosteriori), c == 1 certifies optimality (1/1, kOptimal), and
+/// otherwise the a-priori Graham ratio stands (kAPriori). `schedule` must
+/// be a valid LPT schedule of `instance` (the critical-machine argument is
+/// only sound for LPT orderings).
+[[nodiscard]] TieredBound lpt_certificate(const Instance& instance,
+                                          const Schedule& schedule);
 
 }  // namespace pcmax

@@ -31,6 +31,14 @@ bool Deadline::expired() const noexcept {
   return !unlimited_ && Clock::now() >= at_;
 }
 
+std::int64_t Deadline::remaining_ms() const noexcept {
+  if (unlimited_) return std::numeric_limits<std::int64_t>::max();
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        at_ - Clock::now())
+                        .count();
+  return std::max<std::int64_t>(left, 0);
+}
+
 void Deadline::check(const char* what) const {
   if (expired())
     throw DeadlineExceeded(std::string(what) + " deadline exceeded");
@@ -150,10 +158,11 @@ void count_status(const Status& status) {
 }
 
 void record_attempt(ResilientResult& result, const SolveEngine& engine,
-                    std::int64_t k, int retry, Status status) {
+                    std::int64_t k, int retry, Status status,
+                    CertificateTier tier = CertificateTier::kNone) {
   count_status(status);
   result.attempts.push_back(
-      AttemptRecord{engine.name, k, retry, std::move(status)});
+      AttemptRecord{engine.name, k, retry, std::move(status), tier});
 }
 
 }  // namespace
@@ -192,6 +201,12 @@ SolveEngine make_lpt_engine() {
   };
   engine.run = [](const Instance& instance, std::int64_t,
                   const EngineContext&) { return lpt_outcome(instance); };
+  // LPT results carry the a-posteriori critical-machine certificate: the
+  // tightest bound this terminal engine can prove about the schedule it
+  // actually built, not just Graham's worst case.
+  engine.certify = [](const Instance& instance, const EngineOutcome& out) {
+    return lpt_certificate(instance, out.schedule);
+  };
   return engine;
 }
 
@@ -221,6 +236,10 @@ Status classify_current_exception() {
     return Status(StatusCode::kKernelLaunchFailed, e.what());
   } catch (const gpusim::StreamStalled& e) {
     return Status(StatusCode::kStreamStalled, e.what());
+  } catch (const gpusim::DeviceLost& e) {
+    // A lost device is not transient: retrying the same engine would meet
+    // the same dead hardware. Fatal => the driver falls back immediately.
+    return Status(StatusCode::kDeviceLost, e.what());
   } catch (const util::overflow_error& e) {
     return Status(StatusCode::kTableOverflow, e.what());
   } catch (const std::bad_alloc&) {
@@ -264,17 +283,20 @@ ResilientResult solve_resilient(const Instance& instance,
 
   const auto deadline_best_effort = [&]() {
     // Terminal deadline path: a best-effort LPT schedule (cheap, faultless)
-    // plus the typed status — never a partial or corrupt result.
+    // plus the typed status — never a partial or corrupt result. Even here
+    // the bound is certified a-posteriori from the schedule.
     obs::count("resilient.deadline.best_effort");
     if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
       tr->instant("resilient/deadline");
     EngineOutcome out = lpt_outcome(instance);
+    const TieredBound cert = lpt_certificate(instance, out.schedule);
     result.schedule = std::move(out.schedule);
     result.achieved_makespan = out.achieved_makespan;
     result.engine = "lpt";
     result.k = 0;
-    result.bound_num = 4 * instance.machines - 1;
-    result.bound_den = 3 * instance.machines;
+    result.bound_num = cert.bound_num;
+    result.bound_den = cert.bound_den;
+    result.certificate_tier = cert.tier;
     result.degraded = true;
     result.status = Status(StatusCode::kDeadlineExceeded,
                            "solve deadline exceeded; best-effort LPT result");
@@ -339,13 +361,25 @@ ResilientResult solve_resilient(const Instance& instance,
         EngineOutcome out = engine.run(instance, k, ctx);
         status = integrity_check(instance, k, lower_bound, out);
         if (status.is_ok()) {
-          record_attempt(result, engine, k, retry, Status::ok());
+          // Bound provenance: an engine with a certify hook proves the
+          // tightest bound it can from the schedule itself; the rest carry
+          // their a-priori worst-case guarantee.
+          TieredBound cert;
+          if (engine.certify) {
+            cert = engine.certify(instance, out);
+          } else {
+            std::tie(cert.bound_num, cert.bound_den) =
+                engine.bound(instance.machines, k);
+            cert.tier = CertificateTier::kAPriori;
+          }
+          record_attempt(result, engine, k, retry, Status::ok(), cert.tier);
           result.schedule = std::move(out.schedule);
           result.achieved_makespan = out.achieved_makespan;
           result.engine = engine.name;
           result.k = k;
-          std::tie(result.bound_num, result.bound_den) =
-              engine.bound(instance.machines, k);
+          result.bound_num = cert.bound_num;
+          result.bound_den = cert.bound_den;
+          result.certificate_tier = cert.tier;
           result.degraded = e > 0 || (engine.uses_k && k != k0);
           result.status = Status::ok();
           return result;
@@ -365,13 +399,16 @@ ResilientResult solve_resilient(const Instance& instance,
       if (engine.recover) engine.recover();
       if (retry < options.max_transient_retries) {
         // Saturating exponential backoff: a caller-supplied retry cap >= 63
-        // would make an unclamped shift undefined behavior.
+        // would make an unclamped shift undefined behavior. Clamped to the
+        // whole-solve deadline — sleeping past it would turn a recoverable
+        // blip into a guaranteed kDeadlineExceeded.
         const int shift = std::min(retry, 20);
-        const std::int64_t backoff =
+        std::int64_t backoff =
             options.backoff_ms > (std::numeric_limits<std::int64_t>::max() >>
                                   shift)
                 ? std::numeric_limits<std::int64_t>::max()
                 : options.backoff_ms << shift;
+        backoff = std::min(backoff, deadline.remaining_ms());
         obs::count("resilient.retries");
         if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
           tr->instant("resilient/retry",

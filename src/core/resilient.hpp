@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "core/certificate.hpp"
 #include "core/instance.hpp"
 #include "core/status.hpp"
 
@@ -57,6 +58,9 @@ class Deadline {
 
   [[nodiscard]] bool unlimited() const noexcept { return unlimited_; }
   [[nodiscard]] bool expired() const noexcept;
+
+  /// Whole milliseconds left (0 when expired); INT64_MAX when unlimited.
+  [[nodiscard]] std::int64_t remaining_ms() const noexcept;
 
   /// Throws DeadlineExceeded mentioning `what` when the deadline passed.
   void check(const char* what) const;
@@ -95,6 +99,8 @@ struct AttemptRecord {
   std::int64_t k = 0;  ///< rounding parameter used; 0 for LPT
   int retry = 0;       ///< 0 for the first try of this engine at this k
   Status status;       ///< kOk, or why the attempt failed
+  /// Tier of the bound this attempt certified (kNone for failed attempts).
+  CertificateTier certificate_tier = CertificateTier::kNone;
 };
 
 struct ResilientResult {
@@ -106,9 +112,12 @@ struct ResilientResult {
   std::string engine;   ///< engine that produced the schedule
   std::int64_t k = 0;   ///< final rounding parameter (0 = LPT, no rounding)
   /// Quality bound as an exact rational: makespan <= bound_num/bound_den *
-  /// OPT. (k+1)/k for a PTAS engine at k, (4m-1)/(3m) for LPT.
+  /// OPT. (k+1)/k for a PTAS engine at k; for LPT the best of the a-priori
+  /// (4m-1)/(3m) and the a-posteriori critical-machine bound.
   std::int64_t bound_num = 0;
   std::int64_t bound_den = 1;
+  /// How bound_num/bound_den was established (see core/certificate.hpp).
+  CertificateTier certificate_tier = CertificateTier::kNone;
   /// True when the result is weaker than requested: epsilon was coarsened,
   /// a fallback engine produced the schedule, or the deadline forced a
   /// best-effort answer.
@@ -154,6 +163,10 @@ struct SolveEngine {
   std::function<void()> recover;
   /// Charge a backoff of `ms` to the engine's clock (e.g. simulated time).
   std::function<void(std::int64_t ms)> backoff;
+  /// Optional a-posteriori certificate: inspect the outcome's schedule and
+  /// return the best provable bound with its tier. When null, the driver
+  /// stamps `bound` with CertificateTier::kAPriori.
+  std::function<TieredBound(const Instance&, const EngineOutcome&)> certify;
 };
 
 /// Largest epsilon for which k_for_epsilon returns exactly k. The naive

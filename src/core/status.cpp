@@ -16,6 +16,7 @@ bool is_transient(StatusCode code) noexcept {
     case StatusCode::kDeadlineExceeded:
     case StatusCode::kInvalidInput:
     case StatusCode::kUnavailable:
+    case StatusCode::kDeviceLost:
     case StatusCode::kInternal:
       return false;
   }
@@ -35,6 +36,7 @@ std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kInvalidInput: return "invalid-input";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeviceLost: return "device-lost";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";

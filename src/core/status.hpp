@@ -34,6 +34,7 @@ enum class StatusCode : std::uint8_t {
   kDeadlineExceeded,      ///< per-solve or per-probe deadline passed
   kInvalidInput,          ///< malformed instance or options
   kUnavailable,           ///< engine declined to run (e.g. skipped by pre-flight)
+  kDeviceLost,            ///< device (or its route) permanently lost mid-solve
   kInternal,              ///< unclassified failure — always a bug to chase
 };
 

@@ -7,7 +7,8 @@ namespace pcmax::faultsim {
 namespace {
 
 constexpr std::string_view kSiteNames[kSiteCount] = {
-    "device-alloc", "host-alloc", "kernel-launch", "stream-sync", "dp-cell"};
+    "device-alloc", "host-alloc",  "kernel-launch", "stream-sync",
+    "dp-cell",      "device-lost", "link-down"};
 
 bool set_error(std::string* error, std::string message) {
   if (error != nullptr) *error = std::move(message);

@@ -30,8 +30,10 @@ enum class Site : std::uint8_t {
   kKernelLaunch,  ///< gpusim::Device kernel enqueue
   kStreamSync,    ///< gpusim::Device::synchronize (stream stall)
   kDpCell,        ///< DP result finalization (transient cell corruption)
+  kDeviceLost,    ///< gpusim::Device::synchronize (device permanently lost)
+  kLinkDown,      ///< gpusim::Topology::transfer (directed link permanently down)
 };
-inline constexpr std::size_t kSiteCount = 5;
+inline constexpr std::size_t kSiteCount = 7;
 
 [[nodiscard]] std::string_view site_name(Site site) noexcept;
 [[nodiscard]] std::optional<Site> parse_site(std::string_view name) noexcept;

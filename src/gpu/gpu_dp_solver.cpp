@@ -5,11 +5,14 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/status.hpp"
 #include "gpu/charge.hpp"
 #include "gpu/resident.hpp"
 #include "util/checked_math.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "partition/block_solver.hpp"
+#include "recover/recovery.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax::gpu {
@@ -118,17 +121,31 @@ class ChargingObserver final : public partition::BlockObserver {
 /// allocation that lives for the level — the exact working set
 /// resident.hpp computes). Real values still come from the BlockedSolver,
 /// so results are bit-identical to the single-device path by construction.
+///
+/// With recovery enabled (RecoveryOptions::checkpoint_every > 0) the
+/// observer also journals a recover::CheckpointLog: every
+/// `checkpoint_every` barriers it ships the blocks computed since the
+/// previous checkpoint to each owner's buddy device (charged transfers +
+/// mirror allocations that persist while the block stays in the frontier
+/// window) and records a WavefrontCheckpoint. When a device is lost at a
+/// barrier or during a transfer, the level prologue re-places the lost
+/// blocks over the survivors, restores frontier blocks from buddy mirrors,
+/// re-charges post-checkpoint work, and resumes — results stay
+/// bit-identical because the values were host-side all along; only the
+/// charged time reflects the recovery.
 class ShardedChargingObserver final : public partition::BlockObserver {
  public:
   ShardedChargingObserver(gpusim::Topology& topology,
                           const placement::PlacementStrategy& strategy,
                           const dp::DpProblem& problem, int stream_count,
-                          StreamPolicy stream_policy)
+                          StreamPolicy stream_policy,
+                          recover::RecoveryOptions recovery = {})
       : topology_(topology),
         strategy_(strategy),
         problem_(problem),
         stream_count_(stream_count),
-        stream_policy_(stream_policy) {}
+        stream_policy_(stream_policy),
+        recovery_(recovery) {}
 
   void on_solve_begin(const partition::BlockedLayout& layout,
                       std::uint64_t config_count) override {
@@ -138,7 +155,27 @@ class ShardedChargingObserver final : public partition::BlockObserver {
     block_bytes_ = util::checked_mul(layout.cells_per_block(), 4);
     reach_ = dependency_reach(problem_, layout);
     const int n = topology_.device_count();
-    plan_ = strategy_.place(layout, n, reach_);
+    emit_ = topology_.device(0).trace_emission();
+    excluded_.assign(static_cast<std::size_t>(n), 0);
+    log_.clear();
+    ckpt_mirrors_.clear();
+    reshard_.clear();
+    // Devices lost in an earlier solve stay lost until Topology::reset();
+    // with recovery enabled this solve places around them from the start
+    // (or refuses, typed, when too few survive).
+    if (recovery_.enabled()) {
+      for (int d = 0; d < n; ++d)
+        if (topology_.device_lost(d))
+          excluded_[static_cast<std::size_t>(d)] = 1;
+      if (topology_.alive_count() < std::max(recovery_.min_devices, 1))
+        throw StatusError(Status(
+            StatusCode::kDeviceLost,
+            "unrecoverable: " + std::to_string(topology_.alive_count()) +
+                "/" + std::to_string(n) +
+                " devices alive at solve start, min_devices=" +
+                std::to_string(std::max(recovery_.min_devices, 1))));
+    }
+    plan_ = strategy_.place(layout, n, reach_, excluded_);
     PCMAX_EXPECTS(plan_.size() == layout.block_count());
 
     // Per-device persistent allocations: the device's table shard plus a
@@ -150,6 +187,11 @@ class ShardedChargingObserver final : public partition::BlockObserver {
     configs_.clear();
     peaks_.assign(static_cast<std::size_t>(n), 0);
     for (int d = 0; d < n; ++d) {
+      if (excluded_[static_cast<std::size_t>(d)] != 0) {
+        shards_.emplace_back();
+        configs_.emplace_back();
+        continue;
+      }
       gpusim::Device& dev = topology_.device(d);
       shards_.push_back(dev.allocate(util::checked_mul(
           blocks_on[static_cast<std::size_t>(d)], block_bytes_)));
@@ -160,13 +202,99 @@ class ShardedChargingObserver final : public partition::BlockObserver {
     first_level_ = true;
   }
 
-  void on_block_level(std::int64_t /*level*/,
+  void on_block_level(std::int64_t level,
                       std::span<const std::uint64_t> blocks) override {
+    int losses = 0;
+    for (;;) {
+      try {
+        level_prologue(level, blocks);
+        break;
+      } catch (const gpusim::DeviceLost&) {
+        // A device died at the barrier, or a link failure left one
+        // unreachable mid-transfer. Without checkpoints there is nothing to
+        // resume from: rethrow and let the resilient chain degrade.
+        if (!recovery_.enabled() || ++losses > topology_.device_count())
+          throw;
+        recover_or_throw(level);
+      }
+    }
+    first_level_ = false;
+    if (recovery_.enabled()) log_.begin_level(level);
+  }
+
+  void on_in_block_level(std::uint64_t block_id, std::int64_t /*in_level*/,
+                         std::span<const CellStat> cells) override {
+    const LevelWork work = aggregate(cells);
+    if (work.cells == 0) return;
+    const auto d = static_cast<std::size_t>(plan_[block_id]);
+    gpusim::Device& dev = topology_.device(static_cast<int>(d));
+    const int stream = stream_of_.at(block_id);
+    [[maybe_unused]] const auto scratch =
+        dev.allocate(util::checked_mul(work.candidates, 4));
+    peaks_[d] = std::max(peaks_[d], dev.memory_in_use());
+    dev.launch_estimated(stream, "FindOPT", charge_find_opt(work, params_));
+    if (work.candidates > 0)
+      dev.launch_accounted(stream, "FindValidSub",
+                           charge_find_valid_sub(work, params_));
+    if (work.deps > 0)
+      dev.launch_accounted(stream, "SetOPT", charge_set_opt(work, params_));
+    if (recovery_.enabled())
+      log_.record(recover::BlockWork{block_id, work.cells, work.candidates,
+                                     work.deps});
+  }
+
+  void on_solve_end() override {
+    // Losses at the final barrier cost nothing: every value is already
+    // final and host-side, so with recovery enabled the survivors simply
+    // barrier again without the fallen device.
+    for (int attempt = 0;; ++attempt) {
+      try {
+        topology_.barrier();
+        break;
+      } catch (const gpusim::DeviceLost&) {
+        if (!recovery_.enabled() || attempt >= topology_.device_count()) {
+          release_all();
+          throw;
+        }
+        if (emit_) obs::count("recover.device_lost");
+      }
+    }
+    release_all();
+  }
+
+  [[nodiscard]] std::uint64_t peak_memory() const noexcept {
+    return peaks_.empty() ? 0
+                          : *std::max_element(peaks_.begin(), peaks_.end());
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& device_peaks()
+      const noexcept {
+    return peaks_;
+  }
+
+ private:
+  void release_all() {
+    mirrors_.clear();
+    ckpt_mirrors_.clear();
+    reshard_.clear();
+    shards_.clear();
+    configs_.clear();
+  }
+
+  /// Everything that happens between two block-levels: the wavefront
+  /// barrier, a checkpoint when one is due, stream assignment, and the
+  /// cross-device dependency transfer scan. Throws gpusim::DeviceLost when
+  /// a device falls over anywhere inside; the caller recovers and retries
+  /// (re-running the prologue re-charges barrier/transfer costs — that IS
+  /// the recovery cost).
+  void level_prologue(std::int64_t level,
+                      std::span<const std::uint64_t> blocks) {
     const int n = topology_.device_count();
     // Wavefront barrier across all devices between block-levels; the
     // previous level's dependency mirrors are evicted once it retires.
     if (!first_level_) topology_.barrier();
-    first_level_ = false;
+    if (recovery_.enabled() && !first_level_ &&
+        log_.levels_since_checkpoint() >= recovery_.checkpoint_every)
+      take_checkpoint(level);
     mirrors_.clear();
     mirrored_.clear();
 
@@ -216,52 +344,186 @@ class ShardedChargingObserver final : public partition::BlockObserver {
           });
     }
     for (int d = 0; d < n; ++d) {
+      if (topology_.device_lost(d)) continue;
       gpusim::Device& dev = topology_.device(d);
       const auto dd = static_cast<std::size_t>(d);
       if (arrival[dd] > dev.now()) dev.advance(arrival[dd] - dev.now());
     }
   }
 
-  void on_in_block_level(std::uint64_t block_id, std::int64_t /*in_level*/,
-                         std::span<const CellStat> cells) override {
-    const LevelWork work = aggregate(cells);
-    if (work.cells == 0) return;
-    const auto d = static_cast<std::size_t>(plan_[block_id]);
-    gpusim::Device& dev = topology_.device(static_cast<int>(d));
-    const int stream = stream_of_.at(block_id);
-    [[maybe_unused]] const auto scratch =
-        dev.allocate(util::checked_mul(work.candidates, 4));
-    peaks_[d] = std::max(peaks_[d], dev.memory_in_use());
-    dev.launch_estimated(stream, "FindOPT", charge_find_opt(work, params_));
-    if (work.candidates > 0)
-      dev.launch_accounted(stream, "FindValidSub",
-                           charge_find_valid_sub(work, params_));
-    if (work.deps > 0)
-      dev.launch_accounted(stream, "SetOPT", charge_set_opt(work, params_));
+  /// Block-level (anti-diagonal) of a block id in the block grid.
+  [[nodiscard]] std::int64_t block_level(std::uint64_t block_id) const {
+    std::vector<std::int64_t> g(layout_->grid().dims());
+    layout_->grid().unflatten(block_id, g);
+    std::int64_t lvl = 0;
+    for (const std::int64_t c : g) lvl += c;
+    return lvl;
   }
 
-  void on_solve_end() override {
-    topology_.barrier();
-    mirrors_.clear();
-    shards_.clear();
-    configs_.clear();
+  /// Ships every block computed since the previous checkpoint to its
+  /// owner's buddy (charged transfers + mirror allocations held while the
+  /// block stays in the frontier window) and records the checkpoint. The
+  /// shipping overlaps compute — only link occupancy is charged, device
+  /// clocks do not wait on it — so the overhead is a sliver of contention.
+  void take_checkpoint(std::int64_t level) {
+    std::optional<obs::ScopedSpan> span;
+    if (emit_ && obs::trace() != nullptr) {
+      const auto args = {obs::arg("level", level)};
+      span.emplace("recover/checkpoint", args);
+    }
+
+    // Mirrors of blocks that fell out of the frontier window can never be
+    // restored from again; release their accounting.
+    std::int64_t window = 0;
+    for (const std::int64_t r : reach_) window += r;
+    window = std::max<std::int64_t>(window, 1);
+    std::erase_if(ckpt_mirrors_, [&](const HeldMirror& held) {
+      return held.level < level - window;
+    });
+
+    const std::vector<int> buddies = recover::assign_buddies(excluded_);
+    std::vector<std::uint64_t> mirrored;
+    for (const auto& lr : log_.replay())
+      for (const auto& bw : lr.blocks) mirrored.push_back(bw.block_id);
+    std::sort(mirrored.begin(), mirrored.end());
+    for (const std::uint64_t b : mirrored) {
+      const int owner = plan_[b];
+      const int buddy = buddies[static_cast<std::size_t>(owner)];
+      if (buddy < 0) continue;  // lone survivor: nowhere to mirror
+      topology_.transfer(owner, buddy, block_bytes_);
+      ckpt_mirrors_.push_back(HeldMirror{
+          block_level(b), topology_.device(buddy).allocate(block_bytes_)});
+      const auto bd = static_cast<std::size_t>(buddy);
+      peaks_[bd] =
+          std::max(peaks_[bd], topology_.device(buddy).memory_in_use());
+    }
+
+    recover::WavefrontCheckpoint ckpt;
+    ckpt.level = level;
+    ckpt.shard_manifest = plan_;
+    ckpt.mirror_of = buddies;
+    const std::vector<std::uint64_t> frontier =
+        recover::compute_frontier(*layout_, level, reach_);
+    ckpt.frontier_digest = recover::frontier_digest(level, frontier, plan_);
+    log_.install(std::move(ckpt), mirrored);
+    if (emit_) obs::count("recover.checkpoints");
   }
 
-  [[nodiscard]] std::uint64_t peak_memory() const noexcept {
-    return peaks_.empty() ? 0
-                          : *std::max_element(peaks_.begin(), peaks_.end());
-  }
-  [[nodiscard]] const std::vector<std::uint64_t>& device_peaks()
-      const noexcept {
-    return peaks_;
+  /// Reacts to a device loss: re-places the lost blocks over the
+  /// survivors, restores frontier blocks from their buddy mirrors (charged
+  /// transfers), and re-charges post-checkpoint work on the new owners.
+  /// Throws a typed StatusError(kDeviceLost) when recovery is impossible
+  /// (below min_devices, or the mirrors died with their holder) so the
+  /// resilient chain degrades instead.
+  void recover_or_throw(std::int64_t level) {
+    const int n = topology_.device_count();
+    int newly = 0;
+    for (int d = 0; d < n; ++d) {
+      const auto dd = static_cast<std::size_t>(d);
+      if (excluded_[dd] == 0 && topology_.device_lost(d)) {
+        excluded_[dd] = 1;
+        ++newly;
+      }
+    }
+    if (emit_ && newly > 0)
+      obs::count("recover.device_lost", static_cast<std::uint64_t>(newly));
+
+    std::optional<obs::ScopedSpan> span;
+    if (emit_ && obs::trace() != nullptr) {
+      const auto args = {obs::arg("level", level),
+                         obs::arg("alive", topology_.alive_count())};
+      span.emplace("recover/replacement", args);
+    }
+
+    // Merged replacement placement: survivors keep their blocks in place,
+    // lost-device blocks re-home onto survivors per the strategy. (An
+    // all-lost topology cannot even re-place; refuse first.)
+    recover::RecoveryPlan rplan;
+    if (topology_.alive_count() < std::max(recovery_.min_devices, 1)) {
+      rplan.refusal = recover::RecoveryRefusal::kBelowMinDevices;
+    } else {
+      const std::vector<int> fresh =
+          strategy_.place(*layout_, n, reach_, excluded_);
+      std::vector<int> merged = plan_;
+      for (std::size_t b = 0; b < merged.size(); ++b)
+        if (excluded_[static_cast<std::size_t>(merged[b])] != 0)
+          merged[b] = fresh[b];
+      const std::vector<std::uint64_t> frontier =
+          recover::compute_frontier(*layout_, level, reach_);
+      rplan = recover::plan_recovery(log_, plan_, merged, excluded_,
+                                     frontier, recovery_);
+      if (rplan.recoverable()) execute_recovery(rplan, merged);
+    }
+    if (!rplan.recoverable()) {
+      if (emit_) obs::count("recover.unrecoverable");
+      throw StatusError(
+          Status(StatusCode::kDeviceLost,
+                 "unrecoverable device loss at block-level " +
+                     std::to_string(level) + ": " +
+                     std::string(recover::recovery_refusal_name(
+                         rplan.refusal)) +
+                     " (" + std::to_string(topology_.alive_count()) + "/" +
+                     std::to_string(n) + " devices alive)"));
+    }
   }
 
- private:
+  void execute_recovery(const recover::RecoveryPlan& rplan,
+                        std::vector<int>& merged) {
+    {
+      std::optional<obs::ScopedSpan> span;
+      if (emit_ && obs::trace() != nullptr) {
+        const auto args = {
+            obs::arg("restores",
+                     static_cast<std::int64_t>(rplan.restores.size())),
+            obs::arg("replays",
+                     static_cast<std::int64_t>(rplan.replays.size()))};
+        span.emplace("recover/restore", args);
+      }
+      // Re-materialize mirrored frontier blocks on their new owners.
+      for (const recover::RestoreStep& rs : rplan.restores) {
+        if (rs.mirror_device != rs.new_owner)
+          topology_.transfer(rs.mirror_device, rs.new_owner, block_bytes_);
+        reshard_.push_back(
+            topology_.device(rs.new_owner).allocate(block_bytes_));
+        const auto od = static_cast<std::size_t>(rs.new_owner);
+        peaks_[od] = std::max(
+            peaks_[od], topology_.device(rs.new_owner).memory_in_use());
+      }
+      // Re-execute post-checkpoint work that died with its device: same
+      // kernels, new owner, stream 0 (the next barrier times them).
+      std::unordered_set<std::int64_t> levels_replayed;
+      for (const recover::ReplayStep& rs : rplan.replays) {
+        LevelWork work;
+        work.cells = rs.work.cells;
+        work.candidates = rs.work.candidates;
+        work.deps = rs.work.deps;
+        gpusim::Device& dev = topology_.device(rs.new_owner);
+        reshard_.push_back(dev.allocate(block_bytes_));
+        dev.launch_estimated(0, "FindOPT", charge_find_opt(work, params_));
+        if (work.candidates > 0)
+          dev.launch_accounted(0, "FindValidSub",
+                               charge_find_valid_sub(work, params_));
+        if (work.deps > 0)
+          dev.launch_accounted(0, "SetOPT", charge_set_opt(work, params_));
+        const auto od = static_cast<std::size_t>(rs.new_owner);
+        peaks_[od] = std::max(peaks_[od], dev.memory_in_use());
+        levels_replayed.insert(rs.level);
+      }
+      if (emit_) {
+        obs::count("recover.replacements");
+        obs::count("recover.restored_blocks", rplan.restores.size());
+        obs::count("recover.replayed_levels", levels_replayed.size());
+      }
+    }
+    plan_ = std::move(merged);
+  }
+
   gpusim::Topology& topology_;
   const placement::PlacementStrategy& strategy_;
   const dp::DpProblem& problem_;
   int stream_count_;
   StreamPolicy stream_policy_;
+  recover::RecoveryOptions recovery_;
   ChargeParams params_;
   const partition::BlockedLayout* layout_ = nullptr;
   std::uint64_t block_bytes_ = 0;
@@ -273,6 +535,18 @@ class ShardedChargingObserver final : public partition::BlockObserver {
   std::vector<gpusim::Device::Buffer> mirrors_;
   std::unordered_set<std::uint64_t> mirrored_;  // (dst, pred) this level
   std::vector<std::uint64_t> peaks_;
+  /// Checkpoint mirror accounting, held until the block leaves the
+  /// frontier window.
+  struct HeldMirror {
+    std::int64_t level;
+    gpusim::Device::Buffer buffer;
+  };
+  std::vector<HeldMirror> ckpt_mirrors_;
+  /// Shard space re-allocated on gaining devices during recovery.
+  std::vector<gpusim::Device::Buffer> reshard_;
+  recover::CheckpointLog log_;
+  std::vector<std::uint8_t> excluded_;
+  bool emit_ = true;
   bool first_level_ = true;
 };
 
@@ -291,15 +565,19 @@ GpuDpSolver::GpuDpSolver(gpusim::Device& device, std::size_t partition_dims,
 GpuDpSolver::GpuDpSolver(gpusim::Topology& topology,
                          std::size_t partition_dims, int stream_count,
                          StreamPolicy stream_policy,
-                         placement::PlacementKind placement)
+                         placement::PlacementKind placement,
+                         recover::RecoveryOptions recovery)
     : device_(&topology.device(0)),
       topology_(&topology),
       partition_dims_(partition_dims),
       stream_count_(stream_count),
       stream_policy_(stream_policy),
-      placement_(placement) {
+      placement_(placement),
+      recovery_(recovery) {
   PCMAX_EXPECTS(stream_count >= 1);
   PCMAX_EXPECTS(stream_count <= device_->spec().max_streams);
+  PCMAX_EXPECTS(recovery.checkpoint_every >= 0);
+  PCMAX_EXPECTS(recovery.min_devices >= 0);
 }
 
 std::string GpuDpSolver::name() const {
@@ -355,7 +633,7 @@ dp::DpResult GpuDpSolver::solve_sharded(
   const std::unique_ptr<placement::PlacementStrategy> strategy =
       placement::make_placement(placement_);
   ShardedChargingObserver observer(topology, *strategy, problem,
-                                   stream_count_, stream_policy_);
+                                   stream_count_, stream_policy_, recovery_);
   const partition::BlockedSolver solver(partition_dims_, &observer);
   dp::DpResult result = solver.solve(problem, options);
   last_solve_time_ = topology.now() - start;

@@ -22,6 +22,7 @@
 #include "gpusim/device.hpp"
 #include "gpusim/topology.hpp"
 #include "placement/strategy.hpp"
+#include "recover/recovery.hpp"
 
 namespace pcmax::gpu {
 
@@ -49,11 +50,21 @@ class GpuDpSolver final : public dp::DpSolver {
   /// bit-identical to the single-device solver — only the charged time and
   /// per-device memory differ. A one-device topology takes the exact
   /// single-device path on device 0 (no placement, no transfer scans).
+  ///
+  /// `recovery` (off by default) enables checkpointed device-loss recovery:
+  /// every `checkpoint_every` wavefront barriers the solve mirrors freshly
+  /// computed blocks onto buddy devices, and a device lost mid-solve is
+  /// survived by re-placing its blocks over the survivors, restoring the
+  /// frontier from mirrors, and re-charging post-checkpoint work — the
+  /// result stays bit-identical to a fault-free run. When recovery is
+  /// impossible (alive devices < min_devices, or the mirrors died too) the
+  /// solve throws a typed StatusError(kDeviceLost).
   GpuDpSolver(gpusim::Topology& topology, std::size_t partition_dims,
               int stream_count = 4,
               StreamPolicy stream_policy = StreamPolicy::kCyclic,
               placement::PlacementKind placement =
-                  placement::PlacementKind::kLevelContiguous);
+                  placement::PlacementKind::kLevelContiguous,
+              recover::RecoveryOptions recovery = {});
 
   using DpSolver::solve;
   [[nodiscard]] dp::DpResult solve(
@@ -91,6 +102,7 @@ class GpuDpSolver final : public dp::DpSolver {
   StreamPolicy stream_policy_;
   placement::PlacementKind placement_ =
       placement::PlacementKind::kLevelContiguous;
+  recover::RecoveryOptions recovery_;
   mutable util::SimTime last_solve_time_;
   mutable std::uint64_t last_peak_memory_ = 0;
   mutable std::vector<std::uint64_t> last_device_peaks_;

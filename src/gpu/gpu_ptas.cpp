@@ -63,7 +63,7 @@ struct SimTarget {
     return topology != nullptr
                ? GpuDpSolver(*topology, options.partition_dims,
                              options.streams_per_probe, StreamPolicy::kCyclic,
-                             options.placement)
+                             options.placement, options.recovery)
                : GpuDpSolver(*device, options.partition_dims,
                              options.streams_per_probe);
   }
@@ -161,7 +161,7 @@ GpuPtasResult solve_hyperq(const Instance& instance, const SimTarget& target,
                   const GpuDpSolver solver(
                       scratch, options.partition_dims,
                       options.streams_per_probe, StreamPolicy::kCyclic,
-                      options.placement);
+                      options.placement, options.recovery);
                   opt = solver.solve(to_dp_problem(rounded)).opt;
                   round_time = std::max(round_time, solver.last_solve_time());
                   accumulate(result.stats, scratch.aggregate_stats());

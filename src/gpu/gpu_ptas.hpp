@@ -45,6 +45,10 @@ struct GpuPtasOptions {
   /// Optional externally owned cache shared across runs; a private one is
   /// used when null and use_probe_cache is set.
   ProbeCacheBase* probe_cache = nullptr;
+  /// Checkpointed device-loss recovery for sharded probes (see
+  /// GpuDpSolver's topology constructor); off by default, ignored on a
+  /// single device.
+  recover::RecoveryOptions recovery;
 };
 
 struct GpuPtasResult {

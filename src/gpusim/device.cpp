@@ -38,6 +38,7 @@ void Device::Buffer::release() noexcept {
 }
 
 Device::Buffer Device::allocate(std::uint64_t bytes) {
+  throw_if_lost("allocate");
   if (faultsim::fault_at(faultsim::Site::kDeviceAlloc).has_value())
     throw OutOfMemory("injected fault: device allocation of " +
                       std::to_string(bytes) + " bytes failed");
@@ -52,9 +53,16 @@ Device::Buffer Device::allocate(std::uint64_t bytes) {
   return Buffer(this, bytes, epoch_);
 }
 
+void Device::throw_if_lost(const char* op) const {
+  if (lost_)
+    throw DeviceLost("device " + std::to_string(ordinal_) + " is lost (" +
+                     op + ")");
+}
+
 void Device::enqueue(int stream, std::string name, const WorkEstimate& work,
                      util::SimTime launch_latency, bool is_child) {
   PCMAX_EXPECTS(stream >= 0 && stream < spec_.max_streams);
+  throw_if_lost("launch");
   // Fires before any state mutates, so a failed launch leaves the queue
   // exactly as it was (a caller may synchronize() the survivors).
   if (faultsim::fault_at(faultsim::Site::kKernelLaunch).has_value())
@@ -109,11 +117,23 @@ void Device::reset() {
   pending_.clear();
   scheduler_ = FluidScheduler(spec_.sm_count);
   memory_in_use_ = 0;
+  lost_ = false;
   ++epoch_;
 }
 
 util::SimTime Device::synchronize() {
+  throw_if_lost("synchronize");
   ++stats_.synchronizations;
+  if (faultsim::fault_at(faultsim::Site::kDeviceLost).has_value()) {
+    // The device falls off the bus: pending (unretired) work is gone and
+    // every further operation rethrows until reset(). The clock freezes at
+    // the moment of loss.
+    pending_.clear();
+    scheduler_ = FluidScheduler(spec_.sm_count);
+    lost_ = true;
+    throw DeviceLost("injected fault: device " + std::to_string(ordinal_) +
+                     " lost");
+  }
   if (const auto fault = faultsim::fault_at(faultsim::Site::kStreamSync)) {
     // The stream sits idle for the injected stall before any queued work
     // retires. A stall at or past the watchdog means the stream is hung:

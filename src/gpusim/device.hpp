@@ -45,6 +45,16 @@ class StreamStalled : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown when a device is permanently lost mid-solve (injected `device-lost`
+/// fault, or a `link-down` fault leaving it unreachable). Unlike the
+/// transient failures above, the loss is sticky: every further allocate /
+/// launch / synchronize on the device rethrows until reset() revives it.
+/// Maps to StatusCode::kDeviceLost at the resilient boundary.
+class DeviceLost : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 class Device {
  public:
   /// `ordinal` is the device's index within a multi-device Topology; it
@@ -133,8 +143,16 @@ class Device {
   /// launches and their scheduler state and zeroes the memory accounting so
   /// Buffers orphaned by an unwound solve stop counting against capacity.
   /// Live Buffers become stale handles — their release() is a no-op against
-  /// the fresh accounting. The clock, stats, and kernel log survive.
+  /// the fresh accounting. The clock, stats, and kernel log survive. A lost
+  /// device comes back healthy (the node rejoined).
   void reset();
+
+  /// True once the device was lost mid-solve; sticky until reset().
+  [[nodiscard]] bool lost() const noexcept { return lost_; }
+
+  /// Marks the device lost without going through an injected fault (used by
+  /// the topology when a link-down leaves the device unreachable).
+  void mark_lost() noexcept { lost_ = true; }
 
   // --- Introspection ----------------------------------------------------
 
@@ -173,6 +191,7 @@ class Device {
   }
 
  private:
+  void throw_if_lost(const char* op) const;
   void enqueue(int stream, std::string name, const WorkEstimate& work,
                util::SimTime launch_latency, bool is_child);
   void emit_trace_spans() const;
@@ -187,6 +206,7 @@ class Device {
   std::uint64_t memory_in_use_ = 0;
   std::uint64_t peak_memory_ = 0;
   std::uint64_t epoch_ = 0;  ///< bumped by reset(); invalidates old Buffers
+  bool lost_ = false;
   bool trace_emission_ = true;
 };
 

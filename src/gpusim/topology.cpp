@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "faultsim/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/contracts.hpp"
@@ -48,6 +49,7 @@ Topology::Topology(int device_count, const DeviceSpec& spec,
   const std::size_t n = static_cast<std::size_t>(device_count);
   link_free_at_.assign(kind_ == TopologyKind::kRing ? 2 * n : n * n,
                        util::SimTime{});
+  link_down_.assign(link_free_at_.size(), 0);
 }
 
 Device& Topology::device(int i) {
@@ -58,6 +60,24 @@ Device& Topology::device(int i) {
 const Device& Topology::device(int i) const {
   PCMAX_EXPECTS(i >= 0 && i < device_count());
   return *devices_[static_cast<std::size_t>(i)];
+}
+
+bool Topology::device_lost(int i) const {
+  PCMAX_EXPECTS(i >= 0 && i < device_count());
+  return devices_[static_cast<std::size_t>(i)]->lost();
+}
+
+int Topology::alive_count() const noexcept {
+  int alive = 0;
+  for (const auto& device : devices_)
+    if (!device->lost()) ++alive;
+  return alive;
+}
+
+int Topology::down_link_count() const noexcept {
+  int down = 0;
+  for (const std::uint8_t d : link_down_) down += d != 0 ? 1 : 0;
+  return down;
 }
 
 int Topology::hop_count(int from, int to) const {
@@ -82,33 +102,80 @@ std::size_t Topology::link_index(int from, int to) const {
   return n + static_cast<std::size_t>(from);
 }
 
-std::vector<int> Topology::path(int from, int to) const {
-  std::vector<int> route{from};
+Topology::Route Topology::ring_route(int from, int to, int step) const {
+  Route r;
+  r.nodes.push_back(from);
+  const int n = device_count();
+  const std::size_t sz = devices_.size();
+  for (int at = from; at != to;) {
+    // +1-direction links sit at index `source`, -1-direction at n+`source`.
+    const std::size_t link = step == 1 ? static_cast<std::size_t>(at)
+                                       : sz + static_cast<std::size_t>(at);
+    if (link_down_[link] != 0) return {};
+    at = (at + step + n) % n;
+    // Store-and-forward needs every intermediate hop alive.
+    if (at != to && devices_[static_cast<std::size_t>(at)]->lost()) return {};
+    r.links.push_back(link);
+    r.nodes.push_back(at);
+  }
+  return r;
+}
+
+Topology::Route Topology::route(int from, int to) const {
   if (kind_ == TopologyKind::kFullMesh) {
-    route.push_back(to);
-    return route;
+    const std::size_t direct = link_index(from, to);
+    if (link_down_[direct] == 0) return Route{{from, to}, {direct}};
+    // Two-hop detour through the lowest-ordinal live intermediate whose
+    // links are both up; deterministic, like ring tie-breaking.
+    for (int v = 0; v < device_count(); ++v) {
+      if (v == from || v == to) continue;
+      if (devices_[static_cast<std::size_t>(v)]->lost()) continue;
+      const std::size_t a = link_index(from, v);
+      const std::size_t b = link_index(v, to);
+      if (link_down_[a] != 0 || link_down_[b] != 0) continue;
+      return Route{{from, v, to}, {a, b}};
+    }
+    return {};
   }
   const int n = device_count();
   const int forward = (to - from + n) % n;
   // Shorter direction wins; an exact tie (even N, antipodal pair) takes the
-  // +1 direction so routing stays deterministic.
-  const int step = forward <= n - forward ? 1 : -1;
-  for (int at = from; at != to;) {
-    at = (at + step + n) % n;
-    route.push_back(at);
-  }
-  return route;
+  // +1 direction so routing stays deterministic. A blocked direction falls
+  // back to the other one.
+  const int prefer = forward <= n - forward ? 1 : -1;
+  Route r = ring_route(from, to, prefer);
+  if (r.nodes.empty()) r = ring_route(from, to, -prefer);
+  return r;
 }
 
 util::SimTime Topology::transfer(int from, int to, std::uint64_t bytes) {
   PCMAX_EXPECTS(from >= 0 && from < device_count());
   PCMAX_EXPECTS(to >= 0 && to < device_count());
   PCMAX_EXPECTS(from != to);
-  const std::vector<int> route = path(from, to);
+  if (devices_[static_cast<std::size_t>(from)]->lost())
+    throw DeviceLost("transfer source device " + std::to_string(from) +
+                     " is lost");
+  if (devices_[static_cast<std::size_t>(to)]->lost())
+    throw DeviceLost("transfer destination device " + std::to_string(to) +
+                     " is lost");
+  if (faultsim::fault_at(faultsim::Site::kLinkDown).has_value()) {
+    // The first link of the currently preferred route goes down, for good:
+    // this transfer and every later one must route around it.
+    const Route preferred = route(from, to);
+    if (!preferred.links.empty()) link_down_[preferred.links.front()] = 1;
+  }
+  const Route r = route(from, to);
+  if (r.nodes.empty()) {
+    // No live route: from the solver's point of view the destination is as
+    // good as lost, so mark it and report the loss with a typed error.
+    devices_[static_cast<std::size_t>(to)]->mark_lost();
+    throw DeviceLost("device " + std::to_string(to) + " unreachable from " +
+                     std::to_string(from) + ": no live route");
+  }
   const util::SimTime serialize = link_.serialization(bytes);
   util::SimTime at = devices_[static_cast<std::size_t>(from)]->now();
-  for (std::size_t hop = 0; hop + 1 < route.size(); ++hop) {
-    const std::size_t link = link_index(route[hop], route[hop + 1]);
+  for (std::size_t hop = 0; hop < r.links.size(); ++hop) {
+    const std::size_t link = r.links[hop];
     const util::SimTime depart = std::max(at, link_free_at_[link]);
     const util::SimTime arrive = depart + link_.link_latency + serialize;
     link_free_at_[link] = arrive;
@@ -116,8 +183,8 @@ util::SimTime Topology::transfer(int from, int to, std::uint64_t bytes) {
     ++transfer_stats_.hops;
     if (trace_emission_) {
       if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr) {
-        const std::string name = "xfer d" + std::to_string(route[hop]) +
-                                 "->d" + std::to_string(route[hop + 1]);
+        const std::string name = "xfer d" + std::to_string(r.nodes[hop]) +
+                                 "->d" + std::to_string(r.nodes[hop + 1]);
         tr->complete(name, obs::kInterconnectPidBase +
                                static_cast<std::int32_t>(link),
                      obs::kParentTid, depart.ps(), (arrive - depart).ps(),
@@ -138,10 +205,14 @@ util::SimTime Topology::transfer(int from, int to, std::uint64_t bytes) {
 
 util::SimTime Topology::barrier() {
   util::SimTime latest;
-  for (const auto& device : devices_)
+  for (const auto& device : devices_) {
+    if (device->lost()) continue;
     latest = std::max(latest, device->synchronize());
-  for (const auto& device : devices_)
+  }
+  for (const auto& device : devices_) {
+    if (device->lost()) continue;
     device->advance(latest - device->now());
+  }
   return latest;
 }
 
@@ -153,11 +224,20 @@ util::SimTime Topology::now() const noexcept {
 }
 
 void Topology::advance(util::SimTime delta) {
-  for (const auto& device : devices_) device->advance(delta);
+  for (const auto& device : devices_) {
+    if (device->lost()) continue;  // a lost device's clock stays frozen
+    device->advance(delta);
+  }
 }
 
 void Topology::reset() {
   for (const auto& device : devices_) device->reset();
+  // Cold-start the interconnect too: stale link-free-at timestamps would
+  // otherwise queue the next solve's transfers behind ghosts of the aborted
+  // one, and its TransferStats would leak into fresh measurements.
+  link_free_at_.assign(link_free_at_.size(), util::SimTime{});
+  link_down_.assign(link_down_.size(), 0);
+  transfer_stats_ = {};
 }
 
 void Topology::set_trace_emission(bool enabled) noexcept {

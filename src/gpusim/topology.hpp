@@ -70,6 +70,14 @@ class Topology {
   }
   [[nodiscard]] Device& device(int i);
   [[nodiscard]] const Device& device(int i) const;
+
+  /// True when device `i` was lost mid-solve (injected `device-lost` fault,
+  /// or declared unreachable after link failures). Sticky until reset().
+  [[nodiscard]] bool device_lost(int i) const;
+  /// Devices not currently lost.
+  [[nodiscard]] int alive_count() const noexcept;
+  /// Directed links taken down by injected `link-down` faults.
+  [[nodiscard]] int down_link_count() const noexcept;
   [[nodiscard]] TopologyKind kind() const noexcept { return kind_; }
   [[nodiscard]] const InterconnectSpec& link_spec() const noexcept {
     return link_;
@@ -85,11 +93,18 @@ class Topology {
   /// the source device's current clock. Returns the arrival time at `to`;
   /// device clocks are NOT advanced — the caller decides when a consumer
   /// must wait (see GpuDpSolver's level loop).
+  ///
+  /// Routes around links downed by injected `link-down` faults (ring: the
+  /// other direction; mesh: a two-hop detour through the lowest-ordinal
+  /// live intermediate). Throws DeviceLost when either endpoint is lost or
+  /// no live route remains (the destination is then marked lost too: from
+  /// the solver's point of view an unreachable device is a lost device).
   util::SimTime transfer(int from, int to, std::uint64_t bytes);
 
-  /// The cross-device wavefront barrier: synchronizes every device and
-  /// aligns all clocks to the latest one, so the next block-level starts
-  /// simultaneously everywhere. Returns the aligned time.
+  /// The cross-device wavefront barrier: synchronizes every live device and
+  /// aligns their clocks to the latest one, so the next block-level starts
+  /// simultaneously everywhere. Lost devices are skipped (their clocks stay
+  /// frozen at the moment of loss). Returns the aligned time.
   util::SimTime barrier();
 
   /// Latest device clock.
@@ -99,8 +114,11 @@ class Topology {
   /// e.g. probe rounds simulated on scratch topologies).
   void advance(util::SimTime delta);
 
-  /// Resets every device (see Device::reset); link state and the clocks
-  /// survive, as on a real node where cudaDeviceReset leaves the fabric up.
+  /// Resets every device (see Device::reset, which also revives lost ones)
+  /// and cold-starts the interconnect: per-link free-at timestamps,
+  /// TransferStats, and downed links are all cleared, so a post-recovery
+  /// solve observes the exact transfer charges of a fresh topology. The
+  /// clocks survive.
   void reset();
 
   /// Mutes or unmutes trace emission on every device and on the
@@ -122,15 +140,29 @@ class Topology {
   [[nodiscard]] Device::Stats aggregate_stats() const;
 
  private:
-  /// Directed-link index for one hop, or the hop sequence for a path.
+  /// A concrete hop sequence: nodes visited and the directed link of each
+  /// hop. Empty `nodes` means no live route exists.
+  struct Route {
+    std::vector<int> nodes;
+    std::vector<std::size_t> links;
+  };
+
+  /// Directed-link index for one hop.
   [[nodiscard]] std::size_t link_index(int from, int to) const;
-  [[nodiscard]] std::vector<int> path(int from, int to) const;
+  /// Ring walk in one direction; empty Route when a link on it is down or
+  /// an intermediate device is lost.
+  [[nodiscard]] Route ring_route(int from, int to, int step) const;
+  /// Live route avoiding down links and lost intermediates.
+  [[nodiscard]] Route route(int from, int to) const;
 
   TopologyKind kind_;
   InterconnectSpec link_;
   std::vector<std::unique_ptr<Device>> devices_;
   /// Per directed link: the time its last transfer arrived.
   std::vector<util::SimTime> link_free_at_;
+  /// Per directed link: 1 once a `link-down` fault took it out (sticky
+  /// until reset()).
+  std::vector<std::uint8_t> link_down_;
   TransferStats transfer_stats_;
   bool trace_emission_ = true;
 };

@@ -9,6 +9,23 @@
 namespace pcmax::placement {
 namespace {
 
+/// Device ordinals still usable under `excluded` (empty mask = everyone).
+/// Every strategy places over this alive list so exclusion composes with
+/// any distribution rule.
+std::vector<int> alive_devices(int device_count,
+                               std::span<const std::uint8_t> excluded) {
+  PCMAX_EXPECTS(device_count >= 1);
+  PCMAX_EXPECTS(excluded.empty() ||
+                excluded.size() >= static_cast<std::size_t>(device_count));
+  std::vector<int> alive;
+  alive.reserve(static_cast<std::size_t>(device_count));
+  for (int d = 0; d < device_count; ++d)
+    if (excluded.empty() || excluded[static_cast<std::size_t>(d)] == 0)
+      alive.push_back(d);
+  PCMAX_EXPECTS(!alive.empty());
+  return alive;
+}
+
 class RoundRobin final : public PlacementStrategy {
  public:
   [[nodiscard]] PlacementKind kind() const noexcept override {
@@ -17,11 +34,12 @@ class RoundRobin final : public PlacementStrategy {
 
   [[nodiscard]] std::vector<int> place(
       const partition::BlockedLayout& layout, int device_count,
-      std::span<const std::int64_t> /*reach*/) const override {
-    PCMAX_EXPECTS(device_count >= 1);
+      std::span<const std::int64_t> /*reach*/,
+      std::span<const std::uint8_t> excluded) const override {
+    const std::vector<int> alive = alive_devices(device_count, excluded);
     std::vector<int> plan(layout.block_count());
     for (std::uint64_t b = 0; b < plan.size(); ++b)
-      plan[b] = static_cast<int>(b % static_cast<std::uint64_t>(device_count));
+      plan[b] = alive[static_cast<std::size_t>(b % alive.size())];
     return plan;
   }
 };
@@ -34,20 +52,20 @@ class LevelContiguous final : public PlacementStrategy {
 
   [[nodiscard]] std::vector<int> place(
       const partition::BlockedLayout& layout, int device_count,
-      std::span<const std::int64_t> /*reach*/) const override {
-    PCMAX_EXPECTS(device_count >= 1);
+      std::span<const std::int64_t> /*reach*/,
+      std::span<const std::uint8_t> excluded) const override {
+    const std::vector<int> alive = alive_devices(device_count, excluded);
     std::vector<int> plan(layout.block_count());
     const dp::LevelBuckets buckets(layout.grid());
     // Each level's blocks (already in ascending id order inside a bucket)
-    // split into device_count contiguous runs of near-equal length, so
-    // neighbouring blocks — which share the most dependency overlap — land
-    // on the same device.
+    // split into one contiguous run per alive device, so neighbouring
+    // blocks — which share the most dependency overlap — land on the same
+    // device.
     for (std::int64_t lvl = 0; lvl < buckets.levels(); ++lvl) {
       const auto ids = buckets.cells_at(lvl);
       const std::uint64_t n = ids.size();
       for (std::uint64_t i = 0; i < n; ++i)
-        plan[ids[i]] = static_cast<int>(
-            i * static_cast<std::uint64_t>(device_count) / n);
+        plan[ids[i]] = alive[static_cast<std::size_t>(i * alive.size() / n)];
     }
     return plan;
   }
@@ -61,13 +79,14 @@ class MemoryBalanced final : public PlacementStrategy {
 
   [[nodiscard]] std::vector<int> place(
       const partition::BlockedLayout& layout, int device_count,
-      std::span<const std::int64_t> reach) const override {
-    PCMAX_EXPECTS(device_count >= 1);
+      std::span<const std::int64_t> reach,
+      std::span<const std::uint8_t> excluded) const override {
+    const std::vector<int> alive = alive_devices(device_count, excluded);
     const std::uint64_t block_count = layout.block_count();
-    // Hard cap: no device holds more than ceil(B / N) blocks, so per-device
-    // table memory is balanced to within one block regardless of affinity.
-    const std::uint64_t cap = util::ceil_div(
-        block_count, static_cast<std::uint64_t>(device_count));
+    // Hard cap: no alive device holds more than ceil(B / A) blocks, so
+    // per-device table memory is balanced to within one block regardless of
+    // affinity.
+    const std::uint64_t cap = util::ceil_div(block_count, alive.size());
     std::vector<int> plan(block_count, -1);
     std::vector<std::uint64_t> load(static_cast<std::size_t>(device_count), 0);
     std::vector<std::uint64_t> votes(static_cast<std::size_t>(device_count));
@@ -86,7 +105,7 @@ class MemoryBalanced final : public PlacementStrategy {
               ++votes[static_cast<std::size_t>(plan[pred])];
             });
         int best = -1;
-        for (int d = 0; d < device_count; ++d) {
+        for (const int d : alive) {
           if (load[static_cast<std::size_t>(d)] >= cap) continue;
           if (best < 0) {
             best = d;
@@ -100,7 +119,7 @@ class MemoryBalanced final : public PlacementStrategy {
               (votes[dd] == votes[bd] && load[dd] < load[bd]))
             best = d;
         }
-        PCMAX_EXPECTS(best >= 0);  // cap * device_count >= block_count
+        PCMAX_EXPECTS(best >= 0);  // cap * alive count >= block_count
         plan[block_id] = best;
         ++load[static_cast<std::size_t>(best)];
       }

@@ -83,10 +83,15 @@ class PlacementStrategy {
   /// `reach` is the per-dimension dependency reach in blocks (see
   /// gpu/resident.hpp) for strategies that weigh cross-device dependencies;
   /// pass an empty span when unknown and such strategies fall back to pure
-  /// load balancing. The result has exactly layout.block_count() entries.
+  /// load balancing. `excluded` (empty, or one flag per device ordinal;
+  /// nonzero = excluded) removes devices from consideration — recovery
+  /// re-placement passes the lost devices here and every strategy then
+  /// distributes all blocks over the survivors only. At least one device
+  /// must remain. The result has exactly layout.block_count() entries.
   [[nodiscard]] virtual std::vector<int> place(
       const partition::BlockedLayout& layout, int device_count,
-      std::span<const std::int64_t> reach = {}) const = 0;
+      std::span<const std::int64_t> reach = {},
+      std::span<const std::uint8_t> excluded = {}) const = 0;
 };
 
 /// Factory for the built-in strategies.

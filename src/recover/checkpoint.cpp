@@ -1,0 +1,113 @@
+#include "recover/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "dp/mixed_radix.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::recover {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& hash, std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (byte * 8)) & 0xffULL;
+    hash *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t frontier_digest(std::int64_t level,
+                              std::span<const std::uint64_t> frontier,
+                              std::span<const int> manifest) noexcept {
+  std::uint64_t hash = kFnvOffset;
+  fnv_mix(hash, static_cast<std::uint64_t>(level));
+  for (const std::uint64_t block : frontier) {
+    fnv_mix(hash, block);
+    fnv_mix(hash, static_cast<std::uint64_t>(
+                      manifest[static_cast<std::size_t>(block)]));
+  }
+  return hash;
+}
+
+std::vector<std::uint64_t> compute_frontier(
+    const partition::BlockedLayout& layout, std::int64_t level,
+    std::span<const std::int64_t> reach) {
+  std::int64_t window = 0;
+  for (const std::int64_t r : reach) window += r;
+  window = std::max<std::int64_t>(window, 1);
+  const dp::LevelBuckets buckets(layout.grid());
+  std::vector<std::uint64_t> frontier;
+  const std::int64_t lo = std::max<std::int64_t>(level - window, 0);
+  const std::int64_t hi = std::min(level, buckets.levels());
+  for (std::int64_t lvl = lo; lvl < hi; ++lvl) {
+    const auto ids = buckets.cells_at(lvl);
+    frontier.insert(frontier.end(), ids.begin(), ids.end());
+  }
+  return frontier;
+}
+
+std::vector<int> assign_buddies(std::span<const std::uint8_t> excluded) {
+  const int n = static_cast<int>(excluded.size());
+  std::vector<int> buddies(excluded.size(), -1);
+  for (int d = 0; d < n; ++d) {
+    if (excluded[static_cast<std::size_t>(d)] != 0) continue;
+    for (int step = 1; step < n; ++step) {
+      const int cand = (d + step) % n;
+      if (excluded[static_cast<std::size_t>(cand)] == 0) {
+        buddies[static_cast<std::size_t>(d)] = cand;
+        break;
+      }
+    }
+  }
+  return buddies;
+}
+
+void CheckpointLog::begin_level(std::int64_t level) {
+  if (!replay_.empty() && replay_.back().level == level) return;
+  replay_.push_back(LevelReplay{level, {}});
+}
+
+void CheckpointLog::record(const BlockWork& work) {
+  PCMAX_EXPECTS(!replay_.empty());
+  auto& blocks = replay_.back().blocks;
+  // In-block levels of one block arrive consecutively; merge by block id so
+  // the log stays one entry per (level, block).
+  for (auto it = blocks.rbegin(); it != blocks.rend(); ++it) {
+    if (it->block_id == work.block_id) {
+      it->cells += work.cells;
+      it->candidates += work.candidates;
+      it->deps += work.deps;
+      return;
+    }
+  }
+  blocks.push_back(work);
+}
+
+void CheckpointLog::install(WavefrontCheckpoint ckpt,
+                            std::span<const std::uint64_t> mirrored) {
+  for (const std::uint64_t block : mirrored) {
+    const int owner = ckpt.shard_manifest[static_cast<std::size_t>(block)];
+    const int buddy = ckpt.mirror_of[static_cast<std::size_t>(owner)];
+    if (buddy >= 0) mirror_site_[block] = buddy;
+  }
+  last_ = std::move(ckpt);
+  replay_.clear();
+}
+
+int CheckpointLog::mirror_site(std::uint64_t block) const noexcept {
+  const auto it = mirror_site_.find(block);
+  return it == mirror_site_.end() ? -1 : it->second;
+}
+
+void CheckpointLog::clear() {
+  last_ = {};
+  replay_.clear();
+  mirror_site_.clear();
+}
+
+}  // namespace pcmax::recover

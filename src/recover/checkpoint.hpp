@@ -1,0 +1,117 @@
+// Wavefront checkpoints for the sharded DP solve. At a block-level barrier
+// every value already computed is final, so a checkpoint is cheap: record
+// the per-device shard manifest plus a digest of the frontier (the block
+// slice successor levels can still read), and ship the blocks computed
+// since the previous checkpoint to each owner's buddy device. Should a
+// device be lost later, its frontier lives on in buddy mirrors and only the
+// levels after the last checkpoint need re-execution — the replay log below
+// records exactly that work.
+//
+// Everything here is pure bookkeeping: no simulated device is touched. The
+// gpu layer (GpuDpSolver's sharded observer) charges the actual mirror
+// transfers/allocations and feeds this log; src/recover stays independently
+// unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "partition/blocked_layout.hpp"
+
+namespace pcmax::recover {
+
+/// Aggregated kernel work one block contributed at one in-block level: what
+/// a replacement device must re-charge when the block's owner is lost
+/// before the next checkpoint mirrored the block.
+struct BlockWork {
+  std::uint64_t block_id = 0;
+  std::uint64_t cells = 0;       ///< DP cells finalized (SetOPT threads)
+  std::uint64_t candidates = 0;  ///< candidate evaluations (FindOPT work)
+  std::uint64_t deps = 0;        ///< dependent sub-config reads (FindValidSub)
+};
+
+/// Snapshot taken at one wavefront barrier.
+struct WavefrontCheckpoint {
+  std::int64_t level = -1;          ///< block-level whose barrier took it
+  std::vector<int> shard_manifest;  ///< block -> owning device at that time
+  std::vector<int> mirror_of;       ///< device -> buddy holding its mirrors
+  std::uint64_t frontier_digest = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return level >= 0; }
+};
+
+/// FNV-1a over (level, frontier block ids, their owners): a cheap integrity
+/// stamp recorded with every checkpoint and replayed in traces, so two runs
+/// that disagree on the frontier are distinguishable at a glance.
+[[nodiscard]] std::uint64_t frontier_digest(
+    std::int64_t level, std::span<const std::uint64_t> frontier,
+    std::span<const int> manifest) noexcept;
+
+/// Blocks whose values successor levels can still read when the wavefront
+/// stands at block-level `level`: every block with block-level in
+/// [level - window, level - 1], where window = max(1, sum of per-dimension
+/// reach). Conservative (a superset of what is strictly live) and cheap.
+[[nodiscard]] std::vector<std::uint64_t> compute_frontier(
+    const partition::BlockedLayout& layout, std::int64_t level,
+    std::span<const std::int64_t> reach);
+
+/// Buddy assignment over the alive devices: each device mirrors onto the
+/// next alive ordinal, cyclically. Excluded devices get (and are) no buddy;
+/// a lone survivor gets -1 (nothing to mirror to).
+[[nodiscard]] std::vector<int> assign_buddies(
+    std::span<const std::uint8_t> excluded);
+
+/// The running recovery journal of one sharded solve: the latest
+/// checkpoint, where each mirrored block's copy lives, and the per-level
+/// replay log of work done since that checkpoint.
+class CheckpointLog {
+ public:
+  struct LevelReplay {
+    std::int64_t level = 0;
+    std::vector<BlockWork> blocks;
+  };
+
+  /// Opens the replay record for `level`; subsequent record() calls attach
+  /// to it.
+  void begin_level(std::int64_t level);
+
+  /// Accumulates kernel work for a block at the current level (one block
+  /// may be recorded once per in-block level; entries merge by block id).
+  void record(const BlockWork& work);
+
+  /// Installs a new checkpoint: `mirrored` lists the blocks whose copies
+  /// were just shipped (all replay-log blocks), each now living on
+  /// `ckpt.mirror_of[owner]`. The replay log resets — everything up to the
+  /// checkpoint is covered by mirrors. Mirrors whose block-level fell out
+  /// of the frontier window are NOT dropped here; they simply stop
+  /// mattering (restores only ever touch current-frontier blocks).
+  void install(WavefrontCheckpoint ckpt, std::span<const std::uint64_t> mirrored);
+
+  [[nodiscard]] bool has_checkpoint() const noexcept { return last_.valid(); }
+  [[nodiscard]] const WavefrontCheckpoint& last() const noexcept {
+    return last_;
+  }
+
+  /// Device holding the checkpointed copy of `block`, or -1 when the block
+  /// was never mirrored (it is younger than the last checkpoint and lives
+  /// only in the replay log).
+  [[nodiscard]] int mirror_site(std::uint64_t block) const noexcept;
+
+  [[nodiscard]] std::span<const LevelReplay> replay() const noexcept {
+    return replay_;
+  }
+  [[nodiscard]] std::int64_t levels_since_checkpoint() const noexcept {
+    return static_cast<std::int64_t>(replay_.size());
+  }
+
+  void clear();
+
+ private:
+  WavefrontCheckpoint last_{};
+  std::vector<LevelReplay> replay_;
+  std::unordered_map<std::uint64_t, int> mirror_site_;
+};
+
+}  // namespace pcmax::recover

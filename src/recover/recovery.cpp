@@ -1,0 +1,78 @@
+#include "recover/recovery.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/contracts.hpp"
+
+namespace pcmax::recover {
+
+std::string_view recovery_refusal_name(RecoveryRefusal refusal) noexcept {
+  switch (refusal) {
+    case RecoveryRefusal::kNone: return "none";
+    case RecoveryRefusal::kBelowMinDevices: return "below-min-devices";
+    case RecoveryRefusal::kMirrorLost: return "mirror-lost";
+  }
+  return "unknown";
+}
+
+RecoveryPlan plan_recovery(const CheckpointLog& log,
+                           std::span<const int> old_plan,
+                           std::span<const int> new_plan,
+                           std::span<const std::uint8_t> excluded,
+                           std::span<const std::uint64_t> frontier,
+                           const RecoveryOptions& options) {
+  PCMAX_EXPECTS(old_plan.size() == new_plan.size());
+  RecoveryPlan plan;
+
+  int alive = 0;
+  for (const std::uint8_t gone : excluded) alive += gone == 0 ? 1 : 0;
+  if (alive < std::max(options.min_devices, 1)) {
+    plan.refusal = RecoveryRefusal::kBelowMinDevices;
+    return plan;
+  }
+
+  const auto lost = [&](int device) {
+    return device < 0 ||
+           excluded[static_cast<std::size_t>(device)] != 0;
+  };
+
+  // Work recorded since the last checkpoint died with its device and was
+  // never mirrored: re-execute it on the new owners. One block is computed
+  // at exactly one block-level, so the replay set and the restore set below
+  // never double-charge a block.
+  std::unordered_set<std::uint64_t> replayed;
+  for (const CheckpointLog::LevelReplay& level : log.replay()) {
+    for (const BlockWork& work : level.blocks) {
+      const int owner = old_plan[static_cast<std::size_t>(work.block_id)];
+      if (!lost(owner)) continue;
+      plan.replays.push_back(ReplayStep{
+          level.level, work,
+          new_plan[static_cast<std::size_t>(work.block_id)]});
+      replayed.insert(work.block_id);
+    }
+  }
+
+  // Frontier blocks owned by a lost device and older than the replay window
+  // must come back from their checkpoint mirrors.
+  for (const std::uint64_t block : frontier) {
+    const int owner = old_plan[static_cast<std::size_t>(block)];
+    if (!lost(owner)) continue;
+    if (replayed.contains(block)) continue;
+    const int mirror = log.mirror_site(block);
+    if (lost(mirror)) {
+      // The mirror is gone too (or never existed): the value is
+      // unrecoverable and the solve must degrade.
+      plan.refusal = RecoveryRefusal::kMirrorLost;
+      plan.restores.clear();
+      plan.replays.clear();
+      return plan;
+    }
+    plan.restores.push_back(RestoreStep{
+        block, mirror, new_plan[static_cast<std::size_t>(block)]});
+  }
+
+  return plan;
+}
+
+}  // namespace pcmax::recover

@@ -1,0 +1,82 @@
+// Recovery policy for device loss mid-solve: given the checkpoint journal,
+// the current block placement, and which devices are gone, decide whether
+// the wavefront can continue — and if so, exactly which blocks must be
+// re-materialized from mirrors and which must be re-executed from the
+// replay log. Pure decisions over plain data; the gpu layer executes the
+// plan by charging the actual transfers and kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "recover/checkpoint.hpp"
+
+namespace pcmax::recover {
+
+struct RecoveryOptions {
+  /// Recovery is refused once fewer than this many devices survive (the
+  /// resilient chain then degrades instead). Clamped to >= 1.
+  int min_devices = 1;
+  /// Barriers between checkpoints; 0 disables checkpointing (and with it,
+  /// in-solve recovery — a loss then degrades through the resilient chain).
+  std::int64_t checkpoint_every = 0;
+
+  [[nodiscard]] bool enabled() const noexcept { return checkpoint_every > 0; }
+};
+
+/// Why recovery was refused; kNone means the RecoveryPlan is actionable.
+enum class RecoveryRefusal : std::uint8_t {
+  kNone = 0,
+  kBelowMinDevices,  ///< fewer survivors than RecoveryOptions::min_devices
+  kMirrorLost,       ///< a lost device's mirror copy is also on a lost device
+};
+
+[[nodiscard]] std::string_view recovery_refusal_name(
+    RecoveryRefusal refusal) noexcept;
+
+/// One block to re-materialize: charge a transfer of the block's bytes from
+/// `mirror_device` to `new_owner` (no transfer when they coincide).
+struct RestoreStep {
+  std::uint64_t block_id = 0;
+  int mirror_device = -1;
+  int new_owner = -1;
+};
+
+/// One block to re-execute on its new owner (its post-checkpoint values
+/// died with the lost device and were never mirrored).
+struct ReplayStep {
+  std::int64_t level = 0;
+  BlockWork work;
+  int new_owner = -1;
+};
+
+struct RecoveryPlan {
+  RecoveryRefusal refusal = RecoveryRefusal::kNone;
+  std::vector<RestoreStep> restores;
+  std::vector<ReplayStep> replays;
+
+  [[nodiscard]] bool recoverable() const noexcept {
+    return refusal == RecoveryRefusal::kNone;
+  }
+};
+
+/// Plans the recovery after `excluded` devices were lost. `old_plan` is the
+/// placement in force when the loss struck, `new_plan` the merged
+/// replacement placement (survivor-owned blocks unchanged, lost-device
+/// blocks re-homed onto survivors), `frontier` the block slice successor
+/// levels can still read (compute_frontier at the interrupted level).
+///
+/// A frontier block owned by a lost device must be restored from its
+/// mirror (refusing with kMirrorLost when that mirror is gone too); blocks
+/// in the replay log owned by a lost device must be re-executed. Everything
+/// else survives in place.
+[[nodiscard]] RecoveryPlan plan_recovery(const CheckpointLog& log,
+                                         std::span<const int> old_plan,
+                                         std::span<const int> new_plan,
+                                         std::span<const std::uint8_t> excluded,
+                                         std::span<const std::uint64_t> frontier,
+                                         const RecoveryOptions& options);
+
+}  // namespace pcmax::recover

@@ -43,6 +43,8 @@ SolveServer::SolveServer(const ServeOptions& options)
     topology_ = std::make_unique<gpusim::Topology>(
         options_.workers, gpusim::DeviceSpec::k40(),
         gpusim::TopologyKind::kFullMesh);
+  quarantined_ = std::vector<std::atomic<bool>>(
+      static_cast<std::size_t>(options_.workers));
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i)
     workers_.emplace_back([this, i] { worker_main(i); });
@@ -114,8 +116,48 @@ ServeStats SolveServer::stats() const {
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
+  for (const std::atomic<bool>& q : quarantined_)
+    stats.quarantined += q.load(std::memory_order_relaxed) ? 1 : 0;
+  stats.quarantine_entered =
+      quarantine_entered_.load(std::memory_order_relaxed);
+  stats.quarantine_readmitted =
+      quarantine_readmitted_.load(std::memory_order_relaxed);
   if (cache_) stats.cache = cache_->stats();
   return stats;
+}
+
+int SolveServer::reset_and_readmit() {
+  if (topology_) topology_->reset();
+  int readmitted = 0;
+  for (std::atomic<bool>& q : quarantined_)
+    if (q.exchange(false, std::memory_order_relaxed)) ++readmitted;
+  if (readmitted > 0) {
+    quarantine_readmitted_.fetch_add(static_cast<std::uint64_t>(readmitted),
+                                     std::memory_order_relaxed);
+    obs::count("serve.quarantine.readmitted",
+               static_cast<std::uint64_t>(readmitted));
+    if (obs::TraceRecorder* t = obs::trace(); t != nullptr)
+      t->instant("serve/readmit",
+                 {obs::arg("workers", static_cast<std::int64_t>(readmitted))});
+  }
+  return readmitted;
+}
+
+void SolveServer::maybe_quarantine(int index, const ResilientResult& result) {
+  const auto lost_device = [](const Status& s) {
+    return s.code() == StatusCode::kDeviceLost;
+  };
+  bool lost = lost_device(result.status);
+  for (const AttemptRecord& attempt : result.attempts)
+    lost = lost || lost_device(attempt.status);
+  if (!lost) return;
+  const auto i = static_cast<std::size_t>(index);
+  if (quarantined_[i].exchange(true, std::memory_order_relaxed))
+    return;  // already quarantined
+  quarantine_entered_.fetch_add(1, std::memory_order_relaxed);
+  obs::count("serve.quarantine.entered");
+  if (obs::TraceRecorder* t = obs::trace(); t != nullptr)
+    t->instant("serve/quarantine", {obs::arg("worker", index)});
 }
 
 void SolveServer::worker_main(int index) {
@@ -126,10 +168,13 @@ void SolveServer::worker_main(int index) {
   // Each worker owns device `index` of the server's shared topology:
   // engine recovery (device reset) after one tenant's fault never disturbs
   // another tenant's in-flight solve, and per-device memory accounting
-  // reflects one real multi-GPU node's budgets.
-  const std::vector<SolveEngine> chain =
+  // reflects one real multi-GPU node's budgets. A quarantined worker (its
+  // device was lost) serves on the CPU-only chain — skipping the dead GPU
+  // engine's guaranteed-failed attempt — until reset_and_readmit.
+  const std::vector<SolveEngine> gpu_chain =
       options_.use_gpu_engine ? gpu::make_gpu_chain(topology_->device(index))
-                              : make_default_chain();
+                              : std::vector<SolveEngine>{};
+  const std::vector<SolveEngine> cpu_chain = make_default_chain();
 
   {
     std::unique_lock<std::mutex> lock(gate_mutex_);
@@ -139,7 +184,13 @@ void SolveServer::worker_main(int index) {
   PendingRequest leader;
   std::vector<PendingRequest> followers;
   while (queue_.pop(leader, followers, options_.coalesce)) {
-    SolveResponse response = serve_one(leader, chain, index);
+    const bool gpu_ok =
+        options_.use_gpu_engine &&
+        !quarantined_[static_cast<std::size_t>(index)].load(
+            std::memory_order_relaxed);
+    SolveResponse response =
+        serve_one(leader, gpu_ok ? gpu_chain : cpu_chain, index);
+    maybe_quarantine(index, response.result);
     for (PendingRequest& follower : followers) {
       coalesced_.fetch_add(1, std::memory_order_relaxed);
       obs::count("serve.coalesced");

@@ -77,6 +77,11 @@ struct ServeStats {
   std::uint64_t coalesced = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  /// Workers currently serving on their CPU-only chain because their
+  /// device was lost (see SolveServer::reset_and_readmit).
+  std::uint64_t quarantined = 0;
+  std::uint64_t quarantine_entered = 0;    ///< cumulative entries
+  std::uint64_t quarantine_readmitted = 0; ///< cumulative re-admissions
   /// Shared-cache counters; all zero when share_probe_cache is off.
   ProbeCacheStats cache;
 };
@@ -103,6 +108,17 @@ class SolveServer {
 
   [[nodiscard]] ServeStats stats() const;
 
+  /// Resurrects quarantined workers: resets the shared topology (bringing
+  /// lost devices and downed links back healthy and cold-starting the
+  /// interconnect) and re-admits every quarantined worker to its GPU chain.
+  /// Returns the number of workers re-admitted. The caller must quiesce the
+  /// server first (no requests in flight — e.g. between bursts, or after
+  /// draining the queue): resetting devices under a live solve would yank
+  /// state from under it. Worker threads themselves only read their own
+  /// health flag between requests, so this is safe whenever no solve is
+  /// running.
+  int reset_and_readmit();
+
   /// The shared cross-request cache; null when share_probe_cache is off.
   [[nodiscard]] ShardedProbeCache* probe_cache() noexcept {
     return cache_.get();
@@ -113,6 +129,9 @@ class SolveServer {
   [[nodiscard]] SolveResponse serve_one(PendingRequest& leader,
                                         std::span<const SolveEngine> chain,
                                         int index);
+  /// Moves the worker onto its CPU-only chain when the attempt log shows a
+  /// lost device.
+  void maybe_quarantine(int index, const ResilientResult& result);
 
   ServeOptions options_;
   std::unique_ptr<ShardedProbeCache> cache_;  // null when sharing is off
@@ -122,6 +141,13 @@ class SolveServer {
   /// ever touch their own device — no cross-worker transfers or barriers —
   /// so worker isolation (and response determinism) is unchanged.
   std::unique_ptr<gpusim::Topology> topology_;
+  /// Per-worker health: true = quarantined (device lost; serve on the
+  /// CPU-only chain until reset_and_readmit). Workers read/write only
+  /// their own slot between requests; reset_and_readmit writes all slots
+  /// on a quiesced server.
+  std::vector<std::atomic<bool>> quarantined_;
+  std::atomic<std::uint64_t> quarantine_entered_{0};
+  std::atomic<std::uint64_t> quarantine_readmitted_{0};
   BoundedRequestQueue queue_;
 
   std::mutex gate_mutex_;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/ptas.hpp"
+#include "core/resilient.hpp"
 #include "core/rounding.hpp"
 #include "util/contracts.hpp"
 #include "workload/generators.hpp"
@@ -46,6 +47,65 @@ TEST(WithinPtasGuarantee, RejectsBadArguments) {
                util::contract_violation);
   EXPECT_THROW((void)within_ptas_guarantee(5, 10, 0),
                util::contract_violation);
+}
+
+TEST(CertificateTierName, CoversEveryValue) {
+  EXPECT_EQ(certificate_tier_name(CertificateTier::kNone), "none");
+  EXPECT_EQ(certificate_tier_name(CertificateTier::kAPriori), "a-priori");
+  EXPECT_EQ(certificate_tier_name(CertificateTier::kAPosteriori),
+            "a-posteriori");
+  EXPECT_EQ(certificate_tier_name(CertificateTier::kOptimal), "optimal");
+}
+
+TEST(LptCertificate, SingleCriticalJobProvesOptimality) {
+  // Critical machine carries one job: no schedule can beat a single job's
+  // processing time, so LPT is optimal with bound 1/1.
+  const Instance inst{2, {7, 3, 2}};
+  const Schedule s{{0, 1, 1}};  // loads 7, 5 — critical machine has 1 job
+  const auto cert = lpt_certificate(inst, s);
+  EXPECT_EQ(cert.tier, CertificateTier::kOptimal);
+  EXPECT_EQ(cert.bound_num, 1);
+  EXPECT_EQ(cert.bound_den, 1);
+  EXPECT_EQ(cert.critical_jobs, 1);
+}
+
+TEST(LptCertificate, FewCriticalJobsFallBackToAPriori) {
+  // c = 2 on m = 2: a-posteriori (3m-1)/(2m) = 5/4 is LOOSER than Graham's
+  // (4m-1)/(3m) = 7/6, so the certificate keeps the a-priori bound.
+  const Instance inst{2, {3, 3, 2, 2}};
+  const Schedule s{{0, 0, 1, 1}};  // loads 6, 4 — critical machine has 2 jobs
+  const auto cert = lpt_certificate(inst, s);
+  EXPECT_EQ(cert.tier, CertificateTier::kAPriori);
+  EXPECT_EQ(cert.bound_num, 7);
+  EXPECT_EQ(cert.bound_den, 6);
+  EXPECT_EQ(cert.critical_jobs, 2);
+}
+
+TEST(LptCertificate, ManyCriticalJobsTightenBeyondGraham) {
+  // c = 4 on m = 2: ((c+1)m-1)/(cm) = 9/8 < 7/6 — strictly tighter than the
+  // a-priori bound, the acceptance property of the degraded certificate.
+  const Instance inst{2, {2, 2, 2, 2, 1}};
+  const Schedule s{{0, 0, 0, 0, 1}};  // loads 8, 1 — critical has 4 jobs
+  const auto cert = lpt_certificate(inst, s);
+  EXPECT_EQ(cert.tier, CertificateTier::kAPosteriori);
+  EXPECT_EQ(cert.bound_num, 9);
+  EXPECT_EQ(cert.bound_den, 8);
+  EXPECT_EQ(cert.critical_jobs, 4);
+  EXPECT_LT(cert.bound_num * (3 * inst.machines),
+            (4 * inst.machines - 1) * cert.bound_den);
+}
+
+TEST(LptCertificate, RealLptSchedulesAlwaysGetATier) {
+  for (std::uint64_t seed = 900; seed < 912; ++seed) {
+    const auto inst = workload::uniform_instance(24, 4, 1, 60, seed);
+    const EngineOutcome out = lpt_outcome(inst);
+    const auto cert = lpt_certificate(inst, out.schedule);
+    EXPECT_NE(cert.tier, CertificateTier::kNone) << "seed " << seed;
+    EXPECT_GE(cert.critical_jobs, 1) << "seed " << seed;
+    // Bound is a valid rational >= 1.
+    EXPECT_GE(cert.bound_num, cert.bound_den);
+    EXPECT_GT(cert.bound_den, 0);
+  }
 }
 
 TEST(Certificate, PtasResultsAlwaysCertify) {

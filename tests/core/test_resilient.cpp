@@ -5,11 +5,13 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/rounding.hpp"
 #include "gpusim/device.hpp"
@@ -245,8 +247,97 @@ TEST(SolveResilient, DeadlineYieldsBestEffortLptSchedule) {
   EXPECT_TRUE(result.degraded);
   validate_schedule(inst, result.schedule);
   EXPECT_EQ(result.achieved_makespan, makespan(inst, result.schedule));
-  EXPECT_EQ(result.bound_num, 4 * inst.machines - 1);
-  EXPECT_EQ(result.bound_den, 3 * inst.machines);
+  // The best-effort LPT schedule is certified a posteriori from its own
+  // critical machine, so the recorded bound is never looser than Graham's
+  // a-priori (4m-1)/(3m).
+  EXPECT_NE(result.certificate_tier, CertificateTier::kNone);
+  EXPECT_NE(result.certificate_tier, CertificateTier::kAPriori);
+  EXPECT_LE(result.bound_num * (3 * inst.machines),
+            (4 * inst.machines - 1) * result.bound_den);
+}
+
+// The satellite regression: exponential backoff must clamp to the remaining
+// whole-solve deadline. A huge backoff_ms with a tight deadline would
+// otherwise sleep straight past it, turning a recoverable blip into a
+// guaranteed kDeadlineExceeded.
+TEST(SolveResilient, BackoffIsClampedToTheRemainingDeadline) {
+  auto observed = std::make_shared<std::vector<std::int64_t>>();
+  SolveEngine engine = flaky_engine("flaky", 3, [] {
+    throw gpusim::OutOfMemory("injected: transient");
+  });
+  engine.backoff = [observed](std::int64_t ms) { observed->push_back(ms); };
+  ResilientOptions options;
+  options.deadline_ms = 60;
+  options.backoff_ms = 1'000'000;  // would dwarf the deadline unclamped
+  options.max_transient_retries = 3;
+  const auto result = solve_resilient(small_instance(), {&engine, 1}, options);
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  ASSERT_FALSE(observed->empty());
+  for (const std::int64_t ms : *observed) {
+    EXPECT_GE(ms, 0);
+    EXPECT_LE(ms, 60) << "backoff slept past the whole-solve deadline";
+  }
+}
+
+TEST(Deadline, RemainingMsCountsDownAndSaturates) {
+  EXPECT_EQ(Deadline::after_ms(0).remaining_ms(),
+            std::numeric_limits<std::int64_t>::max());
+  const Deadline tight = Deadline::after_ms(50);
+  EXPECT_LE(tight.remaining_ms(), 50);
+  EXPECT_GE(tight.remaining_ms(), 0);
+  const Deadline expired = Deadline::after_ms(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_EQ(expired.remaining_ms(), 0);
+}
+
+// A lost device is fatal for the attempt, never retried: the driver must
+// classify it as kDeviceLost and fall straight back to the next engine.
+TEST(SolveResilient, DeviceLostIsFatalNotTransient) {
+  const SolveEngine engines[] = {
+      flaky_engine("lost-gpu", 1'000'000,
+                   [] { throw gpusim::DeviceLost("device 0 is lost"); }),
+      make_lpt_engine(),
+  };
+  ResilientOptions options;
+  options.max_transient_retries = 5;
+  options.backoff_ms = 0;
+  const auto result = solve_resilient(small_instance(), engines, options);
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  EXPECT_EQ(result.engine, "lpt");
+  EXPECT_TRUE(result.degraded);
+  // Exactly one failed attempt (no retries of a dead device) + the LPT win.
+  ASSERT_EQ(result.attempts.size(), 2u);
+  EXPECT_EQ(result.attempts[0].status.code(), StatusCode::kDeviceLost);
+  EXPECT_EQ(result.attempts[0].retry, 0);
+  EXPECT_TRUE(result.attempts[1].status.is_ok());
+}
+
+// Degraded LPT results carry the a-posteriori critical-machine certificate:
+// the recorded tier is never kNone, the bound never looser than Graham's
+// a-priori, and the successful attempt records the same tier.
+TEST(SolveResilient, LptFallbackRecordsCertificateTier) {
+  const SolveEngine engines[] = {
+      flaky_engine("dead", 1'000'000,
+                   [] { throw gpusim::DeviceLost("device 0 is lost"); }),
+      make_lpt_engine(),
+  };
+  const auto inst = small_instance();
+  const auto result = solve_resilient(inst, engines, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.engine, "lpt");
+  EXPECT_NE(result.certificate_tier, CertificateTier::kNone);
+  EXPECT_NE(result.certificate_tier, CertificateTier::kAPriori);
+  EXPECT_LE(result.bound_num * (3 * inst.machines),
+            (4 * inst.machines - 1) * result.bound_den);
+  EXPECT_EQ(result.attempts.back().certificate_tier, result.certificate_tier);
+  // The a-posteriori bound certifies the schedule it grades: makespan is
+  // within bound of the trivial lower bound.
+  EXPECT_EQ(result.achieved_makespan, makespan(inst, result.schedule));
+
+  // Non-degraded PTAS wins keep their a-priori (k+1)/k certificate.
+  const auto ptas = solve_resilient(inst);
+  ASSERT_TRUE(ptas.ok());
+  EXPECT_EQ(ptas.certificate_tier, CertificateTier::kAPriori);
 }
 
 TEST(SolveResilient, InvalidInputIsTyped) {

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/certificate.hpp"
 #include "testkit/generators.hpp"
 #include "testkit/oracles.hpp"
 #include "util/rng.hpp"
@@ -116,6 +117,52 @@ TEST(ExactBounds, BoundsSurviveHugeTimesWithoutOverflow) {
   const auto bounds = compute_root_bounds(instance);
   EXPECT_GE(bounds.lower(), 2 * (big - 5));
   EXPECT_LE(bounds.lower(), bounds.lpt_makespan);
+}
+
+// core::lpt_certificate mirrors the a-posteriori arithmetic of
+// lpt_aposteriori_bound (core cannot link exact): the upper-bound rational
+// ((c+1)m-1)/(cm) and the lower bound ceil(LPT*cm/((c+1)m-1)) must agree on
+// the same schedules, on both tiers of the comparison.
+TEST(ExactBounds, CoreCertificateAgreesWithAPosterioriBound) {
+  util::Rng rng(4242);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 20;
+  limits.max_machines = 6;
+  limits.max_time = 80;
+  for (int round = 0; round < 200; ++round) {
+    const Instance instance = testkit::random_instance(rng, limits);
+    const RootBounds bounds = compute_root_bounds(instance);
+    const TieredBound cert =
+        lpt_certificate(instance, bounds.lpt_schedule);
+    ASSERT_GE(cert.critical_jobs, 1);
+    // Same critical machine, same exact lower bound from the rational.
+    EXPECT_EQ(lpt_aposteriori_bound(bounds.lpt_makespan, cert.critical_jobs,
+                                    instance.machines),
+              bounds.lpt_aposteriori);
+    const std::int64_t c = cert.critical_jobs;
+    const std::int64_t m = instance.machines;
+    if (cert.tier == CertificateTier::kOptimal) {
+      EXPECT_EQ(c, 1);
+      EXPECT_EQ(bounds.lpt_aposteriori, bounds.lpt_makespan);
+    } else if (cert.tier == CertificateTier::kAPosteriori) {
+      EXPECT_EQ(cert.bound_num, (c + 1) * m - 1);
+      EXPECT_EQ(cert.bound_den, c * m);
+      // Strictly tighter than Graham iff c >= 4 (and never for m = 1,
+      // where both collapse).
+      EXPECT_GE(c, 4);
+    } else {
+      EXPECT_EQ(cert.tier, CertificateTier::kAPriori);
+      EXPECT_EQ(cert.bound_num, 4 * m - 1);
+      EXPECT_EQ(cert.bound_den, 3 * m);
+    }
+    // The a-posteriori rational always certifies against its own lower
+    // bound: LPT <= ((c+1)m-1)/(cm) * ceil(LPT*cm/((c+1)m-1)). (The
+    // a-priori tier certifies only against true OPT, which may exceed this
+    // lower bound, so it is not checked here.)
+    EXPECT_LE(bounds.lpt_makespan * (c * m),
+              ((c + 1) * m - 1) * bounds.lpt_aposteriori)
+        << "round " << round;
+  }
 }
 
 }  // namespace

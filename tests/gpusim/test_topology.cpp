@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "faultsim/injector.hpp"
 #include "util/contracts.hpp"
 
 namespace pcmax::gpusim {
@@ -130,6 +133,103 @@ TEST(Topology, RejectsInvalidConstructionAndSelfTransfer) {
   Topology t(2, DeviceSpec::k40());
   EXPECT_THROW(t.transfer(0, 0, 1), util::contract_violation);
   EXPECT_THROW(t.transfer(0, 2, 1), util::contract_violation);
+}
+
+TEST(TopologyFaults, DeviceLostAtSyncIsStickyAndSkipped) {
+  faultsim::ScopedFaultInjector scoped(
+      *faultsim::parse_fault_plan("seed=1;device-lost:nth=1"));
+  Topology t(3, DeviceSpec::k40());
+  // The first synchronize in the barrier loses its device, typed.
+  EXPECT_THROW((void)t.barrier(), DeviceLost);
+  EXPECT_TRUE(t.device_lost(0));
+  EXPECT_EQ(t.alive_count(), 2);
+  // Sticky: every touch of the lost device keeps throwing.
+  EXPECT_THROW((void)t.device(0).allocate(64), DeviceLost);
+  EXPECT_THROW((void)t.transfer(0, 1, kPayload), DeviceLost);
+  EXPECT_THROW((void)t.transfer(1, 0, kPayload), DeviceLost);
+  // The barrier and clock advance skip it; its clock stays frozen.
+  const util::SimTime frozen = t.device(0).now();
+  (void)t.barrier();
+  t.advance(util::SimTime::milliseconds(2));
+  EXPECT_EQ(t.device(0).now(), frozen);
+  EXPECT_GT(t.device(1).now(), frozen);
+}
+
+TEST(TopologyFaults, RingReroutesTheOtherDirectionAroundADownLink) {
+  faultsim::ScopedFaultInjector scoped(
+      *faultsim::parse_fault_plan("seed=1;link-down:nth=1"));
+  Topology t(4, DeviceSpec::k40(), TopologyKind::kRing);
+  // The preferred one-hop route 0->1 loses its first link; the reroute goes
+  // the long way round (0->3->2->1), store-and-forward.
+  EXPECT_EQ(t.transfer(0, 1, kPayload), 3 * kHop);
+  EXPECT_EQ(t.down_link_count(), 1);
+  // The link stays down: later transfers keep taking the detour.
+  EXPECT_EQ(t.hop_count(0, 1), 1);  // static shape, not the live route
+  EXPECT_EQ(t.transfer_stats().hops, 3u);
+}
+
+TEST(TopologyFaults, FullMeshDetoursThroughLowestLiveIntermediate) {
+  faultsim::ScopedFaultInjector scoped(
+      *faultsim::parse_fault_plan("seed=1;link-down:nth=1"));
+  Topology t(3, DeviceSpec::k40(), TopologyKind::kFullMesh);
+  // Direct 0->1 goes down; the detour is two hops via device 2.
+  EXPECT_EQ(t.transfer(0, 1, kPayload), 2 * kHop);
+  EXPECT_EQ(t.down_link_count(), 1);
+}
+
+TEST(TopologyFaults, UnreachableDestinationBecomesLost) {
+  faultsim::ScopedFaultInjector scoped(
+      *faultsim::parse_fault_plan("seed=1;link-down:nth=1"));
+  Topology t(2, DeviceSpec::k40(), TopologyKind::kFullMesh);
+  // Two devices, the only 0->1 link goes down: no live route remains, so
+  // the destination is marked lost and the transfer reports it typed.
+  EXPECT_THROW((void)t.transfer(0, 1, kPayload), DeviceLost);
+  EXPECT_TRUE(t.device_lost(1));
+  EXPECT_EQ(t.alive_count(), 1);
+}
+
+// The satellite pin: reset() cold-starts the interconnect, so an identical
+// transfer sequence after each of two resets charges bit-identical times
+// (link free-at timestamps and TransferStats cannot leak across).
+TEST(TopologyFaults, ResetMakesTransferChargesReproducible) {
+  Topology t(4, DeviceSpec::k40(), TopologyKind::kRing);
+  const auto sequence = [&t] {
+    std::vector<util::SimTime> charges;
+    charges.push_back(t.transfer(0, 1, kPayload));
+    charges.push_back(t.transfer(0, 1, kPayload));  // contends with the 1st
+    charges.push_back(t.transfer(0, 2, 2 * kPayload));
+    charges.push_back(t.transfer(3, 2, kPayload));
+    return charges;
+  };
+  const auto first = sequence();
+  t.reset();
+  const auto second = sequence();
+  t.reset();
+  const auto third = sequence();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second, third);
+  EXPECT_EQ(t.transfer_stats().transfers, 4u);  // stats restarted by reset
+}
+
+TEST(TopologyFaults, ResetResurrectsLostDevicesAndDownedLinks) {
+  {
+    faultsim::ScopedFaultInjector scoped(*faultsim::parse_fault_plan(
+        "seed=1;device-lost:nth=1;link-down:nth=1"));
+    Topology t(2, DeviceSpec::k40(), TopologyKind::kFullMesh);
+    EXPECT_THROW((void)t.transfer(0, 1, kPayload), DeviceLost);
+    EXPECT_THROW((void)t.barrier(), DeviceLost);
+    EXPECT_EQ(t.alive_count(), 0);
+    EXPECT_EQ(t.down_link_count(), 1);
+    t.reset();
+    EXPECT_EQ(t.alive_count(), 2);
+    EXPECT_EQ(t.down_link_count(), 0);
+    EXPECT_FALSE(t.device_lost(0));
+    EXPECT_FALSE(t.device_lost(1));
+    // Healthy again end to end (the injector's one-shot rules are spent).
+    const util::SimTime depart = t.device(0).now();
+    EXPECT_EQ(t.transfer(0, 1, kPayload), depart + kHop);
+    (void)t.barrier();
+  }
 }
 
 TEST(Topology, AggregateStatsSumOverDevices) {

@@ -125,6 +125,56 @@ TEST(MemoryBalanced, IsDeterministic) {
             strategy->place(layout, 3, reach));
 }
 
+// Recovery re-placement: with an exclusion mask every strategy must spread
+// all blocks over the survivors only, deterministically.
+TEST(PlacementStrategy, ExclusionMaskRemovesDevicesFromConsideration) {
+  const auto layout = small_layout();
+  const std::vector<std::int64_t> reach{1, 1, 1};
+  for (const auto kind :
+       {PlacementKind::kRoundRobin, PlacementKind::kLevelContiguous,
+        PlacementKind::kMemoryBalanced}) {
+    const auto strategy = make_placement(kind);
+    const std::vector<std::uint8_t> excluded{0, 1, 0, 1};  // 1 and 3 lost
+    const auto plan = strategy->place(layout, 4, reach, excluded);
+    ASSERT_EQ(plan.size(), layout.block_count()) << strategy->name();
+    std::set<int> used;
+    for (const int d : plan) {
+      EXPECT_TRUE(d == 0 || d == 2) << strategy->name() << " placed on " << d;
+      used.insert(d);
+    }
+    // Both survivors actually carry blocks — exclusion is not "pile
+    // everything on one device".
+    EXPECT_EQ(used.size(), 2u) << strategy->name();
+    // Deterministic under the same mask.
+    EXPECT_EQ(plan, strategy->place(layout, 4, reach, excluded));
+  }
+}
+
+TEST(PlacementStrategy, EmptyAndAllZeroMasksMatch) {
+  const auto layout = small_layout();
+  const std::vector<std::int64_t> reach{1, 1, 1};
+  const std::vector<std::uint8_t> none(3, 0);
+  for (const auto kind :
+       {PlacementKind::kRoundRobin, PlacementKind::kLevelContiguous,
+        PlacementKind::kMemoryBalanced}) {
+    const auto strategy = make_placement(kind);
+    EXPECT_EQ(strategy->place(layout, 3, reach),
+              strategy->place(layout, 3, reach, none))
+        << strategy->name();
+  }
+}
+
+TEST(PlacementStrategy, LoneSurvivorTakesEverything) {
+  const auto layout = small_layout();
+  const std::vector<std::uint8_t> excluded{1, 1, 0, 1};
+  for (const auto kind :
+       {PlacementKind::kRoundRobin, PlacementKind::kLevelContiguous,
+        PlacementKind::kMemoryBalanced}) {
+    const auto plan = make_placement(kind)->place(layout, 4, {}, excluded);
+    for (const int d : plan) EXPECT_EQ(d, 2);
+  }
+}
+
 TEST(ForEachReachPredecessor, EnumeratesTheClippedReachBox) {
   const dp::MixedRadix grid({3, 3});
   const std::vector<std::int64_t> g{1, 1}, reach{1, 1};

@@ -1,0 +1,153 @@
+// Unit tests for the pure checkpoint bookkeeping: frontier computation,
+// digests, buddy assignment, and the replay journal. No simulated device is
+// involved anywhere here — that is the module's contract.
+#include "recover/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dp/mixed_radix.hpp"
+#include "partition/blocked_layout.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::recover {
+namespace {
+
+// 6x4x6 table cut 3x2x3: 18 blocks on a 3x2x3 grid, block-levels 0..5.
+partition::BlockedLayout small_layout() {
+  return partition::BlockedLayout(dp::MixedRadix({6, 4, 6}), {3, 2, 3});
+}
+
+std::int64_t block_level(const dp::MixedRadix& grid, std::uint64_t id) {
+  std::vector<std::int64_t> coords(grid.dims());
+  grid.unflatten(id, coords);
+  std::int64_t level = 0;
+  for (const std::int64_t c : coords) level += c;
+  return level;
+}
+
+TEST(ComputeFrontier, CoversExactlyTheReachWindow) {
+  const auto layout = small_layout();
+  const std::vector<std::int64_t> reach{1, 0, 1};  // window = 2
+  const auto frontier = compute_frontier(layout, 3, reach);
+  ASSERT_FALSE(frontier.empty());
+  for (const std::uint64_t id : frontier) {
+    const std::int64_t lvl = block_level(layout.grid(), id);
+    EXPECT_GE(lvl, 1);
+    EXPECT_LT(lvl, 3);
+  }
+  // Every block on levels [1, 2] is present — the frontier is the full
+  // slice, not a sample.
+  std::uint64_t expected = 0;
+  for (std::uint64_t id = 0; id < layout.block_count(); ++id) {
+    const std::int64_t lvl = block_level(layout.grid(), id);
+    if (lvl >= 1 && lvl < 3) ++expected;
+  }
+  EXPECT_EQ(frontier.size(), expected);
+}
+
+TEST(ComputeFrontier, ZeroReachStillKeepsOneLevel) {
+  const auto layout = small_layout();
+  // Empty reach -> window clamps to 1: successors always read the previous
+  // level.
+  const auto frontier = compute_frontier(layout, 2, {});
+  for (const std::uint64_t id : frontier)
+    EXPECT_EQ(block_level(layout.grid(), id), 1);
+  EXPECT_FALSE(frontier.empty());
+}
+
+TEST(ComputeFrontier, ClipsAtTheGridBoundaries) {
+  const auto layout = small_layout();
+  const std::vector<std::int64_t> reach{2, 2, 2};
+  EXPECT_TRUE(compute_frontier(layout, 0, reach).empty());
+  // Deep past the last level the window still only picks existing levels.
+  const auto tail = compute_frontier(layout, 100, reach);
+  EXPECT_TRUE(tail.empty());
+}
+
+TEST(FrontierDigest, SensitiveToLevelFrontierAndOwners) {
+  const std::vector<std::uint64_t> frontier{0, 1, 2};
+  const std::vector<int> manifest{0, 1, 0, 1};
+  const std::uint64_t base = frontier_digest(3, frontier, manifest);
+  EXPECT_EQ(base, frontier_digest(3, frontier, manifest));  // deterministic
+  EXPECT_NE(base, frontier_digest(4, frontier, manifest));
+  const std::vector<std::uint64_t> other_frontier{0, 1, 3};
+  EXPECT_NE(base, frontier_digest(3, other_frontier, manifest));
+  std::vector<int> other_manifest = manifest;
+  other_manifest[1] = 0;  // re-home a frontier block
+  EXPECT_NE(base, frontier_digest(3, frontier, other_manifest));
+}
+
+TEST(AssignBuddies, CyclicNextAliveSkippingExcluded) {
+  const std::vector<std::uint8_t> none{0, 0, 0, 0};
+  EXPECT_EQ(assign_buddies(none), (std::vector<int>{1, 2, 3, 0}));
+
+  const std::vector<std::uint8_t> one_lost{0, 1, 0, 0};
+  // Device 0 skips the lost device 1 and mirrors onto 2; 1 gets no buddy.
+  EXPECT_EQ(assign_buddies(one_lost), (std::vector<int>{2, -1, 3, 0}));
+
+  const std::vector<std::uint8_t> lone{1, 1, 0, 1};
+  // A lone survivor has nowhere to mirror.
+  EXPECT_EQ(assign_buddies(lone), (std::vector<int>{-1, -1, -1, -1}));
+}
+
+TEST(CheckpointLog, MergesRepeatRecordsByBlock) {
+  CheckpointLog log;
+  log.begin_level(2);
+  log.record({7, 10, 100, 5});
+  log.record({9, 1, 2, 3});
+  log.record({7, 10, 100, 5});  // second in-block level of block 7
+  ASSERT_EQ(log.replay().size(), 1u);
+  const auto& blocks = log.replay()[0].blocks;
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].block_id, 7u);
+  EXPECT_EQ(blocks[0].cells, 20u);
+  EXPECT_EQ(blocks[0].candidates, 200u);
+  EXPECT_EQ(blocks[0].deps, 10u);
+  EXPECT_EQ(blocks[1].block_id, 9u);
+  EXPECT_EQ(log.levels_since_checkpoint(), 1);
+}
+
+TEST(CheckpointLog, BeginLevelIsIdempotentPerLevel) {
+  CheckpointLog log;
+  log.begin_level(1);
+  log.begin_level(1);
+  log.begin_level(2);
+  EXPECT_EQ(log.levels_since_checkpoint(), 2);
+}
+
+TEST(CheckpointLog, InstallRecordsMirrorSitesAndResetsReplay) {
+  CheckpointLog log;
+  log.begin_level(1);
+  log.record({4, 1, 1, 1});
+  log.record({5, 1, 1, 1});
+
+  WavefrontCheckpoint ckpt;
+  ckpt.level = 2;
+  ckpt.shard_manifest = {0, 0, 1, 1, 0, 1};  // block -> owner
+  ckpt.mirror_of = {1, 0};                   // device -> buddy
+  const std::vector<std::uint64_t> mirrored{4, 5};
+  log.install(ckpt, mirrored);
+
+  EXPECT_TRUE(log.has_checkpoint());
+  EXPECT_EQ(log.last().level, 2);
+  EXPECT_EQ(log.levels_since_checkpoint(), 0);
+  EXPECT_EQ(log.mirror_site(4), 1);  // owner 0 -> buddy 1
+  EXPECT_EQ(log.mirror_site(5), 0);  // owner 1 -> buddy 0
+  EXPECT_EQ(log.mirror_site(3), -1);  // never mirrored
+
+  log.clear();
+  EXPECT_FALSE(log.has_checkpoint());
+  EXPECT_EQ(log.mirror_site(4), -1);
+  EXPECT_EQ(log.levels_since_checkpoint(), 0);
+}
+
+TEST(CheckpointLog, RecordWithoutLevelIsAContractViolation) {
+  CheckpointLog log;
+  EXPECT_THROW(log.record({1, 1, 1, 1}), util::contract_violation);
+}
+
+}  // namespace
+}  // namespace pcmax::recover

@@ -1,0 +1,151 @@
+// Unit tests for the recovery planner: which blocks restore from mirrors,
+// which replay from the journal, and when the plan refuses. Pure decisions
+// over plain data, matching the module's no-device contract.
+#include "recover/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pcmax::recover {
+namespace {
+
+// A 6-block toy wavefront: blocks 0..5, devices {0, 1}, device 1 lost.
+// Checkpoint mirrored blocks {0, 1, 2}; blocks {3, 4} ran after it.
+CheckpointLog journal_with_checkpoint() {
+  CheckpointLog log;
+  log.begin_level(0);
+  log.record({0, 1, 1, 0});
+  log.record({1, 1, 1, 0});
+  log.begin_level(1);
+  log.record({2, 2, 2, 1});
+
+  WavefrontCheckpoint ckpt;
+  ckpt.level = 2;
+  ckpt.shard_manifest = {0, 1, 0, 1, 0, 1};
+  ckpt.mirror_of = {1, 0};  // 0 mirrors onto 1, 1 onto 0
+  log.install(ckpt, std::vector<std::uint64_t>{0, 1, 2});
+
+  log.begin_level(2);
+  log.record({3, 4, 8, 2});
+  log.record({4, 4, 8, 2});
+  return log;
+}
+
+const std::vector<int> kOldPlan{0, 1, 0, 1, 0, 1};
+
+TEST(RecoveryRefusalName, CoversEveryValue) {
+  EXPECT_EQ(recovery_refusal_name(RecoveryRefusal::kNone), "none");
+  EXPECT_EQ(recovery_refusal_name(RecoveryRefusal::kBelowMinDevices),
+            "below-min-devices");
+  EXPECT_EQ(recovery_refusal_name(RecoveryRefusal::kMirrorLost),
+            "mirror-lost");
+}
+
+TEST(PlanRecovery, RestoresMirroredBlocksAndReplaysYoungerOnes) {
+  const auto log = journal_with_checkpoint();
+  const std::vector<int> new_plan{0, 0, 0, 0, 0, 0};  // all onto survivor 0
+  const std::vector<std::uint8_t> excluded{0, 1};
+  const std::vector<std::uint64_t> frontier{0, 1, 2};
+  RecoveryOptions options;
+  options.min_devices = 1;
+
+  const RecoveryPlan plan = plan_recovery(log, kOldPlan, new_plan, excluded,
+                                          frontier, options);
+  ASSERT_TRUE(plan.recoverable());
+
+  // Block 1 was owned by the lost device and mirrored onto device 0.
+  ASSERT_EQ(plan.restores.size(), 1u);
+  EXPECT_EQ(plan.restores[0].block_id, 1u);
+  EXPECT_EQ(plan.restores[0].mirror_device, 0);
+  EXPECT_EQ(plan.restores[0].new_owner, 0);
+
+  // Block 3 ran after the checkpoint on the lost device: replay, with the
+  // journal's recorded work, on its new owner. Block 4 belonged to the
+  // survivor and needs nothing.
+  ASSERT_EQ(plan.replays.size(), 1u);
+  EXPECT_EQ(plan.replays[0].level, 2);
+  EXPECT_EQ(plan.replays[0].work.block_id, 3u);
+  EXPECT_EQ(plan.replays[0].work.candidates, 8u);
+  EXPECT_EQ(plan.replays[0].new_owner, 0);
+}
+
+TEST(PlanRecovery, SurvivorBlocksNeedNothing) {
+  const auto log = journal_with_checkpoint();
+  const std::vector<int> new_plan = kOldPlan;
+  const std::vector<std::uint8_t> none{0, 0};
+  const RecoveryPlan plan = plan_recovery(
+      log, kOldPlan, new_plan, none, std::vector<std::uint64_t>{0, 1, 2}, {});
+  ASSERT_TRUE(plan.recoverable());
+  EXPECT_TRUE(plan.restores.empty());
+  EXPECT_TRUE(plan.replays.empty());
+}
+
+TEST(PlanRecovery, RefusesBelowMinDevices) {
+  const auto log = journal_with_checkpoint();
+  const std::vector<std::uint8_t> excluded{0, 1};
+  RecoveryOptions options;
+  options.min_devices = 2;
+  const RecoveryPlan plan = plan_recovery(log, kOldPlan, kOldPlan, excluded,
+                                          {}, options);
+  EXPECT_FALSE(plan.recoverable());
+  EXPECT_EQ(plan.refusal, RecoveryRefusal::kBelowMinDevices);
+  EXPECT_TRUE(plan.restores.empty());
+  EXPECT_TRUE(plan.replays.empty());
+}
+
+TEST(PlanRecovery, RefusesWhenTheMirrorDiedToo) {
+  // Three devices; 1 mirrors onto 2. Losing both 1 and 2 strands block 1's
+  // only copy.
+  CheckpointLog log;
+  log.begin_level(0);
+  log.record({1, 1, 1, 0});
+  WavefrontCheckpoint ckpt;
+  ckpt.level = 1;
+  ckpt.shard_manifest = {0, 1, 2};
+  ckpt.mirror_of = {1, 2, 0};
+  log.install(ckpt, std::vector<std::uint64_t>{1});
+
+  const std::vector<int> old_plan{0, 1, 2};
+  const std::vector<int> new_plan{0, 0, 0};
+  const std::vector<std::uint8_t> excluded{0, 1, 1};
+  const std::vector<std::uint64_t> frontier{1};
+  const RecoveryPlan plan = plan_recovery(log, old_plan, new_plan, excluded,
+                                          frontier, {});
+  EXPECT_FALSE(plan.recoverable());
+  EXPECT_EQ(plan.refusal, RecoveryRefusal::kMirrorLost);
+  // A refused plan carries no half-built steps.
+  EXPECT_TRUE(plan.restores.empty());
+  EXPECT_TRUE(plan.replays.empty());
+}
+
+TEST(PlanRecovery, NeverMirroredFrontierBlockIsUnrecoverable) {
+  // No checkpoint at all: a lost frontier block has no copy anywhere.
+  CheckpointLog log;
+  const std::vector<int> old_plan{0, 1};
+  const std::vector<int> new_plan{0, 0};
+  const std::vector<std::uint8_t> excluded{0, 1};
+  const std::vector<std::uint64_t> frontier{1};
+  const RecoveryPlan plan = plan_recovery(log, old_plan, new_plan, excluded,
+                                          frontier, {});
+  EXPECT_EQ(plan.refusal, RecoveryRefusal::kMirrorLost);
+}
+
+TEST(PlanRecovery, ReplayedBlocksAreNotAlsoRestored) {
+  // Block 3 is both in the replay journal and (artificially) on the
+  // frontier: the planner must charge it once, as a replay.
+  const auto log = journal_with_checkpoint();
+  const std::vector<int> new_plan{0, 0, 0, 0, 0, 0};
+  const std::vector<std::uint8_t> excluded{0, 1};
+  const std::vector<std::uint64_t> frontier{1, 3};
+  const RecoveryPlan plan = plan_recovery(log, kOldPlan, new_plan, excluded,
+                                          frontier, {});
+  ASSERT_TRUE(plan.recoverable());
+  ASSERT_EQ(plan.replays.size(), 1u);
+  EXPECT_EQ(plan.replays[0].work.block_id, 3u);
+  for (const RestoreStep& step : plan.restores)
+    EXPECT_NE(step.block_id, 3u);
+}
+
+}  // namespace
+}  // namespace pcmax::recover

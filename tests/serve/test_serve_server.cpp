@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/resilient.hpp"
+#include "faultsim/injector.hpp"
 #include "gpu/resilient_gpu.hpp"
 #include "gpusim/device.hpp"
 #include "obs/session.hpp"
@@ -284,6 +285,68 @@ TEST(ServeServer, EmitsServeCountersAndRequestTaggedTrace) {
   EXPECT_TRUE(saw_enqueue);
   EXPECT_TRUE(saw_coalesce);
   EXPECT_TRUE(saw_worker_req_tag);
+}
+
+TEST(ServeServer, QuarantinesWorkerAfterDeviceLossAndReadmitsAfterReset) {
+  obs::ObsSession session;
+  ServeOptions options;
+  options.workers = 1;  // deterministic: one worker owns the one device
+  SolveServer server(options);
+
+  // Phase 1: a loss storm kills the worker's device mid-solve. The request
+  // must still complete (degraded through the resilient chain, or recovered)
+  // and the worker must enter quarantine.
+  {
+    faultsim::ScopedFaultInjector scoped(
+        *faultsim::parse_fault_plan("seed=5;device-lost:permille=1000"));
+    auto admitted = server.submit(make_request(21));
+    ASSERT_TRUE(admitted.has_value());
+    const SolveResponse response = admitted->get();
+    ASSERT_TRUE(response.ok()) << response.status.to_string();
+    EXPECT_TRUE(response.result.degraded);
+    bool saw_lost = false;
+    for (const AttemptRecord& attempt : response.result.attempts)
+      saw_lost = saw_lost ||
+                 attempt.status.code() == StatusCode::kDeviceLost;
+    EXPECT_TRUE(saw_lost) << "the loss must be typed on the attempt record";
+  }
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.quarantine_entered, 1u);
+  EXPECT_EQ(stats.quarantine_readmitted, 0u);
+  EXPECT_EQ(session.metrics().counter("serve.quarantine.entered"), 1u);
+
+  // Phase 2: quarantined, the worker serves on the CPU-only chain — no GPU
+  // attempt (which would fail instantly on the dead device), still correct.
+  {
+    auto admitted = server.submit(make_request(22));
+    ASSERT_TRUE(admitted.has_value());
+    const SolveResponse response = admitted->get();
+    ASSERT_TRUE(response.ok()) << response.status.to_string();
+    EXPECT_NE(response.result.engine, "gpu-ptas");
+    for (const AttemptRecord& attempt : response.result.attempts)
+      EXPECT_NE(attempt.status.code(), StatusCode::kDeviceLost)
+          << "a quarantined worker must not re-touch its dead device";
+  }
+  EXPECT_EQ(server.stats().quarantined, 1u);
+
+  // Phase 3: reset_and_readmit on the quiesced server resurrects the
+  // device; the worker is back on its GPU chain.
+  EXPECT_EQ(server.reset_and_readmit(), 1);
+  stats = server.stats();
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_EQ(stats.quarantine_readmitted, 1u);
+  EXPECT_EQ(session.metrics().counter("serve.quarantine.readmitted"), 1u);
+  {
+    auto admitted = server.submit(make_request(23));
+    ASSERT_TRUE(admitted.has_value());
+    const SolveResponse response = admitted->get();
+    ASSERT_TRUE(response.ok()) << response.status.to_string();
+    EXPECT_EQ(response.result.engine, "gpu-ptas");
+    EXPECT_FALSE(response.result.degraded);
+  }
+  // Idempotent: nothing left to re-admit.
+  EXPECT_EQ(server.reset_and_readmit(), 0);
 }
 
 }  // namespace

@@ -56,6 +56,7 @@ using namespace pcmax;
       "                 [--devices N] [--topology ring|fullmesh]\n"
       "                 [--placement round-robin|level-contiguous|\n"
       "                  memory-balanced]\n"
+      "                 [--checkpoint-every L] [--min-devices N]\n"
       "                 [--deadline-ms MS] [--probe-deadline-ms MS]\n"
       "                 [--mem-budget-bytes BYTES] [--fault-plan PLAN]\n"
       "                 [--trace-out FILE] [--metrics-out FILE]\n"
@@ -63,6 +64,10 @@ using namespace pcmax;
       "--devices shards GPU-engine DP blocks over a simulated multi-device\n"
       "topology (default 1: single device); --topology picks the link graph\n"
       "and --placement the block-to-device strategy (docs/SHARDING.md).\n"
+      "--checkpoint-every L checkpoints the sharded wavefront every L\n"
+      "block-levels so a device lost mid-solve is recovered bit-identically\n"
+      "(0 = off); --min-devices refuses recovery below N surviving devices\n"
+      "and degrades instead (docs/ROBUSTNESS.md).\n"
       "\n"
       "Value flags also accept --flag=VALUE. --trace-out writes a Chrome\n"
       "trace (chrome://tracing, Perfetto); --metrics-out writes counters\n"
@@ -91,6 +96,7 @@ struct Args {
   gpusim::TopologyKind topology = gpusim::TopologyKind::kFullMesh;
   placement::PlacementKind placement =
       placement::PlacementKind::kLevelContiguous;
+  recover::RecoveryOptions recovery;
   bool quarter_split = false;
   bool emit_instance = false;
   std::uint64_t node_budget = 20'000'000;
@@ -154,6 +160,16 @@ Args parse_args(int argc, char** argv) {
                " (expected round-robin, level-contiguous, or "
                "memory-balanced)").c_str());
       args.placement = *kind;
+    } else if (a == "--checkpoint-every") {
+      args.recovery.checkpoint_every =
+          std::atoll(next("--checkpoint-every needs a level count").c_str());
+      if (args.recovery.checkpoint_every < 0)
+        usage("--checkpoint-every needs a count >= 0 (0 = off)");
+    } else if (a == "--min-devices") {
+      args.recovery.min_devices = static_cast<int>(
+          std::atoll(next("--min-devices needs a count").c_str()));
+      if (args.recovery.min_devices < 1)
+        usage("--min-devices needs a count >= 1");
     } else if (a == "--node-budget") {
       args.node_budget = static_cast<std::uint64_t>(
           std::atoll(next("--node-budget needs a value").c_str()));
@@ -220,6 +236,7 @@ int run_gpu(const Instance& instance, const Args& args, std::size_t dims) {
   options.epsilon = args.epsilon;
   options.partition_dims = dims;
   options.placement = args.placement;
+  options.recovery = args.recovery;
   const auto result = gpu::solve_gpu_ptas(instance, topology, options);
   std::uint64_t peak = 0;
   for (int d = 0; d < topology.device_count(); ++d)
@@ -254,6 +271,7 @@ int run_resilient(const Instance& instance, const Args& args) {
                             args.topology);
   gpu::GpuPtasOptions base;
   base.placement = args.placement;
+  base.recovery = args.recovery;
   const auto chain = gpu::make_gpu_chain(topology, base);
   ResilientOptions options;
   options.epsilon = args.epsilon;
@@ -264,12 +282,15 @@ int run_resilient(const Instance& instance, const Args& args) {
 
   if (!result.schedule.assignment.empty())
     workload::write_schedule(std::cout, instance, result.schedule);
-  std::printf("engine resilient status %s via %s k %lld bound %lld/%lld%s\n",
+  std::printf("engine resilient status %s via %s k %lld bound %lld/%lld "
+              "certificate %s%s\n",
               result.status.to_string().c_str(),
               result.engine.empty() ? "-" : result.engine.c_str(),
               static_cast<long long>(result.k),
               static_cast<long long>(result.bound_num),
               static_cast<long long>(result.bound_den),
+              std::string(certificate_tier_name(result.certificate_tier))
+                  .c_str(),
               result.degraded ? " degraded" : "");
   for (std::size_t i = 0; i < result.attempts.size(); ++i) {
     const auto& attempt = result.attempts[i];

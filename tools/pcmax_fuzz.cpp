@@ -116,8 +116,9 @@ enum class Mode : int {
   kMetamorphic = 5,
   kFaults = 6,
   kExact = 7,
+  kRecovery = 8,
 };
-constexpr int kModeCount = 8;
+constexpr int kModeCount = 9;
 
 const char* mode_name(Mode mode) {
   switch (mode) {
@@ -129,6 +130,7 @@ const char* mode_name(Mode mode) {
     case Mode::kMetamorphic: return "metamorphic";
     case Mode::kFaults: return "faults";
     case Mode::kExact: return "exact";
+    case Mode::kRecovery: return "recovery";
   }
   return "?";
 }
@@ -224,7 +226,7 @@ class Fuzzer {
     } else if (id.index < 3 * kModeCount) {
       mode = static_cast<Mode>(id.index % kModeCount);
     } else {
-      const auto roll = rng.uniform(0, 15);
+      const auto roll = rng.uniform(0, 16);
       mode = roll < 5    ? Mode::kDpDifferential
              : roll < 8  ? Mode::kPtasCertificate
              : roll < 9  ? Mode::kLayoutBijection
@@ -232,7 +234,8 @@ class Fuzzer {
              : roll < 12 ? Mode::kPtasCache
              : roll < 13 ? Mode::kMetamorphic
              : roll < 14 ? Mode::kFaults
-                         : Mode::kExact;
+             : roll < 16 ? Mode::kExact
+                         : Mode::kRecovery;
     }
     coverage_.cases++;
     coverage_.per_mode[mode_name(mode)]++;
@@ -245,6 +248,7 @@ class Fuzzer {
       case Mode::kMetamorphic: return run_metamorphic(id, rng);
       case Mode::kFaults: return run_faults(id, rng);
       case Mode::kExact: return run_exact(id, rng);
+      case Mode::kRecovery: return run_recovery(id, rng);
     }
     return std::nullopt;
   }
@@ -651,6 +655,91 @@ class Fuzzer {
               .has_value();
         });
     failure.reproducer = describe(shrunk);
+    return failure;
+  }
+
+  /// Random device-lost / link-down plan for the recovery mode.
+  static faultsim::FaultPlan random_loss_plan(util::Rng& rng) {
+    faultsim::FaultPlan plan;
+    plan.seed = static_cast<std::uint64_t>(rng.uniform(0, 1'000'000));
+    faultsim::FaultRule lost;
+    lost.site = faultsim::Site::kDeviceLost;
+    if (rng.uniform01() < 0.7)
+      lost.nth = static_cast<std::uint64_t>(rng.uniform(1, 24));
+    else
+      lost.permille = static_cast<std::uint32_t>(rng.uniform(20, 300));
+    plan.rules.push_back(lost);
+    if (rng.uniform01() < 0.5) {
+      faultsim::FaultRule down;
+      down.site = faultsim::Site::kLinkDown;
+      if (rng.uniform01() < 0.7)
+        down.nth = static_cast<std::uint64_t>(rng.uniform(1, 12));
+      else
+        down.permille = static_cast<std::uint32_t>(rng.uniform(20, 300));
+      plan.rules.push_back(down);
+    }
+    return plan;
+  }
+
+  /// Sharded solve under device-loss injection: the result is either
+  /// bit-identical to the fault-free reference (recovery succeeded) or a
+  /// typed device-lost error (recovery refused or losses exhausted the
+  /// retry budget) — never a wrong table, never a foreign exception.
+  testkit::CheckResult check_recovery_case(const dp::DpProblem& problem,
+                                           const faultsim::FaultPlan& plan,
+                                           int devices,
+                                           gpusim::TopologyKind kind,
+                                           std::int64_t checkpoint_every,
+                                           int min_devices) {
+    const auto reference = dp::ReferenceSolver().solve(problem);
+    gpusim::Topology topology(devices, gpusim::DeviceSpec::k40(), kind);
+    recover::RecoveryOptions recovery;
+    recovery.checkpoint_every = checkpoint_every;
+    recovery.min_devices = min_devices;
+    const gpu::GpuDpSolver solver(topology, 5, 4,
+                                  gpu::StreamPolicy::kCyclic,
+                                  placement::PlacementKind::kLevelContiguous,
+                                  recovery);
+    faultsim::ScopedFaultInjector scoped(plan);
+    try {
+      const auto result = solver.solve(problem);
+      return testkit::check_tables_match("reference", reference,
+                                         solver.name(), result, true);
+    } catch (const StatusError& e) {
+      if (e.status().code() == StatusCode::kDeviceLost) return std::nullopt;
+      return "recovery solve failed with unexpected status: " +
+             e.status().to_string();
+    } catch (const gpusim::DeviceLost&) {
+      // Loss storm past the per-level retry budget (or recovery off-path):
+      // typed, and the resilient driver maps it to kDeviceLost.
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Failure> run_recovery(const testkit::CaseId& id,
+                                      util::Rng& rng) {
+    testkit::DpProblemLimits limits;
+    limits.max_cells = 2'000;
+    limits.allow_infeasible = false;
+    const auto problem = testkit::random_dp_problem(rng, limits);
+    const auto plan = random_loss_plan(rng);
+    const auto devices = static_cast<int>(rng.uniform(2, 4));
+    const auto kind = rng.uniform(0, 1) == 0 ? gpusim::TopologyKind::kRing
+                                             : gpusim::TopologyKind::kFullMesh;
+    const auto checkpoint_every = rng.uniform(1, 3);
+    const auto min_devices = static_cast<int>(rng.uniform(1, 2));
+    auto bad = check_recovery_case(problem, plan, devices, kind,
+                                   checkpoint_every, min_devices);
+    if (!bad.has_value()) return std::nullopt;
+
+    Failure failure{id, Mode::kRecovery, *bad, {}, plan.to_string()};
+    const auto shrunk = testkit::shrink_dp_problem(
+        problem, [&](const dp::DpProblem& candidate) {
+          return check_recovery_case(candidate, plan, devices, kind,
+                                     checkpoint_every, min_devices)
+              .has_value();
+        });
+    failure.reproducer = describe(shrunk) + " plan=" + plan.to_string();
     return failure;
   }
 
