@@ -1,0 +1,166 @@
+// Sparsification ablation: the classic Hochbaum-Shmoys rounding (one class
+// per multiple of T/k^2, up to k^2 - k + 1 DP dimensions) against the
+// geometric-grid EPTAS rounding (O(k log k) dimensions, eptas/sparsify.hpp)
+// at *equal epsilon*, over shapes whose long-job spread populates many
+// classes. Both engines run the same bisection search on the same
+// level-bucket solver with the probe cache off, so the cells column is a
+// pure rounding ablation: sum of DP table sizes over real solves.
+//
+// The table also reports the class-count reduction (rounded dims at the
+// instance lower bound) and the peak DP-table bytes each engine would
+// allocate there — the O(1/eps^2) -> O(1/eps log 1/eps) claim, measured.
+//
+// `--json <path>` emits perf-trajectory records; CI's perf-smoke job gates
+// sparse cells * 2 <= classic cells on every "large-*" pair (a sparsified
+// engine that stops shrinking tables is a silent perf regression, results
+// stay correct either way). The bench itself throws if the sparsified
+// search lands on a worse target than the classic one or its certificate
+// fails — equal-guarantee is the precondition of comparing costs.
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bounds.hpp"
+#include "core/ptas.hpp"
+#include "core/rounding.hpp"
+#include "eptas/eptas.hpp"
+#include "eptas/sparsify.hpp"
+#include "util/text_table.hpp"
+#include "workload/generators.hpp"
+
+namespace {
+
+using namespace pcmax;
+
+struct Case {
+  std::string name;
+  Instance instance;
+  std::int64_t k;
+};
+
+struct Run {
+  std::uint64_t ns = 0;
+  std::uint64_t cells = 0;
+  std::uint64_t probes = 0;
+  std::int64_t best_target = 0;
+  std::int64_t makespan = 0;
+};
+
+template <typename SolveFn>
+Run timed_run(const Case& c, SolveFn&& solve) {
+  const dp::LevelBucketSolver solver;
+  PtasOptions options;
+  options.epsilon = epsilon_for_k(c.k);
+  options.strategy = SearchStrategy::kBisection;
+  options.use_probe_cache = false;
+  Run run;
+  const auto start = std::chrono::steady_clock::now();
+  const PtasResult result = solve(c.instance, solver, options);
+  run.ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  run.cells = pcmax::bench::cells_evaluated(result);
+  run.probes = result.dp_calls.size();
+  run.best_target = result.best_target;
+  run.makespan = result.achieved_makespan;
+  if (result.achieved_makespan * c.k > (c.k + 1) * result.best_target)
+    throw std::runtime_error(c.name + ": certificate failed");
+  return run;
+}
+
+std::string fmt_ratio(std::uint64_t num, std::uint64_t den) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fx",
+                den == 0 ? 0.0
+                         : static_cast<double>(num) / static_cast<double>(den));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      pcmax::bench::json_path_from_args(argc, argv);
+
+  // Long-job-heavy shapes: m close to n/2 keeps the lower bound near twice
+  // the mean time, so jobs spread over most of the class range [k, k^2]
+  // instead of collapsing into the top few classes. The "large-*" cases are
+  // the gated ones — big enough that the class range is densely populated
+  // and sparsification has something to merge.
+  const std::vector<Case> cases{
+      {"uniform-24x12/k4", workload::uniform_instance(24, 12, 100, 1000, 11),
+       4},
+      {"large-uniform-32x16/k4",
+       workload::uniform_instance(32, 16, 100, 1000, 13), 4},
+      {"large-uniform-20x10/k8",
+       workload::uniform_instance(20, 10, 100, 1000, 12), 8},
+      {"large-bimodal-22x11/k8",
+       workload::bimodal_instance(22, 11, 100, 350, 600, 1000, 0.5, 15), 8},
+  };
+
+  std::printf("== bench_eptas: classic vs sparsified rounding at equal "
+              "epsilon (bisection, cache off) ==\n\n");
+  pcmax::util::TextTable table(
+      {"case", "classic cells", "sparse cells", "drop", "dims c/s",
+       "bytes c/s @LB", "target c/s", "probes"});
+  std::vector<pcmax::bench::JsonRecord> records;
+  for (const Case& c : cases) {
+    const Run classic = timed_run(
+        c, [](const Instance& i, const dp::DpSolver& s,
+              const PtasOptions& o) { return solve_ptas(i, s, o); });
+    const Run sparse = timed_run(
+        c, [](const Instance& i, const dp::DpSolver& s,
+              const PtasOptions& o) { return eptas::solve_eptas(i, s, o); });
+    // The sparsified oracle accepts every target the classic one accepts
+    // (sparsify.hpp, "differential invariant"), so its bisection can only
+    // stop at the same or a smaller target.
+    if (sparse.best_target > classic.best_target)
+      throw std::runtime_error(c.name + ": sparsified target " +
+                               std::to_string(sparse.best_target) +
+                               " worse than classic " +
+                               std::to_string(classic.best_target));
+    if (sparse.cells >= classic.cells)
+      throw std::runtime_error(c.name +
+                               ": sparsified rounding evaluated no fewer "
+                               "cells than the classic rounding");
+    const std::int64_t lb = makespan_lower_bound(c.instance);
+    const auto rounded = round_instance(c.instance, lb, c.k);
+    const std::uint64_t classic_bytes =
+        rounded.table_size() * sizeof(std::int32_t);
+    const std::uint64_t sparse_bytes =
+        eptas::eptas_table_bytes(c.instance, c.k);
+    table.add_row(
+        {c.name, std::to_string(classic.cells), std::to_string(sparse.cells),
+         fmt_ratio(classic.cells, sparse.cells),
+         std::to_string(rounded.nonzero_dims()) + "/" +
+             std::to_string(
+                 eptas::sparsify_instance(c.instance, lb, c.k).nonzero_dims()),
+         std::to_string(classic_bytes) + "/" + std::to_string(sparse_bytes),
+         std::to_string(classic.best_target) + "/" +
+             std::to_string(sparse.best_target),
+         std::to_string(classic.probes) + "/" +
+             std::to_string(sparse.probes)});
+    records.push_back({"eptas-ablation/" + c.name + "/classic", classic.ns,
+                       classic.cells, classic.probes, 0});
+    records.push_back({"eptas-ablation/" + c.name + "/sparse", sparse.ns,
+                       sparse.cells, sparse.probes, 0});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "cells = DP cells evaluated over the whole search (cache off);\n"
+      "dims/bytes @LB = rounded class count and DP-table bytes at the "
+      "instance lower bound (the search's worst case);\n"
+      "targets may differ: the sparsified oracle dominates the classic one, "
+      "so its target is never worse.\n");
+
+  if (!json_path.empty()) {
+    pcmax::bench::write_json(json_path, records);
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path.c_str());
+  }
+  return 0;
+}

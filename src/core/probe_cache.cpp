@@ -42,6 +42,16 @@ ProbeKey probe_key_for(const RoundedInstance& rounded) {
   return key;
 }
 
+ProbeKey probe_key_for(const dp::DpProblem& problem) {
+  PCMAX_EXPECTS(!problem.counts.empty());
+  PCMAX_EXPECTS(problem.counts.size() == problem.weights.size());
+  ProbeKey key;
+  key.counts = problem.counts;
+  key.weights = problem.weights;
+  key.capacity = problem.capacity;
+  return key;
+}
+
 ProbeCache::ProbeCache(std::size_t max_entries) : max_entries_(max_entries) {
   PCMAX_EXPECTS(max_entries >= 1);
 }

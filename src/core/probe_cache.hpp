@@ -61,6 +61,15 @@ struct ProbeKeyHash {
 /// at least one long job (callers answer the empty rounding without a DP).
 [[nodiscard]] ProbeKey probe_key_for(const RoundedInstance& rounded);
 
+/// The canonical key of an explicit DP problem. The key *is* the problem
+/// (counts, weights, capacity), so any two roundings — classic arithmetic
+/// or EPTAS-sparsified — that build byte-identical problems share one cache
+/// entry, and roundings that differ anywhere cannot collide. Every engine
+/// must derive its key through this single constructor so the canonical-
+/// ization stays in one place (tests/eptas/test_probe_soundness.cpp pins
+/// the cross-engine soundness). Requires a non-empty problem.
+[[nodiscard]] ProbeKey probe_key_for(const dp::DpProblem& problem);
+
 struct ProbeCacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;

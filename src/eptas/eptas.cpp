@@ -1,0 +1,274 @@
+#include "eptas/eptas.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/bounds.hpp"
+#include "core/probe_cache.hpp"
+#include "core/rounding.hpp"
+#include "core/search.hpp"
+#include "dp/reconstruct.hpp"
+#include "eptas/sparsify.hpp"
+#include "faultsim/injector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::eptas {
+
+namespace {
+
+/// Runs the DP for one sparsified target (or answers it from `cache`) and
+/// records the invocation. The eptas.* counters sit next to the dp.*
+/// family; the class ablation (arithmetic vs grid classes) is observed per
+/// probe so a metrics export shows what sparsification bought.
+std::int32_t evaluate_target(const SparsifiedInstance& sparse,
+                             const dp::DpSolver& solver,
+                             const PtasOptions& options,
+                             ProbeCacheBase* cache,
+                             std::vector<DpInvocation>& calls) {
+  DpInvocation call;
+  call.target = sparse.target;
+  call.nonzero_dims = sparse.nonzero_dims();
+  call.long_jobs = sparse.long_jobs();
+  call.table_size = sparse.table_size();
+  const obs::ScopedSpan span(
+      "eptas/invocation",
+      {obs::arg("target", sparse.target),
+       obs::arg("table", static_cast<std::int64_t>(call.table_size))});
+  std::int32_t opt = 0;
+  if (!sparse.class_index.empty()) {
+    const dp::DpProblem problem = to_dp_problem(sparse);
+    ProbeKey key;
+    if (cache != nullptr) {
+      key = probe_key_for(problem);
+      if (const auto hit = cache->lookup(key)) {
+        opt = *hit;
+        call.cached = true;
+      }
+    }
+    if (!call.cached) {
+      // The sparsified table is a host allocation like every DP table;
+      // charge the site before the solver touches memory so an injected
+      // host-OOM surfaces here, typed, instead of deep inside the kernel.
+      faultsim::check_host_alloc(
+          util::checked_mul(call.table_size, sizeof(std::int32_t)));
+      dp::SolveOptions solve_options;
+      solve_options.num_threads = options.num_threads;
+      opt = solver.solve(problem, solve_options).opt;
+      if (cache != nullptr) cache->insert(key, opt);
+    }
+  }
+  call.opt = opt;
+  obs::count("eptas.invocations");
+  obs::observe("eptas.table_size", static_cast<std::int64_t>(call.table_size));
+  obs::observe("eptas.classes_arith",
+               static_cast<std::int64_t>(sparse.arithmetic_classes));
+  obs::observe("eptas.classes_grid",
+               static_cast<std::int64_t>(sparse.nonzero_dims()));
+  if (call.cached) {
+    obs::count("eptas.cache_answered");
+    if (obs::TraceRecorder* tr = obs::trace(); tr != nullptr)
+      tr->instant("eptas/cache-hit", {obs::arg("target", sparse.target),
+                                      obs::arg("opt", opt)});
+  } else if (!sparse.class_index.empty()) {
+    obs::count("eptas.cells", call.table_size);
+  }
+  calls.push_back(call);
+  return opt;
+}
+
+/// Per-run delta of a (possibly shared, already warm) cache's counters.
+ProbeCacheStats stats_delta(const ProbeCacheStats& now,
+                            const ProbeCacheStats& before) {
+  ProbeCacheStats d;
+  d.lookups = now.lookups - before.lookups;
+  d.hits = now.hits - before.hits;
+  d.insertions = now.insertions - before.insertions;
+  d.evictions = now.evictions - before.evictions;
+  return d;
+}
+
+}  // namespace
+
+PtasResult solve_eptas(const Instance& instance, const dp::DpSolver& solver,
+                       const PtasOptions& options) {
+  instance.validate();
+  const std::int64_t k = k_for_epsilon(options.epsilon);
+  const std::int64_t lb = makespan_lower_bound(instance);
+  const std::int64_t ub = makespan_upper_bound(instance);
+  const obs::ScopedSpan span(
+      "eptas/solve",
+      {obs::arg("k", k), obs::arg("machines", instance.machines)});
+
+  PtasResult result;
+  ProbeCache local_cache;
+  ProbeCacheBase* cache = nullptr;
+  if (options.use_probe_cache)
+    cache = options.probe_cache != nullptr ? options.probe_cache
+                                           : &local_cache;
+  const ProbeCacheStats stats_before =
+      cache != nullptr ? cache->stats() : ProbeCacheStats{};
+  // Bounds are instance-specific, so they live for this run only even when
+  // the (canonically keyed) cache is shared.
+  MonotoneBounds bounds;
+  MonotoneBounds* bounds_ptr = cache != nullptr ? &bounds : nullptr;
+
+  const FeasibilityOracle oracle = [&](std::int64_t target) {
+    const SparsifiedInstance sparse = sparsify_instance(instance, target, k);
+    if (!sparse.feasible) return false;
+    const std::int32_t opt =
+        evaluate_target(sparse, solver, options, cache, result.dp_calls);
+    return opt <= instance.machines;
+  };
+
+  const SearchResult search =
+      options.strategy == SearchStrategy::kQuarterSplit
+          ? quarter_split_search(lb, ub, oracle, options.segments, bounds_ptr)
+          : bisection_search(lb, ub, oracle, bounds_ptr);
+  result.best_target = search.best_target;
+  result.search_iterations = search.iterations;
+  if (cache != nullptr) {
+    result.cache_stats = stats_delta(cache->stats(), stats_before);
+    result.cache_stats.bound_skips = search.bound_skips;
+  }
+
+  if (!options.build_schedule) return result;
+
+  const ScheduleBuild build = build_eptas_schedule_at_target(
+      instance, solver, k, result.best_target, options.num_threads,
+      result.dp_calls);
+  result.schedule = build.schedule;
+  result.achieved_makespan = build.achieved_makespan;
+  return result;
+}
+
+ScheduleBuild build_eptas_schedule_at_target(
+    const Instance& instance, const dp::DpSolver& solver, std::int64_t k,
+    std::int64_t target, int num_threads,
+    std::vector<DpInvocation>& dp_calls) {
+  instance.validate();
+  // Reconstruction at T*: schedule the sparsified long jobs via the DP
+  // backtrack, then add short jobs greedily — structurally identical to
+  // build_schedule_at_target, over grid classes.
+  const obs::ScopedSpan span("eptas/reconstruct",
+                             {obs::arg("target", target)});
+  const SparsifiedInstance sparse = sparsify_instance(instance, target, k);
+  PCMAX_ENSURES(sparse.feasible);
+
+  ScheduleBuild build;
+  build.schedule.assignment.assign(instance.times.size(), 0);
+  std::vector<std::int64_t> loads(
+      static_cast<std::size_t>(instance.machines), 0);
+
+  if (!sparse.class_index.empty()) {
+    const dp::DpProblem problem = to_dp_problem(sparse);
+    faultsim::check_host_alloc(
+        util::checked_mul(sparse.table_size(), sizeof(std::int32_t)));
+    dp::SolveOptions solve_options;
+    solve_options.num_threads = num_threads;
+    const dp::DpResult dp_result = [&] {
+      const obs::ScopedSpan dp_span(
+          "eptas/invocation",
+          {obs::arg("target", sparse.target),
+           obs::arg("table",
+                    static_cast<std::int64_t>(sparse.table_size()))});
+      return solver.solve(problem, solve_options);
+    }();
+    obs::count("eptas.invocations");
+    obs::count("eptas.cells", sparse.table_size());
+    obs::observe("eptas.table_size",
+                 static_cast<std::int64_t>(sparse.table_size()));
+    dp_calls.push_back(DpInvocation{
+        sparse.target, sparse.table_size(), sparse.nonzero_dims(),
+        sparse.long_jobs(), dp_result.opt});
+    PCMAX_ENSURES(dp_result.opt <= instance.machines);
+
+    const auto machines = dp::reconstruct_machines(problem, dp_result);
+    std::vector<std::size_t> cursor(sparse.class_index.size(), 0);
+    for (std::size_t m = 0; m < machines.size(); ++m) {
+      for (std::size_t d = 0; d < machines[m].size(); ++d) {
+        for (std::int64_t c = 0; c < machines[m][d]; ++c) {
+          const std::size_t job = sparse.jobs_per_class[d][cursor[d]++];
+          build.schedule.assignment[job] = static_cast<std::int64_t>(m);
+          loads[m] += instance.times[job];
+        }
+      }
+    }
+  }
+
+  place_on_least_loaded(instance, sparse.short_jobs, build.schedule, loads);
+  build.achieved_makespan = *std::max_element(loads.begin(), loads.end());
+  validate_schedule(instance, build.schedule);
+  return build;
+}
+
+std::uint64_t eptas_table_bytes(const Instance& instance, std::int64_t k) {
+  const SparsifiedInstance sparse =
+      sparsify_instance(instance, makespan_lower_bound(instance), k);
+  return util::checked_mul(sparse.table_size(), sizeof(std::int32_t));
+}
+
+namespace {
+
+/// DpSolver decorator enforcing the resilient driver's per-solve and
+/// per-probe deadlines at probe granularity (the same discipline as the
+/// classic CPU engines' DeadlineSolver in core/resilient.cpp).
+class DeadlineGuardedSolver final : public dp::DpSolver {
+ public:
+  DeadlineGuardedSolver(const dp::DpSolver& inner, Deadline overall,
+                        std::int64_t probe_ms)
+      : inner_(inner), overall_(overall), probe_ms_(probe_ms) {}
+
+  using dp::DpSolver::solve;
+  [[nodiscard]] dp::DpResult solve(
+      const dp::DpProblem& problem,
+      const dp::SolveOptions& options) const override {
+    overall_.check("solve");
+    const Deadline probe = Deadline::after_ms(probe_ms_);
+    dp::DpResult result = inner_.solve(problem, options);
+    probe.check("probe");
+    overall_.check("solve");
+    return result;
+  }
+
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+
+ private:
+  const dp::DpSolver& inner_;
+  Deadline overall_;
+  std::int64_t probe_ms_;
+};
+
+}  // namespace
+
+SolveEngine make_eptas_engine() {
+  SolveEngine engine;
+  engine.name = "eptas";
+  engine.uses_k = true;
+  engine.bound = [](std::int64_t, std::int64_t k) {
+    return std::pair<std::int64_t, std::int64_t>{k + 1, k};
+  };
+  engine.mem_estimate = [](const Instance& instance, std::int64_t k) {
+    return eptas_table_bytes(instance, k);
+  };
+  engine.run = [solver = std::make_shared<dp::LevelBucketSolver>()](
+                   const Instance& instance, std::int64_t k,
+                   const EngineContext& ctx) {
+    const DeadlineGuardedSolver guarded(*solver, ctx.deadline,
+                                        ctx.probe_deadline_ms);
+    PtasOptions options;
+    options.epsilon = epsilon_for_k(k);
+    options.num_threads = ctx.num_threads;
+    options.use_probe_cache = ctx.probe_cache != nullptr;
+    options.probe_cache = ctx.probe_cache;
+    PtasResult r = solve_eptas(instance, guarded, options);
+    return EngineOutcome{std::move(r.schedule), r.achieved_makespan,
+                         r.best_target};
+  };
+  return engine;
+}
+
+}  // namespace pcmax::eptas

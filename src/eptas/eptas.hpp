@@ -1,0 +1,67 @@
+// The EPTAS sparsified dual-approximation engine for P||Cmax.
+//
+// Same skeleton as solve_ptas (core/ptas.hpp): a binary or quarter-split
+// search over target makespans, each probe answered by the shared SoA
+// fitset DP — but the rounding is the sparsified structured rounding of
+// eptas/sparsify.hpp, so every probe's table has O(1/eps * log(1/eps))
+// dimensions instead of O(1/eps^2). The guarantee is identical:
+//
+//   achieved makespan <= (1 + 1/k) * OPT,  k = ceil(1/epsilon)
+//
+// (proof in sparsify.hpp), which is what the 500-case suite in
+// tests/eptas/test_guarantees.cpp verifies against branch-and-bound proven
+// optima. The result reuses PtasResult so every testkit checker
+// (check_ptas_result, check_ptas_vs_exact, check_ptas_cache_equivalence,
+// the metamorphic relations) applies unchanged.
+//
+// Integration contract (mirrors the classic engine):
+//   * probe cache — keys are built from the actual sparsified DP problem
+//     via probe_key_for(DpProblem), so entries are shareable with classic
+//     roundings exactly when the problems are byte-identical;
+//   * obs — spans eptas/solve, eptas/invocation, eptas/reconstruct and
+//     counters eptas.invocations / eptas.cells / eptas.cache_answered /
+//     eptas.classes_arith / eptas.classes_grid next to the dp.* family;
+//   * faultsim — the sparsified table allocation is a kHostAlloc site, like
+//     every other DP table in the repository;
+//   * resilient chain — make_eptas_engine() drops into the SolveEngine
+//     fallback chains (gpu/resilient_gpu.cpp places it between the GPU
+//     engine and the classic CPU PTAS engines).
+#pragma once
+
+#include "core/instance.hpp"
+#include "core/ptas.hpp"
+#include "core/resilient.hpp"
+#include "dp/solver.hpp"
+
+namespace pcmax::eptas {
+
+/// Solves `instance` with the sparsified EPTAS rounding. Options and result
+/// have the exact same semantics as solve_ptas; only the rounding (and
+/// hence the probe-cache keys, table sizes, and obs counters) differ.
+[[nodiscard]] PtasResult solve_eptas(const Instance& instance,
+                                     const dp::DpSolver& solver,
+                                     const PtasOptions& options = {});
+
+/// Reconstruction at an already-found feasible target (the sparsified
+/// counterpart of build_schedule_at_target). Exposed for alternative
+/// drivers and the teeth tests.
+[[nodiscard]] ScheduleBuild build_eptas_schedule_at_target(
+    const Instance& instance, const dp::DpSolver& solver, std::int64_t k,
+    std::int64_t target, int num_threads,
+    std::vector<DpInvocation>& dp_calls);
+
+/// Worst-case sparsified DP-table bytes over the search range (T = LB
+/// keeps the most jobs long). Throws util::overflow_error when the size
+/// does not fit 64 bits. The resilient pre-flight and the registry's
+/// table-size gate both use this.
+[[nodiscard]] std::uint64_t eptas_table_bytes(const Instance& instance,
+                                              std::int64_t k);
+
+/// The sparsified engine as a resilient-chain entry: bound (k+1)/k,
+/// pre-flight via eptas_table_bytes, per-probe deadlines, shared probe
+/// cache. Sits between the GPU engine and the classic CPU engines in
+/// gpu::make_gpu_chain — its tables are strictly smaller than the classic
+/// CPU engines', so it is the strongest CPU fallback.
+[[nodiscard]] SolveEngine make_eptas_engine();
+
+}  // namespace pcmax::eptas

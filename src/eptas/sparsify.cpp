@@ -1,0 +1,101 @@
+#include "eptas/sparsify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "util/checked_math.hpp"
+#include "util/contracts.hpp"
+
+namespace pcmax::eptas {
+
+std::vector<std::int64_t> geometric_grid(std::int64_t k) {
+  PCMAX_EXPECTS(k >= 1);
+  std::vector<std::int64_t> grid;
+  const std::int64_t top = k * k;
+  for (std::int64_t g = k; g < top;) {
+    grid.push_back(g);
+    // Ratio step floor(g * (k+1) / k), but never stall: at g == k the floor
+    // already advances (g + g/k >= g + 1), so the max() guard is belt and
+    // braces for k == 1.
+    g = std::min(top, std::max(g + 1, (g * (k + 1)) / k));
+  }
+  grid.push_back(top);
+  return grid;
+}
+
+std::int64_t snap_to_grid(const std::vector<std::int64_t>& grid,
+                          std::int64_t value) {
+  PCMAX_EXPECTS(!grid.empty());
+  PCMAX_EXPECTS(value >= grid.front());
+  // Largest grid value <= value: the element before the first one > value.
+  const auto it = std::upper_bound(grid.begin(), grid.end(), value);
+  return *std::prev(it);
+}
+
+std::int64_t SparsifiedInstance::long_jobs() const noexcept {
+  return std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+}
+
+std::uint64_t SparsifiedInstance::table_size() const {
+  std::uint64_t size = 1;
+  for (const auto n : counts)
+    size = util::checked_mul(size, static_cast<std::uint64_t>(n) + 1);
+  return size;
+}
+
+SparsifiedInstance sparsify_instance(const Instance& instance,
+                                     std::int64_t target, std::int64_t k) {
+  instance.validate();
+  PCMAX_EXPECTS(target >= 1);
+  PCMAX_EXPECTS(k >= 1);
+
+  SparsifiedInstance out;
+  out.target = target;
+  out.k = k;
+
+  const std::vector<std::int64_t> grid = geometric_grid(k);
+  std::map<std::int64_t, std::vector<std::size_t>> classes;
+  std::set<std::int64_t> arithmetic;
+  for (std::size_t j = 0; j < instance.times.size(); ++j) {
+    const std::int64_t t = instance.times[j];
+    if (t > target) {
+      out.feasible = false;
+      return out;
+    }
+    if (t * k <= target) {
+      out.short_jobs.push_back(j);
+      continue;
+    }
+    // Long job: arithmetic class floor(t * k^2 / T) in [k, k^2], snapped
+    // down to the geometric grid.
+    const std::int64_t c = (t * k * k) / target;
+    PCMAX_ENSURES(c >= k && c <= k * k);
+    arithmetic.insert(c);
+    const std::int64_t g = snap_to_grid(grid, c);
+    PCMAX_ENSURES(g >= k && g <= c);
+    classes[g].push_back(j);
+  }
+
+  out.arithmetic_classes = arithmetic.size();
+  out.class_index.reserve(classes.size());
+  for (auto& [g, jobs] : classes) {
+    out.class_index.push_back(g);
+    out.counts.push_back(static_cast<std::int64_t>(jobs.size()));
+    out.jobs_per_class.push_back(std::move(jobs));
+  }
+  return out;
+}
+
+dp::DpProblem to_dp_problem(const SparsifiedInstance& sparse) {
+  PCMAX_EXPECTS(sparse.feasible);
+  PCMAX_EXPECTS(!sparse.class_index.empty());
+  dp::DpProblem problem;
+  problem.counts = sparse.counts;
+  problem.weights = sparse.class_index;
+  problem.capacity = sparse.k * sparse.k;
+  return problem;
+}
+
+}  // namespace pcmax::eptas

@@ -1,0 +1,116 @@
+// Structured rounding (sparsification) for the EPTAS engine, in exact
+// integer arithmetic.
+//
+// The classic Hochbaum-Shmoys rounding (core/rounding.hpp) puts each long
+// job into the arithmetic class c = floor(t * k^2 / T), one of up to
+// k^2 - k + 1 distinct values in [k, k^2]. The DP table is
+// prod_i (n_i + 1) over the populated classes, so the class count is the
+// table's dimensionality — and the dominant cost driver at small epsilon.
+//
+// Following the sparsification idea of Jansen-Klein-Verschae ("Closing the
+// Gap for Makespan Scheduling via Sparsification") with the practical
+// framing of Berndt et al. ("Load Balancing: The Long Road from Theory to
+// Practice"), the EPTAS rounding snaps each arithmetic class DOWN onto a
+// geometric grid over the same integer range:
+//
+//   g_0 = k,   g_{i+1} = min(k^2, max(g_i + 1, floor(g_i * (k+1) / k)))
+//
+// which has O(k log k) values instead of O(k^2). Merging classes multiplies
+// their counts into one dimension — (a + b + 1) cells where the classic
+// table had (a + 1)(b + 1) — so the table shrinks in both dimensionality
+// and volume at the same epsilon.
+//
+// The (1 + 1/k) guarantee is preserved exactly, with the same resolution
+// k^2 and the same capacity k^2 as the classic rounding:
+//
+//   * Snap error. For any grid value g < k^2 the next grid value satisfies
+//     next(g) <= g * (k+1) / k (the max(g_i + 1, ...) guard only fires when
+//     floor(g(k+1)/k) == g, i.e. g + 1 <= g(k+1)/k because g >= k). A class
+//     c snapped to g has c < next(g), hence c + 1 <= next(g) <= g + g/k;
+//     for g = k^2 directly c + 1 <= k^2 + 1 <= k^2 + k^2/k. Either way
+//     c + 1 <= g * (k+1) / k.
+//   * Per-machine inflation. A long job in class c has true time
+//     t < (c + 1) * T / k^2, so a machine whose grid weights sum to
+//     sum(g) <= k^2 (the DP capacity) has true load
+//     < sum(c + 1) * T / k^2 <= (k+1)/k * sum(g) * T / k^2
+//     <= (k+1)/k * T — exactly the classic bound.
+//   * Dual feasibility. At any T >= OPT, each machine of an optimal
+//     schedule has sum(t) <= T, hence sum(c) <= k^2, and g <= c always, so
+//     sum(g) <= k^2: the sparsified DP needs at most m machines. Rounding
+//     down twice only shrinks weights, so T* <= OPT and, for the same T,
+//     opt_sparse(T) <= opt_classic(T) (the differential invariant the
+//     fuzzer checks).
+//   * Short jobs (t * k <= T) are untouched: greedy least-loaded placement
+//     keeps the makespan within max(long bound, T + T/k) = (1 + 1/k) * T.
+//
+// Working entirely on integer grid values keeps every probe-cache key
+// exact: the sparsified DP problem is {counts, grid weights, k^2}, which
+// probe_key_for canonicalizes just like a classic rounding (see
+// tests/eptas/test_probe_soundness.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "dp/problem.hpp"
+
+namespace pcmax::eptas {
+
+/// The geometric class grid for accuracy k: ascending integers from k to
+/// k^2 with ratio at most (k+1)/k between neighbours. Size O(k log k).
+/// Requires k >= 1 (k == 1 yields the single class {1}).
+[[nodiscard]] std::vector<std::int64_t> geometric_grid(std::int64_t k);
+
+/// Largest grid value <= `value`. Requires an ascending non-empty grid and
+/// value >= grid.front().
+[[nodiscard]] std::int64_t snap_to_grid(const std::vector<std::int64_t>& grid,
+                                        std::int64_t value);
+
+/// A sparsified rounding: same shape as core RoundedInstance, but
+/// class_index holds geometric grid values and arithmetic_classes records
+/// how many distinct classic classes were merged away (the ablation the
+/// bench measures).
+struct SparsifiedInstance {
+  std::int64_t target = 0;  ///< T
+  std::int64_t k = 0;       ///< ceil(1/epsilon)
+
+  /// False when some job exceeds T outright (T infeasible); the class data
+  /// below is empty in that case.
+  bool feasible = true;
+
+  /// Populated grid classes, ascending; values in [k, k^2], each on the
+  /// geometric grid.
+  std::vector<std::int64_t> class_index;
+  /// counts[i]: number of long jobs snapped into class_index[i].
+  std::vector<std::int64_t> counts;
+  /// jobs_per_class[i]: original job ids snapped into class_index[i].
+  std::vector<std::vector<std::size_t>> jobs_per_class;
+  /// Job ids with t_j * k <= T (placed greedily after the DP).
+  std::vector<std::size_t> short_jobs;
+  /// Distinct arithmetic classes floor(t * k^2 / T) before snapping; always
+  /// >= class_index.size(). The gap is what sparsification bought.
+  std::size_t arithmetic_classes = 0;
+
+  [[nodiscard]] std::size_t nonzero_dims() const noexcept {
+    return class_index.size();
+  }
+  [[nodiscard]] std::int64_t long_jobs() const noexcept;
+  /// DP-table size prod(counts_i + 1); 1 when there are no long jobs.
+  [[nodiscard]] std::uint64_t table_size() const;
+};
+
+/// Classifies, rounds, and snaps `instance` for target `T`. The short/long
+/// split and infeasibility test are identical to round_instance; only long
+/// jobs' class indices differ. Requires T >= 1, k >= 1.
+[[nodiscard]] SparsifiedInstance sparsify_instance(const Instance& instance,
+                                                   std::int64_t target,
+                                                   std::int64_t k);
+
+/// The DP problem of a sparsified rounding: weights are the grid class
+/// values, capacity is k^2 — byte-compatible with the classic rounding's
+/// problems, so probe-cache keys stay canonical across both engines.
+/// Requires a feasible sparsification with at least one long job.
+[[nodiscard]] dp::DpProblem to_dp_problem(const SparsifiedInstance& sparse);
+
+}  // namespace pcmax::eptas

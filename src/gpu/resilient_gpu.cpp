@@ -4,6 +4,7 @@
 
 #include "core/bounds.hpp"
 #include "core/rounding.hpp"
+#include "eptas/eptas.hpp"
 #include "util/checked_math.hpp"
 
 namespace pcmax::gpu {
@@ -101,10 +102,16 @@ SolveEngine make_gpu_engine(gpusim::Topology& topology,
   return engine;
 }
 
+// The sparsified EPTAS engine is the strongest CPU fallback: same (k+1)/k
+// bound as the classic CPU engines but with structurally smaller DP tables,
+// so it sits right behind the GPU engine — a device loss degrades to the
+// cheapest CPU path first, and the classic engines remain as diversity
+// behind it (a sparsification bug must not take the whole CPU tier down).
 std::vector<SolveEngine> make_gpu_chain(gpusim::Device& device,
                                         const GpuPtasOptions& base) {
   std::vector<SolveEngine> chain;
   chain.push_back(make_gpu_engine(device, base));
+  chain.push_back(eptas::make_eptas_engine());
   for (SolveEngine& engine : make_cpu_engines())
     chain.push_back(std::move(engine));
   chain.push_back(make_lpt_engine());
@@ -115,6 +122,7 @@ std::vector<SolveEngine> make_gpu_chain(gpusim::Topology& topology,
                                         const GpuPtasOptions& base) {
   std::vector<SolveEngine> chain;
   chain.push_back(make_gpu_engine(topology, base));
+  chain.push_back(eptas::make_eptas_engine());
   for (SolveEngine& engine : make_cpu_engines())
     chain.push_back(std::move(engine));
   chain.push_back(make_lpt_engine());

@@ -8,6 +8,8 @@
 #include "core/resilient.hpp"
 #include "core/rounding.hpp"
 #include "dp/frontier_solver.hpp"
+#include "eptas/eptas.hpp"
+#include "eptas/sparsify.hpp"
 #include "exact/bb.hpp"
 #include "gpu/gpu_dp_solver.hpp"
 #include "partition/block_solver.hpp"
@@ -63,6 +65,20 @@ bool ptas_table_fits(const Instance& instance, std::int64_t k,
   }
 }
 
+/// Sparsified counterpart: the EPTAS table at the trivial lower bound.
+/// Always <= the classic table (snapping only merges classes), so this gate
+/// admits a superset of the instances the classic gate admits.
+bool eptas_table_fits(const Instance& instance, std::int64_t k,
+                      std::uint64_t max_cells) {
+  try {
+    const auto sparse =
+        eptas::sparsify_instance(instance, makespan_lower_bound(instance), k);
+    return sparse.feasible && sparse.table_size() <= max_cells;
+  } catch (const std::overflow_error&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 SchedulerEngineRegistry::SchedulerEngineRegistry(std::int64_t k,
@@ -104,6 +120,23 @@ SchedulerEngineRegistry::SchedulerEngineRegistry(std::int64_t k,
   };
   add_ptas("ptas-bisection", SearchStrategy::kBisection);
   add_ptas("ptas-quarter", SearchStrategy::kQuarterSplit);
+
+  // The sparsified EPTAS engine: identical (k+1)/k a-priori bound, smaller
+  // tables (geometric class grid — see eptas/sparsify.hpp), judged against
+  // proven OPT by the same harness as the classic PTAS engines.
+  {
+    dp::DpSolver* solver = solver_.get();
+    engines_.push_back(SchedulerEngine{
+        "eptas", [k](const Instance&) { return Bound{k + 1, k}; },
+        [solver, k, max_table_cells](
+            const Instance& i) -> std::optional<Schedule> {
+          if (!eptas_table_fits(i, k, max_table_cells)) return std::nullopt;
+          PtasOptions options;
+          options.epsilon = epsilon_for_k(k);
+          options.build_schedule = true;
+          return eptas::solve_eptas(i, *solver, options).schedule;
+        }});
+  }
 
   engines_.push_back(SchedulerEngine{
       "exact-bb", [](const Instance&) { return Bound{1, 1}; },

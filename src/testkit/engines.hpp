@@ -68,9 +68,10 @@ struct SchedulerEngine {
 };
 
 /// Owns the DP solver behind the PTAS engines. Engines: lpt, list,
-/// multifit, ptas-bisection, ptas-quarter (both at accuracy `k`), and
+/// multifit, ptas-bisection, ptas-quarter, eptas (all at accuracy `k`; the
+/// last uses the sparsified structured rounding of eptas/sparsify.hpp), and
 /// exact-bb (guarantee 1/1, declining when `bb_node_budget` expires).
-/// The PTAS engines decline instances whose rounded DP table at the
+/// The PTAS/EPTAS engines decline instances whose rounded DP table at the
 /// trivial lower bound would exceed `max_table_cells`.
 class SchedulerEngineRegistry {
  public:

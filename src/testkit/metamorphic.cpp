@@ -21,6 +21,13 @@ PtasOptions isolated(const PtasOptions& options) {
   return out;
 }
 
+/// Resolves the driver: an empty PtasSolveFn means the classic solve_ptas.
+PtasResult run_solve(const PtasSolveFn& solve, const Instance& instance,
+                     const dp::DpSolver& solver, const PtasOptions& options) {
+  if (solve) return solve(instance, solver, options);
+  return solve_ptas(instance, solver, options);
+}
+
 CheckResult certify(const char* what, const Instance& instance,
                     const PtasResult& result, const PtasOptions& options) {
   if (!options.build_schedule) return std::nullopt;
@@ -38,7 +45,8 @@ CheckResult certify(const char* what, const Instance& instance,
 CheckResult check_permutation_metamorphic(const Instance& instance,
                                           const dp::DpSolver& solver,
                                           const PtasOptions& options,
-                                          std::uint64_t shuffle_seed) {
+                                          std::uint64_t shuffle_seed,
+                                          const PtasSolveFn& solve) {
   const PtasOptions opts = isolated(options);
   Instance permuted = instance;
   util::Rng rng(shuffle_seed);
@@ -48,8 +56,8 @@ CheckResult check_permutation_metamorphic(const Instance& instance,
     std::swap(permuted.times[i - 1], permuted.times[j]);
   }
 
-  const PtasResult base = solve_ptas(instance, solver, opts);
-  const PtasResult perm = solve_ptas(permuted, solver, opts);
+  const PtasResult base = run_solve(solve, instance, solver, opts);
+  const PtasResult perm = run_solve(solve, permuted, solver, opts);
 
   // Rounding at any target sees only the multiset of job times, so the
   // feasibility oracle — and with it the whole search trajectory — is
@@ -75,7 +83,8 @@ CheckResult check_permutation_metamorphic(const Instance& instance,
 CheckResult check_scaling_metamorphic(const Instance& instance,
                                       const dp::DpSolver& solver,
                                       const PtasOptions& options,
-                                      std::int64_t factor) {
+                                      std::int64_t factor,
+                                      const PtasSolveFn& solve) {
   if (factor < 2) factor = 2;
   const PtasOptions opts = isolated(options);
 
@@ -89,8 +98,8 @@ CheckResult check_scaling_metamorphic(const Instance& instance,
   Instance scaled = instance;
   for (auto& t : scaled.times) t *= factor;
 
-  const PtasResult base = solve_ptas(instance, solver, opts);
-  const PtasResult big = solve_ptas(scaled, solver, opts);
+  const PtasResult base = run_solve(solve, instance, solver, opts);
+  const PtasResult big = run_solve(solve, scaled, solver, opts);
 
   // Rounding at target c*T is identical to rounding at T with unscaled
   // times (class indices floor(c*t*k^2 / (c*T)) are unchanged), so
@@ -111,9 +120,10 @@ CheckResult check_scaling_metamorphic(const Instance& instance,
 
 CheckResult check_extension_metamorphic(const Instance& instance,
                                         const dp::DpSolver& solver,
-                                        const PtasOptions& options) {
+                                        const PtasOptions& options,
+                                        const PtasSolveFn& solve) {
   const PtasOptions opts = isolated(options);
-  const PtasResult base = solve_ptas(instance, solver, opts);
+  const PtasResult base = run_solve(solve, instance, solver, opts);
 
   // A filler job of size exactly T* on one extra machine changes nothing:
   // below T* the filler alone is infeasible (it exceeds the target), and at
@@ -124,7 +134,7 @@ CheckResult check_extension_metamorphic(const Instance& instance,
   Instance extended = instance;
   extended.machines += 1;
   extended.times.push_back(base.best_target);
-  const PtasResult ext = solve_ptas(extended, solver, opts);
+  const PtasResult ext = run_solve(solve, extended, solver, opts);
 
   if (ext.best_target != base.best_target) {
     std::ostringstream out;
@@ -139,15 +149,16 @@ CheckResult check_extension_metamorphic(const Instance& instance,
 CheckResult check_metamorphic_suite(const Instance& instance,
                                     const dp::DpSolver& solver,
                                     const PtasOptions& options,
-                                    std::uint64_t seed) {
-  if (CheckResult bad =
-          check_permutation_metamorphic(instance, solver, options, seed))
+                                    std::uint64_t seed,
+                                    const PtasSolveFn& solve) {
+  if (CheckResult bad = check_permutation_metamorphic(instance, solver,
+                                                      options, seed, solve))
     return bad;
   const std::int64_t factor = 2 + static_cast<std::int64_t>(seed % 5);
-  if (CheckResult bad =
-          check_scaling_metamorphic(instance, solver, options, factor))
+  if (CheckResult bad = check_scaling_metamorphic(instance, solver, options,
+                                                  factor, solve))
     return bad;
-  return check_extension_metamorphic(instance, solver, options);
+  return check_extension_metamorphic(instance, solver, options, solve);
 }
 
 }  // namespace pcmax::testkit

@@ -3,9 +3,18 @@
 // against the rounding/search semantics (see the notes in metamorphic.cpp),
 // so a violation is a real defect, not test flakiness. All relations hold
 // for every DP engine because they only constrain PTAS-level outputs.
+//
+// The relations are also rounding-agnostic: they rely only on (a) rounding
+// being a function of the job-time multiset, (b) the class indices
+// floor(t * k^2 / T) being invariant under integer scaling of both t and T,
+// and (c) a T*-sized filler landing in the top class. The sparsified EPTAS
+// rounding (eptas/sparsify.hpp) snaps classes as a pure function of (c, k),
+// so all three properties carry over verbatim — pass solve_eptas as the
+// `solve` driver to run the identical suite over the sparsified engine.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "core/instance.hpp"
 #include "core/ptas.hpp"
@@ -14,6 +23,12 @@
 
 namespace pcmax::testkit {
 
+/// The PTAS-shaped solve entry point a metamorphic run drives. An empty
+/// function means solve_ptas; wrap eptas::solve_eptas (same signature) to
+/// cover the sparsified engine.
+using PtasSolveFn = std::function<PtasResult(
+    const Instance&, const dp::DpSolver&, const PtasOptions&)>;
+
 /// Permuting the job order leaves the found target and the search
 /// trajectory unchanged: rounding is a function of the job-time multiset.
 /// (The achieved makespan may legitimately differ — greedy short-job
@@ -21,27 +36,28 @@ namespace pcmax::testkit {
 /// instead of compared.)
 [[nodiscard]] CheckResult check_permutation_metamorphic(
     const Instance& instance, const dp::DpSolver& solver,
-    const PtasOptions& options, std::uint64_t shuffle_seed);
+    const PtasOptions& options, std::uint64_t shuffle_seed,
+    const PtasSolveFn& solve = {});
 
 /// Scaling every job time by an integer factor c scales the found target
 /// exactly: ceil(T*_scaled / c) == T*.
-[[nodiscard]] CheckResult check_scaling_metamorphic(const Instance& instance,
-                                                    const dp::DpSolver& solver,
-                                                    const PtasOptions& options,
-                                                    std::int64_t factor);
+[[nodiscard]] CheckResult check_scaling_metamorphic(
+    const Instance& instance, const dp::DpSolver& solver,
+    const PtasOptions& options, std::int64_t factor,
+    const PtasSolveFn& solve = {});
 
 /// Adding one machine plus one filler job of size exactly T* leaves the
 /// found target unchanged: the filler is infeasible below T* and occupies
 /// the new machine alone at T*.
 [[nodiscard]] CheckResult check_extension_metamorphic(
     const Instance& instance, const dp::DpSolver& solver,
-    const PtasOptions& options);
+    const PtasOptions& options, const PtasSolveFn& solve = {});
 
 /// All three relations; the seed drives the permutation shuffle and the
 /// scaling factor. Stops at the first violated relation.
-[[nodiscard]] CheckResult check_metamorphic_suite(const Instance& instance,
-                                                  const dp::DpSolver& solver,
-                                                  const PtasOptions& options,
-                                                  std::uint64_t seed);
+[[nodiscard]] CheckResult check_metamorphic_suite(
+    const Instance& instance, const dp::DpSolver& solver,
+    const PtasOptions& options, std::uint64_t seed,
+    const PtasSolveFn& solve = {});
 
 }  // namespace pcmax::testkit

@@ -1,0 +1,173 @@
+// End-to-end properties of the sparsified EPTAS engine: every run carries
+// the full (1 + 1/k) certificate, never finds a worse target than the
+// classic PTAS at equal epsilon, is cache-invisible, satisfies the same
+// metamorphic relations, and plugs into the resilient driver as a first-
+// class SolveEngine.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/probe_cache.hpp"
+#include "core/resilient.hpp"
+#include "core/rounding.hpp"
+#include "dp/solver.hpp"
+#include "eptas/eptas.hpp"
+#include "eptas/sparsify.hpp"
+#include "obs/session.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "testkit/metamorphic.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::eptas {
+namespace {
+
+/// Shared solver: the sparsified problems are ordinary DP problems, so the
+/// strongest CPU engine drives them unchanged.
+const dp::DpSolver& solver() {
+  static const dp::LevelBucketSolver instance;
+  return instance;
+}
+
+testkit::InstanceLimits small_limits() {
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 28;
+  limits.max_machines = 8;
+  limits.max_time = 2'000;
+  return limits;
+}
+
+TEST(Eptas, EveryRunCarriesItsCertificate) {
+  util::Rng rng(911);
+  for (int it = 0; it < 120; ++it) {
+    const auto instance = testkit::random_instance(rng, small_limits());
+    const std::int64_t k = 2 + rng.uniform(0, 6);
+    PtasOptions options;
+    options.epsilon = epsilon_for_k(k);
+    options.build_schedule = true;
+    const auto result = solve_eptas(instance, solver(), options);
+    EXPECT_EQ(testkit::check_ptas_result(instance, result, k), std::nullopt)
+        << "case " << it << " k=" << k;
+  }
+}
+
+TEST(Eptas, TargetNeverExceedsTheClassicPtasTarget) {
+  // The differential invariant from the sparsification proof: for every T,
+  // opt_sparse(T) <= opt_classic(T) (weights only shrink), so the smallest
+  // feasible target can only move down. Equality is common; a sparsified
+  // target ABOVE the classic one means the snap broke dual feasibility.
+  util::Rng rng(912);
+  for (int it = 0; it < 120; ++it) {
+    const auto instance = testkit::random_instance(rng, small_limits());
+    const std::int64_t k = 2 + rng.uniform(0, 6);
+    PtasOptions options;
+    options.epsilon = epsilon_for_k(k);
+    options.build_schedule = false;
+    const auto sparse = solve_eptas(instance, solver(), options);
+    const auto classic = solve_ptas(instance, solver(), options);
+    EXPECT_LE(sparse.best_target, classic.best_target)
+        << "case " << it << " k=" << k;
+  }
+}
+
+TEST(Eptas, QuarterSplitFindsTheSameTargetAsBisection) {
+  util::Rng rng(913);
+  for (int it = 0; it < 60; ++it) {
+    const auto instance = testkit::random_instance(rng, small_limits());
+    PtasOptions options;
+    options.epsilon = epsilon_for_k(4);
+    options.build_schedule = false;
+    PtasOptions quarter = options;
+    quarter.strategy = SearchStrategy::kQuarterSplit;
+    EXPECT_EQ(solve_eptas(instance, solver(), options).best_target,
+              solve_eptas(instance, solver(), quarter).best_target)
+        << "case " << it;
+  }
+}
+
+TEST(Eptas, ProbeCacheIsSemanticallyInvisible) {
+  util::Rng rng(914);
+  for (int it = 0; it < 60; ++it) {
+    const auto instance = testkit::random_instance(rng, small_limits());
+    PtasOptions uncached_options;
+    uncached_options.epsilon = epsilon_for_k(4);
+    const auto uncached = solve_eptas(instance, solver(), uncached_options);
+
+    PtasOptions cached_options = uncached_options;
+    cached_options.use_probe_cache = true;
+    const auto cached = solve_eptas(instance, solver(), cached_options);
+    EXPECT_EQ(testkit::check_ptas_cache_equivalence(
+                  cached, uncached, /*require_same_iterations=*/true),
+              std::nullopt)
+        << "case " << it;
+  }
+}
+
+TEST(Eptas, MetamorphicSuiteHoldsForTheSparsifiedEngine) {
+  // The permutation/scaling/extension relations are proved for any rounding
+  // that is a multiset function, scale-invariant in (t, T), and tops out
+  // the filler class — all three hold for the snap (see metamorphic.hpp).
+  util::Rng rng(915);
+  const testkit::PtasSolveFn driver =
+      [](const Instance& i, const dp::DpSolver& s, const PtasOptions& o) {
+        return solve_eptas(i, s, o);
+      };
+  for (int it = 0; it < 40; ++it) {
+    const auto instance = testkit::random_instance(rng, small_limits());
+    PtasOptions options;
+    options.epsilon = epsilon_for_k(2 + it % 4);
+    options.build_schedule = true;
+    EXPECT_EQ(testkit::check_metamorphic_suite(instance, solver(), options,
+                                               /*seed=*/915 + it, driver),
+              std::nullopt)
+        << "case " << it;
+  }
+}
+
+TEST(Eptas, ResilientDriverRunsTheEngineWithFullIntegrityGate) {
+  // make_eptas_engine must satisfy the SolveEngine contract end to end:
+  // mem pre-flight, deadline-guarded probes, and the driver's independent
+  // certificate check (achieved * k <= (k+1) * T*).
+  const std::vector<SolveEngine> chain{make_eptas_engine()};
+  util::Rng rng(916);
+  for (int it = 0; it < 20; ++it) {
+    const auto instance = testkit::random_instance(rng, small_limits());
+    ResilientOptions options;
+    options.epsilon = epsilon_for_k(4);
+    const auto result =
+        solve_resilient(instance, std::span(chain.data(), chain.size()),
+                        options);
+    ASSERT_TRUE(result.ok()) << "case " << it << ": "
+                             << result.status.message();
+    EXPECT_EQ(result.engine, "eptas");
+    EXPECT_EQ(testkit::check_resilient_result(instance, result), std::nullopt)
+        << "case " << it;
+  }
+}
+
+TEST(Eptas, EmitsItsOwnObservabilityFamily) {
+  obs::ObsSession session;
+  const Instance instance{3, {40, 37, 33, 29, 23, 5, 3}};
+  PtasOptions options;
+  options.epsilon = epsilon_for_k(4);
+  const auto result = solve_eptas(instance, solver(), options);
+  ASSERT_GT(result.dp_calls.size(), 0u);
+  EXPECT_GT(session.metrics().counter("eptas.invocations"), 0u);
+  EXPECT_GT(session.metrics().counter("eptas.cells"), 0u);
+}
+
+TEST(Eptas, MemEstimateMatchesTheSparsifiedTableAtTheLowerBound) {
+  const Instance instance{4, {90, 80, 70, 66, 50, 44, 33, 21}};
+  const auto engine = make_eptas_engine();
+  ASSERT_TRUE(static_cast<bool>(engine.mem_estimate));
+  EXPECT_EQ(engine.mem_estimate(instance, 4), eptas_table_bytes(instance, 4));
+  const auto sparse =
+      sparsify_instance(instance, makespan_lower_bound(instance), 4);
+  EXPECT_EQ(eptas_table_bytes(instance, 4),
+            sparse.table_size() * sizeof(std::int32_t));
+}
+
+}  // namespace
+}  // namespace pcmax::eptas

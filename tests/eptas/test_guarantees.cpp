@@ -1,0 +1,204 @@
+// The EPTAS guarantee, proved end-to-end against the exact oracle: over 500
+// seeded instances whose optimum the branch-and-bound engine *proves*, the
+// sparsified engine's makespan satisfies makespan * k <= (k + 1) * OPT in
+// overflow-checked integer arithmetic, at every accuracy in k = {2, 4, 8}
+// (epsilon 1/2, 1/4, 1/8).
+//
+// The suite's own teeth are tested too: a deliberately mis-rounded engine
+// (its snap goes one grid step too far, breaking the c+1 <= g*(k+1)/k
+// inequality) must be caught by exactly these checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/probe_cache.hpp"
+#include "core/resilient.hpp"
+#include "core/search.hpp"
+#include "dp/reconstruct.hpp"
+#include "dp/solver.hpp"
+#include "eptas/eptas.hpp"
+#include "eptas/sparsify.hpp"
+#include "exact/bb.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::eptas {
+namespace {
+
+const dp::DpSolver& solver() {
+  static const dp::LevelBucketSolver instance;
+  return instance;
+}
+
+/// Mirrors the registry's gate: the sparsified table at the trivial lower
+/// bound is the largest any probe produces.
+bool table_fits(const Instance& instance, std::int64_t k,
+                std::uint64_t max_cells) {
+  try {
+    const auto sparse =
+        sparsify_instance(instance, makespan_lower_bound(instance), k);
+    return sparse.feasible && sparse.table_size() <= max_cells;
+  } catch (const std::overflow_error&) {
+    return false;
+  }
+}
+
+TEST(EptasGuarantees, FiveHundredProvenOptimaAtThreeAccuracies) {
+  util::Rng rng(500);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 24;
+  limits.max_machines = 8;
+  limits.max_time = 200;
+  std::map<std::int64_t, int> judged;
+  for (int it = 0; it < 500; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    exact::BbOptions bb_options;
+    bb_options.node_budget = 8'000'000;
+    const auto exact = exact::solve_bb(instance, bb_options);
+    ASSERT_TRUE(exact.optimal()) << "case " << it << " did not prove OPT";
+
+    for (const std::int64_t k : {2, 4, 8}) {
+      if (!table_fits(instance, k, 200'000)) continue;  // declined, never a failure
+      PtasOptions options;
+      options.epsilon = epsilon_for_k(k);
+      options.build_schedule = true;
+      const auto result = solve_eptas(instance, solver(), options);
+      // check_ptas_vs_exact asserts OPT <= makespan and
+      // makespan * k <= (k+1) * OPT with checked multiplication, on top of
+      // the full structural certificate.
+      EXPECT_EQ(testkit::check_ptas_vs_exact(instance, result, k,
+                                             exact.makespan),
+                std::nullopt)
+          << "case " << it << " k=" << k;
+      ++judged[k];
+    }
+  }
+  // Declining is allowed case-by-case, but each accuracy must have been
+  // judged on a healthy share of the corpus.
+  for (const std::int64_t k : {2, 4, 8})
+    EXPECT_GE(judged[k], 400) << "k=" << k << " declined too many instances";
+}
+
+// --- The teeth: a mis-rounded engine the suite must catch. ---------------
+
+/// solve_eptas with the snap pushed one grid position too far: a class that
+/// correctly snaps to grid[i] is recorded at grid[i-1]. This breaks the
+/// proof's (c + 1) * k <= g * (k + 1) inequality, so at some targets the DP
+/// believes a machine can hold more long jobs than (1 + 1/k) * T allows.
+PtasResult solve_oversnapped(const Instance& instance, std::int64_t k) {
+  const auto grid = geometric_grid(k);
+  const auto broken_weights = [&](const SparsifiedInstance& sparse) {
+    std::vector<std::int64_t> weights = sparse.class_index;
+    for (auto& w : weights) {
+      const auto it = std::lower_bound(grid.begin(), grid.end(), w);
+      if (it != grid.begin()) w = *std::prev(it);  // one step too far
+    }
+    return weights;
+  };
+  const auto broken_problem = [&](const SparsifiedInstance& sparse) {
+    dp::DpProblem problem;
+    problem.counts = sparse.counts;
+    problem.weights = broken_weights(sparse);
+    problem.capacity = k * k;
+    return problem;
+  };
+
+  const std::int64_t lb = makespan_lower_bound(instance);
+  const std::int64_t ub = makespan_upper_bound(instance);
+  const FeasibilityOracle oracle = [&](std::int64_t target) {
+    const auto sparse = sparsify_instance(instance, target, k);
+    if (!sparse.feasible) return false;
+    if (sparse.class_index.empty()) return true;
+    return solver().solve(broken_problem(sparse)).opt <= instance.machines;
+  };
+  const SearchResult search = bisection_search(lb, ub, oracle);
+
+  PtasResult result;
+  result.best_target = search.best_target;
+  result.search_iterations = search.iterations;
+
+  // Reconstruction, faithfully following the broken weights.
+  const auto sparse = sparsify_instance(instance, result.best_target, k);
+  result.schedule.assignment.assign(instance.times.size(), 0);
+  std::vector<std::int64_t> loads(
+      static_cast<std::size_t>(instance.machines), 0);
+  if (!sparse.class_index.empty()) {
+    const auto problem = broken_problem(sparse);
+    const auto machines =
+        dp::reconstruct_machines(problem, solver().solve(problem));
+    std::vector<std::size_t> cursor(sparse.class_index.size(), 0);
+    for (std::size_t m = 0; m < machines.size(); ++m)
+      for (std::size_t d = 0; d < machines[m].size(); ++d)
+        for (std::int64_t c = 0; c < machines[m][d]; ++c) {
+          const std::size_t job = sparse.jobs_per_class[d][cursor[d]++];
+          result.schedule.assignment[job] = static_cast<std::int64_t>(m);
+          loads[m] += instance.times[job];
+        }
+  }
+  place_on_least_loaded(instance, sparse.short_jobs, result.schedule, loads);
+  result.achieved_makespan = *std::max_element(loads.begin(), loads.end());
+  return result;
+}
+
+TEST(EptasGuaranteeTeeth, OversnappedEngineIsCaughtOnACraftedInstance) {
+  // k=4, jobs {27, 27, 27} on 2 machines: LB = ceil(81/2) = 41, and at
+  // T = 41 the class floor(27*16/41) = 10 mis-snaps to 8, so two jobs "fit"
+  // a machine (8+8 <= 16) and the broken search accepts T* = 41. The real
+  // 2+1 split has makespan 54, and 54 * 4 = 216 > 5 * 41 = 205 — the
+  // certificate must flag it.
+  const Instance instance{2, {27, 27, 27}};
+  const auto broken = solve_oversnapped(instance, 4);
+  EXPECT_EQ(broken.best_target, 41);
+  const auto diagnosis = testkit::check_ptas_result(instance, broken, 4);
+  EXPECT_NE(diagnosis, std::nullopt)
+      << "the suite failed to catch a mis-rounded engine";
+
+  // The honest engine sails through the identical instance and checks.
+  PtasOptions options;
+  options.epsilon = epsilon_for_k(4);
+  const auto honest = solve_eptas(instance, solver(), options);
+  EXPECT_EQ(testkit::check_ptas_result(instance, honest, 4), std::nullopt);
+}
+
+TEST(EptasGuaranteeTeeth, OversnappedEngineIsCaughtOnTheSeededCorpus) {
+  // The same broken engine over a seeded batch with proven optima: the
+  // combined certificate + vs-OPT judgement must flag at least one case,
+  // while the honest engine passes every one.
+  util::Rng rng(717);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 16;
+  limits.max_machines = 6;
+  limits.max_time = 120;
+  int broken_flagged = 0;
+  for (int it = 0; it < 150; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    const auto exact = exact::solve_bb(instance);
+    ASSERT_TRUE(exact.optimal()) << "case " << it;
+
+    const auto broken = solve_oversnapped(instance, 4);
+    if (testkit::check_ptas_result(instance, broken, 4) != std::nullopt ||
+        testkit::check_ptas_vs_exact(instance, broken, 4, exact.makespan) !=
+            std::nullopt)
+      ++broken_flagged;
+
+    PtasOptions options;
+    options.epsilon = epsilon_for_k(4);
+    options.build_schedule = true;
+    const auto honest = solve_eptas(instance, solver(), options);
+    EXPECT_EQ(testkit::check_ptas_vs_exact(instance, honest, 4,
+                                           exact.makespan),
+              std::nullopt)
+        << "case " << it;
+  }
+  EXPECT_GE(broken_flagged, 1)
+      << "a one-step-oversnapped engine survived 150 exact-checked cases";
+}
+
+}  // namespace
+}  // namespace pcmax::eptas

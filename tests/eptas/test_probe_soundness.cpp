@@ -1,0 +1,210 @@
+// Probe-cache soundness across rounding engines. The cache key *is* the
+// canonical DP problem {counts, weights, capacity}, so sharing one cache
+// between the classic PTAS and the sparsified EPTAS is sound by
+// construction: equal keys mean byte-identical problems (hence equal OPT),
+// and any difference anywhere in the problem makes the keys unequal. These
+// tests pin both directions with adversarial near-collisions, then prove
+// the end-to-end property: an EPTAS run against a cache warmed by the
+// classic engine is semantically indistinguishable from a cold run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/probe_cache.hpp"
+#include "core/resilient.hpp"
+#include "core/rounding.hpp"
+#include "dp/solver.hpp"
+#include "eptas/eptas.hpp"
+#include "eptas/sparsify.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/invariants.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::eptas {
+namespace {
+
+const dp::DpSolver& solver() {
+  static const dp::LevelBucketSolver instance;
+  return instance;
+}
+
+dp::DpProblem classic_problem(const RoundedInstance& rounded) {
+  return to_dp_problem(rounded);
+}
+
+TEST(ProbeSoundness, AdversarialNearCollisionsNeverCompareEqual) {
+  // Every single-field perturbation of a key must miss: a hit on any of
+  // these would cross-serve a different DP problem's OPT.
+  dp::DpProblem base;
+  base.counts = {3, 1, 2};
+  base.weights = {4, 7, 16};
+  base.capacity = 16;
+  const ProbeKey key = probe_key_for(base);
+
+  std::vector<dp::DpProblem> variants;
+  {
+    auto v = base;
+    v.capacity = 17;  // capacity only
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.weights = {4, 8, 16};  // one weight off by one
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.counts = {3, 2, 1};  // counts permuted across classes
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.counts = {4, 7, 16};  // counts and weights swapped
+    v.weights = {3, 1, 2};
+    variants.push_back(v);
+  }
+
+  ProbeCache cache;
+  cache.insert(key, 2);
+  for (const auto& variant : variants) {
+    const ProbeKey other = probe_key_for(variant);
+    EXPECT_FALSE(other == key);
+    EXPECT_EQ(cache.lookup(other), std::nullopt)
+        << "a near-collision was served from the cache";
+  }
+  EXPECT_EQ(cache.lookup(key), std::optional<std::int32_t>(2));
+}
+
+TEST(ProbeSoundness, SparsifiedAndClassicKeysCollideOnlyWhenIdentical) {
+  // Sweep random (instance, target, k): whenever the two roundings build
+  // different problems their keys differ; when the keys are equal the
+  // problems are byte-identical, so one solve answers both engines.
+  util::Rng rng(921);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 24;
+  limits.max_machines = 8;
+  limits.max_time = 400;
+  int shared = 0;
+  int distinct = 0;
+  for (int it = 0; it < 300; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    const std::int64_t k = 2 + rng.uniform(0, 6);
+    const std::int64_t target =
+        makespan_lower_bound(instance) + rng.uniform(0, 40);
+    const auto classic = round_instance(instance, target, k);
+    const auto sparse = sparsify_instance(instance, target, k);
+    if (!classic.feasible || classic.class_index.empty()) continue;
+
+    const auto classic_p = classic_problem(classic);
+    const auto sparse_p = to_dp_problem(sparse);
+    const ProbeKey classic_key = probe_key_for(classic_p);
+    const ProbeKey sparse_key = probe_key_for(sparse_p);
+
+    const bool same_problem = classic_p.counts == sparse_p.counts &&
+                              classic_p.weights == sparse_p.weights &&
+                              classic_p.capacity == sparse_p.capacity;
+    EXPECT_EQ(classic_key == sparse_key, same_problem) << "case " << it;
+    if (same_problem) {
+      ++shared;
+      EXPECT_EQ(solver().solve(classic_p).opt, solver().solve(sparse_p).opt)
+          << "case " << it;
+    } else {
+      ++distinct;
+    }
+  }
+  // The sweep must actually exercise both regimes to mean anything.
+  EXPECT_GT(shared, 0) << "no case where the roundings legitimately share";
+  EXPECT_GT(distinct, 0) << "no case where the roundings differ";
+}
+
+TEST(ProbeSoundness, ShardedCacheServesAcrossEnginesOnlyOnIdenticalKeys) {
+  // Jobs whose arithmetic classes already sit on the k=4 grid: both
+  // engines build the same problem, so a sharded-cache entry inserted by
+  // the classic engine under one owner tag is legitimately served to the
+  // EPTAS under another — and counts as a cross hit.
+  const Instance on_grid{2, {27, 27, 24}};
+  const std::int64_t target = 44;  // classes {9, 9, 8}: snapping merges 9->8
+  const auto classic = round_instance(on_grid, target, 4);
+  const auto sparse = sparsify_instance(on_grid, target, 4);
+  ASSERT_TRUE(classic.feasible);
+  ASSERT_TRUE(sparse.feasible);
+
+  const ProbeKey classic_key = probe_key_for(classic_problem(classic));
+  const ProbeKey sparse_key = probe_key_for(to_dp_problem(sparse));
+
+  ShardedProbeCache cache;
+  {
+    ShardedProbeCache::OwnerTagScope owner(1);  // the "classic" request
+    cache.insert(classic_key, solver().solve(classic_problem(classic)).opt);
+  }
+  {
+    ShardedProbeCache::OwnerTagScope owner(2);  // the "eptas" request
+    if (classic_key == sparse_key) {
+      EXPECT_NE(cache.lookup(sparse_key), std::nullopt);
+      EXPECT_EQ(cache.stats().cross_hits, 1u);
+    } else {
+      // Distinct problems must never cross-serve.
+      EXPECT_EQ(cache.lookup(sparse_key), std::nullopt);
+      EXPECT_EQ(cache.stats().cross_hits, 0u);
+    }
+  }
+
+  // And a case where the snap is the identity, forcing the shared path:
+  // times with classes {8, 16} at T = 32 (both grid members).
+  const Instance identical{2, {32, 17, 17}};
+  const auto c2 = round_instance(identical, 32, 4);
+  const auto s2 = sparsify_instance(identical, 32, 4);
+  ASSERT_TRUE(c2.feasible && s2.feasible);
+  const ProbeKey ck = probe_key_for(classic_problem(c2));
+  const ProbeKey sk = probe_key_for(to_dp_problem(s2));
+  ASSERT_TRUE(ck == sk) << "crafted on-grid instance no longer shares keys";
+  {
+    ShardedProbeCache::OwnerTagScope owner(3);
+    cache.insert(ck, solver().solve(classic_problem(c2)).opt);
+  }
+  {
+    ShardedProbeCache::OwnerTagScope owner(4);
+    const auto before = cache.stats().cross_hits;
+    EXPECT_NE(cache.lookup(sk), std::nullopt);
+    EXPECT_EQ(cache.stats().cross_hits, before + 1);
+  }
+}
+
+TEST(ProbeSoundness, EptasWarmedByClassicRunsStaysSemanticallyInvisible) {
+  // The end-to-end property the serve daemon relies on: whatever the
+  // classic engine left in the shared cache, the EPTAS result (target,
+  // makespan, schedule) is identical to a cold run. Iteration counts may
+  // legitimately shrink — shared entries answer probes — so the relaxed
+  // equivalence check applies.
+  util::Rng rng(922);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 24;
+  limits.max_machines = 8;
+  limits.max_time = 400;
+  for (int it = 0; it < 60; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    PtasOptions cold_options;
+    cold_options.epsilon = epsilon_for_k(4);
+    const auto cold = solve_eptas(instance, solver(), cold_options);
+
+    ShardedProbeCache cache;
+    PtasOptions warm_options = cold_options;
+    warm_options.use_probe_cache = true;
+    warm_options.probe_cache = &cache;
+    {
+      ShardedProbeCache::OwnerTagScope owner(1);
+      (void)solve_ptas(instance, solver(), warm_options);  // warms the cache
+    }
+    ShardedProbeCache::OwnerTagScope owner(2);
+    const auto warm = solve_eptas(instance, solver(), warm_options);
+    EXPECT_EQ(testkit::check_ptas_cache_equivalence(
+                  warm, cold, /*require_same_iterations=*/false),
+              std::nullopt)
+        << "case " << it;
+  }
+}
+
+}  // namespace
+}  // namespace pcmax::eptas

@@ -1,0 +1,165 @@
+// Unit properties of the geometric class grid and the sparsified rounding:
+// everything the guarantee proof in eptas/sparsify.hpp leans on is pinned
+// here as an explicit integer inequality, so a future edit that weakens the
+// grid silently fails these tests instead of the 500-case suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+#include "core/bounds.hpp"
+#include "core/rounding.hpp"
+#include "eptas/sparsify.hpp"
+#include "testkit/generators.hpp"
+#include "util/rng.hpp"
+
+namespace pcmax::eptas {
+namespace {
+
+TEST(GeometricGrid, SpansTheClassRangeStrictlyAscending) {
+  for (std::int64_t k = 1; k <= 16; ++k) {
+    const auto grid = geometric_grid(k);
+    ASSERT_FALSE(grid.empty()) << "k=" << k;
+    EXPECT_EQ(grid.front(), k) << "k=" << k;
+    EXPECT_EQ(grid.back(), k * k) << "k=" << k;
+    for (std::size_t i = 1; i < grid.size(); ++i)
+      EXPECT_LT(grid[i - 1], grid[i]) << "k=" << k << " i=" << i;
+  }
+}
+
+TEST(GeometricGrid, SnapErrorStaysWithinOneOverK) {
+  // The inequality the guarantee proof needs: every arithmetic class c in
+  // [k, k^2] snapped to grid value g satisfies (c + 1) * k <= g * (k + 1).
+  // Checked exhaustively for every (k, c) the engine can ever see.
+  for (std::int64_t k = 1; k <= 16; ++k) {
+    const auto grid = geometric_grid(k);
+    for (std::int64_t c = k; c <= k * k; ++c) {
+      const std::int64_t g = snap_to_grid(grid, c);
+      EXPECT_LE((c + 1) * k, g * (k + 1)) << "k=" << k << " c=" << c;
+    }
+  }
+}
+
+TEST(GeometricGrid, SnapReturnsTheLargestGridValueAtMost) {
+  for (std::int64_t k = 2; k <= 12; ++k) {
+    const auto grid = geometric_grid(k);
+    const std::set<std::int64_t> members(grid.begin(), grid.end());
+    for (std::int64_t c = k; c <= k * k; ++c) {
+      const std::int64_t g = snap_to_grid(grid, c);
+      EXPECT_LE(g, c);
+      EXPECT_TRUE(members.count(g) > 0) << "snap left the grid: " << g;
+      // Nothing of the grid lies strictly between g and c.
+      for (std::int64_t v = g + 1; v <= c; ++v)
+        EXPECT_FALSE(members.count(v) > 0)
+            << "k=" << k << " c=" << c << " skipped grid value " << v;
+    }
+  }
+}
+
+TEST(GeometricGrid, IsAsymptoticallySmallerThanTheArithmeticRange) {
+  // The ablation headline: O(k log k) grid values versus the k^2 - k + 1
+  // possible arithmetic classes. Pin the documented sizes so a regression
+  // in the recurrence is visible at a glance.
+  EXPECT_EQ(geometric_grid(2).size(), 3u);    // classic range has 3
+  EXPECT_EQ(geometric_grid(4).size(), 9u);    // classic range has 13
+  EXPECT_EQ(geometric_grid(8).size(), 22u);   // classic range has 57
+  EXPECT_LT(geometric_grid(16).size(), 60u);  // classic range has 241
+}
+
+TEST(Sparsify, AgreesWithClassicRoundingOnEverythingButClassIds) {
+  util::Rng rng(901);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 32;
+  limits.max_machines = 8;
+  limits.max_time = 500;
+  for (int it = 0; it < 200; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    const std::int64_t k = 2 + rng.uniform(0, 6);
+    const std::int64_t lb = makespan_lower_bound(instance);
+    const std::int64_t target =
+        lb + rng.uniform(0, std::max<std::int64_t>(1, lb / 2));
+    const auto classic = round_instance(instance, target, k);
+    const auto sparse = sparsify_instance(instance, target, k);
+
+    ASSERT_EQ(sparse.feasible, classic.feasible) << "case " << it;
+    EXPECT_EQ(sparse.short_jobs, classic.short_jobs) << "case " << it;
+    EXPECT_EQ(sparse.long_jobs(), classic.long_jobs()) << "case " << it;
+    if (!sparse.feasible) continue;
+
+    // Every long job's grid class is exactly the snap of its arithmetic
+    // class, and the merge bookkeeping is consistent.
+    const auto grid = geometric_grid(k);
+    std::int64_t counted = 0;
+    for (std::size_t d = 0; d < sparse.class_index.size(); ++d) {
+      EXPECT_EQ(sparse.counts[d],
+                static_cast<std::int64_t>(sparse.jobs_per_class[d].size()));
+      counted += sparse.counts[d];
+      for (const std::size_t job : sparse.jobs_per_class[d]) {
+        const std::int64_t c =
+            instance.times[job] * k * k / target;  // arithmetic class
+        EXPECT_EQ(sparse.class_index[d], snap_to_grid(grid, c))
+            << "case " << it << " job " << job;
+      }
+    }
+    EXPECT_EQ(counted, sparse.long_jobs()) << "case " << it;
+    EXPECT_GE(sparse.arithmetic_classes, sparse.nonzero_dims())
+        << "case " << it;
+    EXPECT_EQ(sparse.arithmetic_classes, classic.nonzero_dims())
+        << "case " << it;
+  }
+}
+
+TEST(Sparsify, TableIsNeverLargerThanTheClassicTable) {
+  // Merging classes turns (a+1)(b+1) cells into (a+b+1): the sparsified
+  // table can only shrink. This is the invariant the perf-smoke gate
+  // measures at benchmark scale; here it is checked on adversarial shapes.
+  util::Rng rng(902);
+  testkit::InstanceLimits limits;
+  limits.max_jobs = 40;
+  limits.max_machines = 10;
+  limits.max_time = 100'000;
+  for (int it = 0; it < 200; ++it) {
+    const auto instance = testkit::random_instance(rng, limits);
+    const std::int64_t k = 2 + rng.uniform(0, 10);
+    const std::int64_t target =
+        makespan_lower_bound(instance) + rng.uniform(0, 50);
+    const auto classic = round_instance(instance, target, k);
+    const auto sparse = sparsify_instance(instance, target, k);
+    if (!classic.feasible) continue;
+    EXPECT_LE(sparse.table_size(), classic.table_size()) << "case " << it;
+    EXPECT_LE(sparse.nonzero_dims(), classic.nonzero_dims()) << "case " << it;
+  }
+}
+
+TEST(Sparsify, InfeasibleTargetMatchesClassicVerdict) {
+  const Instance instance{2, {10, 9, 3}};
+  const auto sparse = sparsify_instance(instance, /*target=*/9, /*k=*/4);
+  EXPECT_FALSE(sparse.feasible);
+  EXPECT_TRUE(sparse.class_index.empty());
+  EXPECT_TRUE(sparse.short_jobs.empty());
+  EXPECT_EQ(sparse.table_size(), 1u);
+}
+
+TEST(Sparsify, DpProblemUsesGridWeightsAtFullCapacity) {
+  // k=4 grid is {4,5,6,7,8,10,12,15,16}; a job of time 27 at T=41 has
+  // arithmetic class floor(27*16/41) = 10 (a grid member), and one of time
+  // 24 has class floor(24*16/41) = 9, which snaps down to 8.
+  const Instance instance{2, {27, 27, 24}};
+  const auto sparse = sparsify_instance(instance, /*target=*/41, /*k=*/4);
+  ASSERT_TRUE(sparse.feasible);
+  ASSERT_EQ(sparse.class_index.size(), 2u);
+  EXPECT_EQ(sparse.class_index[0], 8);
+  EXPECT_EQ(sparse.class_index[1], 10);
+  EXPECT_EQ(sparse.counts[0], 1);
+  EXPECT_EQ(sparse.counts[1], 2);
+  EXPECT_EQ(sparse.arithmetic_classes, 2u);
+
+  const auto problem = to_dp_problem(sparse);
+  EXPECT_EQ(problem.weights, sparse.class_index);
+  EXPECT_EQ(problem.counts, sparse.counts);
+  EXPECT_EQ(problem.capacity, 16);
+}
+
+}  // namespace
+}  // namespace pcmax::eptas

@@ -7,6 +7,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/resilient.hpp"
+#include "dp/solver.hpp"
+#include "eptas/eptas.hpp"
 #include "exact/bb.hpp"
 #include "testkit/invariants.hpp"
 
@@ -80,6 +83,27 @@ TEST(ExactCorpus, BranchAndBoundReproducesEveryGoldenOptimum) {
         << "corpus case " << index;
     EXPECT_EQ(testkit::check_exact_claim(instance, result), std::nullopt)
         << "corpus case " << index;
+    ++index;
+  }
+}
+
+TEST(ExactCorpus, EptasRespectsItsBoundOnEveryGoldenOptimum) {
+  // The sparsified engine against the known optima, at two accuracies: the
+  // golden corpus doubles as a fixed-regression net for the EPTAS bound
+  // makespan * k <= (k + 1) * OPT.
+  const dp::LevelBucketSolver solver;
+  std::size_t index = 0;
+  for (const auto& c : golden_corpus()) {
+    const Instance instance{c.machines, c.times};
+    for (const std::int64_t k : {2, 4}) {
+      PtasOptions options;
+      options.epsilon = epsilon_for_k(k);
+      options.build_schedule = true;
+      const auto result = eptas::solve_eptas(instance, solver, options);
+      EXPECT_EQ(testkit::check_ptas_vs_exact(instance, result, k, c.opt),
+                std::nullopt)
+          << "corpus case " << index << " k=" << k;
+    }
     ++index;
   }
 }

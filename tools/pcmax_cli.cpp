@@ -9,7 +9,8 @@
 //   pcmax_cli --random 50 8 1 99 1 --emit-instance > jobs.txt
 //
 // Engines: ptas (default; --dp selects the DP solver: bucket, scan,
-// blocked-<dims>), gpu-dim<dims> (simulated K40, quarter split), resilient
+// blocked-<dims>), eptas (sparsified rounding, same guarantee and --dp
+// flags), gpu-dim<dims> (simulated K40, quarter split), resilient
 // (GPU chain with CPU and LPT fallback; honors --deadline-ms,
 // --mem-budget-bytes, --fault-plan — see docs/ROBUSTNESS.md), lpt, list,
 // multifit, exact (unpruned DFS baseline), exact-bb (pruned branch and
@@ -29,6 +30,8 @@
 #include "baselines/heuristics.hpp"
 #include "core/bounds.hpp"
 #include "core/resilient.hpp"
+#include "eptas/eptas.hpp"
+#include "eptas/sparsify.hpp"
 #include "exact/bb.hpp"
 #include "faultsim/injector.hpp"
 #include "gpu/gpu_ptas.hpp"
@@ -48,7 +51,7 @@ using namespace pcmax;
   std::fprintf(
       stderr,
       "usage: pcmax_cli (--input FILE | --random N M LO HI SEED)\n"
-      "                 [--engine ptas|gpu-dim<k>|resilient|lpt|list|\n"
+      "                 [--engine ptas|eptas|gpu-dim<k>|resilient|lpt|list|\n"
       "                  multifit|exact|exact-bb]\n"
       "                 [--dp bucket|scan|blocked-<dims>] [--epsilon E]\n"
       "                 [--node-budget NODES]\n"
@@ -73,6 +76,10 @@ using namespace pcmax;
       "trace (chrome://tracing, Perfetto); --metrics-out writes counters\n"
       "and histograms as JSON. Either flag enables recording and prints a\n"
       "text summary (see docs/OBSERVABILITY.md).\n"
+      "\n"
+      "--engine eptas runs the sparsified dual-approximation engine: same\n"
+      "(1 + 1/k) guarantee as ptas, geometric class grid, smaller DP tables\n"
+      "(docs/PERFORMANCE.md).\n"
       "\n"
       "--engine resilient runs the fallback chain (GPU PTAS, CPU PTAS, LPT)\n"
       "with retries, deadlines, and memory pre-flight; --fault-plan injects\n"
@@ -229,6 +236,38 @@ int run_ptas(const Instance& instance, const Args& args) {
   return 0;
 }
 
+int run_eptas(const Instance& instance, const Args& args) {
+  std::unique_ptr<dp::DpSolver> solver;
+  if (args.dp == "bucket") {
+    solver = std::make_unique<dp::LevelBucketSolver>();
+  } else if (args.dp == "scan") {
+    solver = std::make_unique<dp::LevelScanSolver>();
+  } else if (args.dp.rfind("blocked-", 0) == 0) {
+    solver = std::make_unique<partition::BlockedSolver>(
+        static_cast<std::size_t>(std::atoll(args.dp.c_str() + 8)));
+  } else {
+    usage(("unknown --dp: " + args.dp).c_str());
+  }
+
+  PtasOptions options;
+  options.epsilon = args.epsilon;
+  options.strategy = args.quarter_split ? SearchStrategy::kQuarterSplit
+                                        : SearchStrategy::kBisection;
+  const auto result = eptas::solve_eptas(instance, *solver, options);
+  // The class ablation at the found target: how many arithmetic classes the
+  // geometric snap merged away (the table-size lever — docs/PERFORMANCE.md).
+  const auto sparse = eptas::sparsify_instance(
+      instance, result.best_target, k_for_epsilon(args.epsilon));
+  workload::write_schedule(std::cout, instance, result.schedule);
+  std::printf("engine eptas/%s epsilon %.3f target %lld rounds %zu "
+              "dp-calls %zu classes %zu/%zu\n",
+              solver->name().c_str(), args.epsilon,
+              static_cast<long long>(result.best_target),
+              result.search_iterations, result.dp_calls.size(),
+              sparse.nonzero_dims(), sparse.arithmetic_classes);
+  return 0;
+}
+
 int run_gpu(const Instance& instance, const Args& args, std::size_t dims) {
   gpusim::Topology topology(args.devices, gpusim::DeviceSpec::k40(),
                             args.topology);
@@ -308,6 +347,7 @@ int run_resilient(const Instance& instance, const Args& args) {
 
 int run_engine(const Instance& instance, const Args& args) {
   if (args.engine == "ptas") return run_ptas(instance, args);
+  if (args.engine == "eptas") return run_eptas(instance, args);
   if (args.engine == "resilient") return run_resilient(instance, args);
   if (args.engine.rfind("gpu-dim", 0) == 0)
     return run_gpu(instance, args,

@@ -28,6 +28,7 @@
 #include "core/ptas.hpp"
 #include "core/resilient.hpp"
 #include "core/rounding.hpp"
+#include "eptas/eptas.hpp"
 #include "exact/bb.hpp"
 #include "faultsim/injector.hpp"
 #include "gpu/gpu_ptas.hpp"
@@ -117,8 +118,9 @@ enum class Mode : int {
   kFaults = 6,
   kExact = 7,
   kRecovery = 8,
+  kEptas = 9,
 };
-constexpr int kModeCount = 9;
+constexpr int kModeCount = 10;
 
 const char* mode_name(Mode mode) {
   switch (mode) {
@@ -131,6 +133,7 @@ const char* mode_name(Mode mode) {
     case Mode::kFaults: return "faults";
     case Mode::kExact: return "exact";
     case Mode::kRecovery: return "recovery";
+    case Mode::kEptas: return "eptas";
   }
   return "?";
 }
@@ -226,7 +229,7 @@ class Fuzzer {
     } else if (id.index < 3 * kModeCount) {
       mode = static_cast<Mode>(id.index % kModeCount);
     } else {
-      const auto roll = rng.uniform(0, 16);
+      const auto roll = rng.uniform(0, 17);
       mode = roll < 5    ? Mode::kDpDifferential
              : roll < 8  ? Mode::kPtasCertificate
              : roll < 9  ? Mode::kLayoutBijection
@@ -235,7 +238,8 @@ class Fuzzer {
              : roll < 13 ? Mode::kMetamorphic
              : roll < 14 ? Mode::kFaults
              : roll < 16 ? Mode::kExact
-                         : Mode::kRecovery;
+             : roll < 17 ? Mode::kRecovery
+                         : Mode::kEptas;
     }
     coverage_.cases++;
     coverage_.per_mode[mode_name(mode)]++;
@@ -249,6 +253,7 @@ class Fuzzer {
       case Mode::kFaults: return run_faults(id, rng);
       case Mode::kExact: return run_exact(id, rng);
       case Mode::kRecovery: return run_recovery(id, rng);
+      case Mode::kEptas: return run_eptas(id, rng);
     }
     return std::nullopt;
   }
@@ -740,6 +745,87 @@ class Fuzzer {
               .has_value();
         });
     failure.reproducer = describe(shrunk) + " plan=" + plan.to_string();
+    return failure;
+  }
+
+  /// Sparsified-EPTAS mode: the full (1 + 1/k) certificate, the target
+  /// differential against the classic PTAS at equal epsilon (snapped
+  /// weights only shrink, so T*_eptas <= T*_ptas always), cold-cache
+  /// equivalence, and — on small instances — the proven optimum itself.
+  testkit::CheckResult check_eptas_case(const Instance& instance,
+                                        const dp::DpSolver& solver,
+                                        double epsilon,
+                                        SearchStrategy strategy) {
+    PtasOptions options;
+    options.epsilon = epsilon;
+    options.strategy = strategy;
+    const auto k = k_for_epsilon(epsilon);
+    const auto result = eptas::solve_eptas(instance, solver, options);
+    if (auto bad = testkit::check_ptas_result(instance, result, k)) return bad;
+
+    PtasOptions classic_options = options;
+    classic_options.build_schedule = false;
+    const auto classic = solve_ptas(instance, solver, classic_options);
+    if (result.best_target > classic.best_target)
+      return "eptas target " + std::to_string(result.best_target) +
+             " exceeds the classic ptas target " +
+             std::to_string(classic.best_target) + " at equal epsilon";
+
+    PtasOptions cached_options = options;
+    cached_options.use_probe_cache = true;
+    const auto cached = eptas::solve_eptas(instance, solver, cached_options);
+    if (auto bad = testkit::check_ptas_cache_equivalence(
+            cached, result, /*require_same_iterations=*/true))
+      return "cold cache: " + *bad;
+
+    if (instance.jobs() <= 9 && instance.machines <= 4) {
+      if (const auto opt = testkit::exact_makespan(instance))
+        return testkit::check_ptas_vs_exact(instance, result, k, *opt);
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Failure> run_eptas(const testkit::CaseId& id, util::Rng& rng) {
+    Instance instance;
+    const auto k_choice = rng.uniform(0, 3);
+    const double epsilon = k_choice == 0   ? 1.0
+                           : k_choice == 1 ? 0.5
+                           : k_choice == 2 ? 0.34
+                                           : 0.25;
+    const auto k = k_for_epsilon(epsilon);
+    bool found = false;
+    for (int attempt = 0; attempt < 5 && !found; ++attempt) {
+      instance = testkit::random_instance(rng);
+      // Gate on the *classic* table size: the differential half solves both
+      // roundings, and the sparsified table is never the larger one.
+      const auto rounded =
+          round_instance(instance, makespan_lower_bound(instance), k);
+      found = !rounded.feasible || rounded.table_size() <= 50'000;
+    }
+    if (!found) {
+      coverage_.skipped++;
+      return std::nullopt;
+    }
+
+    const dp::LevelBucketSolver bucket;
+    const dp::LevelScanSolver scan;
+    const partition::BlockedSolver blocked3(3);
+    const dp::DpSolver* solvers[] = {&bucket, &scan, &blocked3};
+    const auto* solver = solvers[rng.uniform(0, 2)];
+    const auto strategy = rng.uniform(0, 1) == 0
+                              ? SearchStrategy::kBisection
+                              : SearchStrategy::kQuarterSplit;
+    coverage_.per_ptas_engine[solver->name()]++;
+    auto bad = check_eptas_case(instance, *solver, epsilon, strategy);
+    if (!bad.has_value()) return std::nullopt;
+
+    Failure failure{id, Mode::kEptas, *bad, {}, {}};
+    const auto shrunk = testkit::shrink_instance(
+        instance, [&](const Instance& candidate) {
+          return check_eptas_case(candidate, *solver, epsilon, strategy)
+              .has_value();
+        });
+    failure.reproducer = describe(shrunk);
     return failure;
   }
 
